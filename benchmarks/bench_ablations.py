@@ -1,0 +1,115 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Beyond the paper's own np/nb ablations (pipelining, splitting — covered by
+Figs. 6(a)–(d)), these measure the remaining optimizations:
+
+* dependency-graph ordering of the work queue (vs arrival order),
+* simulation-based unit pruning (vs label-signature only),
+* batched coordinator assignment (vs one unit per round-trip).
+"""
+
+import pytest
+
+from repro.gfd.generator import add_random_conflicts, random_gfds, straggler_workload
+from repro.parallel import RuntimeConfig, par_sat
+from repro.reasoning import seq_sat
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def ordering_sigma():
+    """An unsatisfiable set where good ordering finds the conflict early:
+    mined-style consistent GFDs plus an injected conflict chain."""
+    return add_random_conflicts(random_gfds(80, 5, 4, seed=31), num_conflicts=6, seed=31)
+
+
+@pytest.fixture(scope="module")
+def pruning_sigma():
+    """Low-selectivity workload where simulation pruning matters."""
+    from repro.bench.harness import synthetic_sat_workload
+
+    return synthetic_sat_workload(120, k=8, l=3, num_labels=6, near_k=True).sigma
+
+
+class TestDependencyOrdering:
+    def test_with_ordering(self, benchmark, ordering_sigma):
+        config = RuntimeConfig(workers=4, use_dependency_order=True)
+        result = run_once(benchmark, par_sat, ordering_sigma, config)
+        assert not result.satisfiable
+
+    def test_without_ordering(self, benchmark, ordering_sigma):
+        config = RuntimeConfig(workers=4, use_dependency_order=False)
+        result = run_once(benchmark, par_sat, ordering_sigma, config)
+        assert not result.satisfiable
+
+    def test_ordering_verdicts_agree(self, ordering_sigma):
+        ordered = par_sat(ordering_sigma, RuntimeConfig(workers=4, use_dependency_order=True))
+        unordered = par_sat(ordering_sigma, RuntimeConfig(workers=4, use_dependency_order=False))
+        assert ordered.satisfiable == unordered.satisfiable == False  # noqa: E712
+
+
+class TestSimulationPruning:
+    def test_with_pruning(self, benchmark, pruning_sigma):
+        config = RuntimeConfig(workers=4, use_simulation_pruning=True)
+        result = run_once(benchmark, par_sat, pruning_sigma, config)
+        assert result.satisfiable
+
+    def test_without_pruning(self, benchmark, pruning_sigma):
+        config = RuntimeConfig(workers=4, use_simulation_pruning=False)
+        result = run_once(benchmark, par_sat, pruning_sigma, config)
+        assert result.satisfiable
+
+    def test_pruning_reduces_units(self, pruning_sigma):
+        pruned = par_sat(pruning_sigma, RuntimeConfig(workers=4, use_simulation_pruning=True))
+        unpruned = par_sat(pruning_sigma, RuntimeConfig(workers=4, use_simulation_pruning=False))
+        assert pruned.outcome.units_total < unpruned.outcome.units_total
+        assert pruned.virtual_seconds <= unpruned.virtual_seconds
+
+
+class TestBatching:
+    @pytest.mark.parametrize("batch_size", [1, 6, 16])
+    def test_batch_sizes(self, benchmark, pruning_sigma, batch_size):
+        config = RuntimeConfig(workers=4, batch_size=batch_size)
+        result = run_once(benchmark, par_sat, pruning_sigma, config)
+        assert result.satisfiable
+
+
+class TestSequentialAblation:
+    """The sequential algorithms also use the dependency order and the
+    per-component simulation (paper: 'All the algorithms sort GFDs with
+    dependency graphs, including sequential SeqSat and SeqImp')."""
+
+    def test_seqsat_default(self, benchmark, ordering_sigma):
+        result = run_once(benchmark, seq_sat, ordering_sigma)
+        assert not result.satisfiable
+
+    def test_seqsat_no_order_no_sim(self, benchmark, ordering_sigma):
+        result = run_once(
+            benchmark,
+            seq_sat,
+            ordering_sigma,
+            use_dependency_order=False,
+            use_simulation_pruning=False,
+        )
+        assert not result.satisfiable
+
+
+@pytest.fixture(scope="module")
+def chase_sigma():
+    return add_random_conflicts(random_gfds(40, 5, 4, seed=33), num_conflicts=6, seed=33)
+
+
+class TestChaseBaseline:
+    """SeqSat vs the naive chase (the paper: chase implementations are
+    'much slower than SeqSat and SeqImp')."""
+
+    def test_seqsat(self, benchmark, chase_sigma):
+        result = run_once(benchmark, seq_sat, chase_sigma)
+        assert not result.satisfiable
+
+    def test_chase(self, benchmark, chase_sigma):
+        from repro.chase import chase_satisfiability
+
+        result = run_once(benchmark, chase_satisfiability, chase_sigma)
+        assert not result.verdict

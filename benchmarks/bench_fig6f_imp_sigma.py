@@ -1,0 +1,54 @@
+"""Fig. 6(f) — implication varying |Σ| (synthetic, k=6, l=5, p=4).
+
+Paper shapes: growth with |Σ|; ParImp ~3.1x over SeqImp and ~4.8x over the
+chase-based ParImpRDF baseline on average; SeqImp/ParImp take 982/342 s at
+|Σ| = 10000 (scaled here).
+"""
+
+import pytest
+
+from repro.bench.harness import sequential_virtual_seconds
+from repro.chase.rdf import rdf_imp
+from repro.parallel import RuntimeConfig, par_imp, par_imp_nb, par_imp_np
+from repro.reasoning import seq_imp
+
+from conftest import run_once
+
+SIZES = (50, 100, 200)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_fig6f_seqimp(benchmark, synthetic_imp_by_size, size):
+    workload = synthetic_imp_by_size[size]
+    run_once(benchmark, seq_imp, workload.sigma, workload.phi)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_fig6f_parimp(benchmark, synthetic_imp_by_size, size):
+    workload = synthetic_imp_by_size[size]
+    run_once(benchmark, par_imp, workload.sigma, workload.phi, RuntimeConfig(workers=4))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_fig6f_parimp_np(benchmark, synthetic_imp_by_size, size):
+    workload = synthetic_imp_by_size[size]
+    run_once(benchmark, par_imp_np, workload.sigma, workload.phi, RuntimeConfig(workers=4))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_fig6f_parimp_nb(benchmark, synthetic_imp_by_size, size):
+    workload = synthetic_imp_by_size[size]
+    run_once(benchmark, par_imp_nb, workload.sigma, workload.phi, RuntimeConfig(workers=4))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_fig6f_parimprdf(benchmark, synthetic_imp_by_size, size):
+    workload = synthetic_imp_by_size[size]
+    run_once(benchmark, rdf_imp, workload.sigma, workload.phi)
+
+
+def test_fig6f_verdicts_agree(synthetic_imp_by_size):
+    for workload in synthetic_imp_by_size.values():
+        expected = seq_imp(workload.sigma, workload.phi).implied
+        assert par_imp(workload.sigma, workload.phi, RuntimeConfig(workers=4)).implied == expected
+        assert rdf_imp(workload.sigma, workload.phi).verdict == expected

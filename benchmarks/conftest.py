@@ -1,0 +1,114 @@
+"""Shared fixtures for the per-figure benchmark suite.
+
+Workloads are built once per session; every benchmark measures one full
+algorithm run (``benchmark.pedantic`` with a single round — the runs are
+seconds-long, deterministic, and re-executing them dozens of times would
+tell us nothing new). Benchmark sizes are scaled down from the harness
+defaults so the whole suite finishes in a few minutes; the full paper-style
+series (and the shape commentary) are produced by ``benchmarks/run_report.py``
+and recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import (
+    implication_workload,
+    mined_implication_workload,
+    mined_workload,
+    synthetic_imp_workload,
+    synthetic_sat_workload,
+)
+from repro.gfd.generator import straggler_workload
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark *fn* with exactly one measured execution."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+
+@pytest.fixture(scope="session")
+def mined_sat_workloads():
+    """Fig. 5 satisfiability inputs: mined rule sets per dataset."""
+    return {
+        dataset: mined_workload(dataset, count=30, num_nodes=500, with_conflicts=False)
+        for dataset in ("dbpedia", "yago2", "pokec")
+    }
+
+
+@pytest.fixture(scope="session")
+def mined_imp_workloads():
+    """Fig. 5 implication inputs per dataset."""
+    return {
+        dataset: mined_implication_workload(dataset, count=30, num_nodes=500)
+        for dataset in ("dbpedia", "yago2", "pokec")
+    }
+
+
+@pytest.fixture(scope="session")
+def straggler_sigma_dbpedia():
+    """Fig. 6(a)/(k) workload (DBpedia-seeded stragglers)."""
+    return straggler_workload(seed=7)
+
+
+@pytest.fixture(scope="session")
+def straggler_sigma_yago():
+    """Fig. 6(b) workload (YAGO2-seeded stragglers)."""
+    return straggler_workload(seed=8)
+
+
+@pytest.fixture(scope="session")
+def imp_straggler_dbpedia():
+    """Fig. 6(c)/(l) implication workload."""
+    return implication_workload(seed=7)
+
+
+@pytest.fixture(scope="session")
+def imp_straggler_yago():
+    """Fig. 6(d) implication workload."""
+    return implication_workload(seed=8)
+
+
+@pytest.fixture(scope="session")
+def ttl_sigma():
+    """Fig. 6(k) concentrated-straggler workload."""
+    return straggler_workload(num_anchor=1, num_seekers=2, num_background=25, seed=7)
+
+
+@pytest.fixture(scope="session")
+def synthetic_sat_by_size():
+    """Fig. 6(e) |Σ| sweep inputs."""
+    return {size: synthetic_sat_workload(size, k=6, l=5) for size in (50, 100, 200)}
+
+
+@pytest.fixture(scope="session")
+def synthetic_imp_by_size():
+    """Fig. 6(f) |Σ| sweep inputs."""
+    return {size: synthetic_imp_workload(size, k=6, l=5) for size in (50, 100, 200)}
+
+
+@pytest.fixture(scope="session")
+def synthetic_sat_by_k():
+    """Fig. 6(g)/(i) k sweep inputs (l=3; near-k patterns over a small
+    vocabulary, so matching cost grows with k — see the harness docs)."""
+    return {
+        k: synthetic_sat_workload(100, k=k, l=3, num_labels=6, near_k=True)
+        for k in (4, 6, 10)
+    }
+
+
+@pytest.fixture(scope="session")
+def synthetic_imp_by_k():
+    return {k: synthetic_imp_workload(100, k=k, l=3) for k in (4, 6, 10)}
+
+
+@pytest.fixture(scope="session")
+def synthetic_sat_by_l():
+    """Fig. 6(h)/(j) l sweep inputs (k=5)."""
+    return {l: synthetic_sat_workload(100, k=5, l=l) for l in (1, 3, 5)}
+
+
+@pytest.fixture(scope="session")
+def synthetic_imp_by_l():
+    return {l: synthetic_imp_workload(100, k=5, l=l) for l in (1, 3, 5)}

@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Regenerate every table/figure of the paper and print paper-style rows.
+
+Runs the full harness (Fig. 5 and Fig. 6(a)–(l)) at the default scaled
+sizes and prints one table per experiment — the data behind EXPERIMENTS.md.
+
+Usage:
+    python benchmarks/run_report.py            # all experiments
+    python benchmarks/run_report.py fig5 fig6e # a subset
+"""
+
+import sys
+import time
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+
+def main() -> None:
+    requested = sys.argv[1:] or list(ALL_EXPERIMENTS)
+    unknown = [x for x in requested if x not in ALL_EXPERIMENTS]
+    if unknown:
+        raise SystemExit(f"unknown experiment ids {unknown}; choose from {list(ALL_EXPERIMENTS)}")
+    total_started = time.perf_counter()
+    for experiment_id in requested:
+        started = time.perf_counter()
+        experiment = ALL_EXPERIMENTS[experiment_id]()
+        print(experiment.render())
+        print(f"[generated in {time.perf_counter() - started:.1f}s wall]\n")
+    print(f"total: {time.perf_counter() - total_started:.1f}s wall")
+
+
+if __name__ == "__main__":
+    main()

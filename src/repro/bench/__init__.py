@@ -1,0 +1,44 @@
+"""Benchmark harness reproducing the paper's tables and figures."""
+
+from .harness import (
+    DEFAULT_K_SWEEP,
+    DEFAULT_L_SWEEP,
+    DEFAULT_P_SWEEP,
+    DEFAULT_SIGMA_SWEEP,
+    DEFAULT_TTL_SWEEP,
+    Experiment,
+    ImpWorkload,
+    SatWorkload,
+    Series,
+    implication_workload,
+    mined_implication_workload,
+    mined_workload,
+    parallel_sat_workload,
+    sequential_virtual_seconds,
+    synthetic_imp_workload,
+    synthetic_sat_workload,
+    timed,
+)
+from .experiments import ALL_EXPERIMENTS, run_all
+
+__all__ = [
+    "DEFAULT_K_SWEEP",
+    "DEFAULT_L_SWEEP",
+    "DEFAULT_P_SWEEP",
+    "DEFAULT_SIGMA_SWEEP",
+    "DEFAULT_TTL_SWEEP",
+    "Experiment",
+    "ImpWorkload",
+    "SatWorkload",
+    "Series",
+    "implication_workload",
+    "mined_implication_workload",
+    "mined_workload",
+    "parallel_sat_workload",
+    "sequential_virtual_seconds",
+    "synthetic_imp_workload",
+    "synthetic_sat_workload",
+    "timed",
+    "ALL_EXPERIMENTS",
+    "run_all",
+]

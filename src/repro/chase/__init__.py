@@ -1,0 +1,17 @@
+"""Chase baselines: naive GFD chase and the RDF-FD (ParImpRDF) baseline."""
+
+from .gfd_chase import ChaseResult, ChaseStats, chase_implication, chase_satisfiability
+from .rdf import RdfFD, Triple, rdf_imp, reify_gfd, reify_graph, reify_pattern
+
+__all__ = [
+    "ChaseResult",
+    "ChaseStats",
+    "chase_implication",
+    "chase_satisfiability",
+    "RdfFD",
+    "Triple",
+    "rdf_imp",
+    "reify_gfd",
+    "reify_graph",
+    "reify_pattern",
+]

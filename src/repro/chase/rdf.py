@@ -1,0 +1,221 @@
+"""``ParImpRDF`` — the RDF-FD chase baseline (following [5]).
+
+The paper's baseline represents "the triple patterns in the FDs of [5] as
+graphs" and checks implication by the chase. RDF has no edge labels or node
+attributes: everything is triples. We model that by **reification**: every
+labeled edge ``u -[r]-> v`` of a property graph (or pattern) becomes a
+fresh *statement node* labeled ``r`` with plain ``subj``/``obj`` edges to
+``u`` and ``v``. Reification preserves homomorphisms both ways, so the
+baseline's verdicts agree with SeqImp — but it roughly doubles the graph
+the chase must match against and, combined with the naive chase schedule
+(no dependency order, no inverted index), reproduces the constant-factor
+slowdown reported in Fig. 5 and Fig. 6(f).
+
+The module also provides a small first-class RDF-FD type (triple patterns
+plus value equalities) with a conversion into GFDs, so users with genuine
+RDF constraints can reason about them with the main algorithms.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..gfd.canonical import eq_from_literals
+from ..gfd.gfd import GFD, make_gfd
+from ..gfd.literals import ConstantLiteral, VariableLiteral
+from ..gfd.pattern import Pattern
+from ..graph.elements import WILDCARD, is_wildcard
+from ..graph.graph import PropertyGraph
+from ..matching.homomorphism import MatcherRun
+from ..reasoning.enforce import (
+    AntecedentStatus,
+    antecedent_status,
+    consequent_entailed,
+    enforce_consequent,
+)
+from .gfd_chase import ChaseResult, ChaseStats
+
+#: Edge labels used by the reified (RDF-style) representation.
+SUBJ = "subj"
+OBJ = "obj"
+
+#: Statement-node labels are prefixed so they cannot collide with node
+#: labels of the original graph (collisions would create spurious matches).
+STMT_PREFIX = "stmt:"
+
+
+def _statement_label(edge_label: str) -> str:
+    """The statement-node label carrying *edge_label*.
+
+    Wildcard edge labels stay wildcard: a wildcard statement variable can
+    in principle match non-statement nodes too, but any pattern with at
+    least one edge forces its statement variables to have ``subj``/``obj``
+    out-edges, which only statement nodes possess — so matches stay exact.
+    (Single-node wildcard patterns are reification-invariant anyway.)
+    """
+    if is_wildcard(edge_label):
+        return WILDCARD
+    return STMT_PREFIX + edge_label
+
+
+def reify_pattern(pattern: Pattern, statement_prefix: str = "stmt") -> Pattern:
+    """Reify a pattern: labeled edges become statement variables.
+
+    Edge labels move onto the statement node's label (wildcard edge labels
+    become wildcard statement labels); the original variables survive
+    unchanged, so literals need no rewriting.
+    """
+    reified = Pattern()
+    for var in pattern.variables:
+        reified.add_var(var, pattern.label_of(var))
+    for index, edge in enumerate(pattern.edges):
+        statement = f"{statement_prefix}{index}"
+        reified.add_var(statement, _statement_label(edge.label))
+        reified.add_edge(statement, edge.src, SUBJ)
+        reified.add_edge(statement, edge.dst, OBJ)
+    return reified.freeze()
+
+
+def reify_gfd(gfd: GFD) -> GFD:
+    """The same GFD over the reified pattern (literals untouched)."""
+    return make_gfd(
+        reify_pattern(gfd.pattern),
+        gfd.antecedent,
+        gfd.consequent,
+        name=f"{gfd.name}@rdf",
+    )
+
+
+def reify_graph(graph: PropertyGraph) -> PropertyGraph:
+    """Reify a data graph (used when validating RDF-FDs on data)."""
+    reified = PropertyGraph()
+    for node in graph.node_objects():
+        reified.add_node(node.label, node.attrs, node_id=node.id)
+    counter = 0
+    for edge in graph.edges():
+        statement = f"__stmt{counter}"
+        counter += 1
+        reified.add_node(_statement_label(edge.label), node_id=statement)
+        reified.add_edge(statement, edge.src, SUBJ)
+        reified.add_edge(statement, edge.dst, OBJ)
+    return reified
+
+
+# ----------------------------------------------------------------------
+# First-class RDF FDs (triple patterns + value constraints)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Triple:
+    """An RDF triple pattern ``(subject_var, predicate, object_var)``."""
+
+    subject: str
+    predicate: str
+    object: str
+
+
+@dataclass(frozen=True)
+class RdfFD:
+    """An FD over RDF triple patterns in the style of [5].
+
+    ``lhs``/``rhs`` are sets of variables whose *values* (attribute ``val``)
+    determine each other, plus optional constant constraints binding a
+    variable's value. Converted to a GFD via :meth:`to_gfd`: the triple
+    patterns form the (acyclic) pattern and the variable sets become
+    ``val``-literals anchored at the first lhs variable.
+    """
+
+    triples: Tuple[Triple, ...]
+    lhs: Tuple[str, ...]
+    rhs: Tuple[str, ...]
+    constants: Tuple[Tuple[str, object], ...] = ()
+    name: str = "rdf_fd"
+
+    def to_gfd(self) -> GFD:
+        pattern = Pattern()
+        seen = set()
+        for triple in self.triples:
+            for var in (triple.subject, triple.object):
+                if var not in seen:
+                    seen.add(var)
+                    pattern.add_var(var, WILDCARD)
+        for triple in self.triples:
+            pattern.add_edge(triple.subject, triple.object, triple.predicate)
+        antecedent = [
+            ConstantLiteral(var, "val", value) for var, value in self.constants
+        ]
+        # lhs variables agree on value pairwise (anchored at the first).
+        anchor = self.lhs[0] if self.lhs else None
+        for var in self.lhs[1:]:
+            antecedent.append(VariableLiteral(anchor, "val", var, "val"))
+        consequent = []
+        rhs_anchor = anchor if anchor is not None else (self.rhs[0] if self.rhs else None)
+        for var in self.rhs:
+            if rhs_anchor is None or var == rhs_anchor:
+                continue
+            consequent.append(VariableLiteral(rhs_anchor, "val", var, "val"))
+        if not consequent and self.rhs:
+            consequent = [ConstantLiteral(self.rhs[0], "val", 0)]
+        return make_gfd(pattern.freeze(), antecedent, consequent, name=self.name)
+
+
+# ----------------------------------------------------------------------
+# The baseline implication checker
+# ----------------------------------------------------------------------
+def rdf_imp(sigma: Sequence[GFD], phi: GFD) -> ChaseResult:
+    """Chase-based implication on reified (RDF-style) graphs.
+
+    Same verdict contract as :func:`repro.reasoning.seqimp.seq_imp`;
+    deliberately lacks dependency ordering and the inverted index, and pays
+    the reification blow-up — the paper's ``ParImpRDF`` baseline.
+    """
+    started = time.perf_counter()
+    stats = ChaseStats()
+    reified_phi = reify_gfd(phi)
+    reified_sigma = [reify_gfd(gfd) for gfd in sigma]
+
+    # Build G^X_Q over the reified pattern.
+    graph = PropertyGraph()
+    for var in reified_phi.pattern.variables:
+        graph.add_node(reified_phi.pattern.label_of(var), node_id=var)
+    for edge in reified_phi.pattern.edges:
+        graph.add_edge(edge.src, edge.dst, edge.label)
+    identity = {var: var for var in reified_phi.pattern.variables}
+    eq = eq_from_literals(reified_phi.antecedent, identity, source=f"{phi.name}:X")
+
+    if eq.has_conflict():
+        stats.wall_seconds = time.perf_counter() - started
+        return ChaseResult(True, eq.conflict, eq, stats)
+    if reified_phi.is_trivial() or consequent_entailed(eq, reified_phi, identity):
+        stats.wall_seconds = time.perf_counter() - started
+        return ChaseResult(True, None, eq, stats)
+
+    while True:
+        stats.rounds += 1
+        changed = False
+        for gfd in reified_sigma:
+            if gfd.is_trivial():
+                continue
+            run = MatcherRun(gfd.pattern, graph)
+            for assignment in run.matches():
+                stats.matches_considered += 1
+                status, _ = antecedent_status(eq, gfd, assignment)
+                if status is not AntecedentStatus.SATISFIED:
+                    continue
+                if consequent_entailed(eq, gfd, assignment):
+                    continue
+                stats.applications += 1
+                changed |= enforce_consequent(eq, gfd, assignment)
+                if eq.has_conflict():
+                    stats.match_ticks += run.ticks
+                    stats.wall_seconds = time.perf_counter() - started
+                    return ChaseResult(True, eq.conflict, eq, stats)
+            stats.match_ticks += run.ticks
+        if consequent_entailed(eq, reified_phi, identity):
+            stats.wall_seconds = time.perf_counter() - started
+            return ChaseResult(True, None, eq, stats)
+        if not changed:
+            break
+    stats.wall_seconds = time.perf_counter() - started
+    return ChaseResult(False, None, eq, stats)

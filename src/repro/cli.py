@@ -1,0 +1,208 @@
+"""Command-line interface for GFD reasoning.
+
+Subcommands::
+
+    gfd-reason parse  RULES            validate + pretty-print a rule file
+    gfd-reason sat    RULES            satisfiability (exit 0 sat / 3 unsat)
+    gfd-reason imp    RULES --phi NAME implication of one rule by the rest
+    gfd-reason detect GRAPH RULES      violations of the rules in a graph
+    gfd-reason cover  RULES [-o OUT]   implication-based minimal cover
+    gfd-reason bench  [FIG ...]        regenerate paper tables/figures
+
+Rule files use the text DSL (``.gfd``) or JSON (``.json``); graphs are the
+JSON format of :mod:`repro.graph.io`. ``--parallel P`` switches ``sat`` and
+``imp`` to the parallel algorithms with ``P`` workers.
+
+Exit codes: 0 success (satisfiable / implied / no violations), 2 usage or
+input error, 3 negative verdict (unsatisfiable / not implied / violations
+found) — so scripts can branch on the outcome.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .errors import ReproError
+from .gfd.gfd import GFD
+from .gfd.parser import dump_gfds, load_gfds, parse_gfds, render_gfds
+from .graph.io import load_graph
+from .parallel.config import RuntimeConfig
+from .parallel.parimp import par_imp
+from .parallel.parsat import par_sat
+from .reasoning.cover import minimal_cover
+from .reasoning.seqimp import seq_imp
+from .reasoning.seqsat import seq_sat
+from .reasoning.validation import detect_errors
+
+#: Exit code for negative verdicts (vs 2 for usage/input errors).
+EXIT_NEGATIVE = 3
+
+
+def load_rules(path: str) -> List[GFD]:
+    """Load a rule file; format chosen by extension (.json vs DSL text)."""
+    file_path = Path(path)
+    if not file_path.exists():
+        raise ReproError(f"rule file not found: {path}")
+    if file_path.suffix == ".json":
+        return load_gfds(file_path)
+    return parse_gfds(file_path.read_text(encoding="utf-8"))
+
+
+def _pick_phi(sigma: List[GFD], name: Optional[str]) -> GFD:
+    if name is None:
+        return sigma[-1]
+    for gfd in sigma:
+        if gfd.name == name:
+            return gfd
+    raise ReproError(f"no GFD named {name!r} in the rule file")
+
+
+def cmd_parse(args: argparse.Namespace) -> int:
+    sigma = load_rules(args.rules)
+    print(render_gfds(sigma))
+    print(f"# {len(sigma)} GFD(s) parsed OK", file=sys.stderr)
+    return 0
+
+
+def cmd_sat(args: argparse.Namespace) -> int:
+    sigma = load_rules(args.rules)
+    if args.parallel:
+        result = par_sat(sigma, RuntimeConfig(workers=args.parallel, ttl_seconds=args.ttl))
+        verdict, conflict = result.satisfiable, result.conflict
+        print(f"units={result.outcome.units_executed} virtual_seconds={result.virtual_seconds:.3f}")
+    else:
+        result = seq_sat(sigma)
+        verdict, conflict = result.satisfiable, result.conflict
+        print(f"matches={result.stats.matches} wall_seconds={result.stats.wall_seconds:.3f}")
+    if verdict:
+        print("SATISFIABLE")
+        return 0
+    print(f"UNSATISFIABLE: {conflict}")
+    if args.explain:
+        from .reasoning.explain import explain_unsatisfiability, render_explanation
+
+        sequential = result if not args.parallel else seq_sat(sigma)
+        explanation = explain_unsatisfiability(sigma, sequential)
+        if explanation is not None:
+            print(render_explanation(explanation))
+    return EXIT_NEGATIVE
+
+
+def cmd_imp(args: argparse.Namespace) -> int:
+    sigma = load_rules(args.rules)
+    if len(sigma) < 2:
+        raise ReproError("implication needs at least two GFDs in the rule file")
+    phi = _pick_phi(sigma, args.phi)
+    rest = [gfd for gfd in sigma if gfd.name != phi.name]
+    if args.parallel:
+        result = par_imp(rest, phi, RuntimeConfig(workers=args.parallel, ttl_seconds=args.ttl))
+    else:
+        result = seq_imp(rest, phi)
+    if result.implied:
+        print(f"IMPLIED ({result.reason}): Σ \\ {{{phi.name}}} |= {phi.name}")
+        return 0
+    print(f"NOT IMPLIED: {phi.name} adds constraints beyond the rest of Σ")
+    return EXIT_NEGATIVE
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    sigma = load_rules(args.rules)
+    violations = detect_errors(graph, sigma, limit_per_gfd=args.limit)
+    for violation in violations:
+        print(violation)
+    print(f"# {len(violations)} violation(s) in {graph.num_nodes}-node graph", file=sys.stderr)
+    return EXIT_NEGATIVE if violations else 0
+
+
+def cmd_cover(args: argparse.Namespace) -> int:
+    sigma = load_rules(args.rules)
+    result = minimal_cover(sigma)
+    for gfd in result.removed:
+        print(f"removed {gfd.name} (implied by the rest)")
+    print(
+        f"# cover: {len(result.cover)}/{len(sigma)} kept "
+        f"({result.reduction:.0%} reduction)",
+        file=sys.stderr,
+    )
+    if args.output:
+        dump_gfds(result.cover, args.output)
+        print(f"# cover written to {args.output}", file=sys.stderr)
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .bench.experiments import ALL_EXPERIMENTS
+
+    requested = args.figures or list(ALL_EXPERIMENTS)
+    unknown = [fig for fig in requested if fig not in ALL_EXPERIMENTS]
+    if unknown:
+        raise ReproError(f"unknown figure ids {unknown}; choose from {sorted(ALL_EXPERIMENTS)}")
+    for figure in requested:
+        print(ALL_EXPERIMENTS[figure]().render())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gfd-reason",
+        description="Reasoning about graph functional dependencies (ICDE 2018).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_parse = sub.add_parser("parse", help="validate and pretty-print a rule file")
+    p_parse.add_argument("rules")
+    p_parse.set_defaults(func=cmd_parse)
+
+    p_sat = sub.add_parser("sat", help="check satisfiability of a rule file")
+    p_sat.add_argument("rules")
+    p_sat.add_argument("--parallel", type=int, metavar="P", help="use ParSat with P workers")
+    p_sat.add_argument("--ttl", type=float, default=2.0, help="straggler TTL (virtual s)")
+    p_sat.add_argument(
+        "--explain",
+        action="store_true",
+        help="on UNSATISFIABLE, print the derivation chain of the conflict",
+    )
+    p_sat.set_defaults(func=cmd_sat)
+
+    p_imp = sub.add_parser("imp", help="check whether one rule is implied by the rest")
+    p_imp.add_argument("rules")
+    p_imp.add_argument("--phi", help="name of the candidate rule (default: last)")
+    p_imp.add_argument("--parallel", type=int, metavar="P", help="use ParImp with P workers")
+    p_imp.add_argument("--ttl", type=float, default=2.0)
+    p_imp.set_defaults(func=cmd_imp)
+
+    p_detect = sub.add_parser("detect", help="find rule violations in a graph")
+    p_detect.add_argument("graph", help="graph JSON file")
+    p_detect.add_argument("rules")
+    p_detect.add_argument("--limit", type=int, default=None, help="max violations per rule")
+    p_detect.set_defaults(func=cmd_detect)
+
+    p_cover = sub.add_parser("cover", help="remove rules implied by the rest")
+    p_cover.add_argument("rules")
+    p_cover.add_argument("-o", "--output", help="write the cover as JSON")
+    p_cover.set_defaults(func=cmd_cover)
+
+    p_bench = sub.add_parser("bench", help="regenerate the paper's tables/figures")
+    p_bench.add_argument("figures", nargs="*", help="figure ids (default: all)")
+    p_bench.set_defaults(func=cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

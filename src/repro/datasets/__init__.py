@@ -1,0 +1,5 @@
+"""Synthetic dataset stand-ins for DBpedia, YAGO2 and Pokec."""
+
+from .synthetic import DATASETS, dbpedia_like, load_dataset, pokec_like, yago_like
+
+__all__ = ["DATASETS", "dbpedia_like", "load_dataset", "pokec_like", "yago_like"]

@@ -1,0 +1,165 @@
+"""Scaled-down synthetic stand-ins for the paper's real-life graphs.
+
+The paper evaluates on GFDs mined from DBpedia (1.72M nodes, 200 node
+types, 160 edge types), YAGO2 (1.99M nodes, 13 types, 36 link types) and
+Pokec (1.63M nodes, 269 profile types, 11 edge types). Those dumps are not
+redistributable here, and — crucially — reasoning cost depends on the GFD
+set alone (the canonical graph is built from ``Σ``, not the data graph).
+So we generate scaled graphs with the same *regimes*:
+
+* :func:`dbpedia_like` — knowledge graph: many node types, many edge
+  labels, hub-heavy degree distribution, typed attributes;
+* :func:`yago_like` — knowledge base: few node types, moderate edge label
+  diversity, fact-style attributes;
+* :func:`pokec_like` — social network: user profiles with demographic
+  attributes, few edge labels, preferential-attachment friendships.
+
+The graphs serve two purposes: GFD *mining* (realistic rule sets, see
+:func:`repro.gfd.generator.mine_gfds`) and the error-detection example
+workloads. Every generator is deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..graph.graph import PropertyGraph
+
+
+def _skewed_choice(rng: random.Random, items: Sequence, skew: float = 1.5):
+    """Pick an item with a Zipf-ish bias toward the front of the list."""
+    n = len(items)
+    u = rng.random()
+    index = int(n * (u ** skew))
+    return items[min(index, n - 1)]
+
+
+def _attach_preferential_edges(
+    graph: PropertyGraph,
+    nodes: List,
+    num_edges: int,
+    edge_labels: Sequence[str],
+    rng: random.Random,
+) -> None:
+    """Add *num_edges* edges with preferential attachment on targets."""
+    if len(nodes) < 2:
+        return
+    targets: List = list(nodes)
+    for _ in range(num_edges):
+        src = rng.choice(nodes)
+        dst = rng.choice(targets)
+        if dst == src:
+            dst = rng.choice(nodes)
+        label = _skewed_choice(rng, edge_labels)
+        graph.add_edge(src, dst, label)
+        # Reinforce the chosen target: hubs accumulate degree.
+        targets.append(dst)
+
+
+def dbpedia_like(
+    num_nodes: int = 2000,
+    num_edges: Optional[int] = None,
+    num_types: int = 40,
+    num_edge_labels: int = 32,
+    attrs_per_type: int = 4,
+    seed: int = 7,
+) -> PropertyGraph:
+    """A knowledge-graph-like property graph (DBpedia regime)."""
+    rng = random.Random(seed)
+    num_edges = num_edges if num_edges is not None else num_nodes * 3
+    types = [f"type{i}" for i in range(num_types)]
+    edge_labels = [f"rel{i}" for i in range(num_edge_labels)]
+    type_attrs: Dict[str, List[str]] = {
+        t: [f"attr{i}_{j}" for j in range(attrs_per_type)] for i, t in enumerate(types)
+    }
+    graph = PropertyGraph()
+    nodes = []
+    for _ in range(num_nodes):
+        node_type = _skewed_choice(rng, types)
+        attrs = {}
+        for attr in type_attrs[node_type]:
+            if rng.random() < 0.7:
+                attrs[attr] = rng.randint(0, 9)
+        nodes.append(graph.add_node(node_type, attrs))
+    _attach_preferential_edges(graph, nodes, num_edges, edge_labels, rng)
+    return graph
+
+
+def yago_like(
+    num_nodes: int = 2000,
+    num_edges: Optional[int] = None,
+    num_types: int = 13,
+    num_edge_labels: int = 36,
+    seed: int = 11,
+) -> PropertyGraph:
+    """A knowledge-base-like property graph (YAGO2 regime: few types)."""
+    rng = random.Random(seed)
+    num_edges = num_edges if num_edges is not None else int(num_nodes * 2.8)
+    types = [f"class{i}" for i in range(num_types)]
+    edge_labels = [f"fact{i}" for i in range(num_edge_labels)]
+    shared_attrs = ["val", "name", "year", "place"]
+    graph = PropertyGraph()
+    nodes = []
+    for _ in range(num_nodes):
+        node_type = _skewed_choice(rng, types, skew=1.2)
+        attrs = {}
+        for attr in shared_attrs:
+            if rng.random() < 0.5:
+                attrs[attr] = rng.randint(0, 19)
+        nodes.append(graph.add_node(node_type, attrs))
+    _attach_preferential_edges(graph, nodes, num_edges, edge_labels, rng)
+    return graph
+
+
+def pokec_like(
+    num_nodes: int = 2000,
+    num_edges: Optional[int] = None,
+    num_regions: int = 12,
+    seed: int = 13,
+) -> PropertyGraph:
+    """A social-network-like property graph (Pokec regime).
+
+    Users carry demographic attributes (age, region, gender, public flag);
+    posts hang off users; friendship edges follow preferential attachment.
+    """
+    rng = random.Random(seed)
+    num_edges = num_edges if num_edges is not None else num_nodes * 4
+    graph = PropertyGraph()
+    users = []
+    num_users = max(2, int(num_nodes * 0.7))
+    for _ in range(num_users):
+        attrs = {
+            "age": rng.randint(14, 70),
+            "region": rng.randrange(num_regions),
+            "gender": rng.choice(["m", "f"]),
+            "public": rng.choice([0, 1]),
+        }
+        users.append(graph.add_node("user", attrs))
+    posts = []
+    for _ in range(num_nodes - num_users):
+        attrs = {"topic": rng.randrange(20), "trust": rng.choice(["low", "high"])}
+        posts.append(graph.add_node("post", attrs))
+    friendship_budget = max(0, num_edges - len(posts))
+    _attach_preferential_edges(graph, users, friendship_budget, ["friend", "follows"], rng)
+    for post in posts:
+        graph.add_edge(rng.choice(users), post, "posted")
+    return graph
+
+
+DATASETS = {
+    "dbpedia": dbpedia_like,
+    "yago2": yago_like,
+    "pokec": pokec_like,
+}
+
+
+def load_dataset(name: str, num_nodes: int = 2000, seed: Optional[int] = None) -> PropertyGraph:
+    """Build the named dataset stand-in (``dbpedia`` / ``yago2`` / ``pokec``)."""
+    try:
+        factory = DATASETS[name]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; choose from {sorted(DATASETS)}") from None
+    if seed is None:
+        return factory(num_nodes=num_nodes)
+    return factory(num_nodes=num_nodes, seed=seed)

@@ -1,0 +1,15 @@
+"""Equivalence relation over attribute terms, deltas, and deferred matches."""
+
+from .eqrelation import Conflict, DeltaOp, EqRelation, Term
+from .inverted_index import InvertedIndex, PendingMatch
+from .union_find import UnionFind
+
+__all__ = [
+    "Conflict",
+    "DeltaOp",
+    "EqRelation",
+    "Term",
+    "InvertedIndex",
+    "PendingMatch",
+    "UnionFind",
+]

@@ -1,0 +1,262 @@
+"""The equivalence relation ``Eq`` over attribute terms.
+
+``Eq`` represents the attribute assignment ``F^Σ_A`` being constructed while
+enforcing GFDs (paper, Section IV-C). Its elements are *terms* — pairs
+``(node, attr)`` standing for ``v.A`` — and each equivalence class carries at
+most one constant. The two expansion rules of the paper map to:
+
+* Rule 1 (``x.A = c``): :meth:`EqRelation.assign_constant` — creates the
+  class if needed and binds the constant; a different existing constant is a
+  *conflict*.
+* Rule 2 (``x.A = y.B``): :meth:`EqRelation.merge_terms` — unions the two
+  classes; a merge of two classes holding distinct constants is a conflict.
+
+The relation is *monotone*: classes only grow and constants are never
+retracted. This is what makes the asynchronous parallel algorithms correct
+(inflationary fixpoint, Section V-B). Every mutation is appended to a delta
+log so workers can broadcast ``ΔEq`` and peers can replay it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..graph.elements import AttrValue, NodeId
+from .union_find import UnionFind
+
+#: A term ``v.A``: (node id, attribute name).
+Term = Tuple[NodeId, str]
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """Evidence that ``Eq`` became inconsistent.
+
+    Records the term whose class received two distinct constants, plus both
+    constants and the name of the GFD that triggered the clash (when known).
+    """
+
+    term: Term
+    value_a: AttrValue
+    value_b: AttrValue
+    source: str = ""
+
+    def __str__(self) -> str:
+        node, attr = self.term
+        origin = f" (while enforcing {self.source})" if self.source else ""
+        return f"{node}.{attr} = {self.value_a!r} and {self.value_b!r}{origin}"
+
+
+@dataclass(frozen=True)
+class DeltaOp:
+    """One replayable ``Eq`` mutation: a constant binding or a term merge.
+
+    *source* names the GFD (or subsystem) whose enforcement produced the
+    operation — provenance for conflict explanations.
+    """
+
+    kind: str  # "const" | "merge"
+    term: Term
+    value: AttrValue = None
+    other: Optional[Term] = None
+    source: str = ""
+
+    def terms(self) -> List[Term]:
+        if self.other is not None:
+            return [self.term, self.other]
+        return [self.term]
+
+    def __str__(self) -> str:
+        origin = f"  [{self.source}]" if self.source else ""
+        if self.kind == "const":
+            node, attr = self.term
+            return f"{node}.{attr} := {self.value!r}{origin}"
+        node_a, attr_a = self.term
+        node_b, attr_b = self.other
+        return f"{node_a}.{attr_a} = {node_b}.{attr_b}{origin}"
+
+
+class EqRelation:
+    """Union-find over terms, with per-class constants and a delta log."""
+
+    def __init__(self) -> None:
+        self._uf: UnionFind[Term] = UnionFind()
+        self._const: Dict[Term, AttrValue] = {}  # root -> constant
+        self._conflict: Optional[Conflict] = None
+        self._log: List[DeltaOp] = []
+        #: Roots touched since the last :meth:`take_changed_roots` call;
+        #: consumers use this to drive inverted-index re-checks.
+        self._changed_terms: Set[Term] = set()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def conflict(self) -> Optional[Conflict]:
+        """The first conflict encountered, or None."""
+        return self._conflict
+
+    def has_conflict(self) -> bool:
+        return self._conflict is not None
+
+    def has_term(self, term: Term) -> bool:
+        return term in self._uf
+
+    def constant_of(self, term: Term) -> Optional[AttrValue]:
+        """The constant bound to *term*'s class, or None."""
+        if term not in self._uf:
+            return None
+        return self._const.get(self._uf.find(term))
+
+    def same_class(self, a: Term, b: Term) -> bool:
+        return self._uf.connected(a, b)
+
+    def members(self, term: Term) -> Set[Term]:
+        """Terms equivalent to *term* (including itself)."""
+        if term not in self._uf:
+            return {term}
+        return set(self._uf.members(term))
+
+    def terms(self) -> Iterable[Term]:
+        """All registered terms."""
+        return iter(self._uf._parent)  # noqa: SLF001 - intentional fast path
+
+    def num_terms(self) -> int:
+        return len(self._uf)
+
+    def num_classes(self) -> int:
+        return self._uf.num_classes()
+
+    def classes(self) -> List[Tuple[Set[Term], Optional[AttrValue]]]:
+        """All classes with their constants (copies; safe to mutate)."""
+        result = []
+        for root in list(self._uf.roots()):
+            result.append((set(self._uf.members(root)), self._const.get(root)))
+        return result
+
+    # ------------------------------------------------------------------
+    # Mutations (the paper's Rules 1 and 2)
+    # ------------------------------------------------------------------
+    def add_term(self, term: Term) -> bool:
+        """Register *term* as an (uninstantiated) singleton; True if new."""
+        added = self._uf.add(term)
+        if added:
+            self._changed_terms.add(term)
+        return added
+
+    def assign_constant(self, term: Term, value: AttrValue, source: str = "") -> bool:
+        """Rule 1: bind *value* to *term*'s class.
+
+        Returns True when the relation changed. Sets :attr:`conflict` (and
+        returns False) when the class already holds a different constant.
+        """
+        self._uf.add(term)
+        root = self._uf.find(term)
+        existing = self._const.get(root)
+        if existing is not None:
+            if existing == value:
+                return False
+            self._conflict = self._conflict or Conflict(term, existing, value, source)
+            return False
+        self._const[root] = value
+        self._log.append(DeltaOp("const", term, value=value, source=source))
+        self._changed_terms.update(self._uf.members(root))
+        return True
+
+    def merge_terms(self, a: Term, b: Term, source: str = "") -> bool:
+        """Rule 2: merge the classes of *a* and *b*.
+
+        Returns True when the relation changed. A merge joining two classes
+        with distinct constants records a conflict and still performs the
+        merge (the relation is inconsistent from then on, matching the
+        paper's semantics of detecting the clash)."""
+        self._uf.add(a)
+        self._uf.add(b)
+        root_a, root_b = self._uf.find(a), self._uf.find(b)
+        if root_a == root_b:
+            return False
+        const_a, const_b = self._const.get(root_a), self._const.get(root_b)
+        root, absorbed = self._uf.union(a, b)
+        # Keep the surviving root's constant slot coherent.
+        surviving_const = const_a if root == root_a else const_b
+        absorbed_const = const_b if root == root_a else const_a
+        if absorbed is not None and absorbed in self._const:
+            del self._const[absorbed]
+        if surviving_const is None and absorbed_const is not None:
+            self._const[root] = absorbed_const
+        if const_a is not None and const_b is not None and const_a != const_b:
+            self._conflict = self._conflict or Conflict(a, const_a, const_b, source)
+        self._log.append(DeltaOp("merge", a, other=b, source=source))
+        self._changed_terms.update(self._uf.members(root))
+        return True
+
+    def fail(self, term: Term, source: str = "") -> None:
+        """Record an explicit conflict (enforcing a ``false`` consequent)."""
+        if self._conflict is None:
+            self._conflict = Conflict(term, False, True, source)
+
+    # ------------------------------------------------------------------
+    # Deltas (ΔEq broadcast) and change tracking
+    # ------------------------------------------------------------------
+    def delta_since(self, mark: int) -> List[DeltaOp]:
+        """Operations appended after log position *mark*."""
+        return self._log[mark:]
+
+    def log_position(self) -> int:
+        """Current length of the delta log (a replay mark)."""
+        return len(self._log)
+
+    def apply_delta(self, ops: Sequence[DeltaOp], source: str = "") -> bool:
+        """Replay *ops* (from another worker); returns True if changed."""
+        changed = False
+        for op in ops:
+            origin = source or op.source
+            if op.kind == "const":
+                changed |= self.assign_constant(op.term, op.value, origin)
+            elif op.kind == "merge":
+                assert op.other is not None
+                changed |= self.merge_terms(op.term, op.other, origin)
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown delta op kind {op.kind!r}")
+        return changed
+
+    def take_changed_terms(self) -> Set[Term]:
+        """Return and clear the set of terms touched since the last call."""
+        changed = self._changed_terms
+        self._changed_terms = set()
+        return changed
+
+    # ------------------------------------------------------------------
+    # Copying / completion
+    # ------------------------------------------------------------------
+    def copy(self) -> "EqRelation":
+        clone = EqRelation()
+        clone._uf = self._uf.copy()
+        clone._const = dict(self._const)
+        clone._conflict = self._conflict
+        clone._log = list(self._log)
+        clone._changed_terms = set(self._changed_terms)
+        return clone
+
+    def completed_assignment(self, fresh_prefix: str = "#v") -> Dict[Term, AttrValue]:
+        """A total assignment term -> value.
+
+        Classes without a constant receive a fresh distinct value
+        (``'#v0'``, ``'#v1'``, ...). This is the paper's completion argument:
+        missing values never affect satisfiability, so any population can be
+        finished by assigning distinct fresh constants per class.
+        """
+        assignment: Dict[Term, AttrValue] = {}
+        fresh_index = 0
+        for members, const in self.classes():
+            if const is None:
+                const = f"{fresh_prefix}{fresh_index}"
+                fresh_index += 1
+            for term in members:
+                assignment[term] = const
+        return assignment
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        status = "CONFLICT" if self.has_conflict() else "ok"
+        return f"EqRelation(terms={self.num_terms()}, classes={self.num_classes()}, {status})"

@@ -1,0 +1,106 @@
+"""Inverted index of deferred matches (paper, Section IV-C(b)).
+
+When a match ``h(x̄)`` of a GFD's pattern is found but some antecedent
+literal cannot be decided yet — e.g. ``x.A = c`` where ``[h(x).A]`` does not
+exist or holds no constant — the match is *parked* here, keyed by each
+blocking term. Whenever ``Eq`` later changes a class containing one of those
+terms, the affected entries are retrieved and re-checked.
+
+An entry is removed the moment it is retrieved; callers re-register it if
+the re-check leaves it undecided. This keeps the index tombstone-free.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+from .eqrelation import Term
+
+
+@dataclass(frozen=True)
+class PendingMatch:
+    """A parked (match, GFD) pair awaiting more attribute information.
+
+    ``assignment`` maps pattern variables to graph nodes, stored as a sorted
+    tuple so the dataclass is hashable and duplicates are suppressed.
+    """
+
+    gfd_name: str
+    assignment: Tuple[Tuple[str, object], ...]
+
+    @staticmethod
+    def from_dict(gfd_name: str, assignment: Dict[str, object]) -> "PendingMatch":
+        return PendingMatch(gfd_name, tuple(sorted(assignment.items(), key=lambda kv: kv[0])))
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self.assignment)
+
+
+class InvertedIndex:
+    """term -> set of parked matches, with O(1)-amortized removal."""
+
+    def __init__(self) -> None:
+        self._by_term: Dict[Term, Set[PendingMatch]] = defaultdict(set)
+        self._terms_of: Dict[PendingMatch, Set[Term]] = defaultdict(set)
+
+    def register(self, pending: PendingMatch, blocking_terms: Iterable[Term]) -> int:
+        """Park *pending* under every term in *blocking_terms*.
+
+        Returns the number of (term, match) index entries actually added.
+        """
+        added = 0
+        terms = self._terms_of[pending]
+        for term in blocking_terms:
+            if term in terms:
+                continue
+            terms.add(term)
+            self._by_term[term].add(pending)
+            added += 1
+        if not terms:
+            del self._terms_of[pending]
+        return added
+
+    def pop_affected(self, changed_terms: Iterable[Term]) -> List[PendingMatch]:
+        """Remove and return matches blocked on any of *changed_terms*.
+
+        Each match is returned at most once even if several of its blocking
+        terms changed; all of its index entries are purged so a
+        re-registration starts clean.
+        """
+        result: List[PendingMatch] = []
+        seen: Set[PendingMatch] = set()
+        for term in changed_terms:
+            bucket = self._by_term.get(term)
+            if not bucket:
+                continue
+            for pending in list(bucket):
+                if pending not in seen:
+                    seen.add(pending)
+                    result.append(pending)
+        for pending in result:
+            self._purge(pending)
+        return result
+
+    def _purge(self, pending: PendingMatch) -> None:
+        for term in self._terms_of.pop(pending, ()):
+            bucket = self._by_term.get(term)
+            if bucket is not None:
+                bucket.discard(pending)
+                if not bucket:
+                    del self._by_term[term]
+
+    def __len__(self) -> int:
+        """Number of distinct parked matches."""
+        return len(self._terms_of)
+
+    def num_entries(self) -> int:
+        """Number of (term, match) index entries."""
+        return sum(len(terms) for terms in self._terms_of.values())
+
+    def is_empty(self) -> bool:
+        return not self._terms_of
+
+    def terms(self) -> Set[Term]:
+        return set(self._by_term)

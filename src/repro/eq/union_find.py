@@ -1,0 +1,99 @@
+"""A generic union-find (disjoint-set) with member tracking.
+
+The equivalence relation ``Eq`` of the paper is a union-find over attribute
+terms. Besides the usual ``find``/``union`` with union-by-size and path
+compression, this implementation tracks the member set of every class so
+that (a) merged classes can be enumerated when re-checking deferred matches
+and (b) class contents can be serialized for broadcast deltas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterator, List, Optional, Set, Tuple, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class UnionFind(Generic[T]):
+    """Disjoint sets over hashable items with explicit member sets."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[T, T] = {}
+        self._size: Dict[T, int] = {}
+        self._members: Dict[T, Set[T]] = {}
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def add(self, item: T) -> bool:
+        """Register *item* as a singleton class; True if it was new."""
+        if item in self._parent:
+            return False
+        self._parent[item] = item
+        self._size[item] = 1
+        self._members[item] = {item}
+        return True
+
+    def find(self, item: T) -> T:
+        """Return the class representative of *item* (must be registered)."""
+        root = item
+        parent = self._parent
+        while parent[root] != root:
+            root = parent[root]
+        # Path compression.
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def connected(self, a: T, b: T) -> bool:
+        """True if *a* and *b* are registered and in the same class."""
+        if a not in self._parent or b not in self._parent:
+            return False
+        return self.find(a) == self.find(b)
+
+    def union(self, a: T, b: T) -> Tuple[T, Optional[T]]:
+        """Merge the classes of *a* and *b*.
+
+        Returns ``(root, absorbed)`` where *root* is the surviving
+        representative and *absorbed* is the representative of the class
+        merged into it, or None when *a* and *b* were already together.
+        Both items are auto-registered.
+        """
+        self.add(a)
+        self.add(b)
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return root_a, None
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+        self._members[root_a].update(self._members.pop(root_b))
+        del self._size[root_b]
+        return root_a, root_b
+
+    def members(self, item: T) -> Set[T]:
+        """The member set of the class containing *item* (a live set; do not
+        mutate)."""
+        return self._members[self.find(item)]
+
+    def roots(self) -> Iterator[T]:
+        """Iterate over current class representatives."""
+        return iter(self._members)
+
+    def classes(self) -> List[Set[T]]:
+        """All classes as a list of member sets (copies)."""
+        return [set(members) for members in self._members.values()]
+
+    def num_classes(self) -> int:
+        return len(self._members)
+
+    def copy(self) -> "UnionFind[T]":
+        clone: UnionFind[T] = UnionFind()
+        clone._parent = dict(self._parent)
+        clone._size = dict(self._size)
+        clone._members = {root: set(members) for root, members in self._members.items()}
+        return clone

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the GFD reasoning library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch a single base class. Specific subclasses distinguish user errors
+(malformed GFDs, parse failures) from resource limits hit during reasoning.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Invalid operation on a property graph (unknown node, duplicate id...)."""
+
+
+class PatternError(ReproError):
+    """A graph pattern is malformed (unknown variable, dangling edge...)."""
+
+
+class LiteralError(ReproError):
+    """A GFD literal is malformed or refers to an unknown pattern variable."""
+
+
+class GFDError(ReproError):
+    """A GFD is malformed as a whole."""
+
+
+class ParseError(ReproError):
+    """The GFD text DSL or a serialized document could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class BudgetExceeded(ReproError):
+    """A reasoning task exceeded an explicit resource budget."""
+
+
+class RuntimeConfigError(ReproError):
+    """The parallel runtime was configured inconsistently."""

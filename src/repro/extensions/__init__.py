@@ -1,0 +1,43 @@
+"""GED-style extensions: GFDs with built-in predicates (Section IX).
+
+The paper's concluding future work — reasoning about dependencies "with
+built-in predicates (≤, <, ≥, >, ≠)" — implemented as a self-contained
+layer over the core engine. See :mod:`repro.extensions.predicates` for the
+literal types and the constraint-aware equivalence relation, and
+:mod:`repro.extensions.reasoning` for ``ext_seq_sat`` / ``ext_seq_imp``.
+"""
+
+from .keys import GedResult, GedStats, IdLiteral, ged_satisfiable, key_gfd
+from .predicates import Bounds, CompareLiteral, ExtendedEq, VarNeqLiteral
+from .reasoning import (
+    ExtImpResult,
+    ExtSatResult,
+    ExtendedEngine,
+    ext_seq_imp,
+    ext_seq_sat,
+    extended_antecedent_status,
+    extended_consequent_entailed,
+    extended_enforce_consequent,
+    extended_literal_status,
+)
+
+__all__ = [
+    "GedResult",
+    "GedStats",
+    "IdLiteral",
+    "ged_satisfiable",
+    "key_gfd",
+    "Bounds",
+    "CompareLiteral",
+    "ExtendedEq",
+    "VarNeqLiteral",
+    "ExtImpResult",
+    "ExtSatResult",
+    "ExtendedEngine",
+    "ext_seq_imp",
+    "ext_seq_sat",
+    "extended_antecedent_status",
+    "extended_consequent_entailed",
+    "extended_enforce_consequent",
+    "extended_literal_status",
+]

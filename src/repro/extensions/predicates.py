@@ -1,0 +1,448 @@
+"""Built-in predicate literals — the paper's announced GED extension.
+
+The paper closes with: "We are currently extending the algorithms to reason
+about GEDs [2] ... and their extensions with built-in predicates
+(≤, <, ≥, >, ≠)" (Section IX). This module implements that extension:
+
+* :class:`CompareLiteral` — ``x.A op c`` for ``op ∈ {<, <=, >, >=, !=}``
+  against a constant;
+* :class:`VarNeqLiteral` — ``x.A != y.B`` between two attribute terms
+  (order predicates between *terms* would require full difference-
+  constraint reasoning and are out of scope, as in the paper's sketch);
+* :class:`ExtendedEq` — the equivalence relation of the core algorithms
+  enriched with per-class interval bounds and disequality constraints.
+
+Reasoning assumptions (documented, and the same ones that make the
+small-model completion argument go through): ordered comparisons apply to
+numeric values over a dense unbounded domain, so any class whose interval
+is non-empty and not pinned to a point can always be completed with a
+fresh value avoiding finitely many disequalities. A point interval
+``[c, c]`` is promoted to the constant ``c``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from ..errors import LiteralError
+from ..eq.eqrelation import EqRelation, Term
+from ..graph.elements import AttrValue
+
+#: Comparison operators supported against constants.
+OPS = ("<", "<=", ">", ">=", "!=")
+
+
+@dataclass(frozen=True)
+class CompareLiteral:
+    """``var.attr op value`` with ``op`` one of :data:`OPS`."""
+
+    var: str
+    attr: str
+    op: str
+    value: AttrValue
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise LiteralError(f"unsupported comparison operator {self.op!r}")
+        if self.op != "!=" and not isinstance(self.value, (int, float)):
+            raise LiteralError(
+                f"ordered comparison {self.op!r} requires a numeric constant, "
+                f"got {self.value!r}"
+            )
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset({self.var})
+
+    def attribute_names(self) -> FrozenSet[str]:
+        return frozenset({self.attr})
+
+    def terms(self) -> Tuple[Tuple[str, str], ...]:
+        return ((self.var, self.attr),)
+
+    def __str__(self) -> str:
+        return f"{self.var}.{self.attr} {self.op} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class VarNeqLiteral:
+    """``var.attr != other_var.other_attr`` (canonically oriented)."""
+
+    var: str
+    attr: str
+    other_var: str
+    other_attr: str
+
+    def __post_init__(self) -> None:
+        left = (str(self.var), str(self.attr))
+        right = (str(self.other_var), str(self.other_attr))
+        if right < left:
+            swapped = (self.other_var, self.other_attr, self.var, self.attr)
+            object.__setattr__(self, "var", swapped[0])
+            object.__setattr__(self, "attr", swapped[1])
+            object.__setattr__(self, "other_var", swapped[2])
+            object.__setattr__(self, "other_attr", swapped[3])
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset({self.var, self.other_var})
+
+    def attribute_names(self) -> FrozenSet[str]:
+        return frozenset({self.attr, self.other_attr})
+
+    def terms(self) -> Tuple[Tuple[str, str], ...]:
+        return ((self.var, self.attr), (self.other_var, self.other_attr))
+
+    def __str__(self) -> str:
+        return f"{self.var}.{self.attr} != {self.other_var}.{self.other_attr}"
+
+
+@dataclass
+class Bounds:
+    """An interval constraint on a class's (numeric) value."""
+
+    lower: float = -math.inf
+    lower_strict: bool = False
+    upper: float = math.inf
+    upper_strict: bool = False
+
+    def copy(self) -> "Bounds":
+        return Bounds(self.lower, self.lower_strict, self.upper, self.upper_strict)
+
+    def tighten_lower(self, value: float, strict: bool) -> bool:
+        """Raise the lower bound; True if changed."""
+        if value > self.lower or (value == self.lower and strict and not self.lower_strict):
+            self.lower, self.lower_strict = value, strict
+            return True
+        return False
+
+    def tighten_upper(self, value: float, strict: bool) -> bool:
+        if value < self.upper or (value == self.upper and strict and not self.upper_strict):
+            self.upper, self.upper_strict = value, strict
+            return True
+        return False
+
+    def merge(self, other: "Bounds") -> bool:
+        changed = self.tighten_lower(other.lower, other.lower_strict)
+        changed |= self.tighten_upper(other.upper, other.upper_strict)
+        return changed
+
+    def is_empty(self) -> bool:
+        if self.lower > self.upper:
+            return True
+        if self.lower == self.upper and (self.lower_strict or self.upper_strict):
+            return True
+        return False
+
+    def pins_to_point(self) -> Optional[float]:
+        """The single admissible value, if the interval is a point."""
+        if self.lower == self.upper and not self.lower_strict and not self.upper_strict:
+            if not math.isinf(self.lower):
+                return self.lower
+        return None
+
+    def admits(self, value) -> bool:
+        """Whether a concrete value satisfies the interval (non-numeric
+        values satisfy only unconstrained bounds)."""
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return math.isinf(self.lower) and math.isinf(self.upper)
+        if value < self.lower or (value == self.lower and self.lower_strict):
+            return False
+        if value > self.upper or (value == self.upper and self.upper_strict):
+            return False
+        return True
+
+    def implies_leq(self, value: float, strict: bool) -> bool:
+        """Bounds guarantee ``x < value`` (strict) / ``x <= value``."""
+        if strict:
+            return self.upper < value or (self.upper == value and self.upper_strict)
+        return self.upper < value or (self.upper == value)
+
+    def implies_geq(self, value: float, strict: bool) -> bool:
+        if strict:
+            return self.lower > value or (self.lower == value and self.lower_strict)
+        return self.lower > value or (self.lower == value)
+
+    def __str__(self) -> str:
+        left = "(" if self.lower_strict else "["
+        right = ")" if self.upper_strict else "]"
+        return f"{left}{self.lower}, {self.upper}{right}"
+
+
+class ExtendedEq:
+    """An :class:`EqRelation` enriched with bounds and disequalities.
+
+    Wraps (and owns) a plain ``EqRelation`` for the equality part; keeps
+    per-root :class:`Bounds`, per-root forbidden-constant sets, and a set
+    of class-level disequality pairs. All invariants are restored after
+    every mutation:
+
+    * a class's constant must satisfy its bounds and avoid its forbidden
+      constants;
+    * a point interval promotes to a constant (which may conflict);
+    * a disequality between two classes that are (or become) the same
+      class is a conflict.
+    """
+
+    def __init__(self) -> None:
+        self.eq = EqRelation()
+        self._bounds: Dict[Term, Bounds] = {}          # root -> bounds
+        self._neq_constants: Dict[Term, Set[AttrValue]] = {}  # root -> values
+        self._neq_pairs: Set[FrozenSet[Term]] = set()  # {rootA, rootB}
+        self._extra_conflict: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Conflict handling
+    # ------------------------------------------------------------------
+    def has_conflict(self) -> bool:
+        return self.eq.has_conflict() or self._extra_conflict is not None
+
+    @property
+    def conflict_reason(self) -> Optional[str]:
+        if self.eq.has_conflict():
+            return str(self.eq.conflict)
+        return self._extra_conflict
+
+    def _fail(self, reason: str) -> None:
+        if self._extra_conflict is None:
+            self._extra_conflict = reason
+
+    # ------------------------------------------------------------------
+    # Root-keyed state with rebasing after merges
+    # ------------------------------------------------------------------
+    def _root(self, term: Term) -> Term:
+        self.eq.add_term(term)
+        return self.eq._uf.find(term)  # noqa: SLF001 - intentional fast path
+
+    def _bounds_of(self, root: Term) -> Bounds:
+        if root not in self._bounds:
+            self._bounds[root] = Bounds()
+        return self._bounds[root]
+
+    def bounds_of(self, term: Term) -> Bounds:
+        """A copy of the bounds constraining *term*'s class."""
+        return self._bounds_of(self._root(term)).copy()
+
+    def forbidden_constants(self, term: Term) -> Set[AttrValue]:
+        return set(self._neq_constants.get(self._root(term), set()))
+
+    def has_neq(self, a: Term, b: Term) -> bool:
+        return frozenset({self._root(a), self._root(b)}) in self._neq_pairs
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def assign_constant(self, term: Term, value: AttrValue, source: str = "") -> bool:
+        root = self._root(term)
+        bounds = self._bounds_of(root)
+        if not bounds.admits(value):
+            self._fail(f"{term} = {value!r} violates bounds {bounds} ({source})")
+            return False
+        if value in self._neq_constants.get(root, set()):
+            self._fail(f"{term} = {value!r} violates a != constraint ({source})")
+            return False
+        changed = self.eq.assign_constant(term, value, source)
+        if changed:
+            self._check_neq_pairs_around(self._root(term))
+        return changed
+
+    def merge_terms(self, a: Term, b: Term, source: str = "") -> bool:
+        root_a, root_b = self._root(a), self._root(b)
+        if root_a == root_b:
+            return False
+        if frozenset({root_a, root_b}) in self._neq_pairs:
+            self._fail(f"merging {a} and {b} contradicts a != constraint ({source})")
+            return False
+        bounds_a = self._bounds.pop(root_a, Bounds())
+        bounds_b = self._bounds.pop(root_b, Bounds())
+        neq_a = self._neq_constants.pop(root_a, set())
+        neq_b = self._neq_constants.pop(root_b, set())
+        pairs_a = [pair for pair in self._neq_pairs if root_a in pair]
+        pairs_b = [pair for pair in self._neq_pairs if root_b in pair]
+        changed = self.eq.merge_terms(a, b, source)
+        new_root = self._root(a)
+        merged_bounds = bounds_a
+        merged_bounds.merge(bounds_b)
+        self._bounds[new_root] = merged_bounds
+        self._neq_constants[new_root] = neq_a | neq_b
+        for pair in pairs_a + pairs_b:
+            self._neq_pairs.discard(pair)
+            others = pair - {root_a, root_b}
+            if not others:
+                # Both endpoints merged into one class: x != x.
+                self._fail(f"merge of {a}, {b} collapses a != pair ({source})")
+                continue
+            (other,) = others
+            other_root = self._root(other)
+            if other_root == new_root:
+                self._fail(f"merge of {a}, {b} collapses a != pair ({source})")
+            else:
+                self._neq_pairs.add(frozenset({new_root, other_root}))
+        self._normalize_class(new_root, source)
+        self._check_neq_pairs_around(new_root)
+        return changed
+
+    def add_bound(self, term: Term, op: str, value: float, source: str = "") -> bool:
+        """Apply ``term op value`` for an ordered *op*; True if changed."""
+        root = self._root(term)
+        bounds = self._bounds_of(root)
+        if op == "<":
+            changed = bounds.tighten_upper(value, strict=True)
+        elif op == "<=":
+            changed = bounds.tighten_upper(value, strict=False)
+        elif op == ">":
+            changed = bounds.tighten_lower(value, strict=True)
+        elif op == ">=":
+            changed = bounds.tighten_lower(value, strict=False)
+        else:
+            raise LiteralError(f"add_bound does not handle operator {op!r}")
+        if changed:
+            self._normalize_class(root, source)
+        return changed
+
+    def add_neq_constant(self, term: Term, value: AttrValue, source: str = "") -> bool:
+        root = self._root(term)
+        constant = self.eq.constant_of(term)
+        if constant is not None:
+            if constant == value:
+                self._fail(f"{term} != {value!r} but it equals {constant!r} ({source})")
+            return False
+        forbidden = self._neq_constants.setdefault(root, set())
+        if value in forbidden:
+            return False
+        forbidden.add(value)
+        return True
+
+    def add_neq_terms(self, a: Term, b: Term, source: str = "") -> bool:
+        root_a, root_b = self._root(a), self._root(b)
+        if root_a == root_b:
+            self._fail(f"{a} != {b} but they are already equal ({source})")
+            return False
+        const_a, const_b = self.eq.constant_of(a), self.eq.constant_of(b)
+        if const_a is not None and const_b is not None:
+            if const_a == const_b:
+                self._fail(f"{a} != {b} but both equal {const_a!r} ({source})")
+            return False
+        pair = frozenset({root_a, root_b})
+        if pair in self._neq_pairs:
+            return False
+        self._neq_pairs.add(pair)
+        return True
+
+    def _normalize_class(self, root: Term, source: str) -> None:
+        """Restore invariants after a bounds change or merge."""
+        bounds = self._bounds_of(root)
+        if bounds.is_empty():
+            self._fail(f"empty interval {bounds} for class of {root} ({source})")
+            return
+        constant = self.eq.constant_of(root)
+        if constant is not None:
+            if not bounds.admits(constant):
+                self._fail(
+                    f"constant {constant!r} of {root} violates bounds {bounds} ({source})"
+                )
+                return
+            if constant in self._neq_constants.get(root, set()):
+                self._fail(f"constant {constant!r} of {root} violates != ({source})")
+            return
+        point = bounds.pins_to_point()
+        if point is not None:
+            # Interval collapsed to one value: promote to a constant.
+            self.assign_constant(root, point, source=f"{source}:pinned")
+
+    def _check_neq_pairs_around(self, root: Term) -> None:
+        """A class just received a constant; disequal classes with the same
+        constant now conflict."""
+        constant = self.eq.constant_of(root)
+        if constant is None:
+            return
+        for pair in list(self._neq_pairs):
+            if root not in pair:
+                continue
+            others = pair - {root}
+            if not others:
+                self._fail(f"class of {root} became disequal to itself")
+                return
+            (other,) = others
+            other_root = self._root(other)
+            if other_root == root:
+                self._fail(f"class of {root} became disequal to itself")
+                return
+            other_constant = self.eq.constant_of(other_root)
+            if other_constant is not None and other_constant == constant:
+                self._fail(
+                    f"disequal classes of {root} and {other} both equal {constant!r}"
+                )
+                return
+
+    # ------------------------------------------------------------------
+    # Delegation helpers used by the extended engine
+    # ------------------------------------------------------------------
+    def constant_of(self, term: Term) -> Optional[AttrValue]:
+        return self.eq.constant_of(term)
+
+    def same_class(self, a: Term, b: Term) -> bool:
+        return self.eq.same_class(a, b)
+
+    def take_changed_terms(self) -> Set[Term]:
+        return self.eq.take_changed_terms()
+
+    def copy(self) -> "ExtendedEq":
+        clone = ExtendedEq()
+        clone.eq = self.eq.copy()
+        clone._bounds = {root: bounds.copy() for root, bounds in self._bounds.items()}
+        clone._neq_constants = {root: set(vals) for root, vals in self._neq_constants.items()}
+        clone._neq_pairs = set(self._neq_pairs)
+        clone._extra_conflict = self._extra_conflict
+        return clone
+
+    def completed_assignment(self, fresh_start: float = 10_000.0) -> Dict[Term, AttrValue]:
+        """A total assignment respecting equality, bounds and disequality.
+
+        Constants stay; unconstrained classes get fresh distinct numeric
+        values; bounded classes get a value inside their interval avoiding
+        forbidden constants and already-placed disequal neighbors. Raises
+        ``ValueError`` on a conflicted relation.
+        """
+        if self.has_conflict():
+            raise ValueError(f"cannot complete a conflicted relation: {self.conflict_reason}")
+        assignment: Dict[Term, AttrValue] = {}
+        chosen: Dict[Term, AttrValue] = {}  # root -> value
+        counter = itertools.count()
+        for members, constant in self.eq.classes():
+            root = self._root(next(iter(members)))
+            if constant is None:
+                avoid = set(self._neq_constants.get(root, set()))
+                for pair in self._neq_pairs:
+                    if root in pair:
+                        for other in pair - {root}:
+                            if other in chosen:
+                                avoid.add(chosen[other])
+                            other_constant = self.eq.constant_of(other)
+                            if other_constant is not None:
+                                avoid.add(other_constant)
+                constant = self._pick_value(self._bounds_of(root), avoid, fresh_start, counter)
+            chosen[root] = constant
+            for term in members:
+                assignment[term] = constant
+        return assignment
+
+    @staticmethod
+    def _pick_value(bounds: Bounds, avoid: Set[AttrValue], fresh_start: float, counter) -> float:
+        if math.isinf(bounds.lower) and math.isinf(bounds.upper):
+            value = fresh_start + next(counter)
+            while value in avoid:
+                value = fresh_start + next(counter)
+            return value
+        # Dense domain: walk midpoints until clear of the finite avoid set.
+        lower = bounds.lower if not math.isinf(bounds.lower) else bounds.upper - 2.0
+        upper = bounds.upper if not math.isinf(bounds.upper) else bounds.lower + 2.0
+        candidate = (lower + upper) / 2.0
+        step = (upper - lower) / 4.0 or 0.25
+        while candidate in avoid or not bounds.admits(candidate):
+            candidate += step
+            step /= 2.0
+            if step < 1e-12:  # pragma: no cover - defensive
+                raise ValueError("could not find an admissible value")
+        return candidate

@@ -1,0 +1,341 @@
+"""Satisfiability and implication for GFDs with built-in predicates.
+
+Mirrors the core ``SeqSat`` / ``SeqImp`` architecture — canonical graphs,
+match enumeration, three-valued antecedent checking, inverted-index
+cascades, early termination — but over :class:`~repro.extensions.
+predicates.ExtendedEq`, whose classes carry interval bounds and
+disequalities besides equalities. Plain literals (=, constants, false) are
+handled exactly as in the core; the new literal kinds add:
+
+===============  ===========================  ==============================
+literal           as antecedent                as consequent (enforcement)
+===============  ===========================  ==============================
+``x.A < c`` etc.  SAT iff bounds/constant      tighten the class interval
+                  already guarantee it;        (an empty interval is a
+                  VIOLATED iff they            conflict; a point interval
+                  guarantee the negation       promotes to a constant)
+``x.A != c``      decided by constant or       add a forbidden constant
+                  forbidden-constant set
+``x.A != y.B``    SAT on distinct constants    add a class disequality
+                  or recorded disequality;     (conflict if already equal)
+                  VIOLATED on same class /
+                  equal constants
+===============  ===========================  ==============================
+
+The small-model completion argument extends: ordered predicates range over
+a dense unbounded numeric domain, so an unconflicted relation always
+completes to a model (``ExtendedEq.completed_assignment``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..eq.eqrelation import Term
+from ..eq.inverted_index import InvertedIndex, PendingMatch
+from ..errors import GFDError
+from ..gfd.canonical import build_canonical_graph, build_implication_canonical
+from ..gfd.gfd import GFD
+from ..gfd.literals import ConstantLiteral, FalseLiteral, VariableLiteral
+from ..graph.elements import NodeId
+from ..matching.component_index import ComponentIndex
+from ..matching.homomorphism import MatcherRun
+from ..reasoning.enforce import AntecedentStatus
+from .predicates import CompareLiteral, ExtendedEq, VarNeqLiteral
+
+Assignment = Mapping[str, NodeId]
+
+
+def _compare_status(
+    eq: ExtendedEq, literal: CompareLiteral, assignment: Assignment
+) -> Tuple[AntecedentStatus, List[Term]]:
+    term: Term = (assignment[literal.var], literal.attr)
+    constant = eq.constant_of(term)
+    op, value = literal.op, literal.value
+    if op == "!=":
+        if constant is not None:
+            if constant != value:
+                return AntecedentStatus.SATISFIED, []
+            return AntecedentStatus.VIOLATED, []
+        if value in eq.forbidden_constants(term):
+            return AntecedentStatus.SATISFIED, []
+        return AntecedentStatus.UNDECIDED, [term]
+    if constant is not None:
+        if not isinstance(constant, (int, float)) or isinstance(constant, bool):
+            return AntecedentStatus.VIOLATED, []
+        holds = {
+            "<": constant < value,
+            "<=": constant <= value,
+            ">": constant > value,
+            ">=": constant >= value,
+        }[op]
+        return (AntecedentStatus.SATISFIED if holds else AntecedentStatus.VIOLATED), []
+    bounds = eq.bounds_of(term)
+    if op in ("<", "<="):
+        if bounds.implies_leq(value, strict=(op == "<")):
+            return AntecedentStatus.SATISFIED, []
+        if bounds.implies_geq(value, strict=(op == "<=")):
+            # lower bound already at/above the threshold: can never hold.
+            return AntecedentStatus.VIOLATED, []
+    else:
+        if bounds.implies_geq(value, strict=(op == ">")):
+            return AntecedentStatus.SATISFIED, []
+        if bounds.implies_leq(value, strict=(op == ">=")):
+            return AntecedentStatus.VIOLATED, []
+    return AntecedentStatus.UNDECIDED, [term]
+
+
+def _var_neq_status(
+    eq: ExtendedEq, literal: VarNeqLiteral, assignment: Assignment
+) -> Tuple[AntecedentStatus, List[Term]]:
+    term_a: Term = (assignment[literal.var], literal.attr)
+    term_b: Term = (assignment[literal.other_var], literal.other_attr)
+    if eq.same_class(term_a, term_b):
+        return AntecedentStatus.VIOLATED, []
+    const_a, const_b = eq.constant_of(term_a), eq.constant_of(term_b)
+    if const_a is not None and const_b is not None:
+        if const_a != const_b:
+            return AntecedentStatus.SATISFIED, []
+        return AntecedentStatus.VIOLATED, []
+    if eq.has_neq(term_a, term_b):
+        return AntecedentStatus.SATISFIED, []
+    return AntecedentStatus.UNDECIDED, [term_a, term_b]
+
+
+def extended_literal_status(
+    eq: ExtendedEq, literal, assignment: Assignment
+) -> Tuple[AntecedentStatus, List[Term]]:
+    """Three-valued status of any (core or extended) literal."""
+    if isinstance(literal, CompareLiteral):
+        return _compare_status(eq, literal, assignment)
+    if isinstance(literal, VarNeqLiteral):
+        return _var_neq_status(eq, literal, assignment)
+    if isinstance(literal, FalseLiteral):
+        return AntecedentStatus.VIOLATED, []
+    if isinstance(literal, ConstantLiteral):
+        term: Term = (assignment[literal.var], literal.attr)
+        constant = eq.constant_of(term)
+        if constant is None:
+            return AntecedentStatus.UNDECIDED, [term]
+        if constant == literal.value:
+            return AntecedentStatus.SATISFIED, []
+        return AntecedentStatus.VIOLATED, []
+    if isinstance(literal, VariableLiteral):
+        term_a = (assignment[literal.var], literal.attr)
+        term_b = (assignment[literal.other_var], literal.other_attr)
+        if eq.same_class(term_a, term_b):
+            return AntecedentStatus.SATISFIED, []
+        const_a, const_b = eq.constant_of(term_a), eq.constant_of(term_b)
+        if const_a is not None and const_b is not None:
+            if const_a == const_b:
+                return AntecedentStatus.SATISFIED, []
+            return AntecedentStatus.VIOLATED, []
+        return AntecedentStatus.UNDECIDED, [term_a, term_b]
+    raise GFDError(f"unknown literal type {type(literal).__name__}")
+
+
+def extended_antecedent_status(
+    eq: ExtendedEq, gfd: GFD, assignment: Assignment
+) -> Tuple[AntecedentStatus, List[Term]]:
+    blocking: List[Term] = []
+    undecided = False
+    for literal in gfd.antecedent:
+        status, terms = extended_literal_status(eq, literal, assignment)
+        if status is AntecedentStatus.VIOLATED:
+            return AntecedentStatus.VIOLATED, []
+        if status is AntecedentStatus.UNDECIDED:
+            undecided = True
+            blocking.extend(terms)
+    if undecided:
+        return AntecedentStatus.UNDECIDED, blocking
+    return AntecedentStatus.SATISFIED, []
+
+
+def extended_consequent_entailed(eq: ExtendedEq, gfd: GFD, assignment: Assignment) -> bool:
+    for literal in gfd.consequent:
+        if isinstance(literal, FalseLiteral):
+            return False
+        status, _ = extended_literal_status(eq, literal, assignment)
+        if status is not AntecedentStatus.SATISFIED:
+            return False
+    return True
+
+
+def extended_enforce_consequent(eq: ExtendedEq, gfd: GFD, assignment: Assignment) -> bool:
+    """Apply every consequent literal; True if the relation changed."""
+    changed = False
+    source = gfd.name
+    for literal in gfd.consequent:
+        if isinstance(literal, FalseLiteral):
+            eq.eq.fail((assignment[gfd.pattern.variables[0]], "<false>"), source)
+            return changed
+        if isinstance(literal, ConstantLiteral):
+            changed |= eq.assign_constant(
+                (assignment[literal.var], literal.attr), literal.value, source
+            )
+        elif isinstance(literal, VariableLiteral):
+            changed |= eq.merge_terms(
+                (assignment[literal.var], literal.attr),
+                (assignment[literal.other_var], literal.other_attr),
+                source,
+            )
+        elif isinstance(literal, CompareLiteral):
+            term = (assignment[literal.var], literal.attr)
+            if literal.op == "!=":
+                changed |= eq.add_neq_constant(term, literal.value, source)
+            else:
+                changed |= eq.add_bound(term, literal.op, literal.value, source)
+        elif isinstance(literal, VarNeqLiteral):
+            changed |= eq.add_neq_terms(
+                (assignment[literal.var], literal.attr),
+                (assignment[literal.other_var], literal.other_attr),
+                source,
+            )
+        else:
+            raise GFDError(f"unknown literal type {type(literal).__name__}")
+        if eq.has_conflict():
+            return True
+    return changed
+
+
+class ExtendedEngine:
+    """Cascade driver over an :class:`ExtendedEq` (mirrors the core one)."""
+
+    def __init__(self, eq: ExtendedEq, gfds_by_name: Mapping[str, GFD]) -> None:
+        self.eq = eq
+        self.gfds = dict(gfds_by_name)
+        self.index = InvertedIndex()
+        self.ops = 0
+
+    def enforce(self, gfd: GFD, assignment: Assignment) -> bool:
+        changed = self._process(gfd, dict(assignment))
+        if self.eq.has_conflict():
+            return changed
+        changed |= self._cascade()
+        return changed
+
+    def _process(self, gfd: GFD, assignment: Dict[str, NodeId]) -> bool:
+        self.ops += 1
+        status, blocking = extended_antecedent_status(self.eq, gfd, assignment)
+        if status is AntecedentStatus.VIOLATED:
+            return False
+        if status is AntecedentStatus.UNDECIDED:
+            self.index.register(PendingMatch.from_dict(gfd.name, assignment), blocking)
+            return False
+        return extended_enforce_consequent(self.eq, gfd, assignment)
+
+    def _cascade(self) -> bool:
+        changed = False
+        while not self.eq.has_conflict():
+            touched = self.eq.take_changed_terms()
+            if not touched:
+                break
+            for pending in self.index.pop_affected(touched):
+                gfd = self.gfds.get(pending.gfd_name)
+                if gfd is None:
+                    continue
+                changed |= self._process(gfd, pending.as_dict())
+                if self.eq.has_conflict():
+                    return True
+        return changed
+
+
+@dataclass
+class ExtSatResult:
+    satisfiable: bool
+    conflict_reason: Optional[str]
+    eq: ExtendedEq
+    matches: int = 0
+    wall_seconds: float = 0.0
+
+    def __bool__(self) -> bool:
+        return self.satisfiable
+
+
+def ext_seq_sat(sigma: Sequence[GFD]) -> ExtSatResult:
+    """Satisfiability for GFDs with built-in predicates (exact).
+
+    Caveat inherited from the dense-domain assumption: a ``!=`` between two
+    never-instantiated classes is recorded but those classes can always be
+    separated during completion, so it never causes unsatisfiability by
+    itself — matching the semantics over infinite value domains.
+    """
+    started = time.perf_counter()
+    canonical = build_canonical_graph(sigma)
+    index = ComponentIndex(canonical.graph)
+    eq = ExtendedEq()
+    engine = ExtendedEngine(eq, canonical.gfds)
+    matches = 0
+    for gfd in sigma:
+        if gfd.is_trivial():
+            continue
+        if gfd.pattern.is_connected():
+            component_ids = [
+                comp_id
+                for comp_id in range(index.num_components())
+                if index.pattern_compatible(gfd.pattern, comp_id)
+            ]
+            scopes = [index.nodes_of(comp_id) for comp_id in component_ids]
+        else:
+            scopes = [None]
+        for scope in scopes:
+            run = MatcherRun(gfd.pattern, canonical.graph, allowed_nodes=scope)
+            for assignment in run.matches():
+                matches += 1
+                engine.enforce(gfd, assignment)
+                if eq.has_conflict():
+                    return ExtSatResult(
+                        False, eq.conflict_reason, eq, matches,
+                        time.perf_counter() - started,
+                    )
+    return ExtSatResult(True, None, eq, matches, time.perf_counter() - started)
+
+
+@dataclass
+class ExtImpResult:
+    implied: bool
+    reason: str
+    eq: ExtendedEq
+    wall_seconds: float = 0.0
+
+    def __bool__(self) -> bool:
+        return self.implied
+
+
+def _extended_eq_from_antecedent(phi: GFD) -> ExtendedEq:
+    eq = ExtendedEq()
+    identity = {var: var for var in phi.pattern.variables}
+    # Reuse the enforcement path: X literals are "applied" to seed Eq_X.
+    seeding = GFD(phi.pattern, (), tuple(phi.antecedent), name=f"{phi.name}:X")
+    extended_enforce_consequent(eq, seeding, identity)
+    return eq
+
+
+def ext_seq_imp(sigma: Sequence[GFD], phi: GFD) -> ExtImpResult:
+    """Implication ``Σ |= φ`` for GFDs with built-in predicates (exact)."""
+    started = time.perf_counter()
+    canonical = build_implication_canonical(
+        GFD(phi.pattern, (), (), name=f"{phi.name}@shell")
+    )
+    eq = _extended_eq_from_antecedent(phi)
+    identity = {var: var for var in phi.pattern.variables}
+    if eq.has_conflict():
+        return ExtImpResult(True, "trivial-X", eq, time.perf_counter() - started)
+    if phi.is_trivial():
+        return ExtImpResult(True, "trivial-Y", eq, time.perf_counter() - started)
+    if extended_consequent_entailed(eq, phi, identity):
+        return ExtImpResult(True, "derived", eq, time.perf_counter() - started)
+    engine = ExtendedEngine(eq, {gfd.name: gfd for gfd in sigma})
+    for gfd in sigma:
+        if gfd.is_trivial():
+            continue
+        run = MatcherRun(gfd.pattern, canonical.graph)
+        for assignment in run.matches():
+            changed = engine.enforce(gfd, assignment)
+            if eq.has_conflict():
+                return ExtImpResult(True, "conflict", eq, time.perf_counter() - started)
+            if changed and extended_consequent_entailed(eq, phi, identity):
+                return ExtImpResult(True, "derived", eq, time.perf_counter() - started)
+    return ExtImpResult(False, "not-implied", eq, time.perf_counter() - started)

@@ -1,0 +1,62 @@
+"""GFD model: literals, patterns, GFDs, parsing, canonical graphs."""
+
+from .literals import (
+    FALSE,
+    ConstantLiteral,
+    FalseLiteral,
+    Literal,
+    VariableLiteral,
+    eq,
+    vareq,
+)
+from .pattern import Pattern, PatternEdge, make_pattern
+from .gfd import GFD, make_gfd, sigma_size, validate_sigma
+from .canonical import (
+    CanonicalGraph,
+    ImplicationCanonical,
+    build_canonical_graph,
+    build_implication_canonical,
+    canonical_node_id,
+    eq_from_literals,
+)
+from .parser import (
+    dump_gfds,
+    gfd_from_dict,
+    gfd_to_dict,
+    load_gfds,
+    parse_gfd,
+    parse_gfds,
+    render_gfd,
+    render_gfds,
+)
+
+__all__ = [
+    "FALSE",
+    "ConstantLiteral",
+    "FalseLiteral",
+    "Literal",
+    "VariableLiteral",
+    "eq",
+    "vareq",
+    "Pattern",
+    "PatternEdge",
+    "make_pattern",
+    "GFD",
+    "make_gfd",
+    "sigma_size",
+    "validate_sigma",
+    "CanonicalGraph",
+    "ImplicationCanonical",
+    "build_canonical_graph",
+    "build_implication_canonical",
+    "canonical_node_id",
+    "eq_from_literals",
+    "dump_gfds",
+    "gfd_from_dict",
+    "gfd_to_dict",
+    "load_gfds",
+    "parse_gfd",
+    "parse_gfds",
+    "render_gfd",
+    "render_gfds",
+]

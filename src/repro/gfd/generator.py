@@ -1,0 +1,457 @@
+"""GFD workload generation (the paper's generator, plus mining).
+
+The paper's experiments use (a) GFDs *discovered* from DBpedia / YAGO2 /
+Pokec by the mining algorithm of [23], and (b) a *synthetic generator*
+"controlled by |Σ| (up to 10000), the maximum number k of nodes in pattern
+Q (up to 6), and the maximum number l of literals in X and Y (up to 5)"
+(Section VII). This module provides both:
+
+* :class:`GFDGenerator` — random GFDs over a vocabulary, with the same
+  ``(count, k, l)`` controls. In *consistent* mode every constant literal
+  draws its value from a fixed per-attribute canonical assignment and every
+  variable literal equates identically-named attributes, which makes the
+  generated set satisfiable **by construction** (the uniform population of
+  the canonical graph is a model) — the algorithms still do full matching
+  and enforcement work, they just never hit a conflict. This mirrors the
+  paper's setup where mined rule sets have the source graph as a model.
+* :func:`mine_gfds` — discovery-like extraction of patterns from a data
+  graph by random walks (a stand-in for [23]): labels, edge labels,
+  attribute names and canonical values all come from the graph.
+* :func:`conflict_chain` / :func:`add_random_conflicts` — the paper tests
+  satisfiability by "adding up to 10 GFDs randomly generated" to a mined
+  set; these helpers inject GFDs that make the set unsatisfiable through a
+  chain of interactions of configurable length.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graph.elements import WILDCARD
+from ..graph.graph import PropertyGraph
+from .gfd import GFD, make_gfd
+from .literals import ConstantLiteral, Literal, VariableLiteral
+from .pattern import Pattern
+
+
+@dataclass
+class GFDVocabulary:
+    """Label/attribute/value universe a generator draws from."""
+
+    node_labels: List[str]
+    edge_labels: List[str]
+    attributes: List[str]
+    #: Canonical value per attribute — the backbone of consistent mode.
+    canonical_values: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for index, attr in enumerate(self.attributes):
+            self.canonical_values.setdefault(attr, index % 7)
+
+    @staticmethod
+    def default(
+        num_labels: int = 20,
+        num_edge_labels: int = 12,
+        num_attributes: int = 10,
+    ) -> "GFDVocabulary":
+        return GFDVocabulary(
+            node_labels=[f"L{i}" for i in range(num_labels)],
+            edge_labels=[f"e{i}" for i in range(num_edge_labels)],
+            attributes=[f"A{i}" for i in range(num_attributes)],
+        )
+
+    @staticmethod
+    def from_graph(graph: PropertyGraph, max_attributes: int = 24) -> "GFDVocabulary":
+        """Extract the vocabulary of a data graph (labels, edge labels,
+        attributes with their most frequent value as the canonical one)."""
+        value_counts: Dict[str, Dict[object, int]] = {}
+        for node in graph.node_objects():
+            for attr, value in node.attrs.items():
+                value_counts.setdefault(attr, {})
+                value_counts[attr][value] = value_counts[attr].get(value, 0) + 1
+        attributes = sorted(value_counts, key=lambda a: -sum(value_counts[a].values()))
+        attributes = attributes[:max_attributes]
+        canonical = {
+            attr: max(value_counts[attr].items(), key=lambda kv: (kv[1], str(kv[0])))[0]
+            for attr in attributes
+        }
+        return GFDVocabulary(
+            node_labels=sorted(graph.labels()),
+            edge_labels=sorted(graph.edge_label_set()),
+            attributes=attributes,
+            canonical_values=canonical,
+        )
+
+
+class GFDGenerator:
+    """Random GFDs with the paper's ``(|Σ|, k, l)`` controls."""
+
+    def __init__(
+        self,
+        vocabulary: Optional[GFDVocabulary] = None,
+        seed: int = 42,
+        wildcard_probability: float = 0.08,
+        empty_antecedent_probability: float = 0.25,
+        variable_literal_probability: float = 0.35,
+    ) -> None:
+        self.vocab = vocabulary or GFDVocabulary.default()
+        self.rng = random.Random(seed)
+        self.wildcard_probability = wildcard_probability
+        self.empty_antecedent_probability = empty_antecedent_probability
+        self.variable_literal_probability = variable_literal_probability
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Patterns
+    # ------------------------------------------------------------------
+    def random_pattern(self, num_nodes: int, extra_edge_probability: float = 0.3) -> Pattern:
+        """A random *connected* pattern: a random tree plus optional extra
+        edges (which may create cycles, as in the paper's Q1)."""
+        rng = self.rng
+        pattern = Pattern()
+        variables = [f"x{i}" for i in range(num_nodes)]
+        for var in variables:
+            if rng.random() < self.wildcard_probability:
+                label = WILDCARD
+            else:
+                label = rng.choice(self.vocab.node_labels)
+            pattern.add_var(var, label)
+        # Random tree: attach each node to an earlier one.
+        for index in range(1, num_nodes):
+            anchor = variables[rng.randrange(index)]
+            var = variables[index]
+            src, dst = (anchor, var) if rng.random() < 0.5 else (var, anchor)
+            pattern.add_edge(src, dst, rng.choice(self.vocab.edge_labels))
+        # Extra edges (possibly cycles).
+        extras = sum(1 for _ in range(num_nodes) if rng.random() < extra_edge_probability)
+        for _ in range(extras):
+            src, dst = rng.choice(variables), rng.choice(variables)
+            pattern.add_edge(src, dst, rng.choice(self.vocab.edge_labels))
+        return pattern.freeze()
+
+    # ------------------------------------------------------------------
+    # Literals
+    # ------------------------------------------------------------------
+    def _random_literal(self, variables: Sequence[str], consistent: bool) -> Literal:
+        rng = self.rng
+        attr = rng.choice(self.vocab.attributes)
+        if rng.random() < self.variable_literal_probability and len(variables) >= 2:
+            var_a, var_b = rng.sample(list(variables), 2)
+            if consistent:
+                # Same attribute name on both sides: canonical values agree.
+                return VariableLiteral(var_a, attr, var_b, attr)
+            other_attr = rng.choice(self.vocab.attributes)
+            return VariableLiteral(var_a, attr, var_b, other_attr)
+        var = rng.choice(list(variables))
+        if consistent:
+            value = self.vocab.canonical_values[attr]
+        else:
+            value = rng.randint(0, 9)
+        return ConstantLiteral(var, attr, value)
+
+    # ------------------------------------------------------------------
+    # GFDs
+    # ------------------------------------------------------------------
+    def random_gfd(
+        self,
+        max_pattern_nodes: int = 6,
+        max_literals: int = 5,
+        consistent: bool = True,
+        name: Optional[str] = None,
+        min_pattern_nodes: int = 1,
+    ) -> GFD:
+        """One random GFD with ``|Q| ≤ k`` and ``|X| + |Y| ≤ l``.
+
+        *min_pattern_nodes* concentrates pattern sizes near ``k`` (used by
+        the k-sweep experiments, where the paper varies the pattern size
+        itself rather than its upper bound).
+        """
+        rng = self.rng
+        low = max(1, min(min_pattern_nodes, max_pattern_nodes))
+        num_nodes = rng.randint(low, max(low, max_pattern_nodes))
+        pattern = self.random_pattern(num_nodes)
+        total_literals = rng.randint(1, max(1, max_literals))
+        if rng.random() < self.empty_antecedent_probability:
+            num_antecedent = 0
+        else:
+            num_antecedent = rng.randint(0, total_literals - 1)
+        variables = pattern.variables
+        antecedent = [
+            self._random_literal(variables, consistent) for _ in range(num_antecedent)
+        ]
+        consequent = [
+            self._random_literal(variables, consistent)
+            for _ in range(total_literals - num_antecedent)
+        ]
+        if not consequent:
+            consequent = [self._random_literal(variables, consistent)]
+        self._counter += 1
+        return make_gfd(pattern, antecedent, consequent, name=name or f"syn{self._counter}")
+
+    def generate(
+        self,
+        count: int,
+        max_pattern_nodes: int = 6,
+        max_literals: int = 5,
+        consistent: bool = True,
+        prefix: str = "syn",
+        min_pattern_nodes: int = 1,
+    ) -> List[GFD]:
+        """A set Σ of *count* GFDs (paper's ``|Σ|``/``k``/``l`` controls)."""
+        return [
+            self.random_gfd(
+                max_pattern_nodes,
+                max_literals,
+                consistent,
+                name=f"{prefix}{i}",
+                min_pattern_nodes=min_pattern_nodes,
+            )
+            for i in range(count)
+        ]
+
+
+def random_gfds(
+    count: int,
+    max_pattern_nodes: int = 6,
+    max_literals: int = 5,
+    seed: int = 42,
+    consistent: bool = True,
+    vocabulary: Optional[GFDVocabulary] = None,
+) -> List[GFD]:
+    """Module-level convenience around :class:`GFDGenerator`."""
+    generator = GFDGenerator(vocabulary, seed=seed)
+    return generator.generate(count, max_pattern_nodes, max_literals, consistent)
+
+
+# ----------------------------------------------------------------------
+# Discovery-like mining (stand-in for the miner of [23])
+# ----------------------------------------------------------------------
+def mine_gfds(
+    graph: PropertyGraph,
+    count: int,
+    max_pattern_nodes: int = 5,
+    max_literals: int = 4,
+    seed: int = 42,
+    prefix: str = "mined",
+) -> List[GFD]:
+    """Extract *count* GFDs whose patterns are sampled from *graph*.
+
+    Random-walk sampling: pick a start node, grow a connected subgraph up to
+    ``max_pattern_nodes`` nodes following random incident edges, lift it to
+    a pattern (graph labels become pattern labels), and attach literals in
+    consistent mode using the graph's per-attribute canonical values. The
+    resulting set is satisfiable by construction, mirroring mined rule sets
+    whose source graph is a model.
+    """
+    rng = random.Random(seed)
+    vocab = GFDVocabulary.from_graph(graph)
+    node_ids = list(graph.nodes())
+    if not node_ids:
+        raise ValueError("cannot mine GFDs from an empty graph")
+    generator = GFDGenerator(vocab, seed=seed)
+    mined: List[GFD] = []
+    attempts = 0
+    while len(mined) < count and attempts < count * 20:
+        attempts += 1
+        pattern = _sample_pattern(graph, rng, max_pattern_nodes)
+        if pattern is None:
+            continue
+        variables = pattern.variables
+        total = rng.randint(1, max_literals)
+        split = rng.randint(0, total - 1) if rng.random() > 0.3 else 0
+        antecedent = [generator._random_literal(variables, True) for _ in range(split)]
+        consequent = [
+            generator._random_literal(variables, True) for _ in range(total - split)
+        ] or [generator._random_literal(variables, True)]
+        mined.append(
+            make_gfd(pattern, antecedent, consequent, name=f"{prefix}{len(mined)}")
+        )
+    return mined
+
+
+def _sample_pattern(
+    graph: PropertyGraph, rng: random.Random, max_nodes: int
+) -> Optional[Pattern]:
+    """One random-walk-sampled connected pattern, or None on a dead end."""
+    node_ids = list(graph.nodes())
+    start = rng.choice(node_ids)
+    chosen = [start]
+    chosen_set = {start}
+    edges: List[Tuple[object, object, str]] = []
+    target_size = rng.randint(1, max_nodes)
+    while len(chosen) < target_size:
+        anchor = rng.choice(chosen)
+        incident = list(graph.out_edges(anchor)) + list(graph.in_edges(anchor))
+        if not incident:
+            break
+        edge = rng.choice(incident)
+        other = edge.dst if edge.src == anchor else edge.src
+        if other not in chosen_set:
+            chosen.append(other)
+            chosen_set.add(other)
+        edges.append((edge.src, edge.dst, edge.label))
+    if len(chosen) > 1 and not edges:
+        return None
+    var_of = {node: f"x{i}" for i, node in enumerate(chosen)}
+    pattern = Pattern()
+    for node in chosen:
+        pattern.add_var(var_of[node], graph.label(node))
+    for src, dst, label in set(edges):
+        if src in var_of and dst in var_of:
+            pattern.add_edge(var_of[src], var_of[dst], label)
+    return pattern.freeze()
+
+
+# ----------------------------------------------------------------------
+# Conflict injection (unsatisfiable workloads)
+# ----------------------------------------------------------------------
+def conflict_chain(
+    length: int,
+    label: str = "CC",
+    attr_prefix: str = "C",
+    name_prefix: str = "chain",
+) -> List[GFD]:
+    """A chain of GFDs that is unsatisfiable only as a whole.
+
+    All members share a single-node pattern with label *label*:
+    ``∅ → x.C0 = 1``, then ``x.C(i-1) = 1 → x.Ci = 1`` for each link, and
+    finally ``x.C(n-1) = 1 → x.C0 = 0`` closing the contradiction. Removing
+    any link restores satisfiability, and detecting the conflict requires
+    propagating through the whole chain — a tunable amount of interaction
+    work for satisfiability benchmarks.
+    """
+    if length < 2:
+        raise ValueError("conflict chain needs length >= 2")
+
+    def single_node_pattern() -> Pattern:
+        pattern = Pattern()
+        pattern.add_var("x", label)
+        return pattern.freeze()
+
+    gfds: List[GFD] = [
+        make_gfd(
+            single_node_pattern(),
+            [],
+            [ConstantLiteral("x", f"{attr_prefix}0", 1)],
+            name=f"{name_prefix}_seed",
+        )
+    ]
+    for index in range(1, length):
+        gfds.append(
+            make_gfd(
+                single_node_pattern(),
+                [ConstantLiteral("x", f"{attr_prefix}{index - 1}", 1)],
+                [ConstantLiteral("x", f"{attr_prefix}{index}", 1)],
+                name=f"{name_prefix}_{index}",
+            )
+        )
+    gfds.append(
+        make_gfd(
+            single_node_pattern(),
+            [ConstantLiteral("x", f"{attr_prefix}{length - 1}", 1)],
+            [ConstantLiteral("x", f"{attr_prefix}0", 0)],
+            name=f"{name_prefix}_close",
+        )
+    )
+    return gfds
+
+
+def straggler_workload(
+    num_anchor: int = 2,
+    num_seekers: int = 4,
+    num_background: int = 40,
+    anchor_size: int = 12,
+    anchor_density: float = 0.5,
+    seeker_length: int = 6,
+    seed: int = 42,
+    vocabulary: Optional[GFDVocabulary] = None,
+) -> List[GFD]:
+    """A workload with heavy-tailed work-unit costs (straggler benchmarks).
+
+    Three ingredients:
+
+    * *anchors* — GFDs whose patterns are dense ``anchor_size``-node
+      digraphs; one designated entry node carries the selective label
+      ``hub0``, the rest ``hub``. Their copies in ``GΣ`` are the dense
+      components everything else crawls through;
+    * *seekers* — path patterns of ``seeker_length`` wildcard hops whose
+      pivot variable is labeled ``hub0``: the pivot is so selective that
+      *all* of a seeker's search inside an anchor concentrates into a
+      single work unit, whose homomorphism search explodes combinatorially
+      — exactly the stragglers the paper's TTL splitting targets (Exp-4);
+    * *background* — ordinary consistent random GFDs providing the cheap
+      bulk of the queue.
+
+    The set is satisfiable by construction (consistent mode throughout).
+    """
+    rng = random.Random(seed)
+    vocab = vocabulary or GFDVocabulary.default()
+    generator = GFDGenerator(vocab, seed=seed)
+    sigma: List[GFD] = []
+    hub_attr = vocab.attributes[0]
+    hub_value = vocab.canonical_values[hub_attr]
+    for index in range(num_anchor):
+        pattern = Pattern()
+        pattern.add_var("x0", "hub0")
+        for j in range(1, anchor_size):
+            pattern.add_var(f"x{j}", "hub")
+        for a in range(anchor_size):
+            for b in range(anchor_size):
+                if a != b and rng.random() < anchor_density:
+                    pattern.add_edge(f"x{a}", f"x{b}", "e")
+        sigma.append(
+            make_gfd(
+                pattern.freeze(),
+                [],
+                [ConstantLiteral("x0", hub_attr, hub_value)],
+                name=f"anchor{index}",
+            )
+        )
+    for index in range(num_seekers):
+        pattern = Pattern()
+        pattern.add_var("y0", "hub0")
+        for j in range(1, seeker_length + 1):
+            pattern.add_var(f"y{j}", WILDCARD)
+        for j in range(seeker_length):
+            pattern.add_edge(f"y{j}", f"y{j + 1}", "e")
+        sigma.append(
+            make_gfd(
+                pattern.freeze(),
+                [],
+                [VariableLiteral("y0", hub_attr, f"y{seeker_length}", hub_attr)],
+                name=f"seeker{index}",
+            )
+        )
+    sigma.extend(
+        generator.generate(num_background, max_pattern_nodes=5, max_literals=4, prefix="bg")
+    )
+    return sigma
+
+
+def add_random_conflicts(
+    sigma: Sequence[GFD],
+    num_conflicts: int = 10,
+    seed: int = 42,
+    chain_length: int = 3,
+) -> List[GFD]:
+    """Extend *sigma* with conflict-inducing GFDs (paper: "we expanded Σ by
+    adding up to 10 GFDs randomly generated ... also denoted as Σ").
+
+    The injected GFDs reuse a label already present in *sigma* when
+    possible so they interact with the existing canonical graph.
+    """
+    rng = random.Random(seed)
+    labels = sorted(
+        {
+            gfd.pattern.label_of(var)
+            for gfd in sigma
+            for var in gfd.pattern.variables
+            if gfd.pattern.label_of(var) != WILDCARD
+        }
+    )
+    label = rng.choice(labels) if labels else "CC"
+    length = max(2, min(chain_length, num_conflicts - 1)) if num_conflicts >= 3 else 2
+    chain = conflict_chain(length, label=label, name_prefix=f"conflict_{label}")
+    return list(sigma) + chain[: max(2, num_conflicts)]

@@ -1,0 +1,142 @@
+"""Literals of GFD attribute dependencies.
+
+A literal of a variable list ``x̄`` is either
+
+* a *constant literal* ``x.A = c`` (as in CFDs, carrying a constant binding),
+* a *variable literal* ``x.A = y.B`` (as in relational EGDs), or
+* the Boolean constant ``false`` — syntactic sugar for a pair of constant
+  literals ``x.A = c`` and ``x.A = d`` with distinct constants (paper,
+  Example 1). We model it natively because enforcing it must raise a
+  conflict immediately.
+
+Literals are immutable and hashable so they can live in sets and serve as
+dictionary keys (e.g. in dependency-graph construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Tuple, Union
+
+from ..errors import LiteralError
+from ..graph.elements import AttrValue
+
+
+@dataclass(frozen=True)
+class ConstantLiteral:
+    """``var.attr = value``."""
+
+    var: str
+    attr: str
+    value: AttrValue
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset({self.var})
+
+    def attribute_names(self) -> FrozenSet[str]:
+        return frozenset({self.attr})
+
+    def terms(self) -> Tuple[Tuple[str, str], ...]:
+        """The (variable, attribute) pairs mentioned by this literal."""
+        return ((self.var, self.attr),)
+
+    def __str__(self) -> str:
+        return f"{self.var}.{self.attr} = {self.value!r}"
+
+
+@dataclass(frozen=True)
+class VariableLiteral:
+    """``var.attr = other_var.other_attr``.
+
+    Stored in a canonical orientation (lexicographically smallest side
+    first) so that syntactically equal-up-to-symmetry literals compare equal.
+    """
+
+    var: str
+    attr: str
+    other_var: str
+    other_attr: str
+
+    def __post_init__(self) -> None:
+        left = (str(self.var), str(self.attr))
+        right = (str(self.other_var), str(self.other_attr))
+        if right < left:
+            swapped = (self.other_var, self.other_attr, self.var, self.attr)
+            object.__setattr__(self, "var", swapped[0])
+            object.__setattr__(self, "attr", swapped[1])
+            object.__setattr__(self, "other_var", swapped[2])
+            object.__setattr__(self, "other_attr", swapped[3])
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset({self.var, self.other_var})
+
+    def attribute_names(self) -> FrozenSet[str]:
+        return frozenset({self.attr, self.other_attr})
+
+    def terms(self) -> Tuple[Tuple[str, str], ...]:
+        return ((self.var, self.attr), (self.other_var, self.other_attr))
+
+    def __str__(self) -> str:
+        return f"{self.var}.{self.attr} = {self.other_var}.{self.other_attr}"
+
+
+@dataclass(frozen=True)
+class FalseLiteral:
+    """The Boolean constant ``false``; only sensible in consequents ``Y``."""
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def attribute_names(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def terms(self) -> Tuple[Tuple[str, str], ...]:
+        return ()
+
+    def __str__(self) -> str:
+        return "false"
+
+
+#: The union type of all literal kinds.
+Literal = Union[ConstantLiteral, VariableLiteral, FalseLiteral]
+
+#: Singleton instance of :class:`FalseLiteral` for convenience.
+FALSE = FalseLiteral()
+
+
+def eq(var: str, attr: str, value: AttrValue) -> ConstantLiteral:
+    """Build the constant literal ``var.attr = value``."""
+    return ConstantLiteral(var, attr, value)
+
+
+def vareq(var: str, attr: str, other_var: str, other_attr: str) -> VariableLiteral:
+    """Build the variable literal ``var.attr = other_var.other_attr``."""
+    return VariableLiteral(var, attr, other_var, other_attr)
+
+
+def validate_literals(literals: Iterable[Literal], variables: Iterable[str], side: str) -> None:
+    """Check that every literal only mentions variables from *variables*.
+
+    *side* is ``'X'`` or ``'Y'`` and is used in error messages. ``false`` in
+    an antecedent is rejected: a GFD whose antecedent is unsatisfiable is
+    trivially true and almost certainly a user error.
+    """
+    known = set(variables)
+    for literal in literals:
+        if isinstance(literal, FalseLiteral):
+            if side == "X":
+                raise LiteralError("'false' is not allowed in an antecedent X")
+            continue
+        for var in literal.variables():
+            if var not in known:
+                raise LiteralError(
+                    f"literal {literal} in {side} mentions unknown variable {var!r}"
+                )
+
+
+def literal_attribute_names(literals: Iterable[Literal]) -> FrozenSet[str]:
+    """The union of attribute names mentioned by *literals*."""
+    names = set()
+    for literal in literals:
+        names.update(literal.attribute_names())
+    return frozenset(names)

@@ -1,0 +1,360 @@
+"""Parsing and serialization of GFDs.
+
+Two interchange formats are supported:
+
+**Text DSL** — compact and human-writable::
+
+    gfd phi1 {
+        x: place;
+        y: place;
+        x -[locateIn]-> y;
+        y -[partOf]-> x;
+        then false;
+    }
+
+    gfd phi3 {
+        x: president; y: vice_president; z: country; w: country;
+        x -[of]-> z; y -[of]-> w;
+        when x.c = y.c;
+        then z.val = w.val;
+    }
+
+Statements end with ``;``. ``when`` / ``then`` clauses take comma-separated
+literals; both clauses may be omitted (empty ``X`` / ``Y``). Values are
+double-quoted strings, integers, floats, the booleans ``true``/``false``
+(careful: a bare ``false`` *literal* in ``then`` is the Boolean constant
+FALSE, while ``x.A = false`` binds the boolean value), or bare words.
+
+**JSON** — a structural mirror used for machine round-trips; see
+:func:`gfd_to_dict`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple, Union
+
+from ..errors import LiteralError, ParseError
+from ..graph.elements import WILDCARD, AttrValue
+from .gfd import GFD, make_gfd
+from .literals import FALSE, ConstantLiteral, FalseLiteral, Literal, VariableLiteral
+from .pattern import Pattern
+
+_GFD_HEADER = re.compile(r"^gfd\s+([A-Za-z_][\w.-]*)\s*\{$")
+_VAR_DECL = re.compile(r"^([A-Za-z_]\w*)\s*:\s*(\S+)$")
+_EDGE_DECL = re.compile(r"^([A-Za-z_]\w*)\s*-\[\s*(\S+?)\s*\]->\s*([A-Za-z_]\w*)$")
+_TERM = re.compile(r"^([A-Za-z_]\w*)\.([A-Za-z_]\w*)$")
+_STRING = re.compile(r'^"((?:[^"\\]|\\.)*)"$')
+
+
+def _strip_comments(text: str) -> List[Tuple[int, str]]:
+    """Split *text* into (line number, content) pairs without comments.
+
+    Brace-normalizing: ``{`` ends a segment and ``}`` stands alone, so
+    single-line GFDs like ``gfd g { x: a; then x.A = 1; }`` parse fine.
+    """
+    lines = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        content = raw.split("#", 1)[0]
+        content = content.replace("{", "{\n").replace("}", "\n}\n")
+        for segment in content.split("\n"):
+            segment = segment.strip()
+            if segment:
+                lines.append((number, segment))
+    return lines
+
+
+def _parse_value(token: str, line: int) -> AttrValue:
+    """Parse a literal right-hand-side value token."""
+    match = _STRING.match(token)
+    if match:
+        return match.group(1).replace('\\"', '"').replace("\\\\", "\\")
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    if re.match(r"^[\w.-]+$", token):
+        return token
+    raise ParseError(f"cannot parse value {token!r}", line)
+
+
+#: Comparison operators of the predicate extension, longest first so that
+#: e.g. ``<=`` is matched before ``<``.
+_COMPARE_OPS = ("<=", ">=", "!=", "<", ">")
+
+
+def _parse_literal(text: str, line: int) -> Literal:
+    text = text.strip()
+    if text == "false":
+        return FALSE
+    for op in _COMPARE_OPS:
+        if op in text:
+            return _parse_predicate_literal(text, op, line)
+    if "=" not in text:
+        raise ParseError(f"literal {text!r} must contain '='", line)
+    left, right = (part.strip() for part in text.split("=", 1))
+    left_term = _TERM.match(left)
+    if not left_term:
+        raise ParseError(f"left side {left!r} must look like var.attr", line)
+    var, attr = left_term.groups()
+    right_term = _TERM.match(right)
+    if right_term and not _STRING.match(right):
+        other_var, other_attr = right_term.groups()
+        return VariableLiteral(var, attr, other_var, other_attr)
+    return ConstantLiteral(var, attr, _parse_value(right, line))
+
+
+def _parse_predicate_literal(text: str, op: str, line: int) -> Literal:
+    """Parse an extension literal like ``x.A < 5`` or ``x.A != y.B``."""
+    from ..extensions.predicates import CompareLiteral, VarNeqLiteral
+
+    left, right = (part.strip() for part in text.split(op, 1))
+    left_term = _TERM.match(left)
+    if not left_term:
+        raise ParseError(f"left side {left!r} must look like var.attr", line)
+    var, attr = left_term.groups()
+    right_term = _TERM.match(right)
+    if right_term and not _STRING.match(right):
+        if op != "!=":
+            raise ParseError(
+                f"ordered comparison {op!r} between two attribute terms is "
+                "not supported (only '!=' is)",
+                line,
+            )
+        other_var, other_attr = right_term.groups()
+        return VarNeqLiteral(var, attr, other_var, other_attr)
+    try:
+        return CompareLiteral(var, attr, op, _parse_value(right, line))
+    except LiteralError as exc:
+        raise ParseError(str(exc), line) from None
+
+
+def _parse_literal_list(text: str, line: int) -> List[Literal]:
+    # Split on commas that are not inside double quotes.
+    parts: List[str] = []
+    depth = 0
+    current = []
+    in_string = False
+    for char in text:
+        if char == '"':
+            in_string = not in_string
+        if char == "," and not in_string and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current))
+    return [_parse_literal(part, line) for part in parts if part.strip()]
+
+
+def parse_gfds(text: str) -> List[GFD]:
+    """Parse all GFD blocks in *text* (the DSL described above)."""
+    lines = _strip_comments(text)
+    gfds: List[GFD] = []
+    index = 0
+    while index < len(lines):
+        number, content = lines[index]
+        header = _GFD_HEADER.match(content)
+        if not header:
+            raise ParseError(f"expected 'gfd <name> {{', got {content!r}", number)
+        name = header.group(1)
+        index += 1
+        pattern = Pattern()
+        antecedent: List[Literal] = []
+        consequent: List[Literal] = []
+        closed = False
+        while index < len(lines):
+            number, content = lines[index]
+            index += 1
+            if content == "}":
+                closed = True
+                break
+            for statement in filter(None, (s.strip() for s in content.split(";"))):
+                _parse_statement(statement, number, pattern, antecedent, consequent)
+        if not closed:
+            raise ParseError(f"gfd {name!r} is missing its closing '}}'", number)
+        gfds.append(make_gfd(pattern, antecedent, consequent, name=name))
+    return gfds
+
+
+def _parse_statement(
+    statement: str,
+    line: int,
+    pattern: Pattern,
+    antecedent: List[Literal],
+    consequent: List[Literal],
+) -> None:
+    if statement.startswith("when"):
+        antecedent.extend(_parse_literal_list(statement[len("when"):], line))
+        return
+    if statement.startswith("then"):
+        consequent.extend(_parse_literal_list(statement[len("then"):], line))
+        return
+    edge = _EDGE_DECL.match(statement)
+    if edge:
+        src, label, dst = edge.groups()
+        pattern.add_edge(src, dst, label)
+        return
+    var = _VAR_DECL.match(statement)
+    if var:
+        name, label = var.groups()
+        pattern.add_var(name, label)
+        return
+    raise ParseError(f"cannot parse statement {statement!r}", line)
+
+
+def parse_gfd(text: str) -> GFD:
+    """Parse exactly one GFD block."""
+    gfds = parse_gfds(text)
+    if len(gfds) != 1:
+        raise ParseError(f"expected exactly one GFD, found {len(gfds)}")
+    return gfds[0]
+
+
+# ----------------------------------------------------------------------
+# Rendering (inverse of the DSL parser)
+# ----------------------------------------------------------------------
+def _render_value(value: AttrValue) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return repr(value)
+
+
+def _render_literal(literal: Literal) -> str:
+    from ..extensions.predicates import CompareLiteral, VarNeqLiteral
+
+    if isinstance(literal, FalseLiteral):
+        return "false"
+    if isinstance(literal, ConstantLiteral):
+        return f"{literal.var}.{literal.attr} = {_render_value(literal.value)}"
+    if isinstance(literal, CompareLiteral):
+        return f"{literal.var}.{literal.attr} {literal.op} {_render_value(literal.value)}"
+    if isinstance(literal, VarNeqLiteral):
+        return f"{literal.var}.{literal.attr} != {literal.other_var}.{literal.other_attr}"
+    return f"{literal.var}.{literal.attr} = {literal.other_var}.{literal.other_attr}"
+
+
+def render_gfd(gfd: GFD) -> str:
+    """Render *gfd* back into the text DSL (round-trips through parse)."""
+    lines = [f"gfd {gfd.name} {{"]
+    for var in gfd.pattern.variables:
+        lines.append(f"    {var}: {gfd.pattern.label_of(var)};")
+    for edge in gfd.pattern.edges:
+        lines.append(f"    {edge.src} -[{edge.label}]-> {edge.dst};")
+    if gfd.antecedent:
+        lines.append(f"    when {', '.join(_render_literal(l) for l in gfd.antecedent)};")
+    if gfd.consequent:
+        lines.append(f"    then {', '.join(_render_literal(l) for l in gfd.consequent)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def render_gfds(sigma: Sequence[GFD]) -> str:
+    return "\n\n".join(render_gfd(gfd) for gfd in sigma)
+
+
+# ----------------------------------------------------------------------
+# JSON round-trip
+# ----------------------------------------------------------------------
+def _literal_to_dict(literal: Literal) -> Dict[str, Any]:
+    from ..extensions.predicates import CompareLiteral, VarNeqLiteral
+
+    if isinstance(literal, FalseLiteral):
+        return {"kind": "false"}
+    if isinstance(literal, ConstantLiteral):
+        return {"kind": "const", "var": literal.var, "attr": literal.attr, "value": literal.value}
+    if isinstance(literal, CompareLiteral):
+        return {
+            "kind": "compare",
+            "var": literal.var,
+            "attr": literal.attr,
+            "op": literal.op,
+            "value": literal.value,
+        }
+    if isinstance(literal, VarNeqLiteral):
+        return {
+            "kind": "var_neq",
+            "var": literal.var,
+            "attr": literal.attr,
+            "other_var": literal.other_var,
+            "other_attr": literal.other_attr,
+        }
+    return {
+        "kind": "var",
+        "var": literal.var,
+        "attr": literal.attr,
+        "other_var": literal.other_var,
+        "other_attr": literal.other_attr,
+    }
+
+
+def _literal_from_dict(doc: Dict[str, Any]) -> Literal:
+    from ..extensions.predicates import CompareLiteral, VarNeqLiteral
+
+    kind = doc.get("kind")
+    if kind == "false":
+        return FALSE
+    if kind == "const":
+        return ConstantLiteral(doc["var"], doc["attr"], doc["value"])
+    if kind == "var":
+        return VariableLiteral(doc["var"], doc["attr"], doc["other_var"], doc["other_attr"])
+    if kind == "compare":
+        return CompareLiteral(doc["var"], doc["attr"], doc["op"], doc["value"])
+    if kind == "var_neq":
+        return VarNeqLiteral(doc["var"], doc["attr"], doc["other_var"], doc["other_attr"])
+    raise ParseError(f"unknown literal kind {kind!r}")
+
+
+def gfd_to_dict(gfd: GFD) -> Dict[str, Any]:
+    """Convert *gfd* into a JSON-ready document."""
+    return {
+        "name": gfd.name,
+        "nodes": {var: gfd.pattern.label_of(var) for var in gfd.pattern.variables},
+        "edges": [[e.src, e.dst, e.label] for e in gfd.pattern.edges],
+        "when": [_literal_to_dict(l) for l in gfd.antecedent],
+        "then": [_literal_to_dict(l) for l in gfd.consequent],
+    }
+
+
+def gfd_from_dict(doc: Dict[str, Any]) -> GFD:
+    """Inverse of :func:`gfd_to_dict`."""
+    pattern = Pattern()
+    for var, label in doc.get("nodes", {}).items():
+        pattern.add_var(var, label if label is not None else WILDCARD)
+    for src, dst, label in doc.get("edges", []):
+        pattern.add_edge(src, dst, label)
+    return make_gfd(
+        pattern,
+        [_literal_from_dict(entry) for entry in doc.get("when", [])],
+        [_literal_from_dict(entry) for entry in doc.get("then", [])],
+        name=doc.get("name", ""),
+    )
+
+
+def dump_gfds(sigma: Sequence[GFD], path: Union[str, Path]) -> None:
+    """Write a GFD set to *path* as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump([gfd_to_dict(gfd) for gfd in sigma], handle, indent=2)
+
+
+def load_gfds(path: Union[str, Path]) -> List[GFD]:
+    """Read a GFD set previously written by :func:`dump_gfds`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        docs = json.load(handle)
+    if not isinstance(docs, list):
+        raise ParseError("GFD JSON document must be a list")
+    return [gfd_from_dict(doc) for doc in docs]

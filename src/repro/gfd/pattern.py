@@ -1,0 +1,267 @@
+"""Graph patterns ``Q[x̄]``.
+
+A pattern is a small directed graph whose nodes are *variables* (strings)
+with labels from ``Gamma ∪ {'_'}``; edges carry labels from the same
+alphabet. Wildcard labels match anything during pattern matching.
+
+Patterns are immutable after :meth:`Pattern.freeze` (called implicitly by
+the GFD constructor): freezing validates the pattern, computes connected
+components, and caches per-variable eccentricities used for pivot selection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import PatternError
+from ..graph.elements import WILDCARD, is_wildcard
+
+
+@dataclass(frozen=True)
+class PatternEdge:
+    """A directed pattern edge ``src -[label]-> dst`` between variables."""
+
+    src: str
+    dst: str
+    label: str
+
+
+class Pattern:
+    """A graph pattern over a list of variables.
+
+    Examples
+    --------
+    >>> q = Pattern()
+    >>> q.add_var("x", "place")
+    >>> q.add_var("y", "place")
+    >>> q.add_edge("x", "y", "locateIn")
+    >>> q.add_edge("y", "x", "partOf")
+    >>> q.freeze()
+    >>> sorted(q.variables)
+    ['x', 'y']
+    """
+
+    def __init__(self) -> None:
+        self._labels: Dict[str, str] = {}
+        self._edges: List[PatternEdge] = []
+        self._edge_set: Set[Tuple[str, str, str]] = set()
+        self._frozen = False
+        # Caches filled by freeze().
+        self._components: Optional[List[FrozenSet[str]]] = None
+        self._adj: Optional[Dict[str, Set[str]]] = None
+        self._ecc: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_var(self, var: str, label: str = WILDCARD) -> None:
+        """Declare pattern variable *var* with node label *label*."""
+        self._check_mutable()
+        if var in self._labels:
+            raise PatternError(f"duplicate pattern variable {var!r}")
+        if not var:
+            raise PatternError("pattern variable name must be non-empty")
+        self._labels[var] = label
+
+    def add_edge(self, src: str, dst: str, label: str = WILDCARD) -> None:
+        """Add the pattern edge ``src -[label]-> dst``."""
+        self._check_mutable()
+        for endpoint in (src, dst):
+            if endpoint not in self._labels:
+                raise PatternError(f"edge endpoint {endpoint!r} is not a declared variable")
+        key = (src, dst, label)
+        if key in self._edge_set:
+            return
+        self._edge_set.add(key)
+        self._edges.append(PatternEdge(src, dst, label))
+
+    def freeze(self) -> "Pattern":
+        """Validate and make the pattern immutable; returns self."""
+        if self._frozen:
+            return self
+        if not self._labels:
+            raise PatternError("pattern must have at least one variable")
+        self._frozen = True
+        self._adj = {var: set() for var in self._labels}
+        for edge in self._edges:
+            self._adj[edge.src].add(edge.dst)
+            self._adj[edge.dst].add(edge.src)
+        self._components = self._compute_components()
+        return self
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise PatternError("pattern is frozen and cannot be modified")
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        """Variables in declaration order (the list x̄)."""
+        return tuple(self._labels)
+
+    @property
+    def edges(self) -> Tuple[PatternEdge, ...]:
+        return tuple(self._edges)
+
+    def label_of(self, var: str) -> str:
+        try:
+            return self._labels[var]
+        except KeyError:
+            raise PatternError(f"unknown pattern variable {var!r}") from None
+
+    def has_var(self, var: str) -> bool:
+        return var in self._labels
+
+    def is_wildcard_var(self, var: str) -> bool:
+        return is_wildcard(self.label_of(var))
+
+    def adjacent(self, var: str) -> Set[str]:
+        """Undirected neighbor variables of *var* (requires freeze)."""
+        self._require_frozen()
+        return self._adj[var]
+
+    def out_edges(self, var: str) -> List[PatternEdge]:
+        return [edge for edge in self._edges if edge.src == var]
+
+    def in_edges(self, var: str) -> List[PatternEdge]:
+        return [edge for edge in self._edges if edge.dst == var]
+
+    def edges_between(self, src: str, dst: str) -> List[PatternEdge]:
+        return [edge for edge in self._edges if edge.src == src and edge.dst == dst]
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def size(self) -> int:
+        """|Q| = number of variables + number of edges."""
+        return self.num_vars + self.num_edges
+
+    # ------------------------------------------------------------------
+    # Connectivity and pivots
+    # ------------------------------------------------------------------
+    def _require_frozen(self) -> None:
+        if not self._frozen:
+            raise PatternError("pattern must be frozen first (call freeze())")
+
+    def _compute_components(self) -> List[FrozenSet[str]]:
+        assert self._adj is not None
+        seen: Set[str] = set()
+        components: List[FrozenSet[str]] = []
+        for start in self._labels:
+            if start in seen:
+                continue
+            component = {start}
+            queue = deque([start])
+            while queue:
+                current = queue.popleft()
+                for neighbor in self._adj[current]:
+                    if neighbor not in component:
+                        component.add(neighbor)
+                        queue.append(neighbor)
+            seen.update(component)
+            components.append(frozenset(component))
+        return components
+
+    @property
+    def components(self) -> List[FrozenSet[str]]:
+        """Connected components (undirected), as frozensets of variables."""
+        self._require_frozen()
+        assert self._components is not None
+        return list(self._components)
+
+    def is_connected(self) -> bool:
+        self._require_frozen()
+        return len(self.components) == 1
+
+    def component_of(self, var: str) -> FrozenSet[str]:
+        self._require_frozen()
+        for component in self.components:
+            if var in component:
+                return component
+        raise PatternError(f"unknown pattern variable {var!r}")
+
+    def eccentricity(self, var: str) -> int:
+        """Longest shortest undirected path from *var* within its component.
+
+        This is the radius ``dQ`` of the pattern at *var* (paper, Section
+        V-B): matches pivoted at ``h(var)`` stay within this many hops.
+        """
+        self._require_frozen()
+        if var in self._ecc:
+            return self._ecc[var]
+        assert self._adj is not None
+        dist = {var: 0}
+        queue = deque([var])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self._adj[current]:
+                if neighbor not in dist:
+                    dist[neighbor] = dist[current] + 1
+                    queue.append(neighbor)
+        ecc = max(dist.values(), default=0)
+        self._ecc[var] = ecc
+        return ecc
+
+    def pivot_candidates(self, component: Optional[FrozenSet[str]] = None) -> List[str]:
+        """Variables of *component* ordered by preference as pivots.
+
+        Non-wildcard labels first (selective), then by eccentricity (small
+        ``dQ`` first), then by name for determinism.
+        """
+        self._require_frozen()
+        variables: Iterable[str] = component if component is not None else self.variables
+        return sorted(
+            variables,
+            key=lambda v: (self.is_wildcard_var(v), self.eccentricity(v), str(v)),
+        )
+
+    # ------------------------------------------------------------------
+    # Equality / hashing / display
+    # ------------------------------------------------------------------
+    def signature(self) -> Tuple[Tuple[Tuple[str, str], ...], Tuple[Tuple[str, str, str], ...]]:
+        """A hashable structural signature (variables+labels, edges)."""
+        nodes = tuple(sorted((var, label) for var, label in self._labels.items()))
+        edges = tuple(sorted((e.src, e.dst, e.label) for e in self._edges))
+        return (nodes, edges)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pattern):
+            return NotImplemented
+        return self.signature() == other.signature()
+
+    def __hash__(self) -> int:
+        return hash(self.signature())
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"Pattern(vars={list(self._labels)}, edges={len(self._edges)})"
+
+
+def make_pattern(
+    nodes: Dict[str, str],
+    edges: Sequence[Tuple[str, str, str]] = (),
+) -> Pattern:
+    """Convenience constructor.
+
+    >>> q = make_pattern({"x": "person", "y": "person"}, [("x", "y", "knows")])
+    >>> q.is_connected()
+    True
+    """
+    pattern = Pattern()
+    for var, label in nodes.items():
+        pattern.add_var(var, label)
+    for src, dst, label in edges:
+        pattern.add_edge(src, dst, label)
+    return pattern.freeze()

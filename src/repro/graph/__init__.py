@@ -1,0 +1,44 @@
+"""Property-graph substrate: graphs, neighborhoods, and IO."""
+
+from .elements import WILDCARD, AttrValue, Edge, Node, NodeId, is_wildcard
+from .graph import PropertyGraph
+from .neighborhood import (
+    bfs_hops,
+    component_of,
+    connected_components,
+    eccentricity,
+    is_connected,
+    neighborhood,
+    shortest_path_length,
+    within_hops,
+)
+from .io import dump_graph, dumps_graph, graph_from_dict, graph_to_dict, load_graph, loads_graph
+from .edgelist import dump_edgelist, dumps_edgelist, load_edgelist, loads_edgelist
+
+__all__ = [
+    "WILDCARD",
+    "AttrValue",
+    "Edge",
+    "Node",
+    "NodeId",
+    "is_wildcard",
+    "PropertyGraph",
+    "bfs_hops",
+    "component_of",
+    "connected_components",
+    "eccentricity",
+    "is_connected",
+    "neighborhood",
+    "shortest_path_length",
+    "within_hops",
+    "dump_graph",
+    "dumps_graph",
+    "graph_from_dict",
+    "graph_to_dict",
+    "load_graph",
+    "loads_graph",
+    "dump_edgelist",
+    "dumps_edgelist",
+    "load_edgelist",
+    "loads_edgelist",
+]

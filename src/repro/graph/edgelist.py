@@ -1,0 +1,129 @@
+"""Plain-text graph format: labeled node/edge lists.
+
+Real graph dumps (DBpedia extracts, SNAP social networks) usually arrive
+as whitespace-separated node and edge lists. This loader reads a compact
+line format — one record per line, ``#`` comments allowed::
+
+    N bamburi_airport place name="Bamburi airport" elevation=12
+    N bamburi         place name=Bamburi
+    E bamburi_airport bamburi locateIn
+    E bamburi bamburi_airport partOf
+
+* ``N <id> <label> [attr=value ...]`` declares a node. Values follow the
+  GFD DSL conventions: double-quoted strings (with spaces), integers,
+  floats, ``true``/``false``, or bare words.
+* ``E <src> <dst> <label>`` declares an edge; endpoints may be declared
+  later (forward references are resolved at the end; an endpoint never
+  declared gets the wildcard-free default label ``node``).
+
+The writer round-trips everything :class:`~repro.graph.graph.
+PropertyGraph` can hold, provided ids and labels contain no whitespace.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from ..errors import ParseError
+from .elements import AttrValue
+from .graph import PropertyGraph
+
+#: Label given to edge endpoints that were never declared with an N line.
+DEFAULT_LABEL = "node"
+
+_ATTR = re.compile(r"^([A-Za-z_]\w*)=(.*)$", re.S)
+
+
+def _parse_value(token: str, line: int) -> AttrValue:
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token
+
+
+def loads_edgelist(text: str) -> PropertyGraph:
+    """Parse the node/edge-list format from a string."""
+    graph = PropertyGraph()
+    pending_edges: List[Tuple[str, str, str, int]] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        content = raw.strip()
+        if not content or content.startswith("#"):
+            continue
+        try:
+            tokens = shlex.split(content, comments=True)
+        except ValueError as exc:
+            raise ParseError(f"unbalanced quotes: {exc}", number) from None
+        if not tokens:
+            continue
+        kind = tokens[0]
+        if kind == "N":
+            if len(tokens) < 3:
+                raise ParseError("node line needs: N <id> <label> [attr=value ...]", number)
+            node_id, label = tokens[1], tokens[2]
+            attrs: Dict[str, AttrValue] = {}
+            for token in tokens[3:]:
+                match = _ATTR.match(token)
+                if not match:
+                    raise ParseError(f"bad attribute token {token!r}", number)
+                attrs[match.group(1)] = _parse_value(match.group(2), number)
+            if graph.has_node(node_id):
+                raise ParseError(f"duplicate node id {node_id!r}", number)
+            graph.add_node(label, attrs, node_id=node_id)
+        elif kind == "E":
+            if len(tokens) != 4:
+                raise ParseError("edge line needs: E <src> <dst> <label>", number)
+            pending_edges.append((tokens[1], tokens[2], tokens[3], number))
+        else:
+            raise ParseError(f"unknown record kind {kind!r} (use N or E)", number)
+    for src, dst, label, _number in pending_edges:
+        for endpoint in (src, dst):
+            if not graph.has_node(endpoint):
+                graph.add_node(DEFAULT_LABEL, node_id=endpoint)
+        graph.add_edge(src, dst, label)
+    return graph
+
+
+def load_edgelist(path: Union[str, Path]) -> PropertyGraph:
+    """Read a graph from a node/edge-list file."""
+    return loads_edgelist(Path(path).read_text(encoding="utf-8"))
+
+
+def _render_value(value: AttrValue) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    text = str(value)
+    if not text or any(ch.isspace() for ch in text) or '"' in text:
+        escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return text
+
+
+def dumps_edgelist(graph: PropertyGraph) -> str:
+    """Serialize *graph* into the node/edge-list format."""
+    lines = ["# nodes"]
+    for node in sorted(graph.node_objects(), key=lambda n: str(n.id)):
+        parts = ["N", str(node.id), node.label]
+        for attr in sorted(node.attrs):
+            parts.append(f"{attr}={_render_value(node.attrs[attr])}")
+        lines.append(" ".join(parts))
+    lines.append("# edges")
+    for edge in sorted(graph.edges(), key=lambda e: (str(e.src), str(e.dst), e.label)):
+        lines.append(f"E {edge.src} {edge.dst} {edge.label}")
+    return "\n".join(lines) + "\n"
+
+
+def dump_edgelist(graph: PropertyGraph, path: Union[str, Path]) -> None:
+    """Write *graph* to *path* in the node/edge-list format."""
+    Path(path).write_text(dumps_edgelist(graph), encoding="utf-8")

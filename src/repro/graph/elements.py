@@ -1,0 +1,87 @@
+"""Basic building blocks of property graphs: nodes, edges, and labels.
+
+The paper's graphs are directed, node- and edge-labeled, and every node may
+carry a finite tuple of attributes ``FA(v) = (A1 = a1, ..., An = an)``.
+Labels come from an alphabet ``Gamma`` and attribute names from ``Theta``;
+we model both as plain strings. The distinguished :data:`WILDCARD` label
+(``'_'``) is used by graph *patterns* to match any label; inside a canonical
+graph it is kept as an ordinary label (paper, Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Mapping, Optional
+
+#: Wildcard label usable on pattern nodes and edges. Matches any label when
+#: used in a pattern; behaves as a normal label inside canonical graphs.
+WILDCARD = "_"
+
+#: Type alias for node identifiers. Any hashable works; the library issues
+#: consecutive integers when the caller does not supply ids.
+NodeId = Hashable
+
+#: Type alias for attribute values. The paper only requires equality
+#: comparisons on constants, so any hashable value is accepted.
+AttrValue = Hashable
+
+
+def is_wildcard(label: str) -> bool:
+    """Return True if *label* is the wildcard label ``'_'``."""
+    return label == WILDCARD
+
+
+@dataclass
+class Node:
+    """A node of a property graph.
+
+    Attributes
+    ----------
+    id:
+        The node identifier, unique within its graph.
+    label:
+        The node label from ``Gamma``.
+    attrs:
+        The attribute tuple ``FA(v)`` as a name -> value mapping. Graphs in
+        the paper are schemaless: a node need not carry any attribute.
+    """
+
+    id: NodeId
+    label: str
+    attrs: Dict[str, AttrValue] = field(default_factory=dict)
+
+    def has_attr(self, name: str) -> bool:
+        """Return True if this node carries attribute *name*."""
+        return name in self.attrs
+
+    def get_attr(self, name: str) -> Optional[AttrValue]:
+        """Return the value of attribute *name*, or None if absent."""
+        return self.attrs.get(name)
+
+    def copy(self) -> "Node":
+        """Return a deep-enough copy (attrs dict is copied)."""
+        return Node(self.id, self.label, dict(self.attrs))
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed labeled edge ``src -[label]-> dst``.
+
+    Graphs are multigraphs in the sense that two nodes may be connected by
+    several edges with distinct labels; a duplicate (src, dst, label) triple
+    is ignored on insertion.
+    """
+
+    src: NodeId
+    dst: NodeId
+    label: str
+
+    def reversed(self) -> "Edge":
+        """Return the same edge with endpoints swapped (label kept)."""
+        return Edge(self.dst, self.src, self.label)
+
+
+def format_attrs(attrs: Mapping[str, AttrValue]) -> str:
+    """Render an attribute mapping as ``(A=1, B='x')`` for diagnostics."""
+    inner = ", ".join(f"{k}={v!r}" for k, v in sorted(attrs.items(), key=lambda kv: str(kv[0])))
+    return f"({inner})"

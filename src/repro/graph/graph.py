@@ -1,0 +1,224 @@
+"""Directed property graphs with label and adjacency indices.
+
+:class:`PropertyGraph` is the single graph type used throughout the library:
+data graphs, canonical graphs and (via :class:`repro.gfd.pattern.Pattern`)
+the underlying graphs of patterns are all property graphs. The class keeps
+
+* a node table ``id -> Node`` (label + attribute tuple),
+* forward and backward adjacency indexed by endpoint,
+* per-(pair) edge-label sets for O(1) edge-label membership tests, and
+* a label index ``label -> set of node ids`` for candidate filtering.
+
+All mutators keep the indices consistent; there is no "commit" step.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from ..errors import GraphError
+from .elements import AttrValue, Edge, Node, NodeId
+
+
+class PropertyGraph:
+    """A directed, labeled multigraph with node attributes.
+
+    Examples
+    --------
+    >>> g = PropertyGraph()
+    >>> a = g.add_node("person", {"name": "ada"})
+    >>> b = g.add_node("city")
+    >>> g.add_edge(a, b, "lives_in")
+    Edge(src=0, dst=1, label='lives_in')
+    >>> g.has_edge(a, b, "lives_in")
+    True
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[NodeId, Node] = {}
+        self._out: Dict[NodeId, List[Edge]] = defaultdict(list)
+        self._in: Dict[NodeId, List[Edge]] = defaultdict(list)
+        # (src, dst) -> set of edge labels, for O(1) membership checks.
+        self._edge_labels: Dict[Tuple[NodeId, NodeId], Set[str]] = defaultdict(set)
+        self._by_label: Dict[str, Set[NodeId]] = defaultdict(set)
+        self._next_id = 0
+        self._edge_count = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        label: str,
+        attrs: Optional[Mapping[str, AttrValue]] = None,
+        node_id: Optional[NodeId] = None,
+    ) -> NodeId:
+        """Add a node and return its id.
+
+        When *node_id* is omitted, consecutive integers are issued. Adding a
+        duplicate id raises :class:`GraphError`.
+        """
+        if node_id is None:
+            while self._next_id in self._nodes:
+                self._next_id += 1
+            node_id = self._next_id
+            self._next_id += 1
+        if node_id in self._nodes:
+            raise GraphError(f"duplicate node id {node_id!r}")
+        self._nodes[node_id] = Node(node_id, label, dict(attrs or {}))
+        self._by_label[label].add(node_id)
+        return node_id
+
+    def add_edge(self, src: NodeId, dst: NodeId, label: str) -> Edge:
+        """Add a directed edge; duplicates (same triple) are ignored."""
+        if src not in self._nodes:
+            raise GraphError(f"unknown source node {src!r}")
+        if dst not in self._nodes:
+            raise GraphError(f"unknown target node {dst!r}")
+        edge = Edge(src, dst, label)
+        labels = self._edge_labels[(src, dst)]
+        if label in labels:
+            return edge
+        labels.add(label)
+        self._out[src].append(edge)
+        self._in[dst].append(edge)
+        self._edge_count += 1
+        return edge
+
+    def set_attr(self, node_id: NodeId, name: str, value: AttrValue) -> None:
+        """Set attribute *name* of node *node_id* to *value*."""
+        self.node(node_id).attrs[name] = value
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def node(self, node_id: NodeId) -> Node:
+        """Return the :class:`Node` for *node_id* (raises on unknown id)."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise GraphError(f"unknown node {node_id!r}") from None
+
+    def has_node(self, node_id: NodeId) -> bool:
+        return node_id in self._nodes
+
+    def label(self, node_id: NodeId) -> str:
+        return self.node(node_id).label
+
+    def attrs(self, node_id: NodeId) -> Dict[str, AttrValue]:
+        return self.node(node_id).attrs
+
+    def nodes(self) -> Iterator[NodeId]:
+        """Iterate over all node ids."""
+        return iter(self._nodes)
+
+    def node_objects(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges (each once)."""
+        for edges in self._out.values():
+            yield from edges
+
+    def out_edges(self, node_id: NodeId) -> List[Edge]:
+        return self._out.get(node_id, [])
+
+    def in_edges(self, node_id: NodeId) -> List[Edge]:
+        return self._in.get(node_id, [])
+
+    def successors(self, node_id: NodeId) -> Iterator[NodeId]:
+        for edge in self.out_edges(node_id):
+            yield edge.dst
+
+    def predecessors(self, node_id: NodeId) -> Iterator[NodeId]:
+        for edge in self.in_edges(node_id):
+            yield edge.src
+
+    def neighbors(self, node_id: NodeId) -> Set[NodeId]:
+        """Undirected neighbor set (successors plus predecessors)."""
+        result = {edge.dst for edge in self.out_edges(node_id)}
+        result.update(edge.src for edge in self.in_edges(node_id))
+        return result
+
+    def has_edge(self, src: NodeId, dst: NodeId, label: Optional[str] = None) -> bool:
+        """Edge existence; with *label* None any label counts."""
+        labels = self._edge_labels.get((src, dst))
+        if not labels:
+            return False
+        if label is None:
+            return True
+        return label in labels
+
+    def edge_labels_between(self, src: NodeId, dst: NodeId) -> Set[str]:
+        """The set of labels on edges from *src* to *dst* (possibly empty)."""
+        return self._edge_labels.get((src, dst), set())
+
+    def nodes_with_label(self, label: str) -> Set[NodeId]:
+        """Node ids carrying exactly *label* (wildcard is not expanded)."""
+        return self._by_label.get(label, set())
+
+    def labels(self) -> Set[str]:
+        """All node labels present in the graph."""
+        return {label for label, ids in self._by_label.items() if ids}
+
+    def edge_label_set(self) -> Set[str]:
+        """All edge labels present in the graph."""
+        return {edge.label for edge in self.edges()}
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return self._edge_count
+
+    def size(self) -> int:
+        """|G| as used in the paper: nodes + edges + attribute entries."""
+        attr_entries = sum(len(node.attrs) for node in self._nodes.values())
+        return self.num_nodes + self.num_edges + attr_entries
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, node_ids: Iterable[NodeId]) -> "PropertyGraph":
+        """Return the induced subgraph on *node_ids* (copies nodes/attrs)."""
+        keep = set(node_ids)
+        sub = PropertyGraph()
+        for node_id in keep:
+            node = self.node(node_id)
+            sub.add_node(node.label, node.attrs, node_id=node.id)
+        for node_id in keep:
+            for edge in self.out_edges(node_id):
+                if edge.dst in keep:
+                    sub.add_edge(edge.src, edge.dst, edge.label)
+        return sub
+
+    def copy(self) -> "PropertyGraph":
+        return self.subgraph(self._nodes)
+
+    def disjoint_union(self, other: "PropertyGraph", rename: str = "") -> Dict[NodeId, NodeId]:
+        """Add a disjoint copy of *other* into this graph.
+
+        Node ids of *other* are remapped to fresh ids here; the mapping
+        old id -> new id is returned. *rename* is kept for diagnostics only.
+        """
+        mapping: Dict[NodeId, NodeId] = {}
+        for node in other.node_objects():
+            mapping[node.id] = self.add_node(node.label, node.attrs)
+        for edge in other.edges():
+            self.add_edge(mapping[edge.src], mapping[edge.dst], edge.label)
+        return mapping
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"PropertyGraph(nodes={self.num_nodes}, edges={self.num_edges})"

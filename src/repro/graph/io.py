@@ -1,0 +1,81 @@
+"""JSON (de)serialization for property graphs.
+
+The format is intentionally simple and line-oriented friendly:
+
+.. code-block:: json
+
+    {
+      "nodes": [{"id": 0, "label": "person", "attrs": {"name": "ada"}}],
+      "edges": [{"src": 0, "dst": 1, "label": "lives_in"}]
+    }
+
+Node ids must be JSON-representable (ints or strings).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from ..errors import ParseError
+from .graph import PropertyGraph
+
+
+def graph_to_dict(graph: PropertyGraph) -> Dict[str, Any]:
+    """Convert *graph* to a plain-dict document."""
+    return {
+        "nodes": [
+            {"id": node.id, "label": node.label, "attrs": dict(node.attrs)}
+            for node in graph.node_objects()
+        ],
+        "edges": [
+            {"src": edge.src, "dst": edge.dst, "label": edge.label}
+            for edge in graph.edges()
+        ],
+    }
+
+
+def graph_from_dict(doc: Dict[str, Any]) -> PropertyGraph:
+    """Build a :class:`PropertyGraph` from a document produced by
+    :func:`graph_to_dict` (or hand-written in the same shape)."""
+    if not isinstance(doc, dict) or "nodes" not in doc:
+        raise ParseError("graph document must be a dict with a 'nodes' key")
+    graph = PropertyGraph()
+    for entry in doc.get("nodes", []):
+        try:
+            graph.add_node(entry["label"], entry.get("attrs") or {}, node_id=entry["id"])
+        except KeyError as exc:
+            raise ParseError(f"node entry missing key {exc}") from None
+    for entry in doc.get("edges", []):
+        try:
+            graph.add_edge(entry["src"], entry["dst"], entry["label"])
+        except KeyError as exc:
+            raise ParseError(f"edge entry missing key {exc}") from None
+    return graph
+
+
+def dump_graph(graph: PropertyGraph, path: Union[str, Path]) -> None:
+    """Write *graph* to *path* as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(graph_to_dict(graph), handle, indent=2, sort_keys=True)
+
+
+def load_graph(path: Union[str, Path]) -> PropertyGraph:
+    """Read a graph previously written by :func:`dump_graph`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return graph_from_dict(json.load(handle))
+
+
+def dumps_graph(graph: PropertyGraph) -> str:
+    """Serialize *graph* to a JSON string."""
+    return json.dumps(graph_to_dict(graph), sort_keys=True)
+
+
+def loads_graph(text: str) -> PropertyGraph:
+    """Parse a JSON string produced by :func:`dumps_graph`."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ParseError(f"invalid JSON: {exc}") from None
+    return graph_from_dict(doc)

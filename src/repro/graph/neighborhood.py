@@ -1,0 +1,96 @@
+"""Neighborhood and connectivity helpers used by pivoted matching.
+
+The parallel algorithms exploit the *data locality of graph homomorphism*
+(paper, Section V-B): if a match ``h`` of a connected pattern ``Q`` maps the
+pivot ``x`` to node ``v``, then every node of ``h(x̄)`` lies within the
+``dQ``-neighborhood of ``v``, where ``dQ`` is the eccentricity of the pivot
+in ``Q`` (longest shortest path from the pivot, ignoring edge direction).
+This module provides BFS hops, eccentricity, and connected components.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set
+
+from .graph import PropertyGraph
+from .elements import NodeId
+
+
+def bfs_hops(graph: PropertyGraph, source: NodeId, max_hops: Optional[int] = None) -> Dict[NodeId, int]:
+    """Undirected BFS distances from *source*, truncated at *max_hops*.
+
+    Returns a mapping node id -> hop distance (source included at 0).
+    """
+    dist: Dict[NodeId, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        current = queue.popleft()
+        d = dist[current]
+        if max_hops is not None and d >= max_hops:
+            continue
+        for neighbor in graph.neighbors(current):
+            if neighbor not in dist:
+                dist[neighbor] = d + 1
+                queue.append(neighbor)
+    return dist
+
+
+def neighborhood(graph: PropertyGraph, source: NodeId, radius: int) -> Set[NodeId]:
+    """Nodes within *radius* undirected hops of *source* (inclusive)."""
+    return set(bfs_hops(graph, source, max_hops=radius))
+
+
+def eccentricity(graph: PropertyGraph, source: NodeId) -> int:
+    """Longest shortest undirected path from *source* to any reachable node."""
+    dist = bfs_hops(graph, source)
+    return max(dist.values(), default=0)
+
+
+def connected_components(graph: PropertyGraph) -> List[Set[NodeId]]:
+    """Undirected connected components, as a list of node-id sets."""
+    seen: Set[NodeId] = set()
+    components: List[Set[NodeId]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        component = set(bfs_hops(graph, start))
+        seen.update(component)
+        components.append(component)
+    return components
+
+
+def component_of(graph: PropertyGraph, node: NodeId) -> Set[NodeId]:
+    """The connected component containing *node*."""
+    return set(bfs_hops(graph, node))
+
+
+def is_connected(graph: PropertyGraph) -> bool:
+    """True for the empty graph and for graphs with one component."""
+    if graph.num_nodes == 0:
+        return True
+    first = next(iter(graph.nodes()))
+    return len(bfs_hops(graph, first)) == graph.num_nodes
+
+
+def within_hops(graph: PropertyGraph, source: NodeId, target: NodeId, hops: int) -> bool:
+    """True if *target* is within *hops* undirected hops of *source*."""
+    if source == target:
+        return True
+    dist = bfs_hops(graph, source, max_hops=hops)
+    return target in dist
+
+
+def shortest_path_length(graph: PropertyGraph, source: NodeId, target: NodeId) -> Optional[int]:
+    """Undirected shortest path length, or None if unreachable."""
+    dist = bfs_hops(graph, source)
+    return dist.get(target)
+
+
+def induced_radius_order(graph: PropertyGraph, nodes: Iterable[NodeId]) -> List[NodeId]:
+    """Order *nodes* by eccentricity (most central first).
+
+    Used when choosing pivots: a central pivot yields a small ``dQ``, hence a
+    small search neighborhood per work unit.
+    """
+    return sorted(nodes, key=lambda n: (eccentricity(graph, n), str(n)))

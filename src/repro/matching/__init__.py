@@ -1,0 +1,25 @@
+"""Pattern matching: homomorphism search and simulation pruning."""
+
+from .homomorphism import (
+    Assignment,
+    MatcherRun,
+    default_variable_order,
+    edge_label_matches,
+    find_homomorphisms,
+    has_homomorphism,
+    node_label_matches,
+)
+from .simulation import dual_simulation, may_have_homomorphism, simulation_candidates
+
+__all__ = [
+    "Assignment",
+    "MatcherRun",
+    "default_variable_order",
+    "edge_label_matches",
+    "find_homomorphisms",
+    "has_homomorphism",
+    "node_label_matches",
+    "dual_simulation",
+    "may_have_homomorphism",
+    "simulation_candidates",
+]

@@ -1,0 +1,99 @@
+"""Component signature index over canonical graphs.
+
+``GΣ`` is a disjoint union of pattern copies, so every connected component
+has at most ``k`` (pattern-size) nodes, and a *connected* pattern can only
+match inside a single component. This index makes that structure cheap to
+exploit:
+
+* component membership per node,
+* per-component label signatures (node labels, edge labels), and
+* a compatibility test: a pattern may match a component only if all its
+  non-wildcard node labels and edge labels occur there.
+
+The test is sound (a necessary condition for homomorphism) and filters the
+vast majority of (pattern, component) pairs in O(|Q|) set lookups — the
+practical replacement for running dual simulation over the whole of ``GΣ``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..gfd.pattern import Pattern
+from ..graph.elements import NodeId, is_wildcard
+from ..graph.graph import PropertyGraph
+from ..graph.neighborhood import connected_components
+
+
+class ComponentIndex:
+    """Connected components of a target graph with label signatures."""
+
+    def __init__(self, graph: PropertyGraph) -> None:
+        self.graph = graph
+        self.components: List[Set[NodeId]] = connected_components(graph)
+        self.component_id: Dict[NodeId, int] = {}
+        self.node_labels: List[Set[str]] = []
+        self.edge_labels: List[Set[str]] = []
+        for comp_id, nodes in enumerate(self.components):
+            node_label_set: Set[str] = set()
+            edge_label_set: Set[str] = set()
+            for node in nodes:
+                self.component_id[node] = comp_id
+                node_label_set.add(graph.label(node))
+                for edge in graph.out_edges(node):
+                    edge_label_set.add(edge.label)
+            self.node_labels.append(node_label_set)
+            self.edge_labels.append(edge_label_set)
+
+    def num_components(self) -> int:
+        return len(self.components)
+
+    def component_of(self, node: NodeId) -> int:
+        return self.component_id[node]
+
+    def nodes_of(self, comp_id: int) -> Set[NodeId]:
+        return self.components[comp_id]
+
+    def pattern_compatible(self, pattern: Pattern, comp_id: int) -> bool:
+        """Necessary condition for *pattern* to match inside component.
+
+        Wildcard labels impose no constraint. Also requires the component to
+        have at least one edge when the pattern does.
+        """
+        node_label_set = self.node_labels[comp_id]
+        edge_label_set = self.edge_labels[comp_id]
+        for var in pattern.variables:
+            label = pattern.label_of(var)
+            if not is_wildcard(label) and label not in node_label_set:
+                return False
+        for edge in pattern.edges:
+            if is_wildcard(edge.label):
+                if not edge_label_set:
+                    return False
+            elif edge.label not in edge_label_set:
+                return False
+        return True
+
+    def candidate_components(self, pattern: Pattern) -> List[int]:
+        """Component ids passing :meth:`pattern_compatible`."""
+        if not pattern.frozen:
+            pattern.freeze()
+        return [
+            comp_id
+            for comp_id in range(len(self.components))
+            if self.pattern_compatible(pattern, comp_id)
+        ]
+
+    def compatible_with_pivot(self, pattern: Pattern, pivot_node: NodeId) -> bool:
+        """Compatibility of *pattern* with the component hosting *pivot_node*
+        (used to discard hopeless work units before queuing them)."""
+        return self.pattern_compatible(pattern, self.component_of(pivot_node))
+
+    def subgraph(self, comp_id: int) -> PropertyGraph:
+        """The induced subgraph of a component (cached — components of a
+        canonical graph are tiny and reused across many patterns)."""
+        if not hasattr(self, "_subgraphs"):
+            self._subgraphs: Dict[int, PropertyGraph] = {}
+        if comp_id not in self._subgraphs:
+            self._subgraphs[comp_id] = self.graph.subgraph(self.components[comp_id])
+        return self._subgraphs[comp_id]

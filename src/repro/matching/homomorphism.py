@@ -1,0 +1,380 @@
+"""Backtracking graph-homomorphism matching.
+
+The paper finds matches "along the same lines as VF2 ... except enforcing
+homomorphism rather than isomorphism" (Section IV-C). :class:`MatcherRun`
+implements that search with three extras needed by the parallel algorithms:
+
+* **pivoting** — any subset of pattern variables can be preassigned to
+  target nodes, and the search can be confined to an ``allowed_nodes`` set
+  (the ``dQ``-neighborhood of the pivot, by homomorphism data locality);
+* **tick accounting** — every candidate consistency check increments a
+  counter, which doubles as the virtual-time cost model of the simulated
+  cluster; and
+* **work-unit splitting** — the DFS stack can be split at its shallowest
+  level with unexplored sibling candidates, emitting partial assignments
+  that resume elsewhere (paper, Example 6), while the current branch keeps
+  running locally.
+
+Matches are *homomorphisms*: two variables may map to the same node, labels
+must agree except that a pattern wildcard matches any label, and every
+pattern edge must exist in the target with a compatible label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..errors import PatternError
+from ..gfd.pattern import Pattern, PatternEdge
+from ..graph.elements import NodeId, is_wildcard
+from ..graph.graph import PropertyGraph
+
+Assignment = Dict[str, NodeId]
+
+
+def node_label_matches(pattern_label: str, node_label: str) -> bool:
+    """Pattern node label compatibility (wildcard matches anything)."""
+    return is_wildcard(pattern_label) or pattern_label == node_label
+
+
+def edge_label_matches(pattern_label: str, target_labels: Set[str]) -> bool:
+    """True if some target edge label is compatible with *pattern_label*."""
+    if not target_labels:
+        return False
+    return is_wildcard(pattern_label) or pattern_label in target_labels
+
+
+def default_variable_order(
+    pattern: Pattern,
+    graph: PropertyGraph,
+    preassigned: Iterable[str] = (),
+) -> List[str]:
+    """A connected search order over the non-preassigned variables.
+
+    Greedy: repeatedly pick the cheapest variable adjacent to the already
+    ordered/preassigned set (estimated by label frequency in *graph*); when
+    none is adjacent (a fresh pattern component), pick the globally most
+    selective remaining variable.
+    """
+    placed = set(preassigned)
+    remaining = [var for var in pattern.variables if var not in placed]
+
+    def selectivity(var: str) -> Tuple[int, str]:
+        label = pattern.label_of(var)
+        count = graph.num_nodes if is_wildcard(label) else len(graph.nodes_with_label(label))
+        return (count, var)
+
+    order: List[str] = []
+    while remaining:
+        adjacent = [var for var in remaining if pattern.adjacent(var) & placed]
+        pool = adjacent if adjacent else remaining
+        best = min(pool, key=selectivity)
+        order.append(best)
+        placed.add(best)
+        remaining.remove(best)
+    return order
+
+
+@dataclass
+class _Frame:
+    """One DFS level: a variable, its candidate list, and a cursor."""
+
+    var: str
+    candidates: List[NodeId]
+    index: int = 0  # next candidate to try
+
+    def current(self) -> NodeId:
+        """The candidate currently assigned (the one before the cursor)."""
+        return self.candidates[self.index - 1]
+
+    def pending(self) -> List[NodeId]:
+        return self.candidates[self.index:]
+
+    def strip_pending(self) -> List[NodeId]:
+        pending = self.candidates[self.index:]
+        del self.candidates[self.index:]
+        return pending
+
+
+class MatcherRun:
+    """A resumable homomorphism search for one pattern/target pair.
+
+    Parameters
+    ----------
+    pattern:
+        The frozen pattern to match.
+    graph:
+        The target property graph.
+    preassigned:
+        Variable -> node bindings fixed before the search (pivots, or the
+        prefix of a split work unit). Inconsistent preassignments simply
+        yield no matches.
+    allowed_nodes:
+        When given, every variable must map into this set (used for
+        ``dQ``-neighborhood locality). Preassigned nodes are exempt — they
+        define the neighborhood.
+    variable_order:
+        Search order for the free variables; computed greedily when omitted.
+    candidate_sets:
+        Optional per-variable candidate restrictions (e.g. from a dual
+        simulation pre-pass); a variable absent from the mapping is
+        unrestricted.
+    """
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        graph: PropertyGraph,
+        preassigned: Optional[Assignment] = None,
+        allowed_nodes: Optional[Set[NodeId]] = None,
+        variable_order: Optional[Sequence[str]] = None,
+        candidate_sets: Optional[Dict[str, Set[NodeId]]] = None,
+    ) -> None:
+        if not pattern.frozen:
+            pattern.freeze()
+        self.pattern = pattern
+        self.graph = graph
+        self.preassigned: Assignment = dict(preassigned or {})
+        self.allowed_nodes = allowed_nodes
+        self.candidate_sets = candidate_sets
+        for var in self.preassigned:
+            if not pattern.has_var(var):
+                raise PatternError(f"preassigned variable {var!r} not in pattern")
+        if variable_order is None:
+            self.order = default_variable_order(pattern, graph, self.preassigned)
+        else:
+            self.order = [var for var in variable_order if var not in self.preassigned]
+        #: Number of consistency checks performed so far (virtual cost).
+        self.ticks = 0
+        #: Number of matches yielded so far.
+        self.match_count = 0
+        self._assignment: Assignment = dict(self.preassigned)
+        self._stack: List[_Frame] = []
+        self._exhausted = False
+        # Precompute, per variable, the pattern edges touching earlier vars.
+        self._check_edges: Dict[str, List[PatternEdge]] = {}
+        placed: Set[str] = set(self.preassigned)
+        for var in self.order:
+            placed.add(var)
+            touching = [
+                edge
+                for edge in self.pattern.edges
+                if (edge.src == var and edge.dst in placed)
+                or (edge.dst == var and edge.src in placed)
+            ]
+            self._check_edges[var] = touching
+
+    # ------------------------------------------------------------------
+    # Consistency
+    # ------------------------------------------------------------------
+    def _node_ok(self, var: str, node: NodeId) -> bool:
+        """Label + allowed-set + edge consistency of assigning var -> node."""
+        self.ticks += 1
+        if not node_label_matches(self.pattern.label_of(var), self.graph.label(node)):
+            return False
+        if (
+            self.allowed_nodes is not None
+            and node not in self.allowed_nodes
+            and node not in self.preassigned.values()
+        ):
+            return False
+        if self.candidate_sets is not None:
+            restriction = self.candidate_sets.get(var)
+            if restriction is not None and node not in restriction:
+                return False
+        assignment = self._assignment
+        for edge in self._check_edges[var]:
+            if edge.src == var:
+                dst = node if edge.dst == var else assignment.get(edge.dst)
+                if dst is None:
+                    continue
+                labels = self.graph.edge_labels_between(node, dst)
+            else:
+                src = assignment.get(edge.src)
+                if src is None:
+                    continue
+                labels = self.graph.edge_labels_between(src, node)
+            if not edge_label_matches(edge.label, labels):
+                return False
+        return True
+
+    def _preassignment_consistent(self) -> bool:
+        """Validate labels and edges among the preassigned variables."""
+        for var, node in self.preassigned.items():
+            self.ticks += 1
+            if not self.graph.has_node(node):
+                return False
+            if not node_label_matches(self.pattern.label_of(var), self.graph.label(node)):
+                return False
+        for edge in self.pattern.edges:
+            if edge.src in self.preassigned and edge.dst in self.preassigned:
+                self.ticks += 1
+                labels = self.graph.edge_labels_between(
+                    self.preassigned[edge.src], self.preassigned[edge.dst]
+                )
+                if not edge_label_matches(edge.label, labels):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Candidate generation
+    # ------------------------------------------------------------------
+    def _candidates(self, var: str) -> List[NodeId]:
+        """Candidate target nodes for *var* given the current assignment.
+
+        Prefers expanding from an already-assigned pattern neighbor (small
+        adjacency lists) over the global label index.
+        """
+        assignment = self._assignment
+        anchor_edge: Optional[PatternEdge] = None
+        for edge in self._check_edges[var]:
+            other = edge.dst if edge.src == var else edge.src
+            if other == var or other in assignment:
+                if other == var:
+                    continue  # self-loops are handled by _node_ok
+                anchor_edge = edge
+                break
+        if anchor_edge is not None:
+            if anchor_edge.src == var:
+                anchor = assignment[anchor_edge.dst]
+                pool = [e.src for e in self.graph.in_edges(anchor)
+                        if is_wildcard(anchor_edge.label) or e.label == anchor_edge.label]
+            else:
+                anchor = assignment[anchor_edge.src]
+                pool = [e.dst for e in self.graph.out_edges(anchor)
+                        if is_wildcard(anchor_edge.label) or e.label == anchor_edge.label]
+            # Deduplicate while preserving order (multi-edges share endpoints).
+            seen: Set[NodeId] = set()
+            unique = []
+            for node in pool:
+                if node not in seen:
+                    seen.add(node)
+                    unique.append(node)
+            return unique
+        label = self.pattern.label_of(var)
+        if is_wildcard(label):
+            if self.allowed_nodes is not None:
+                return list(self.allowed_nodes)
+            return list(self.graph.nodes())
+        base = self.graph.nodes_with_label(label)
+        if self.allowed_nodes is not None:
+            # Iterate the smaller side of the intersection.
+            if len(self.allowed_nodes) < len(base):
+                return [node for node in self.allowed_nodes if node in base]
+            return [node for node in base if node in self.allowed_nodes]
+        return list(base)
+
+    # ------------------------------------------------------------------
+    # The search itself
+    # ------------------------------------------------------------------
+    def matches(self) -> Iterator[Assignment]:
+        """Yield full matches as fresh dicts. Resumable across ``split``."""
+        if self._exhausted:
+            return
+        if not self._preassignment_consistent():
+            self._exhausted = True
+            return
+        if not self.order:
+            # All variables preassigned: the prefix itself is the match.
+            self._exhausted = True
+            self.match_count += 1
+            yield dict(self._assignment)
+            return
+        stack = self._stack
+        if not stack:
+            stack.append(_Frame(self.order[0], self._candidates(self.order[0])))
+        while stack:
+            frame = stack[-1]
+            advanced = False
+            while frame.index < len(frame.candidates):
+                node = frame.candidates[frame.index]
+                frame.index += 1
+                if self._node_ok(frame.var, node):
+                    self._assignment[frame.var] = node
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+                self._assignment.pop(frame.var, None)
+                if stack:
+                    # Parent keeps its binding; loop continues with parent.
+                    continue
+                break
+            if len(stack) == len(self.order):
+                self.match_count += 1
+                yield dict(self._assignment)
+                # Stay at this depth; try the next candidate on next loop.
+                self._assignment.pop(frame.var, None)
+                continue
+            next_var = self.order[len(stack)]
+            stack.append(_Frame(next_var, self._candidates(next_var)))
+        self._exhausted = True
+
+    # ------------------------------------------------------------------
+    # Splitting (paper, Example 6)
+    # ------------------------------------------------------------------
+    def can_split(self) -> bool:
+        """True if some DFS level still has unexplored sibling candidates."""
+        return any(frame.pending() for frame in self._stack[:-1]) or (
+            len(self._stack) >= 1 and len(self._stack[-1].pending()) > 1
+        )
+
+    def split(self, max_units: Optional[int] = None) -> List[Assignment]:
+        """Strip unexplored siblings at the shallowest splittable level.
+
+        Returns partial assignments — each extends the preassignment with
+        the bindings above the split level plus one sibling candidate — to
+        be resumed as new work units. The local search keeps only the branch
+        currently being explored at that level.
+        """
+        for depth, frame in enumerate(self._stack):
+            pending = frame.pending()
+            if not pending:
+                continue
+            if max_units is not None and len(pending) > max_units:
+                # Keep the overflow locally; ship only max_units of them.
+                keep_from = len(frame.candidates) - (len(pending) - max_units)
+                shipped = frame.candidates[frame.index:keep_from]
+                del frame.candidates[frame.index:keep_from]
+                pending = shipped
+            else:
+                frame.strip_pending()
+            if not pending:
+                continue
+            prefix = dict(self.preassigned)
+            for upper in self._stack[:depth]:
+                prefix[upper.var] = upper.current()
+            units = []
+            for candidate in pending:
+                assignment = dict(prefix)
+                assignment[frame.var] = candidate
+                units.append(assignment)
+            return units
+        return []
+
+
+def find_homomorphisms(
+    pattern: Pattern,
+    graph: PropertyGraph,
+    preassigned: Optional[Assignment] = None,
+    allowed_nodes: Optional[Set[NodeId]] = None,
+    limit: Optional[int] = None,
+) -> List[Assignment]:
+    """Convenience wrapper: collect up to *limit* matches into a list."""
+    run = MatcherRun(pattern, graph, preassigned=preassigned, allowed_nodes=allowed_nodes)
+    result = []
+    for match in run.matches():
+        result.append(match)
+        if limit is not None and len(result) >= limit:
+            break
+    return result
+
+
+def has_homomorphism(
+    pattern: Pattern,
+    graph: PropertyGraph,
+    preassigned: Optional[Assignment] = None,
+) -> bool:
+    """True if at least one match of *pattern* exists in *graph*."""
+    return bool(find_homomorphisms(pattern, graph, preassigned=preassigned, limit=1))

@@ -1,0 +1,108 @@
+"""Graph (dual) simulation, used as a cheap necessary condition.
+
+The paper (Section V, optimization) avoids exponential homomorphism checks
+between patterns by first testing *graph simulation*: "if Q1 does not match
+Q'2 by simulation, then Q1 is not homomorphic to Q'2". Simulation runs in
+O(|Q1|·|Q2|) time and is sound for pruning: an empty simulation set for any
+pattern variable proves no homomorphism exists.
+
+We implement dual simulation (both edge directions constrained), which is a
+stronger — still sound — filter than forward simulation alone.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional, Set
+
+from ..gfd.pattern import Pattern
+from ..graph.elements import NodeId, is_wildcard
+from ..graph.graph import PropertyGraph
+
+
+def dual_simulation(pattern: Pattern, graph: PropertyGraph) -> Optional[Dict[str, Set[NodeId]]]:
+    """Compute the maximal dual simulation of *pattern* in *graph*.
+
+    Returns a mapping variable -> set of simulating nodes, or ``None`` when
+    some variable has no simulating node (hence no homomorphism exists).
+    """
+    if not pattern.frozen:
+        pattern.freeze()
+    sim: Dict[str, Set[NodeId]] = {}
+    for var in pattern.variables:
+        label = pattern.label_of(var)
+        if is_wildcard(label):
+            candidates = set(graph.nodes())
+        else:
+            candidates = set(graph.nodes_with_label(label))
+        if not candidates:
+            return None
+        sim[var] = candidates
+
+    # Refine to a fixpoint: v survives in sim[u] iff for every pattern edge
+    # touching u, a compatible counterpart edge exists into the current
+    # simulation set of the other endpoint.
+    queue = deque(pattern.variables)
+    queued = set(pattern.variables)
+    while queue:
+        var = queue.popleft()
+        queued.discard(var)
+        survivors: Set[NodeId] = set()
+        for node in sim[var]:
+            if _dual_sim_ok(pattern, graph, sim, var, node):
+                survivors.add(node)
+        if len(survivors) == len(sim[var]):
+            continue
+        if not survivors:
+            return None
+        sim[var] = survivors
+        for neighbor in pattern.adjacent(var):
+            if neighbor not in queued:
+                queued.add(neighbor)
+                queue.append(neighbor)
+    return sim
+
+
+def _dual_sim_ok(
+    pattern: Pattern,
+    graph: PropertyGraph,
+    sim: Dict[str, Set[NodeId]],
+    var: str,
+    node: NodeId,
+) -> bool:
+    for edge in pattern.out_edges(var):
+        targets = sim[edge.dst]
+        found = False
+        for out_edge in graph.out_edges(node):
+            if out_edge.dst in targets and (
+                is_wildcard(edge.label) or out_edge.label == edge.label
+            ):
+                found = True
+                break
+        if not found:
+            return False
+    for edge in pattern.in_edges(var):
+        sources = sim[edge.src]
+        found = False
+        for in_edge in graph.in_edges(node):
+            if in_edge.src in sources and (
+                is_wildcard(edge.label) or in_edge.label == edge.label
+            ):
+                found = True
+                break
+        if not found:
+            return False
+    return True
+
+
+def may_have_homomorphism(pattern: Pattern, graph: PropertyGraph) -> bool:
+    """Sound necessary condition: False guarantees no homomorphism."""
+    return dual_simulation(pattern, graph) is not None
+
+
+def simulation_candidates(
+    pattern: Pattern, graph: PropertyGraph
+) -> Optional[Dict[str, Set[NodeId]]]:
+    """Alias of :func:`dual_simulation`, named for its use as a candidate
+    pre-filter in pivoted matching (candidates(v) ⊆ sim(v))."""
+    return dual_simulation(pattern, graph)

@@ -1,0 +1,33 @@
+"""Parallel reasoning: ParSat / ParImp on simulated or threaded clusters."""
+
+from .config import DEFAULT_TTL_SECONDS, CostModel, RuntimeConfig
+from .engine import ParallelOutcome, SimulatedCluster, ThreadedCluster, make_cluster
+from .parimp import ParImpResult, par_imp, par_imp_nb, par_imp_np
+from .parsat import ParSatResult, par_sat, par_sat_nb, par_sat_np
+from .tracing import Trace, TraceEvent, render_gantt, summarize
+from .units import UnitContext, UnitResult, execute_unit
+
+__all__ = [
+    "DEFAULT_TTL_SECONDS",
+    "CostModel",
+    "RuntimeConfig",
+    "ParallelOutcome",
+    "SimulatedCluster",
+    "ThreadedCluster",
+    "make_cluster",
+    "ParImpResult",
+    "par_imp",
+    "par_imp_nb",
+    "par_imp_np",
+    "ParSatResult",
+    "par_sat",
+    "par_sat_nb",
+    "par_sat_np",
+    "UnitContext",
+    "UnitResult",
+    "execute_unit",
+    "Trace",
+    "TraceEvent",
+    "render_gantt",
+    "summarize",
+]

@@ -1,0 +1,103 @@
+"""Configuration of the parallel runtimes: cost model and knobs.
+
+The simulated cluster charges *virtual time* for the work a unit really
+performs: matcher consistency checks (``match_tick``), enforcement
+operations (``enforce_op``), scheduling overhead, split-message shipping and
+``ΔEq`` broadcast. The defaults are calibrated so that the relative effects
+reported in the paper (pipelining ≈1.5×, splitting ≈4×, TTL optimum in the
+interior of the sweep) are observable on scaled workloads; absolute numbers
+are in virtual seconds and are not comparable to the authors' Java cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..errors import RuntimeConfigError
+
+#: Paper default for the straggler threshold (virtual seconds), Exp-4.
+DEFAULT_TTL_SECONDS = 2.0
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Virtual-time prices of the operations a worker performs."""
+
+    match_tick: float = 1.0        # one matcher consistency check
+    enforce_op: float = 3.0        # one enforcement (CheckAttr) operation
+    unit_overhead: float = 0.1     # per-unit scheduling cost within a batch
+    batch_overhead: float = 2.0    # coordinator round-trip per assigned batch
+    split_message: float = 40.0    # shipping one split sub-unit to Sc
+    broadcast_per_op: float = 0.1  # broadcasting one ΔEq operation
+    pipeline_sync: float = 0.2     # residual sync cost when pipelined
+    tick_seconds: float = 1e-3     # virtual seconds per cost unit
+
+    def seconds(self, cost_units: float) -> float:
+        return cost_units * self.tick_seconds
+
+    def cost_units(self, seconds: float) -> float:
+        return seconds / self.tick_seconds
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Everything a parallel run needs besides the workload itself.
+
+    Attributes
+    ----------
+    workers:
+        ``p`` — the number of workers (the coordinator is not counted,
+        matching the paper's setup).
+    ttl_seconds:
+        Straggler threshold: a unit whose matching exceeds this much
+        virtual time is split (paper, Section V-B). ``None`` disables
+        splitting — the ``nb`` variants.
+    pipelined:
+        Overlap HomMatch and CheckAttr (paper's pipelined parallelism).
+        ``False`` gives the ``np`` variants: enforcement waits until all
+        matches of the unit are enumerated.
+    max_split_units:
+        Cap on sub-units shipped per split decision, to bound message size.
+    batch_size:
+        Units handed to a worker per coordinator round-trip ("work units
+        can be assigned ... in a small batch rather than a single w, to
+        reduce the communication cost", paper Section V-B).
+    use_dependency_order / use_simulation_pruning:
+        The remaining optimizations, togglable for ablations.
+    """
+
+    workers: int = 4
+    ttl_seconds: Optional[float] = DEFAULT_TTL_SECONDS
+    pipelined: bool = True
+    max_split_units: int = 16
+    batch_size: int = 6
+    use_dependency_order: bool = True
+    use_simulation_pruning: bool = True
+    costs: CostModel = field(default_factory=CostModel)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise RuntimeConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.ttl_seconds is not None and self.ttl_seconds <= 0:
+            raise RuntimeConfigError("ttl_seconds must be positive (or None to disable)")
+        if self.max_split_units < 1:
+            raise RuntimeConfigError("max_split_units must be >= 1")
+        if self.batch_size < 1:
+            raise RuntimeConfigError("batch_size must be >= 1")
+
+    @property
+    def ttl_ticks(self) -> Optional[float]:
+        """The TTL converted to matcher-tick cost units."""
+        if self.ttl_seconds is None:
+            return None
+        return self.costs.cost_units(self.ttl_seconds) / self.costs.match_tick
+
+    def without_pipelining(self) -> "RuntimeConfig":
+        return replace(self, pipelined=False)
+
+    def without_splitting(self) -> "RuntimeConfig":
+        return replace(self, ttl_seconds=None)
+
+    def with_workers(self, workers: int) -> "RuntimeConfig":
+        return replace(self, workers=workers)

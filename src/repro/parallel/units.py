@@ -1,0 +1,165 @@
+"""Execution of individual work units — ``HomMatch`` + ``CheckAttr``.
+
+A work unit ``(Q[z], φ)`` is executed by running the pivoted homomorphism
+matcher inside the ``dQ``-neighborhood of ``z`` and enforcing ``φ`` on each
+match as it is produced (the pipelined shape of Fig. 3). The function is
+runtime-agnostic: the simulated cluster calls it to obtain true operation
+counts for its virtual clock, and the thread runtime calls it for real.
+
+Splitting: when the matcher's tick count crosses the TTL budget and
+unexplored sibling branches exist, they are stripped into sub-units
+(paper, Example 6) and returned to the caller, which routes them back to
+the coordinator's queue; the local search then finishes only its current
+branch (and any budget-sized chunks after further splits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Set
+
+from ..eq.eqrelation import EqRelation
+from ..gfd.gfd import GFD
+from ..graph.elements import NodeId
+from ..graph.graph import PropertyGraph
+from ..graph.neighborhood import neighborhood
+from ..matching.homomorphism import MatcherRun
+from ..matching.simulation import dual_simulation
+from ..reasoning.enforce import EnforcementEngine
+from ..reasoning.workunits import WorkUnit
+
+
+class UnitContext:
+    """Shared read-only state for unit execution.
+
+    Caches ``dQ``-neighborhoods (keyed by pivot and radius) and per-GFD
+    dual-simulation candidate sets — both depend only on the canonical
+    graph's topology, which never changes during a run.
+    """
+
+    #: Above this many target nodes, global dual simulation is skipped —
+    #: the per-unit ``dQ``-neighborhood restriction already bounds search,
+    #: and an O(|Q|·|G|) pre-pass per GFD would dominate at scale.
+    SIMULATION_NODE_LIMIT = 600
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        gfds_by_name: Mapping[str, GFD],
+        use_simulation_pruning: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.gfds = dict(gfds_by_name)
+        self.use_simulation_pruning = (
+            use_simulation_pruning and graph.num_nodes <= self.SIMULATION_NODE_LIMIT
+        )
+        self._neighborhoods: Dict[tuple, Set[NodeId]] = {}
+        self._candidates: Dict[str, Optional[Dict[str, Set[NodeId]]]] = {}
+
+    def allowed_nodes(self, pivot: NodeId, radius: Optional[int]) -> Optional[Set[NodeId]]:
+        if radius is None:
+            return None
+        key = (pivot, radius)
+        if key not in self._neighborhoods:
+            self._neighborhoods[key] = neighborhood(self.graph, pivot, radius)
+        return self._neighborhoods[key]
+
+    def candidate_sets(self, gfd: GFD) -> Optional[Dict[str, Set[NodeId]]]:
+        """Dual-simulation candidates, or None when pruning is off.
+
+        A GFD whose simulation is empty can never match; that case is
+        encoded as ``{var: set()}`` so the matcher terminates immediately.
+        """
+        if not self.use_simulation_pruning:
+            return None
+        if gfd.name not in self._candidates:
+            sim = dual_simulation(gfd.pattern, self.graph)
+            if sim is None:
+                sim = {var: set() for var in gfd.pattern.variables}
+            self._candidates[gfd.name] = sim
+        return self._candidates[gfd.name]
+
+
+@dataclass
+class UnitResult:
+    """What happened while executing one work unit."""
+
+    unit: WorkUnit
+    matches: int = 0
+    match_ticks: int = 0
+    enforce_ops: int = 0
+    delta_ops: int = 0
+    conflict: bool = False
+    goal_reached: bool = False
+    splits: List[WorkUnit] = field(default_factory=list)
+    completed: bool = True
+
+    @property
+    def terminated_early(self) -> bool:
+        return self.conflict or self.goal_reached
+
+
+def execute_unit(
+    unit: WorkUnit,
+    context: UnitContext,
+    engine: EnforcementEngine,
+    ttl_ticks: Optional[float] = None,
+    max_split_units: int = 16,
+    goal_check: Optional[Callable[[EqRelation], bool]] = None,
+) -> UnitResult:
+    """Run one work unit to completion (or early termination).
+
+    *engine* wraps the (shared) ``Eq`` and inverted index; *goal_check* is
+    the implication variant's ``Y ⊆ Eq_H`` test, evaluated after every
+    change. The returned result carries exact operation counts for the
+    simulated cost model.
+    """
+    gfd = context.gfds[unit.gfd_name]
+    result = UnitResult(unit)
+    if gfd.is_trivial():
+        return result
+    eq = engine.eq
+    if eq.has_conflict():
+        result.conflict = True
+        result.completed = False
+        return result
+    assignment = unit.assignment_dict()
+    pivot = unit.pivot_node()
+    allowed = context.allowed_nodes(pivot, unit.radius) if pivot is not None else None
+    run = MatcherRun(
+        gfd.pattern,
+        context.graph,
+        preassigned=assignment,
+        allowed_nodes=allowed,
+        candidate_sets=context.candidate_sets(gfd),
+    )
+    ops_before = engine.ops
+    delta_mark = eq.log_position()
+    next_split_at = ttl_ticks if ttl_ticks is not None else None
+    for match in run.matches():
+        result.matches += 1
+        engine.enforce(gfd, match)
+        if eq.has_conflict():
+            result.conflict = True
+            result.completed = False
+            break
+        if goal_check is not None and goal_check(eq):
+            result.goal_reached = True
+            result.completed = False
+            break
+        if next_split_at is not None and run.ticks > next_split_at and run.can_split():
+            for sub_assignment in run.split(max_units=max_split_units):
+                result.splits.append(
+                    WorkUnit.make(
+                        unit.gfd_name,
+                        sub_assignment,
+                        radius=unit.radius,
+                        generation=unit.generation + 1,
+                    )
+                )
+            # Reset the straggler clock (paper: "resets τ = 0").
+            next_split_at = run.ticks + (ttl_ticks or 0)
+    result.match_ticks = run.ticks
+    result.enforce_ops = engine.ops - ops_before
+    result.delta_ops = eq.log_position() - delta_mark
+    return result

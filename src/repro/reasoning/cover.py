@@ -1,0 +1,72 @@
+"""Implication-based rule-set optimization (minimal cover).
+
+The paper motivates implication checking as "an optimization strategy to
+speed up, e.g., error detection" (Section I): GFDs entailed by the rest of
+the set are redundant and can be removed before running detection. This
+module computes such a cover greedily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..gfd.gfd import GFD
+from .seqimp import seq_imp
+
+
+@dataclass
+class CoverResult:
+    """Outcome of :func:`minimal_cover`."""
+
+    cover: List[GFD]
+    removed: List[GFD] = field(default_factory=list)
+    checks: int = 0
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of GFDs eliminated."""
+        total = len(self.cover) + len(self.removed)
+        return len(self.removed) / total if total else 0.0
+
+
+def minimal_cover(
+    sigma: Sequence[GFD],
+    implication_checker: Optional[Callable[[Sequence[GFD], GFD], bool]] = None,
+) -> CoverResult:
+    """Remove GFDs implied by the remaining ones.
+
+    Greedy single pass in reverse declaration order (later rules are more
+    likely to be discovered duplicates in mined sets). The result is a
+    cover: every removed GFD is implied by the returned set. Minimality is
+    with respect to this pass — like relational FD covers, a globally
+    minimum cover is intractable, and the greedy pass is what practical
+    systems do.
+
+    *implication_checker* defaults to :func:`repro.reasoning.seqimp.seq_imp`;
+    the parallel engine can be injected instead.
+    """
+    if implication_checker is None:
+        implication_checker = lambda rest, phi: seq_imp(rest, phi).implied
+    kept: List[GFD] = list(sigma)
+    removed: List[GFD] = []
+    checks = 0
+    for gfd in list(reversed(kept)):
+        rest = [other for other in kept if other.name != gfd.name]
+        if not rest:
+            continue
+        checks += 1
+        if implication_checker(rest, gfd):
+            kept = rest
+            removed.append(gfd)
+    return CoverResult(kept, removed, checks)
+
+
+def redundant_gfds(sigma: Sequence[GFD]) -> List[GFD]:
+    """GFDs individually implied by the rest of the set (no removal)."""
+    result = []
+    for gfd in sigma:
+        rest = [other for other in sigma if other.name != gfd.name]
+        if rest and seq_imp(rest, gfd).implied:
+            result.append(gfd)
+    return result

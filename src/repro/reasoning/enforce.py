@@ -1,0 +1,245 @@
+"""GFD enforcement on matches — the paper's ``Expand`` / ``CheckAttr``.
+
+Given a match ``h(x̄)`` of a GFD's pattern in a canonical graph, enforcement
+
+1. decides the antecedent ``X`` against the current ``Eq``
+   (:func:`antecedent_status` — three-valued: SATISFIED / VIOLATED /
+   UNDECIDED), and
+2. when SATISFIED, applies the consequent ``Y`` with the paper's Rules 1–2
+   (:func:`enforce_consequent`), possibly recording a conflict.
+
+UNDECIDED matches are parked in an :class:`~repro.eq.inverted_index.
+InvertedIndex` keyed by the blocking terms. :class:`EnforcementEngine`
+drives the cascade: every ``Eq`` change wakes up affected parked matches
+until a fixpoint (or a conflict) is reached. VIOLATED is permanent because
+``Eq`` is monotone — constants are never retracted — so those matches are
+dropped outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..eq.eqrelation import EqRelation, Term
+from ..eq.inverted_index import InvertedIndex, PendingMatch
+from ..gfd.gfd import GFD
+from ..gfd.literals import ConstantLiteral, FalseLiteral, Literal, VariableLiteral
+from ..graph.elements import NodeId
+
+Assignment = Mapping[str, NodeId]
+
+
+class AntecedentStatus(Enum):
+    """Three-valued verdict of ``h(x̄) |= X`` against a partial ``Eq``."""
+
+    SATISFIED = "satisfied"
+    VIOLATED = "violated"
+    UNDECIDED = "undecided"
+
+
+def _literal_terms(literal: Literal, assignment: Assignment) -> List[Term]:
+    return [(assignment[var], attr) for var, attr in literal.terms()]
+
+
+def literal_status(
+    eq: EqRelation, literal: Literal, assignment: Assignment
+) -> Tuple[AntecedentStatus, List[Term]]:
+    """Decide one literal; returns (status, blocking terms when undecided)."""
+    if isinstance(literal, FalseLiteral):
+        return AntecedentStatus.VIOLATED, []
+    if isinstance(literal, ConstantLiteral):
+        term: Term = (assignment[literal.var], literal.attr)
+        constant = eq.constant_of(term)
+        if constant is None:
+            return AntecedentStatus.UNDECIDED, [term]
+        if constant == literal.value:
+            return AntecedentStatus.SATISFIED, []
+        return AntecedentStatus.VIOLATED, []
+    if not isinstance(literal, VariableLiteral):
+        from ..errors import GFDError
+
+        raise GFDError(
+            f"literal {literal} is not supported by the core engine; "
+            "use repro.extensions (ext_seq_sat / ext_seq_imp / ged_satisfiable) "
+            "for predicate and id literals"
+        )
+    term_a: Term = (assignment[literal.var], literal.attr)
+    term_b: Term = (assignment[literal.other_var], literal.other_attr)
+    if eq.same_class(term_a, term_b):
+        return AntecedentStatus.SATISFIED, []
+    const_a, const_b = eq.constant_of(term_a), eq.constant_of(term_b)
+    if const_a is not None and const_b is not None:
+        if const_a == const_b:
+            return AntecedentStatus.SATISFIED, []
+        return AntecedentStatus.VIOLATED, []
+    # Missing or uninstantiated on at least one side: a population may still
+    # give both the same value only if Eq later forces it, so wait on both.
+    return AntecedentStatus.UNDECIDED, [term_a, term_b]
+
+
+def antecedent_status(
+    eq: EqRelation, gfd: GFD, assignment: Assignment
+) -> Tuple[AntecedentStatus, List[Term]]:
+    """Decide ``h(x̄) |= X`` for the whole antecedent.
+
+    VIOLATED dominates (the match can never fire); otherwise any UNDECIDED
+    literal makes the verdict UNDECIDED with the union of blocking terms.
+    """
+    blocking: List[Term] = []
+    undecided = False
+    for literal in gfd.antecedent:
+        status, terms = literal_status(eq, literal, assignment)
+        if status is AntecedentStatus.VIOLATED:
+            return AntecedentStatus.VIOLATED, []
+        if status is AntecedentStatus.UNDECIDED:
+            undecided = True
+            blocking.extend(terms)
+    if undecided:
+        return AntecedentStatus.UNDECIDED, blocking
+    return AntecedentStatus.SATISFIED, []
+
+
+def consequent_entailed(eq: EqRelation, gfd: GFD, assignment: Assignment) -> bool:
+    """``Y ⊆ Eq`` under *assignment* (used by implication checking).
+
+    A ``false`` consequent literal is never entailed by a consistent ``Eq``
+    (a conflicted ``Eq`` is handled separately by the caller).
+    """
+    for literal in gfd.consequent:
+        if isinstance(literal, FalseLiteral):
+            return False
+        status, _ = literal_status(eq, literal, assignment)
+        if status is not AntecedentStatus.SATISFIED:
+            return False
+    return True
+
+
+def enforce_consequent(eq: EqRelation, gfd: GFD, assignment: Assignment) -> bool:
+    """Apply ``Y`` at the match (Rules 1 and 2); True if ``Eq`` changed.
+
+    Conflicts are recorded inside *eq*; callers must check
+    ``eq.has_conflict()`` afterwards.
+    """
+    changed = False
+    source = gfd.name
+    for literal in gfd.consequent:
+        if isinstance(literal, FalseLiteral):
+            anchor_var = gfd.pattern.variables[0]
+            eq.fail((assignment[anchor_var], "<false>"), source)
+            return changed
+        if isinstance(literal, ConstantLiteral):
+            term: Term = (assignment[literal.var], literal.attr)
+            changed |= eq.assign_constant(term, literal.value, source)
+        else:
+            assert isinstance(literal, VariableLiteral)
+            term_a = (assignment[literal.var], literal.attr)
+            term_b = (assignment[literal.other_var], literal.other_attr)
+            changed |= eq.merge_terms(term_a, term_b, source)
+        if eq.has_conflict():
+            return True
+    return changed
+
+
+@dataclass
+class EnforcementStats:
+    """Counters exposed for benchmarks and the simulated cost model."""
+
+    enforced: int = 0
+    deferred: int = 0
+    dropped: int = 0
+    rechecks: int = 0
+    cascade_rounds: int = 0
+
+    def merge(self, other: "EnforcementStats") -> None:
+        self.enforced += other.enforced
+        self.deferred += other.deferred
+        self.dropped += other.dropped
+        self.rechecks += other.rechecks
+        self.cascade_rounds += other.cascade_rounds
+
+
+class EnforcementEngine:
+    """Shared cascade driver over an ``Eq`` and an inverted index.
+
+    The engine is agnostic to which canonical graph the matches came from;
+    it only needs the GFD registry to resolve parked matches by name.
+    """
+
+    def __init__(
+        self,
+        eq: EqRelation,
+        gfds_by_name: Mapping[str, GFD],
+        index: Optional[InvertedIndex] = None,
+    ) -> None:
+        self.eq = eq
+        self.gfds = dict(gfds_by_name)
+        self.index = index if index is not None else InvertedIndex()
+        self.stats = EnforcementStats()
+        #: Number of enforcement operations (cost model input).
+        self.ops = 0
+        #: Provenance: delta-log index -> the antecedent terms of the match
+        #: whose enforcement appended that operation (control dependencies
+        #: for conflict explanations).
+        self.premises: Dict[int, List[Term]] = {}
+        #: Premises of the enforcement that hit the conflict, if any.
+        self.conflict_premises: List[Term] = []
+
+    def enforce(self, gfd: GFD, assignment: Assignment) -> bool:
+        """Process one match, then cascade re-checks to a fixpoint.
+
+        Returns True when ``Eq`` changed. Check ``self.eq.has_conflict()``
+        afterwards for early termination.
+        """
+        changed = self._process(gfd, dict(assignment))
+        if self.eq.has_conflict():
+            return changed
+        changed |= self.cascade()
+        return changed
+
+    def _process(self, gfd: GFD, assignment: Dict[str, NodeId]) -> bool:
+        self.ops += 1
+        status, blocking = antecedent_status(self.eq, gfd, assignment)
+        if status is AntecedentStatus.VIOLATED:
+            self.stats.dropped += 1
+            return False
+        if status is AntecedentStatus.UNDECIDED:
+            pending = PendingMatch.from_dict(gfd.name, assignment)
+            self.index.register(pending, blocking)
+            self.stats.deferred += 1
+            return False
+        self.stats.enforced += 1
+        premise_terms = [
+            (assignment[var], attr)
+            for literal in gfd.antecedent
+            for var, attr in literal.terms()
+        ]
+        log_start = self.eq.log_position()
+        changed = enforce_consequent(self.eq, gfd, assignment)
+        for log_index in range(log_start, self.eq.log_position()):
+            self.premises[log_index] = premise_terms
+        if self.eq.has_conflict() and not self.conflict_premises:
+            self.conflict_premises = premise_terms
+        return changed
+
+    def cascade(self) -> bool:
+        """Re-check parked matches affected by recent ``Eq`` changes."""
+        changed = False
+        while not self.eq.has_conflict():
+            touched = self.eq.take_changed_terms()
+            if not touched:
+                break
+            woken = self.index.pop_affected(touched)
+            if not woken:
+                continue
+            self.stats.cascade_rounds += 1
+            for pending in woken:
+                self.stats.rechecks += 1
+                gfd = self.gfds.get(pending.gfd_name)
+                if gfd is None:
+                    continue
+                changed |= self._process(gfd, pending.as_dict())
+                if self.eq.has_conflict():
+                    return True
+        return changed

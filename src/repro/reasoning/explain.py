@@ -1,0 +1,109 @@
+"""Conflict explanations: *why* is a rule set unsatisfiable?
+
+When ``SeqSat`` rejects a rule set, the raw verdict ("x.A = 0 and 1") is
+rarely enough to fix the rules — the clash is usually the end of a chain
+of enforcements across several GFDs (paper Example 4: ϕ7 seeds ``y.B = 1``,
+ϕ9 turns it into ``w.C = 1``, ϕ10 closes the loop). Every ``Eq`` mutation
+carries its provenance (the enforcing GFD) in the delta log, so the chain
+can be reconstructed by **backward slicing**: starting from the conflicting
+class, repeatedly pull in the operations that touched any relevant term,
+transitively following merge endpoints.
+
+The slice is sound (it contains every operation that contributed to the
+conflicting class) and usually small; :func:`render_explanation` prints it
+as a numbered derivation ending in the clash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set
+
+from ..eq.eqrelation import Conflict, DeltaOp, EqRelation, Term
+from ..gfd.gfd import GFD
+from .seqsat import SatResult, seq_sat
+
+
+@dataclass
+class Explanation:
+    """A conflict plus the sliced derivation chain that produced it."""
+
+    conflict: Conflict
+    steps: List[DeltaOp] = field(default_factory=list)
+    #: Names of the GFDs that participated in the derivation.
+    gfds_involved: List[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+def slice_conflict(
+    eq: EqRelation,
+    conflict: Conflict,
+    premises: Optional[dict] = None,
+    conflict_premises: Sequence[Term] = (),
+) -> List[DeltaOp]:
+    """Backward slice of the delta log relevant to *conflict*.
+
+    Seeds the relevant-term set with the conflicting class plus the premise
+    terms of the enforcement that hit the clash, then walks the log
+    backwards: an operation is kept iff it touches a relevant term; keeping
+    it makes its own terms *and* its control premises (the antecedent terms
+    of the match that produced it, when provided) relevant. The control
+    edges are what reconstruct multi-rule chains like paper Example 4,
+    where ϕ9's ``w.C = 1`` only *enables* ϕ10 without sharing a class with
+    the clashing attribute. Returns the kept operations in forward order.
+    """
+    relevant: Set[Term] = set(eq.members(conflict.term))
+    relevant.update(conflict_premises)
+    premises = premises or {}
+    kept: List[DeltaOp] = []
+    log = eq.delta_since(0)
+    for index in range(len(log) - 1, -1, -1):
+        op = log[index]
+        if any(term in relevant for term in op.terms()):
+            kept.append(op)
+            relevant.update(op.terms())
+            relevant.update(premises.get(index, ()))
+    kept.reverse()
+    return kept
+
+
+def explain_unsatisfiability(
+    sigma: Sequence[GFD], result: Optional[SatResult] = None
+) -> Optional[Explanation]:
+    """Explain why *sigma* is unsatisfiable, or None if it is satisfiable.
+
+    Pass an existing :class:`SatResult` to avoid re-running ``seq_sat``.
+    The explanation's final step is implicit: the conflicting class holds
+    two distinct constants (recorded in ``conflict``).
+    """
+    if result is None:
+        result = seq_sat(sigma)
+    if result.satisfiable:
+        return None
+    premises = result.engine.premises if result.engine is not None else {}
+    conflict_premises = (
+        result.engine.conflict_premises if result.engine is not None else ()
+    )
+    steps = slice_conflict(result.eq, result.conflict, premises, conflict_premises)
+    involved: List[str] = []
+    for op in steps:
+        source = op.source.split(":")[0]
+        if source and source not in involved:
+            involved.append(source)
+    conflict_source = result.conflict.source.split(":")[0]
+    if conflict_source and conflict_source not in involved:
+        involved.append(conflict_source)
+    return Explanation(result.conflict, steps, involved)
+
+
+def render_explanation(explanation: Explanation) -> str:
+    """A numbered, human-readable derivation ending in the clash."""
+    lines = ["unsatisfiable: derivation of the conflict"]
+    for number, op in enumerate(explanation.steps, start=1):
+        lines.append(f"  {number}. {op}")
+    lines.append(f"  ✗ clash: {explanation.conflict}")
+    if explanation.gfds_involved:
+        lines.append(f"  rules involved: {', '.join(explanation.gfds_involved)}")
+    return "\n".join(lines)

@@ -1,0 +1,172 @@
+"""Incremental satisfiability checking.
+
+The paper motivates satisfiability as *rule validation*: check a (mined or
+hand-written) rule set before using it. In practice rules arrive one at a
+time — a miner emits candidates, a user edits a rule file — and re-running
+SeqSat from scratch after every addition wastes all previous work.
+
+:class:`IncrementalSat` maintains the SeqSat state (canonical graph,
+equivalence relation, inverted index) across additions. Adding a GFD ``φ``
+appends its pattern copy as a fresh component of ``GΣ``; because a
+*connected* pattern only matches within a single component, the only new
+matches are
+
+* matches of existing (connected) patterns inside the new component, and
+* matches of ``φ``'s own pattern anywhere in the (extended) ``GΣ``,
+
+so the incremental step enforces exactly those, and lets the shared
+inverted-index cascade propagate consequences into older components.
+Disconnected patterns may span components; any of those present triggers a
+sound fallback to full recomputation for the affected step.
+
+``Eq`` is monotone, so a conflict is permanent: once unsatisfiable, every
+extension stays unsatisfiable and additions become no-ops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..eq.eqrelation import Conflict, EqRelation
+from ..eq.inverted_index import InvertedIndex
+from ..errors import GFDError
+from ..gfd.gfd import GFD
+from ..graph.elements import NodeId
+from ..graph.graph import PropertyGraph
+from ..matching.homomorphism import MatcherRun
+from .enforce import EnforcementEngine
+
+
+@dataclass
+class IncrementalStep:
+    """Outcome of one :meth:`IncrementalSat.add` call."""
+
+    gfd_name: str
+    satisfiable: bool
+    conflict: Optional[Conflict]
+    new_matches: int
+    recomputed: bool = False
+
+
+class IncrementalSat:
+    """SeqSat state that survives GFD additions."""
+
+    def __init__(self, sigma: Iterable[GFD] = ()) -> None:
+        self.graph = PropertyGraph()
+        self.eq = EqRelation()
+        self.engine = EnforcementEngine(self.eq, {}, InvertedIndex())
+        self._gfds: Dict[str, GFD] = {}
+        self._components: Dict[str, Set[NodeId]] = {}  # gfd name -> its copy
+        self._has_disconnected = False
+        self.steps: List[IncrementalStep] = []
+        for gfd in sigma:
+            self.add(gfd)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def satisfiable(self) -> bool:
+        return not self.eq.has_conflict()
+
+    @property
+    def conflict(self) -> Optional[Conflict]:
+        return self.eq.conflict
+
+    @property
+    def sigma(self) -> List[GFD]:
+        return list(self._gfds.values())
+
+    def __len__(self) -> int:
+        return len(self._gfds)
+
+    # ------------------------------------------------------------------
+    # Additions
+    # ------------------------------------------------------------------
+    def add(self, gfd: GFD) -> IncrementalStep:
+        """Add *gfd* and return the step outcome.
+
+        Raises :class:`GFDError` on duplicate names (names key the shared
+        engine registry). Adding to an already-unsatisfiable state is a
+        recorded no-op (monotone conflicts).
+        """
+        if gfd.name in self._gfds:
+            raise GFDError(f"duplicate GFD name {gfd.name!r}")
+        if self.eq.has_conflict():
+            self._register(gfd)
+            step = IncrementalStep(gfd.name, False, self.eq.conflict, 0)
+            self.steps.append(step)
+            return step
+
+        new_nodes = self._register(gfd)
+        if not gfd.pattern.is_connected():
+            self._has_disconnected = True
+        if self._has_disconnected:
+            step = self._recompute(gfd.name)
+        else:
+            step = self._incremental_step(gfd, new_nodes)
+        self.steps.append(step)
+        return step
+
+    def add_many(self, sigma: Sequence[GFD]) -> bool:
+        """Add several GFDs; returns the final satisfiability verdict."""
+        for gfd in sigma:
+            self.add(gfd)
+        return self.satisfiable
+
+    def _register(self, gfd: GFD) -> Set[NodeId]:
+        """Extend ``GΣ`` with *gfd*'s pattern copy; returns its node ids."""
+        self._gfds[gfd.name] = gfd
+        self.engine.gfds[gfd.name] = gfd
+        mapping: Dict[str, NodeId] = {}
+        for var in gfd.pattern.variables:
+            node_id = f"{gfd.name}.{var}"
+            self.graph.add_node(gfd.pattern.label_of(var), node_id=node_id)
+            mapping[var] = node_id
+        for edge in gfd.pattern.edges:
+            self.graph.add_edge(mapping[edge.src], mapping[edge.dst], edge.label)
+        nodes = set(mapping.values())
+        self._components[gfd.name] = nodes
+        return nodes
+
+    def _incremental_step(self, gfd: GFD, new_nodes: Set[NodeId]) -> IncrementalStep:
+        matches = 0
+        # (a) Existing connected patterns inside the new component.
+        for existing in self._gfds.values():
+            if existing.name == gfd.name or existing.is_trivial():
+                continue
+            run = MatcherRun(existing.pattern, self.graph, allowed_nodes=new_nodes)
+            for assignment in run.matches():
+                matches += 1
+                self.engine.enforce(existing, assignment)
+                if self.eq.has_conflict():
+                    return IncrementalStep(gfd.name, False, self.eq.conflict, matches)
+        # (b) The new pattern across every component (its own included).
+        if not gfd.is_trivial():
+            for component in self._components.values():
+                run = MatcherRun(gfd.pattern, self.graph, allowed_nodes=component)
+                for assignment in run.matches():
+                    matches += 1
+                    self.engine.enforce(gfd, assignment)
+                    if self.eq.has_conflict():
+                        return IncrementalStep(gfd.name, False, self.eq.conflict, matches)
+        return IncrementalStep(gfd.name, True, None, matches)
+
+    def _recompute(self, trigger_name: str) -> IncrementalStep:
+        """Sound fallback: rebuild Eq from scratch over the full ``GΣ``."""
+        self.eq = EqRelation()
+        self.engine = EnforcementEngine(self.eq, dict(self._gfds), InvertedIndex())
+        matches = 0
+        for gfd in self._gfds.values():
+            if gfd.is_trivial():
+                continue
+            run = MatcherRun(gfd.pattern, self.graph)
+            for assignment in run.matches():
+                matches += 1
+                self.engine.enforce(gfd, assignment)
+                if self.eq.has_conflict():
+                    return IncrementalStep(
+                        trigger_name, False, self.eq.conflict, matches, recomputed=True
+                    )
+        return IncrementalStep(trigger_name, True, None, matches, recomputed=True)

@@ -1,0 +1,150 @@
+"""``SeqImp`` — the sequential exact implication checker (Section VI-B).
+
+Built on Corollary 4: ``Σ |= φ`` (with ``φ = Q[x̄](X → Y)``) iff some
+partial enforcement ``H`` of ``Σ`` on the canonical graph ``G^X_Q`` yields a
+conflicting ``Eq_H``, or deduces ``Y ⊆ Eq_H``. SeqImp
+
+1. builds ``G^X_Q`` (the pattern ``Q`` with ``Eq_X`` encoding ``F^X_A``),
+2. enforces the GFDs of ``Σ`` on their matches in ``G^X_Q`` in dependency
+   order — GFDs whose antecedent is subsumed by ``Eq_X`` first — and
+3. returns ``True`` the moment ``Eq_H`` conflicts (``Q ∧ X ∧ Σ``
+   inconsistent, as with ``φ14`` in the paper's Example 8) or ``Y``
+   becomes deducible; ``False`` once every match is processed.
+
+Special cases: an inconsistent ``X`` (conflicting ``Eq_X``) or an empty
+``Y`` make ``φ`` trivially implied.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..eq.eqrelation import Conflict, EqRelation
+from ..eq.inverted_index import InvertedIndex
+from ..gfd.canonical import ImplicationCanonical, build_implication_canonical
+from ..gfd.gfd import GFD
+from ..matching.homomorphism import MatcherRun
+from ..matching.simulation import dual_simulation
+from .enforce import (
+    AntecedentStatus,
+    EnforcementEngine,
+    EnforcementStats,
+    antecedent_status,
+    consequent_entailed,
+)
+from .workunits import gfd_dependency_order
+
+
+@dataclass
+class ImpStats:
+    """Cost counters of one implication run."""
+
+    sigma_size: int = 0
+    matches: int = 0
+    match_ticks: int = 0
+    enforcement: EnforcementStats = field(default_factory=EnforcementStats)
+    pruned_by_simulation: int = 0
+    wall_seconds: float = 0.0
+
+
+@dataclass
+class ImpResult:
+    """Outcome of an implication check ``Σ |= φ``.
+
+    *reason* is one of ``"trivial-X"`` (inconsistent antecedent),
+    ``"trivial-Y"`` (empty consequent), ``"conflict"`` (Eq_H inconsistent),
+    ``"derived"`` (Y ⊆ Eq_H), or ``"not-implied"``.
+    """
+
+    implied: bool
+    reason: str
+    conflict: Optional[Conflict]
+    eq: EqRelation
+    stats: ImpStats
+
+    def __bool__(self) -> bool:
+        return self.implied
+
+
+def _subsumed_by_eqx(gfd: GFD, canonical: ImplicationCanonical) -> bool:
+    """True if every literal of *gfd*'s antecedent is decided by ``Eq_X``
+    under the identity embedding — such GFDs get the highest priority
+    (paper, Section VI-C(a))."""
+    identity = canonical.identity_match()
+    usable = {var for var in gfd.pattern.variables if var in identity}
+    if usable != set(gfd.pattern.variables):
+        return False
+    status, _ = antecedent_status(canonical.eq_x, gfd, identity)
+    return status is AntecedentStatus.SATISFIED
+
+
+def seq_imp(
+    sigma: Sequence[GFD],
+    phi: GFD,
+    use_dependency_order: bool = True,
+    use_simulation_pruning: bool = True,
+) -> ImpResult:
+    """Decide whether ``Σ |= φ`` (exact)."""
+    started = time.perf_counter()
+    stats = ImpStats(sigma_size=len(sigma))
+    canonical = build_implication_canonical(phi)
+    eq = canonical.fresh_eq()
+    identity = canonical.identity_match()
+
+    if eq.has_conflict():
+        stats.wall_seconds = time.perf_counter() - started
+        return ImpResult(True, "trivial-X", eq.conflict, eq, stats)
+    if phi.is_trivial():
+        stats.wall_seconds = time.perf_counter() - started
+        return ImpResult(True, "trivial-Y", None, eq, stats)
+    if consequent_entailed(eq, phi, identity):
+        stats.wall_seconds = time.perf_counter() - started
+        return ImpResult(True, "derived", None, eq, stats)
+
+    gfds_by_name = {gfd.name: gfd for gfd in sigma}
+    engine = EnforcementEngine(eq, gfds_by_name, InvertedIndex())
+
+    if use_dependency_order:
+        ordered = gfd_dependency_order(sigma)
+        # Promote GFDs whose antecedent is already decided by Eq_X — the
+        # implication-specific priority of Section VI-C(a). Stable sort
+        # keeps the dependency order within each priority band.
+        subsumed = {gfd.name for gfd in sigma if _subsumed_by_eqx(gfd, canonical)}
+        ordered = sorted(ordered, key=lambda gfd: gfd.name not in subsumed)
+    else:
+        ordered = list(sigma)
+
+    for gfd in ordered:
+        if gfd.is_trivial():
+            continue
+        candidate_sets = None
+        if use_simulation_pruning:
+            candidate_sets = dual_simulation(gfd.pattern, canonical.graph)
+            if candidate_sets is None:
+                stats.pruned_by_simulation += 1
+                continue
+        run = MatcherRun(gfd.pattern, canonical.graph, candidate_sets=candidate_sets)
+        for assignment in run.matches():
+            stats.matches += 1
+            changed = engine.enforce(gfd, assignment)
+            if eq.has_conflict():
+                stats.match_ticks += run.ticks
+                stats.enforcement = engine.stats
+                stats.wall_seconds = time.perf_counter() - started
+                return ImpResult(True, "conflict", eq.conflict, eq, stats)
+            if changed and consequent_entailed(eq, phi, identity):
+                stats.match_ticks += run.ticks
+                stats.enforcement = engine.stats
+                stats.wall_seconds = time.perf_counter() - started
+                return ImpResult(True, "derived", None, eq, stats)
+        stats.match_ticks += run.ticks
+    stats.enforcement = engine.stats
+    stats.wall_seconds = time.perf_counter() - started
+    return ImpResult(False, "not-implied", None, eq, stats)
+
+
+def implies(sigma: Sequence[GFD], phi: GFD) -> bool:
+    """Convenience wrapper returning just the verdict of ``Σ |= φ``."""
+    return seq_imp(sigma, phi).implied

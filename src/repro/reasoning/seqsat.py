@@ -1,0 +1,172 @@
+"""``SeqSat`` — the sequential exact satisfiability checker (Section IV-C).
+
+Built on the small model property (Theorem 1): ``Σ`` is satisfiable iff some
+``Σ``-bounded population of the canonical graph ``GΣ`` is a model. SeqSat
+
+1. builds ``GΣ`` (disjoint union of all patterns),
+2. processes GFDs in dependency order — empty-antecedent GFDs first — and
+3. for every match ``h(x̄)`` of a GFD's pattern in ``GΣ``, *enforces* the
+   GFD by expanding the equivalence relation ``Eq`` (Rules 1–2), parking
+   undecided matches in an inverted index that re-fires on ``Eq`` growth.
+
+It terminates with ``False`` the moment a conflict appears (two distinct
+constants in one class) and with ``True`` after all GFDs are processed —
+uninstantiated classes can always be completed with fresh distinct values.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..eq.eqrelation import Conflict, EqRelation
+from ..eq.inverted_index import InvertedIndex
+from ..gfd.canonical import CanonicalGraph, build_canonical_graph
+from ..gfd.gfd import GFD
+from ..matching.component_index import ComponentIndex
+from ..matching.homomorphism import MatcherRun
+from ..matching.simulation import dual_simulation
+from .enforce import EnforcementEngine, EnforcementStats
+from .workunits import gfd_dependency_order
+
+
+@dataclass
+class SatStats:
+    """Cost counters of one satisfiability run."""
+
+    gfds: int = 0
+    matches: int = 0
+    match_ticks: int = 0
+    enforcement: EnforcementStats = field(default_factory=EnforcementStats)
+    pruned_by_simulation: int = 0
+    components_scanned: int = 0
+    components_skipped: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def total_ticks(self) -> int:
+        """Matching ticks + enforcement operations: the virtual cost unit."""
+        return self.match_ticks
+
+
+@dataclass
+class SatResult:
+    """Outcome of a satisfiability check.
+
+    *engine* exposes the enforcement provenance (per-operation premise
+    terms) used by :mod:`repro.reasoning.explain`.
+    """
+
+    satisfiable: bool
+    conflict: Optional[Conflict]
+    eq: EqRelation
+    canonical: CanonicalGraph
+    stats: SatStats
+    engine: Optional[EnforcementEngine] = None
+
+    def __bool__(self) -> bool:
+        return self.satisfiable
+
+
+def seq_sat(
+    sigma: Sequence[GFD],
+    use_dependency_order: bool = True,
+    use_simulation_pruning: bool = True,
+) -> SatResult:
+    """Decide whether *sigma* is satisfiable (exact).
+
+    Parameters mirror the paper's optimizations so ablations can disable
+    them: *use_dependency_order* applies the GFD-level topological order;
+    *use_simulation_pruning* pre-filters candidates by dual simulation.
+    """
+    started = time.perf_counter()
+    stats = SatStats(gfds=len(sigma))
+    canonical = build_canonical_graph(sigma)
+    eq = EqRelation()
+    engine = EnforcementEngine(eq, canonical.gfds, InvertedIndex())
+    index = ComponentIndex(canonical.graph)
+
+    ordered = gfd_dependency_order(sigma) if use_dependency_order else list(sigma)
+    conflict: Optional[Conflict] = None
+    for gfd in ordered:
+        if gfd.is_trivial():
+            continue
+        conflict = _enforce_gfd_everywhere(
+            gfd, canonical, index, engine, stats, use_simulation_pruning
+        )
+        if conflict is not None:
+            break
+    stats.enforcement = engine.stats
+    stats.wall_seconds = time.perf_counter() - started
+    return SatResult(conflict is None, conflict, eq, canonical, stats, engine)
+
+
+def _enforce_gfd_everywhere(
+    gfd: GFD,
+    canonical: CanonicalGraph,
+    index: ComponentIndex,
+    engine: EnforcementEngine,
+    stats: SatStats,
+    use_simulation_pruning: bool,
+) -> Optional[Conflict]:
+    """Enforce *gfd* on all of its matches in ``GΣ``.
+
+    A connected pattern can only match inside one component of the disjoint
+    union, so matching runs per compatible component (signature-filtered,
+    optionally dual-simulation-refined). Disconnected patterns fall back to
+    whole-graph search. Returns the conflict if one emerges.
+    """
+    eq = engine.eq
+    if gfd.pattern.is_connected():
+        total = index.num_components()
+        for comp_id in range(total):
+            if not index.pattern_compatible(gfd.pattern, comp_id):
+                stats.components_skipped += 1
+                continue
+            stats.components_scanned += 1
+            nodes = index.nodes_of(comp_id)
+            candidate_sets = None
+            if use_simulation_pruning:
+                component = canonical.graph.subgraph(nodes)
+                candidate_sets = dual_simulation(gfd.pattern, component)
+                if candidate_sets is None:
+                    stats.pruned_by_simulation += 1
+                    continue
+            run = MatcherRun(
+                gfd.pattern,
+                canonical.graph,
+                allowed_nodes=nodes,
+                candidate_sets=candidate_sets,
+            )
+            conflict = _drain_matches(gfd, run, engine, stats)
+            if conflict is not None:
+                return conflict
+        return None
+    candidate_sets = None
+    if use_simulation_pruning:
+        candidate_sets = dual_simulation(gfd.pattern, canonical.graph)
+        if candidate_sets is None:
+            stats.pruned_by_simulation += 1
+            return None
+    run = MatcherRun(gfd.pattern, canonical.graph, candidate_sets=candidate_sets)
+    return _drain_matches(gfd, run, engine, stats)
+
+
+def _drain_matches(
+    gfd: GFD, run: MatcherRun, engine: EnforcementEngine, stats: SatStats
+) -> Optional[Conflict]:
+    eq = engine.eq
+    for assignment in run.matches():
+        stats.matches += 1
+        engine.enforce(gfd, assignment)
+        if eq.has_conflict():
+            stats.match_ticks += run.ticks
+            return eq.conflict
+    stats.match_ticks += run.ticks
+    return None
+
+
+def is_satisfiable(sigma: Sequence[GFD]) -> bool:
+    """Convenience wrapper returning just the verdict."""
+    return seq_sat(sigma).satisfiable

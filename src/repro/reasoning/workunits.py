@@ -1,0 +1,319 @@
+"""Work units, dependency graphs, and topological priority orders.
+
+A *work unit* ``(Q[z], φ)`` (paper, Section V-B) scopes the matching of
+GFD ``φ``'s pattern to the candidate matches whose pivot variable maps to
+node ``z``; by homomorphism data locality the search stays within the
+``dQ``-neighborhood of ``z`` (``dQ`` = pivot eccentricity in ``Q``).
+
+A *dependency graph* over work units (Fig. 4(b)) has an edge ``w1 -> w2``
+when the consequent of ``w1``'s GFD may feed the antecedent of ``w2``'s GFD
+(shared attribute name) *and* the two pivots are close enough to interact
+(``z2`` within ``d_{Q1}`` hops of ``z1``). Units are then processed in a
+topological order (cycles broken deterministically), with empty-antecedent
+units first. The same attribute-overlap relation at the GFD level orders
+the *sequential* algorithms (the paper applies dependency ordering to
+SeqSat/SeqImp too, Section VII).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..gfd.gfd import GFD
+from ..graph.elements import NodeId, is_wildcard
+from ..graph.graph import PropertyGraph
+from ..graph.neighborhood import bfs_hops
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """A pivoted (and possibly split) matching task for one GFD.
+
+    Attributes
+    ----------
+    gfd_name:
+        Which GFD of ``Σ`` this unit enforces.
+    assignment:
+        Preassigned bindings, as a sorted tuple of (variable, node) pairs.
+        A fresh unit binds just the pivot; a split unit binds a longer
+        prefix (paper, Example 6).
+    radius:
+        The ``dQ`` locality radius around the pivot node, or None when the
+        unit is unrestricted (disconnected patterns).
+    generation:
+        0 for coordinator-created units, parent+1 for split sub-units.
+    """
+
+    gfd_name: str
+    assignment: Tuple[Tuple[str, NodeId], ...]
+    radius: Optional[int] = None
+    generation: int = 0
+
+    @staticmethod
+    def make(
+        gfd_name: str,
+        assignment: Mapping[str, NodeId],
+        radius: Optional[int] = None,
+        generation: int = 0,
+    ) -> "WorkUnit":
+        pairs = tuple(sorted(assignment.items(), key=lambda kv: kv[0]))
+        return WorkUnit(gfd_name, pairs, radius, generation)
+
+    def assignment_dict(self) -> Dict[str, NodeId]:
+        return dict(self.assignment)
+
+    def pivot_node(self) -> Optional[NodeId]:
+        """The first bound node (the pivot for fresh units)."""
+        if not self.assignment:
+            return None
+        return self.assignment[0][1]
+
+    def __str__(self) -> str:
+        bound = ", ".join(f"{var}→{node}" for var, node in self.assignment)
+        return f"({self.gfd_name}[{bound}], r={self.radius}, g{self.generation})"
+
+
+def choose_pivot(gfd: GFD, graph: PropertyGraph) -> str:
+    """Pick a pivot variable for *gfd*'s (first) pattern component.
+
+    Preference order: selective label (few candidate nodes in *graph*),
+    then small eccentricity (small ``dQ``), then name for determinism.
+    """
+    pattern = gfd.pattern
+    component = pattern.components[0]
+
+    def key(var: str) -> Tuple[int, int, str]:
+        label = pattern.label_of(var)
+        count = graph.num_nodes if is_wildcard(label) else len(graph.nodes_with_label(label))
+        return (count, pattern.eccentricity(var), var)
+
+    return min(component, key=key)
+
+
+def pivot_candidates(gfd: GFD, pivot_var: str, graph: PropertyGraph) -> List[NodeId]:
+    """Target nodes whose label is compatible with the pivot variable."""
+    label = gfd.pattern.label_of(pivot_var)
+    if is_wildcard(label):
+        nodes = list(graph.nodes())
+    else:
+        nodes = list(graph.nodes_with_label(label))
+    return sorted(nodes, key=str)
+
+
+def generate_work_units(
+    sigma: Sequence[GFD],
+    graph: PropertyGraph,
+    pivot_overrides: Optional[Mapping[str, str]] = None,
+) -> List[WorkUnit]:
+    """All fresh work units of ``Σ`` against *graph*.
+
+    One unit per (GFD, candidate pivot node). Connected patterns get a
+    locality radius (pivot eccentricity); disconnected patterns pivot their
+    first component and search the rest globally (radius None).
+    """
+    units: List[WorkUnit] = []
+    for gfd in sigma:
+        pivot = None
+        if pivot_overrides is not None:
+            pivot = pivot_overrides.get(gfd.name)
+        if pivot is None:
+            pivot = choose_pivot(gfd, graph)
+        radius = gfd.pattern.eccentricity(pivot) if gfd.pattern.is_connected() else None
+        for node in pivot_candidates(gfd, pivot, graph):
+            units.append(WorkUnit.make(gfd.name, {pivot: node}, radius=radius))
+    return units
+
+
+def generate_pruned_work_units(
+    sigma: Sequence[GFD],
+    graph: PropertyGraph,
+    index=None,
+    use_simulation: bool = True,
+) -> List[WorkUnit]:
+    """Work units filtered by the paper's simulation-based optimization.
+
+    For connected patterns, units are generated per (GFD, component) pair
+    that survives the label-signature test *and* a per-component dual
+    simulation: pivot candidates are restricted to the pivot variable's
+    simulation set, which discards the bulk of zero-match units before the
+    queue ever sees them (Section V-B's multi-query optimization — "if Q1
+    does not match Q'2 by simulation, then Q1 is not homomorphic to Q'2").
+    Components of canonical graphs have at most k nodes, so each simulation
+    is O(k²) — coordinator-side setup cost, not charged to workers.
+    """
+    from ..matching.component_index import ComponentIndex
+    from ..matching.simulation import dual_simulation
+
+    if index is None:
+        index = ComponentIndex(graph)
+    units: List[WorkUnit] = []
+    for gfd in sigma:
+        pivot = choose_pivot(gfd, graph)
+        if not gfd.pattern.is_connected() or not use_simulation:
+            radius = gfd.pattern.eccentricity(pivot) if gfd.pattern.is_connected() else None
+            for node in pivot_candidates(gfd, pivot, graph):
+                if radius is not None and not index.compatible_with_pivot(gfd.pattern, node):
+                    continue
+                units.append(WorkUnit.make(gfd.name, {pivot: node}, radius=radius))
+            continue
+        radius = gfd.pattern.eccentricity(pivot)
+        for comp_id in range(index.num_components()):
+            if not index.pattern_compatible(gfd.pattern, comp_id):
+                continue
+            simulation = dual_simulation(gfd.pattern, index.subgraph(comp_id))
+            if simulation is None:
+                continue
+            for node in sorted(simulation[pivot], key=str):
+                units.append(WorkUnit.make(gfd.name, {pivot: node}, radius=radius))
+    return units
+
+
+# ----------------------------------------------------------------------
+# Dependency graphs
+# ----------------------------------------------------------------------
+def _attribute_feeds(producer: GFD, consumer: GFD) -> bool:
+    """True when an attribute name in ``Y_producer`` occurs in ``X_consumer``."""
+    return bool(producer.consequent_attributes() & consumer.antecedent_attributes())
+
+
+def gfd_dependency_edges(sigma: Sequence[GFD]) -> Dict[str, Set[str]]:
+    """GFD-level dependency edges name -> set of dependent names."""
+    edges: Dict[str, Set[str]] = {gfd.name: set() for gfd in sigma}
+    for producer in sigma:
+        if not producer.consequent_attributes():
+            continue
+        for consumer in sigma:
+            if consumer.name == producer.name:
+                continue
+            if _attribute_feeds(producer, consumer):
+                edges[producer.name].add(consumer.name)
+    return edges
+
+
+def gfd_dependency_order(sigma: Sequence[GFD]) -> List[GFD]:
+    """Order ``Σ`` for sequential processing.
+
+    Empty-antecedent GFDs first (they seed the initial attribute batch,
+    paper Section IV-C(a)), then a topological order of the attribute-feed
+    graph with deterministic cycle breaking.
+    """
+    by_name = {gfd.name: gfd for gfd in sigma}
+    edges = gfd_dependency_edges(sigma)
+    order_names = _topological_order(
+        list(by_name),
+        edges,
+        priority=lambda name: (not by_name[name].has_empty_antecedent(), name),
+    )
+    return [by_name[name] for name in order_names]
+
+
+def unit_dependency_edges(
+    units: Sequence[WorkUnit],
+    sigma_by_name: Mapping[str, GFD],
+    graph: PropertyGraph,
+) -> Dict[int, Set[int]]:
+    """Unit-level dependency edges (indices into *units*).
+
+    ``w1 -> w2`` when (a) attrs(Y1) ∩ attrs(X2) ≠ ∅ and (b) pivot(w2) lies
+    within ``d_{Q1}`` hops of pivot(w1). Distances are computed per BFS from
+    each distinct pivot — cheap because canonical-graph components are tiny.
+    """
+    edges: Dict[int, Set[int]] = defaultdict(set)
+    # Group unit indices by pivot node for distance reuse.
+    by_pivot: Dict[NodeId, List[int]] = defaultdict(list)
+    for index, unit in enumerate(units):
+        pivot = unit.pivot_node()
+        if pivot is not None:
+            by_pivot[pivot].append(index)
+    hop_cache: Dict[Tuple[NodeId, int], Dict[NodeId, int]] = {}
+    for index, unit in enumerate(units):
+        producer = sigma_by_name[unit.gfd_name]
+        produced = producer.consequent_attributes()
+        if not produced:
+            continue
+        pivot = unit.pivot_node()
+        if pivot is None:
+            continue
+        radius = unit.radius if unit.radius is not None else graph.num_nodes
+        cache_key = (pivot, radius)
+        if cache_key not in hop_cache:
+            hop_cache[cache_key] = bfs_hops(graph, pivot, max_hops=radius)
+        reachable = hop_cache[cache_key]
+        for other_pivot, other_indices in by_pivot.items():
+            if other_pivot not in reachable:
+                continue
+            for other_index in other_indices:
+                if other_index == index:
+                    continue
+                consumer = sigma_by_name[units[other_index].gfd_name]
+                if produced & consumer.antecedent_attributes():
+                    edges[index].add(other_index)
+    return dict(edges)
+
+
+def order_units(
+    units: Sequence[WorkUnit],
+    sigma_by_name: Mapping[str, GFD],
+    graph: PropertyGraph,
+    high_priority: Optional[Callable[[WorkUnit], bool]] = None,
+) -> List[WorkUnit]:
+    """Topologically order *units* by the unit dependency graph.
+
+    *high_priority* marks units to put at the front regardless of
+    dependencies among equals (empty-antecedent units by default; the
+    implication variant passes "antecedent subsumed by Eq_X" instead).
+    """
+    if high_priority is None:
+        high_priority = lambda unit: sigma_by_name[unit.gfd_name].has_empty_antecedent()
+    edges = unit_dependency_edges(units, sigma_by_name, graph)
+    indices = list(range(len(units)))
+    edge_map = {i: set(edges.get(i, ())) for i in indices}
+    order = _topological_order(
+        indices,
+        edge_map,
+        priority=lambda i: (not high_priority(units[i]), units[i].gfd_name, str(units[i].assignment)),
+    )
+    return [units[i] for i in order]
+
+
+def _topological_order(
+    nodes: List,
+    edges: Mapping,
+    priority: Callable,
+) -> List:
+    """Kahn's algorithm with a priority tie-break and cycle tolerance.
+
+    When only cyclic nodes remain, the minimum-priority one is released
+    (its incoming edges are ignored), so the result is always a total order.
+    """
+    indegree: Dict = {node: 0 for node in nodes}
+    for source, targets in edges.items():
+        for target in targets:
+            if target in indegree:
+                indegree[target] += 1
+    import heapq
+
+    ready = [(priority(node), node) for node in nodes if indegree[node] == 0]
+    heapq.heapify(ready)
+    blocked = {node for node in nodes if indegree[node] > 0}
+    order: List = []
+    while ready or blocked:
+        if not ready:
+            # Cycle: release the best blocked node.
+            victim = min(blocked, key=priority)
+            blocked.discard(victim)
+            heapq.heappush(ready, (priority(victim), victim))
+            indegree[victim] = 0
+        _, node = heapq.heappop(ready)
+        if node in blocked:
+            continue
+        order.append(node)
+        for target in edges.get(node, ()):
+            if target in indegree and indegree[target] > 0:
+                indegree[target] -= 1
+                if indegree[target] == 0 and target in blocked:
+                    blocked.discard(target)
+                    heapq.heappush(ready, (priority(target), target))
+    return order

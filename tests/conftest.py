@@ -1,0 +1,123 @@
+"""Shared fixtures: small graphs and the paper's example GFD sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PropertyGraph, parse_gfds
+
+
+@pytest.fixture
+def small_graph() -> PropertyGraph:
+    """A 5-node labeled graph with attributes used across matcher tests.
+
+    a0 -knows-> b0 -knows-> b1 ; a0 -likes-> c0 ; b1 -knows-> a1
+    """
+    graph = PropertyGraph()
+    a0 = graph.add_node("a", {"x": 1}, node_id="a0")
+    b0 = graph.add_node("b", {"x": 2}, node_id="b0")
+    b1 = graph.add_node("b", {}, node_id="b1")
+    c0 = graph.add_node("c", {"y": "hello"}, node_id="c0")
+    a1 = graph.add_node("a", {}, node_id="a1")
+    graph.add_edge(a0, b0, "knows")
+    graph.add_edge(b0, b1, "knows")
+    graph.add_edge(a0, c0, "likes")
+    graph.add_edge(b1, a1, "knows")
+    return graph
+
+
+@pytest.fixture
+def example2_conflicting():
+    """Paper Example 2: phi5/phi6 — same pattern, contradictory constants."""
+    return parse_gfds(
+        """
+        gfd phi5 { x: _; then x.A = 0; }
+        gfd phi6 { x: _; then x.A = 1; }
+        """
+    )
+
+
+@pytest.fixture
+def example2_cross_pattern():
+    """Paper Example 2 (second half): phi7/phi8 on patterns Q6/Q7."""
+    return parse_gfds(
+        """
+        gfd phi7 {
+            x: a; y: b; z: b; w: c;
+            x -[p]-> y; x -[p]-> z; x -[p]-> w;
+            then x.A = 0, y.B = 1;
+        }
+        gfd phi8 {
+            x: a; y: b; z: c; w: c;
+            x -[p]-> y; x -[p]-> z; x -[p]-> w;
+            when y.B = 1;
+            then x.A = 1;
+        }
+        """
+    )
+
+
+@pytest.fixture
+def example4_sigma():
+    """Paper Example 4: phi7/phi9/phi10 — unsatisfiable via the inverted
+    index re-check chain."""
+    return parse_gfds(
+        """
+        gfd phi7 {
+            x: a; y: b; z: b; w: c;
+            x -[p]-> y; x -[p]-> z; x -[p]-> w;
+            then x.A = 0, y.B = 1;
+        }
+        gfd phi9 {
+            x: a; y: b; z: b; w: c;
+            x -[p]-> y; x -[p]-> z; x -[p]-> w;
+            when y.B = 1;
+            then w.C = 1;
+        }
+        gfd phi10 {
+            x: a; y: b; z: c; w: c;
+            x -[p]-> y; x -[p]-> z; x -[p]-> w;
+            when w.C = 1;
+            then x.A = 1;
+        }
+        """
+    )
+
+
+@pytest.fixture
+def example8_sigma():
+    """Paper Example 8: phi11/phi12 (implication premises)."""
+    return parse_gfds(
+        """
+        gfd phi11 { x: a; y: b; x -[p]-> y; then x.A = 1; }
+        gfd phi12 { x: a; y: c; x -[p]-> y; when x.A = 1, y.B = 2; then y.C = 2; }
+        """
+    )
+
+
+@pytest.fixture
+def example8_phi13():
+    return parse_gfds(
+        """
+        gfd phi13 {
+            x: a; y: b; z: c; w: c;
+            x -[p]-> y; x -[p]-> z; x -[p]-> w;
+            when z.B = 2;
+            then z.C = 2;
+        }
+        """
+    )[0]
+
+
+@pytest.fixture
+def example8_phi14():
+    return parse_gfds(
+        """
+        gfd phi14 {
+            x: a; y: b; z: c; w: c;
+            x -[p]-> y; x -[p]-> z; x -[p]-> w;
+            when x.A = 0;
+            then z.C = 2;
+        }
+        """
+    )[0]

@@ -1,0 +1,134 @@
+"""Tests for the benchmark harness and a smoke pass over experiments."""
+
+import pytest
+
+from repro.bench.harness import (
+    Experiment,
+    Series,
+    implication_workload,
+    mined_implication_workload,
+    mined_workload,
+    parallel_sat_workload,
+    sequential_virtual_seconds,
+    synthetic_imp_workload,
+    synthetic_sat_workload,
+    timed,
+)
+from repro.chase import chase_satisfiability
+from repro.reasoning import seq_imp, seq_sat
+
+
+class TestVirtualSeconds:
+    def test_sat_result_priced(self, example4_sigma):
+        result = seq_sat(example4_sigma)
+        assert sequential_virtual_seconds(result) > 0
+
+    def test_imp_result_priced(self, example8_sigma, example8_phi13):
+        result = seq_imp(example8_sigma, example8_phi13)
+        assert sequential_virtual_seconds(result) > 0
+
+    def test_chase_result_priced(self, example4_sigma):
+        result = chase_satisfiability(example4_sigma)
+        assert sequential_virtual_seconds(result) > 0
+
+    def test_more_work_costs_more(self):
+        small = seq_sat(synthetic_sat_workload(20, seed=1).sigma)
+        large = seq_sat(synthetic_sat_workload(120, seed=1).sigma)
+        assert sequential_virtual_seconds(large) > sequential_virtual_seconds(small)
+
+
+class TestWorkloads:
+    def test_mined_workload_with_conflicts_unsat(self):
+        workload = mined_workload("dbpedia", count=20, num_nodes=300)
+        assert workload.expected_satisfiable is False
+        assert not seq_sat(workload.sigma).satisfiable
+
+    def test_mined_workload_clean_sat(self):
+        workload = mined_workload("yago2", count=20, num_nodes=300, with_conflicts=False)
+        assert seq_sat(workload.sigma).satisfiable
+
+    def test_mined_implication_workload(self):
+        workload = mined_implication_workload("pokec", count=15, num_nodes=300)
+        assert workload.phi not in workload.sigma
+
+    def test_parallel_sat_workload_satisfiable(self):
+        workload = parallel_sat_workload("dbpedia")
+        assert workload.expected_satisfiable
+
+    def test_implication_workload_underivable(self):
+        workload = implication_workload(num_seekers=1, num_background=5, target_size=6,
+                                        seeker_length=3)
+        result = seq_imp(workload.sigma, workload.phi)
+        assert not result.implied
+
+    def test_implication_workload_derivable(self):
+        workload = implication_workload(num_seekers=1, num_background=5, target_size=6,
+                                        seeker_length=3, derivable=True)
+        result = seq_imp(workload.sigma, workload.phi)
+        assert result.implied
+
+    def test_synthetic_workloads_sized(self):
+        assert len(synthetic_sat_workload(30).sigma) == 30
+        workload = synthetic_imp_workload(30)
+        assert len(workload.sigma) == 30
+
+
+class TestExperimentRendering:
+    def test_series_and_lookup(self):
+        series = Series("algo")
+        series.add(4, 1.5)
+        assert series.value_at(4) == 1.5
+        assert series.value_at(8) is None
+
+    def test_render_table(self):
+        experiment = Experiment("figX", "demo", "p", notes="hello")
+        experiment.series_named("A").add(4, 1.0)
+        experiment.series_named("A").add(8, 0.5)
+        experiment.series_named("B").add(4, 2.0)
+        text = experiment.render()
+        assert "figX" in text and "A" in text and "B" in text
+        assert "hello" in text
+        assert "1.00" in text and "-" in text  # B missing at x=8
+
+    def test_series_named_reuses(self):
+        experiment = Experiment("figX", "demo", "p")
+        first = experiment.series_named("A")
+        assert experiment.series_named("A") is first
+
+    def test_timed(self):
+        result, seconds = timed(sum, [1, 2, 3])
+        assert result == 6
+        assert seconds >= 0
+
+
+class TestExperimentSmoke:
+    """Tiny-scale smoke runs of the figure functions (shapes checked in
+    integration tests; here we only assert they produce full series)."""
+
+    def test_fig5_smoke(self):
+        from repro.bench.experiments import fig5_sequential
+
+        experiment = fig5_sequential(mined_count=10, num_nodes=200, datasets=("yago2",))
+        assert {s.algorithm for s in experiment.series} == {"SeqSat", "SeqImp", "ParImpRDF"}
+        for series in experiment.series:
+            assert series.value_at("yago2") is not None
+
+    def test_fig6e_smoke(self):
+        from repro.bench.experiments import fig6e_sat_varying_sigma
+
+        experiment = fig6e_sat_varying_sigma(sigma_sweep=(20, 40))
+        for series in experiment.series:
+            assert len(series.points) == 2
+
+    def test_fig6k_smoke(self):
+        from repro.bench.experiments import fig6k_sat_varying_ttl
+
+        experiment = fig6k_sat_varying_ttl(ttl_sweep=(0.5, 2.0))
+        assert {s.algorithm for s in experiment.series} == {"ParSat", "ParSatnp"}
+
+    def test_run_all_subset(self):
+        from repro.bench.experiments import ALL_EXPERIMENTS, run_all
+
+        assert len(ALL_EXPERIMENTS) == 13  # Fig 5 + Fig 6(a)-(l)
+        results = run_all(["fig5"])
+        assert results[0].experiment_id == "fig5"

@@ -1,0 +1,102 @@
+"""Unit tests for canonical graph constructions."""
+
+import pytest
+
+from repro.errors import GFDError
+from repro.gfd import (
+    build_canonical_graph,
+    build_implication_canonical,
+    canonical_node_id,
+    eq_from_literals,
+    make_gfd,
+    make_pattern,
+    parse_gfds,
+)
+from repro.gfd.literals import FALSE, eq, vareq
+
+
+class TestCanonicalSigma:
+    def test_disjoint_union_structure(self, example2_cross_pattern):
+        canonical = build_canonical_graph(example2_cross_pattern)
+        # Two 4-node patterns -> 8 nodes, 3 edges each.
+        assert canonical.graph.num_nodes == 8
+        assert canonical.graph.num_edges == 6
+        assert set(canonical.gfds) == {"phi7", "phi8"}
+
+    def test_identity_embedding(self, example2_cross_pattern):
+        canonical = build_canonical_graph(example2_cross_pattern)
+        phi7 = canonical.gfds["phi7"]
+        identity = canonical.identity_match(phi7)
+        for var in phi7.pattern.variables:
+            node = identity[var]
+            assert canonical.graph.label(node) == phi7.pattern.label_of(var)
+        for edge in phi7.pattern.edges:
+            assert canonical.graph.has_edge(identity[edge.src], identity[edge.dst], edge.label)
+
+    def test_node_ids_prefixed_by_gfd_name(self, example2_cross_pattern):
+        canonical = build_canonical_graph(example2_cross_pattern)
+        assert canonical.node_for("phi7", "x") == canonical_node_id("phi7", "x")
+
+    def test_wildcard_kept_as_label(self):
+        sigma = parse_gfds("gfd g { x: _; then x.A = 1; }")
+        canonical = build_canonical_graph(sigma)
+        node = canonical.node_for("g", "x")
+        assert canonical.graph.label(node) == "_"
+
+    def test_duplicate_names_rejected(self):
+        pattern = make_pattern({"x": "a"})
+        gfd_a = make_gfd(pattern, [], [eq("x", "A", 1)], name="same")
+        gfd_b = make_gfd(make_pattern({"x": "b"}), [], [eq("x", "A", 1)], name="same")
+        with pytest.raises(GFDError):
+            build_canonical_graph([gfd_a, gfd_b])
+
+    def test_component_roots_one_per_gfd(self, example4_sigma):
+        canonical = build_canonical_graph(example4_sigma)
+        assert len(canonical.component_roots) == 3
+
+
+class TestImplicationCanonical:
+    def test_graph_uses_variable_node_ids(self, example8_phi13):
+        canonical = build_implication_canonical(example8_phi13)
+        assert set(canonical.graph.nodes()) == set(example8_phi13.pattern.variables)
+        assert canonical.identity_match() == {v: v for v in example8_phi13.pattern.variables}
+
+    def test_eq_x_encodes_antecedent(self, example8_phi13):
+        canonical = build_implication_canonical(example8_phi13)
+        # phi13's X is z.B = 2.
+        assert canonical.eq_x.constant_of(("z", "B")) == 2
+
+    def test_fresh_eq_is_a_copy(self, example8_phi13):
+        canonical = build_implication_canonical(example8_phi13)
+        fresh = canonical.fresh_eq()
+        fresh.assign_constant(("z", "B"), 3)
+        assert fresh.has_conflict()
+        assert not canonical.eq_x.has_conflict()
+
+    def test_inconsistent_antecedent_flagged(self):
+        pattern = make_pattern({"x": "a"})
+        phi = make_gfd(pattern, [eq("x", "A", 1), eq("x", "A", 2)], [eq("x", "B", 1)])
+        canonical = build_implication_canonical(phi)
+        assert canonical.eq_x.has_conflict()
+
+
+class TestEqFromLiterals:
+    def test_transitive_closure(self):
+        relation = eq_from_literals(
+            [vareq("x", "A", "y", "B"), vareq("y", "B", "z", "C")],
+            {"x": "x", "y": "y", "z": "z"},
+        )
+        assert relation.same_class(("x", "A"), ("z", "C"))
+
+    def test_constant_bridge_closure(self):
+        # x.A = c and z.C = c puts both in classes holding c.
+        relation = eq_from_literals(
+            [eq("x", "A", "c"), eq("z", "C", "c")],
+            {"x": "x", "z": "z"},
+        )
+        assert relation.constant_of(("x", "A")) == "c"
+        assert relation.constant_of(("z", "C")) == "c"
+
+    def test_false_literal_conflicts(self):
+        relation = eq_from_literals([FALSE], {})
+        assert relation.has_conflict()

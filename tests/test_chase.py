@@ -1,0 +1,139 @@
+"""Tests for the chase baselines (naive GFD chase and ParImpRDF)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import seq_imp, seq_sat
+from repro.chase import (
+    RdfFD,
+    Triple,
+    chase_implication,
+    chase_satisfiability,
+    rdf_imp,
+    reify_gfd,
+    reify_graph,
+    reify_pattern,
+)
+from repro.gfd import make_pattern, parse_gfds
+from repro.gfd.generator import random_gfds
+from repro.graph.elements import WILDCARD
+from repro.matching.homomorphism import find_homomorphisms
+from repro import PropertyGraph
+
+
+class TestChaseSatisfiability:
+    def test_paper_examples(self, example2_conflicting, example4_sigma, example8_sigma):
+        assert not chase_satisfiability(example2_conflicting).verdict
+        assert not chase_satisfiability(example4_sigma).verdict
+        assert chase_satisfiability(example8_sigma).verdict
+
+    def test_rounds_counted(self, example4_sigma):
+        result = chase_satisfiability(example4_sigma)
+        assert result.stats.rounds >= 1
+        assert result.stats.matches_considered > 0
+
+    def test_chase_reaches_fixpoint_on_satisfiable(self, example8_sigma):
+        result = chase_satisfiability(example8_sigma)
+        assert result.verdict
+        # Another full round would change nothing (fixpoint reached).
+        assert result.stats.rounds >= 2
+
+
+class TestChaseImplication:
+    def test_paper_example8(self, example8_sigma, example8_phi13, example8_phi14):
+        assert chase_implication(example8_sigma, example8_phi13).verdict
+        assert chase_implication(example8_sigma, example8_phi14).verdict
+        assert not chase_implication([example8_sigma[0]], example8_phi13).verdict
+
+    def test_trivial_cases(self):
+        phi_trivial = parse_gfds("gfd t { x: a; when x.A = 1; }")[0]
+        assert chase_implication([], phi_trivial).verdict
+
+
+class TestReification:
+    def test_reify_pattern_structure(self):
+        pattern = make_pattern({"x": "a", "y": "b"}, [("x", "y", "knows")])
+        reified = reify_pattern(pattern)
+        assert set(reified.variables) == {"x", "y", "stmt0"}
+        assert reified.label_of("stmt0") == "stmt:knows"
+        assert len(reified.edges) == 2
+
+    def test_reify_wildcard_edge(self):
+        pattern = make_pattern({"x": "a", "y": "b"}, [("x", "y", WILDCARD)])
+        reified = reify_pattern(pattern)
+        assert reified.label_of("stmt0") == WILDCARD
+
+    def test_reify_graph_preserves_attrs(self, small_graph):
+        reified = reify_graph(small_graph)
+        assert reified.attrs("a0") == {"x": 1}
+        # One statement node per original edge.
+        assert reified.num_nodes == small_graph.num_nodes + small_graph.num_edges
+
+    def test_reification_preserves_matches(self, small_graph):
+        pattern = make_pattern(
+            {"x": "a", "y": "b", "z": "b"}, [("x", "y", "knows"), ("y", "z", "knows")]
+        )
+        original = find_homomorphisms(pattern, small_graph)
+        reified_matches = find_homomorphisms(reify_pattern(pattern), reify_graph(small_graph))
+        projected = {
+            tuple(sorted((k, v) for k, v in m.items() if not k.startswith("stmt")))
+            for m in reified_matches
+        }
+        assert projected == {tuple(sorted(m.items())) for m in original}
+
+    def test_reify_gfd_keeps_literals(self, example8_sigma):
+        reified = reify_gfd(example8_sigma[0])
+        assert reified.consequent == example8_sigma[0].consequent
+        assert reified.name.endswith("@rdf")
+
+
+class TestRdfImp:
+    def test_agrees_on_paper_example(self, example8_sigma, example8_phi13, example8_phi14):
+        assert rdf_imp(example8_sigma, example8_phi13).verdict
+        assert rdf_imp(example8_sigma, example8_phi14).verdict
+        assert not rdf_imp([example8_sigma[1]], example8_phi13).verdict
+
+    def test_rdf_fd_conversion(self):
+        fd = RdfFD(
+            triples=(Triple("s", "name", "n"), Triple("s", "email", "m")),
+            lhs=("n",),
+            rhs=("m",),
+            name="name_determines_email",
+        )
+        gfd = fd.to_gfd()
+        assert gfd.name == "name_determines_email"
+        assert set(gfd.pattern.variables) == {"s", "n", "m"}
+        assert all(gfd.pattern.is_wildcard_var(v) for v in gfd.pattern.variables)
+
+    def test_rdf_fd_with_constants(self):
+        fd = RdfFD(
+            triples=(Triple("s", "type", "t"),),
+            lhs=("t",),
+            rhs=("s",),
+            constants=(("t", "Person"),),
+        )
+        gfd = fd.to_gfd()
+        assert any(getattr(lit, "value", None) == "Person" for lit in gfd.antecedent)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_chase_sat_agrees_with_seqsat(seed):
+    sigma = random_gfds(
+        8, max_pattern_nodes=4, max_literals=3, seed=seed, consistent=False
+    )
+    assert chase_satisfiability(sigma).verdict == seq_sat(sigma).satisfiable
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_chase_and_rdf_imp_agree_with_seqimp(seed):
+    sigma = random_gfds(
+        6, max_pattern_nodes=4, max_literals=3, seed=seed, consistent=False
+    )
+    phi = random_gfds(
+        1, max_pattern_nodes=4, max_literals=3, seed=seed + 13, consistent=False
+    )[0]
+    expected = seq_imp(sigma, phi).implied
+    assert chase_implication(sigma, phi).verdict == expected
+    assert rdf_imp(sigma, phi).verdict == expected

@@ -1,0 +1,57 @@
+"""Unit tests for the canonical-graph component index."""
+
+from repro.gfd import build_canonical_graph, make_pattern, parse_gfds
+from repro.graph.elements import WILDCARD
+from repro.matching.component_index import ComponentIndex
+from repro.matching.homomorphism import has_homomorphism
+
+
+class TestComponentIndex:
+    def test_components_match_gfd_copies(self, example4_sigma):
+        canonical = build_canonical_graph(example4_sigma)
+        index = ComponentIndex(canonical.graph)
+        assert index.num_components() == 3
+        # Every node of one GFD copy shares a component.
+        for gfd in example4_sigma:
+            ids = {
+                index.component_of(canonical.node_for(gfd.name, var))
+                for var in gfd.pattern.variables
+            }
+            assert len(ids) == 1
+
+    def test_signature_filter_sound(self, example4_sigma):
+        """If the signature filter rejects, no homomorphism exists there."""
+        canonical = build_canonical_graph(example4_sigma)
+        index = ComponentIndex(canonical.graph)
+        for gfd in example4_sigma:
+            for comp_id in range(index.num_components()):
+                if not index.pattern_compatible(gfd.pattern, comp_id):
+                    sub_nodes = index.nodes_of(comp_id)
+                    sub = canonical.graph.subgraph(sub_nodes)
+                    assert not has_homomorphism(gfd.pattern, sub)
+
+    def test_wildcard_pattern_compatible_everywhere_with_edges(self, example4_sigma):
+        canonical = build_canonical_graph(example4_sigma)
+        index = ComponentIndex(canonical.graph)
+        pattern = make_pattern({"x": WILDCARD, "y": WILDCARD}, [("x", "y", WILDCARD)])
+        assert index.candidate_components(pattern) == list(range(3))
+
+    def test_wildcard_edge_needs_some_edge(self):
+        sigma = parse_gfds("gfd iso { x: a; then x.A = 1; }")
+        canonical = build_canonical_graph(sigma)
+        index = ComponentIndex(canonical.graph)
+        pattern = make_pattern({"x": WILDCARD, "y": WILDCARD}, [("x", "y", WILDCARD)])
+        assert index.candidate_components(pattern) == []
+
+    def test_missing_edge_label_rejected(self, example4_sigma):
+        canonical = build_canonical_graph(example4_sigma)
+        index = ComponentIndex(canonical.graph)
+        pattern = make_pattern({"x": "a", "y": "b"}, [("x", "y", "ghostlabel")])
+        assert index.candidate_components(pattern) == []
+
+    def test_compatible_with_pivot(self, example4_sigma):
+        canonical = build_canonical_graph(example4_sigma)
+        index = ComponentIndex(canonical.graph)
+        phi7 = canonical.gfds["phi7"]
+        pivot = canonical.node_for("phi9", "x")
+        assert index.compatible_with_pivot(phi7.pattern, pivot)

@@ -1,0 +1,81 @@
+"""Tests for implication-based rule covers."""
+
+from repro import parse_gfds
+from repro.reasoning import graph_satisfies_sigma, minimal_cover, redundant_gfds, seq_imp
+from repro.reasoning.validation import extract_model
+from repro.reasoning.seqsat import seq_sat
+
+
+def sigma_with_redundancy():
+    return parse_gfds(
+        """
+        gfd base  { x: a; when x.A = 1; then x.B = 2; }
+        gfd chain { x: a; when x.B = 2; then x.C = 3; }
+        gfd redundant { x: a; when x.A = 1; then x.C = 3; }
+        """
+    )
+
+
+class TestMinimalCover:
+    def test_redundant_rule_removed(self):
+        sigma = sigma_with_redundancy()
+        result = minimal_cover(sigma)
+        names = {g.name for g in result.cover}
+        assert names == {"base", "chain"}
+        assert [g.name for g in result.removed] == ["redundant"]
+        assert result.checks > 0
+        assert 0 < result.reduction < 1
+
+    def test_cover_still_implies_removed(self):
+        sigma = sigma_with_redundancy()
+        result = minimal_cover(sigma)
+        for gfd in result.removed:
+            assert seq_imp(result.cover, gfd).implied
+
+    def test_no_redundancy_keeps_everything(self):
+        sigma = parse_gfds(
+            """
+            gfd g1 { x: a; then x.A = 1; }
+            gfd g2 { x: b; then x.B = 2; }
+            """
+        )
+        result = minimal_cover(sigma)
+        assert len(result.cover) == 2
+        assert result.removed == []
+        assert result.reduction == 0.0
+
+    def test_exact_duplicate_removed(self):
+        sigma = parse_gfds(
+            """
+            gfd orig { x: a; y: b; x -[e]-> y; then x.A = 1; }
+            gfd dup  { u: a; v: b; u -[e]-> v; then u.A = 1; }
+            """
+        )
+        result = minimal_cover(sigma)
+        assert len(result.cover) == 1
+
+    def test_singleton_sigma_kept(self):
+        sigma = parse_gfds("gfd only { x: a; then x.A = 1; }")
+        result = minimal_cover(sigma)
+        assert len(result.cover) == 1
+        assert result.checks == 0
+
+    def test_custom_checker_injected(self):
+        sigma = sigma_with_redundancy()
+        calls = []
+
+        def never_implied(rest, phi):
+            calls.append(phi.name)
+            return False
+
+        result = minimal_cover(sigma, implication_checker=never_implied)
+        assert len(result.cover) == 3
+        assert calls
+
+
+class TestRedundantGfds:
+    def test_identifies_without_removal(self):
+        sigma = sigma_with_redundancy()
+        redundant = redundant_gfds(sigma)
+        assert [g.name for g in redundant] == ["redundant"]
+        assert len(sigma) == 3

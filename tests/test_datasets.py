@@ -1,0 +1,67 @@
+"""Tests for the synthetic dataset stand-ins."""
+
+import pytest
+
+from repro.datasets import DATASETS, dbpedia_like, load_dataset, pokec_like, yago_like
+
+
+class TestGenerators:
+    def test_deterministic(self):
+        a = dbpedia_like(200, seed=3)
+        b = dbpedia_like(200, seed=3)
+        assert a.num_nodes == b.num_nodes
+        assert a.num_edges == b.num_edges
+        assert sorted(map(str, a.labels())) == sorted(map(str, b.labels()))
+
+    def test_seed_changes_graph(self):
+        a = dbpedia_like(200, seed=3)
+        b = dbpedia_like(200, seed=4)
+        assert {n.label for n in a.node_objects()} and a.num_edges != 0
+        # Edge multisets almost surely differ across seeds.
+        assert {(e.src, e.dst, e.label) for e in a.edges()} != {
+            (e.src, e.dst, e.label) for e in b.edges()
+        }
+
+    def test_dbpedia_regime_many_types(self):
+        graph = dbpedia_like(500, num_types=40, seed=5)
+        assert graph.num_nodes == 500
+        assert 10 <= len(graph.labels()) <= 40
+        assert len(graph.edge_label_set()) > 5
+
+    def test_yago_regime_few_types(self):
+        graph = yago_like(400, seed=5)
+        assert len(graph.labels()) <= 13
+
+    def test_pokec_regime_social(self):
+        graph = pokec_like(400, seed=5)
+        assert graph.labels() == {"user", "post"}
+        users = graph.nodes_with_label("user")
+        assert users
+        sample = next(iter(users))
+        assert set(graph.attrs(sample)) == {"age", "region", "gender", "public"}
+        # Every post is attached to a user.
+        for post in graph.nodes_with_label("post"):
+            assert any(
+                graph.label(pred) == "user" for pred in graph.predecessors(post)
+            )
+
+    def test_hubs_exist(self):
+        graph = dbpedia_like(600, seed=6)
+        degrees = sorted(len(graph.in_edges(n)) for n in graph.nodes())
+        assert degrees[-1] >= 5 * max(1, degrees[len(degrees) // 2])
+
+
+class TestLoadDataset:
+    def test_all_registered(self):
+        assert set(DATASETS) == {"dbpedia", "yago2", "pokec"}
+        for name in DATASETS:
+            graph = load_dataset(name, num_nodes=150)
+            assert graph.num_nodes >= 100
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("freebase")
+
+    def test_custom_seed(self):
+        graph = load_dataset("yago2", num_nodes=150, seed=99)
+        assert graph.num_nodes == 150

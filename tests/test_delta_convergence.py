@@ -1,0 +1,135 @@
+"""Convergence of asynchronous ΔEq broadcast (paper, Section V-B).
+
+Workers exchange ``ΔEq`` asynchronously; correctness rests on ``Eq`` being
+monotone (inflationary fixpoint). These tests simulate the gossip: several
+replicas apply local operations, exchange deltas in arbitrary interleavings
+with duplication and reordering *of whole deltas*, and must converge to the
+same classes/constants — or all observe the conflict.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eq.eqrelation import EqRelation
+
+
+def eq_state(eq: EqRelation):
+    """A canonical snapshot: set of (frozen member set, constant).
+
+    Uninstantiated singleton classes are dropped — they are semantically
+    equivalent to the term not being mentioned at all (completion gives
+    them fresh distinct values either way), and a no-op operation may
+    register one locally without producing a delta entry.
+    """
+    return {
+        (frozenset(members), constant)
+        for members, constant in eq.classes()
+        if constant is not None or len(members) > 1
+    }
+
+
+def random_ops(rng: random.Random, count: int):
+    ops = []
+    for _ in range(count):
+        if rng.random() < 0.5:
+            ops.append(("const", (f"n{rng.randrange(6)}", "A"), rng.randrange(3)))
+        else:
+            ops.append(
+                ("merge", (f"n{rng.randrange(6)}", "A"), (f"n{rng.randrange(6)}", "A"))
+            )
+    return ops
+
+
+def apply_local(eq: EqRelation, op) -> None:
+    if op[0] == "const":
+        eq.assign_constant(op[1], op[2])
+    else:
+        eq.merge_terms(op[1], op[2])
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 100_000))
+def test_replicas_converge_after_full_exchange(seed):
+    rng = random.Random(seed)
+    replicas = [EqRelation() for _ in range(3)]
+    # Each replica performs its own local operations.
+    for replica in replicas:
+        for op in random_ops(rng, rng.randrange(8)):
+            apply_local(replica, op)
+    # Full exchange: everyone applies everyone's delta log, in a random
+    # order, possibly twice (at-least-once delivery).
+    logs = [replica.delta_since(0) for replica in replicas]
+    for replica in replicas:
+        order = list(range(len(logs)))
+        rng.shuffle(order)
+        for index in order:
+            replica.apply_delta(logs[index])
+            if rng.random() < 0.3:
+                replica.apply_delta(logs[index])  # duplicate delivery
+    # Protocol invariant: conflicts need not propagate through ΔEq (a
+    # rejected conflicting op is not logged — the worker reports f^c to the
+    # coordinator instead, paper Fig. 3). What must hold is that all
+    # *unconflicted* replicas converge to the same classes/constants.
+    clean_states = [
+        eq_state(replica) for replica in replicas if not replica.has_conflict()
+    ]
+    assert all(state == clean_states[0] for state in clean_states)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 100_000))
+def test_pairwise_gossip_reaches_global_state(seed):
+    """Repeated pairwise exchanges reach the same fixpoint as a central
+    replica that saw every operation."""
+    rng = random.Random(seed)
+    all_ops = random_ops(rng, 12)
+    central = EqRelation()
+    for op in all_ops:
+        apply_local(central, op)
+
+    replicas = [EqRelation() for _ in range(3)]
+    for index, op in enumerate(all_ops):
+        apply_local(replicas[index % 3], op)
+    # Gossip rounds: exchange full logs pairwise until quiescent.
+    for _ in range(4):
+        for a in range(3):
+            for b in range(3):
+                if a != b:
+                    replicas[b].apply_delta(replicas[a].delta_since(0))
+    if central.has_conflict():
+        # The replica that locally executed the clashing operation observed
+        # the conflict (and would raise f^c); rejected ops are not gossiped.
+        assert any(replica.has_conflict() for replica in replicas)
+    else:
+        for replica in replicas:
+            assert not replica.has_conflict()
+            assert eq_state(replica) == eq_state(central)
+
+
+def test_conflict_propagates_through_delta():
+    source = EqRelation()
+    source.assign_constant(("x", "A"), 1)
+    sink = EqRelation()
+    sink.assign_constant(("x", "A"), 2)
+    assert not sink.has_conflict()
+    sink.apply_delta(source.delta_since(0))
+    assert sink.has_conflict()
+
+
+def test_delta_prefix_replay_is_safe():
+    """Replaying a stale prefix after newer ops is harmless (idempotence +
+    monotonicity), as happens with out-of-order broadcast delivery."""
+    source = EqRelation()
+    source.assign_constant(("x", "A"), 1)
+    prefix = source.delta_since(0)
+    source.merge_terms(("x", "A"), ("y", "B"))
+    full = source.delta_since(0)
+
+    replica = EqRelation()
+    replica.apply_delta(full)
+    state_before = eq_state(replica)
+    replica.apply_delta(prefix)  # stale duplicate
+    assert eq_state(replica) == state_before
+    assert not replica.has_conflict()

@@ -1,0 +1,115 @@
+"""Tests for the node/edge-list text format."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.graph.edgelist import (
+    DEFAULT_LABEL,
+    dump_edgelist,
+    dumps_edgelist,
+    load_edgelist,
+    loads_edgelist,
+)
+
+
+SAMPLE = """
+# a small knowledge graph
+N airport place name="Bamburi airport" elevation=12
+N town    place name=Bamburi popular=true
+E airport town locateIn
+E town airport partOf
+"""
+
+
+class TestLoading:
+    def test_nodes_and_attrs(self):
+        graph = loads_edgelist(SAMPLE)
+        assert graph.num_nodes == 2
+        assert graph.label("airport") == "place"
+        assert graph.attrs("airport") == {"name": "Bamburi airport", "elevation": 12}
+        assert graph.attrs("town")["popular"] is True
+
+    def test_edges(self):
+        graph = loads_edgelist(SAMPLE)
+        assert graph.has_edge("airport", "town", "locateIn")
+        assert graph.has_edge("town", "airport", "partOf")
+
+    def test_forward_reference_and_default_label(self):
+        graph = loads_edgelist("E a b knows\nN a person\n")
+        assert graph.label("a") == "person"
+        assert graph.label("b") == DEFAULT_LABEL
+
+    def test_comments_and_blank_lines(self):
+        graph = loads_edgelist("\n# comment only\n\nN a t\n")
+        assert graph.num_nodes == 1
+
+    def test_value_types(self):
+        graph = loads_edgelist('N a t i=3 f=2.5 s=word q="two words" b=false\n')
+        attrs = graph.attrs("a")
+        assert attrs == {"i": 3, "f": 2.5, "s": "word", "q": "two words", "b": False}
+
+
+class TestErrors:
+    def test_short_node_line(self):
+        with pytest.raises(ParseError):
+            loads_edgelist("N only_id\n")
+
+    def test_bad_attr_token(self):
+        with pytest.raises(ParseError):
+            loads_edgelist("N a t not_an_attr\n")
+
+    def test_duplicate_node(self):
+        with pytest.raises(ParseError):
+            loads_edgelist("N a t\nN a t\n")
+
+    def test_bad_edge_arity(self):
+        with pytest.raises(ParseError):
+            loads_edgelist("E a b\n")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ParseError):
+            loads_edgelist("X a b c\n")
+
+    def test_unbalanced_quotes(self):
+        with pytest.raises(ParseError):
+            loads_edgelist('N a t x="oops\n')
+
+
+class TestRoundTrip:
+    def test_string_round_trip(self, small_graph):
+        restored = loads_edgelist(dumps_edgelist(small_graph))
+        assert restored.num_nodes == small_graph.num_nodes
+        assert restored.num_edges == small_graph.num_edges
+        assert restored.attrs("a0") == small_graph.attrs("a0")
+        assert restored.has_edge("a0", "b0", "knows")
+
+    def test_file_round_trip(self, small_graph, tmp_path):
+        path = tmp_path / "graph.el"
+        dump_edgelist(small_graph, path)
+        restored = load_edgelist(path)
+        assert restored.edge_label_set() == small_graph.edge_label_set()
+
+    def test_quoted_values_round_trip(self):
+        graph = loads_edgelist('N a t msg="say \\"hi\\" now"\n')
+        restored = loads_edgelist(dumps_edgelist(graph))
+        assert restored.attrs("a")["msg"] == 'say "hi" now'
+
+    def test_end_to_end_with_detection(self, tmp_path):
+        """Edge list -> graph -> violation detection pipeline."""
+        from repro import parse_gfds
+        from repro.reasoning import detect_errors
+
+        path = tmp_path / "kg.el"
+        path.write_text(SAMPLE)
+        graph = load_edgelist(path)
+        rules = parse_gfds(
+            """
+            gfd phi1 {
+                x: place; y: place;
+                x -[locateIn]-> y; y -[partOf]-> x;
+                then false;
+            }
+            """
+        )
+        violations = detect_errors(graph, rules)
+        assert len(violations) == 1

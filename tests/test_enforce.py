@@ -1,0 +1,190 @@
+"""Unit tests for antecedent checking and enforcement (Expand/CheckAttr)."""
+
+from repro.eq.eqrelation import EqRelation
+from repro.eq.inverted_index import InvertedIndex
+from repro.gfd import make_gfd, make_pattern
+from repro.gfd.literals import FALSE, eq, vareq
+from repro.reasoning.enforce import (
+    AntecedentStatus,
+    EnforcementEngine,
+    antecedent_status,
+    consequent_entailed,
+    enforce_consequent,
+    literal_status,
+)
+
+
+def gfd_with(antecedent, consequent, name="g"):
+    pattern = make_pattern({"x": "a", "y": "b"}, [("x", "y", "e")])
+    return make_gfd(pattern, antecedent, consequent, name=name)
+
+
+IDENTITY = {"x": "x", "y": "y"}
+
+
+class TestLiteralStatus:
+    def test_constant_literal_satisfied(self):
+        relation = EqRelation()
+        relation.assign_constant(("x", "A"), 1)
+        status, blocking = literal_status(relation, eq("x", "A", 1), IDENTITY)
+        assert status is AntecedentStatus.SATISFIED
+        assert blocking == []
+
+    def test_constant_literal_violated_is_permanent(self):
+        relation = EqRelation()
+        relation.assign_constant(("x", "A"), 2)
+        status, _ = literal_status(relation, eq("x", "A", 1), IDENTITY)
+        assert status is AntecedentStatus.VIOLATED
+
+    def test_constant_literal_undecided_when_missing(self):
+        relation = EqRelation()
+        status, blocking = literal_status(relation, eq("x", "A", 1), IDENTITY)
+        assert status is AntecedentStatus.UNDECIDED
+        assert blocking == [("x", "A")]
+
+    def test_constant_literal_undecided_when_uninstantiated(self):
+        relation = EqRelation()
+        relation.add_term(("x", "A"))
+        status, _ = literal_status(relation, eq("x", "A", 1), IDENTITY)
+        assert status is AntecedentStatus.UNDECIDED
+
+    def test_variable_literal_same_class(self):
+        relation = EqRelation()
+        relation.merge_terms(("x", "A"), ("y", "B"))
+        status, _ = literal_status(relation, vareq("x", "A", "y", "B"), IDENTITY)
+        assert status is AntecedentStatus.SATISFIED
+
+    def test_variable_literal_equal_constants(self):
+        relation = EqRelation()
+        relation.assign_constant(("x", "A"), 5)
+        relation.assign_constant(("y", "B"), 5)
+        status, _ = literal_status(relation, vareq("x", "A", "y", "B"), IDENTITY)
+        assert status is AntecedentStatus.SATISFIED
+
+    def test_variable_literal_distinct_constants_violated(self):
+        relation = EqRelation()
+        relation.assign_constant(("x", "A"), 5)
+        relation.assign_constant(("y", "B"), 6)
+        status, _ = literal_status(relation, vareq("x", "A", "y", "B"), IDENTITY)
+        assert status is AntecedentStatus.VIOLATED
+
+    def test_variable_literal_undecided_blocks_on_both_terms(self):
+        relation = EqRelation()
+        relation.assign_constant(("x", "A"), 5)
+        status, blocking = literal_status(relation, vareq("x", "A", "y", "B"), IDENTITY)
+        assert status is AntecedentStatus.UNDECIDED
+        assert set(blocking) == {("x", "A"), ("y", "B")}
+
+    def test_false_literal_always_violated(self):
+        status, _ = literal_status(EqRelation(), FALSE, IDENTITY)
+        assert status is AntecedentStatus.VIOLATED
+
+
+class TestAntecedentStatus:
+    def test_empty_antecedent_satisfied(self):
+        gfd = gfd_with([], [eq("x", "A", 1)])
+        status, _ = antecedent_status(EqRelation(), gfd, IDENTITY)
+        assert status is AntecedentStatus.SATISFIED
+
+    def test_violated_dominates_undecided(self):
+        relation = EqRelation()
+        relation.assign_constant(("x", "A"), 2)
+        gfd = gfd_with([eq("x", "A", 1), eq("y", "B", 1)], [eq("x", "C", 1)])
+        status, blocking = antecedent_status(relation, gfd, IDENTITY)
+        assert status is AntecedentStatus.VIOLATED
+        assert blocking == []
+
+    def test_undecided_collects_all_blocking_terms(self):
+        gfd = gfd_with([eq("x", "A", 1), eq("y", "B", 1)], [eq("x", "C", 1)])
+        status, blocking = antecedent_status(EqRelation(), gfd, IDENTITY)
+        assert status is AntecedentStatus.UNDECIDED
+        assert set(blocking) == {("x", "A"), ("y", "B")}
+
+
+class TestEnforceConsequent:
+    def test_constant_and_merge_applied(self):
+        relation = EqRelation()
+        gfd = gfd_with([], [eq("x", "A", 1), vareq("x", "B", "y", "C")])
+        assert enforce_consequent(relation, gfd, IDENTITY)
+        assert relation.constant_of(("x", "A")) == 1
+        assert relation.same_class(("x", "B"), ("y", "C"))
+
+    def test_false_consequent_conflicts(self):
+        relation = EqRelation()
+        gfd = gfd_with([], [FALSE])
+        enforce_consequent(relation, gfd, IDENTITY)
+        assert relation.has_conflict()
+
+    def test_idempotent_second_application(self):
+        relation = EqRelation()
+        gfd = gfd_with([], [eq("x", "A", 1)])
+        enforce_consequent(relation, gfd, IDENTITY)
+        assert not enforce_consequent(relation, gfd, IDENTITY)
+
+    def test_consequent_entailed(self):
+        relation = EqRelation()
+        gfd = gfd_with([], [eq("x", "A", 1)])
+        assert not consequent_entailed(relation, gfd, IDENTITY)
+        enforce_consequent(relation, gfd, IDENTITY)
+        assert consequent_entailed(relation, gfd, IDENTITY)
+
+    def test_false_never_entailed(self):
+        relation = EqRelation()
+        gfd = gfd_with([], [FALSE])
+        assert not consequent_entailed(relation, gfd, IDENTITY)
+
+
+class TestEnforcementEngine:
+    def test_satisfied_match_enforced_immediately(self):
+        relation = EqRelation()
+        gfd = gfd_with([], [eq("x", "A", 1)])
+        engine = EnforcementEngine(relation, {gfd.name: gfd})
+        assert engine.enforce(gfd, IDENTITY)
+        assert engine.stats.enforced == 1
+        assert relation.constant_of(("x", "A")) == 1
+
+    def test_undecided_match_parked_then_woken(self):
+        """The inverted-index recheck chain of the paper's Example 4."""
+        relation = EqRelation()
+        trigger = gfd_with([eq("x", "A", 1)], [eq("y", "B", 2)], name="trigger")
+        seed = gfd_with([], [eq("x", "A", 1)], name="seed")
+        engine = EnforcementEngine(relation, {g.name: g for g in (trigger, seed)})
+        engine.enforce(trigger, IDENTITY)
+        assert engine.stats.deferred == 1
+        assert relation.constant_of(("y", "B")) is None
+        # Seeding x.A = 1 wakes the parked match and fires trigger.
+        engine.enforce(seed, IDENTITY)
+        assert relation.constant_of(("y", "B")) == 2
+        assert engine.stats.rechecks >= 1
+
+    def test_violated_match_dropped(self):
+        relation = EqRelation()
+        relation.assign_constant(("x", "A"), 9)
+        gfd = gfd_with([eq("x", "A", 1)], [eq("y", "B", 2)])
+        engine = EnforcementEngine(relation, {gfd.name: gfd})
+        engine.enforce(gfd, IDENTITY)
+        assert engine.stats.dropped == 1
+        assert relation.constant_of(("y", "B")) is None
+
+    def test_cascade_chain(self):
+        """A -> B -> C propagates through two parked matches."""
+        relation = EqRelation()
+        step1 = gfd_with([eq("x", "A", 1)], [eq("x", "B", 1)], name="s1")
+        step2 = gfd_with([eq("x", "B", 1)], [eq("x", "C", 1)], name="s2")
+        seed = gfd_with([], [eq("x", "A", 1)], name="s0")
+        registry = {g.name: g for g in (step1, step2, seed)}
+        engine = EnforcementEngine(relation, registry)
+        engine.enforce(step2, IDENTITY)
+        engine.enforce(step1, IDENTITY)
+        assert relation.constant_of(("x", "C")) is None
+        engine.enforce(seed, IDENTITY)
+        assert relation.constant_of(("x", "C")) == 1
+
+    def test_cascade_stops_on_conflict(self):
+        relation = EqRelation()
+        bomb = gfd_with([eq("x", "A", 1)], [eq("x", "A", 2)], name="bomb")
+        seed = gfd_with([], [eq("x", "A", 1)], name="seed")
+        engine = EnforcementEngine(relation, {g.name: g for g in (bomb, seed)})
+        engine.enforce(bomb, IDENTITY)
+        engine.enforce(seed, IDENTITY)
+        assert relation.has_conflict()

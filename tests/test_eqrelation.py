@@ -1,0 +1,187 @@
+"""Unit and property tests for the Eq relation (Rules 1 and 2)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eq.eqrelation import EqRelation
+
+
+class TestRule1Constants:
+    def test_assign_new_constant(self):
+        eq = EqRelation()
+        assert eq.assign_constant(("x", "A"), 1)
+        assert eq.constant_of(("x", "A")) == 1
+        assert not eq.has_conflict()
+
+    def test_reassign_same_constant_is_noop(self):
+        eq = EqRelation()
+        eq.assign_constant(("x", "A"), 1)
+        assert not eq.assign_constant(("x", "A"), 1)
+        assert not eq.has_conflict()
+
+    def test_conflicting_constant_detected(self):
+        eq = EqRelation()
+        eq.assign_constant(("x", "A"), 1)
+        eq.assign_constant(("x", "A"), 2, source="g")
+        assert eq.has_conflict()
+        assert eq.conflict.value_a == 1
+        assert eq.conflict.value_b == 2
+        assert "g" in str(eq.conflict)
+
+    def test_falsy_constants_are_real_values(self):
+        eq = EqRelation()
+        eq.assign_constant(("x", "A"), 0)
+        eq.assign_constant(("x", "A"), False)
+        # 0 == False in Python; no conflict is the documented behavior.
+        assert not eq.has_conflict()
+        eq.assign_constant(("x", "B"), 0)
+        eq.assign_constant(("x", "B"), "")
+        assert eq.has_conflict()
+
+
+class TestRule2Merges:
+    def test_merge_unifies_classes(self):
+        eq = EqRelation()
+        assert eq.merge_terms(("x", "A"), ("y", "B"))
+        assert eq.same_class(("x", "A"), ("y", "B"))
+        assert not eq.merge_terms(("x", "A"), ("y", "B"))
+
+    def test_merge_propagates_constant(self):
+        eq = EqRelation()
+        eq.assign_constant(("x", "A"), 7)
+        eq.merge_terms(("x", "A"), ("y", "B"))
+        assert eq.constant_of(("y", "B")) == 7
+
+    def test_merge_propagates_constant_from_absorbed_side(self):
+        eq = EqRelation()
+        # Build a big class around x.A so y.B's class is absorbed.
+        eq.merge_terms(("x", "A"), ("x", "B"))
+        eq.merge_terms(("x", "A"), ("x", "C"))
+        eq.assign_constant(("y", "B"), 9)
+        eq.merge_terms(("x", "A"), ("y", "B"))
+        assert eq.constant_of(("x", "C")) == 9
+
+    def test_merge_conflicting_constants(self):
+        eq = EqRelation()
+        eq.assign_constant(("x", "A"), 1)
+        eq.assign_constant(("y", "B"), 2)
+        eq.merge_terms(("x", "A"), ("y", "B"))
+        assert eq.has_conflict()
+
+    def test_transitivity(self):
+        eq = EqRelation()
+        eq.merge_terms(("x", "A"), ("y", "B"))
+        eq.merge_terms(("y", "B"), ("z", "C"))
+        assert eq.same_class(("x", "A"), ("z", "C"))
+
+    def test_transitive_constant_conflict(self):
+        eq = EqRelation()
+        eq.assign_constant(("x", "A"), 1)
+        eq.merge_terms(("x", "A"), ("y", "B"))
+        eq.assign_constant(("z", "C"), 2)
+        eq.merge_terms(("y", "B"), ("z", "C"))
+        assert eq.has_conflict()
+
+
+class TestDeltasAndChangeTracking:
+    def test_delta_replay_reproduces_state(self):
+        eq = EqRelation()
+        mark = eq.log_position()
+        eq.assign_constant(("x", "A"), 1)
+        eq.merge_terms(("x", "A"), ("y", "B"))
+        delta = eq.delta_since(mark)
+        replica = EqRelation()
+        replica.apply_delta(delta)
+        assert replica.constant_of(("y", "B")) == 1
+        assert replica.same_class(("x", "A"), ("y", "B"))
+
+    def test_delta_replay_is_idempotent(self):
+        eq = EqRelation()
+        eq.assign_constant(("x", "A"), 1)
+        delta = eq.delta_since(0)
+        replica = EqRelation()
+        replica.apply_delta(delta)
+        replica.apply_delta(delta)
+        assert not replica.has_conflict()
+        assert replica.constant_of(("x", "A")) == 1
+
+    def test_changed_terms_cover_whole_class(self):
+        eq = EqRelation()
+        eq.merge_terms(("x", "A"), ("y", "B"))
+        eq.take_changed_terms()
+        eq.assign_constant(("x", "A"), 3)
+        changed = eq.take_changed_terms()
+        assert ("y", "B") in changed
+        assert eq.take_changed_terms() == set()
+
+    def test_fail_records_conflict(self):
+        eq = EqRelation()
+        eq.fail(("x", "<false>"), source="g")
+        assert eq.has_conflict()
+
+
+class TestCompletionAndCopy:
+    def test_completed_assignment_fresh_values_distinct(self):
+        eq = EqRelation()
+        eq.add_term(("x", "A"))
+        eq.add_term(("y", "B"))
+        eq.assign_constant(("z", "C"), 5)
+        assignment = eq.completed_assignment()
+        assert assignment[("z", "C")] == 5
+        assert assignment[("x", "A")] != assignment[("y", "B")]
+
+    def test_completed_assignment_class_shares_value(self):
+        eq = EqRelation()
+        eq.merge_terms(("x", "A"), ("y", "B"))
+        assignment = eq.completed_assignment()
+        assert assignment[("x", "A")] == assignment[("y", "B")]
+
+    def test_copy_independent(self):
+        eq = EqRelation()
+        eq.assign_constant(("x", "A"), 1)
+        clone = eq.copy()
+        clone.assign_constant(("x", "A"), 2)
+        assert clone.has_conflict()
+        assert not eq.has_conflict()
+
+    def test_classes_listing(self):
+        eq = EqRelation()
+        eq.assign_constant(("x", "A"), 1)
+        eq.merge_terms(("y", "B"), ("z", "C"))
+        classes = {frozenset(members): const for members, const in eq.classes()}
+        assert classes[frozenset({("x", "A")})] == 1
+        assert classes[frozenset({("y", "B"), ("z", "C")})] is None
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("const"), st.integers(0, 5), st.integers(0, 2)),
+            st.tuples(st.just("merge"), st.integers(0, 5), st.integers(0, 5)),
+        ),
+        max_size=40,
+    )
+)
+def test_eq_monotone_and_conflict_stable(ops):
+    """Property: classes only grow; once conflicted, always conflicted;
+    constants never change once assigned (pre-conflict)."""
+    eq = EqRelation()
+    was_conflicted = False
+    known_constants = {}
+    for op in ops:
+        if op[0] == "const":
+            term = (f"n{op[1]}", "A")
+            eq.assign_constant(term, op[2])
+        else:
+            eq.merge_terms((f"n{op[1]}", "A"), (f"n{op[2]}", "A"))
+        if was_conflicted:
+            assert eq.has_conflict()
+        was_conflicted = eq.has_conflict()
+        if not eq.has_conflict():
+            for term, value in known_constants.items():
+                assert eq.constant_of(term) == value
+            for term in eq.terms():
+                constant = eq.constant_of(term)
+                if constant is not None:
+                    known_constants[term] = constant

@@ -1,0 +1,51 @@
+"""Small-scale smoke runs of the parallel-scalability experiment drivers.
+
+The full sweeps live in ``benchmarks/`` and EXPERIMENTS.md; here we only
+check that each driver assembles complete series with scaled-down
+parameters and that the headline ordering holds at the smallest scale.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    fig6ab_sat_varying_p,
+    fig6cd_imp_varying_p,
+    fig6k_sat_varying_ttl,
+    fig6l_imp_varying_ttl,
+)
+
+
+@pytest.mark.parametrize("dataset,figure", [("dbpedia", "fig6a"), ("yago2", "fig6b")])
+def test_fig6ab_small_sweep(dataset, figure):
+    experiment = fig6ab_sat_varying_p(dataset, p_sweep=(2, 8))
+    assert experiment.experiment_id == figure
+    parsat = experiment.series_named("ParSat")
+    assert parsat.value_at(2) > parsat.value_at(8)
+    for name in ("ParSatnp", "ParSatnb"):
+        series = experiment.series_named(name)
+        assert len(series.points) == 2
+
+
+def test_fig6cd_small_sweep():
+    experiment = fig6cd_imp_varying_p("dbpedia", p_sweep=(2, 8))
+    parimp = experiment.series_named("ParImp")
+    assert parimp.value_at(2) > parimp.value_at(8)
+    # np is never faster than the pipelined version.
+    np_series = experiment.series_named("ParImpnp")
+    for p in (2, 8):
+        assert np_series.value_at(p) >= parimp.value_at(p)
+
+
+def test_fig6kl_small_sweep():
+    sat_experiment = fig6k_sat_varying_ttl(ttl_sweep=(0.5, 8.0))
+    imp_experiment = fig6l_imp_varying_ttl(ttl_sweep=(0.5, 8.0))
+    for experiment, algorithm in ((sat_experiment, "ParSat"), (imp_experiment, "ParImp")):
+        series = experiment.series_named(algorithm)
+        assert len(series.points) == 2
+        assert all(seconds > 0 for _, seconds in series.points)
+
+
+def test_render_of_driver_output():
+    experiment = fig6ab_sat_varying_p("dbpedia", p_sweep=(2,))
+    text = experiment.render()
+    assert "fig6a" in text and "ParSat" in text

@@ -1,0 +1,113 @@
+"""Property tests for the extension layers (predicates, keys).
+
+Key invariants: on plain GFDs the extended checkers agree with the core
+ones; constraint relations stay internally consistent under random
+operation sequences; and completion always yields admissible assignments.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import seq_sat
+from repro.extensions import ExtendedEq, ext_seq_sat, ged_satisfiable
+from repro.gfd.generator import random_gfds
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(0, 10_000))
+def test_ext_seq_sat_agrees_on_plain_gfds(seed):
+    sigma = random_gfds(
+        8, max_pattern_nodes=4, max_literals=3, seed=seed, consistent=False
+    )
+    assert ext_seq_sat(sigma).satisfiable == seq_sat(sigma).satisfiable
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_ged_satisfiable_agrees_on_plain_gfds(seed):
+    """Without id literals the GED chase must agree with SeqSat."""
+    sigma = random_gfds(
+        6, max_pattern_nodes=4, max_literals=3, seed=seed, consistent=False
+    )
+    assert ged_satisfiable(sigma).satisfiable == seq_sat(sigma).satisfiable
+
+
+_OP = st.one_of(
+    st.tuples(st.just("bound"), st.sampled_from(["<", "<=", ">", ">="]),
+              st.integers(0, 8), st.integers(0, 4)),
+    st.tuples(st.just("const"), st.just("="), st.integers(0, 8), st.integers(0, 4)),
+    st.tuples(st.just("neqc"), st.just("!="), st.integers(0, 8), st.integers(0, 4)),
+    st.tuples(st.just("merge"), st.just("="), st.integers(0, 4), st.integers(0, 4)),
+    st.tuples(st.just("neqt"), st.just("!="), st.integers(0, 4), st.integers(0, 4)),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_OP, max_size=25))
+def test_extended_eq_invariants_under_random_ops(ops):
+    """After any unconflicted op sequence: completion succeeds and assigns
+    values satisfying every bound, constant, and disequality."""
+    eq = ExtendedEq()
+
+    def term(i):
+        return (f"n{i}", "A")
+
+    for op in ops:
+        kind = op[0]
+        if kind == "bound":
+            eq.add_bound(term(op[3]), op[1], op[2])
+        elif kind == "const":
+            eq.assign_constant(term(op[3]), op[2])
+        elif kind == "neqc":
+            eq.add_neq_constant(term(op[3]), op[2])
+        elif kind == "merge":
+            eq.merge_terms(term(op[2]), term(op[3]))
+        elif kind == "neqt":
+            eq.add_neq_terms(term(op[2]), term(op[3]))
+        if eq.has_conflict():
+            return
+    assignment = eq.completed_assignment()
+    # Every constant is preserved.
+    for source in list(assignment):
+        constant = eq.constant_of(source)
+        if constant is not None:
+            assert assignment[source] == constant
+    # Bounds hold for every assigned term.
+    for source, value in assignment.items():
+        assert eq.bounds_of(source).admits(value) or not isinstance(value, (int, float))
+    # Equal classes share values; disequal classes differ.
+    terms = list(assignment)
+    for a in terms:
+        for b in terms:
+            if eq.same_class(a, b):
+                assert assignment[a] == assignment[b]
+            if eq.has_neq(a, b):
+                assert assignment[a] != assignment[b]
+    # Forbidden constants avoided.
+    for source, value in assignment.items():
+        assert value not in eq.forbidden_constants(source)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 100_000))
+def test_extended_eq_conflict_is_monotone(seed):
+    rng = random.Random(seed)
+    eq = ExtendedEq()
+    was_conflicted = False
+    for _ in range(20):
+        choice = rng.randrange(4)
+        node = (f"n{rng.randrange(4)}", "A")
+        other = (f"n{rng.randrange(4)}", "A")
+        if choice == 0:
+            eq.add_bound(node, rng.choice(["<", "<=", ">", ">="]), rng.randrange(6))
+        elif choice == 1:
+            eq.assign_constant(node, rng.randrange(6))
+        elif choice == 2:
+            eq.merge_terms(node, other)
+        else:
+            eq.add_neq_terms(node, other)
+        if was_conflicted:
+            assert eq.has_conflict()
+        was_conflicted = eq.has_conflict()

@@ -1,0 +1,338 @@
+"""Tests for the built-in-predicate extension (paper Section IX)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import parse_gfds
+from repro.errors import LiteralError, ParseError
+from repro.extensions import (
+    Bounds,
+    CompareLiteral,
+    ExtendedEq,
+    VarNeqLiteral,
+    ext_seq_imp,
+    ext_seq_sat,
+)
+from repro.gfd.parser import gfd_from_dict, gfd_to_dict, parse_gfd, render_gfd
+
+
+class TestLiterals:
+    def test_compare_literal_validation(self):
+        CompareLiteral("x", "A", "<", 5)
+        CompareLiteral("x", "A", "!=", "text")
+        with pytest.raises(LiteralError):
+            CompareLiteral("x", "A", "~", 5)
+        with pytest.raises(LiteralError):
+            CompareLiteral("x", "A", "<", "text")
+
+    def test_var_neq_canonical_orientation(self):
+        assert VarNeqLiteral("y", "B", "x", "A") == VarNeqLiteral("x", "A", "y", "B")
+
+    def test_literal_protocol(self):
+        literal = CompareLiteral("x", "A", "<=", 3)
+        assert literal.variables() == {"x"}
+        assert literal.terms() == (("x", "A"),)
+        neq = VarNeqLiteral("x", "A", "y", "B")
+        assert neq.variables() == {"x", "y"}
+
+
+class TestBounds:
+    def test_tighten_and_empty(self):
+        bounds = Bounds()
+        assert bounds.tighten_upper(5, strict=True)
+        assert bounds.tighten_lower(5, strict=False)
+        assert bounds.is_empty()
+
+    def test_point_interval(self):
+        bounds = Bounds()
+        bounds.tighten_lower(3, strict=False)
+        bounds.tighten_upper(3, strict=False)
+        assert not bounds.is_empty()
+        assert bounds.pins_to_point() == 3
+
+    def test_admits(self):
+        bounds = Bounds()
+        bounds.tighten_lower(1, strict=True)
+        bounds.tighten_upper(4, strict=False)
+        assert bounds.admits(2)
+        assert bounds.admits(4)
+        assert not bounds.admits(1)
+        assert not bounds.admits(5)
+        assert not bounds.admits("text")
+
+    def test_implications(self):
+        bounds = Bounds()
+        bounds.tighten_upper(3, strict=True)
+        assert bounds.implies_leq(3, strict=True)
+        assert bounds.implies_leq(4, strict=False)
+        assert not bounds.implies_geq(0, strict=False)
+
+
+class TestExtendedEq:
+    def test_bound_then_constant_ok(self):
+        eq = ExtendedEq()
+        eq.add_bound(("x", "A"), "<", 5)
+        eq.assign_constant(("x", "A"), 3)
+        assert not eq.has_conflict()
+
+    def test_constant_violating_bound(self):
+        eq = ExtendedEq()
+        eq.add_bound(("x", "A"), "<", 5)
+        eq.assign_constant(("x", "A"), 9)
+        assert eq.has_conflict()
+
+    def test_bound_violating_constant(self):
+        eq = ExtendedEq()
+        eq.assign_constant(("x", "A"), 9)
+        eq.add_bound(("x", "A"), "<", 5)
+        assert eq.has_conflict()
+
+    def test_empty_interval_conflict(self):
+        eq = ExtendedEq()
+        eq.add_bound(("x", "A"), ">", 7)
+        eq.add_bound(("x", "A"), "<", 5)
+        assert eq.has_conflict()
+
+    def test_point_promotes_to_constant(self):
+        eq = ExtendedEq()
+        eq.add_bound(("x", "A"), ">=", 4)
+        eq.add_bound(("x", "A"), "<=", 4)
+        assert eq.constant_of(("x", "A")) == 4
+
+    def test_merge_combines_bounds(self):
+        eq = ExtendedEq()
+        eq.add_bound(("x", "A"), ">=", 2)
+        eq.add_bound(("y", "B"), "<=", 6)
+        eq.merge_terms(("x", "A"), ("y", "B"))
+        bounds = eq.bounds_of(("x", "A"))
+        assert bounds.lower == 2 and bounds.upper == 6
+
+    def test_merge_incompatible_bounds_conflicts(self):
+        eq = ExtendedEq()
+        eq.add_bound(("x", "A"), ">", 7)
+        eq.add_bound(("y", "B"), "<", 5)
+        eq.merge_terms(("x", "A"), ("y", "B"))
+        assert eq.has_conflict()
+
+    def test_neq_constant(self):
+        eq = ExtendedEq()
+        eq.add_neq_constant(("x", "A"), 5)
+        eq.assign_constant(("x", "A"), 5)
+        assert eq.has_conflict()
+
+    def test_neq_constant_after_assignment(self):
+        eq = ExtendedEq()
+        eq.assign_constant(("x", "A"), 5)
+        eq.add_neq_constant(("x", "A"), 5)
+        assert eq.has_conflict()
+
+    def test_neq_terms_blocks_merge(self):
+        eq = ExtendedEq()
+        eq.add_neq_terms(("x", "A"), ("y", "B"))
+        eq.merge_terms(("x", "A"), ("y", "B"))
+        assert eq.has_conflict()
+
+    def test_neq_terms_on_equal_class_conflicts(self):
+        eq = ExtendedEq()
+        eq.merge_terms(("x", "A"), ("y", "B"))
+        eq.add_neq_terms(("x", "A"), ("y", "B"))
+        assert eq.has_conflict()
+
+    def test_neq_pairs_rebased_after_merge(self):
+        eq = ExtendedEq()
+        eq.add_neq_terms(("x", "A"), ("y", "B"))
+        eq.merge_terms(("y", "B"), ("z", "C"))
+        assert eq.has_neq(("x", "A"), ("z", "C"))
+        eq.merge_terms(("x", "A"), ("z", "C"))
+        assert eq.has_conflict()
+
+    def test_disequal_classes_same_constant_conflict(self):
+        eq = ExtendedEq()
+        eq.add_neq_terms(("x", "A"), ("y", "B"))
+        eq.assign_constant(("x", "A"), 1)
+        assert not eq.has_conflict()
+        eq.assign_constant(("y", "B"), 1)
+        assert eq.has_conflict()
+
+    def test_copy_independent(self):
+        eq = ExtendedEq()
+        eq.add_bound(("x", "A"), "<", 5)
+        clone = eq.copy()
+        clone.add_bound(("x", "A"), ">", 7)
+        assert clone.has_conflict() and not eq.has_conflict()
+
+    def test_completion_respects_constraints(self):
+        eq = ExtendedEq()
+        eq.add_bound(("x", "A"), ">=", 2)
+        eq.add_bound(("x", "A"), "<", 3)
+        eq.add_neq_terms(("x", "A"), ("y", "B"))
+        eq.add_bound(("y", "B"), ">=", 2)
+        eq.add_bound(("y", "B"), "<", 3)
+        eq.add_neq_constant(("z", "C"), 7)
+        assignment = eq.completed_assignment()
+        assert 2 <= assignment[("x", "A")] < 3
+        assert 2 <= assignment[("y", "B")] < 3
+        assert assignment[("x", "A")] != assignment[("y", "B")]
+        assert assignment[("z", "C")] != 7
+
+    def test_completion_rejects_conflicted(self):
+        eq = ExtendedEq()
+        eq.add_bound(("x", "A"), ">", 7)
+        eq.add_bound(("x", "A"), "<", 5)
+        with pytest.raises(ValueError):
+            eq.completed_assignment()
+
+
+class TestExtendedSat:
+    def test_bound_conflict_unsat(self):
+        sigma = parse_gfds(
+            """
+            gfd g1 { x: a; then x.A < 5; }
+            gfd g2 { x: a; then x.A > 7; }
+            """
+        )
+        assert not ext_seq_sat(sigma).satisfiable
+
+    def test_compatible_bounds_sat(self):
+        sigma = parse_gfds(
+            """
+            gfd g1 { x: a; then x.A < 5; }
+            gfd g2 { x: a; then x.A >= 2; }
+            """
+        )
+        result = ext_seq_sat(sigma)
+        assert result.satisfiable
+        assignment = result.eq.completed_assignment()
+        assert all(2 <= value < 5 for value in assignment.values())
+
+    def test_point_pin_plus_neq_unsat(self):
+        sigma = parse_gfds(
+            """
+            gfd g1 { x: a; then x.A <= 3; }
+            gfd g2 { x: a; then x.A >= 3; }
+            gfd g3 { x: a; then x.A != 3; }
+            """
+        )
+        assert not ext_seq_sat(sigma).satisfiable
+
+    def test_neq_and_merge_unsat(self):
+        sigma = parse_gfds(
+            """
+            gfd g1 { x: a; then x.A != x.B; }
+            gfd g2 { x: a; then x.A = x.B; }
+            """
+        )
+        assert not ext_seq_sat(sigma).satisfiable
+
+    def test_guarded_bound_antecedent(self):
+        # Antecedent with a bound: fires only when the bound is forced.
+        sigma = parse_gfds(
+            """
+            gfd g1 { x: a; then x.A >= 10; }
+            gfd g2 { x: a; when x.A > 5; then x.B = 1, x.B = 2; }
+            """
+        )
+        # x.A >= 10 forces x.A > 5, which triggers g2's contradictory Y.
+        assert not ext_seq_sat(sigma).satisfiable
+
+    def test_undecided_bound_never_fires(self):
+        sigma = parse_gfds(
+            """
+            gfd g1 { x: a; then x.A <= 10; }
+            gfd g2 { x: a; when x.A > 5; then x.B = 1, x.B = 2; }
+            """
+        )
+        # x.A <= 10 does not force x.A > 5; completion can pick x.A = 0.
+        assert ext_seq_sat(sigma).satisfiable
+
+    def test_plain_gfds_still_work(self, example4_sigma, example8_sigma):
+        assert not ext_seq_sat(example4_sigma).satisfiable
+        assert ext_seq_sat(example8_sigma).satisfiable
+
+
+class TestExtendedImp:
+    def test_bound_weakening_implied(self):
+        phi = parse_gfd("gfd p { x: a; when x.A < 3; then x.A < 5; }")
+        assert ext_seq_imp([], phi).implied
+
+    def test_bound_strengthening_not_implied(self):
+        phi = parse_gfd("gfd p { x: a; when x.A < 5; then x.A < 3; }")
+        assert not ext_seq_imp([], phi).implied
+
+    def test_neq_from_distinct_constants(self):
+        phi = parse_gfd(
+            "gfd p { x: a; when x.A = 1, x.B = 2; then x.A != x.B; }"
+        )
+        assert ext_seq_imp([], phi).implied
+
+    def test_conflict_reason_for_inconsistent_antecedent(self):
+        sigma = parse_gfds("gfd s { x: a; then x.A > 9; }")
+        phi = parse_gfd("gfd p { x: a; when x.A < 3; then x.Z = 1; }")
+        result = ext_seq_imp(sigma, phi)
+        assert result.implied and result.reason == "conflict"
+
+    def test_sigma_bound_derivation(self):
+        sigma = parse_gfds("gfd s { x: a; then x.A >= 7; }")
+        phi = parse_gfd("gfd p { x: a; then x.A > 5; }")
+        assert ext_seq_imp(sigma, phi).implied
+
+
+class TestPredicateParsing:
+    def test_parse_all_ops(self):
+        gfd = parse_gfd(
+            "gfd g { x: a; when x.A < 5, x.B >= 2, x.C != 7; then x.D != x.E; }"
+        )
+        ops = sorted(str(lit) for lit in gfd.antecedent)
+        assert any("< 5" in op for op in ops)
+        assert any(">= 2" in op for op in ops)
+        assert isinstance(gfd.consequent[0], VarNeqLiteral)
+
+    def test_ordered_term_comparison_rejected(self):
+        with pytest.raises(ParseError):
+            parse_gfd("gfd g { x: a; then x.A < x.B; }")
+
+    def test_ordered_string_comparison_rejected(self):
+        with pytest.raises(ParseError):
+            parse_gfd('gfd g { x: a; then x.A < "text"; }')
+
+    def test_render_round_trip(self):
+        gfd = parse_gfd(
+            "gfd g { x: a; when x.A < 5; then x.B != 3, x.C != x.D; }"
+        )
+        assert parse_gfd(render_gfd(gfd)) == gfd
+
+    def test_json_round_trip(self):
+        gfd = parse_gfd("gfd g { x: a; when x.A <= 2.5; then x.B != x.C; }")
+        assert gfd_from_dict(gfd_to_dict(gfd)) == gfd
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("lo"), st.integers(0, 10), st.booleans()),
+            st.tuples(st.just("hi"), st.integers(0, 10), st.booleans()),
+            st.tuples(st.just("const"), st.integers(0, 10), st.booleans()),
+        ),
+        max_size=15,
+    )
+)
+def test_extended_eq_constant_always_within_bounds(ops):
+    """Property: an unconflicted class's constant satisfies its bounds."""
+    eq = ExtendedEq()
+    term = ("x", "A")
+    for kind, value, flag in ops:
+        if kind == "lo":
+            eq.add_bound(term, ">" if flag else ">=", value)
+        elif kind == "hi":
+            eq.add_bound(term, "<" if flag else "<=", value)
+        else:
+            eq.assign_constant(term, value)
+        if eq.has_conflict():
+            return
+        constant = eq.constant_of(term)
+        if constant is not None:
+            assert eq.bounds_of(term).admits(constant)

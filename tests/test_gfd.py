@@ -1,0 +1,106 @@
+"""Unit tests for the GFD class."""
+
+import pytest
+
+from repro.errors import LiteralError
+from repro.gfd import FALSE, GFD, make_gfd, make_pattern, sigma_size, validate_sigma
+from repro.gfd.literals import eq, vareq
+
+
+@pytest.fixture
+def simple_pattern():
+    return make_pattern({"x": "a", "y": "b"}, [("x", "y", "e")])
+
+
+class TestConstruction:
+    def test_auto_name(self, simple_pattern):
+        gfd = make_gfd(simple_pattern, [], [eq("x", "A", 1)])
+        assert gfd.name.startswith("gfd")
+
+    def test_explicit_name(self, simple_pattern):
+        gfd = make_gfd(simple_pattern, [], [eq("x", "A", 1)], name="mine")
+        assert gfd.name == "mine"
+
+    def test_literal_validation(self, simple_pattern):
+        with pytest.raises(LiteralError):
+            make_gfd(simple_pattern, [eq("z", "A", 1)], [])
+        with pytest.raises(LiteralError):
+            make_gfd(simple_pattern, [], [vareq("x", "A", "ghost", "B")])
+
+    def test_false_only_in_consequent(self, simple_pattern):
+        with pytest.raises(LiteralError):
+            make_gfd(simple_pattern, [FALSE], [])
+        gfd = make_gfd(simple_pattern, [], [FALSE])
+        assert gfd.has_false_consequent()
+
+    def test_unfrozen_pattern_is_frozen(self):
+        from repro.gfd.pattern import Pattern
+
+        pattern = Pattern()
+        pattern.add_var("x", "a")
+        gfd = make_gfd(pattern, [], [eq("x", "A", 1)])
+        assert gfd.pattern.frozen
+
+    def test_literals_sorted_for_determinism(self, simple_pattern):
+        gfd1 = make_gfd(simple_pattern, [], [eq("x", "A", 1), eq("x", "B", 2)])
+        gfd2 = make_gfd(simple_pattern, [], [eq("x", "B", 2), eq("x", "A", 1)])
+        assert gfd1.consequent == gfd2.consequent
+
+
+class TestProbes:
+    def test_empty_antecedent(self, simple_pattern):
+        assert make_gfd(simple_pattern, [], [eq("x", "A", 1)]).has_empty_antecedent()
+        assert not make_gfd(
+            simple_pattern, [eq("x", "A", 1)], [eq("y", "B", 2)]
+        ).has_empty_antecedent()
+
+    def test_trivial(self, simple_pattern):
+        assert make_gfd(simple_pattern, [eq("x", "A", 1)], []).is_trivial()
+
+    def test_attribute_name_sets(self, simple_pattern):
+        gfd = make_gfd(
+            simple_pattern, [eq("x", "A", 1)], [vareq("x", "B", "y", "C")]
+        )
+        assert gfd.antecedent_attributes() == {"A"}
+        assert gfd.consequent_attributes() == {"B", "C"}
+
+    def test_constants(self, simple_pattern):
+        gfd = make_gfd(simple_pattern, [eq("x", "A", 1)], [eq("y", "B", "two")])
+        assert gfd.constants() == {1, "two"}
+
+    def test_counts_and_size(self, simple_pattern):
+        gfd = make_gfd(simple_pattern, [eq("x", "A", 1)], [eq("y", "B", 2)])
+        assert gfd.literal_count() == 2
+        assert gfd.size() == simple_pattern.size() + 2
+
+    def test_str_contains_name_and_arrow(self, simple_pattern):
+        gfd = make_gfd(simple_pattern, [], [eq("x", "A", 1)], name="g")
+        assert "g" in str(gfd) and "→" in str(gfd)
+
+
+class TestEqualityAndSigma:
+    def test_equality_ignores_name(self, simple_pattern):
+        a = make_gfd(simple_pattern, [], [eq("x", "A", 1)], name="a")
+        b = make_gfd(
+            make_pattern({"x": "a", "y": "b"}, [("x", "y", "e")]),
+            [],
+            [eq("x", "A", 1)],
+            name="b",
+        )
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_sigma_size(self, simple_pattern):
+        gfd = make_gfd(simple_pattern, [], [eq("x", "A", 1)])
+        assert sigma_size([gfd, gfd]) == 2 * gfd.size()
+
+    def test_validate_sigma_warnings(self, simple_pattern):
+        trivial = make_gfd(simple_pattern, [eq("x", "A", 1)], [], name="t")
+        dup = make_gfd(simple_pattern, [], [eq("x", "A", 1)], name="t")
+        warnings = validate_sigma([trivial, dup])
+        assert any("duplicate" in w for w in warnings)
+        assert any("empty consequent" in w for w in warnings)
+
+    def test_validate_sigma_clean(self, simple_pattern):
+        gfd = make_gfd(simple_pattern, [], [eq("x", "A", 1)], name="ok")
+        assert validate_sigma([gfd]) == []

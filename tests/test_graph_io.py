@@ -1,0 +1,58 @@
+"""Unit tests for graph JSON (de)serialization."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.graph.io import (
+    dump_graph,
+    dumps_graph,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    loads_graph,
+)
+
+
+class TestRoundTrip:
+    def test_string_round_trip(self, small_graph):
+        restored = loads_graph(dumps_graph(small_graph))
+        assert restored.num_nodes == small_graph.num_nodes
+        assert restored.num_edges == small_graph.num_edges
+        assert restored.attrs("a0") == {"x": 1}
+        assert restored.has_edge("a0", "b0", "knows")
+
+    def test_file_round_trip(self, small_graph, tmp_path):
+        path = tmp_path / "graph.json"
+        dump_graph(small_graph, path)
+        restored = load_graph(path)
+        assert restored.num_nodes == small_graph.num_nodes
+        assert restored.edge_label_set() == small_graph.edge_label_set()
+
+    def test_dict_round_trip_preserves_labels(self, small_graph):
+        doc = graph_to_dict(small_graph)
+        restored = graph_from_dict(doc)
+        assert restored.nodes_with_label("b") == {"b0", "b1"}
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(ParseError):
+            loads_graph("{not json")
+
+    def test_missing_nodes_key(self):
+        with pytest.raises(ParseError):
+            graph_from_dict({"edges": []})
+
+    def test_node_missing_field(self):
+        with pytest.raises(ParseError):
+            graph_from_dict({"nodes": [{"id": 1}]})
+
+    def test_edge_missing_field(self):
+        with pytest.raises(ParseError):
+            graph_from_dict(
+                {"nodes": [{"id": 1, "label": "a"}], "edges": [{"src": 1}]}
+            )
+
+    def test_non_dict_document(self):
+        with pytest.raises(ParseError):
+            graph_from_dict([1, 2, 3])

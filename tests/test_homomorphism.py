@@ -1,0 +1,272 @@
+"""Unit and property tests for the homomorphism matcher."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PropertyGraph
+from repro.gfd.pattern import make_pattern
+from repro.graph.elements import WILDCARD
+from repro.matching.homomorphism import (
+    MatcherRun,
+    default_variable_order,
+    find_homomorphisms,
+    has_homomorphism,
+)
+
+
+def brute_force_matches(pattern, graph):
+    """Reference matcher: enumerate all var->node maps and filter."""
+    variables = pattern.variables
+    nodes = list(graph.nodes())
+    result = []
+    for combo in itertools.product(nodes, repeat=len(variables)):
+        assignment = dict(zip(variables, combo))
+        ok = True
+        for var in variables:
+            label = pattern.label_of(var)
+            if label != WILDCARD and graph.label(assignment[var]) != label:
+                ok = False
+                break
+        if not ok:
+            continue
+        for edge in pattern.edges:
+            labels = graph.edge_labels_between(assignment[edge.src], assignment[edge.dst])
+            if edge.label == WILDCARD:
+                if not labels:
+                    ok = False
+                    break
+            elif edge.label not in labels:
+                ok = False
+                break
+        if ok:
+            result.append(assignment)
+    return result
+
+
+def as_key_set(matches):
+    return {tuple(sorted(m.items())) for m in matches}
+
+
+class TestBasicMatching:
+    def test_single_node_label(self, small_graph):
+        pattern = make_pattern({"x": "a"})
+        matches = find_homomorphisms(pattern, small_graph)
+        assert as_key_set(matches) == {(("x", "a0"),), (("x", "a1"),)}
+
+    def test_wildcard_matches_all(self, small_graph):
+        pattern = make_pattern({"x": WILDCARD})
+        assert len(find_homomorphisms(pattern, small_graph)) == 5
+
+    def test_edge_match(self, small_graph):
+        pattern = make_pattern({"x": "a", "y": "b"}, [("x", "y", "knows")])
+        matches = find_homomorphisms(pattern, small_graph)
+        assert as_key_set(matches) == {(("x", "a0"), ("y", "b0"))}
+
+    def test_wildcard_edge_label(self, small_graph):
+        pattern = make_pattern({"x": "a", "y": WILDCARD}, [("x", "y", WILDCARD)])
+        matches = find_homomorphisms(pattern, small_graph)
+        targets = {m["y"] for m in matches}
+        assert targets == {"b0", "c0"}
+
+    def test_homomorphism_not_injective(self):
+        graph = PropertyGraph()
+        v = graph.add_node("a")
+        graph.add_edge(v, v, "e")
+        pattern = make_pattern({"x": "a", "y": "a"}, [("x", "y", "e")])
+        matches = find_homomorphisms(pattern, graph)
+        assert len(matches) == 1
+        assert matches[0] == {"x": v, "y": v}
+
+    def test_path_pattern(self, small_graph):
+        pattern = make_pattern(
+            {"x": "a", "y": "b", "z": "b"}, [("x", "y", "knows"), ("y", "z", "knows")]
+        )
+        matches = find_homomorphisms(pattern, small_graph)
+        assert as_key_set(matches) == {(("x", "a0"), ("y", "b0"), ("z", "b1"))}
+
+    def test_no_match(self, small_graph):
+        pattern = make_pattern({"x": "c", "y": "a"}, [("x", "y", "knows")])
+        assert not has_homomorphism(pattern, small_graph)
+
+    def test_disconnected_pattern_cross_product(self, small_graph):
+        pattern = make_pattern({"x": "a", "y": "c"})
+        matches = find_homomorphisms(pattern, small_graph)
+        assert len(matches) == 2  # two 'a' nodes x one 'c' node
+
+    def test_multi_edge_requirement(self):
+        graph = PropertyGraph()
+        a, b = graph.add_node("a"), graph.add_node("b")
+        graph.add_edge(a, b, "e1")
+        pattern = make_pattern({"x": "a", "y": "b"}, [("x", "y", "e1"), ("x", "y", "e2")])
+        assert not has_homomorphism(pattern, graph)
+        graph.add_edge(a, b, "e2")
+        assert has_homomorphism(pattern, graph)
+
+    def test_limit(self, small_graph):
+        pattern = make_pattern({"x": WILDCARD})
+        assert len(find_homomorphisms(pattern, small_graph, limit=3)) == 3
+
+
+class TestPivotsAndRestrictions:
+    def test_preassigned_pivot(self, small_graph):
+        pattern = make_pattern({"x": "a", "y": "b"}, [("x", "y", "knows")])
+        matches = find_homomorphisms(pattern, small_graph, preassigned={"x": "a0"})
+        assert as_key_set(matches) == {(("x", "a0"), ("y", "b0"))}
+        assert find_homomorphisms(pattern, small_graph, preassigned={"x": "a1"}) == []
+
+    def test_inconsistent_preassignment_no_matches(self, small_graph):
+        pattern = make_pattern({"x": "a"})
+        assert find_homomorphisms(pattern, small_graph, preassigned={"x": "c0"}) == []
+        assert find_homomorphisms(pattern, small_graph, preassigned={"x": "ghost"}) == []
+
+    def test_fully_preassigned_match(self, small_graph):
+        pattern = make_pattern({"x": "a", "y": "b"}, [("x", "y", "knows")])
+        matches = find_homomorphisms(
+            pattern, small_graph, preassigned={"x": "a0", "y": "b0"}
+        )
+        assert len(matches) == 1
+
+    def test_fully_preassigned_nonmatch(self, small_graph):
+        pattern = make_pattern({"x": "a", "y": "b"}, [("x", "y", "knows")])
+        assert (
+            find_homomorphisms(pattern, small_graph, preassigned={"x": "a0", "y": "b1"})
+            == []
+        )
+
+    def test_allowed_nodes_restricts(self, small_graph):
+        pattern = make_pattern({"x": WILDCARD})
+        matches = find_homomorphisms(pattern, small_graph, allowed_nodes={"a0", "b0"})
+        assert {m["x"] for m in matches} == {"a0", "b0"}
+
+    def test_candidate_sets_restrict(self, small_graph):
+        pattern = make_pattern({"x": "a", "y": "b"}, [("x", "y", "knows")])
+        run = MatcherRun(pattern, small_graph, candidate_sets={"y": {"b1"}})
+        assert list(run.matches()) == []
+
+    def test_pivot_coverage_partition(self, small_graph):
+        """Union over pivot candidates == unpivoted matches, disjointly."""
+        pattern = make_pattern(
+            {"x": "a", "y": "b"}, [("x", "y", "knows")]
+        )
+        all_matches = as_key_set(find_homomorphisms(pattern, small_graph))
+        union = set()
+        for node in small_graph.nodes_with_label("a"):
+            pivoted = as_key_set(
+                find_homomorphisms(pattern, small_graph, preassigned={"x": node})
+            )
+            assert not (union & pivoted)
+            union |= pivoted
+        assert union == all_matches
+
+
+class TestTicksAndOrder:
+    def test_ticks_increase(self, small_graph):
+        pattern = make_pattern({"x": "a", "y": "b"}, [("x", "y", "knows")])
+        run = MatcherRun(pattern, small_graph)
+        list(run.matches())
+        assert run.ticks > 0
+        assert run.match_count == 1
+
+    def test_default_order_starts_selective(self, small_graph):
+        pattern = make_pattern(
+            {"x": WILDCARD, "y": "c"}, [("x", "y", "likes")]
+        )
+        order = default_variable_order(pattern, small_graph)
+        assert order[0] == "y"  # one 'c' node vs 5 wildcards
+
+    def test_explicit_order_respected(self, small_graph):
+        pattern = make_pattern({"x": "a", "y": "b"}, [("x", "y", "knows")])
+        run = MatcherRun(pattern, small_graph, variable_order=["y", "x"])
+        assert run.order == ["y", "x"]
+        assert len(list(run.matches())) == 1
+
+
+class TestSplitting:
+    @staticmethod
+    def dense_graph(n=6):
+        graph = PropertyGraph()
+        nodes = [graph.add_node("v") for _ in range(n)]
+        for a in nodes:
+            for b in nodes:
+                if a != b:
+                    graph.add_edge(a, b, "e")
+        return graph
+
+    def test_split_preserves_match_set(self):
+        graph = self.dense_graph()
+        pattern = make_pattern(
+            {"x": "v", "y": "v", "z": "v"}, [("x", "y", "e"), ("y", "z", "e")]
+        )
+        reference = as_key_set(find_homomorphisms(pattern, graph))
+
+        run = MatcherRun(pattern, graph, preassigned={"x": 0})
+        collected = []
+        split_assignments = []
+        did_split = False
+        for match in run.matches():
+            collected.append(match)
+            if not did_split and run.can_split():
+                split_assignments = run.split()
+                did_split = True
+        assert did_split and split_assignments
+        for assignment in split_assignments:
+            sub = MatcherRun(pattern, graph, preassigned=assignment)
+            collected.extend(sub.matches())
+
+        pivoted_reference = {
+            key for key in reference if ("x", 0) in key
+        }
+        assert as_key_set(collected) == pivoted_reference
+        # No duplicates either.
+        assert len(collected) == len(pivoted_reference)
+
+    def test_split_respects_max_units(self):
+        graph = self.dense_graph()
+        pattern = make_pattern(
+            {"x": "v", "y": "v", "z": "v"}, [("x", "y", "e"), ("y", "z", "e")]
+        )
+        run = MatcherRun(pattern, graph, preassigned={"x": 0})
+        iterator = run.matches()
+        next(iterator)
+        units = run.split(max_units=2)
+        assert len(units) <= 2
+
+    def test_cannot_split_without_stack(self, small_graph):
+        pattern = make_pattern({"x": "a"})
+        run = MatcherRun(pattern, small_graph)
+        assert run.split() == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_matcher_agrees_with_brute_force(seed):
+    """Property: backtracking matcher == brute-force on random instances."""
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    labels = ["a", "b"]
+    edge_labels = ["e", "f"]
+    num_nodes = rng.randint(1, 5)
+    nodes = [graph.add_node(rng.choice(labels)) for _ in range(num_nodes)]
+    for _ in range(rng.randint(0, 8)):
+        graph.add_edge(rng.choice(nodes), rng.choice(nodes), rng.choice(edge_labels))
+
+    num_vars = rng.randint(1, 3)
+    pattern_nodes = {
+        f"v{i}": rng.choice(labels + [WILDCARD]) for i in range(num_vars)
+    }
+    pattern_edges = []
+    for _ in range(rng.randint(0, 3)):
+        src = f"v{rng.randrange(num_vars)}"
+        dst = f"v{rng.randrange(num_vars)}"
+        pattern_edges.append((src, dst, rng.choice(edge_labels + [WILDCARD])))
+    pattern = make_pattern(pattern_nodes, pattern_edges)
+
+    expected = as_key_set(brute_force_matches(pattern, graph))
+    actual_list = find_homomorphisms(pattern, graph)
+    actual = as_key_set(actual_list)
+    assert actual == expected
+    assert len(actual_list) == len(expected)  # no duplicate matches

@@ -1,0 +1,120 @@
+"""Tests for incremental satisfiability (agreement with batch SeqSat)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import parse_gfds, seq_sat
+from repro.errors import GFDError
+from repro.gfd.generator import conflict_chain, random_gfds
+from repro.reasoning.incremental import IncrementalSat
+
+
+class TestBasics:
+    def test_empty_state_satisfiable(self):
+        assert IncrementalSat().satisfiable
+        assert len(IncrementalSat()) == 0
+
+    def test_single_addition(self):
+        sigma = parse_gfds("gfd g { x: a; then x.A = 1; }")
+        state = IncrementalSat(sigma)
+        assert state.satisfiable
+        assert state.steps[0].new_matches >= 1
+
+    def test_duplicate_name_rejected(self):
+        sigma = parse_gfds("gfd g { x: a; then x.A = 1; }")
+        state = IncrementalSat(sigma)
+        with pytest.raises(GFDError):
+            state.add(sigma[0])
+
+    def test_conflict_detected_at_the_right_step(self, example4_sigma):
+        state = IncrementalSat()
+        assert state.add(example4_sigma[0]).satisfiable
+        assert state.add(example4_sigma[1]).satisfiable
+        step = state.add(example4_sigma[2])
+        assert not step.satisfiable
+        assert not state.satisfiable
+        assert state.conflict is not None
+
+    def test_additions_after_conflict_are_noops(self, example2_conflicting):
+        state = IncrementalSat(example2_conflicting)
+        assert not state.satisfiable
+        extra = parse_gfds("gfd extra { q: z; then q.Q = 1; }")[0]
+        step = state.add(extra)
+        assert not step.satisfiable
+        assert step.new_matches == 0
+
+    def test_order_of_additions_does_not_change_verdict(self, example4_sigma):
+        forward = IncrementalSat(example4_sigma)
+        backward = IncrementalSat(list(reversed(example4_sigma)))
+        assert forward.satisfiable == backward.satisfiable == False  # noqa: E712
+
+    def test_cross_component_interaction(self):
+        """A later GFD's consequent wakes a deferred match of an earlier
+        one parked in a different component."""
+        sigma = parse_gfds(
+            """
+            gfd waiting { x: a; when x.A = 1; then x.B = 1, x.B = 2; }
+            gfd trigger { x: a; then x.A = 1; }
+            """
+        )
+        state = IncrementalSat()
+        assert state.add(sigma[0]).satisfiable
+        assert not state.add(sigma[1]).satisfiable
+
+    def test_disconnected_pattern_falls_back(self):
+        sigma = parse_gfds(
+            """
+            gfd conn { x: a; then x.A = 1; }
+            gfd disc { x: a; y: b; then x.A = 2; }
+            """
+        )
+        state = IncrementalSat()
+        state.add(sigma[0])
+        step = state.add(sigma[1])
+        assert step.recomputed
+        assert not state.satisfiable  # x.A forced to both 1 and 2
+
+    def test_conflict_chain_incrementally(self):
+        chain = conflict_chain(4)
+        state = IncrementalSat()
+        for gfd in chain[:-1]:
+            assert state.add(gfd).satisfiable
+        assert not state.add(chain[-1]).satisfiable
+
+    def test_sigma_property(self):
+        sigma = parse_gfds("gfd g { x: a; then x.A = 1; }")
+        state = IncrementalSat(sigma)
+        assert [g.name for g in state.sigma] == ["g"]
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_incremental_agrees_with_batch(seed):
+    """Property: adding GFDs one by one reaches the batch verdict."""
+    sigma = random_gfds(
+        10, max_pattern_nodes=4, max_literals=3, seed=seed, consistent=False
+    )
+    state = IncrementalSat()
+    for gfd in sigma:
+        state.add(gfd)
+    assert state.satisfiable == seq_sat(sigma).satisfiable
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_incremental_prefix_consistency(seed):
+    """Property: every intermediate verdict matches batch SeqSat on the
+    prefix added so far (and conflicts are monotone)."""
+    sigma = random_gfds(
+        8, max_pattern_nodes=4, max_literals=3, seed=seed, consistent=False
+    )
+    state = IncrementalSat()
+    seen_conflict = False
+    for index, gfd in enumerate(sigma):
+        step = state.add(gfd)
+        expected = seq_sat(sigma[: index + 1]).satisfiable
+        assert step.satisfiable == expected
+        if seen_conflict:
+            assert not step.satisfiable
+        seen_conflict = seen_conflict or not step.satisfiable

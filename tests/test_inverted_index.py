@@ -1,0 +1,71 @@
+"""Unit tests for the deferred-match inverted index."""
+
+from repro.eq.inverted_index import InvertedIndex, PendingMatch
+
+
+def pending(name="g", **assignment):
+    return PendingMatch.from_dict(name, assignment or {"x": "n0"})
+
+
+class TestPendingMatch:
+    def test_round_trip(self):
+        match = PendingMatch.from_dict("g", {"b": 2, "a": 1})
+        assert match.as_dict() == {"a": 1, "b": 2}
+
+    def test_hashable_dedup(self):
+        assert pending(x=1) == pending(x=1)
+        assert len({pending(x=1), pending(x=1)}) == 1
+
+
+class TestIndex:
+    def test_register_and_pop(self):
+        index = InvertedIndex()
+        match = pending()
+        assert index.register(match, [("n0", "A"), ("n0", "B")]) == 2
+        assert len(index) == 1
+        assert index.num_entries() == 2
+        woken = index.pop_affected([("n0", "A")])
+        assert woken == [match]
+        # All entries for the match are purged, not just the popped term.
+        assert index.is_empty()
+
+    def test_register_duplicate_terms_counted_once(self):
+        index = InvertedIndex()
+        match = pending()
+        assert index.register(match, [("n0", "A"), ("n0", "A")]) == 1
+        assert index.num_entries() == 1
+
+    def test_pop_unaffected_terms_returns_nothing(self):
+        index = InvertedIndex()
+        index.register(pending(), [("n0", "A")])
+        assert index.pop_affected([("other", "Z")]) == []
+        assert len(index) == 1
+
+    def test_match_returned_once_for_multiple_terms(self):
+        index = InvertedIndex()
+        match = pending()
+        index.register(match, [("n0", "A"), ("n0", "B")])
+        woken = index.pop_affected([("n0", "A"), ("n0", "B")])
+        assert woken == [match]
+
+    def test_multiple_matches_on_one_term(self):
+        index = InvertedIndex()
+        first, second = pending(x=1), pending(x=2)
+        index.register(first, [("n0", "A")])
+        index.register(second, [("n0", "A")])
+        woken = index.pop_affected([("n0", "A")])
+        assert set(woken) == {first, second}
+        assert index.is_empty()
+
+    def test_re_registration_after_pop(self):
+        index = InvertedIndex()
+        match = pending()
+        index.register(match, [("n0", "A")])
+        index.pop_affected([("n0", "A")])
+        index.register(match, [("n0", "B")])
+        assert index.pop_affected([("n0", "B")]) == [match]
+
+    def test_terms_listing(self):
+        index = InvertedIndex()
+        index.register(pending(), [("n0", "A")])
+        assert index.terms() == {("n0", "A")}

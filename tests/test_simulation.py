@@ -1,0 +1,83 @@
+"""Unit and property tests for dual simulation pruning."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PropertyGraph
+from repro.gfd.pattern import make_pattern
+from repro.graph.elements import WILDCARD
+from repro.matching.homomorphism import find_homomorphisms, has_homomorphism
+from repro.matching.simulation import dual_simulation, may_have_homomorphism
+
+
+class TestDualSimulation:
+    def test_exact_match_survives(self, small_graph):
+        pattern = make_pattern({"x": "a", "y": "b"}, [("x", "y", "knows")])
+        sim = dual_simulation(pattern, small_graph)
+        assert sim is not None
+        assert "a0" in sim["x"]
+        assert "b0" in sim["y"]
+        # a1 has no outgoing 'knows' edge -> cannot simulate x.
+        assert "a1" not in sim["x"]
+
+    def test_missing_label_kills_simulation(self, small_graph):
+        pattern = make_pattern({"x": "zz"})
+        assert dual_simulation(pattern, small_graph) is None
+
+    def test_unreachable_structure_kills_simulation(self, small_graph):
+        # c -> a edge does not exist anywhere.
+        pattern = make_pattern({"x": "c", "y": "a"}, [("x", "y", "knows")])
+        assert dual_simulation(pattern, small_graph) is None
+        assert not may_have_homomorphism(pattern, small_graph)
+
+    def test_wildcards_allowed(self, small_graph):
+        pattern = make_pattern({"x": WILDCARD, "y": WILDCARD}, [("x", "y", WILDCARD)])
+        sim = dual_simulation(pattern, small_graph)
+        assert sim is not None
+        # a1 is a sink; it cannot simulate x (needs an out-edge).
+        assert "a1" not in sim["x"]
+
+    def test_simulation_contains_homomorphism_images(self, small_graph):
+        pattern = make_pattern(
+            {"x": "a", "y": "b", "z": "b"}, [("x", "y", "knows"), ("y", "z", "knows")]
+        )
+        sim = dual_simulation(pattern, small_graph)
+        for match in find_homomorphisms(pattern, small_graph):
+            for var, node in match.items():
+                assert node in sim[var]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_simulation_sound_for_pruning(seed):
+    """Property: hom exists => simulation non-empty and contains its image."""
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    labels = ["a", "b"]
+    nodes = [graph.add_node(rng.choice(labels)) for _ in range(rng.randint(1, 5))]
+    for _ in range(rng.randint(0, 8)):
+        graph.add_edge(rng.choice(nodes), rng.choice(nodes), rng.choice(["e", "f"]))
+
+    num_vars = rng.randint(1, 3)
+    pattern_nodes = {f"v{i}": rng.choice(labels + [WILDCARD]) for i in range(num_vars)}
+    pattern_edges = [
+        (
+            f"v{rng.randrange(num_vars)}",
+            f"v{rng.randrange(num_vars)}",
+            rng.choice(["e", "f", WILDCARD]),
+        )
+        for _ in range(rng.randint(0, 3))
+    ]
+    pattern = make_pattern(pattern_nodes, pattern_edges)
+
+    matches = find_homomorphisms(pattern, graph)
+    sim = dual_simulation(pattern, graph)
+    if matches:
+        assert sim is not None
+        for match in matches:
+            for var, node in match.items():
+                assert node in sim[var]
+    if sim is None:
+        assert not matches

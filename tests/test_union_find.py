@@ -1,0 +1,114 @@
+"""Unit and property tests for the union-find."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eq.union_find import UnionFind
+
+
+class TestBasics:
+    def test_add_and_contains(self):
+        uf = UnionFind()
+        assert uf.add("a")
+        assert not uf.add("a")
+        assert "a" in uf
+        assert "b" not in uf
+        assert len(uf) == 1
+
+    def test_find_singleton(self):
+        uf = UnionFind()
+        uf.add("a")
+        assert uf.find("a") == "a"
+
+    def test_union_merges(self):
+        uf = UnionFind()
+        root, absorbed = uf.union("a", "b")
+        assert uf.connected("a", "b")
+        assert absorbed is not None
+        assert root != absorbed
+        assert uf.members("a") == {"a", "b"}
+
+    def test_union_idempotent(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        root, absorbed = uf.union("a", "b")
+        assert absorbed is None
+        assert uf.num_classes() == 1
+
+    def test_connected_unknown_items(self):
+        uf = UnionFind()
+        uf.add("a")
+        assert not uf.connected("a", "ghost")
+        assert not uf.connected("ghost", "phantom")
+
+    def test_classes_are_copies(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        classes = uf.classes()
+        classes[0].add("evil")
+        assert uf.members("a") == {"a", "b"}
+
+    def test_copy_independent(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        clone = uf.copy()
+        clone.union("a", "c")
+        assert not uf.connected("a", "c")
+        assert clone.connected("a", "c")
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 20), st.integers(0, 20)),
+        min_size=0,
+        max_size=50,
+    )
+)
+def test_union_find_matches_naive_partition(pairs):
+    """Property: union-find agrees with a naive partition refinement."""
+    uf = UnionFind()
+    naive = {}  # item -> set (shared object per class)
+
+    def naive_add(item):
+        if item not in naive:
+            naive[item] = {item}
+
+    for a, b in pairs:
+        uf.union(a, b)
+        naive_add(a)
+        naive_add(b)
+        if naive[a] is not naive[b]:
+            merged = naive[a] | naive[b]
+            for member in merged:
+                naive[member] = merged
+
+    for a in naive:
+        for b in naive:
+            assert uf.connected(a, b) == (naive[a] is naive[b])
+        assert uf.members(a) == naive[a]
+
+    # Class count agrees too.
+    distinct = {id(cls) for cls in naive.values()}
+    assert uf.num_classes() == len(distinct)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 10), st.integers(0, 10)),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_members_partition_invariant(pairs):
+    """Property: member sets partition the registered items."""
+    uf = UnionFind()
+    for a, b in pairs:
+        uf.union(a, b)
+    seen = set()
+    for members in uf.classes():
+        assert not (seen & members)
+        seen |= members
+    all_items = {item for pair in pairs for item in pair}
+    assert seen == all_items

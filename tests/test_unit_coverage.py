@@ -1,0 +1,124 @@
+"""Property tests: work units partition the match space, and splitting at
+arbitrary points preserves it — the foundations of ParSat's correctness."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gfd.canonical import build_canonical_graph
+from repro.gfd.generator import random_gfds
+from repro.matching.homomorphism import MatcherRun, find_homomorphisms
+from repro.reasoning.workunits import generate_pruned_work_units, generate_work_units
+
+
+def match_key(assignment):
+    return tuple(sorted(assignment.items()))
+
+
+def all_matches(gfd, graph):
+    return {match_key(m) for m in find_homomorphisms(gfd.pattern, graph)}
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_units_cover_exactly_all_matches(seed):
+    """Every match of every pattern appears in exactly one work unit's
+    pivoted search (dQ-neighborhood locality included)."""
+    sigma = random_gfds(6, max_pattern_nodes=4, max_literals=2, seed=seed)
+    canonical = build_canonical_graph(sigma)
+    graph = canonical.graph
+    units = generate_work_units(sigma, graph)
+
+    from repro.graph.neighborhood import neighborhood
+
+    for gfd in sigma:
+        expected = all_matches(gfd, graph)
+        covered = []
+        for unit in units:
+            if unit.gfd_name != gfd.name:
+                continue
+            pivot = unit.pivot_node()
+            allowed = (
+                neighborhood(graph, pivot, unit.radius)
+                if unit.radius is not None
+                else None
+            )
+            run = MatcherRun(
+                gfd.pattern,
+                graph,
+                preassigned=unit.assignment_dict(),
+                allowed_nodes=allowed,
+            )
+            covered.extend(match_key(m) for m in run.matches())
+        assert sorted(covered) == sorted(expected), gfd.name
+        # Exactly once: no duplicates across units.
+        assert len(covered) == len(expected)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_pruned_units_cover_all_matches(seed):
+    """Simulation pruning never drops a unit that had matches."""
+    sigma = random_gfds(6, max_pattern_nodes=4, max_literals=2, seed=seed)
+    canonical = build_canonical_graph(sigma)
+    graph = canonical.graph
+    units = generate_pruned_work_units(sigma, graph)
+
+    from repro.graph.neighborhood import neighborhood
+
+    for gfd in sigma:
+        expected = all_matches(gfd, graph)
+        covered = set()
+        for unit in units:
+            if unit.gfd_name != gfd.name:
+                continue
+            pivot = unit.pivot_node()
+            allowed = (
+                neighborhood(graph, pivot, unit.radius)
+                if unit.radius is not None
+                else None
+            )
+            run = MatcherRun(
+                gfd.pattern,
+                graph,
+                preassigned=unit.assignment_dict(),
+                allowed_nodes=allowed,
+            )
+            covered.update(match_key(m) for m in run.matches())
+        assert covered == expected, gfd.name
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000), st.integers(1, 6))
+def test_split_at_random_point_preserves_matches(seed, split_after):
+    """Splitting mid-search (then running the sub-units) yields exactly the
+    original match set — no loss, no duplication (paper, Example 6)."""
+    rng = random.Random(seed)
+    from repro import PropertyGraph
+    from repro.gfd.pattern import make_pattern
+
+    graph = PropertyGraph()
+    nodes = [graph.add_node(rng.choice("ab")) for _ in range(rng.randint(3, 7))]
+    for _ in range(rng.randint(4, 14)):
+        graph.add_edge(rng.choice(nodes), rng.choice(nodes), rng.choice("ef"))
+    pattern = make_pattern(
+        {"x": "_", "y": "_", "z": "_"},
+        [("x", "y", rng.choice("ef")), ("y", "z", rng.choice("ef"))],
+    )
+    reference = {match_key(m) for m in find_homomorphisms(pattern, graph)}
+
+    run = MatcherRun(pattern, graph)
+    collected = []
+    queue = []
+    produced = 0
+    for match in run.matches():
+        collected.append(match_key(match))
+        produced += 1
+        if produced == split_after and run.can_split():
+            queue.extend(run.split())
+    while queue:
+        sub = MatcherRun(pattern, graph, preassigned=queue.pop())
+        for match in sub.matches():
+            collected.append(match_key(match))
+    assert sorted(collected) == sorted(reference)

@@ -1,0 +1,137 @@
+"""Tests for GFD semantics on concrete graphs (error detection)."""
+
+from repro import PropertyGraph, parse_gfds
+from repro.reasoning.validation import (
+    detect_errors,
+    find_violations,
+    graph_satisfies,
+    graph_satisfies_sigma,
+    is_model_of,
+    match_satisfies,
+    match_satisfies_literal,
+)
+from repro.gfd.literals import FALSE, eq, vareq
+
+
+def dirty_graph():
+    graph = PropertyGraph()
+    p1 = graph.add_node("place", {"name": "airport"}, node_id="p1")
+    p2 = graph.add_node("place", {"name": "town"}, node_id="p2")
+    graph.add_edge(p1, p2, "locateIn")
+    graph.add_edge(p2, p1, "partOf")
+    return graph
+
+
+PHI1 = parse_gfds(
+    """
+    gfd phi1 {
+        x: place; y: place;
+        x -[locateIn]-> y;
+        y -[partOf]-> x;
+        then false;
+    }
+    """
+)[0]
+
+
+class TestLiteralSatisfaction:
+    def test_constant_literal(self):
+        graph = PropertyGraph()
+        graph.add_node("a", {"A": 1}, node_id="n")
+        assert match_satisfies_literal(graph, eq("x", "A", 1), {"x": "n"})
+        assert not match_satisfies_literal(graph, eq("x", "A", 2), {"x": "n"})
+
+    def test_missing_attribute_falsifies(self):
+        graph = PropertyGraph()
+        graph.add_node("a", {}, node_id="n")
+        assert not match_satisfies_literal(graph, eq("x", "A", 1), {"x": "n"})
+
+    def test_variable_literal(self):
+        graph = PropertyGraph()
+        graph.add_node("a", {"A": 7}, node_id="n")
+        graph.add_node("b", {"B": 7}, node_id="m")
+        assignment = {"x": "n", "y": "m"}
+        assert match_satisfies_literal(graph, vareq("x", "A", "y", "B"), assignment)
+
+    def test_variable_literal_missing_side(self):
+        graph = PropertyGraph()
+        graph.add_node("a", {"A": 7}, node_id="n")
+        graph.add_node("b", {}, node_id="m")
+        assert not match_satisfies_literal(
+            graph, vareq("x", "A", "y", "B"), {"x": "n", "y": "m"}
+        )
+
+    def test_false_literal_never_satisfied(self):
+        graph = PropertyGraph()
+        graph.add_node("a", node_id="n")
+        assert not match_satisfies_literal(graph, FALSE, {"x": "n"})
+
+    def test_empty_conjunction_true(self):
+        graph = PropertyGraph()
+        graph.add_node("a", node_id="n")
+        assert match_satisfies(graph, [], {"x": "n"})
+
+
+class TestViolations:
+    def test_cyclic_place_violation_found(self):
+        graph = dirty_graph()
+        violations = find_violations(graph, PHI1)
+        assert len(violations) == 1
+        assert violations[0].gfd_name == "phi1"
+        assert violations[0].assignment == {"x": "p1", "y": "p2"}
+
+    def test_clean_graph_no_violation(self):
+        graph = PropertyGraph()
+        a = graph.add_node("place")
+        b = graph.add_node("place")
+        graph.add_edge(a, b, "locateIn")
+        assert graph_satisfies(graph, PHI1)
+
+    def test_unsatisfied_antecedent_not_a_violation(self):
+        sigma = parse_gfds("gfd g { x: a; when x.A = 1; then x.B = 2; }")
+        graph = PropertyGraph()
+        graph.add_node("a", {"A": 0})
+        assert graph_satisfies_sigma(graph, sigma)
+
+    def test_satisfied_antecedent_violated_consequent(self):
+        sigma = parse_gfds("gfd g { x: a; when x.A = 1; then x.B = 2; }")
+        graph = PropertyGraph()
+        graph.add_node("a", {"A": 1, "B": 3})
+        assert not graph_satisfies_sigma(graph, sigma)
+
+    def test_limit_respected(self):
+        graph = PropertyGraph()
+        for _ in range(5):
+            graph.add_node("a", {"A": 1})
+        gfd = parse_gfds("gfd g { x: a; when x.A = 1; then x.B = 2; }")[0]
+        assert len(find_violations(graph, gfd, limit=2)) == 2
+
+    def test_detect_errors_aggregates(self):
+        graph = dirty_graph()
+        graph.add_node("a", {"A": 1})
+        sigma = [PHI1] + parse_gfds("gfd g2 { x: a; when x.A = 1; then x.B = 2; }")
+        errors = detect_errors(graph, sigma)
+        assert {e.gfd_name for e in errors} == {"phi1", "g2"}
+
+    def test_violation_str(self):
+        graph = dirty_graph()
+        violation = find_violations(graph, PHI1)[0]
+        assert "phi1" in str(violation)
+
+
+class TestIsModelOf:
+    def test_empty_graph_is_no_model(self):
+        sigma = parse_gfds("gfd g { x: a; then x.A = 1; }")
+        assert not is_model_of(PropertyGraph(), sigma)
+
+    def test_satisfying_graph_without_match_is_no_model(self):
+        sigma = parse_gfds("gfd g { x: a; then x.A = 1; }")
+        graph = PropertyGraph()
+        graph.add_node("b")
+        assert not is_model_of(graph, sigma)
+
+    def test_proper_model(self):
+        sigma = parse_gfds("gfd g { x: a; then x.A = 1; }")
+        graph = PropertyGraph()
+        graph.add_node("a", {"A": 1})
+        assert is_model_of(graph, sigma)
