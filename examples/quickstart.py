@@ -9,10 +9,19 @@ Reproduces the paper's running examples:
   interact, and ``Σ |= ϕ14`` that holds because the antecedent is
   inconsistent with Σ.
 
+It also peeks under the hood of the matching hot path: every graph compiles
+a read-only ``GraphIndex`` (label-grouped adjacency) on demand, and every
+pattern compiles a reusable ``MatchPlan`` against it, shared by all the
+pivoted matcher runs the reasoning algorithms spawn.
+
 Run:  python examples/quickstart.py
 """
 
 from repro import parse_gfds, seq_sat, seq_imp, extract_model, is_model_of
+from repro.gfd.pattern import make_pattern
+from repro.graph.graph import PropertyGraph
+from repro.matching.homomorphism import MatcherRun
+from repro.matching.plan import get_plan
 
 
 def satisfiability_demo() -> None:
@@ -95,9 +104,38 @@ def implication_demo() -> None:
     print(f"  conflict witness: {result14.conflict}")
 
 
+def matching_internals_demo() -> None:
+    print("\n=== Under the hood: GraphIndex + MatchPlan ===")
+    graph = PropertyGraph()
+    people = [graph.add_node("person") for _ in range(4)]
+    city = graph.add_node("city")
+    for i, person in enumerate(people):
+        graph.add_edge(person, people[(i + 1) % len(people)], "knows")
+        graph.add_edge(person, city, "lives_in")
+
+    # The compiled index is built lazily and cached until the next mutation.
+    index = graph.index()
+    print(f"compiled index: {index}")
+    lives = index.label_id("lives_in")
+    print(f"in-neighbors of the city via 'lives_in': {index.in_neighbors(city, lives)}")
+
+    # One plan per (pattern, index); every pivoted run reuses it.
+    pattern = make_pattern(
+        {"x": "person", "y": "person", "z": "city"},
+        [("x", "y", "knows"), ("y", "z", "lives_in")],
+    )
+    plan = get_plan(pattern, graph)
+    total = 0
+    for pivot in index.nodes_with_label("person"):
+        run = MatcherRun(pattern, graph, preassigned={"x": pivot}, plan=plan)
+        total += sum(1 for _ in run.matches())
+    print(f"pivoted fan-out over one shared plan found {total} matches")
+
+
 def main() -> None:
     satisfiability_demo()
     implication_demo()
+    matching_internals_demo()
     print("\nQuickstart complete.")
 
 

@@ -28,6 +28,7 @@ from ..graph.elements import NodeId
 from ..graph.graph import PropertyGraph
 from ..matching.component_index import ComponentIndex
 from ..matching.homomorphism import MatcherRun
+from ..matching.plan import get_plan
 from ..reasoning.enforce import (
     AntecedentStatus,
     antecedent_status,
@@ -64,15 +65,21 @@ def _all_matches(
     """Enumerate every match of *gfd*'s pattern (no caching across rounds —
     deliberately naive, but still component-filtered so large inputs finish)."""
     matches: List[Dict[str, NodeId]] = []
+    # The chase re-enumerates every round; the compiled plan is shared
+    # across rounds through the graph's index cache (the graph's topology
+    # never changes during a chase).
+    plan = get_plan(gfd.pattern, graph)
     if index is not None and gfd.pattern.is_connected():
         for comp_id in range(index.num_components()):
             if not index.pattern_compatible(gfd.pattern, comp_id):
                 continue
-            run = MatcherRun(gfd.pattern, graph, allowed_nodes=index.nodes_of(comp_id))
+            run = MatcherRun(
+                gfd.pattern, graph, allowed_nodes=index.nodes_of(comp_id), plan=plan
+            )
             matches.extend(run.matches())
             stats.match_ticks += run.ticks
         return matches
-    run = MatcherRun(gfd.pattern, graph)
+    run = MatcherRun(gfd.pattern, graph, plan=plan)
     matches.extend(run.matches())
     stats.match_ticks += run.ticks
     return matches

@@ -29,6 +29,7 @@ from ..gfd.pattern import Pattern
 from ..graph.elements import WILDCARD, is_wildcard
 from ..graph.graph import PropertyGraph
 from ..matching.homomorphism import MatcherRun
+from ..matching.plan import get_plan
 from ..reasoning.enforce import (
     AntecedentStatus,
     antecedent_status,
@@ -197,7 +198,7 @@ def rdf_imp(sigma: Sequence[GFD], phi: GFD) -> ChaseResult:
         for gfd in reified_sigma:
             if gfd.is_trivial():
                 continue
-            run = MatcherRun(gfd.pattern, graph)
+            run = MatcherRun(gfd.pattern, graph, plan=get_plan(gfd.pattern, graph))
             for assignment in run.matches():
                 stats.matches_considered += 1
                 status, _ = antecedent_status(eq, gfd, assignment)

@@ -39,6 +39,7 @@ from ..graph.elements import NodeId, is_wildcard
 from ..graph.graph import PropertyGraph
 from ..matching.component_index import ComponentIndex
 from ..matching.homomorphism import MatcherRun
+from ..matching.plan import get_plan
 from ..reasoning.enforce import (
     AntecedentStatus,
     antecedent_status,
@@ -201,8 +202,9 @@ def ged_satisfiable(sigma: Sequence[GFD], max_rounds: int = 50) -> GedResult:
                 ]
             else:
                 scopes = [None]
+            plan = get_plan(gfd.pattern, graph)
             for scope in scopes:
-                run = MatcherRun(gfd.pattern, graph, allowed_nodes=scope)
+                run = MatcherRun(gfd.pattern, graph, allowed_nodes=scope, plan=plan)
                 for assignment in run.matches():
                     stats.matches_considered += 1
                     status, _ = antecedent_status(eq, shell, assignment)

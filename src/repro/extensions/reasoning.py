@@ -42,6 +42,7 @@ from ..gfd.literals import ConstantLiteral, FalseLiteral, VariableLiteral
 from ..graph.elements import NodeId
 from ..matching.component_index import ComponentIndex
 from ..matching.homomorphism import MatcherRun
+from ..matching.plan import get_plan
 from ..reasoning.enforce import AntecedentStatus
 from .predicates import CompareLiteral, ExtendedEq, VarNeqLiteral
 
@@ -280,8 +281,9 @@ def ext_seq_sat(sigma: Sequence[GFD]) -> ExtSatResult:
             scopes = [index.nodes_of(comp_id) for comp_id in component_ids]
         else:
             scopes = [None]
+        plan = get_plan(gfd.pattern, canonical.graph)
         for scope in scopes:
-            run = MatcherRun(gfd.pattern, canonical.graph, allowed_nodes=scope)
+            run = MatcherRun(gfd.pattern, canonical.graph, allowed_nodes=scope, plan=plan)
             for assignment in run.matches():
                 matches += 1
                 engine.enforce(gfd, assignment)
@@ -331,7 +333,9 @@ def ext_seq_imp(sigma: Sequence[GFD], phi: GFD) -> ExtImpResult:
     for gfd in sigma:
         if gfd.is_trivial():
             continue
-        run = MatcherRun(gfd.pattern, canonical.graph)
+        run = MatcherRun(
+            gfd.pattern, canonical.graph, plan=get_plan(gfd.pattern, canonical.graph)
+        )
         for assignment in run.matches():
             changed = engine.enforce(gfd, assignment)
             if eq.has_conflict():

@@ -52,6 +52,10 @@ class Pattern:
         self._components: Optional[List[FrozenSet[str]]] = None
         self._adj: Optional[Dict[str, Set[str]]] = None
         self._ecc: Dict[str, int] = {}
+        self._signature_cache: Optional[
+            Tuple[Tuple[Tuple[str, str], ...], Tuple[Tuple[str, str, str], ...]]
+        ] = None
+        self._hash_cache: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -232,10 +236,19 @@ class Pattern:
     # Equality / hashing / display
     # ------------------------------------------------------------------
     def signature(self) -> Tuple[Tuple[Tuple[str, str], ...], Tuple[Tuple[str, str, str], ...]]:
-        """A hashable structural signature (variables+labels, edges)."""
+        """A hashable structural signature (variables+labels, edges).
+
+        Cached once the pattern is frozen — plan caches key off patterns, so
+        hashing must not re-sort the structure on every lookup.
+        """
+        if self._frozen and self._signature_cache is not None:
+            return self._signature_cache
         nodes = tuple(sorted((var, label) for var, label in self._labels.items()))
         edges = tuple(sorted((e.src, e.dst, e.label) for e in self._edges))
-        return (nodes, edges)
+        signature = (nodes, edges)
+        if self._frozen:
+            self._signature_cache = signature
+        return signature
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Pattern):
@@ -243,6 +256,10 @@ class Pattern:
         return self.signature() == other.signature()
 
     def __hash__(self) -> int:
+        if self._frozen:
+            if self._hash_cache is None:
+                self._hash_cache = hash(self.signature())
+            return self._hash_cache
         return hash(self.signature())
 
     def __repr__(self) -> str:  # pragma: no cover - diagnostics only

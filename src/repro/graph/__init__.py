@@ -2,6 +2,7 @@
 
 from .elements import WILDCARD, AttrValue, Edge, Node, NodeId, is_wildcard
 from .graph import PropertyGraph
+from .index import GraphIndex
 from .neighborhood import (
     bfs_hops,
     component_of,
@@ -23,6 +24,7 @@ __all__ = [
     "NodeId",
     "is_wildcard",
     "PropertyGraph",
+    "GraphIndex",
     "bfs_hops",
     "component_of",
     "connected_components",

@@ -9,16 +9,37 @@ the underlying graphs of patterns are all property graphs. The class keeps
 * per-(pair) edge-label sets for O(1) edge-label membership tests, and
 * a label index ``label -> set of node ids`` for candidate filtering.
 
-All mutators keep the indices consistent; there is no "commit" step.
+All mutators keep the indices consistent; there is no "commit" step. For
+the matching hot path, :meth:`PropertyGraph.index` additionally compiles a
+read-only :class:`repro.graph.index.GraphIndex` snapshot (label-grouped
+adjacency, interned labels) that is cached until the next topology mutation.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+from typing import (
+    AbstractSet,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..errors import GraphError
 from .elements import AttrValue, Edge, Node, NodeId
+
+#: Shared immutable sentinels returned on index misses — the hot matching
+#: loop calls :meth:`PropertyGraph.edge_labels_between` once per candidate
+#: edge check, and allocating a fresh empty container per miss showed up in
+#: profiles of ``MatcherRun._node_ok``.
+_NO_LABELS: AbstractSet[str] = frozenset()
+_NO_EDGES: Sequence[Edge] = ()
 
 
 class PropertyGraph:
@@ -44,6 +65,9 @@ class PropertyGraph:
         self._by_label: Dict[str, Set[NodeId]] = defaultdict(set)
         self._next_id = 0
         self._edge_count = 0
+        # Compiled-index cache; bumped/cleared by topology mutators.
+        self._mutations = 0
+        self._compiled_index = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -68,6 +92,7 @@ class PropertyGraph:
             raise GraphError(f"duplicate node id {node_id!r}")
         self._nodes[node_id] = Node(node_id, label, dict(attrs or {}))
         self._by_label[label].add(node_id)
+        self._invalidate_index()
         return node_id
 
     def add_edge(self, src: NodeId, dst: NodeId, label: str) -> Edge:
@@ -84,11 +109,41 @@ class PropertyGraph:
         self._out[src].append(edge)
         self._in[dst].append(edge)
         self._edge_count += 1
+        self._invalidate_index()
         return edge
 
     def set_attr(self, node_id: NodeId, name: str, value: AttrValue) -> None:
-        """Set attribute *name* of node *node_id* to *value*."""
+        """Set attribute *name* of node *node_id* to *value*.
+
+        Attribute updates do not invalidate the compiled index — it stores
+        topology and labels only.
+        """
         self.node(node_id).attrs[name] = value
+
+    # ------------------------------------------------------------------
+    # Compiled index
+    # ------------------------------------------------------------------
+    def _invalidate_index(self) -> None:
+        self._mutations += 1
+        self._compiled_index = None
+
+    @property
+    def mutation_count(self) -> int:
+        """Monotone topology-mutation counter (index staleness checks)."""
+        return self._mutations
+
+    def index(self):
+        """The compiled :class:`repro.graph.index.GraphIndex` snapshot.
+
+        Built lazily on first use and cached until the next ``add_node`` /
+        ``add_edge``; repeated calls between mutations return the same
+        object, so match plans compiled against it stay valid and shared.
+        """
+        if self._compiled_index is None:
+            from .index import GraphIndex  # local import: avoids cycle
+
+            self._compiled_index = GraphIndex(self)
+        return self._compiled_index
 
     # ------------------------------------------------------------------
     # Accessors
@@ -121,11 +176,11 @@ class PropertyGraph:
         for edges in self._out.values():
             yield from edges
 
-    def out_edges(self, node_id: NodeId) -> List[Edge]:
-        return self._out.get(node_id, [])
+    def out_edges(self, node_id: NodeId) -> Sequence[Edge]:
+        return self._out.get(node_id, _NO_EDGES)
 
-    def in_edges(self, node_id: NodeId) -> List[Edge]:
-        return self._in.get(node_id, [])
+    def in_edges(self, node_id: NodeId) -> Sequence[Edge]:
+        return self._in.get(node_id, _NO_EDGES)
 
     def successors(self, node_id: NodeId) -> Iterator[NodeId]:
         for edge in self.out_edges(node_id):
@@ -150,9 +205,12 @@ class PropertyGraph:
             return True
         return label in labels
 
-    def edge_labels_between(self, src: NodeId, dst: NodeId) -> Set[str]:
-        """The set of labels on edges from *src* to *dst* (possibly empty)."""
-        return self._edge_labels.get((src, dst), set())
+    def edge_labels_between(self, src: NodeId, dst: NodeId) -> AbstractSet[str]:
+        """The set of labels on edges from *src* to *dst* (possibly empty).
+
+        The empty result is a shared immutable sentinel — do not mutate.
+        """
+        return self._edge_labels.get((src, dst), _NO_LABELS)
 
     def nodes_with_label(self, label: str) -> Set[NodeId]:
         """Node ids carrying exactly *label* (wildcard is not expanded)."""

@@ -1,0 +1,211 @@
+"""Compiled read-only index over a :class:`PropertyGraph`.
+
+:class:`GraphIndex` is a snapshot of a property graph optimized for the
+homomorphism hot path. It interns every label into a dense integer id and
+precomputes, CSR-style,
+
+* per-``(node, edge-label)`` neighbor tuples in **both** directions (the
+  label-grouped adjacency used by anchor expansion),
+* per-node any-label neighbor tuples (deduplicated, edge-insertion order),
+* per-node-label node tuples in graph insertion order (deterministic
+  label-index scans), and
+* in/out degree tables for candidate-strategy cardinality estimates.
+
+Indices are built lazily through :meth:`PropertyGraph.index` and cached on
+the graph; every topology mutation (``add_node``/``add_edge``) invalidates
+the cache, so a fresh :meth:`~PropertyGraph.index` call always reflects the
+current graph. Attribute updates (``set_attr``) do **not** invalidate — the
+index stores no attribute data. An index handle taken *before* a mutation
+must be discarded: like any snapshot, it is only valid for the version of
+the graph it was built from (see :attr:`GraphIndex.version`).
+
+The index also owns the per-pattern :class:`repro.matching.plan.MatchPlan`
+cache (:attr:`plan_cache`), keyed weakly by pattern, so one compiled plan is
+shared by every :class:`~repro.matching.homomorphism.MatcherRun` spawned
+from the same pattern — the fan-out shape of the parallel algorithms.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from .elements import NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .graph import PropertyGraph
+
+#: Shared empty adjacency group returned for absent ``(node, label)`` keys.
+EMPTY_GROUP: Tuple[NodeId, ...] = ()
+
+#: Sentinel label id for labels that do not occur in the indexed graph.
+NO_LABEL = -1
+
+
+class GraphIndex:
+    """An immutable, label-grouped adjacency snapshot of a property graph."""
+
+    __slots__ = (
+        "graph",
+        "version",
+        "nodes",
+        "position",
+        "node_label_id",
+        "edge_labels",
+        "out_degree",
+        "in_degree",
+        "plan_cache",
+        "_label_ids",
+        "_label_buckets",
+        "_label_members",
+        "_out",
+        "_in",
+        "_out_any",
+        "_in_any",
+        "__weakref__",
+    )
+
+    def __init__(self, graph: "PropertyGraph") -> None:
+        self.graph = graph
+        #: The graph mutation counter this snapshot was built at.
+        self.version = graph.mutation_count
+        #: All node ids in insertion order — the canonical scan order.
+        self.nodes: Tuple[NodeId, ...] = tuple(graph._nodes)
+        #: node id -> dense position in :attr:`nodes` (for deterministic
+        #: re-ordering of externally supplied node sets).
+        self.position: Dict[NodeId, int] = {
+            node: pos for pos, node in enumerate(self.nodes)
+        }
+        #: Shared reference to the graph's ``(src, dst) -> labels`` table;
+        #: valid while this snapshot is (same version).
+        self.edge_labels = graph._edge_labels
+
+        intern: Dict[str, int] = {}
+
+        def intern_label(label: str) -> int:
+            lid = intern.get(label)
+            if lid is None:
+                lid = len(intern)
+                intern[label] = lid
+            return lid
+
+        #: node id -> interned id of its node label.
+        self.node_label_id: Dict[NodeId, int] = {}
+        buckets: Dict[int, List[NodeId]] = {}
+        for node_id, node in graph._nodes.items():
+            lid = intern_label(node.label)
+            self.node_label_id[node_id] = lid
+            buckets.setdefault(lid, []).append(node_id)
+
+        out: Dict[Tuple[NodeId, int], Tuple[NodeId, ...]] = {}
+        in_: Dict[Tuple[NodeId, int], Tuple[NodeId, ...]] = {}
+        out_any: Dict[NodeId, Tuple[NodeId, ...]] = {}
+        in_any: Dict[NodeId, Tuple[NodeId, ...]] = {}
+        out_degree: Dict[NodeId, int] = {}
+        in_degree: Dict[NodeId, int] = {}
+        for node_id, edges in graph._out.items():
+            groups: Dict[int, List[NodeId]] = {}
+            ordered: List[NodeId] = []
+            seen = set()
+            for edge in edges:
+                lid = intern_label(edge.label)
+                groups.setdefault(lid, []).append(edge.dst)
+                if edge.dst not in seen:
+                    seen.add(edge.dst)
+                    ordered.append(edge.dst)
+            for lid, neighbors in groups.items():
+                out[(node_id, lid)] = tuple(neighbors)
+            out_any[node_id] = tuple(ordered)
+            out_degree[node_id] = len(edges)
+        for node_id, edges in graph._in.items():
+            groups = {}
+            ordered = []
+            seen = set()
+            for edge in edges:
+                lid = intern_label(edge.label)
+                groups.setdefault(lid, []).append(edge.src)
+                if edge.src not in seen:
+                    seen.add(edge.src)
+                    ordered.append(edge.src)
+            for lid, neighbors in groups.items():
+                in_[(node_id, lid)] = tuple(neighbors)
+            in_any[node_id] = tuple(ordered)
+            in_degree[node_id] = len(edges)
+
+        self._label_ids = intern
+        self._label_buckets: Dict[int, Tuple[NodeId, ...]] = {
+            lid: tuple(nodes) for lid, nodes in buckets.items()
+        }
+        #: label string -> node id set, shared with the graph (membership
+        #: tests during candidate intersection).
+        self._label_members = graph._by_label
+        self._out = out
+        self._in = in_
+        self._out_any = out_any
+        self._in_any = in_any
+        self.out_degree = out_degree
+        self.in_degree = in_degree
+        #: Per-pattern compiled :class:`MatchPlan`s (weakly keyed).
+        self.plan_cache: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+    # ------------------------------------------------------------------
+    # Label interning
+    # ------------------------------------------------------------------
+    def label_id(self, label: str) -> int:
+        """Interned id of *label*, or :data:`NO_LABEL` if absent here."""
+        return self._label_ids.get(label, NO_LABEL)
+
+    @property
+    def num_labels(self) -> int:
+        return len(self._label_ids)
+
+    # ------------------------------------------------------------------
+    # Adjacency groups
+    # ------------------------------------------------------------------
+    def out_neighbors(self, node: NodeId, label_id: Optional[int]) -> Tuple[NodeId, ...]:
+        """Targets of ``node``'s out-edges with *label_id* (``None`` = any).
+
+        Any-label groups are deduplicated in first-occurrence order; labeled
+        groups are duplicate-free by construction (edge triples are unique).
+        """
+        if label_id is None:
+            return self._out_any.get(node, EMPTY_GROUP)
+        return self._out.get((node, label_id), EMPTY_GROUP)
+
+    def in_neighbors(self, node: NodeId, label_id: Optional[int]) -> Tuple[NodeId, ...]:
+        """Sources of ``node``'s in-edges with *label_id* (``None`` = any)."""
+        if label_id is None:
+            return self._in_any.get(node, EMPTY_GROUP)
+        return self._in.get((node, label_id), EMPTY_GROUP)
+
+    # ------------------------------------------------------------------
+    # Label index
+    # ------------------------------------------------------------------
+    def nodes_with_label_id(self, label_id: int) -> Tuple[NodeId, ...]:
+        """Nodes carrying the label *label_id*, in graph insertion order."""
+        return self._label_buckets.get(label_id, EMPTY_GROUP)
+
+    def nodes_with_label(self, label: str) -> Tuple[NodeId, ...]:
+        return self.nodes_with_label_id(self.label_id(label))
+
+    def label_members(self, label: str):
+        """Membership set for *label* (O(1) tests; shared with the graph)."""
+        members = self._label_members.get(label)
+        return members if members is not None else frozenset()
+
+    def label_count(self, label: str) -> int:
+        return len(self.nodes_with_label(label))
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    @property
+    def stale(self) -> bool:
+        """True once the underlying graph has mutated past this snapshot."""
+        return self.graph.mutation_count != self.version
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"GraphIndex(nodes={len(self.nodes)}, labels={self.num_labels}, "
+            f"version={self.version}{', STALE' if self.stale else ''})"
+        )

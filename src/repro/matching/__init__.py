@@ -1,4 +1,5 @@
-"""Pattern matching: homomorphism search and simulation pruning."""
+"""Pattern matching: homomorphism search, compiled plans, and simulation
+pruning."""
 
 from .homomorphism import (
     Assignment,
@@ -9,14 +10,19 @@ from .homomorphism import (
     has_homomorphism,
     node_label_matches,
 )
+from .plan import MatchPlan, PlanLayout, VarStep, get_plan
 from .simulation import dual_simulation, may_have_homomorphism, simulation_candidates
 
 __all__ = [
     "Assignment",
     "MatcherRun",
+    "MatchPlan",
+    "PlanLayout",
+    "VarStep",
     "default_variable_order",
     "edge_label_matches",
     "find_homomorphisms",
+    "get_plan",
     "has_homomorphism",
     "node_label_matches",
     "dual_simulation",

@@ -18,19 +18,43 @@ implements that search with three extras needed by the parallel algorithms:
 Matches are *homomorphisms*: two variables may map to the same node, labels
 must agree except that a pattern wildcard matches any label, and every
 pattern edge must exist in the target with a compatible label.
+
+The search itself consumes a compiled :class:`repro.matching.plan.MatchPlan`
+(variable order, anchors, residual edge checks) over the target graph's
+:class:`repro.graph.index.GraphIndex` (label-grouped adjacency). The
+``MatcherRun(pattern, graph, ...)`` constructor remains the compatibility
+entry point — it fetches the shared plan from the graph's index cache — but
+hot callers that fan one pattern out into many pivoted runs pass ``plan=``
+explicitly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import AbstractSet, Dict, Iterator, List, Optional, Sequence, Set
 
 from ..errors import PatternError
-from ..gfd.pattern import Pattern, PatternEdge
+from ..gfd.pattern import Pattern
 from ..graph.elements import NodeId, is_wildcard
 from ..graph.graph import PropertyGraph
 
+# Re-exported from the plan module (moved there to break an import cycle);
+# part of this module's public API since the seed.
+from .plan import MatchPlan, VarStep, default_variable_order, get_plan
+
+__all__ = [
+    "Assignment",
+    "MatcherRun",
+    "default_variable_order",
+    "edge_label_matches",
+    "find_homomorphisms",
+    "has_homomorphism",
+    "node_label_matches",
+]
+
 Assignment = Dict[str, NodeId]
+
+_NO_LABELS: AbstractSet[str] = frozenset()
 
 
 def node_label_matches(pattern_label: str, node_label: str) -> bool:
@@ -38,42 +62,11 @@ def node_label_matches(pattern_label: str, node_label: str) -> bool:
     return is_wildcard(pattern_label) or pattern_label == node_label
 
 
-def edge_label_matches(pattern_label: str, target_labels: Set[str]) -> bool:
+def edge_label_matches(pattern_label: str, target_labels: AbstractSet[str]) -> bool:
     """True if some target edge label is compatible with *pattern_label*."""
     if not target_labels:
         return False
     return is_wildcard(pattern_label) or pattern_label in target_labels
-
-
-def default_variable_order(
-    pattern: Pattern,
-    graph: PropertyGraph,
-    preassigned: Iterable[str] = (),
-) -> List[str]:
-    """A connected search order over the non-preassigned variables.
-
-    Greedy: repeatedly pick the cheapest variable adjacent to the already
-    ordered/preassigned set (estimated by label frequency in *graph*); when
-    none is adjacent (a fresh pattern component), pick the globally most
-    selective remaining variable.
-    """
-    placed = set(preassigned)
-    remaining = [var for var in pattern.variables if var not in placed]
-
-    def selectivity(var: str) -> Tuple[int, str]:
-        label = pattern.label_of(var)
-        count = graph.num_nodes if is_wildcard(label) else len(graph.nodes_with_label(label))
-        return (count, var)
-
-    order: List[str] = []
-    while remaining:
-        adjacent = [var for var in remaining if pattern.adjacent(var) & placed]
-        pool = adjacent if adjacent else remaining
-        best = min(pool, key=selectivity)
-        order.append(best)
-        placed.add(best)
-        remaining.remove(best)
-    return order
 
 
 @dataclass
@@ -83,6 +76,7 @@ class _Frame:
     var: str
     candidates: List[NodeId]
     index: int = 0  # next candidate to try
+    step: Optional[VarStep] = field(default=None, repr=False)
 
     def current(self) -> NodeId:
         """The candidate currently assigned (the one before the cursor)."""
@@ -120,6 +114,12 @@ class MatcherRun:
         Optional per-variable candidate restrictions (e.g. from a dual
         simulation pre-pass); a variable absent from the mapping is
         unrestricted.
+    plan:
+        A precompiled :class:`~repro.matching.plan.MatchPlan` for this
+        pattern over ``graph.index()``. When omitted, the shared plan is
+        fetched from (and cached on) the graph's compiled index — callers
+        spawning many runs from one pattern should fetch it once via
+        :func:`~repro.matching.plan.get_plan` and pass it through.
     """
 
     def __init__(
@@ -130,9 +130,21 @@ class MatcherRun:
         allowed_nodes: Optional[Set[NodeId]] = None,
         variable_order: Optional[Sequence[str]] = None,
         candidate_sets: Optional[Dict[str, Set[NodeId]]] = None,
+        plan: Optional[MatchPlan] = None,
     ) -> None:
         if not pattern.frozen:
             pattern.freeze()
+        if (
+            plan is None
+            or plan.index.graph is not graph
+            or plan.index.stale
+            or plan.pattern != pattern
+        ):
+            # Missing, stale (graph mutated since compilation), or
+            # mismatched plans are silently replaced by the shared one —
+            # a wrong explicit plan must never produce wrong matches.
+            plan = get_plan(pattern, graph)
+        self.plan = plan
         self.pattern = pattern
         self.graph = graph
         self.preassigned: Assignment = dict(preassigned or {})
@@ -142,9 +154,12 @@ class MatcherRun:
             if not pattern.has_var(var):
                 raise PatternError(f"preassigned variable {var!r} not in pattern")
         if variable_order is None:
-            self.order = default_variable_order(pattern, graph, self.preassigned)
+            layout = plan.layout(self.preassigned)
         else:
-            self.order = [var for var in variable_order if var not in self.preassigned]
+            order = [var for var in variable_order if var not in self.preassigned]
+            layout = plan.compile_layout(order, frozenset(self.preassigned))
+        self.order: List[str] = list(layout.order)
+        self._steps: List[VarStep] = layout.steps
         #: Number of consistency checks performed so far (virtual cost).
         self.ticks = 0
         #: Number of matches yielded so far.
@@ -152,50 +167,32 @@ class MatcherRun:
         self._assignment: Assignment = dict(self.preassigned)
         self._stack: List[_Frame] = []
         self._exhausted = False
-        # Precompute, per variable, the pattern edges touching earlier vars.
-        self._check_edges: Dict[str, List[PatternEdge]] = {}
-        placed: Set[str] = set(self.preassigned)
-        for var in self.order:
-            placed.add(var)
-            touching = [
-                edge
-                for edge in self.pattern.edges
-                if (edge.src == var and edge.dst in placed)
-                or (edge.dst == var and edge.src in placed)
-            ]
-            self._check_edges[var] = touching
+        # Hot-loop shortcuts into the compiled index.
+        index = plan.index
+        self._index = index
+        self._edge_labels = index.edge_labels
+        self._node_label_id = index.node_label_id
+        self._preassigned_values = set(self.preassigned.values())
 
     # ------------------------------------------------------------------
     # Consistency
     # ------------------------------------------------------------------
-    def _node_ok(self, var: str, node: NodeId) -> bool:
-        """Label + allowed-set + edge consistency of assigning var -> node."""
+    def _node_ok(self, step: VarStep, node: NodeId) -> bool:
+        """Residual edge consistency of assigning ``step.var -> node``.
+
+        Candidate pools are pre-filtered by node label, allowed set and
+        candidate restriction (and pool membership proves the anchor edge),
+        so only the remaining check-edges need verifying here. One call is
+        one tick — the virtual cost unit.
+        """
         self.ticks += 1
-        if not node_label_matches(self.pattern.label_of(var), self.graph.label(node)):
-            return False
-        if (
-            self.allowed_nodes is not None
-            and node not in self.allowed_nodes
-            and node not in self.preassigned.values()
-        ):
-            return False
-        if self.candidate_sets is not None:
-            restriction = self.candidate_sets.get(var)
-            if restriction is not None and node not in restriction:
-                return False
         assignment = self._assignment
-        for edge in self._check_edges[var]:
-            if edge.src == var:
-                dst = node if edge.dst == var else assignment.get(edge.dst)
-                if dst is None:
-                    continue
-                labels = self.graph.edge_labels_between(node, dst)
-            else:
-                src = assignment.get(edge.src)
-                if src is None:
-                    continue
-                labels = self.graph.edge_labels_between(src, node)
-            if not edge_label_matches(edge.label, labels):
+        edge_labels = self._edge_labels
+        for src_is_self, dst_is_self, src_var, dst_var, label in step.checks:
+            src = node if src_is_self else assignment[src_var]
+            dst = node if dst_is_self else assignment[dst_var]
+            labels = edge_labels.get((src, dst))
+            if not labels or (label is not None and label not in labels):
                 return False
         return True
 
@@ -220,50 +217,87 @@ class MatcherRun:
     # ------------------------------------------------------------------
     # Candidate generation
     # ------------------------------------------------------------------
-    def _candidates(self, var: str) -> List[NodeId]:
-        """Candidate target nodes for *var* given the current assignment.
+    def _candidates(self, step: VarStep) -> List[NodeId]:
+        """Candidate target nodes for *step* given the current assignment.
 
-        Prefers expanding from an already-assigned pattern neighbor (small
-        adjacency lists) over the global label index.
+        Anchored variables expand through the index's label-grouped
+        adjacency of the anchor's image, falling back to the label-index
+        bucket when it is estimated smaller (candidate-strategy pick); the
+        first variable of a component scans its label bucket. Pools are
+        pre-filtered by node label, allowed set and candidate restriction,
+        so ticks are only spent on structurally plausible candidates. All
+        pools iterate in graph insertion order — match streams are
+        deterministic regardless of set hashing.
         """
-        assignment = self._assignment
-        anchor_edge: Optional[PatternEdge] = None
-        for edge in self._check_edges[var]:
-            other = edge.dst if edge.src == var else edge.src
-            if other == var or other in assignment:
-                if other == var:
-                    continue  # self-loops are handled by _node_ok
-                anchor_edge = edge
-                break
-        if anchor_edge is not None:
-            if anchor_edge.src == var:
-                anchor = assignment[anchor_edge.dst]
-                pool = [e.src for e in self.graph.in_edges(anchor)
-                        if is_wildcard(anchor_edge.label) or e.label == anchor_edge.label]
+        index = self._index
+        allowed = self.allowed_nodes
+        restriction = (
+            self.candidate_sets.get(step.var) if self.candidate_sets is not None else None
+        )
+        pool: Sequence[NodeId]
+        if step.anchor_var is not None:
+            anchor = self._assignment[step.anchor_var]
+            if step.anchor_out:
+                pool = index.out_neighbors(anchor, step.anchor_label_id)
             else:
-                anchor = assignment[anchor_edge.src]
-                pool = [e.dst for e in self.graph.out_edges(anchor)
-                        if is_wildcard(anchor_edge.label) or e.label == anchor_edge.label]
-            # Deduplicate while preserving order (multi-edges share endpoints).
-            seen: Set[NodeId] = set()
-            unique = []
-            for node in pool:
-                if node not in seen:
-                    seen.add(node)
-                    unique.append(node)
-            return unique
-        label = self.pattern.label_of(var)
-        if is_wildcard(label):
-            if self.allowed_nodes is not None:
-                return list(self.allowed_nodes)
-            return list(self.graph.nodes())
-        base = self.graph.nodes_with_label(label)
-        if self.allowed_nodes is not None:
-            # Iterate the smaller side of the intersection.
-            if len(self.allowed_nodes) < len(base):
-                return [node for node in self.allowed_nodes if node in base]
-            return [node for node in base if node in self.allowed_nodes]
-        return list(base)
+                pool = index.in_neighbors(anchor, step.anchor_label_id)
+            if step.label_id is not None:
+                bucket = index.nodes_with_label_id(step.label_id)
+                if len(bucket) < len(pool):
+                    pool = self._bucket_via_anchor(bucket, anchor, step)
+                else:
+                    label_ids = self._node_label_id
+                    want = step.label_id
+                    pool = [n for n in pool if label_ids[n] == want]
+            if allowed is not None:
+                exempt = self._preassigned_values
+                pool = [n for n in pool if n in allowed or n in exempt]
+        elif step.label_id is None:  # unanchored wildcard variable
+            if allowed is not None:
+                position = index.position
+                pool = sorted(
+                    (n for n in allowed if n in position), key=position.__getitem__
+                )
+            else:
+                pool = index.nodes
+        else:  # unanchored labeled variable: label-index scan
+            bucket = index.nodes_with_label_id(step.label_id)
+            if allowed is not None:
+                # Iterate the smaller side of the intersection; both sides
+                # produce graph insertion order.
+                if len(allowed) * 4 < len(bucket):
+                    members = index.label_members(step.label_str)
+                    position = index.position
+                    pool = sorted(
+                        (n for n in allowed if n in members), key=position.__getitem__
+                    )
+                else:
+                    pool = [n for n in bucket if n in allowed]
+            else:
+                pool = bucket
+        if restriction is not None:
+            pool = [n for n in pool if n in restriction]
+        # Frames mutate their candidate lists (split striping), so never
+        # hand out the index's shared tuples.
+        return pool if isinstance(pool, list) else list(pool)
+
+    def _bucket_via_anchor(
+        self, bucket: Sequence[NodeId], anchor: NodeId, step: VarStep
+    ) -> List[NodeId]:
+        """Label-bucket scan filtered by the anchor edge's existence.
+
+        Chosen when the bucket is smaller than the anchor's adjacency group;
+        keeps the pool's anchor-edge guarantee intact.
+        """
+        edge_labels = self._edge_labels
+        label = step.anchor_label_str
+        if step.anchor_out:  # anchor -> candidate
+            if label is None:
+                return [n for n in bucket if edge_labels.get((anchor, n))]
+            return [n for n in bucket if label in edge_labels.get((anchor, n), _NO_LABELS)]
+        if label is None:  # candidate -> anchor
+            return [n for n in bucket if edge_labels.get((n, anchor))]
+        return [n for n in bucket if label in edge_labels.get((n, anchor), _NO_LABELS)]
 
     # ------------------------------------------------------------------
     # The search itself
@@ -282,15 +316,17 @@ class MatcherRun:
             yield dict(self._assignment)
             return
         stack = self._stack
+        steps = self._steps
         if not stack:
-            stack.append(_Frame(self.order[0], self._candidates(self.order[0])))
+            first = steps[0]
+            stack.append(_Frame(first.var, self._candidates(first), step=first))
         while stack:
             frame = stack[-1]
             advanced = False
             while frame.index < len(frame.candidates):
                 node = frame.candidates[frame.index]
                 frame.index += 1
-                if self._node_ok(frame.var, node):
+                if self._node_ok(frame.step, node):
                     self._assignment[frame.var] = node
                     advanced = True
                     break
@@ -307,8 +343,8 @@ class MatcherRun:
                 # Stay at this depth; try the next candidate on next loop.
                 self._assignment.pop(frame.var, None)
                 continue
-            next_var = self.order[len(stack)]
-            stack.append(_Frame(next_var, self._candidates(next_var)))
+            next_step = steps[len(stack)]
+            stack.append(_Frame(next_step.var, self._candidates(next_step), step=next_step))
         self._exhausted = True
 
     # ------------------------------------------------------------------
@@ -360,9 +396,12 @@ def find_homomorphisms(
     preassigned: Optional[Assignment] = None,
     allowed_nodes: Optional[Set[NodeId]] = None,
     limit: Optional[int] = None,
+    plan: Optional[MatchPlan] = None,
 ) -> List[Assignment]:
     """Convenience wrapper: collect up to *limit* matches into a list."""
-    run = MatcherRun(pattern, graph, preassigned=preassigned, allowed_nodes=allowed_nodes)
+    run = MatcherRun(
+        pattern, graph, preassigned=preassigned, allowed_nodes=allowed_nodes, plan=plan
+    )
     result = []
     for match in run.matches():
         result.append(match)

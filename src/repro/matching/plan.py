@@ -1,0 +1,257 @@
+"""Compiled, reusable match plans for the homomorphism search.
+
+One Sat/Imp experiment constructs thousands of
+:class:`~repro.matching.homomorphism.MatcherRun` objects — one per pivot /
+work unit — for a handful of *patterns*. The seed matcher recomputed the
+variable order and the per-variable check-edge analysis on every
+construction; :class:`MatchPlan` hoists that work to one compilation per
+``(pattern, graph-index)`` pair and shares it across the whole fan-out.
+
+A plan is a set of :class:`PlanLayout` objects, one per distinct preassigned
+variable set (all work units pivoted on the same variable share a layout).
+Each layout fixes, per free variable in search order:
+
+* the **anchor**: the first pattern edge connecting the variable to an
+  already-placed variable. Candidates come from the graph index's
+  label-grouped adjacency of the anchor's image — ``O(result)`` instead of
+  a scan over full edge lists;
+* the **candidate strategy**: anchor-expansion is compared at runtime
+  against the label-index bucket by estimated cardinality, and the smaller
+  side wins (cf. the CbO-style "speed-up features" discipline);
+* the residual **edge checks** (anchor edge excluded — pool membership
+  already proves it), pre-resolved into ``(endpoint-is-self, endpoint
+  variable, label)`` tuples so the inner loop does no pattern introspection.
+
+Plans are cached on :attr:`repro.graph.index.GraphIndex.plan_cache`, weakly
+keyed by pattern; :func:`get_plan` is the lookup used by ``MatcherRun``'s
+compatibility constructor, and the reasoning/parallel layers pass plans
+explicitly to make the reuse visible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..gfd.pattern import Pattern, PatternEdge
+from ..graph.elements import is_wildcard
+from ..graph.graph import PropertyGraph
+from ..graph.index import NO_LABEL, GraphIndex
+
+#: One precompiled residual edge check:
+#: ``(src_is_self, dst_is_self, src_var, dst_var, label_or_None)`` where a
+#: ``None`` label means wildcard (any edge label satisfies the check).
+EdgeCheck = Tuple[bool, bool, str, str, Optional[str]]
+
+
+def default_variable_order(
+    pattern: Pattern,
+    graph: PropertyGraph,
+    preassigned: Iterable[str] = (),
+) -> List[str]:
+    """A connected search order over the non-preassigned variables.
+
+    Greedy: repeatedly pick the cheapest variable adjacent to the already
+    ordered/preassigned set (estimated by label frequency in *graph*); when
+    none is adjacent (a fresh pattern component), pick the globally most
+    selective remaining variable.
+    """
+    placed = set(preassigned)
+    remaining = [var for var in pattern.variables if var not in placed]
+
+    def selectivity(var: str) -> Tuple[int, str]:
+        label = pattern.label_of(var)
+        count = graph.num_nodes if is_wildcard(label) else len(graph.nodes_with_label(label))
+        return (count, var)
+
+    order: List[str] = []
+    while remaining:
+        adjacent = [var for var in remaining if pattern.adjacent(var) & placed]
+        pool = adjacent if adjacent else remaining
+        best = min(pool, key=selectivity)
+        order.append(best)
+        placed.add(best)
+        remaining.remove(best)
+    return order
+
+
+class VarStep:
+    """The compiled expansion recipe for one variable of a layout."""
+
+    __slots__ = (
+        "var",
+        "label_id",
+        "label_str",
+        "anchor_var",
+        "anchor_out",
+        "anchor_label_id",
+        "anchor_label_str",
+        "checks",
+    )
+
+    def __init__(
+        self,
+        var: str,
+        label_id: Optional[int],
+        label_str: Optional[str],
+        anchor_var: Optional[str],
+        anchor_out: bool,
+        anchor_label_id: Optional[int],
+        anchor_label_str: Optional[str],
+        checks: Tuple[EdgeCheck, ...],
+    ) -> None:
+        self.var = var
+        #: Interned node-label id; ``None`` for wildcard variables,
+        #: :data:`~repro.graph.index.NO_LABEL` when absent from the graph.
+        self.label_id = label_id
+        self.label_str = label_str
+        #: Already-placed variable whose image anchors candidate expansion
+        #: (``None`` for the first variable of a pattern component).
+        self.anchor_var = anchor_var
+        #: True when the anchor edge runs ``anchor -> var`` (candidates are
+        #: out-neighbors of the anchor's image), False for ``var -> anchor``.
+        self.anchor_out = anchor_out
+        self.anchor_label_id = anchor_label_id
+        self.anchor_label_str = anchor_label_str
+        #: Residual consistency checks, anchor edge excluded.
+        self.checks = checks
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        via = f" via {self.anchor_var}" if self.anchor_var is not None else ""
+        return f"VarStep({self.var}{via}, checks={len(self.checks)})"
+
+
+class PlanLayout:
+    """Variable order + compiled steps for one preassigned-variable set."""
+
+    __slots__ = ("preassigned_vars", "order", "steps")
+
+    def __init__(
+        self,
+        preassigned_vars: FrozenSet[str],
+        order: List[str],
+        steps: List[VarStep],
+    ) -> None:
+        self.preassigned_vars = preassigned_vars
+        self.order = order
+        self.steps = steps
+
+
+class MatchPlan:
+    """A per-``(pattern, graph-index)`` compiled matching plan."""
+
+    __slots__ = ("pattern", "index", "_layouts")
+
+    def __init__(self, pattern: Pattern, index: GraphIndex) -> None:
+        if not pattern.frozen:
+            pattern.freeze()
+        self.pattern = pattern
+        self.index = index
+        self._layouts: Dict[FrozenSet[str], PlanLayout] = {}
+
+    def layout(self, preassigned_vars: Iterable[str]) -> PlanLayout:
+        """The (cached) layout for runs preassigning *preassigned_vars*.
+
+        All pivoted runs of one GFD preassign the same variable(s), so the
+        entire fan-out hits one cache entry.
+        """
+        key = frozenset(preassigned_vars)
+        cached = self._layouts.get(key)
+        if cached is None:
+            order = default_variable_order(self.pattern, self.index.graph, key)
+            cached = self.compile_layout(order, key)
+            self._layouts[key] = cached
+        return cached
+
+    def compile_layout(
+        self, order: Sequence[str], preassigned_vars: FrozenSet[str]
+    ) -> PlanLayout:
+        """Compile steps for an explicit *order* (used uncached for caller-
+        supplied variable orders)."""
+        pattern = self.pattern
+        index = self.index
+        placed = set(preassigned_vars)
+        steps: List[VarStep] = []
+        for var in order:
+            placed.add(var)
+            touching = [
+                edge
+                for edge in pattern.edges
+                if (edge.src == var and edge.dst in placed)
+                or (edge.dst == var and edge.src in placed)
+            ]
+            anchor_edge: Optional[PatternEdge] = None
+            for edge in touching:
+                other = edge.dst if edge.src == var else edge.src
+                if other != var:  # self-loops cannot anchor
+                    anchor_edge = edge
+                    break
+            var_label = pattern.label_of(var)
+            if is_wildcard(var_label):
+                label_id: Optional[int] = None
+                label_str: Optional[str] = None
+            else:
+                label_id = index.label_id(var_label)
+                label_str = var_label
+            anchor_var: Optional[str] = None
+            anchor_out = False
+            anchor_label_id: Optional[int] = NO_LABEL
+            anchor_label_str: Optional[str] = None
+            if anchor_edge is not None:
+                # Candidates for ``var -> anchor`` edges are in-neighbors of
+                # the anchor's image; for ``anchor -> var``, out-neighbors.
+                anchor_out = anchor_edge.src != var
+                anchor_var = anchor_edge.src if anchor_out else anchor_edge.dst
+                if is_wildcard(anchor_edge.label):
+                    anchor_label_id = None
+                    anchor_label_str = None
+                else:
+                    anchor_label_id = index.label_id(anchor_edge.label)
+                    anchor_label_str = anchor_edge.label
+            checks = tuple(
+                (
+                    edge.src == var,
+                    edge.dst == var,
+                    edge.src,
+                    edge.dst,
+                    None if is_wildcard(edge.label) else edge.label,
+                )
+                for edge in touching
+                if edge is not anchor_edge
+            )
+            steps.append(
+                VarStep(
+                    var,
+                    label_id,
+                    label_str,
+                    anchor_var,
+                    anchor_out,
+                    anchor_label_id,
+                    anchor_label_str,
+                    checks,
+                )
+            )
+        return PlanLayout(frozenset(preassigned_vars), list(order), steps)
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"MatchPlan(pattern={self.pattern!r}, layouts={len(self._layouts)}, "
+            f"index={self.index!r})"
+        )
+
+
+def get_plan(pattern: Pattern, graph: PropertyGraph) -> MatchPlan:
+    """The shared plan for *pattern* over *graph*'s current compiled index.
+
+    Plans are cached on the index (weakly keyed by pattern), so repeated
+    ``MatcherRun`` constructions — the pivot fan-out of the parallel
+    algorithms — compile once. A topology mutation produces a fresh index
+    and therefore fresh plans.
+    """
+    if not pattern.frozen:
+        pattern.freeze()
+    index = graph.index()
+    plan = index.plan_cache.get(pattern)
+    if plan is None:
+        plan = MatchPlan(pattern, index)
+        index.plan_cache[pattern] = plan
+    return plan

@@ -86,6 +86,8 @@ def par_imp(
     context = UnitContext(
         canonical.graph, gfds_by_name, use_simulation_pruning=config.use_simulation_pruning
     )
+    # One compiled match plan per GFD, shared across all of its work units.
+    context.precompile_plans(sigma)
     engine = EnforcementEngine(eq, gfds_by_name)
 
     def goal_check(current: EqRelation) -> bool:

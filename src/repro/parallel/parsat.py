@@ -81,6 +81,9 @@ def par_sat(
     context = UnitContext(
         canonical.graph, canonical.gfds, use_simulation_pruning=config.use_simulation_pruning
     )
+    # Coordinator-side plan compilation: one compiled match plan per GFD,
+    # shared by every pivoted work unit the cluster executes.
+    context.precompile_plans(sigma)
     engine = EnforcementEngine(EqRelation(), canonical.gfds)
     cluster = make_cluster(config, runtime)
     outcome = cluster.run(units, context, engine)

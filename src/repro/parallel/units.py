@@ -24,6 +24,7 @@ from ..graph.elements import NodeId
 from ..graph.graph import PropertyGraph
 from ..graph.neighborhood import neighborhood
 from ..matching.homomorphism import MatcherRun
+from ..matching.plan import MatchPlan, get_plan
 from ..matching.simulation import dual_simulation
 from ..reasoning.enforce import EnforcementEngine
 from ..reasoning.workunits import WorkUnit
@@ -32,9 +33,12 @@ from ..reasoning.workunits import WorkUnit
 class UnitContext:
     """Shared read-only state for unit execution.
 
-    Caches ``dQ``-neighborhoods (keyed by pivot and radius) and per-GFD
-    dual-simulation candidate sets — both depend only on the canonical
-    graph's topology, which never changes during a run.
+    Caches ``dQ``-neighborhoods (keyed by pivot and radius), per-GFD
+    dual-simulation candidate sets, and per-GFD compiled match plans — all
+    depend only on the canonical graph's topology, which never changes
+    during a run. The plan cache is the unit-level face of the
+    :class:`~repro.matching.plan.MatchPlan` reuse: every work unit of one
+    GFD (there are typically thousands) shares a single compiled plan.
     """
 
     #: Above this many target nodes, global dual simulation is skipped —
@@ -55,6 +59,21 @@ class UnitContext:
         )
         self._neighborhoods: Dict[tuple, Set[NodeId]] = {}
         self._candidates: Dict[str, Optional[Dict[str, Set[NodeId]]]] = {}
+        self._plans: Dict[str, MatchPlan] = {}
+
+    def plan_for(self, gfd: GFD) -> MatchPlan:
+        """The compiled match plan shared by all of *gfd*'s work units."""
+        plan = self._plans.get(gfd.name)
+        if plan is None:
+            plan = get_plan(gfd.pattern, self.graph)
+            self._plans[gfd.name] = plan
+        return plan
+
+    def precompile_plans(self, gfds=None) -> None:
+        """Compile plans for *gfds* (default: all registered) up front, so
+        worker-side unit execution never pays compilation latency."""
+        for gfd in self.gfds.values() if gfds is None else gfds:
+            self.plan_for(gfd)
 
     def allowed_nodes(self, pivot: NodeId, radius: Optional[int]) -> Optional[Set[NodeId]]:
         if radius is None:
@@ -132,6 +151,7 @@ def execute_unit(
         preassigned=assignment,
         allowed_nodes=allowed,
         candidate_sets=context.candidate_sets(gfd),
+        plan=context.plan_for(gfd),
     )
     ops_before = engine.ops
     delta_mark = eq.log_position()

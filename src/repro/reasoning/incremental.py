@@ -35,6 +35,7 @@ from ..gfd.gfd import GFD
 from ..graph.elements import NodeId
 from ..graph.graph import PropertyGraph
 from ..matching.homomorphism import MatcherRun
+from ..matching.plan import get_plan
 from .enforce import EnforcementEngine
 
 
@@ -136,16 +137,25 @@ class IncrementalSat:
         for existing in self._gfds.values():
             if existing.name == gfd.name or existing.is_trivial():
                 continue
-            run = MatcherRun(existing.pattern, self.graph, allowed_nodes=new_nodes)
+            run = MatcherRun(
+                existing.pattern,
+                self.graph,
+                allowed_nodes=new_nodes,
+                plan=get_plan(existing.pattern, self.graph),
+            )
             for assignment in run.matches():
                 matches += 1
                 self.engine.enforce(existing, assignment)
                 if self.eq.has_conflict():
                     return IncrementalStep(gfd.name, False, self.eq.conflict, matches)
-        # (b) The new pattern across every component (its own included).
+        # (b) The new pattern across every component (its own included) —
+        # one compiled plan shared by all per-component runs.
         if not gfd.is_trivial():
+            plan = get_plan(gfd.pattern, self.graph)
             for component in self._components.values():
-                run = MatcherRun(gfd.pattern, self.graph, allowed_nodes=component)
+                run = MatcherRun(
+                    gfd.pattern, self.graph, allowed_nodes=component, plan=plan
+                )
                 for assignment in run.matches():
                     matches += 1
                     self.engine.enforce(gfd, assignment)
@@ -161,7 +171,9 @@ class IncrementalSat:
         for gfd in self._gfds.values():
             if gfd.is_trivial():
                 continue
-            run = MatcherRun(gfd.pattern, self.graph)
+            run = MatcherRun(
+                gfd.pattern, self.graph, plan=get_plan(gfd.pattern, self.graph)
+            )
             for assignment in run.matches():
                 matches += 1
                 self.engine.enforce(gfd, assignment)

@@ -26,6 +26,7 @@ from ..eq.inverted_index import InvertedIndex
 from ..gfd.canonical import ImplicationCanonical, build_implication_canonical
 from ..gfd.gfd import GFD
 from ..matching.homomorphism import MatcherRun
+from ..matching.plan import get_plan
 from ..matching.simulation import dual_simulation
 from .enforce import (
     AntecedentStatus,
@@ -125,7 +126,12 @@ def seq_imp(
             if candidate_sets is None:
                 stats.pruned_by_simulation += 1
                 continue
-        run = MatcherRun(gfd.pattern, canonical.graph, candidate_sets=candidate_sets)
+        run = MatcherRun(
+            gfd.pattern,
+            canonical.graph,
+            candidate_sets=candidate_sets,
+            plan=get_plan(gfd.pattern, canonical.graph),
+        )
         for assignment in run.matches():
             stats.matches += 1
             changed = engine.enforce(gfd, assignment)

@@ -26,6 +26,7 @@ from ..gfd.canonical import CanonicalGraph, build_canonical_graph
 from ..gfd.gfd import GFD
 from ..matching.component_index import ComponentIndex
 from ..matching.homomorphism import MatcherRun
+from ..matching.plan import get_plan
 from ..matching.simulation import dual_simulation
 from .enforce import EnforcementEngine, EnforcementStats
 from .workunits import gfd_dependency_order
@@ -118,6 +119,8 @@ def _enforce_gfd_everywhere(
     whole-graph search. Returns the conflict if one emerges.
     """
     eq = engine.eq
+    # One compiled plan per GFD, shared by every per-component run below.
+    plan = get_plan(gfd.pattern, canonical.graph)
     if gfd.pattern.is_connected():
         total = index.num_components()
         for comp_id in range(total):
@@ -138,6 +141,7 @@ def _enforce_gfd_everywhere(
                 canonical.graph,
                 allowed_nodes=nodes,
                 candidate_sets=candidate_sets,
+                plan=plan,
             )
             conflict = _drain_matches(gfd, run, engine, stats)
             if conflict is not None:
@@ -149,7 +153,7 @@ def _enforce_gfd_everywhere(
         if candidate_sets is None:
             stats.pruned_by_simulation += 1
             return None
-    run = MatcherRun(gfd.pattern, canonical.graph, candidate_sets=candidate_sets)
+    run = MatcherRun(gfd.pattern, canonical.graph, candidate_sets=candidate_sets, plan=plan)
     return _drain_matches(gfd, run, engine, stats)
 
 

@@ -21,6 +21,7 @@ from ..gfd.literals import ConstantLiteral, FalseLiteral, Literal, VariableLiter
 from ..graph.elements import NodeId
 from ..graph.graph import PropertyGraph
 from ..matching.homomorphism import MatcherRun
+from ..matching.plan import get_plan
 from ..matching.simulation import dual_simulation
 from .seqsat import SatResult
 
@@ -78,7 +79,12 @@ def find_violations(
         candidate_sets = dual_simulation(gfd.pattern, graph)
         if candidate_sets is None:
             return []
-    run = MatcherRun(gfd.pattern, graph, candidate_sets=candidate_sets)
+    run = MatcherRun(
+        gfd.pattern,
+        graph,
+        candidate_sets=candidate_sets,
+        plan=get_plan(gfd.pattern, graph),
+    )
     violations: List[Violation] = []
     for assignment in run.matches():
         if not match_satisfies(graph, gfd.antecedent, assignment):
@@ -120,7 +126,7 @@ def is_model_of(graph: PropertyGraph, sigma: Sequence[GFD]) -> bool:
     if not graph_satisfies_sigma(graph, sigma):
         return False
     for gfd in sigma:
-        run = MatcherRun(gfd.pattern, graph)
+        run = MatcherRun(gfd.pattern, graph, plan=get_plan(gfd.pattern, graph))
         if next(run.matches(), None) is None:
             return False
     return True

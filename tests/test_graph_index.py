@@ -1,0 +1,109 @@
+"""Unit tests for the compiled :class:`GraphIndex` snapshot."""
+
+import pytest
+
+from repro import PropertyGraph
+from repro.graph.index import EMPTY_GROUP, NO_LABEL, GraphIndex
+
+
+@pytest.fixture
+def graph():
+    g = PropertyGraph()
+    a = g.add_node("person")  # 0
+    b = g.add_node("person")  # 1
+    c = g.add_node("city")  # 2
+    g.add_edge(a, b, "knows")
+    g.add_edge(a, c, "lives_in")
+    g.add_edge(b, c, "lives_in")
+    g.add_edge(a, b, "likes")  # second label on the same pair
+    return g
+
+
+class TestBuild:
+    def test_label_grouped_adjacency(self, graph):
+        index = graph.index()
+        knows = index.label_id("knows")
+        lives = index.label_id("lives_in")
+        assert index.out_neighbors(0, knows) == (1,)
+        assert index.out_neighbors(0, lives) == (2,)
+        assert index.in_neighbors(2, lives) == (0, 1)
+        assert index.out_neighbors(2, knows) == EMPTY_GROUP
+
+    def test_any_label_groups_dedup_in_order(self, graph):
+        index = graph.index()
+        # Node 0 has edges to 1 (knows), 2 (lives_in), 1 (likes): the
+        # any-label group keeps first-occurrence order without duplicates.
+        assert index.out_neighbors(0, None) == (1, 2)
+        assert index.in_neighbors(1, None) == (0,)
+
+    def test_label_buckets_insertion_order(self, graph):
+        index = graph.index()
+        assert index.nodes_with_label("person") == (0, 1)
+        assert index.nodes_with_label("city") == (2,)
+        assert index.nodes_with_label("ghost") == EMPTY_GROUP
+        assert index.label_id("ghost") == NO_LABEL
+
+    def test_positions_and_nodes(self, graph):
+        index = graph.index()
+        assert index.nodes == (0, 1, 2)
+        assert index.position == {0: 0, 1: 1, 2: 2}
+
+    def test_degrees(self, graph):
+        index = graph.index()
+        assert index.out_degree[0] == 3  # knows, lives_in, likes
+        assert index.in_degree[2] == 2
+
+
+class TestCachingAndInvalidation:
+    def test_index_is_cached_between_mutations(self, graph):
+        assert graph.index() is graph.index()
+
+    def test_add_node_invalidates(self, graph):
+        first = graph.index()
+        graph.add_node("person")
+        second = graph.index()
+        assert second is not first
+        assert first.stale and not second.stale
+        assert second.nodes_with_label("person") == (0, 1, 3)
+
+    def test_add_edge_invalidates(self, graph):
+        first = graph.index()
+        graph.add_edge(1, 0, "knows")
+        assert graph.index() is not first
+        assert graph.index().out_neighbors(1, graph.index().label_id("knows")) == (0,)
+
+    def test_duplicate_edge_does_not_invalidate(self, graph):
+        first = graph.index()
+        graph.add_edge(0, 1, "knows")  # duplicate triple: ignored
+        assert graph.index() is first
+
+    def test_set_attr_does_not_invalidate(self, graph):
+        first = graph.index()
+        graph.set_attr(0, "name", "ada")
+        assert graph.index() is first
+
+    def test_mutation_count_monotone(self, graph):
+        before = graph.mutation_count
+        graph.add_node("x")
+        graph.add_edge(0, 1, "new_label")
+        assert graph.mutation_count == before + 2
+
+
+class TestSharedSentinels:
+    def test_edge_labels_between_miss_is_shared_frozenset(self, graph):
+        miss_a = graph.edge_labels_between(2, 0)
+        miss_b = graph.edge_labels_between(99, 98)
+        assert miss_a == frozenset()
+        assert miss_a is miss_b  # no per-miss allocation
+
+    def test_edge_miss_sentinel_is_immutable(self, graph):
+        with pytest.raises(AttributeError):
+            graph.edge_labels_between(2, 0).add("boom")
+
+    def test_out_in_edges_miss_is_shared_empty(self, graph):
+        assert graph.out_edges("nope") is graph.out_edges("also-nope")
+        assert graph.in_edges("nope") is graph.in_edges("also-nope")
+        assert list(graph.out_edges("nope")) == []
+
+    def test_hit_still_returns_real_labels(self, graph):
+        assert graph.edge_labels_between(0, 1) == {"knows", "likes"}

@@ -1,0 +1,206 @@
+"""Tests for compiled match plans: reuse, strategy, and determinism."""
+
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro import PropertyGraph
+from repro.gfd.pattern import make_pattern
+from repro.matching.homomorphism import MatcherRun, find_homomorphisms
+from repro.matching.plan import get_plan
+
+
+def match_keys(matches):
+    return sorted(tuple(sorted(m.items())) for m in matches)
+
+
+@pytest.fixture
+def social_graph():
+    g = PropertyGraph()
+    people = [g.add_node("person") for _ in range(6)]
+    cities = [g.add_node("city") for _ in range(2)]
+    for i, p in enumerate(people):
+        g.add_edge(p, people[(i + 1) % len(people)], "knows")
+        g.add_edge(p, cities[i % 2], "lives_in")
+    return g
+
+
+class TestPlanReuse:
+    def test_get_plan_is_cached_per_pattern_and_index(self, social_graph):
+        pattern = make_pattern({"x": "person", "y": "city"}, [("x", "y", "lives_in")])
+        assert get_plan(pattern, social_graph) is get_plan(pattern, social_graph)
+
+    def test_mutation_produces_fresh_plan(self, social_graph):
+        pattern = make_pattern({"x": "person"})
+        before = get_plan(pattern, social_graph)
+        social_graph.add_node("person")
+        after = get_plan(pattern, social_graph)
+        assert after is not before
+        assert after.index is social_graph.index()
+
+    def test_pivoted_runs_share_one_layout(self, social_graph):
+        pattern = make_pattern(
+            {"x": "person", "y": "person"}, [("x", "y", "knows")]
+        )
+        plan = get_plan(pattern, social_graph)
+        layouts = {
+            id(plan.layout({"x"}))
+            for _ in range(5)
+        }
+        assert len(layouts) == 1  # all pivots on x compile once
+
+    def test_matcher_uses_shared_plan_by_default(self, social_graph):
+        pattern = make_pattern({"x": "person", "y": "city"}, [("x", "y", "lives_in")])
+        run = MatcherRun(pattern, social_graph)
+        assert run.plan is get_plan(pattern, social_graph)
+
+    def test_explicit_plan_yields_same_matches(self, social_graph):
+        pattern = make_pattern(
+            {"x": "person", "y": "person", "z": "city"},
+            [("x", "y", "knows"), ("y", "z", "lives_in")],
+        )
+        plan = get_plan(pattern, social_graph)
+        implicit = find_homomorphisms(pattern, social_graph)
+        explicit = find_homomorphisms(pattern, social_graph, plan=plan)
+        assert match_keys(implicit) == match_keys(explicit)
+
+    def test_stale_explicit_plan_is_replaced(self, social_graph):
+        """A plan passed explicitly after a mutation must not poison the
+        run — the constructor swaps in the fresh shared plan."""
+        pattern = make_pattern({"x": "person", "y": "city"}, [("x", "y", "lives_in")])
+        stale_plan = get_plan(pattern, social_graph)
+        extra = social_graph.add_node("person")
+        city = next(iter(social_graph.nodes_with_label("city")))
+        social_graph.add_edge(extra, city, "lives_in")
+        run = MatcherRun(pattern, social_graph, plan=stale_plan)
+        assert run.plan is not stale_plan and not run.plan.index.stale
+        assert any(m["x"] == extra for m in run.matches())
+
+    def test_mismatched_explicit_plan_is_replaced(self, social_graph):
+        lives = make_pattern({"x": "person", "y": "city"}, [("x", "y", "lives_in")])
+        knows = make_pattern({"x": "person", "y": "person"}, [("x", "y", "knows")])
+        wrong = get_plan(knows, social_graph)
+        run = MatcherRun(lives, social_graph, plan=wrong)
+        assert run.plan.pattern == lives
+        assert all(
+            social_graph.label(m["y"]) == "city" for m in run.matches()
+        )
+
+    def test_structurally_equal_patterns_share_plans(self, social_graph):
+        p1 = make_pattern({"x": "person", "y": "city"}, [("x", "y", "lives_in")])
+        p2 = make_pattern({"x": "person", "y": "city"}, [("x", "y", "lives_in")])
+        assert p1 is not p2
+        assert get_plan(p1, social_graph) is get_plan(p2, social_graph)
+
+
+class TestCandidateStrategy:
+    def test_small_bucket_beats_large_anchor_group(self):
+        """When the label bucket is smaller than the anchor's adjacency,
+        the plan scans the bucket — fewer ticks, same matches."""
+        g = PropertyGraph()
+        hub = g.add_node("hub")
+        rare = g.add_node("rare")
+        g.add_edge(hub, rare, "e")
+        for _ in range(200):  # fat any-label adjacency on the hub
+            other = g.add_node("common")
+            g.add_edge(hub, other, "e")
+        pattern = make_pattern({"h": "hub", "r": "rare"}, [("h", "r", "e")])
+        run = MatcherRun(pattern, g)
+        matches = list(run.matches())
+        assert match_keys(matches) == [(("h", hub), ("r", rare))]
+        # 1 tick for h plus 1 for r via the rare-bucket scan; the anchor
+        # group scan would have spent ~201.
+        assert run.ticks <= 5
+
+    def test_anchor_expansion_filters_by_node_label(self):
+        g = PropertyGraph()
+        a = g.add_node("a")
+        targets = [g.add_node("b" if i % 4 == 0 else "c") for i in range(40)]
+        for t in targets:
+            g.add_edge(a, t, "e")
+        pattern = make_pattern({"x": "a", "y": "b"}, [("x", "y", "e")])
+        run = MatcherRun(pattern, g)
+        matches = list(run.matches())
+        assert len(matches) == 10
+        # Ticks: 1 for x's candidate + one per label-matching neighbor.
+        assert run.ticks == 1 + 10
+
+
+class TestDeterministicStreams:
+    """Regression for the seed's nondeterministic candidate orders.
+
+    The wildcard + ``allowed_nodes`` and label-index paths used to iterate
+    raw sets, so match order (and work-unit splits) could vary between
+    interpreter runs with string node ids. All candidate pools now iterate
+    in graph insertion order, independent of set hashing.
+    """
+
+    SCRIPT = r"""
+import random
+import sys
+from repro import PropertyGraph
+from repro.gfd.pattern import make_pattern
+from repro.matching.homomorphism import MatcherRun
+
+rng = random.Random(5)
+graph = PropertyGraph()
+names = [f"node-{i}" for i in range(40)]
+rng.shuffle(names)
+for name in names:
+    graph.add_node(rng.choice(["a", "b"]), node_id=name)
+for _ in range(120):
+    graph.add_edge(rng.choice(names), rng.choice(names), rng.choice(["e", "f"]))
+
+# Build the allowed set in a scrambled order so set-iteration order (which
+# varies with PYTHONHASHSEED for strings) would leak if used.
+allowed = set()
+for name in sorted(names, key=lambda n: hash(n)):
+    allowed.add(name)
+
+pattern = make_pattern({"x": "_", "y": "a"}, [("x", "y", "e")])
+run = MatcherRun(pattern, graph, allowed_nodes=allowed)
+for match in run.matches():
+    print(sorted(match.items()))
+
+split_run = MatcherRun(pattern, graph, allowed_nodes=allowed)
+it = split_run.matches()
+next(it, None)
+print("SPLIT", split_run.split(max_units=3))
+"""
+
+    def _stream(self, hashseed):
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = str(hashseed)
+        src_dir = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-c", self.SCRIPT],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        return result.stdout
+
+    def test_match_stream_independent_of_hash_seed(self):
+        streams = {self._stream(seed) for seed in (0, 1, 4242)}
+        assert len(streams) == 1
+        assert "SPLIT" in next(iter(streams))
+
+    def test_same_process_stream_is_reproducible(self, social_graph):
+        pattern = make_pattern({"x": "_"})
+        allowed = {0, 2, 4, 6}
+        first = [
+            m["x"]
+            for m in MatcherRun(pattern, social_graph, allowed_nodes=allowed).matches()
+        ]
+        second = [
+            m["x"]
+            for m in MatcherRun(
+                pattern, social_graph, allowed_nodes=set(reversed(sorted(allowed)))
+            ).matches()
+        ]
+        assert first == second == [0, 2, 4, 6]  # graph insertion order

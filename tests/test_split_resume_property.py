@@ -1,0 +1,111 @@
+"""Property tests: splitting + resuming reproduces the unsplit match multiset.
+
+Work-unit splitting (paper, Example 6) strips unexplored sibling branches
+out of a running search; the resumed units, together with the local
+remainder, must enumerate *exactly* the matches of an unsplit run — no
+duplicates, no losses — regardless of when and how often splits happen.
+"""
+
+import random
+
+import pytest
+
+from repro import PropertyGraph
+from repro.gfd.pattern import make_pattern
+from repro.matching.homomorphism import MatcherRun
+
+
+def match_key(match):
+    return tuple(sorted(match.items()))
+
+
+def random_instance(seed):
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    labels = ["a", "b", "c"][: rng.randint(1, 3)]
+    elabels = ["e", "f"][: rng.randint(1, 2)]
+    nodes = [graph.add_node(rng.choice(labels)) for _ in range(rng.randint(3, 9))]
+    for _ in range(rng.randint(4, 24)):
+        graph.add_edge(rng.choice(nodes), rng.choice(nodes), rng.choice(elabels))
+    num_vars = rng.randint(2, 4)
+    pvars = {f"v{i}": rng.choice(labels + ["_"]) for i in range(num_vars)}
+    pedges = []
+    for i in range(1, num_vars):  # connected spine + extra chords
+        pedges.append((f"v{rng.randrange(i)}", f"v{i}", rng.choice(elabels + ["_"])))
+    for _ in range(rng.randint(0, 2)):
+        pedges.append(
+            (
+                f"v{rng.randrange(num_vars)}",
+                f"v{rng.randrange(num_vars)}",
+                rng.choice(elabels + ["_"]),
+            )
+        )
+    return rng, graph, make_pattern(pvars, pedges), nodes
+
+
+def run_with_splits(pattern, graph, rng, split_every, max_units, **kwargs):
+    """Drain a run, splitting pseudo-randomly; resume every emitted unit
+    (which may itself split again) until the queue is dry."""
+    collected = []
+    queue = [dict(kwargs.get("preassigned") or {})]
+    base_kwargs = {k: v for k, v in kwargs.items() if k != "preassigned"}
+    while queue:
+        prefix = queue.pop()
+        run = MatcherRun(pattern, graph, preassigned=prefix, **base_kwargs)
+        produced = 0
+        for match in run.matches():
+            collected.append(match_key(match))
+            produced += 1
+            if produced % split_every == 0 and run.can_split():
+                queue.extend(run.split(max_units=max_units))
+    return sorted(collected)
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_split_resume_matches_unsplit_multiset(seed):
+    rng, graph, pattern, nodes = random_instance(seed)
+    reference = sorted(
+        match_key(m) for m in MatcherRun(pattern, graph).matches()
+    )
+    split_every = rng.randint(1, 4)
+    max_units = rng.choice([None, 1, 2, 5])
+    actual = run_with_splits(pattern, graph, rng, split_every, max_units)
+    assert actual == reference  # multiset equality: no dupes, no losses
+
+
+@pytest.mark.parametrize("seed", range(40, 60))
+def test_split_resume_with_pivot_and_restrictions(seed):
+    rng, graph, pattern, nodes = random_instance(seed)
+    variables = list(pattern.variables)
+    preassigned = {variables[0]: rng.choice(nodes)}
+    allowed = set(rng.sample(nodes, rng.randint(1, len(nodes))))
+    candidate_sets = {
+        variables[-1]: set(rng.sample(nodes, rng.randint(1, len(nodes))))
+    }
+    kwargs = dict(
+        preassigned=preassigned, allowed_nodes=allowed, candidate_sets=candidate_sets
+    )
+    reference = sorted(
+        match_key(m) for m in MatcherRun(pattern, graph, **kwargs).matches()
+    )
+    actual = run_with_splits(pattern, graph, rng, rng.randint(1, 3), 2, **kwargs)
+    assert actual == reference
+
+
+def test_resumed_units_preserve_prefix_bindings():
+    graph = PropertyGraph()
+    nodes = [graph.add_node("v") for _ in range(5)]
+    for a in nodes:
+        for b in nodes:
+            if a != b:
+                graph.add_edge(a, b, "e")
+    pattern = make_pattern(
+        {"x": "v", "y": "v", "z": "v"}, [("x", "y", "e"), ("y", "z", "e")]
+    )
+    run = MatcherRun(pattern, graph, preassigned={"x": 0})
+    next(run.matches())
+    units = run.split()
+    assert units
+    for unit in units:
+        assert unit["x"] == 0  # the pivot binding survives the split
+        assert set(unit) > {"x"}  # plus at least the split level's binding
