@@ -1,0 +1,113 @@
+"""Wall-clock benchmark: threaded vs process execution backends.
+
+Runs ParSat on a straggler-heavy, enforcement-heavy workload with both
+real-concurrency backends and records wall seconds (min over repeats —
+the standard noise-robust statistic). The process backend avoids both the
+GIL and the threaded backend's global engine lock (its workers cascade
+against private replicas and exchange ``ΔEq`` deltas), so it should win
+on this workload even on one core, and scale with real cores where the
+threaded backend cannot.
+
+The numbers feed ``BENCH_parallel.json`` so successive PRs can track the
+runtime trajectory; both backends must report the same verdict or the run
+fails.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--output FILE]
+
+``--smoke`` runs a seconds-scale configuration for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List
+
+from repro.gfd.generator import straggler_workload
+from repro.parallel import RuntimeConfig, par_sat
+
+#: The multi-core workload: dense anchors explode seeker matching (heavy
+#: per-unit CPU) and every match funnels through enforcement (heavy lock
+#: pressure for the threaded backend).
+FULL_WORKLOAD = dict(
+    num_anchor=2, num_seekers=5, num_background=40,
+    anchor_size=13, seeker_length=7, seed=11,
+)
+SMOKE_WORKLOAD = dict(
+    num_anchor=2, num_seekers=3, num_background=20,
+    anchor_size=10, seeker_length=5, seed=11,
+)
+
+BACKENDS = ("threaded", "process")
+
+
+def bench_backend(sigma, backend: str, config: RuntimeConfig, repeats: int) -> Dict:
+    walls: List[float] = []
+    verdict = None
+    outcome = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = par_sat(sigma, config, backend=backend)
+        walls.append(time.perf_counter() - started)
+        verdict = result.satisfiable
+        outcome = result.outcome
+    return {
+        "verdict": verdict,
+        "wall_seconds_min": round(min(walls), 4),
+        "wall_seconds_all": [round(w, 4) for w in walls],
+        "units_executed": outcome.units_executed,
+        "splits": outcome.splits,
+        "match_ticks": outcome.match_ticks,
+        "enforce_ops": outcome.enforce_ops,
+    }
+
+
+def run_suite(smoke: bool = False, workers: int = 4, repeats: int = 2) -> Dict:
+    params = SMOKE_WORKLOAD if smoke else FULL_WORKLOAD
+    sigma = straggler_workload(**params)
+    config = RuntimeConfig(workers=workers, ttl_seconds=2.0)
+    results: Dict = {
+        "mode": "smoke" if smoke else "full",
+        "workers": workers,
+        "repeats": repeats,
+        "cpus": os.cpu_count(),
+        "cpus_usable": len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else None,
+        "workload": dict(params, kind="straggler", sigma_size=len(sigma)),
+        "backends": {},
+    }
+    for backend in BACKENDS:
+        results["backends"][backend] = bench_backend(sigma, backend, config, repeats)
+    verdicts = {record["verdict"] for record in results["backends"].values()}
+    if len(verdicts) != 1:
+        raise SystemExit(f"verdict mismatch across backends: {results['backends']}")
+    threaded = results["backends"]["threaded"]["wall_seconds_min"]
+    process = results["backends"]["process"]["wall_seconds_min"]
+    results["process_speedup_vs_threaded"] = round(threaded / process, 3) if process else None
+    return results
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", help="write results JSON to this file")
+    parser.add_argument(
+        "--smoke", action="store_true", help="seconds-scale configuration (CI smoke)"
+    )
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=2)
+    args = parser.parse_args(argv)
+    results = run_suite(smoke=args.smoke, workers=args.workers, repeats=args.repeats)
+    payload = json.dumps(results, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(payload + "\n")
+    print(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -91,21 +91,30 @@ def fig6ab_sat_varying_p(
     p_sweep: Sequence[int] = DEFAULT_P_SWEEP,
     ttl_seconds: float = 2.0,
     seed: int = 7,
+    backend: str = "simulated",
 ) -> Experiment:
     """ParSat vs ParSatnp vs ParSatnb as ``p`` grows (Fig. 6(a) DBpedia,
     Fig. 6(b) YAGO2). Paper: ParSat speeds up 3.2–3.7x from p=4 to 20 and
-    beats nb by up to 5.3x, np by ~1.5x."""
+    beats nb by up to 5.3x, np by ~1.5x.
+
+    *backend* selects the execution runtime; with ``'threaded'`` or
+    ``'process'`` the y-axis is wall seconds instead of virtual seconds.
+    """
     workload = parallel_sat_workload(dataset, seed=seed)
     figure = "fig6a" if dataset == "dbpedia" else "fig6b"
+    clock = "virtual" if backend == "simulated" else f"{backend} wall"
     experiment = Experiment(
         figure, f"ParSat variants varying p ({dataset})", "p",
-        notes=f"TTL={ttl_seconds}s (virtual); straggler-heavy satisfiable workload",
+        notes=f"TTL={ttl_seconds}s ({clock}); straggler-heavy satisfiable workload",
     )
     for p in p_sweep:
         config = RuntimeConfig(workers=p, ttl_seconds=ttl_seconds)
-        experiment.series_named("ParSat").add(p, par_sat(workload.sigma, config).virtual_seconds)
-        experiment.series_named("ParSatnp").add(p, par_sat_np(workload.sigma, config).virtual_seconds)
-        experiment.series_named("ParSatnb").add(p, par_sat_nb(workload.sigma, config).virtual_seconds)
+        experiment.series_named("ParSat").add(
+            p, par_sat(workload.sigma, config, backend=backend).virtual_seconds)
+        experiment.series_named("ParSatnp").add(
+            p, par_sat_np(workload.sigma, config, backend=backend).virtual_seconds)
+        experiment.series_named("ParSatnb").add(
+            p, par_sat_nb(workload.sigma, config, backend=backend).virtual_seconds)
     return experiment
 
 
@@ -117,25 +126,31 @@ def fig6cd_imp_varying_p(
     p_sweep: Sequence[int] = DEFAULT_P_SWEEP,
     ttl_seconds: float = 2.0,
     seed: int = 7,
+    backend: str = "simulated",
 ) -> Experiment:
     """ParImp vs ParImpnp vs ParImpnb as ``p`` grows (Fig. 6(c)/(d)).
     Paper: ParImp is ~3x faster from p=4 to 20; beats nb by ~4.1x, np by
-    ~1.7x on average."""
+    ~1.7x on average.
+
+    *backend* selects the execution runtime; with ``'threaded'`` or
+    ``'process'`` the y-axis is wall seconds instead of virtual seconds.
+    """
     offsets = {"dbpedia": 0, "yago2": 1, "pokec": 2}
     workload = implication_workload(seed=seed + offsets.get(dataset, 9))
     figure = "fig6c" if dataset == "dbpedia" else "fig6d"
+    clock = "virtual" if backend == "simulated" else f"{backend} wall"
     experiment = Experiment(
         figure, f"ParImp variants varying p ({dataset})", "p",
-        notes=f"TTL={ttl_seconds}s (virtual); underivable target (full enumeration)",
+        notes=f"TTL={ttl_seconds}s ({clock}); underivable target (full enumeration)",
     )
     for p in p_sweep:
         config = RuntimeConfig(workers=p, ttl_seconds=ttl_seconds)
         experiment.series_named("ParImp").add(
-            p, par_imp(workload.sigma, workload.phi, config).virtual_seconds)
+            p, par_imp(workload.sigma, workload.phi, config, backend=backend).virtual_seconds)
         experiment.series_named("ParImpnp").add(
-            p, par_imp_np(workload.sigma, workload.phi, config).virtual_seconds)
+            p, par_imp_np(workload.sigma, workload.phi, config, backend=backend).virtual_seconds)
         experiment.series_named("ParImpnb").add(
-            p, par_imp_nb(workload.sigma, workload.phi, config).virtual_seconds)
+            p, par_imp_nb(workload.sigma, workload.phi, config, backend=backend).virtual_seconds)
     return experiment
 
 

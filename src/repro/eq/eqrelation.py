@@ -196,6 +196,17 @@ class EqRelation:
         if self._conflict is None:
             self._conflict = Conflict(term, False, True, source)
 
+    def install_conflict(self, conflict: Conflict) -> None:
+        """Adopt a conflict discovered by another ``Eq`` replica.
+
+        Conflicts are not delta-log operations (the mutation that would have
+        caused them is rejected), so a process worker ships the
+        :class:`Conflict` object itself and the coordinator installs it here.
+        The first conflict wins, matching the local-detection semantics.
+        """
+        if self._conflict is None:
+            self._conflict = conflict
+
     # ------------------------------------------------------------------
     # Deltas (ΔEq broadcast) and change tracking
     # ------------------------------------------------------------------

@@ -145,6 +145,33 @@ class PropertyGraph:
             self._compiled_index = GraphIndex(self)
         return self._compiled_index
 
+    def adopt_index(self, index) -> None:
+        """Install a prebuilt :class:`GraphIndex` as this graph's cache.
+
+        Used by process workers that reconstruct the coordinator's index
+        from a serialized snapshot instead of recompiling O(|G|) state. The
+        index must have been built at this graph's current mutation count.
+        """
+        if index.version != self._mutations:
+            raise GraphError(
+                f"index snapshot version {index.version} does not match "
+                f"graph mutation count {self._mutations}"
+            )
+        self._compiled_index = index
+
+    # ------------------------------------------------------------------
+    # Pickling (process-backend worker shipping)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        """Drop the compiled-index cache: it holds weak references and is
+        shipped separately as a plain snapshot (:meth:`GraphIndex.to_snapshot`)."""
+        state = dict(self.__dict__)
+        state["_compiled_index"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------

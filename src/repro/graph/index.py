@@ -62,6 +62,8 @@ class GraphIndex:
         "_in",
         "_out_any",
         "_in_any",
+        "_out_fanout",
+        "_in_fanout",
         "__weakref__",
     )
 
@@ -145,6 +147,9 @@ class GraphIndex:
         self._in_any = in_any
         self.out_degree = out_degree
         self.in_degree = in_degree
+        # Lazily filled average-group-size caches (cardinality estimates).
+        self._out_fanout: Dict[Optional[int], float] = {}
+        self._in_fanout: Dict[Optional[int], float] = {}
         #: Per-pattern compiled :class:`MatchPlan`s (weakly keyed).
         self.plan_cache: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
@@ -195,6 +200,107 @@ class GraphIndex:
 
     def label_count(self, label: str) -> int:
         return len(self.nodes_with_label(label))
+
+    # ------------------------------------------------------------------
+    # Cardinality estimates
+    # ------------------------------------------------------------------
+    def avg_out_fanout(self, label_id: Optional[int]) -> float:
+        """Average size of a non-empty ``(node, label)`` out-neighbor group.
+
+        The standard per-edge-label branch-factor estimate: total edges with
+        that label divided by the number of source nodes carrying at least
+        one such edge (``None`` = any label, i.e. mean out-degree over nodes
+        with out-edges). Nodes without the group contribute no candidates at
+        run time, so the conditional mean matches the surviving branches.
+        """
+        if None not in self._out_fanout:
+            self._fill_fanouts(self._out, self._out_any, self._out_fanout)
+        return self._out_fanout.get(label_id, 0.0)
+
+    def avg_in_fanout(self, label_id: Optional[int]) -> float:
+        """Average size of a non-empty ``(node, label)`` in-neighbor group."""
+        if None not in self._in_fanout:
+            self._fill_fanouts(self._in, self._in_any, self._in_fanout)
+        return self._in_fanout.get(label_id, 0.0)
+
+    @staticmethod
+    def _fill_fanouts(
+        grouped: Dict[Tuple[NodeId, int], Tuple[NodeId, ...]],
+        any_label: Dict[NodeId, Tuple[NodeId, ...]],
+        cache: Dict[Optional[int], float],
+    ) -> None:
+        """One pass over the adjacency groups fills every label's average
+        (plus the any-label entry under ``None``), so repeated queries —
+        plan-aware pivot selection touches one label per anchor step —
+        never rescan the index."""
+        totals: Dict[int, int] = {}
+        counts: Dict[int, int] = {}
+        for (_, lid), neighbors in grouped.items():
+            totals[lid] = totals.get(lid, 0) + len(neighbors)
+            counts[lid] = counts.get(lid, 0) + 1
+        for lid, total in totals.items():
+            cache[lid] = total / counts[lid]
+        any_sizes = [len(neighbors) for neighbors in any_label.values() if neighbors]
+        cache[None] = sum(any_sizes) / len(any_sizes) if any_sizes else 0.0
+
+    # ------------------------------------------------------------------
+    # Serialization (process-backend worker shipping)
+    # ------------------------------------------------------------------
+    def to_snapshot(self) -> Dict[str, object]:
+        """The precomputed tables as a picklable plain-data snapshot.
+
+        The snapshot carries everything that costs O(|G|) to recompute;
+        tables shared with the graph (``edge_labels``, label membership
+        sets) and caches (fan-outs, plans) are rebound/refilled on the
+        receiving side by :meth:`from_snapshot`.
+        """
+        return {
+            "version": self.version,
+            "label_ids": dict(self._label_ids),
+            "node_label_id": dict(self.node_label_id),
+            "label_buckets": dict(self._label_buckets),
+            "out": dict(self._out),
+            "in": dict(self._in),
+            "out_any": dict(self._out_any),
+            "in_any": dict(self._in_any),
+            "out_degree": dict(self.out_degree),
+            "in_degree": dict(self.in_degree),
+        }
+
+    @classmethod
+    def from_snapshot(cls, graph: "PropertyGraph", data: Dict[str, object]) -> "GraphIndex":
+        """Reconstruct an index over *graph* from :meth:`to_snapshot` data.
+
+        *graph* must be at the same mutation count the snapshot was taken
+        at (a pickled graph preserves its counter); shared tables are taken
+        from the graph, everything else from the snapshot — no O(|G|)
+        recompilation. Raises ``ValueError`` on a version mismatch.
+        """
+        if data["version"] != graph.mutation_count:
+            raise ValueError(
+                f"index snapshot version {data['version']} does not match "
+                f"graph mutation count {graph.mutation_count}"
+            )
+        index = object.__new__(cls)
+        index.graph = graph
+        index.version = data["version"]
+        index.nodes = tuple(graph._nodes)
+        index.position = {node: pos for pos, node in enumerate(index.nodes)}
+        index.edge_labels = graph._edge_labels
+        index._label_ids = data["label_ids"]
+        index.node_label_id = data["node_label_id"]
+        index._label_buckets = data["label_buckets"]
+        index._label_members = graph._by_label
+        index._out = data["out"]
+        index._in = data["in"]
+        index._out_any = data["out_any"]
+        index._in_any = data["in_any"]
+        index.out_degree = data["out_degree"]
+        index.in_degree = data["in_degree"]
+        index._out_fanout = {}
+        index._in_fanout = {}
+        index.plan_cache = weakref.WeakKeyDictionary()
+        return index
 
     # ------------------------------------------------------------------
     # Diagnostics

@@ -232,6 +232,51 @@ class MatchPlan:
             )
         return PlanLayout(frozenset(preassigned_vars), list(order), steps)
 
+    # ------------------------------------------------------------------
+    # Cardinality estimates (plan-aware pivot selection)
+    # ------------------------------------------------------------------
+    def estimated_fanout(self, pivot_var: str) -> float:
+        """Expected node expansions of a run pivoted at *pivot_var*.
+
+        Walks the compiled layout for ``{pivot_var}`` and accumulates the
+        prefix products of per-step branch factors: an anchored step
+        branches by ``min(label-bucket size, avg adjacency-group size ×
+        label selectivity)`` — the same estimate the candidate strategy
+        compares at run time — and an unanchored step by its full label
+        bucket. The sum over prefixes approximates the search-tree size
+        *per pivot candidate*; work-unit generation multiplies by the
+        number of pivot candidates, so both terms feed
+        :func:`repro.reasoning.workunits.choose_pivot`.
+        """
+        index = self.index
+        num_nodes = max(1, len(index.nodes))
+
+        def bucket_size(label_id: Optional[int]) -> int:
+            if label_id is None:
+                return num_nodes
+            return len(index.nodes_with_label_id(label_id))
+
+        layout = self.layout({pivot_var})
+        total = 0.0
+        branch = 1.0
+        for step in layout.steps:
+            bucket = bucket_size(step.label_id)
+            if step.anchor_var is not None:
+                if step.anchor_out:
+                    fanout = index.avg_out_fanout(step.anchor_label_id)
+                else:
+                    fanout = index.avg_in_fanout(step.anchor_label_id)
+                # Anchor candidates must also carry the step's node label;
+                # assume label independence for the selectivity factor.
+                estimate = min(float(bucket), fanout * (bucket / num_nodes))
+            else:
+                estimate = float(bucket)
+            branch *= estimate
+            total += branch
+            if branch == 0.0:
+                break
+        return total
+
     def __repr__(self) -> str:  # pragma: no cover - diagnostics only
         return (
             f"MatchPlan(pattern={self.pattern!r}, layouts={len(self._layouts)}, "

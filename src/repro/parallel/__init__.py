@@ -1,19 +1,43 @@
-"""Parallel reasoning: ParSat / ParImp on simulated or threaded clusters."""
+"""Parallel reasoning: ParSat / ParImp on pluggable execution backends.
 
+Backends (``backend=`` on :func:`par_sat` / :func:`par_imp`, or
+:func:`get_backend`): ``'simulated'`` virtual clock, ``'threaded'`` real
+threads, ``'process'`` multiprocessing on real cores.
+"""
+
+from .backends import (
+    BACKENDS,
+    Backend,
+    ProcessBackend,
+    SimulatedBackend,
+    ThreadedBackend,
+    available_backends,
+    get_backend,
+)
 from .config import DEFAULT_TTL_SECONDS, CostModel, RuntimeConfig
-from .engine import ParallelOutcome, SimulatedCluster, ThreadedCluster, make_cluster
+from .coordinator import ParallelOutcome
+from .engine import SimulatedCluster, ThreadedCluster, make_cluster
+from .goals import EntailmentGoal
 from .parimp import ParImpResult, par_imp, par_imp_nb, par_imp_np
 from .parsat import ParSatResult, par_sat, par_sat_nb, par_sat_np
 from .tracing import Trace, TraceEvent, render_gantt, summarize
 from .units import UnitContext, UnitResult, execute_unit
 
 __all__ = [
+    "BACKENDS",
+    "Backend",
     "DEFAULT_TTL_SECONDS",
     "CostModel",
+    "EntailmentGoal",
     "RuntimeConfig",
     "ParallelOutcome",
+    "ProcessBackend",
+    "SimulatedBackend",
     "SimulatedCluster",
+    "ThreadedBackend",
     "ThreadedCluster",
+    "available_backends",
+    "get_backend",
     "make_cluster",
     "ParImpResult",
     "par_imp",

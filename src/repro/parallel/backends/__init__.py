@@ -1,0 +1,78 @@
+"""Execution backends: one coordinator/worker protocol, three runtimes.
+
+========== ===================== ==========================================
+key        class                 what the workers are
+========== ===================== ==========================================
+simulated  SimulatedBackend      virtual-clock discrete events (exact
+                                 verdicts, deterministic timing figures)
+threaded   ThreadedBackend       ``threading`` workers over one
+                                 lock-protected engine (GIL-bound)
+process    ProcessBackend        ``multiprocessing`` replicas with ΔEq
+                                 exchange (real cores)
+========== ===================== ==========================================
+
+All backends satisfy the :class:`~repro.parallel.backends.base.Backend`
+protocol and produce identical verdicts; select one by key through
+:func:`get_backend` or the ``backend=`` parameter of
+:func:`~repro.parallel.parsat.par_sat` / :func:`~repro.parallel.parimp.par_imp`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from ..config import RuntimeConfig
+from .base import Backend, GoalCheck
+from .process import ProcessBackend
+from .simulated import SimulatedBackend
+from .threaded import ThreadedBackend
+
+#: Registry of selectable backends, keyed by their ``name``.
+BACKENDS: Dict[str, Type[Backend]] = {
+    backend.name: backend
+    for backend in (SimulatedBackend, ThreadedBackend, ProcessBackend)
+}
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The selectable backend keys, in registry order."""
+    return tuple(BACKENDS)
+
+
+def resolve_backend_name(backend: "str | None", runtime: "str | None") -> str:
+    """Merge the ``backend=`` selector with its legacy ``runtime=`` alias.
+
+    Entry points (:func:`par_sat`, :func:`par_imp`) accept both; passing
+    conflicting names is an error, passing neither selects ``simulated``.
+    """
+    if backend is not None and runtime is not None and backend != runtime:
+        raise ValueError(
+            f"conflicting selectors: backend={backend!r} vs runtime={runtime!r}"
+        )
+    return backend or runtime or "simulated"
+
+
+def get_backend(name: str, config: RuntimeConfig) -> Backend:
+    """Instantiate the backend registered under *name*.
+
+    Raises ``ValueError`` (listing the choices) for unknown names, so CLI
+    and API callers get a uniform error.
+    """
+    backend_cls = BACKENDS.get(name)
+    if backend_cls is None:
+        choices = ", ".join(repr(key) for key in BACKENDS)
+        raise ValueError(f"unknown backend {name!r} (use one of {choices})")
+    return backend_cls(config)
+
+
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "GoalCheck",
+    "ProcessBackend",
+    "SimulatedBackend",
+    "ThreadedBackend",
+    "available_backends",
+    "get_backend",
+    "resolve_backend_name",
+]

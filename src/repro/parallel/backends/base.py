@@ -1,0 +1,68 @@
+"""The ``Backend`` protocol every parallel runtime satisfies.
+
+A backend owns the four coordinator/worker duties of the paper's Fig. 3
+protocol, and nothing else:
+
+1. **dispatch** — hand queued :class:`~repro.reasoning.workunits.WorkUnit`
+   batches to free workers (dynamic assignment, batch size from the
+   :class:`~repro.parallel.config.RuntimeConfig`);
+2. **split-requeue** — route TTL-split sub-units back to the *front* of
+   the shared queue (paper, lines 9–10 of ParSat);
+3. **ΔEq broadcast** — make every worker's ``Eq`` mutations visible to the
+   others (instantaneously through a shared object, or as replayed
+   :class:`~repro.eq.eqrelation.DeltaOp` batches between processes);
+4. **early termination** — stop the run at the first conflict, or when the
+   implication goal ``Y ⊆ Eq_H`` is reached.
+
+Workload construction (unit generation, ordering, pruning) and unit
+execution (:func:`~repro.parallel.units.execute_unit`) live outside the
+backend; all backends therefore produce *identical verdicts* — they differ
+only in where the workers live and what the timing numbers mean.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, ClassVar, Optional, Sequence
+
+from ...eq.eqrelation import EqRelation
+from ...reasoning.enforce import EnforcementEngine
+from ...reasoning.workunits import WorkUnit
+from ..config import RuntimeConfig
+from ..coordinator import ParallelOutcome
+from ..units import UnitContext
+
+#: The uniform goal-check signature (``None`` = satisfiability, no goal).
+GoalCheck = Callable[[EqRelation], bool]
+
+
+class Backend(ABC):
+    """A parallel execution runtime for the coordinator/worker protocol."""
+
+    #: Registry key (``'simulated'`` / ``'threaded'`` / ``'process'``).
+    name: ClassVar[str] = ""
+
+    def __init__(self, config: RuntimeConfig) -> None:
+        self.config = config
+
+    @abstractmethod
+    def run(
+        self,
+        units: Sequence[WorkUnit],
+        context: UnitContext,
+        engine: EnforcementEngine,
+        goal_check: Optional[GoalCheck] = None,
+        trace=None,
+    ) -> ParallelOutcome:
+        """Execute *units* to completion or early termination.
+
+        *engine* wraps the coordinator's ``Eq``; on return it reflects the
+        merged fixpoint regardless of backend. *goal_check* must be
+        picklable for the process backend (see
+        :class:`~repro.parallel.goals.EntailmentGoal`). *trace* is honored
+        by the simulated backend (virtual timeline) and ignored by the
+        wall-clock backends.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"{type(self).__name__}(workers={self.config.workers})"

@@ -1,0 +1,386 @@
+"""Process backend: real cores via ``multiprocessing`` worker replicas.
+
+The paper runs ParSat/ParImp on a shared-nothing cluster: the canonical
+graph is replicated, workers keep local ``Eq`` replicas, and ``ΔEq`` is
+broadcast between them. This backend is that architecture on one machine:
+
+* **workers** are OS processes forked against the coordinator's prebuilt
+  state — on fork platforms they inherit the compiled
+  :class:`~repro.graph.index.GraphIndex`, the warm neighborhood caches and
+  the initial ``Eq`` replica copy-on-write, paying zero serialization; on
+  spawn platforms the same state ships once per worker as a pickled
+  snapshot (:meth:`GraphIndex.to_snapshot` + the
+  :class:`~repro.parallel.units.UnitContext` pickle support) and the index
+  is reconstructed without O(|G|) recompilation;
+* **dispatch** pickles :class:`~repro.reasoning.workunits.WorkUnit`
+  batches over per-worker pipes; split sub-units come back inside
+  :class:`~repro.parallel.units.UnitResult` and are requeued at the front
+  of the coordinator's queue (cross-process requeue tracks units by their
+  stable :attr:`WorkUnit.uid`);
+* **ΔEq broadcast** is explicit: each worker returns the
+  :class:`~repro.eq.eqrelation.DeltaOp` ops its replica appended, the
+  coordinator merges them into the master ``Eq`` (idempotent replay), and
+  every dispatch carries the master ops the receiving worker has not seen;
+* **early termination** happens at the first conflict (the
+  :class:`Conflict` object itself is shipped — conflicts are not log ops)
+  or when the implication goal holds on the *master* ``Eq``, which sees
+  the union of all replicas.
+
+After the queue drains, *settlement rounds* broadcast leftover deltas
+until no worker's parked-match cascade produces new ops — the distributed
+equivalent of the shared-engine fixpoint, so all backends return identical
+verdicts (the algorithms are Church-Rosser over a monotone ``Eq``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import time
+from collections import deque
+from multiprocessing import connection as mp_connection
+from typing import Deque, Dict, List, Optional, Sequence, Set
+
+from ...graph.index import GraphIndex
+from ...reasoning.enforce import EnforcementEngine
+from ...reasoning.workunits import WorkUnit
+from ..coordinator import ParallelOutcome, absorb_result, register_splits, requeue_front
+from ..units import UnitContext, execute_unit
+from .base import Backend, GoalCheck
+
+#: Seconds a worker is given to exit after a stop message before being
+#: terminated forcefully.
+_JOIN_TIMEOUT = 5.0
+
+
+class _WorkerState:
+    """Everything one worker process needs: its replica of the run."""
+
+    __slots__ = ("context", "engine", "goal", "ttl_ticks", "max_split_units")
+
+    def __init__(
+        self,
+        context: UnitContext,
+        engine: EnforcementEngine,
+        goal: Optional[GoalCheck],
+        ttl_ticks: Optional[float],
+        max_split_units: int,
+    ) -> None:
+        self.context = context
+        self.engine = engine
+        self.goal = goal
+        self.ttl_ticks = ttl_ticks
+        self.max_split_units = max_split_units
+
+
+#: Pre-fork state handed to children by inheritance (fork start method).
+_FORK_STATE: Optional[_WorkerState] = None
+
+
+def make_worker_snapshot(
+    context: UnitContext,
+    engine: EnforcementEngine,
+    goal: Optional[GoalCheck],
+    ttl_ticks: Optional[float],
+    max_split_units: int,
+) -> bytes:
+    """Serialize one worker's replica for spawn-style process creation.
+
+    A single ``dumps`` covers the context (graph + caches, sans plans),
+    the index snapshot, and the engine replica, so shared objects (the
+    GFDs, the graph) are pickled once and re-shared on load.
+    """
+    payload = {
+        "context": context,
+        "index": context.graph.index().to_snapshot(),
+        "engine": engine,
+        "goal": goal,
+        "ttl_ticks": ttl_ticks,
+        "max_split_units": max_split_units,
+    }
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_worker_snapshot(blob: bytes) -> _WorkerState:
+    """Rebuild a worker replica from :func:`make_worker_snapshot` output.
+
+    The graph index is reconstructed from its snapshot tables (no O(|G|)
+    recompilation) and installed on the unpickled graph, then match plans
+    — deliberately not shipped — recompile locally in O(|Q|) per pattern.
+    """
+    payload = pickle.loads(blob)
+    context: UnitContext = payload["context"]
+    graph = context.graph
+    graph.adopt_index(GraphIndex.from_snapshot(graph, payload["index"]))
+    context.precompile_plans()
+    return _WorkerState(
+        context,
+        payload["engine"],
+        payload["goal"],
+        payload["ttl_ticks"],
+        payload["max_split_units"],
+    )
+
+
+def _handle_batch(state: _WorkerState, batch: Sequence[WorkUnit], ops) -> tuple:
+    """Apply a ΔEq broadcast, run *batch* on the local replica, and report.
+
+    The reply carries only ops appended *after* the replay mark: broadcast
+    ops the coordinator already knows are never echoed back, while ops
+    produced by the replay-triggered cascade of parked matches are.
+    """
+    engine = state.engine
+    eq = engine.eq
+    started = time.perf_counter()
+    eq.apply_delta(ops)
+    mark = eq.log_position()
+    engine.cascade()
+    results = []
+    goal_reached = False
+    if not eq.has_conflict():
+        if state.goal is not None and state.goal(eq):
+            goal_reached = True
+        else:
+            for unit in batch:
+                result = execute_unit(
+                    unit,
+                    state.context,
+                    engine,
+                    ttl_ticks=state.ttl_ticks,
+                    max_split_units=state.max_split_units,
+                    goal_check=state.goal,
+                )
+                results.append(result)
+                if result.conflict or result.goal_reached:
+                    goal_reached = goal_reached or result.goal_reached
+                    break
+    new_ops = eq.delta_since(mark)
+    busy = time.perf_counter() - started
+    return ("done", results, new_ops, eq.conflict, goal_reached, busy)
+
+
+def _worker_main(conn, payload: Optional[bytes]) -> None:
+    """Worker process entry: serve batch/sync requests until stopped."""
+    try:
+        state = _FORK_STATE if payload is None else load_worker_snapshot(payload)
+        assert state is not None
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                return
+            kind = message[0]
+            if kind == "stop":
+                return
+            try:
+                if kind == "units":
+                    conn.send(_handle_batch(state, message[1], message[2]))
+                elif kind == "sync":
+                    conn.send(_handle_batch(state, (), message[1]))
+                else:  # pragma: no cover - defensive
+                    conn.send(("error", f"unknown message kind {kind!r}"))
+            except Exception as exc:  # pragma: no cover - worker-side crash
+                import traceback
+
+                conn.send(("error", f"{exc}\n{traceback.format_exc()}"))
+                return
+    finally:
+        conn.close()
+
+
+class ProcessBackend(Backend):
+    """Coordinator + ``p`` OS-process workers with ΔEq replica exchange."""
+
+    name = "process"
+
+    def run(
+        self,
+        units: Sequence[WorkUnit],
+        context: UnitContext,
+        engine: EnforcementEngine,
+        goal_check: Optional[GoalCheck] = None,
+        trace=None,
+    ) -> ParallelOutcome:
+        global _FORK_STATE
+        config = self.config
+        started = time.perf_counter()
+        eq = engine.eq
+        outcome = ParallelOutcome(units_total=len(units), eq=eq, backend=self.name)
+        outcome.worker_busy = [0.0] * config.workers
+        if eq.has_conflict():
+            outcome.conflict = eq.conflict
+            outcome.wall_seconds = time.perf_counter() - started
+            return outcome
+
+        # Build everything workers inherit/receive *before* starting them:
+        # compiled index, match plans, and (for ParImp) the initial replica.
+        context.graph.index()
+        context.precompile_plans()
+        methods = mp.get_all_start_methods()
+        if self.config.start_method is not None:
+            method = self.config.start_method
+        elif "fork" in methods:
+            method = "fork"
+        else:
+            method = "spawn"
+        ctx = mp.get_context(method)
+        state = _WorkerState(
+            context, engine, goal_check, config.ttl_ticks, config.max_split_units
+        )
+        if method == "fork":
+            payload: Optional[bytes] = None
+            _FORK_STATE = state
+        else:
+            payload = make_worker_snapshot(
+                context, engine, goal_check, config.ttl_ticks, config.max_split_units
+            )
+
+        conns = []
+        procs = []
+        try:
+            for _ in range(config.workers):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(target=_worker_main, args=(child_conn, payload), daemon=True)
+                proc.start()
+                child_conn.close()
+                conns.append(parent_conn)
+                procs.append(proc)
+        finally:
+            _FORK_STATE = None
+
+        conn_worker = {conn: wid for wid, conn in enumerate(conns)}
+        pending: Deque[WorkUnit] = deque(units)
+        requeue = requeue_front(pending)
+        synced = [eq.log_position()] * config.workers
+        idle: Deque[int] = deque(range(config.workers))
+        in_flight: Dict[int, List[WorkUnit]] = {}
+        dead: Set[int] = set()
+        terminated = False
+
+        def dispatch(worker_id: int, batch: List[WorkUnit], kind: str = "units") -> bool:
+            """Send *batch* plus the worker's pending ΔEq; False when the
+            worker turns out to be dead (its batch is requeued for the
+            survivors, mirroring the receive-side EOF handling)."""
+            ops = eq.delta_since(synced[worker_id])
+            try:
+                if kind == "units":
+                    conns[worker_id].send((kind, batch, ops))
+                else:
+                    conns[worker_id].send((kind, ops))
+            except OSError:
+                pending.extendleft(reversed(batch))
+                dead.add(worker_id)
+                if len(dead) == config.workers:
+                    raise RuntimeError("all process workers died") from None
+                return False
+            synced[worker_id] = eq.log_position()
+            in_flight[worker_id] = batch
+            return True
+
+        def receive(worker_id: int) -> bool:
+            """Merge one worker reply into the master state; True if the
+            run should terminate (conflict or goal)."""
+            nonlocal terminated
+            reply = conns[worker_id].recv()
+            if reply[0] == "error":
+                raise RuntimeError(f"process worker {worker_id} failed: {reply[1]}")
+            _, results, new_ops, conflict, goal_reached, busy = reply
+            dispatched = {unit.uid for unit in in_flight.pop(worker_id, [])}
+            idle.append(worker_id)
+            outcome.worker_busy[worker_id] += busy
+            eq.apply_delta(new_ops)
+            if conflict is not None:
+                eq.install_conflict(conflict)
+            for result in results:
+                # Reconcile by stable uid: a result must answer a unit of
+                # the batch this worker was handed (pickling round-trips
+                # preserve uids, so this is pure protocol hygiene).
+                if result.unit_uid not in dispatched:  # pragma: no cover
+                    continue
+                absorb_result(outcome, result)
+                if not (result.conflict or result.goal_reached) and not terminated:
+                    register_splits(outcome, result, requeue)
+            if eq.has_conflict():
+                outcome.conflict = eq.conflict
+                terminated = True
+            elif goal_reached or (goal_check is not None and goal_check(eq)):
+                outcome.goal_reached = True
+                terminated = True
+            return terminated
+
+        try:
+            # Main dispatch loop: dynamic assignment to free workers, split
+            # sub-units requeued at the queue front as results come back.
+            while True:
+                while pending and idle and not terminated:
+                    worker_id = idle.popleft()
+                    if worker_id in dead:
+                        continue
+                    batch = [
+                        pending.popleft()
+                        for _ in range(min(config.batch_size, len(pending)))
+                    ]
+                    dispatch(worker_id, batch)
+                if not in_flight:
+                    break
+                ready = mp_connection.wait(
+                    [conns[wid] for wid in in_flight], timeout=None
+                )
+                for conn in ready:
+                    worker_id = conn_worker[conn]
+                    try:
+                        receive(worker_id)
+                    except (EOFError, ConnectionError):
+                        # Worker died mid-batch: requeue its units (stable
+                        # uids make the units re-dispatchable as-is) on a
+                        # surviving worker and exclude the dead one.
+                        lost = in_flight.pop(worker_id, [])
+                        pending.extendleft(reversed(lost))
+                        dead.add(worker_id)
+                        if len(dead) == config.workers:
+                            raise RuntimeError("all process workers died") from None
+
+            # Settlement: flush remaining deltas so worker-side parked
+            # matches cascade to the shared fixpoint before declaring the
+            # verdict. Quiescence = a full round with no new ops anywhere.
+            while not terminated:
+                recipients = [
+                    wid
+                    for wid in range(config.workers)
+                    if wid not in dead and synced[wid] < eq.log_position()
+                ]
+                if not recipients:
+                    break
+                for worker_id in recipients:
+                    dispatch(worker_id, [], kind="sync")
+                # Drain every successfully dispatched sync — also when a
+                # reply terminates the run mid-round, so shutdown stays
+                # orderly.
+                for worker_id in recipients:
+                    if worker_id not in in_flight:
+                        continue  # dispatch failed; worker already dead
+                    try:
+                        receive(worker_id)
+                    except (EOFError, ConnectionError):
+                        in_flight.pop(worker_id, None)
+                        dead.add(worker_id)
+        finally:
+            for worker_id, conn in enumerate(conns):
+                if worker_id in dead:
+                    continue
+                try:
+                    conn.send(("stop",))
+                except (OSError, BrokenPipeError):
+                    pass
+            deadline = time.monotonic() + _JOIN_TIMEOUT
+            for proc in procs:
+                proc.join(timeout=max(0.0, deadline - time.monotonic()))
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+            for conn in conns:
+                conn.close()
+
+        outcome.wall_seconds = time.perf_counter() - started
+        outcome.virtual_seconds = outcome.wall_seconds
+        return outcome

@@ -1,0 +1,120 @@
+"""Thread backend: the same protocol on real ``threading`` workers.
+
+Demonstrates functional correctness under true concurrency: workers share
+one lock-protected :class:`~repro.reasoning.enforce.EnforcementEngine`
+(matching runs lock-free — the canonical graph is immutable during a run;
+only ``Eq``/index mutations take the lock). Python's GIL limits its
+speedups on CPU-bound matching, hence the simulated backend for the
+scalability figures and the process backend for real-core scaling.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, List, Optional, Sequence
+
+from ...eq.eqrelation import EqRelation
+from ...reasoning.enforce import EnforcementEngine
+from ...reasoning.workunits import WorkUnit
+from ..coordinator import ParallelOutcome, absorb_result
+from ..units import UnitContext, UnitResult, execute_unit
+from .base import Backend, GoalCheck
+
+
+class _LockedEngine(EnforcementEngine):
+    """An :class:`EnforcementEngine` whose mutations are serialized.
+
+    Matching runs lock-free (the canonical graph is immutable during a
+    run); only ``Eq``/index mutations and reads that may path-compress the
+    union-find take the lock.
+    """
+
+    def __init__(self, inner: EnforcementEngine, lock: threading.RLock) -> None:
+        super().__init__(inner.eq, inner.gfds, inner.index)
+        self._lock = lock
+        self.stats = inner.stats
+
+    def enforce(self, gfd, assignment) -> bool:  # type: ignore[override]
+        with self._lock:
+            return super().enforce(gfd, assignment)
+
+
+class ThreadedBackend(Backend):
+    """The same protocol on real threads (functional-parity runtime)."""
+
+    name = "threaded"
+
+    def run(
+        self,
+        units: Sequence[WorkUnit],
+        context: UnitContext,
+        engine: EnforcementEngine,
+        goal_check: Optional[GoalCheck] = None,
+        trace=None,
+    ) -> ParallelOutcome:
+        config = self.config
+        started = time.perf_counter()
+        outcome = ParallelOutcome(units_total=len(units), eq=engine.eq, backend=self.name)
+        outcome.worker_busy = [0.0] * config.workers
+        lock = threading.RLock()
+        locked_engine = _LockedEngine(engine, lock)
+        pending: Deque[WorkUnit] = deque(units)
+        queue_lock = threading.Lock()
+        stop = threading.Event()
+        results: List[UnitResult] = []
+        results_lock = threading.Lock()
+        ttl_ticks = config.ttl_ticks
+
+        locked_goal = None
+        if goal_check is not None:
+            def locked_goal(eq: EqRelation) -> bool:
+                with lock:
+                    return goal_check(eq)
+
+        def worker(worker_id: int) -> None:
+            while not stop.is_set():
+                with queue_lock:
+                    if not pending:
+                        return
+                    unit = pending.popleft()
+                unit_started = time.perf_counter()
+                result = execute_unit(
+                    unit,
+                    context,
+                    locked_engine,
+                    ttl_ticks=ttl_ticks,
+                    max_split_units=config.max_split_units,
+                    goal_check=locked_goal,
+                )
+                outcome.worker_busy[worker_id] += time.perf_counter() - unit_started
+                with results_lock:
+                    results.append(result)
+                if result.conflict or result.goal_reached:
+                    stop.set()
+                    return
+                if result.splits:
+                    with queue_lock:
+                        pending.extendleft(reversed(result.splits))
+
+        threads = [
+            threading.Thread(target=worker, args=(worker_id,), daemon=True)
+            for worker_id in range(config.workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        for result in results:
+            absorb_result(outcome, result)
+            outcome.splits += len(result.splits)
+            if result.goal_reached:
+                outcome.goal_reached = True
+        outcome.units_total += outcome.splits
+        if engine.eq.has_conflict():
+            outcome.conflict = engine.eq.conflict
+        outcome.wall_seconds = time.perf_counter() - started
+        outcome.virtual_seconds = outcome.wall_seconds
+        return outcome

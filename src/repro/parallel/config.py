@@ -65,6 +65,12 @@ class RuntimeConfig:
         reduce the communication cost", paper Section V-B).
     use_dependency_order / use_simulation_pruning:
         The remaining optimizations, togglable for ablations.
+    start_method:
+        Process backend only: the ``multiprocessing`` start method
+        (``'fork'``, ``'spawn'``, ``'forkserver'``). ``None`` (default)
+        picks ``fork`` where available — workers then inherit the prebuilt
+        index and caches copy-on-write — and falls back to ``spawn`` with
+        a pickled worker snapshot elsewhere.
     """
 
     workers: int = 4
@@ -74,6 +80,7 @@ class RuntimeConfig:
     batch_size: int = 6
     use_dependency_order: bool = True
     use_simulation_pruning: bool = True
+    start_method: Optional[str] = None
     costs: CostModel = field(default_factory=CostModel)
 
     def __post_init__(self) -> None:
@@ -85,6 +92,15 @@ class RuntimeConfig:
             raise RuntimeConfigError("max_split_units must be >= 1")
         if self.batch_size < 1:
             raise RuntimeConfigError("batch_size must be >= 1")
+        if self.start_method is not None and self.start_method not in (
+            "fork",
+            "spawn",
+            "forkserver",
+        ):
+            raise RuntimeConfigError(
+                f"start_method must be 'fork', 'spawn', or 'forkserver', "
+                f"got {self.start_method!r}"
+            )
 
     @property
     def ttl_ticks(self) -> Optional[float]:

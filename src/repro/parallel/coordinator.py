@@ -1,0 +1,116 @@
+"""Coordinator core shared by every execution backend.
+
+The paper's Fig. 3 protocol has one coordinator and ``p`` workers; what
+varies between our runtimes is only *where* the workers live (virtual
+clock, threads, processes). This module holds the runtime-agnostic half:
+
+* :class:`ParallelOutcome` — the uniform result record every backend
+  returns (verdict, cost counters, per-worker busy time);
+* :func:`unit_duration` — the virtual-clock price of one executed unit
+  under a :class:`~repro.parallel.config.CostModel`;
+* :func:`absorb_result` / :func:`register_splits` — the bookkeeping every
+  backend performs per :class:`~repro.parallel.units.UnitResult`: tally
+  operation counts, decide early termination, and requeue split sub-units
+  at the *front* of the queue (paper, lines 9–10 of ParSat).
+
+Backends import from here; entry points import the names re-exported by
+:mod:`repro.parallel.engine` (the historical home) or the package root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional
+
+from ..eq.eqrelation import Conflict, EqRelation
+from ..reasoning.workunits import WorkUnit
+from .config import RuntimeConfig
+from .units import UnitResult
+
+
+@dataclass
+class ParallelOutcome:
+    """Everything a parallel run reports."""
+
+    conflict: Optional[Conflict] = None
+    goal_reached: bool = False
+    virtual_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    units_total: int = 0
+    units_executed: int = 0
+    splits: int = 0
+    matches: int = 0
+    match_ticks: int = 0
+    enforce_ops: int = 0
+    broadcast_ops: int = 0
+    worker_busy: List[float] = field(default_factory=list)
+    eq: Optional[EqRelation] = None
+    #: Which backend produced this outcome (``'simulated'`` etc.).
+    backend: str = ""
+
+    @property
+    def terminated_early(self) -> bool:
+        return self.conflict is not None or self.goal_reached
+
+    @property
+    def load_imbalance(self) -> float:
+        """max/mean worker busy time (1.0 = perfectly balanced)."""
+        busy = [b for b in self.worker_busy if b > 0]
+        if not busy:
+            return 1.0
+        mean = sum(busy) / len(self.worker_busy)
+        return max(self.worker_busy) / mean if mean else 1.0
+
+
+def unit_duration(result: UnitResult, config: RuntimeConfig) -> float:
+    """Virtual cost units charged for one executed unit (batch overhead is
+    charged separately, once per coordinator round-trip)."""
+    costs = config.costs
+    t_match = result.match_ticks * costs.match_tick
+    t_check = result.enforce_ops * costs.enforce_op
+    if config.pipelined:
+        core = max(t_match, t_check) + costs.pipeline_sync
+    else:
+        core = t_match + t_check
+    return (
+        core
+        + costs.unit_overhead
+        + len(result.splits) * costs.split_message
+        + result.delta_ops * costs.broadcast_per_op
+    )
+
+
+def absorb_result(outcome: ParallelOutcome, result: UnitResult) -> None:
+    """Tally one executed unit's operation counts into *outcome*."""
+    outcome.units_executed += 1
+    outcome.matches += result.matches
+    outcome.match_ticks += result.match_ticks
+    outcome.enforce_ops += result.enforce_ops
+    outcome.broadcast_ops += result.delta_ops
+
+
+def register_splits(
+    outcome: ParallelOutcome,
+    result: UnitResult,
+    requeue: Optional[Callable[[List[WorkUnit]], None]] = None,
+) -> None:
+    """Account for *result*'s split sub-units and hand them to *requeue*.
+
+    Split units jump the queue (highest priority): the canonical *requeue*
+    pushes them to the queue's front, preserving their in-unit order.
+    """
+    if not result.splits:
+        return
+    outcome.splits += len(result.splits)
+    outcome.units_total += len(result.splits)
+    if requeue is not None:
+        requeue(result.splits)
+
+
+def requeue_front(pending: Deque[WorkUnit]) -> Callable[[List[WorkUnit]], None]:
+    """A requeue callback pushing splits to the front of *pending* in order."""
+
+    def push(splits: List[WorkUnit]) -> None:
+        pending.extendleft(reversed(splits))
+
+    return push

@@ -1,292 +1,91 @@
-"""Parallel runtimes: a simulated discrete-event cluster and real threads.
+"""Parallel runtimes — compatibility façade over the backend subsystem.
 
-**SimulatedCluster** reproduces the coordinator/worker protocol of Fig. 3
-under a virtual clock. Work units are really executed (so all verdicts are
-exact); the clock charges each unit the operations it actually performed,
-priced by the :class:`~repro.parallel.config.CostModel`:
+The coordinator/worker machinery that used to live in this module is now
+an execution-backend subsystem:
 
-* pipelined units cost ``max(t_match, t_check)`` plus a small sync residue,
-  non-pipelined units cost ``t_match + t_check`` (the ``np`` variants);
-* every unit pays dispatch overhead, every split sub-unit pays a message
-  cost, and every ``ΔEq`` op pays a broadcast cost.
+* :mod:`repro.parallel.coordinator` — the runtime-agnostic core:
+  :class:`ParallelOutcome`, virtual cost pricing, result/split
+  bookkeeping;
+* :mod:`repro.parallel.backends` — the :class:`~repro.parallel.backends.
+  base.Backend` protocol (dispatch, split-requeue, ΔEq broadcast, early
+  termination) and its three implementations:
 
-Units are assigned dynamically: whenever a worker frees up it receives the
-head of the priority queue; split sub-units go to the *front* of the queue
-(paper, lines 9–10 of ParSat). Early termination ends the run at the
-completion time of the conflicting unit.
+  - ``simulated`` — :class:`SimulatedBackend`: discrete events under a
+    virtual clock priced by the :class:`~repro.parallel.config.CostModel`
+    (pipelined units cost ``max(t_match, t_check)`` plus a sync residue,
+    ``np`` variants pay ``t_match + t_check``; dispatch, split-message and
+    ``ΔEq``-broadcast overheads are charged per the model). Deterministic;
+    the documented substitution for the paper's 20-machine Java cluster;
+  - ``threaded`` — :class:`ThreadedBackend`: real ``threading`` workers
+    over one lock-protected engine (functional parity under true
+    concurrency; GIL-bound);
+  - ``process`` — :class:`~repro.parallel.backends.process.
+    ProcessBackend`: ``multiprocessing`` workers forked against the
+    prebuilt :class:`~repro.graph.index.GraphIndex`, exchanging pickled
+    work units and ``ΔEq`` deltas — ParSat/ParImp on real cores.
 
-The simulation executes units in dispatch order against a shared ``Eq``
-(instantaneous broadcast). Because ``Eq`` grows monotonically and the
-algorithms are Church-Rosser, the *verdict* is identical to any real
-interleaving; only second-order timing effects are approximated. This is
-the documented substitution for the paper's 20-machine Java cluster.
+All backends share the protocol of Fig. 3: units are assigned dynamically
+in small batches, split sub-units go to the *front* of the queue (paper,
+lines 9–10 of ParSat), and the run stops at the first conflict or when
+the implication goal is reached. Because ``Eq`` grows monotonically and
+the algorithms are Church-Rosser, every backend returns the same verdict.
 
-**ThreadedCluster** runs the same protocol on real ``threading`` workers
-with a lock-protected engine — demonstrating functional correctness under
-true concurrency (Python's GIL limits its speedups, hence the simulator for
-the scalability figures).
+This module keeps the PR-1-era names importable: ``SimulatedCluster`` and
+``ThreadedCluster`` are thin wrappers over the corresponding backends,
+and :func:`make_cluster` delegates to the backend registry (accepting the
+new ``'process'`` key as well).
 """
 
 from __future__ import annotations
 
-import heapq
-import threading
-import time
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Deque, List, Optional, Sequence
-
-from ..eq.eqrelation import Conflict, EqRelation
-from ..reasoning.enforce import EnforcementEngine
-from ..reasoning.workunits import WorkUnit
+from .backends import (
+    Backend,
+    ProcessBackend,
+    SimulatedBackend,
+    ThreadedBackend,
+    available_backends,
+    get_backend,
+)
 from .config import RuntimeConfig
-from .units import UnitContext, UnitResult, execute_unit
+from .coordinator import ParallelOutcome, unit_duration
+
+# Backward-compatible alias for the cost function's historical name.
+_unit_duration = unit_duration
 
 
-@dataclass
-class ParallelOutcome:
-    """Everything a parallel run reports."""
-
-    conflict: Optional[Conflict] = None
-    goal_reached: bool = False
-    virtual_seconds: float = 0.0
-    wall_seconds: float = 0.0
-    units_total: int = 0
-    units_executed: int = 0
-    splits: int = 0
-    matches: int = 0
-    match_ticks: int = 0
-    enforce_ops: int = 0
-    broadcast_ops: int = 0
-    worker_busy: List[float] = field(default_factory=list)
-    eq: Optional[EqRelation] = None
-
-    @property
-    def terminated_early(self) -> bool:
-        return self.conflict is not None or self.goal_reached
-
-    @property
-    def load_imbalance(self) -> float:
-        """max/mean worker busy time (1.0 = perfectly balanced)."""
-        busy = [b for b in self.worker_busy if b > 0]
-        if not busy:
-            return 1.0
-        mean = sum(busy) / len(self.worker_busy)
-        return max(self.worker_busy) / mean if mean else 1.0
+class SimulatedCluster(SimulatedBackend):
+    """Thin compatibility wrapper — use :class:`SimulatedBackend`."""
 
 
-def _unit_duration(result: UnitResult, config: RuntimeConfig) -> float:
-    """Virtual cost units charged for one executed unit (batch overhead is
-    charged separately, once per coordinator round-trip)."""
-    costs = config.costs
-    t_match = result.match_ticks * costs.match_tick
-    t_check = result.enforce_ops * costs.enforce_op
-    if config.pipelined:
-        core = max(t_match, t_check) + costs.pipeline_sync
-    else:
-        core = t_match + t_check
-    return (
-        core
-        + costs.unit_overhead
-        + len(result.splits) * costs.split_message
-        + result.delta_ops * costs.broadcast_per_op
-    )
+class ThreadedCluster(ThreadedBackend):
+    """Thin compatibility wrapper — use :class:`ThreadedBackend`."""
 
 
-class SimulatedCluster:
-    """Coordinator + ``p`` simulated workers under a virtual clock."""
+def make_cluster(config: RuntimeConfig, runtime: str) -> Backend:
+    """Factory: ``'simulated'``, ``'threaded'``, or ``'process'``.
 
-    def __init__(self, config: RuntimeConfig) -> None:
-        self.config = config
-
-    def run(
-        self,
-        units: Sequence[WorkUnit],
-        context: UnitContext,
-        engine: EnforcementEngine,
-        goal_check: Optional[Callable[[EqRelation], bool]] = None,
-        trace=None,
-    ) -> ParallelOutcome:
-        config = self.config
-        started = time.perf_counter()
-        outcome = ParallelOutcome(units_total=len(units), eq=engine.eq)
-        outcome.worker_busy = [0.0] * config.workers
-        pending: Deque[WorkUnit] = deque(units)
-        # (next-free virtual time, worker id); heap gives dynamic assignment
-        # to the earliest available worker.
-        free = [(0.0, worker_id) for worker_id in range(config.workers)]
-        heapq.heapify(free)
-        makespan = 0.0
-        ttl_ticks = config.ttl_ticks
-        terminated = False
-        while pending and not terminated:
-            now, worker_id = heapq.heappop(free)
-            # One coordinator round-trip hands the worker a small batch
-            # (paper, Section V-B); the batch pays one dispatch overhead.
-            batch = [pending.popleft() for _ in range(min(config.batch_size, len(pending)))]
-            elapsed = config.costs.batch_overhead * config.costs.tick_seconds
-            for unit in batch:
-                unit_start = now + elapsed
-                result = execute_unit(
-                    unit,
-                    context,
-                    engine,
-                    ttl_ticks=ttl_ticks,
-                    max_split_units=config.max_split_units,
-                    goal_check=goal_check,
-                )
-                elapsed += _unit_duration(result, config) * config.costs.tick_seconds
-                if trace is not None:
-                    from .tracing import TraceEvent
-
-                    trace.record(
-                        TraceEvent(
-                            worker=worker_id,
-                            unit=unit,
-                            start=unit_start,
-                            finish=now + elapsed,
-                            matches=result.matches,
-                            match_ticks=result.match_ticks,
-                            splits=len(result.splits),
-                            conflict=result.conflict,
-                            goal_reached=result.goal_reached,
-                        )
-                    )
-                outcome.units_executed += 1
-                outcome.matches += result.matches
-                outcome.match_ticks += result.match_ticks
-                outcome.enforce_ops += result.enforce_ops
-                outcome.broadcast_ops += result.delta_ops
-                if result.conflict:
-                    outcome.conflict = engine.eq.conflict
-                    terminated = True
-                elif result.goal_reached:
-                    outcome.goal_reached = True
-                    terminated = True
-                elif result.splits:
-                    outcome.splits += len(result.splits)
-                    outcome.units_total += len(result.splits)
-                    # Splits jump the queue (highest priority).
-                    pending.extendleft(reversed(result.splits))
-                if terminated:
-                    break
-            finish = now + elapsed
-            outcome.worker_busy[worker_id] += elapsed
-            if terminated:
-                makespan = finish
-                break
-            makespan = max(makespan, finish)
-            heapq.heappush(free, (finish, worker_id))
-        outcome.virtual_seconds = makespan
-        outcome.wall_seconds = time.perf_counter() - started
-        return outcome
-
-
-class _LockedEngine(EnforcementEngine):
-    """An :class:`EnforcementEngine` whose mutations are serialized.
-
-    Matching runs lock-free (the canonical graph is immutable during a
-    run); only ``Eq``/index mutations and reads that may path-compress the
-    union-find take the lock.
+    Kept for compatibility; new code should call
+    :func:`repro.parallel.backends.get_backend`. The legacy runtime names
+    return the legacy wrapper classes so existing isinstance/name checks
+    keep working.
     """
-
-    def __init__(self, inner: EnforcementEngine, lock: threading.RLock) -> None:
-        super().__init__(inner.eq, inner.gfds, inner.index)
-        self._lock = lock
-        self.stats = inner.stats
-
-    def enforce(self, gfd, assignment) -> bool:  # type: ignore[override]
-        with self._lock:
-            return super().enforce(gfd, assignment)
-
-
-class ThreadedCluster:
-    """The same protocol on real threads (functional-parity runtime)."""
-
-    def __init__(self, config: RuntimeConfig) -> None:
-        self.config = config
-
-    def run(
-        self,
-        units: Sequence[WorkUnit],
-        context: UnitContext,
-        engine: EnforcementEngine,
-        goal_check: Optional[Callable[[EqRelation], bool]] = None,
-    ) -> ParallelOutcome:
-        config = self.config
-        started = time.perf_counter()
-        outcome = ParallelOutcome(units_total=len(units), eq=engine.eq)
-        outcome.worker_busy = [0.0] * config.workers
-        lock = threading.RLock()
-        locked_engine = _LockedEngine(engine, lock)
-        pending: Deque[WorkUnit] = deque(units)
-        queue_lock = threading.Lock()
-        stop = threading.Event()
-        results: List[UnitResult] = []
-        results_lock = threading.Lock()
-        ttl_ticks = config.ttl_ticks
-
-        locked_goal = None
-        if goal_check is not None:
-            def locked_goal(eq: EqRelation) -> bool:
-                with lock:
-                    return goal_check(eq)
-
-        def worker(worker_id: int) -> None:
-            while not stop.is_set():
-                with queue_lock:
-                    if not pending:
-                        return
-                    unit = pending.popleft()
-                unit_started = time.perf_counter()
-                result = execute_unit(
-                    unit,
-                    context,
-                    locked_engine,
-                    ttl_ticks=ttl_ticks,
-                    max_split_units=config.max_split_units,
-                    goal_check=locked_goal,
-                )
-                outcome.worker_busy[worker_id] += time.perf_counter() - unit_started
-                with results_lock:
-                    results.append(result)
-                if result.conflict or result.goal_reached:
-                    stop.set()
-                    return
-                if result.splits:
-                    with queue_lock:
-                        pending.extendleft(reversed(result.splits))
-
-        threads = [
-            threading.Thread(target=worker, args=(worker_id,), daemon=True)
-            for worker_id in range(config.workers)
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-
-        for result in results:
-            outcome.units_executed += 1
-            outcome.matches += result.matches
-            outcome.match_ticks += result.match_ticks
-            outcome.enforce_ops += result.enforce_ops
-            outcome.broadcast_ops += result.delta_ops
-            outcome.splits += len(result.splits)
-            if result.goal_reached:
-                outcome.goal_reached = True
-        outcome.units_total += outcome.splits
-        if engine.eq.has_conflict():
-            outcome.conflict = engine.eq.conflict
-        outcome.wall_seconds = time.perf_counter() - started
-        outcome.virtual_seconds = outcome.wall_seconds
-        return outcome
-
-
-def make_cluster(config: RuntimeConfig, runtime: str):
-    """Factory: ``'simulated'`` or ``'threaded'``."""
     if runtime == "simulated":
         return SimulatedCluster(config)
     if runtime == "threaded":
         return ThreadedCluster(config)
-    raise ValueError(f"unknown runtime {runtime!r} (use 'simulated' or 'threaded')")
+    return get_backend(runtime, config)
+
+
+__all__ = [
+    "Backend",
+    "ParallelOutcome",
+    "ProcessBackend",
+    "SimulatedBackend",
+    "SimulatedCluster",
+    "ThreadedBackend",
+    "ThreadedCluster",
+    "available_backends",
+    "get_backend",
+    "make_cluster",
+    "unit_duration",
+]

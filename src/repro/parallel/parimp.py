@@ -21,8 +21,10 @@ from ..gfd.gfd import GFD
 from ..reasoning.enforce import EnforcementEngine, consequent_entailed
 from ..reasoning.seqimp import _subsumed_by_eqx
 from ..reasoning.workunits import generate_pruned_work_units, order_units
+from .backends import get_backend, resolve_backend_name
 from .config import RuntimeConfig
-from .engine import ParallelOutcome, make_cluster
+from .coordinator import ParallelOutcome
+from .goals import EntailmentGoal
 from .units import UnitContext
 
 
@@ -55,10 +57,16 @@ def par_imp(
     sigma: Sequence[GFD],
     phi: GFD,
     config: Optional[RuntimeConfig] = None,
-    runtime: str = "simulated",
+    backend: Optional[str] = None,
+    runtime: Optional[str] = None,
 ) -> ParImpResult:
-    """Decide ``Σ |= φ`` with ``p = config.workers`` workers."""
+    """Decide ``Σ |= φ`` with ``p = config.workers`` workers.
+
+    *backend* (or its legacy alias *runtime*) selects ``'simulated'``
+    (default), ``'threaded'``, or ``'process'``.
+    """
     config = config or RuntimeConfig()
+    backend_name = resolve_backend_name(backend, runtime)
     canonical = build_implication_canonical(phi)
     eq = canonical.fresh_eq()
     identity = canonical.identity_match()
@@ -86,15 +94,20 @@ def par_imp(
     context = UnitContext(
         canonical.graph, gfds_by_name, use_simulation_pruning=config.use_simulation_pruning
     )
-    # One compiled match plan per GFD, shared across all of its work units.
+    # One compiled match plan per GFD, shared across all of its work
+    # units; hop maps for hot pivots warmed coordinator-side.
     context.precompile_plans(sigma)
+    context.precompute_neighborhoods(units)
     engine = EnforcementEngine(eq, gfds_by_name)
 
-    def goal_check(current: EqRelation) -> bool:
-        return consequent_entailed(current, phi, identity)
+    # The goal ``Y ⊆ Eq_H`` as a picklable value object, so the process
+    # backend can ship it to worker replicas (plain closures cannot cross
+    # the process boundary).
+    goal_check = EntailmentGoal.make(phi, identity)
 
-    cluster = make_cluster(config, runtime)
-    outcome = cluster.run(units, context, engine, goal_check=goal_check)
+    outcome = get_backend(backend_name, config).run(
+        units, context, engine, goal_check=goal_check
+    )
     if outcome.conflict is not None:
         return ParImpResult(True, "conflict", outcome.conflict, outcome, eq)
     if outcome.goal_reached:
@@ -106,19 +119,21 @@ def par_imp_np(
     sigma: Sequence[GFD],
     phi: GFD,
     config: Optional[RuntimeConfig] = None,
-    runtime: str = "simulated",
+    backend: Optional[str] = None,
+    runtime: Optional[str] = None,
 ) -> ParImpResult:
     """``ParImpnp``: ParImp without pipelined parallelism (ablation)."""
     config = (config or RuntimeConfig()).without_pipelining()
-    return par_imp(sigma, phi, config, runtime)
+    return par_imp(sigma, phi, config, backend, runtime)
 
 
 def par_imp_nb(
     sigma: Sequence[GFD],
     phi: GFD,
     config: Optional[RuntimeConfig] = None,
-    runtime: str = "simulated",
+    backend: Optional[str] = None,
+    runtime: Optional[str] = None,
 ) -> ParImpResult:
     """``ParImpnb``: ParImp without work-unit splitting (ablation)."""
     config = (config or RuntimeConfig()).without_splitting()
-    return par_imp(sigma, phi, config, runtime)
+    return par_imp(sigma, phi, config, backend, runtime)

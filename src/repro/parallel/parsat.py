@@ -30,8 +30,9 @@ from ..reasoning.workunits import (
     generate_work_units,
     order_units,
 )
+from .backends import get_backend, resolve_backend_name
 from .config import RuntimeConfig
-from .engine import ParallelOutcome, make_cluster
+from .coordinator import ParallelOutcome
 from .units import UnitContext
 
 
@@ -60,14 +61,19 @@ class ParSatResult:
 def par_sat(
     sigma: Sequence[GFD],
     config: Optional[RuntimeConfig] = None,
-    runtime: str = "simulated",
+    backend: Optional[str] = None,
+    runtime: Optional[str] = None,
 ) -> ParSatResult:
     """Decide satisfiability of *sigma* with ``p = config.workers`` workers.
 
-    *runtime* selects the virtual-clock simulator (default; deterministic,
-    used for the scalability figures) or real threads (``'threaded'``).
+    *backend* selects the execution runtime: the virtual-clock simulator
+    (``'simulated'``, default; deterministic, used for the scalability
+    figures), real threads (``'threaded'``), or multiprocessing on real
+    cores (``'process'``). *runtime* is the legacy alias for the same
+    selector.
     """
     config = config or RuntimeConfig()
+    backend_name = resolve_backend_name(backend, runtime)
     canonical = build_canonical_graph(sigma)
     # Coordinator-side pruning: per-component dual simulation discards
     # zero-match pivot candidates before queueing (the paper's
@@ -81,12 +87,14 @@ def par_sat(
     context = UnitContext(
         canonical.graph, canonical.gfds, use_simulation_pruning=config.use_simulation_pruning
     )
-    # Coordinator-side plan compilation: one compiled match plan per GFD,
-    # shared by every pivoted work unit the cluster executes.
+    # Coordinator-side precomputation: one compiled match plan per GFD
+    # (shared by every pivoted work unit the backend executes) and warm
+    # dQ-neighborhood hop maps for hot pivots — process workers inherit
+    # both instead of recomputing them per replica.
     context.precompile_plans(sigma)
+    context.precompute_neighborhoods(units)
     engine = EnforcementEngine(EqRelation(), canonical.gfds)
-    cluster = make_cluster(config, runtime)
-    outcome = cluster.run(units, context, engine)
+    outcome = get_backend(backend_name, config).run(units, context, engine)
     return ParSatResult(
         satisfiable=outcome.conflict is None,
         conflict=outcome.conflict,
@@ -99,18 +107,20 @@ def par_sat(
 def par_sat_np(
     sigma: Sequence[GFD],
     config: Optional[RuntimeConfig] = None,
-    runtime: str = "simulated",
+    backend: Optional[str] = None,
+    runtime: Optional[str] = None,
 ) -> ParSatResult:
     """``ParSatnp``: ParSat without pipelined parallelism (ablation)."""
     config = (config or RuntimeConfig()).without_pipelining()
-    return par_sat(sigma, config, runtime)
+    return par_sat(sigma, config, backend, runtime)
 
 
 def par_sat_nb(
     sigma: Sequence[GFD],
     config: Optional[RuntimeConfig] = None,
-    runtime: str = "simulated",
+    backend: Optional[str] = None,
+    runtime: Optional[str] = None,
 ) -> ParSatResult:
     """``ParSatnb``: ParSat without work-unit splitting (ablation)."""
     config = (config or RuntimeConfig()).without_splitting()
-    return par_sat(sigma, config, runtime)
+    return par_sat(sigma, config, backend, runtime)

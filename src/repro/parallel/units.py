@@ -16,13 +16,13 @@ branch (and any budget-sized chunks after further splits).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Set
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set
 
 from ..eq.eqrelation import EqRelation
 from ..gfd.gfd import GFD
 from ..graph.elements import NodeId
 from ..graph.graph import PropertyGraph
-from ..graph.neighborhood import neighborhood
+from ..graph.neighborhood import bfs_hops
 from ..matching.homomorphism import MatcherRun
 from ..matching.plan import MatchPlan, get_plan
 from ..matching.simulation import dual_simulation
@@ -33,12 +33,20 @@ from ..reasoning.workunits import WorkUnit
 class UnitContext:
     """Shared read-only state for unit execution.
 
-    Caches ``dQ``-neighborhoods (keyed by pivot and radius), per-GFD
-    dual-simulation candidate sets, and per-GFD compiled match plans — all
-    depend only on the canonical graph's topology, which never changes
-    during a run. The plan cache is the unit-level face of the
-    :class:`~repro.matching.plan.MatchPlan` reuse: every work unit of one
-    GFD (there are typically thousands) shares a single compiled plan.
+    Caches ``dQ``-neighborhoods, per-GFD dual-simulation candidate sets,
+    and per-GFD compiled match plans — all depend only on the canonical
+    graph's topology, which never changes during a run. The plan cache is
+    the unit-level face of the :class:`~repro.matching.plan.MatchPlan`
+    reuse: every work unit of one GFD (there are typically thousands)
+    shares a single compiled plan.
+
+    Neighborhoods are backed by one BFS *hop map* per pivot, kept at the
+    largest radius requested so far: all GFDs pivoting at the same node
+    share the BFS regardless of their individual ``dQ`` radii (equal radii
+    share the derived node set too, via a ``(pivot, radius)`` view cache).
+    :meth:`precompute_neighborhoods` warms the maps coordinator-side for
+    hot pivots, so workers — in particular forked process workers, which
+    inherit the warm cache — never repeat the traversal.
     """
 
     #: Above this many target nodes, global dual simulation is skipped —
@@ -57,6 +65,10 @@ class UnitContext:
         self.use_simulation_pruning = (
             use_simulation_pruning and graph.num_nodes <= self.SIMULATION_NODE_LIMIT
         )
+        # pivot -> (radius the map was computed to, node -> hop distance).
+        self._hop_maps: Dict[NodeId, tuple] = {}
+        # (pivot, radius) -> materialized allowed-node set (shared object,
+        # so repeated units of equal radius reuse one set instance).
         self._neighborhoods: Dict[tuple, Set[NodeId]] = {}
         self._candidates: Dict[str, Optional[Dict[str, Set[NodeId]]]] = {}
         self._plans: Dict[str, MatchPlan] = {}
@@ -75,13 +87,65 @@ class UnitContext:
         for gfd in self.gfds.values() if gfds is None else gfds:
             self.plan_for(gfd)
 
+    def _hop_map(self, pivot: NodeId, radius: int) -> Dict[NodeId, int]:
+        cached = self._hop_maps.get(pivot)
+        if cached is None or cached[0] < radius:
+            cached = (radius, bfs_hops(self.graph, pivot, max_hops=radius))
+            self._hop_maps[pivot] = cached
+        return cached[1]
+
     def allowed_nodes(self, pivot: NodeId, radius: Optional[int]) -> Optional[Set[NodeId]]:
         if radius is None:
             return None
         key = (pivot, radius)
-        if key not in self._neighborhoods:
-            self._neighborhoods[key] = neighborhood(self.graph, pivot, radius)
-        return self._neighborhoods[key]
+        allowed = self._neighborhoods.get(key)
+        if allowed is None:
+            hops = self._hop_map(pivot, radius)
+            allowed = {node for node, distance in hops.items() if distance <= radius}
+            self._neighborhoods[key] = allowed
+        return allowed
+
+    def precompute_neighborhoods(
+        self, units: Sequence[WorkUnit], min_units: int = 2
+    ) -> int:
+        """Warm the hop-map cache for hot pivots, coordinator-side.
+
+        A pivot is *hot* when at least *min_units* queued units share it
+        (one BFS then serves them all — and every GFD pivoting there). Each
+        hot pivot's map is computed once at the largest radius any of its
+        units needs. Returns the number of pivots precomputed.
+        """
+        demand: Dict[NodeId, int] = {}
+        count: Dict[NodeId, int] = {}
+        for unit in units:
+            pivot = unit.pivot_node()
+            if pivot is None or unit.radius is None:
+                continue
+            count[pivot] = count.get(pivot, 0) + 1
+            demand[pivot] = max(demand.get(pivot, 0), unit.radius)
+        warmed = 0
+        for pivot, radius in demand.items():
+            if count[pivot] >= min_units:
+                self._hop_map(pivot, radius)
+                warmed += 1
+        return warmed
+
+    # ------------------------------------------------------------------
+    # Pickling (process-backend worker shipping)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        """Ship graph, GFDs, and the traversal caches — but not the plans.
+
+        Compiled plans hold the graph's :class:`GraphIndex` (weak-ref plan
+        cache, unpicklable); the index travels separately as a snapshot and
+        plans recompile worker-side in O(|Q|) per pattern.
+        """
+        state = dict(self.__dict__)
+        state["_plans"] = {}
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
 
     def candidate_sets(self, gfd: GFD) -> Optional[Dict[str, Set[NodeId]]]:
         """Dual-simulation candidates, or None when pruning is off.
@@ -116,6 +180,11 @@ class UnitResult:
     @property
     def terminated_early(self) -> bool:
         return self.conflict or self.goal_reached
+
+    @property
+    def unit_uid(self) -> str:
+        """The executed unit's stable id (cross-process reconciliation)."""
+        return self.unit.uid
 
 
 def execute_unit(

@@ -17,6 +17,7 @@ SeqSat/SeqImp too, Section VII).
 
 from __future__ import annotations
 
+import hashlib
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
@@ -70,25 +71,59 @@ class WorkUnit:
             return None
         return self.assignment[0][1]
 
+    @property
+    def uid(self) -> str:
+        """A stable content-derived identifier.
+
+        Deterministic across processes and interpreter runs (no reliance on
+        ``hash()`` randomization), so the process backend can track units
+        through pickling, cross-process requeue, and result reconciliation.
+        Units with equal fields — which the frozen dataclass treats as the
+        same unit — share a uid.
+        """
+        payload = repr((self.gfd_name, self.assignment, self.radius, self.generation))
+        return hashlib.blake2s(payload.encode("utf-8"), digest_size=10).hexdigest()
+
     def __str__(self) -> str:
         bound = ", ".join(f"{var}→{node}" for var, node in self.assignment)
         return f"({self.gfd_name}[{bound}], r={self.radius}, g{self.generation})"
 
 
-def choose_pivot(gfd: GFD, graph: PropertyGraph) -> str:
+def choose_pivot(gfd: GFD, graph: PropertyGraph, use_plan: bool = True) -> str:
     """Pick a pivot variable for *gfd*'s (first) pattern component.
 
-    Preference order: selective label (few candidate nodes in *graph*),
-    then small eccentricity (small ``dQ``), then name for determinism.
+    With *use_plan* (default) the choice minimizes the *expected fan-out*
+    of the whole unit family: (number of pivot candidates) × (estimated
+    search-tree size per candidate, from the compiled
+    :class:`~repro.matching.plan.MatchPlan`'s per-variable cardinality
+    estimates). Label counts alone — the fallback, and the tie-break —
+    ignore how expensive the residual search is once the pivot is bound;
+    the plan estimate accounts for anchor-expansion branch factors, so a
+    slightly less selective but more central pivot can win.
+
+    Ties (and the ``use_plan=False`` ablation) fall back to the label-count
+    preference order: selective label, small eccentricity, then name.
     """
     pattern = gfd.pattern
     component = pattern.components[0]
 
-    def key(var: str) -> Tuple[int, int, str]:
+    def label_count(var: str) -> int:
         label = pattern.label_of(var)
-        count = graph.num_nodes if is_wildcard(label) else len(graph.nodes_with_label(label))
-        return (count, pattern.eccentricity(var), var)
+        return graph.num_nodes if is_wildcard(label) else len(graph.nodes_with_label(label))
 
+    def key(var: str) -> Tuple[int, int, str]:
+        return (label_count(var), pattern.eccentricity(var), var)
+
+    if use_plan and graph.num_nodes:
+        from ..matching.plan import get_plan
+
+        plan = get_plan(pattern, graph)
+
+        def plan_key(var: str) -> Tuple[float, int, int, str]:
+            expected = label_count(var) * (1.0 + plan.estimated_fanout(var))
+            return (expected,) + key(var)
+
+        return min(component, key=plan_key)
     return min(component, key=key)
 
 

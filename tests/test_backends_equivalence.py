@@ -1,0 +1,92 @@
+"""Cross-backend equivalence: identical verdicts on all execution backends.
+
+The backends differ in where workers live (virtual clock, threads,
+processes) but run the same Church-Rosser algorithms over a monotone
+``Eq`` — so for any (graph, Σ) instance all of them must report the same
+satisfiability verdict, and for any (Σ, φ) instance the same implication
+verdict. The sequential algorithms provide the ground truth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gfd.generator import add_random_conflicts, random_gfds, straggler_workload
+from repro.parallel import RuntimeConfig, available_backends, par_imp, par_sat
+from repro.reasoning.seqimp import seq_imp
+from repro.reasoning.seqsat import seq_sat
+
+ALL_BACKENDS = available_backends()
+
+
+def test_registry_exposes_three_backends():
+    assert ALL_BACKENDS == ("simulated", "threaded", "process")
+
+
+class TestSatEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_consistent_fuzz_instances(self, seed):
+        sigma = random_gfds(10 + seed, 4, 3, seed=seed)
+        expected = seq_sat(sigma).satisfiable
+        config = RuntimeConfig(workers=3)
+        for backend in ALL_BACKENDS:
+            result = par_sat(sigma, config, backend=backend)
+            assert result.satisfiable == expected, (backend, seed)
+            assert result.outcome.backend == backend
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_conflicting_fuzz_instances(self, seed):
+        sigma = add_random_conflicts(
+            random_gfds(8, 4, 3, seed=100 + seed), num_conflicts=3, seed=seed
+        )
+        expected = seq_sat(sigma).satisfiable
+        config = RuntimeConfig(workers=3)
+        for backend in ALL_BACKENDS:
+            result = par_sat(sigma, config, backend=backend)
+            assert result.satisfiable == expected, (backend, seed)
+            if not result.satisfiable:
+                assert result.conflict is not None
+
+    def test_straggler_workload_with_splitting(self):
+        sigma = straggler_workload(
+            num_anchor=1, num_seekers=2, num_background=6, anchor_size=8,
+            seeker_length=4, seed=5,
+        )
+        expected = seq_sat(sigma).satisfiable
+        # A tight TTL forces splits, exercising cross-process requeue.
+        config = RuntimeConfig(workers=3, ttl_seconds=0.05)
+        for backend in ALL_BACKENDS:
+            result = par_sat(sigma, config, backend=backend)
+            assert result.satisfiable == expected, backend
+
+    def test_paper_examples(self, example4_sigma, example2_cross_pattern):
+        config = RuntimeConfig(workers=2)
+        for sigma in (example4_sigma, example2_cross_pattern):
+            expected = seq_sat(sigma).satisfiable
+            verdicts = {
+                backend: par_sat(sigma, config, backend=backend).satisfiable
+                for backend in ALL_BACKENDS
+            }
+            assert set(verdicts.values()) == {expected}, verdicts
+
+
+class TestImpEquivalence:
+    def test_paper_example8(self, example8_sigma, example8_phi13):
+        config = RuntimeConfig(workers=3)
+        expected = seq_imp(example8_sigma, example8_phi13).implied
+        for backend in ALL_BACKENDS:
+            result = par_imp(example8_sigma, example8_phi13, config, backend=backend)
+            assert result.implied == expected, backend
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_cover_style_fuzz_instances(self, seed):
+        # Σ |= φ checks the way minimal-cover computations issue them:
+        # φ drawn from the generated set, Σ the rest.
+        sigma = random_gfds(8, 4, 3, seed=200 + seed)
+        phi = sigma[seed % len(sigma)]
+        rest = [gfd for gfd in sigma if gfd.name != phi.name]
+        expected = seq_imp(rest, phi).implied
+        config = RuntimeConfig(workers=3)
+        for backend in ALL_BACKENDS:
+            result = par_imp(rest, phi, config, backend=backend)
+            assert result.implied == expected, (backend, seed)

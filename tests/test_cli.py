@@ -67,6 +67,20 @@ class TestSat:
         out = capsys.readouterr().out
         assert "units=" in out
 
+    def test_parallel_backend_selector(self, unsat_file, sat_file, capsys):
+        for backend in ("threaded", "process"):
+            assert (
+                main(["sat", unsat_file, "--parallel", "2", "--backend", backend])
+                == EXIT_NEGATIVE
+            )
+            assert "UNSATISFIABLE" in capsys.readouterr().out
+        assert main(["sat", sat_file, "--parallel", "2", "--backend", "process"]) == 0
+        assert "SATISFIABLE" in capsys.readouterr().out
+
+    def test_unknown_backend_rejected(self, sat_file):
+        with pytest.raises(SystemExit):
+            main(["sat", sat_file, "--parallel", "2", "--backend", "quantum"])
+
     def test_explain_flag(self, unsat_file, capsys):
         assert main(["sat", unsat_file, "--explain"]) == EXIT_NEGATIVE
         out = capsys.readouterr().out
@@ -106,6 +120,17 @@ class TestImp:
         path = tmp_path / "rules.gfd"
         path.write_text(REDUNDANT_RULES)
         assert main(["imp", str(path), "--phi", "extra", "--parallel", "2"]) == 0
+
+    def test_parallel_process_backend(self, tmp_path):
+        path = tmp_path / "rules.gfd"
+        path.write_text(REDUNDANT_RULES)
+        assert (
+            main(
+                ["imp", str(path), "--phi", "extra", "--parallel", "2",
+                 "--backend", "process"]
+            )
+            == 0
+        )
 
 
 class TestDetect:

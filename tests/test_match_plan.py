@@ -129,6 +129,73 @@ class TestCandidateStrategy:
         assert run.ticks == 1 + 10
 
 
+class TestEstimatedFanout:
+    def test_selective_anchor_beats_global_bucket(self, social_graph):
+        # Pivoting at the city end of lives_in means the person variable
+        # expands through in-edges of one node; pivoting at a person means
+        # expanding its single lives_in edge. Both anchored estimates must
+        # be far below the unanchored bucket sizes (6 persons, 2 cities).
+        pattern = make_pattern({"x": "person", "y": "city"}, [("x", "y", "lives_in")])
+        plan = get_plan(pattern, social_graph)
+        for pivot in ("x", "y"):
+            assert plan.estimated_fanout(pivot) < 6.0
+
+    def test_estimate_ranking_matches_measured_ticks(self):
+        """The pivot the estimator ranks best really costs fewer ticks.
+
+        Total expected work per pivot = candidates × (1 + estimated
+        fan-out), the score :func:`choose_pivot` minimizes. On a hub graph
+        with a fat leaf bucket the ranking is unambiguous: pivoting on the
+        40 leaves wastes a run per leaf, pivoting on the single rare node
+        anchors everything.
+        """
+        g = PropertyGraph()
+        hubs = [g.add_node("hub") for _ in range(2)]
+        for hub in hubs:
+            for _ in range(20):
+                g.add_edge(hub, g.add_node("leaf"), "e")
+        rare = g.add_node("rare")
+        g.add_edge(hubs[0], rare, "r")
+        pattern = make_pattern(
+            {"h": "hub", "l": "leaf", "r": "rare"},
+            [("h", "l", "e"), ("h", "r", "r")],
+        )
+        plan = get_plan(pattern, g)
+
+        def score(var):
+            return len(g.nodes_with_label(pattern.label_of(var))) * (
+                1.0 + plan.estimated_fanout(var)
+            )
+
+        def measured_ticks(var):
+            total = 0
+            matches = 0
+            for node in g.nodes_with_label(pattern.label_of(var)):
+                run = MatcherRun(pattern, g, preassigned={var: node}, plan=plan)
+                matches += sum(1 for _ in run.matches())
+                total += run.ticks
+            assert matches == 20  # every pivot enumerates the same matches
+            return total
+
+        ranked = sorted(pattern.variables, key=score)
+        best, worst = ranked[0], ranked[-1]
+        assert best == "r" and worst == "l"
+        assert measured_ticks(best) < measured_ticks(worst)
+
+    def test_absent_label_estimates_zero(self, social_graph):
+        pattern = make_pattern({"x": "person", "y": "ghost"}, [("x", "y", "knows")])
+        plan = get_plan(pattern, social_graph)
+        # The ghost step contributes a zero branch; the estimate collapses.
+        assert plan.estimated_fanout("x") == 0.0
+
+    def test_deterministic(self, social_graph):
+        pattern = make_pattern(
+            {"x": "person", "y": "person"}, [("x", "y", "knows")]
+        )
+        plan = get_plan(pattern, social_graph)
+        assert plan.estimated_fanout("x") == plan.estimated_fanout("x")
+
+
 class TestDeterministicStreams:
     """Regression for the seed's nondeterministic candidate orders.
 

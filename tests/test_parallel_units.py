@@ -29,6 +29,50 @@ class TestUnitContext:
         context = UnitContext(canonical.graph, canonical.gfds)
         assert context.allowed_nodes(canonical.node_for("phi7", "x"), None) is None
 
+    def test_hop_map_shared_across_radii(self, example4_sigma):
+        """One BFS per pivot serves every radius up to the largest seen."""
+        from repro.graph.neighborhood import neighborhood
+
+        canonical = build_canonical_graph(example4_sigma)
+        context = UnitContext(canonical.graph, canonical.gfds)
+        pivot = canonical.node_for("phi7", "x")
+        wide = context.allowed_nodes(pivot, 2)
+        narrow = context.allowed_nodes(pivot, 1)
+        # One hop map at the larger radius backs both views...
+        assert set(context._hop_maps) == {pivot}
+        assert context._hop_maps[pivot][0] == 2
+        # ...and both views match a from-scratch BFS at their radius.
+        assert wide == neighborhood(canonical.graph, pivot, 2)
+        assert narrow == neighborhood(canonical.graph, pivot, 1)
+        assert narrow <= wide
+
+    def test_hop_map_extends_when_radius_grows(self, example4_sigma):
+        from repro.graph.neighborhood import neighborhood
+
+        canonical = build_canonical_graph(example4_sigma)
+        context = UnitContext(canonical.graph, canonical.gfds)
+        pivot = canonical.node_for("phi7", "x")
+        context.allowed_nodes(pivot, 1)
+        grown = context.allowed_nodes(pivot, 2)
+        assert context._hop_maps[pivot][0] == 2
+        assert grown == neighborhood(canonical.graph, pivot, 2)
+
+    def test_precompute_neighborhoods_warms_hot_pivots(self, example4_sigma):
+        canonical = build_canonical_graph(example4_sigma)
+        context = UnitContext(canonical.graph, canonical.gfds)
+        sigma = list(example4_sigma)
+        units = generate_work_units(sigma, canonical.graph)
+        # Every (GFD, pivot-node) pair shares one pivot per GFD; with three
+        # structurally identical GFDs, each candidate hosts several units.
+        warmed = context.precompute_neighborhoods(units, min_units=2)
+        assert warmed > 0
+        hot = [u.pivot_node() for u in units]
+        assert any(pivot in context._hop_maps for pivot in hot)
+        # A cold call on a warmed pivot only filters the existing map.
+        unit = units[0]
+        allowed = context.allowed_nodes(unit.pivot_node(), unit.radius)
+        assert unit.pivot_node() in allowed
+
     def test_simulation_disabled_above_node_limit(self, example4_sigma):
         canonical = build_canonical_graph(example4_sigma)
         context = UnitContext(canonical.graph, canonical.gfds)

@@ -31,10 +31,15 @@ class TestPivotSelection:
     def test_selective_label_preferred(self, example4_sigma):
         canonical = build_canonical_graph(example4_sigma)
         phi7 = canonical.gfds["phi7"]
-        pivot = choose_pivot(phi7, canonical.graph)
-        # label 'a' (3 nodes) and 'c' (4 nodes): 'a' is more selective and
-        # x is the pattern's center.
-        assert pivot == "x"
+        # Label-count mode: label 'a' (3 nodes) beats 'c' (4 nodes) and x
+        # is the pattern's center.
+        assert choose_pivot(phi7, canonical.graph, use_plan=False) == "x"
+        # Plan-aware mode prefers the leaf w: binding it first makes every
+        # other variable reachable by anchor expansion through the single
+        # x -[p]-> w edge, so the estimated search tree per candidate
+        # (~0.95 expansions) beats pivoting at the hub x (~3.8), even
+        # after multiplying by the slightly larger candidate count.
+        assert choose_pivot(phi7, canonical.graph) == "w"
 
     def test_pivot_candidates_by_label(self, example4_sigma):
         canonical = build_canonical_graph(example4_sigma)
@@ -47,9 +52,21 @@ class TestUnitGeneration:
     def test_units_cover_all_pivot_candidates(self, example4_sigma):
         canonical = build_canonical_graph(example4_sigma)
         units = generate_work_units(example4_sigma, canonical.graph)
-        # 3 GFDs x 3 'a'-labeled candidates each.
-        assert len(units) == 9
-        assert all(unit.radius == 1 for unit in units)
+        by_gfd = {}
+        for unit in units:
+            by_gfd.setdefault(unit.gfd_name, []).append(unit)
+        # One unit per (GFD, candidate node of its chosen pivot), at the
+        # pivot's eccentricity radius — regardless of which pivot the
+        # plan-aware selection picked.
+        for gfd in example4_sigma:
+            pivot = choose_pivot(gfd, canonical.graph)
+            expected = pivot_candidates(gfd, pivot, canonical.graph)
+            gfd_units = by_gfd[gfd.name]
+            assert sorted(str(u.pivot_node()) for u in gfd_units) == sorted(
+                str(node) for node in expected
+            )
+            radius = gfd.pattern.eccentricity(pivot)
+            assert all(u.radius == radius for u in gfd_units)
 
     def test_disconnected_pattern_unrestricted(self):
         pattern = make_pattern({"x": "a", "y": "b"})
