@@ -1,0 +1,178 @@
+"""Benchmark: incremental GraphIndex maintenance vs. per-mutation rebuild.
+
+Measures the tentpole of PR 3 on two add-heavy workloads:
+
+* ``index_maintenance`` — a synthetic graph absorbs a stream of small
+  component additions (the ``IncrementalSat.add`` shape: a few nodes plus
+  a few edges per step), calling ``graph.index()`` after every step. The
+  delta path (journal + ``GraphIndex.apply_delta``) is compared against
+  the rebuild baseline (``index_delta_enabled = False``, the pre-PR-3
+  behavior: one O(|G|) recompile per step).
+* ``incremental_sat`` — end-to-end ``IncrementalSat`` over a random GFD
+  stream under both knob settings; matching dominates here, so this shows
+  how much of the per-add latency the index used to eat.
+
+Every delta run is *verified*: the maintained index's canonical form is
+compared against a from-scratch rebuild mid-stream and at the end, and the
+JSON reports the mismatch count (must be 0). Numbers land in
+``BENCH_incremental.json``; ``--smoke`` runs a reduced config for CI.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py [--output FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from typing import Dict, List
+
+from repro.gfd.generator import random_gfds
+from repro.graph.graph import PropertyGraph
+from repro.graph.index import GraphIndex
+from repro.reasoning.incremental import IncrementalSat
+
+#: Nodes per added component / edges per added component (the per-step
+#: delta size, mirroring a small GFD pattern).
+COMPONENT_NODES = 3
+COMPONENT_EDGES = 4
+
+#: Verify delta/rebuild equivalence every this many steps.
+VERIFY_EVERY = 50
+
+
+def base_graph(num_nodes: int, num_edges: int, num_labels: int, seed: int) -> PropertyGraph:
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    nodes = [graph.add_node(f"L{rng.randrange(num_labels)}") for _ in range(num_nodes)]
+    added = 0
+    while added < num_edges:
+        src, dst = rng.choice(nodes), rng.choice(nodes)
+        label = f"e{rng.randrange(3)}"
+        if not graph.has_edge(src, dst, label):
+            graph.add_edge(src, dst, label)
+            added += 1
+    return graph
+
+
+def add_component(graph: PropertyGraph, rng: random.Random, num_labels: int) -> None:
+    """One add-step: a small labeled component wired into the graph."""
+    fresh = [
+        graph.add_node(f"L{rng.randrange(num_labels)}") for _ in range(COMPONENT_NODES)
+    ]
+    anchors = list(range(graph.num_nodes - COMPONENT_NODES))
+    for i in range(COMPONENT_EDGES):
+        src = fresh[i % len(fresh)]
+        dst = fresh[(i + 1) % len(fresh)] if i % 2 == 0 else rng.choice(anchors)
+        graph.add_edge(src, dst, f"e{rng.randrange(3)}")
+
+
+def run_index_maintenance(
+    num_nodes: int, num_edges: int, num_labels: int, steps: int, seed: int
+) -> Dict[str, object]:
+    """Per-add index upkeep: delta path vs. rebuild baseline."""
+    results: Dict[str, object] = {}
+    mismatches = 0
+    per_mode: Dict[str, float] = {}
+    for mode in ("delta", "rebuild"):
+        graph = base_graph(num_nodes, num_edges, num_labels, seed)
+        graph.index_delta_enabled = mode == "delta"
+        graph.index()  # compile once before the stream (both modes)
+        rng = random.Random(seed + 1)
+        total = 0.0
+        for step in range(steps):
+            started = time.perf_counter()
+            add_component(graph, rng, num_labels)
+            graph.index()
+            total += time.perf_counter() - started
+            if mode == "delta" and (step + 1) % VERIFY_EVERY == 0:
+                if graph.index().canonical_form() != GraphIndex(graph).canonical_form():
+                    mismatches += 1
+        if mode == "delta":
+            # Final full verification of the maintained index.
+            if graph.index().canonical_form() != GraphIndex(graph).canonical_form():
+                mismatches += 1
+        per_mode[mode] = total
+        results[mode] = {
+            "total_seconds": round(total, 4),
+            "per_add_us": round(total / steps * 1e6, 2),
+        }
+    results["speedup"] = round(per_mode["rebuild"] / per_mode["delta"], 2)
+    results["equivalence_mismatches"] = mismatches
+    results["graph"] = {
+        "nodes": num_nodes,
+        "edges": num_edges,
+        "labels": num_labels,
+        "steps": steps,
+    }
+    return results
+
+
+def run_incremental_sat(count: int, seed: int) -> Dict[str, object]:
+    """End-to-end ``IncrementalSat.add`` latency under both index modes."""
+    sigma = random_gfds(count, max_pattern_nodes=5, seed=seed, consistent=True)
+    results: Dict[str, object] = {}
+    per_mode: Dict[str, float] = {}
+    verdicts = {}
+    for mode in ("delta", "rebuild"):
+        state = IncrementalSat()
+        state.graph.index_delta_enabled = mode == "delta"
+        started = time.perf_counter()
+        for gfd in sigma:
+            state.add(gfd)
+        total = time.perf_counter() - started
+        per_mode[mode] = total
+        verdicts[mode] = state.satisfiable
+        results[mode] = {
+            "total_seconds": round(total, 4),
+            "per_add_ms": round(total / len(sigma) * 1e3, 3),
+            "delta_ops": sum(step.index_delta_ops for step in state.steps),
+        }
+    results["speedup"] = round(per_mode["rebuild"] / per_mode["delta"], 2)
+    results["verdicts_agree"] = verdicts["delta"] == verdicts["rebuild"]
+    results["gfds"] = count
+    return results
+
+
+def run_suite(smoke: bool = False) -> Dict[str, object]:
+    if smoke:
+        index_cfg = (400, 1600, 8, 60)
+        sat_count = 12
+    else:
+        index_cfg = (1200, 4800, 8, 300)
+        sat_count = 40
+    num_nodes, num_edges, num_labels, steps = index_cfg
+    return {
+        "index_maintenance": run_index_maintenance(
+            num_nodes, num_edges, num_labels, steps, seed=97
+        ),
+        "incremental_sat": run_incremental_sat(sat_count, seed=11),
+    }
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", help="write results JSON to this file")
+    parser.add_argument(
+        "--smoke", action="store_true", help="run a reduced config (CI smoke)"
+    )
+    args = parser.parse_args(argv)
+    results = run_suite(smoke=args.smoke)
+    payload = json.dumps(results, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(payload + "\n")
+    print(payload)
+    mismatches = results["index_maintenance"]["equivalence_mismatches"]
+    if mismatches:
+        print(f"EQUIVALENCE FAILURE: {mismatches} mismatches", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

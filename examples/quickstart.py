@@ -113,7 +113,10 @@ def matching_internals_demo() -> None:
         graph.add_edge(person, people[(i + 1) % len(people)], "knows")
         graph.add_edge(person, city, "lives_in")
 
-    # The compiled index is built lazily and cached until the next mutation.
+    # The compiled index is built lazily and then *maintained*: topology
+    # mutations are journaled and absorbed in place on the next index()
+    # call (O(|delta|)), so this object — and the plans cached on it —
+    # survives graph growth.
     index = graph.index()
     print(f"compiled index: {index}")
     lives = index.label_id("lives_in")

@@ -1,11 +1,18 @@
 """Chase baselines: naive GFD chase and the RDF-FD (ParImpRDF) baseline."""
 
-from .gfd_chase import ChaseResult, ChaseStats, chase_implication, chase_satisfiability
+from .gfd_chase import (
+    ChaseResult,
+    ChaseStats,
+    IncrementalChase,
+    chase_implication,
+    chase_satisfiability,
+)
 from .rdf import RdfFD, Triple, rdf_imp, reify_gfd, reify_graph, reify_pattern
 
 __all__ = [
     "ChaseResult",
     "ChaseStats",
+    "IncrementalChase",
     "chase_implication",
     "chase_satisfiability",
     "RdfFD",

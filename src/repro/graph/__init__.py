@@ -1,5 +1,6 @@
 """Property-graph substrate: graphs, neighborhoods, and IO."""
 
+from .delta import AddEdge, AddNode, SetLabel, replay
 from .elements import WILDCARD, AttrValue, Edge, Node, NodeId, is_wildcard
 from .graph import PropertyGraph
 from .index import GraphIndex
@@ -17,6 +18,10 @@ from .io import dump_graph, dumps_graph, graph_from_dict, graph_to_dict, load_gr
 from .edgelist import dump_edgelist, dumps_edgelist, load_edgelist, loads_edgelist
 
 __all__ = [
+    "AddEdge",
+    "AddNode",
+    "SetLabel",
+    "replay",
     "WILDCARD",
     "AttrValue",
     "Edge",

@@ -1,0 +1,76 @@
+"""Topology-mutation deltas for incremental :class:`GraphIndex` upkeep.
+
+:class:`PropertyGraph` records every topology mutation performed *after* an
+index has been compiled as one of the plain-data ops below (the *mutation
+journal*). When :meth:`PropertyGraph.index` is next called, the journal is
+either replayed onto the live index in place — O(|delta|), via
+:meth:`repro.graph.index.GraphIndex.apply_delta` — or, past the compaction
+threshold, discarded in favor of a full O(|G|) recompile.
+
+The ops are :class:`typing.NamedTuple` subclasses on purpose: they unpack
+like tuples in the hot replay loops, pickle compactly (the process backend
+ships them to standing worker replicas instead of fresh snapshots), and
+print readably in diagnostics.
+
+Ops carry everything a *remote replica* needs to replay the mutation on its
+own :class:`PropertyGraph` copy (see :func:`replay`), not just what the
+index consumes — that is why :class:`AddNode` includes the attribute
+mapping even though the index stores no attribute data.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, NamedTuple, Optional, Sequence
+
+from .elements import AttrValue, NodeId
+
+
+class AddNode(NamedTuple):
+    """A node was added: ``add_node(label, attrs, node_id=node_id)``."""
+
+    node_id: NodeId
+    label: str
+    attrs: Optional[Mapping[str, AttrValue]] = None
+
+
+class AddEdge(NamedTuple):
+    """A directed labeled edge was added (duplicates are never journaled)."""
+
+    src: NodeId
+    dst: NodeId
+    label: str
+
+
+class SetLabel(NamedTuple):
+    """A node's label changed from *old_label* to *new_label*."""
+
+    node_id: NodeId
+    old_label: str
+    new_label: str
+
+
+#: Union of the journal op types (kept as a plain tuple for isinstance).
+DELTA_OP_TYPES = (AddNode, AddEdge, SetLabel)
+
+
+def replay(graph, ops: Sequence[tuple]) -> int:
+    """Replay journal *ops* onto another :class:`PropertyGraph` replica.
+
+    Used by standing process-backend workers: the coordinator ships the ops
+    its graph accumulated since the last exchange, the worker replays them
+    here, and the worker's *index* then absorbs the same ops through its own
+    journal — one delta path end to end, no snapshot re-shipping. Returns
+    the number of ops applied. Ops must be replayed in journal order.
+    """
+    applied = 0
+    for op in ops:
+        if isinstance(op, AddNode):
+            graph.add_node(op.label, op.attrs, node_id=op.node_id)
+        elif isinstance(op, AddEdge):
+            graph.add_edge(op.src, op.dst, op.label)
+        elif isinstance(op, SetLabel):
+            graph.set_node_label(op.node_id, op.new_label)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown delta op {op!r}")
+        applied += 1
+    return applied

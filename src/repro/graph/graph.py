@@ -11,8 +11,14 @@ the underlying graphs of patterns are all property graphs. The class keeps
 
 All mutators keep the indices consistent; there is no "commit" step. For
 the matching hot path, :meth:`PropertyGraph.index` additionally compiles a
-read-only :class:`repro.graph.index.GraphIndex` snapshot (label-grouped
-adjacency, interned labels) that is cached until the next topology mutation.
+:class:`repro.graph.index.GraphIndex` (label-grouped adjacency, interned
+labels). Topology mutations performed after that compilation are recorded
+in a *mutation journal* (:mod:`repro.graph.delta`); the next ``index()``
+call replays the journal onto the live index in place — O(|delta|) — and
+falls back to a full recompile only when the journal has outgrown the
+compaction threshold (:attr:`INDEX_COMPACTION_FRACTION` of |G|). Mutation-
+heavy workloads (``IncrementalSat.add``, chase-style canonical-graph
+extension) therefore pay per-delta index upkeep instead of O(|G|) per step.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ from typing import (
 )
 
 from ..errors import GraphError
+from .delta import AddEdge, AddNode, SetLabel
 from .elements import AttrValue, Edge, Node, NodeId
 
 #: Shared immutable sentinels returned on index misses — the hot matching
@@ -56,6 +63,19 @@ class PropertyGraph:
     True
     """
 
+    #: Journal sizes up to this floor always take the in-place delta path,
+    #: regardless of graph size (small graphs would otherwise compact on
+    #: every call).
+    INDEX_COMPACTION_MIN = 64
+    #: Once the journal exceeds this fraction of |G| (nodes + edges), the
+    #: next :meth:`index` call recompiles from scratch instead of replaying
+    #: the delta — replay cost approaches rebuild cost at that point.
+    INDEX_COMPACTION_FRACTION = 0.25
+    #: Ablation/debug switch: ``False`` forces a full recompile on every
+    #: post-mutation :meth:`index` call (the pre-delta behavior). May be set
+    #: per instance.
+    index_delta_enabled = True
+
     def __init__(self) -> None:
         self._nodes: Dict[NodeId, Node] = {}
         self._out: Dict[NodeId, List[Edge]] = defaultdict(list)
@@ -65,9 +85,15 @@ class PropertyGraph:
         self._by_label: Dict[str, Set[NodeId]] = defaultdict(set)
         self._next_id = 0
         self._edge_count = 0
-        # Compiled-index cache; bumped/cleared by topology mutators.
+        # Compiled-index cache plus the mutation journal it consumes; the
+        # journal only accumulates while a compiled index exists.
         self._mutations = 0
         self._compiled_index = None
+        self._journal: List[tuple] = []
+        # Optional retained delta history for replica synchronization
+        # (process backend): (mutation-count-after-op, op) pairs.
+        self._retain_deltas = False
+        self._delta_history: List[Tuple[int, tuple]] = []
 
     # ------------------------------------------------------------------
     # Construction
@@ -92,7 +118,7 @@ class PropertyGraph:
             raise GraphError(f"duplicate node id {node_id!r}")
         self._nodes[node_id] = Node(node_id, label, dict(attrs or {}))
         self._by_label[label].add(node_id)
-        self._invalidate_index()
+        self._record(AddNode(node_id, label, dict(attrs) if attrs else None))
         return node_id
 
     def add_edge(self, src: NodeId, dst: NodeId, label: str) -> Edge:
@@ -109,48 +135,92 @@ class PropertyGraph:
         self._out[src].append(edge)
         self._in[dst].append(edge)
         self._edge_count += 1
-        self._invalidate_index()
+        self._record(AddEdge(src, dst, label))
         return edge
 
     def set_attr(self, node_id: NodeId, name: str, value: AttrValue) -> None:
         """Set attribute *name* of node *node_id* to *value*.
 
-        Attribute updates do not invalidate the compiled index — it stores
-        topology and labels only.
+        Attribute updates are not journaled and do not age the compiled
+        index — it stores topology and labels only.
         """
         self.node(node_id).attrs[name] = value
 
+    def set_node_label(self, node_id: NodeId, label: str) -> None:
+        """Relabel node *node_id* to *label* (a journaled topology mutation).
+
+        Relabeling moves the node between label-index buckets; the compiled
+        index absorbs the move in place through the delta path. Setting the
+        label a node already carries is a no-op (nothing is journaled).
+        """
+        node = self.node(node_id)
+        old_label = node.label
+        if label == old_label:
+            return
+        node.label = label
+        self._by_label[old_label].discard(node_id)
+        self._by_label[label].add(node_id)
+        self._record(SetLabel(node_id, old_label, label))
+
     # ------------------------------------------------------------------
-    # Compiled index
+    # Compiled index + mutation journal
     # ------------------------------------------------------------------
-    def _invalidate_index(self) -> None:
+    def _record(self, op: tuple) -> None:
+        """Count one topology mutation and journal it for the live index."""
         self._mutations += 1
-        self._compiled_index = None
+        if self._compiled_index is not None:
+            self._journal.append(op)
+        if self._retain_deltas:
+            self._delta_history.append((self._mutations, op))
 
     @property
     def mutation_count(self) -> int:
         """Monotone topology-mutation counter (index staleness checks)."""
         return self._mutations
 
-    def index(self):
-        """The compiled :class:`repro.graph.index.GraphIndex` snapshot.
+    @property
+    def pending_delta_ops(self) -> int:
+        """Journal ops the compiled index has not absorbed yet."""
+        return len(self._journal)
 
-        Built lazily on first use and cached until the next ``add_node`` /
-        ``add_edge``; repeated calls between mutations return the same
-        object, so match plans compiled against it stay valid and shared.
+    def _compaction_limit(self) -> int:
+        return max(
+            self.INDEX_COMPACTION_MIN,
+            int(self.INDEX_COMPACTION_FRACTION * (len(self._nodes) + self._edge_count)),
+        )
+
+    def index(self):
+        """The compiled :class:`repro.graph.index.GraphIndex` for this graph.
+
+        Built lazily on first use. After topology mutations the cached
+        index is *maintained*, not discarded: the pending journal is
+        replayed onto it in place (O(|delta|)), so the object — and the
+        match plans cached on it — survives. Only when the journal exceeds
+        the compaction threshold (or :attr:`index_delta_enabled` is off) is
+        the index recompiled from scratch, producing a fresh object.
         """
-        if self._compiled_index is None:
+        index = self._compiled_index
+        if index is not None and self._journal:
+            journal = self._journal
+            self._journal = []
+            if self.index_delta_enabled and len(journal) <= self._compaction_limit():
+                index.apply_delta(journal)
+            else:
+                index = None  # compaction: fall through to a full rebuild
+        if index is None:
             from .index import GraphIndex  # local import: avoids cycle
 
-            self._compiled_index = GraphIndex(self)
-        return self._compiled_index
+            index = GraphIndex(self)
+        self._compiled_index = index
+        return index
 
     def adopt_index(self, index) -> None:
         """Install a prebuilt :class:`GraphIndex` as this graph's cache.
 
         Used by process workers that reconstruct the coordinator's index
         from a serialized snapshot instead of recompiling O(|G|) state. The
-        index must have been built at this graph's current mutation count.
+        index must have been built at this graph's current mutation count;
+        any journaled ops are already reflected in it and are discarded.
         """
         if index.version != self._mutations:
             raise GraphError(
@@ -158,15 +228,63 @@ class PropertyGraph:
                 f"graph mutation count {self._mutations}"
             )
         self._compiled_index = index
+        self._journal = []
+
+    # ------------------------------------------------------------------
+    # Delta history (replica synchronization, process backend)
+    # ------------------------------------------------------------------
+    def retain_deltas(self, enabled: bool = True) -> None:
+        """Keep (or stop keeping) a replayable history of topology ops.
+
+        While enabled, every mutation is also appended — version-stamped —
+        to a history that :meth:`delta_ops_since` can serve, independently
+        of the index journal's consume-on-apply lifecycle. The process
+        backend enables this to ship standing worker replicas *deltas*
+        between runs instead of fresh snapshots; call
+        :meth:`trim_delta_history` once all replicas have caught up.
+        """
+        self._retain_deltas = enabled
+        if not enabled:
+            self._delta_history = []
+
+    def delta_ops_since(self, version: int) -> Optional[List[tuple]]:
+        """Topology ops after mutation-count *version*, in order.
+
+        Returns ``None`` when the retained history does not reach back far
+        enough (history disabled, trimmed past *version*, or enabled only
+        after *version*) — callers must then fall back to full state
+        transfer.
+        """
+        if version > self._mutations:
+            return None
+        if version == self._mutations:
+            return []
+        history = self._delta_history
+        ops = [op for stamp, op in history if stamp > version]
+        # The history covers (version, now] only if it has one entry per
+        # mutation in that range.
+        if len(ops) != self._mutations - version:
+            return None
+        return ops
+
+    def trim_delta_history(self, version: int) -> None:
+        """Drop retained ops at or below mutation-count *version*."""
+        self._delta_history = [
+            entry for entry in self._delta_history if entry[0] > version
+        ]
 
     # ------------------------------------------------------------------
     # Pickling (process-backend worker shipping)
     # ------------------------------------------------------------------
     def __getstate__(self) -> Dict[str, object]:
-        """Drop the compiled-index cache: it holds weak references and is
-        shipped separately as a plain snapshot (:meth:`GraphIndex.to_snapshot`)."""
+        """Drop the compiled-index cache (it holds weak references and is
+        shipped separately as a plain snapshot, :meth:`GraphIndex.to_snapshot`)
+        along with the journal/history that only make sense relative to it."""
         state = dict(self.__dict__)
         state["_compiled_index"] = None
+        state["_journal"] = []
+        state["_retain_deltas"] = False
+        state["_delta_history"] = []
         return state
 
     def __setstate__(self, state: Dict[str, object]) -> None:

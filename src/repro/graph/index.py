@@ -1,53 +1,72 @@
-"""Compiled read-only index over a :class:`PropertyGraph`.
+"""Compiled, incrementally-maintained index over a :class:`PropertyGraph`.
 
-:class:`GraphIndex` is a snapshot of a property graph optimized for the
-homomorphism hot path. It interns every label into a dense integer id and
-precomputes, CSR-style,
+:class:`GraphIndex` is the compiled form of a property graph optimized for
+the homomorphism hot path. It interns every label into a dense integer id
+and precomputes, CSR-style,
 
-* per-``(node, edge-label)`` neighbor tuples in **both** directions (the
+* per-``(node, edge-label)`` neighbor groups in **both** directions (the
   label-grouped adjacency used by anchor expansion),
-* per-node any-label neighbor tuples (deduplicated, edge-insertion order),
-* per-node-label node tuples in graph insertion order (deterministic
+* per-node any-label neighbor groups (deduplicated, edge-insertion order),
+* per-node-label node buckets in graph insertion order (deterministic
   label-index scans), and
 * in/out degree tables for candidate-strategy cardinality estimates.
 
 Indices are built lazily through :meth:`PropertyGraph.index` and cached on
-the graph; every topology mutation (``add_node``/``add_edge``) invalidates
-the cache, so a fresh :meth:`~PropertyGraph.index` call always reflects the
-current graph. Attribute updates (``set_attr``) do **not** invalidate — the
-index stores no attribute data. An index handle taken *before* a mutation
-must be discarded: like any snapshot, it is only valid for the version of
-the graph it was built from (see :attr:`GraphIndex.version`).
+the graph. Since PR 3 the index is **maintained, not discarded**, across
+topology mutations: the graph journals every ``add_node`` / ``add_edge`` /
+``set_node_label`` as a :mod:`repro.graph.delta` op, and the next
+``index()`` call replays the journal onto the live tables in place via
+:meth:`apply_delta` — O(|delta|) instead of an O(|G|) recompile. A full
+recompile (fresh object) happens only when the journal outgrows the
+compaction threshold (:attr:`PropertyGraph.INDEX_COMPACTION_FRACTION`).
+Attribute updates (``set_attr``) are not journaled — the index stores no
+attribute data.
+
+Lifecycle contract: an index handle is a *live view*, not a frozen
+snapshot. Between a mutation and the next ``index()`` call the handle lags
+the graph (:attr:`stale` is True); after the call it is current again —
+and is the *same object* unless compaction struck. Label ids are
+append-only: an interned id never changes or disappears, which is what
+lets compiled :class:`~repro.matching.plan.MatchPlan` steps survive deltas
+(plans revalidate against :attr:`epoch`, recompiling only when a label
+they had resolved as absent has appeared). Do not mutate the graph while
+a :class:`~repro.matching.homomorphism.MatcherRun` on it is mid-flight —
+that was undefined under snapshot semantics and remains so.
 
 The index also owns the per-pattern :class:`repro.matching.plan.MatchPlan`
-cache (:attr:`plan_cache`), keyed weakly by pattern, so one compiled plan is
-shared by every :class:`~repro.matching.homomorphism.MatcherRun` spawned
-from the same pattern — the fan-out shape of the parallel algorithms.
+cache (:attr:`plan_cache`), keyed weakly by pattern, so one compiled plan
+is shared by every :class:`~repro.matching.homomorphism.MatcherRun` spawned
+from the same pattern — the fan-out shape of the parallel algorithms — and,
+thanks to in-place maintenance, by every *delta epoch* of the index too.
 """
 
 from __future__ import annotations
 
 import weakref
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from bisect import insort
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from .delta import AddEdge, AddNode, SetLabel
 from .elements import NodeId
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from .graph import PropertyGraph
 
 #: Shared empty adjacency group returned for absent ``(node, label)`` keys.
-EMPTY_GROUP: Tuple[NodeId, ...] = ()
+#: Hits return the index's internal lists — treat every group as read-only.
+EMPTY_GROUP: Sequence[NodeId] = ()
 
 #: Sentinel label id for labels that do not occur in the indexed graph.
 NO_LABEL = -1
 
 
 class GraphIndex:
-    """An immutable, label-grouped adjacency snapshot of a property graph."""
+    """A label-grouped adjacency index, maintainable in place by deltas."""
 
     __slots__ = (
         "graph",
         "version",
+        "epoch",
         "nodes",
         "position",
         "node_label_id",
@@ -69,17 +88,22 @@ class GraphIndex:
 
     def __init__(self, graph: "PropertyGraph") -> None:
         self.graph = graph
-        #: The graph mutation counter this snapshot was built at.
+        #: The graph mutation counter these tables currently reflect;
+        #: advanced by :meth:`apply_delta`.
         self.version = graph.mutation_count
+        #: Maintenance-generation counter: bumped once per applied delta
+        #: batch. Plans compiled against this index compare epochs instead
+        #: of object identities to decide whether to revalidate.
+        self.epoch = 0
         #: All node ids in insertion order — the canonical scan order.
-        self.nodes: Tuple[NodeId, ...] = tuple(graph._nodes)
+        self.nodes: List[NodeId] = list(graph._nodes)
         #: node id -> dense position in :attr:`nodes` (for deterministic
         #: re-ordering of externally supplied node sets).
         self.position: Dict[NodeId, int] = {
             node: pos for pos, node in enumerate(self.nodes)
         }
         #: Shared reference to the graph's ``(src, dst) -> labels`` table;
-        #: valid while this snapshot is (same version).
+        #: always current (the graph mutates it in place).
         self.edge_labels = graph._edge_labels
 
         intern: Dict[str, int] = {}
@@ -99,45 +123,37 @@ class GraphIndex:
             self.node_label_id[node_id] = lid
             buckets.setdefault(lid, []).append(node_id)
 
-        out: Dict[Tuple[NodeId, int], Tuple[NodeId, ...]] = {}
-        in_: Dict[Tuple[NodeId, int], Tuple[NodeId, ...]] = {}
-        out_any: Dict[NodeId, Tuple[NodeId, ...]] = {}
-        in_any: Dict[NodeId, Tuple[NodeId, ...]] = {}
+        out: Dict[Tuple[NodeId, int], List[NodeId]] = {}
+        in_: Dict[Tuple[NodeId, int], List[NodeId]] = {}
+        out_any: Dict[NodeId, List[NodeId]] = {}
+        in_any: Dict[NodeId, List[NodeId]] = {}
         out_degree: Dict[NodeId, int] = {}
         in_degree: Dict[NodeId, int] = {}
         for node_id, edges in graph._out.items():
-            groups: Dict[int, List[NodeId]] = {}
             ordered: List[NodeId] = []
             seen = set()
             for edge in edges:
                 lid = intern_label(edge.label)
-                groups.setdefault(lid, []).append(edge.dst)
+                out.setdefault((node_id, lid), []).append(edge.dst)
                 if edge.dst not in seen:
                     seen.add(edge.dst)
                     ordered.append(edge.dst)
-            for lid, neighbors in groups.items():
-                out[(node_id, lid)] = tuple(neighbors)
-            out_any[node_id] = tuple(ordered)
+            out_any[node_id] = ordered
             out_degree[node_id] = len(edges)
         for node_id, edges in graph._in.items():
-            groups = {}
             ordered = []
             seen = set()
             for edge in edges:
                 lid = intern_label(edge.label)
-                groups.setdefault(lid, []).append(edge.src)
+                in_.setdefault((node_id, lid), []).append(edge.src)
                 if edge.src not in seen:
                     seen.add(edge.src)
                     ordered.append(edge.src)
-            for lid, neighbors in groups.items():
-                in_[(node_id, lid)] = tuple(neighbors)
-            in_any[node_id] = tuple(ordered)
+            in_any[node_id] = ordered
             in_degree[node_id] = len(edges)
 
         self._label_ids = intern
-        self._label_buckets: Dict[int, Tuple[NodeId, ...]] = {
-            lid: tuple(nodes) for lid, nodes in buckets.items()
-        }
+        self._label_buckets = buckets
         #: label string -> node id set, shared with the graph (membership
         #: tests during candidate intersection).
         self._label_members = graph._by_label
@@ -154,6 +170,116 @@ class GraphIndex:
         self.plan_cache: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
     # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def apply_delta(self, ops: Sequence[tuple]) -> None:
+        """Replay journal *ops* (in order) onto the tables, in place.
+
+        Appends to label buckets, adjacency groups and the interned-label
+        table; never reshuffles existing entries, so every table stays in
+        the exact order a from-scratch rebuild would produce (relabels
+        bisect into their target bucket by node position to preserve the
+        graph-insertion-order invariant). Cost is O(|ops|) plus, per
+        relabel, the size of the touched buckets. Precondition: *ops* are
+        the journal of mutations already applied to :attr:`graph` — the
+        any-group dedup reads the live ``edge_labels`` table.
+
+        Advances :attr:`version` by ``len(ops)`` (each journaled op is one
+        graph mutation) and bumps :attr:`epoch` once per call. The lazily
+        cached fan-out averages are reset — they refill on next use — while
+        :attr:`plan_cache` survives: plans self-revalidate via the epoch.
+        Callers normally go through :meth:`PropertyGraph.index`, which owns
+        the journal hand-off and the compaction decision.
+        """
+        intern = self._label_ids
+        nodes = self.nodes
+        position = self.position
+        node_label_id = self.node_label_id
+        buckets = self._label_buckets
+        out, in_ = self._out, self._in
+        out_any, in_any = self._out_any, self._in_any
+        out_degree, in_degree = self.out_degree, self.in_degree
+        edge_labels = self.edge_labels
+        # Any-label groups are deduplicated per (src, dst) pair. Membership
+        # is derived in O(1) instead of scanning the group: the pair was
+        # already present before an op iff the graph's (live, post-batch)
+        # label set for it is larger than the batch's own contribution —
+        # plus a running per-pair counter for repeats within the batch.
+        pair_total: Dict[Tuple[NodeId, NodeId], int] = {}
+        for op in ops:
+            if type(op) is AddEdge:
+                key = (op.src, op.dst)
+                pair_total[key] = pair_total.get(key, 0) + 1
+        pair_seen: Dict[Tuple[NodeId, NodeId], int] = {}
+        for op in ops:
+            if type(op) is AddEdge:
+                src, dst, label = op
+                lid = intern.get(label)
+                if lid is None:
+                    lid = len(intern)
+                    intern[label] = lid
+                group = out.get((src, lid))
+                if group is None:
+                    out[(src, lid)] = [dst]
+                else:
+                    group.append(dst)
+                group = in_.get((dst, lid))
+                if group is None:
+                    in_[(dst, lid)] = [src]
+                else:
+                    group.append(src)
+                key = (src, dst)
+                seen = pair_seen.get(key, 0)
+                pair_seen[key] = seen + 1
+                preexisting = len(edge_labels[key]) - pair_total[key]
+                if preexisting <= 0 and seen == 0:  # first edge on the pair
+                    any_group = out_any.get(src)
+                    if any_group is None:
+                        out_any[src] = [dst]
+                    else:
+                        any_group.append(dst)
+                    any_group = in_any.get(dst)
+                    if any_group is None:
+                        in_any[dst] = [src]
+                    else:
+                        any_group.append(src)
+                out_degree[src] = out_degree.get(src, 0) + 1
+                in_degree[dst] = in_degree.get(dst, 0) + 1
+            elif type(op) is AddNode:
+                node_id, label = op.node_id, op.label
+                lid = intern.get(label)
+                if lid is None:
+                    lid = len(intern)
+                    intern[label] = lid
+                position[node_id] = len(nodes)
+                nodes.append(node_id)
+                node_label_id[node_id] = lid
+                bucket = buckets.get(lid)
+                if bucket is None:
+                    buckets[lid] = [node_id]
+                else:
+                    bucket.append(node_id)
+            elif type(op) is SetLabel:
+                node_id, old_label, new_label = op
+                new_lid = intern.get(new_label)
+                if new_lid is None:
+                    new_lid = len(intern)
+                    intern[new_label] = new_lid
+                buckets[intern[old_label]].remove(node_id)
+                insort(
+                    buckets.setdefault(new_lid, []),
+                    node_id,
+                    key=position.__getitem__,
+                )
+                node_label_id[node_id] = new_lid
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown delta op {op!r}")
+        self.version += len(ops)
+        self.epoch += 1
+        self._out_fanout = {}
+        self._in_fanout = {}
+
+    # ------------------------------------------------------------------
     # Label interning
     # ------------------------------------------------------------------
     def label_id(self, label: str) -> int:
@@ -167,17 +293,18 @@ class GraphIndex:
     # ------------------------------------------------------------------
     # Adjacency groups
     # ------------------------------------------------------------------
-    def out_neighbors(self, node: NodeId, label_id: Optional[int]) -> Tuple[NodeId, ...]:
+    def out_neighbors(self, node: NodeId, label_id: Optional[int]) -> Sequence[NodeId]:
         """Targets of ``node``'s out-edges with *label_id* (``None`` = any).
 
         Any-label groups are deduplicated in first-occurrence order; labeled
         groups are duplicate-free by construction (edge triples are unique).
+        Returns the internal group — read-only for callers.
         """
         if label_id is None:
             return self._out_any.get(node, EMPTY_GROUP)
         return self._out.get((node, label_id), EMPTY_GROUP)
 
-    def in_neighbors(self, node: NodeId, label_id: Optional[int]) -> Tuple[NodeId, ...]:
+    def in_neighbors(self, node: NodeId, label_id: Optional[int]) -> Sequence[NodeId]:
         """Sources of ``node``'s in-edges with *label_id* (``None`` = any)."""
         if label_id is None:
             return self._in_any.get(node, EMPTY_GROUP)
@@ -186,11 +313,11 @@ class GraphIndex:
     # ------------------------------------------------------------------
     # Label index
     # ------------------------------------------------------------------
-    def nodes_with_label_id(self, label_id: int) -> Tuple[NodeId, ...]:
+    def nodes_with_label_id(self, label_id: int) -> Sequence[NodeId]:
         """Nodes carrying the label *label_id*, in graph insertion order."""
         return self._label_buckets.get(label_id, EMPTY_GROUP)
 
-    def nodes_with_label(self, label: str) -> Tuple[NodeId, ...]:
+    def nodes_with_label(self, label: str) -> Sequence[NodeId]:
         return self.nodes_with_label_id(self.label_id(label))
 
     def label_members(self, label: str):
@@ -225,14 +352,15 @@ class GraphIndex:
 
     @staticmethod
     def _fill_fanouts(
-        grouped: Dict[Tuple[NodeId, int], Tuple[NodeId, ...]],
-        any_label: Dict[NodeId, Tuple[NodeId, ...]],
+        grouped: Dict[Tuple[NodeId, int], List[NodeId]],
+        any_label: Dict[NodeId, List[NodeId]],
         cache: Dict[Optional[int], float],
     ) -> None:
         """One pass over the adjacency groups fills every label's average
         (plus the any-label entry under ``None``), so repeated queries —
         plan-aware pivot selection touches one label per anchor step —
-        never rescan the index."""
+        never rescan the index. :meth:`apply_delta` resets the cache; the
+        next query after a delta batch pays one refill pass."""
         totals: Dict[int, int] = {}
         counts: Dict[int, int] = {}
         for (_, lid), neighbors in grouped.items():
@@ -252,17 +380,19 @@ class GraphIndex:
         The snapshot carries everything that costs O(|G|) to recompute;
         tables shared with the graph (``edge_labels``, label membership
         sets) and caches (fan-outs, plans) are rebound/refilled on the
-        receiving side by :meth:`from_snapshot`.
+        receiving side by :meth:`from_snapshot`. Group lists are copied —
+        the live index keeps mutating under deltas, and a snapshot must
+        stay frozen at the version it records.
         """
         return {
             "version": self.version,
             "label_ids": dict(self._label_ids),
             "node_label_id": dict(self.node_label_id),
-            "label_buckets": dict(self._label_buckets),
-            "out": dict(self._out),
-            "in": dict(self._in),
-            "out_any": dict(self._out_any),
-            "in_any": dict(self._in_any),
+            "label_buckets": {k: list(v) for k, v in self._label_buckets.items()},
+            "out": {k: list(v) for k, v in self._out.items()},
+            "in": {k: list(v) for k, v in self._in.items()},
+            "out_any": {k: list(v) for k, v in self._out_any.items()},
+            "in_any": {k: list(v) for k, v in self._in_any.items()},
             "out_degree": dict(self.out_degree),
             "in_degree": dict(self.in_degree),
         }
@@ -274,7 +404,9 @@ class GraphIndex:
         *graph* must be at the same mutation count the snapshot was taken
         at (a pickled graph preserves its counter); shared tables are taken
         from the graph, everything else from the snapshot — no O(|G|)
-        recompilation. Raises ``ValueError`` on a version mismatch.
+        recompilation. Raises ``ValueError`` on a version mismatch. The
+        reconstructed index starts a fresh epoch/plan-cache lineage and is
+        delta-maintainable like any built index.
         """
         if data["version"] != graph.mutation_count:
             raise ValueError(
@@ -284,7 +416,8 @@ class GraphIndex:
         index = object.__new__(cls)
         index.graph = graph
         index.version = data["version"]
-        index.nodes = tuple(graph._nodes)
+        index.epoch = 0
+        index.nodes = list(graph._nodes)
         index.position = {node: pos for pos, node in enumerate(index.nodes)}
         index.edge_labels = graph._edge_labels
         index._label_ids = data["label_ids"]
@@ -303,15 +436,59 @@ class GraphIndex:
         return index
 
     # ------------------------------------------------------------------
-    # Diagnostics
+    # Diagnostics / equivalence
     # ------------------------------------------------------------------
+    def canonical_form(self) -> Dict[str, object]:
+        """A label-*string*-keyed normalization of every table.
+
+        Interned ids are an artifact of construction order (a delta path
+        interns labels in journal order, a rebuild in node-then-edge scan
+        order), so equivalence between a delta-maintained index and a
+        from-scratch rebuild is defined over this form: identical canonical
+        forms mean identical candidate pools in identical iteration order
+        for every possible query. Used by the equivalence property suite
+        and the incremental benchmark's self-check.
+        """
+        label_of = {lid: label for label, lid in self._label_ids.items()}
+        return {
+            "nodes": list(self.nodes),
+            "position": dict(self.position),
+            "node_labels": {
+                node: label_of[lid] for node, lid in self.node_label_id.items()
+            },
+            "buckets": {
+                label_of[lid]: list(bucket)
+                for lid, bucket in self._label_buckets.items()
+                if bucket
+            },
+            "out": {
+                (node, label_of[lid]): list(group)
+                for (node, lid), group in self._out.items()
+                if group
+            },
+            "in": {
+                (node, label_of[lid]): list(group)
+                for (node, lid), group in self._in.items()
+                if group
+            },
+            "out_any": {n: list(g) for n, g in self._out_any.items() if g},
+            "in_any": {n: list(g) for n, g in self._in_any.items() if g},
+            "out_degree": dict(self.out_degree),
+            "in_degree": dict(self.in_degree),
+        }
+
     @property
     def stale(self) -> bool:
-        """True once the underlying graph has mutated past this snapshot."""
+        """True while journaled mutations have not been applied here yet.
+
+        A stale handle becomes current again at the next
+        :meth:`PropertyGraph.index` call (delta path: same object; past the
+        compaction threshold: superseded by a rebuilt one)."""
         return self.graph.mutation_count != self.version
 
     def __repr__(self) -> str:  # pragma: no cover - diagnostics only
         return (
             f"GraphIndex(nodes={len(self.nodes)}, labels={self.num_labels}, "
-            f"version={self.version}{', STALE' if self.stale else ''})"
+            f"version={self.version}, epoch={self.epoch}"
+            f"{', STALE' if self.stale else ''})"
         )

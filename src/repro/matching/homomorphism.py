@@ -140,10 +140,17 @@ class MatcherRun:
             or plan.index.stale
             or plan.pattern != pattern
         ):
-            # Missing, stale (graph mutated since compilation), or
-            # mismatched plans are silently replaced by the shared one —
-            # a wrong explicit plan must never produce wrong matches.
+            # Missing, mismatched, or lagging plans (the graph has journaled
+            # mutations the plan's index has not absorbed) are silently
+            # replaced by the shared one — get_plan applies the pending
+            # delta and usually hands the *same* plan object back,
+            # revalidated. A wrong explicit plan must never produce wrong
+            # matches.
             plan = get_plan(pattern, graph)
+        else:
+            # Same graph, index current: an O(1) epoch check covers the
+            # case where another pattern's lookup already absorbed a delta.
+            plan.revalidate()
         self.plan = plan
         self.pattern = pattern
         self.graph = graph
@@ -234,6 +241,10 @@ class MatcherRun:
         restriction = (
             self.candidate_sets.get(step.var) if self.candidate_sets is not None else None
         )
+        # True once ``pool`` is a list built here (safe to hand out); the
+        # index's internal groups are live, delta-maintained lists and must
+        # be copied before frames mutate them during split striping.
+        owned = False
         pool: Sequence[NodeId]
         if step.anchor_var is not None:
             anchor = self._assignment[step.anchor_var]
@@ -249,15 +260,18 @@ class MatcherRun:
                     label_ids = self._node_label_id
                     want = step.label_id
                     pool = [n for n in pool if label_ids[n] == want]
+                owned = True
             if allowed is not None:
                 exempt = self._preassigned_values
                 pool = [n for n in pool if n in allowed or n in exempt]
+                owned = True
         elif step.label_id is None:  # unanchored wildcard variable
             if allowed is not None:
                 position = index.position
                 pool = sorted(
                     (n for n in allowed if n in position), key=position.__getitem__
                 )
+                owned = True
             else:
                 pool = index.nodes
         else:  # unanchored labeled variable: label-index scan
@@ -273,13 +287,15 @@ class MatcherRun:
                     )
                 else:
                     pool = [n for n in bucket if n in allowed]
+                owned = True
             else:
                 pool = bucket
         if restriction is not None:
             pool = [n for n in pool if n in restriction]
+            owned = True
         # Frames mutate their candidate lists (split striping), so never
-        # hand out the index's shared tuples.
-        return pool if isinstance(pool, list) else list(pool)
+        # hand out the index's shared, delta-maintained groups.
+        return pool if owned else list(pool)
 
     def _bucket_via_anchor(
         self, bucket: Sequence[NodeId], anchor: NodeId, step: VarStep

@@ -26,6 +26,17 @@ Plans are cached on :attr:`repro.graph.index.GraphIndex.plan_cache`, weakly
 keyed by pattern; :func:`get_plan` is the lookup used by ``MatcherRun``'s
 compatibility constructor, and the reasoning/parallel layers pass plans
 explicitly to make the reuse visible.
+
+Because the index is maintained in place across topology mutations (PR 3),
+a cached plan can outlive many graph changes. Compiled steps store interned
+label ids, and interning is append-only — an id never changes — so the only
+way a delta can invalidate a plan is by *introducing* a label the plan had
+resolved as absent (:data:`~repro.graph.index.NO_LABEL`). Each plan records
+the index :attr:`~repro.graph.index.GraphIndex.epoch` it last validated
+against plus that absent-label watch set; :meth:`MatchPlan.revalidate`
+compares epochs (an integer check on the hot path) and recompiles layouts
+only when a watched label has appeared. Deltas that do not touch a plan's
+labels therefore cost it nothing.
 """
 
 from __future__ import annotations
@@ -137,16 +148,65 @@ class PlanLayout:
 
 
 class MatchPlan:
-    """A per-``(pattern, graph-index)`` compiled matching plan."""
+    """A per-``(pattern, graph-index)`` compiled matching plan.
 
-    __slots__ = ("pattern", "index", "_layouts")
+    Valid across index delta epochs: :meth:`revalidate` keeps the compiled
+    layouts as long as no label the pattern uses has newly appeared in the
+    graph (appearing labels are the only delta that can stale a compiled
+    label id — ids are append-only otherwise).
+    """
+
+    __slots__ = ("pattern", "index", "epoch", "_layouts", "_absent_labels")
 
     def __init__(self, pattern: Pattern, index: GraphIndex) -> None:
         if not pattern.frozen:
             pattern.freeze()
         self.pattern = pattern
         self.index = index
+        #: The index epoch the compiled layouts are known valid for.
+        self.epoch = index.epoch
         self._layouts: Dict[FrozenSet[str], PlanLayout] = {}
+        self._absent_labels = self._collect_absent_labels()
+
+    def _collect_absent_labels(self) -> FrozenSet[str]:
+        """Non-wildcard pattern labels currently absent from the index.
+
+        These compile to :data:`~repro.graph.index.NO_LABEL` inside the
+        layouts; if a later delta interns one of them, the affected layouts
+        would silently produce empty candidate pools — so they are the
+        watch set that forces recompilation.
+        """
+        pattern = self.pattern
+        index = self.index
+        labels = {
+            pattern.label_of(var)
+            for var in pattern.variables
+            if not is_wildcard(pattern.label_of(var))
+        }
+        labels.update(
+            edge.label for edge in pattern.edges if not is_wildcard(edge.label)
+        )
+        return frozenset(
+            label for label in labels if index.label_id(label) == NO_LABEL
+        )
+
+    def revalidate(self) -> "MatchPlan":
+        """Bring this plan up to the index's current delta epoch.
+
+        O(1) when the epoch is unchanged. When the index has absorbed
+        deltas since the last validation, compiled layouts are kept unless
+        one of the watched absent labels has appeared — then layouts are
+        dropped (they recompile lazily) and the watch set is refreshed.
+        """
+        index = self.index
+        if self.epoch != index.epoch:
+            if any(
+                index.label_id(label) != NO_LABEL for label in self._absent_labels
+            ):
+                self._layouts.clear()
+                self._absent_labels = self._collect_absent_labels()
+            self.epoch = index.epoch
+        return self
 
     def layout(self, preassigned_vars: Iterable[str]) -> PlanLayout:
         """The (cached) layout for runs preassigning *preassigned_vars*.
@@ -289,8 +349,10 @@ def get_plan(pattern: Pattern, graph: PropertyGraph) -> MatchPlan:
 
     Plans are cached on the index (weakly keyed by pattern), so repeated
     ``MatcherRun`` constructions — the pivot fan-out of the parallel
-    algorithms — compile once. A topology mutation produces a fresh index
-    and therefore fresh plans.
+    algorithms — compile once. Fetching the index first absorbs any pending
+    mutation journal; cached plans then revalidate against the index epoch,
+    surviving every delta that does not introduce a label they watch. Only
+    a compaction rebuild (fresh index object) discards the cache wholesale.
     """
     if not pattern.frozen:
         pattern.freeze()
@@ -299,4 +361,6 @@ def get_plan(pattern: Pattern, graph: PropertyGraph) -> MatchPlan:
     if plan is None:
         plan = MatchPlan(pattern, index)
         index.plan_cache[pattern] = plan
+    else:
+        plan.revalidate()
     return plan

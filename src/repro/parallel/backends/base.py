@@ -64,5 +64,13 @@ class Backend(ABC):
         wall-clock backends.
         """
 
+    def close(self) -> None:
+        """Release resources held *across* runs.
+
+        The in-process backends hold none (no-op); the process backend
+        overrides this to stop a persistent worker pool
+        (``RuntimeConfig.persistent_workers``). Safe to call repeatedly.
+        """
+
     def __repr__(self) -> str:  # pragma: no cover - diagnostics only
         return f"{type(self).__name__}(workers={self.config.workers})"

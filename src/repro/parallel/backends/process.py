@@ -30,6 +30,19 @@ After the queue drains, *settlement rounds* broadcast leftover deltas
 until no worker's parked-match cascade produces new ops — the distributed
 equivalent of the shared-engine fixpoint, so all backends return identical
 verdicts (the algorithms are Church-Rosser over a monotone ``Eq``).
+
+With ``RuntimeConfig.persistent_workers`` the pool additionally survives
+between ``run()`` calls on the same :class:`UnitContext` — the mutation-
+heavy serving shape. The coordinator's graph retains a version-stamped
+history of its topology ops (:meth:`PropertyGraph.retain_deltas`); a
+follow-up run ships each standing replica only the ops since the last
+exchange plus the fresh engine, the worker replays them onto its graph
+copy (:func:`repro.graph.delta.replay`), drops its topology-derived caches
+(:meth:`UnitContext.note_topology_change`) and lets its *index* absorb the
+same ops through the journal/:meth:`GraphIndex.apply_delta` path — no
+re-fork, no snapshot re-pickling, no O(|G|) recompile. The caller owns the
+pool's lifetime (:meth:`ProcessBackend.close`); a context switch or a
+history gap falls back to a cold start transparently.
 """
 
 from __future__ import annotations
@@ -41,6 +54,7 @@ from collections import deque
 from multiprocessing import connection as mp_connection
 from typing import Deque, Dict, List, Optional, Sequence, Set
 
+from ...graph.delta import replay as replay_delta_ops
 from ...graph.index import GraphIndex
 from ...reasoning.enforce import EnforcementEngine
 from ...reasoning.workunits import WorkUnit
@@ -159,11 +173,41 @@ def _handle_batch(state: _WorkerState, batch: Sequence[WorkUnit], ops) -> tuple:
     return ("done", results, new_ops, eq.conflict, goal_reached, busy)
 
 
+def _handle_refresh(state: _WorkerState, message: tuple) -> None:
+    """Bring this standing replica up to the coordinator's state.
+
+    The coordinator ships the topology ops its graph accumulated since the
+    last exchange (instead of a fresh snapshot); the replica replays them
+    onto its own graph — the journal then feeds the local index's
+    ``apply_delta``, so worker-side index upkeep is O(|delta|) too — drops
+    topology-derived caches, and installs the new run's engine/goal knobs.
+    Match plans survive: they revalidate against the index epoch. Only
+    GFDs new since the last exchange are shipped (the registry is
+    append-only); the engine arrives without its gfd dict and is rebound
+    to the merged local registry here.
+    """
+    _, ops, new_gfds, engine, goal, ttl_ticks, max_split_units = message
+    context = state.context
+    replay_delta_ops(context.graph, ops)
+    context.gfds.update(new_gfds)
+    context.note_topology_change()
+    context.graph.index()  # absorb the replayed ops in place
+    context.precompile_plans()
+    engine.gfds = context.gfds
+    state.engine = engine
+    state.goal = goal
+    state.ttl_ticks = ttl_ticks
+    state.max_split_units = max_split_units
+
+
 def _worker_main(conn, payload: Optional[bytes]) -> None:
-    """Worker process entry: serve batch/sync requests until stopped."""
+    """Worker process entry: serve batch/sync/refresh requests until stopped."""
     try:
         state = _FORK_STATE if payload is None else load_worker_snapshot(payload)
         assert state is not None
+        # Replicas never serve delta history themselves; a fork-inherited
+        # retention flag would only grow dead weight on every refresh.
+        state.context.graph.retain_deltas(False)
         while True:
             try:
                 message = conn.recv()
@@ -177,6 +221,9 @@ def _worker_main(conn, payload: Optional[bytes]) -> None:
                     conn.send(_handle_batch(state, message[1], message[2]))
                 elif kind == "sync":
                     conn.send(_handle_batch(state, (), message[1]))
+                elif kind == "refresh":
+                    _handle_refresh(state, message)
+                    conn.send(("refreshed",))
                 else:  # pragma: no cover - defensive
                     conn.send(("error", f"unknown message kind {kind!r}"))
             except Exception as exc:  # pragma: no cover - worker-side crash
@@ -189,9 +236,127 @@ def _worker_main(conn, payload: Optional[bytes]) -> None:
 
 
 class ProcessBackend(Backend):
-    """Coordinator + ``p`` OS-process workers with ΔEq replica exchange."""
+    """Coordinator + ``p`` OS-process workers with ΔEq replica exchange.
+
+    With ``config.persistent_workers`` the pool outlives ``run()``: the
+    backend remembers the :class:`UnitContext` and graph version it last
+    shipped, and follow-up runs on the same context refresh the standing
+    replicas with topology delta ops instead of restarting them. Call
+    :meth:`close` when done with the pool.
+    """
 
     name = "process"
+
+    def __init__(self, config) -> None:
+        super().__init__(config)
+        # Persistent-pool state: None, or a dict with conns/procs/dead/
+        # context/graph_version (see run()).
+        self._pool: Optional[Dict[str, object]] = None
+
+    # ------------------------------------------------------------------
+    # Persistent-pool lifecycle
+    # ------------------------------------------------------------------
+    def _refresh_pool(self, pool, context, engine, goal_check) -> bool:
+        """Ship graph deltas + the fresh engine to every standing replica.
+
+        Returns False — caller must cold-start — when the pool was built
+        for a different context, the graph cannot serve the delta history
+        back to the last shipped version, or no worker survives the
+        exchange. On success the shipped history is trimmed.
+        """
+        if pool["context"] is not context:
+            return False
+        graph = context.graph
+        ops = graph.delta_ops_since(pool["graph_version"])
+        if ops is None:
+            return False
+        config = self.config
+        conns: List = pool["conns"]
+        dead: Set[int] = pool["dead"]
+        # Ship only GFDs the replicas have not seen — the registry is
+        # append-only in this flow — and strip the engine's own gfd dict
+        # for the transfer (the worker rebinds it to its merged registry),
+        # so refresh cost stays O(|delta|) rather than O(|Σ|) per run.
+        shipped: Set[str] = pool["shipped_gfds"]
+        new_gfds = {
+            name: gfd for name, gfd in context.gfds.items() if name not in shipped
+        }
+        engine_gfds = engine.gfds
+        engine.gfds = {}
+        try:
+            message = (
+                "refresh",
+                ops,
+                new_gfds,
+                engine,
+                goal_check,
+                config.ttl_ticks,
+                config.max_split_units,
+            )
+            # Serialize once for all workers; a pickling failure (e.g. an
+            # unpicklable goal_check closure under a fork-started pool)
+            # must degrade to the cold-start fallback, not escape run()
+            # with the pool half-refreshed.
+            try:
+                blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                return False
+        finally:
+            engine.gfds = engine_gfds
+        recipients = [wid for wid in range(len(conns)) if wid not in dead]
+        for worker_id in recipients:
+            try:
+                # send_bytes pairs with the worker's recv(): Connection
+                # .recv() unpickles whatever bytes arrive.
+                conns[worker_id].send_bytes(blob)
+            except (OSError, ValueError):
+                dead.add(worker_id)
+        for worker_id in recipients:
+            if worker_id in dead:
+                continue
+            try:
+                reply = conns[worker_id].recv()
+            except (EOFError, ConnectionError):
+                dead.add(worker_id)
+                continue
+            if reply[0] == "error":
+                # The worker exits after reporting an error; mark it dead
+                # rather than raising, so a fully-failed refresh degrades
+                # to the cold-start fallback instead of wedging the pool.
+                dead.add(worker_id)
+        if len(dead) >= len(conns):
+            return False
+        pool["graph_version"] = graph.mutation_count
+        shipped.update(new_gfds)
+        graph.trim_delta_history(graph.mutation_count)
+        return True
+
+    @staticmethod
+    def _shutdown_workers(conns, procs, dead) -> None:
+        """Stop, join (with a deadline), and disconnect a worker set."""
+        for worker_id, conn in enumerate(conns):
+            if worker_id in dead:
+                continue
+            try:
+                conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        deadline = time.monotonic() + _JOIN_TIMEOUT
+        for proc in procs:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in conns:
+            conn.close()
+
+    def close(self) -> None:
+        """Tear down the persistent worker pool, if one is standing."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        self._shutdown_workers(pool["conns"], pool["procs"], pool["dead"])
+        pool["context"].graph.retain_deltas(False)
 
     def run(
         self,
@@ -213,48 +378,81 @@ class ProcessBackend(Backend):
             return outcome
 
         # Build everything workers inherit/receive *before* starting them:
-        # compiled index, match plans, and (for ParImp) the initial replica.
+        # compiled index (absorbing any pending mutation journal), match
+        # plans, and (for ParImp) the initial replica.
         context.graph.index()
         context.precompile_plans()
-        methods = mp.get_all_start_methods()
-        if self.config.start_method is not None:
-            method = self.config.start_method
-        elif "fork" in methods:
-            method = "fork"
-        else:
-            method = "spawn"
-        ctx = mp.get_context(method)
-        state = _WorkerState(
-            context, engine, goal_check, config.ttl_ticks, config.max_split_units
-        )
-        if method == "fork":
-            payload: Optional[bytes] = None
-            _FORK_STATE = state
-        else:
-            payload = make_worker_snapshot(
+
+        persistent = config.persistent_workers
+        pool = self._pool if persistent else None
+        conns: Optional[List] = None
+        procs: List = []
+        dead: Set[int] = set()
+        if pool is not None:
+            # Standing pool: ship deltas + the fresh engine instead of
+            # restarting; fall back to a cold start when that is impossible.
+            if self._refresh_pool(pool, context, engine, goal_check):
+                conns = pool["conns"]
+                procs = pool["procs"]
+                dead = pool["dead"]
+            else:
+                self.close()
+                pool = None
+        if conns is None:
+            methods = mp.get_all_start_methods()
+            if self.config.start_method is not None:
+                method = self.config.start_method
+            elif "fork" in methods:
+                method = "fork"
+            else:
+                method = "spawn"
+            ctx = mp.get_context(method)
+            if persistent:
+                # Retain a replayable op history from this point on, so the
+                # next run can ship deltas instead of snapshots.
+                context.graph.retain_deltas(True)
+            state = _WorkerState(
                 context, engine, goal_check, config.ttl_ticks, config.max_split_units
             )
+            if method == "fork":
+                payload: Optional[bytes] = None
+                _FORK_STATE = state
+            else:
+                payload = make_worker_snapshot(
+                    context, engine, goal_check, config.ttl_ticks, config.max_split_units
+                )
 
-        conns = []
-        procs = []
-        try:
-            for _ in range(config.workers):
-                parent_conn, child_conn = ctx.Pipe()
-                proc = ctx.Process(target=_worker_main, args=(child_conn, payload), daemon=True)
-                proc.start()
-                child_conn.close()
-                conns.append(parent_conn)
-                procs.append(proc)
-        finally:
-            _FORK_STATE = None
+            conns = []
+            try:
+                for _ in range(config.workers):
+                    parent_conn, child_conn = ctx.Pipe()
+                    proc = ctx.Process(
+                        target=_worker_main, args=(child_conn, payload), daemon=True
+                    )
+                    proc.start()
+                    child_conn.close()
+                    conns.append(parent_conn)
+                    procs.append(proc)
+            finally:
+                _FORK_STATE = None
+            if persistent:
+                pool = {
+                    "conns": conns,
+                    "procs": procs,
+                    "dead": dead,
+                    "context": context,
+                    "graph_version": context.graph.mutation_count,
+                    "shipped_gfds": set(context.gfds),
+                }
 
         conn_worker = {conn: wid for wid, conn in enumerate(conns)}
         pending: Deque[WorkUnit] = deque(units)
         requeue = requeue_front(pending)
         synced = [eq.log_position()] * config.workers
-        idle: Deque[int] = deque(range(config.workers))
+        idle: Deque[int] = deque(
+            wid for wid in range(config.workers) if wid not in dead
+        )
         in_flight: Dict[int, List[WorkUnit]] = {}
-        dead: Set[int] = set()
         terminated = False
 
         def dispatch(worker_id: int, batch: List[WorkUnit], kind: str = "units") -> bool:
@@ -308,6 +506,7 @@ class ProcessBackend(Backend):
                 terminated = True
             return terminated
 
+        run_ok = False
         try:
             # Main dispatch loop: dynamic assignment to free workers, split
             # sub-units requeued at the queue front as results come back.
@@ -364,22 +563,17 @@ class ProcessBackend(Backend):
                     except (EOFError, ConnectionError):
                         in_flight.pop(worker_id, None)
                         dead.add(worker_id)
+            run_ok = True
         finally:
-            for worker_id, conn in enumerate(conns):
-                if worker_id in dead:
-                    continue
-                try:
-                    conn.send(("stop",))
-                except (OSError, BrokenPipeError):
-                    pass
-            deadline = time.monotonic() + _JOIN_TIMEOUT
-            for proc in procs:
-                proc.join(timeout=max(0.0, deadline - time.monotonic()))
-                if proc.is_alive():  # pragma: no cover - stuck worker
-                    proc.terminate()
-                    proc.join(timeout=1.0)
-            for conn in conns:
-                conn.close()
+            if pool is not None and run_ok and len(dead) < config.workers:
+                # Persistent mode: keep the surviving replicas standing for
+                # the next run's delta refresh.
+                self._pool = pool
+            else:
+                if pool is not None:
+                    self._pool = None
+                    context.graph.retain_deltas(False)
+                self._shutdown_workers(conns, procs, dead)
 
         outcome.wall_seconds = time.perf_counter() - started
         outcome.virtual_seconds = outcome.wall_seconds

@@ -71,6 +71,14 @@ class RuntimeConfig:
         picks ``fork`` where available — workers then inherit the prebuilt
         index and caches copy-on-write — and falls back to ``spawn`` with
         a pickled worker snapshot elsewhere.
+    persistent_workers:
+        Process backend only: keep the worker pool alive between ``run()``
+        calls on the same :class:`~repro.parallel.units.UnitContext`.
+        Follow-up runs then ship standing replicas the graph's topology
+        *delta ops* (plus the fresh engine) instead of re-forking or
+        re-pickling full snapshots — the mutation-heavy serving shape.
+        The caller owns the pool's lifetime: call ``Backend.close()``
+        when done. Off by default (one-shot runs tear down as before).
     """
 
     workers: int = 4
@@ -81,6 +89,7 @@ class RuntimeConfig:
     use_dependency_order: bool = True
     use_simulation_pruning: bool = True
     start_method: Optional[str] = None
+    persistent_workers: bool = False
     costs: CostModel = field(default_factory=CostModel)
 
     def __post_init__(self) -> None:

@@ -22,7 +22,11 @@ an execution-backend subsystem:
   - ``process`` — :class:`~repro.parallel.backends.process.
     ProcessBackend`: ``multiprocessing`` workers forked against the
     prebuilt :class:`~repro.graph.index.GraphIndex`, exchanging pickled
-    work units and ``ΔEq`` deltas — ParSat/ParImp on real cores.
+    work units and ``ΔEq`` deltas — ParSat/ParImp on real cores. With
+    ``RuntimeConfig.persistent_workers`` the pool survives between runs
+    and is refreshed with graph topology *delta ops* (replayed into each
+    replica's index via ``GraphIndex.apply_delta``) instead of fresh
+    snapshots — the mutation-heavy serving configuration.
 
 All backends share the protocol of Fig. 3: units are assigned dynamically
 in small batches, split sub-units go to the *front* of the queue (paper,

@@ -62,6 +62,10 @@ class UnitContext:
     ) -> None:
         self.graph = graph
         self.gfds = dict(gfds_by_name)
+        # The caller's request, kept separately: the effective flag below
+        # also depends on graph size, which deltas can change — it is
+        # re-derived in :meth:`note_topology_change`.
+        self._simulation_requested = use_simulation_pruning
         self.use_simulation_pruning = (
             use_simulation_pruning and graph.num_nodes <= self.SIMULATION_NODE_LIMIT
         )
@@ -72,14 +76,51 @@ class UnitContext:
         self._neighborhoods: Dict[tuple, Set[NodeId]] = {}
         self._candidates: Dict[str, Optional[Dict[str, Set[NodeId]]]] = {}
         self._plans: Dict[str, MatchPlan] = {}
+        # Graph mutation count the topology caches are valid for; checked
+        # lazily at every cache entry point so a context reused across
+        # mutations (any backend, or direct execute_unit) never serves
+        # stale neighborhoods or candidate sets.
+        self._topology_version = graph.mutation_count
 
     def plan_for(self, gfd: GFD) -> MatchPlan:
-        """The compiled match plan shared by all of *gfd*'s work units."""
+        """The compiled match plan shared by all of *gfd*'s work units.
+
+        Delta-aware: a cached plan whose index has pending journal ops (or
+        was superseded by a compaction rebuild) is re-fetched through
+        :func:`~repro.matching.plan.get_plan`, which absorbs the journal
+        and revalidates — normally handing the same plan object back.
+        """
         plan = self._plans.get(gfd.name)
-        if plan is None:
+        if plan is None or plan.index.graph is not self.graph or plan.index.stale:
             plan = get_plan(gfd.pattern, self.graph)
             self._plans[gfd.name] = plan
         return plan
+
+    def note_topology_change(self) -> None:
+        """Invalidate every topology-derived cache after graph mutations.
+
+        Invoked lazily by the cache entry points whenever the graph's
+        mutation count has advanced (so *any* run-mutate-run reuse of a
+        context is safe, regardless of backend), and explicitly by
+        standing process workers when replaying a coordinator delta: BFS
+        hop maps, materialized ``dQ``-neighborhood sets and
+        dual-simulation candidate sets may all have changed, so they are
+        dropped and recomputed on demand. Compiled match plans are *kept*
+        — they revalidate against the index epoch on next use
+        (:meth:`plan_for`).
+        """
+        self._hop_maps.clear()
+        self._neighborhoods.clear()
+        self._candidates.clear()
+        self._topology_version = self.graph.mutation_count
+        # Re-derive the size-gated simulation decision: deltas may have
+        # grown the graph past SIMULATION_NODE_LIMIT (or a caller may
+        # construct contexts small and grow them), and the global
+        # dual-simulation pre-pass is exactly the cost the limit avoids.
+        self.use_simulation_pruning = (
+            self._simulation_requested
+            and self.graph.num_nodes <= self.SIMULATION_NODE_LIMIT
+        )
 
     def precompile_plans(self, gfds=None) -> None:
         """Compile plans for *gfds* (default: all registered) up front, so
@@ -87,7 +128,13 @@ class UnitContext:
         for gfd in self.gfds.values() if gfds is None else gfds:
             self.plan_for(gfd)
 
+    def _ensure_current(self) -> None:
+        """Drop topology caches if the graph has mutated since last use."""
+        if self.graph.mutation_count != self._topology_version:
+            self.note_topology_change()
+
     def _hop_map(self, pivot: NodeId, radius: int) -> Dict[NodeId, int]:
+        self._ensure_current()
         cached = self._hop_maps.get(pivot)
         if cached is None or cached[0] < radius:
             cached = (radius, bfs_hops(self.graph, pivot, max_hops=radius))
@@ -97,6 +144,7 @@ class UnitContext:
     def allowed_nodes(self, pivot: NodeId, radius: Optional[int]) -> Optional[Set[NodeId]]:
         if radius is None:
             return None
+        self._ensure_current()
         key = (pivot, radius)
         allowed = self._neighborhoods.get(key)
         if allowed is None:
@@ -153,6 +201,7 @@ class UnitContext:
         A GFD whose simulation is empty can never match; that case is
         encoded as ``{var: set()}`` so the matcher terminates immediately.
         """
+        self._ensure_current()
         if not self.use_simulation_pruning:
             return None
         if gfd.name not in self._candidates:

@@ -21,6 +21,17 @@ sound fallback to full recomputation for the affected step.
 
 ``Eq`` is monotone, so a conflict is permanent: once unsatisfiable, every
 extension stays unsatisfiable and additions become no-ops.
+
+Index economics of one ``add`` (PR 3): appending a pattern component used
+to invalidate the canonical graph's compiled
+:class:`~repro.graph.index.GraphIndex`, forcing an O(|GΣ|) recompile — and
+discarding every cached :class:`~repro.matching.plan.MatchPlan` — per
+step. The graph now journals the component's nodes/edges and the index
+absorbs them in place (:meth:`GraphIndex.apply_delta`), so per-step index
+upkeep is O(|pattern|) and the existing GFDs' plans survive via epoch
+revalidation; each :class:`IncrementalStep` reports the number of delta
+ops absorbed. See ``benchmarks/bench_incremental.py`` for the measured
+per-add effect.
 """
 
 from __future__ import annotations
@@ -48,6 +59,10 @@ class IncrementalStep:
     conflict: Optional[Conflict]
     new_matches: int
     recomputed: bool = False
+    #: Journal ops the compiled index absorbed in place for this step
+    #: (the added component's nodes and edges) — the O(|delta|) cost that
+    #: replaced the former O(|GΣ|) index recompile.
+    index_delta_ops: int = 0
 
 
 class IncrementalSat:
@@ -101,12 +116,18 @@ class IncrementalSat:
             return step
 
         new_nodes = self._register(gfd)
+        # Absorb the new component into the compiled index up front
+        # (O(|delta|) via the mutation journal) so every matcher run below
+        # starts from a current index and surviving plans.
+        delta_ops = self.graph.pending_delta_ops
+        self.graph.index()
         if not gfd.pattern.is_connected():
             self._has_disconnected = True
         if self._has_disconnected:
             step = self._recompute(gfd.name)
         else:
             step = self._incremental_step(gfd, new_nodes)
+        step.index_delta_ops = delta_ops
         self.steps.append(step)
         return step
 

@@ -24,28 +24,28 @@ class TestBuild:
         index = graph.index()
         knows = index.label_id("knows")
         lives = index.label_id("lives_in")
-        assert index.out_neighbors(0, knows) == (1,)
-        assert index.out_neighbors(0, lives) == (2,)
-        assert index.in_neighbors(2, lives) == (0, 1)
-        assert index.out_neighbors(2, knows) == EMPTY_GROUP
+        assert list(index.out_neighbors(0, knows)) == [1]
+        assert list(index.out_neighbors(0, lives)) == [2]
+        assert list(index.in_neighbors(2, lives)) == [0, 1]
+        assert index.out_neighbors(2, knows) is EMPTY_GROUP
 
     def test_any_label_groups_dedup_in_order(self, graph):
         index = graph.index()
         # Node 0 has edges to 1 (knows), 2 (lives_in), 1 (likes): the
         # any-label group keeps first-occurrence order without duplicates.
-        assert index.out_neighbors(0, None) == (1, 2)
-        assert index.in_neighbors(1, None) == (0,)
+        assert list(index.out_neighbors(0, None)) == [1, 2]
+        assert list(index.in_neighbors(1, None)) == [0]
 
     def test_label_buckets_insertion_order(self, graph):
         index = graph.index()
-        assert index.nodes_with_label("person") == (0, 1)
-        assert index.nodes_with_label("city") == (2,)
-        assert index.nodes_with_label("ghost") == EMPTY_GROUP
+        assert list(index.nodes_with_label("person")) == [0, 1]
+        assert list(index.nodes_with_label("city")) == [2]
+        assert index.nodes_with_label("ghost") is EMPTY_GROUP
         assert index.label_id("ghost") == NO_LABEL
 
     def test_positions_and_nodes(self, graph):
         index = graph.index()
-        assert index.nodes == (0, 1, 2)
+        assert list(index.nodes) == [0, 1, 2]
         assert index.position == {0: 0, 1: 1, 2: 2}
 
     def test_degrees(self, graph):
@@ -54,39 +54,60 @@ class TestBuild:
         assert index.in_degree[2] == 2
 
 
-class TestCachingAndInvalidation:
+class TestCachingAndMaintenance:
     def test_index_is_cached_between_mutations(self, graph):
         assert graph.index() is graph.index()
 
-    def test_add_node_invalidates(self, graph):
+    def test_add_node_is_absorbed_in_place(self, graph):
         first = graph.index()
         graph.add_node("person")
+        assert first.stale  # journal pending
         second = graph.index()
-        assert second is not first
-        assert first.stale and not second.stale
-        assert second.nodes_with_label("person") == (0, 1, 3)
+        assert second is first  # delta path: same object, maintained
+        assert not second.stale
+        assert list(second.nodes_with_label("person")) == [0, 1, 3]
 
-    def test_add_edge_invalidates(self, graph):
+    def test_add_edge_is_absorbed_in_place(self, graph):
         first = graph.index()
         graph.add_edge(1, 0, "knows")
-        assert graph.index() is not first
-        assert graph.index().out_neighbors(1, graph.index().label_id("knows")) == (0,)
+        assert graph.index() is first
+        assert list(graph.index().out_neighbors(1, graph.index().label_id("knows"))) == [0]
 
-    def test_duplicate_edge_does_not_invalidate(self, graph):
+    def test_duplicate_edge_is_not_journaled(self, graph):
         first = graph.index()
         graph.add_edge(0, 1, "knows")  # duplicate triple: ignored
-        assert graph.index() is first
+        assert graph.pending_delta_ops == 0
+        assert graph.index() is first and not first.stale
 
-    def test_set_attr_does_not_invalidate(self, graph):
+    def test_set_attr_is_not_journaled(self, graph):
         first = graph.index()
         graph.set_attr(0, "name", "ada")
-        assert graph.index() is first
+        assert graph.pending_delta_ops == 0
+        assert graph.index() is first and not first.stale
 
     def test_mutation_count_monotone(self, graph):
         before = graph.mutation_count
         graph.add_node("x")
         graph.add_edge(0, 1, "new_label")
         assert graph.mutation_count == before + 2
+
+    def test_delta_disabled_rebuilds_from_scratch(self, graph):
+        graph.index_delta_enabled = False
+        first = graph.index()
+        graph.add_node("person")
+        second = graph.index()
+        assert second is not first
+        assert first.stale and not second.stale
+        assert list(second.nodes_with_label("person")) == [0, 1, 3]
+
+    def test_compaction_rebuilds_past_threshold(self, graph):
+        graph.INDEX_COMPACTION_MIN = 2  # shrink the floor for the test
+        first = graph.index()
+        for _ in range(8):  # journal (8) > max(2, 0.25 * |G|) -> compaction
+            graph.add_node("person")
+        second = graph.index()
+        assert second is not first
+        assert not second.stale and graph.pending_delta_ops == 0
 
 
 class TestSharedSentinels:

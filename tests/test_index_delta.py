@@ -1,0 +1,331 @@
+"""Incremental :class:`GraphIndex` maintenance: delta path, compaction,
+plan epoch revalidation, delta history, and the delta-aware layers."""
+
+import pytest
+
+from repro import PropertyGraph, parse_gfds, seq_sat
+from repro.chase import IncrementalChase, chase_satisfiability
+from repro.graph.delta import AddEdge, AddNode, SetLabel, replay
+from repro.graph.index import EMPTY_GROUP, NO_LABEL, GraphIndex
+from repro.gfd import make_pattern
+from repro.matching.homomorphism import MatcherRun, find_homomorphisms
+from repro.matching.plan import get_plan
+from repro.reasoning.incremental import IncrementalSat
+
+
+def small_graph():
+    g = PropertyGraph()
+    a = g.add_node("person")  # 0
+    b = g.add_node("person")  # 1
+    c = g.add_node("city")  # 2
+    g.add_edge(a, b, "knows")
+    g.add_edge(a, c, "lives_in")
+    g.add_edge(b, c, "lives_in")
+    return g
+
+
+def assert_equivalent_to_rebuild(graph):
+    """The maintained index must match a from-scratch rebuild canonically."""
+    maintained = graph.index()
+    assert not maintained.stale
+    rebuilt = GraphIndex(graph)
+    assert maintained.canonical_form() == rebuilt.canonical_form()
+
+
+class TestApplyDelta:
+    def test_node_add_extends_buckets_and_positions(self):
+        g = small_graph()
+        index = g.index()
+        d = g.add_node("person")
+        e = g.add_node("village")  # brand-new label
+        assert g.index() is index
+        assert list(index.nodes_with_label("person")) == [0, 1, d]
+        assert list(index.nodes_with_label("village")) == [e]
+        assert index.position[e] == 4
+        assert index.label_id("village") != NO_LABEL
+        assert_equivalent_to_rebuild(g)
+
+    def test_edge_add_extends_adjacency_and_degrees(self):
+        g = small_graph()
+        index = g.index()
+        g.add_edge(1, 0, "knows")
+        g.add_edge(0, 1, "likes")  # second label on an existing pair
+        assert g.index() is index
+        knows = index.label_id("knows")
+        assert list(index.out_neighbors(1, knows)) == [0]
+        assert index.out_degree[1] == 2  # lives_in + knows
+        # Any-label group stays deduplicated: 0 -> 1 existed already.
+        assert list(index.out_neighbors(0, None)) == [1, 2]
+        assert_equivalent_to_rebuild(g)
+
+    def test_two_labels_on_a_new_pair_in_one_batch(self):
+        g = small_graph()
+        g.index()
+        a = g.add_node("person")
+        b = g.add_node("person")
+        g.add_edge(a, b, "x")
+        g.add_edge(a, b, "y")  # same fresh pair, second label, same batch
+        assert list(g.index().out_neighbors(a, None)) == [b]
+        assert list(g.index().in_neighbors(b, None)) == [a]
+        assert_equivalent_to_rebuild(g)
+
+    def test_second_label_on_preexisting_pair_across_batches(self):
+        g = small_graph()
+        g.index()
+        g.add_edge(0, 1, "likes")  # 0 -> 1 'knows' predates the index
+        g.index()
+        g.add_edge(0, 1, "admires")  # and a third label, next batch
+        assert list(g.index().out_neighbors(0, None)) == [1, 2]
+        assert_equivalent_to_rebuild(g)
+
+    def test_edge_with_new_endpoint_in_same_batch(self):
+        g = small_graph()
+        g.index()
+        n = g.add_node("person")
+        g.add_edge(n, 0, "knows")
+        g.add_edge(2, n, "hosts")
+        assert_equivalent_to_rebuild(g)
+
+    def test_relabel_moves_between_buckets_in_position_order(self):
+        g = small_graph()
+        index = g.index()
+        g.set_node_label(2, "person")  # city -> person
+        assert g.index() is index
+        # Node 2 must sit at its *insertion-order* position in the bucket,
+        # exactly where a rebuild would put it.
+        assert list(index.nodes_with_label("person")) == [0, 1, 2]
+        assert index.nodes_with_label("city") == []
+        assert_equivalent_to_rebuild(g)
+
+    def test_relabel_to_same_label_is_a_noop(self):
+        g = small_graph()
+        g.index()
+        g.set_node_label(0, "person")
+        assert g.pending_delta_ops == 0
+
+    def test_fanout_caches_refresh_after_delta(self):
+        g = small_graph()
+        index = g.index()
+        lives = index.label_id("lives_in")
+        assert index.avg_out_fanout(lives) == 1.0
+        n = g.add_node("city")
+        g.add_edge(0, n, "lives_in")
+        g.index()
+        # Node 0 now has two lives_in out-edges, node 1 one: avg 1.5.
+        assert index.avg_out_fanout(index.label_id("lives_in")) == 1.5
+
+    def test_version_tracks_mutation_count(self):
+        g = small_graph()
+        index = g.index()
+        g.add_node("x")
+        g.add_edge(0, 1, "y")
+        g.set_node_label(0, "z")
+        g.index()
+        assert index.version == g.mutation_count
+        assert index.epoch == 1  # one batch, one epoch
+
+    def test_mixed_sequence_matches_rebuild(self):
+        g = small_graph()
+        g.index()
+        for step in range(6):
+            n = g.add_node(f"L{step % 3}")
+            g.add_edge(n, step % 3, f"e{step % 2}")
+            g.set_node_label(step % 3, f"L{(step + 1) % 3}")
+            assert_equivalent_to_rebuild(g)
+
+
+class TestJournalLifecycle:
+    def test_no_journal_before_first_compile(self):
+        g = PropertyGraph()
+        g.add_node("a")
+        g.add_node("b")
+        assert g.pending_delta_ops == 0  # nothing to patch yet
+
+    def test_journal_consumed_by_index_call(self):
+        g = small_graph()
+        g.index()
+        g.add_node("a")
+        assert g.pending_delta_ops == 1
+        g.index()
+        assert g.pending_delta_ops == 0
+
+    def test_pickled_graph_sheds_journal(self):
+        import pickle
+
+        g = small_graph()
+        g.index()
+        g.add_node("a")
+        clone = pickle.loads(pickle.dumps(g))
+        assert clone.pending_delta_ops == 0
+        assert clone.mutation_count == g.mutation_count
+        # A fresh compile on the clone reflects everything.
+        assert list(clone.index().nodes_with_label("a")) == [3]
+
+    def test_compaction_boundary_exact(self):
+        g = small_graph()
+        g.INDEX_COMPACTION_MIN = 4
+        g.INDEX_COMPACTION_FRACTION = 0.0
+        first = g.index()
+        for _ in range(4):  # == limit: delta path
+            g.add_node("person")
+        assert g.index() is first
+        for _ in range(5):  # > limit: compaction rebuild
+            g.add_node("person")
+        second = g.index()
+        assert second is not first
+        assert_equivalent_to_rebuild(g)
+
+    def test_delta_disabled_always_rebuilds(self):
+        g = small_graph()
+        g.index_delta_enabled = False
+        first = g.index()
+        g.add_node("person")
+        assert g.index() is not first
+        assert_equivalent_to_rebuild(g)
+
+
+class TestDeltaHistory:
+    def test_history_serves_ops_since_version(self):
+        g = small_graph()
+        g.retain_deltas(True)
+        mark = g.mutation_count
+        g.add_node("a")
+        g.add_edge(3, 0, "knows")
+        ops = g.delta_ops_since(mark)
+        assert ops == [AddNode(3, "a", None), AddEdge(3, 0, "knows")]
+        assert g.delta_ops_since(g.mutation_count) == []
+
+    def test_history_gap_returns_none(self):
+        g = small_graph()
+        mark = g.mutation_count
+        g.add_node("a")  # not retained: retention enabled after
+        g.retain_deltas(True)
+        g.add_node("b")
+        assert g.delta_ops_since(mark) is None
+
+    def test_trim_forgets_old_ops(self):
+        g = small_graph()
+        g.retain_deltas(True)
+        mark = g.mutation_count
+        g.add_node("a")
+        g.trim_delta_history(g.mutation_count)
+        assert g.delta_ops_since(mark) is None
+        assert g.delta_ops_since(g.mutation_count) == []
+
+    def test_replay_reproduces_graph(self):
+        g = small_graph()
+        replica = g.copy()
+        g.retain_deltas(True)
+        mark = g.mutation_count
+        g.add_node("a", {"k": 1})
+        g.add_edge(3, 0, "knows")
+        g.set_node_label(2, "metropolis")
+        applied = replay(replica, g.delta_ops_since(mark))
+        assert applied == 3
+        assert replica.label(3) == "a" and replica.attrs(3) == {"k": 1}
+        assert replica.has_edge(3, 0, "knows")
+        assert replica.label(2) == "metropolis"
+        assert GraphIndex(replica).canonical_form() == GraphIndex(g).canonical_form()
+
+
+class TestSnapshotFreezing:
+    def test_snapshot_is_frozen_against_later_deltas(self):
+        g = small_graph()
+        index = g.index()
+        snapshot = index.to_snapshot()
+        knows = index.label_id("knows")
+        g.add_edge(1, 0, "knows")
+        g.add_node("person")
+        g.index()  # live index mutates in place...
+        assert snapshot["out"].get((1, knows)) is None  # ...snapshot does not
+        assert list(snapshot["label_buckets"][index.label_id("person")]) == [0, 1]
+
+
+class TestPlanEpochRevalidation:
+    def test_plan_survives_unrelated_delta(self):
+        g = small_graph()
+        pattern = make_pattern({"x": "person", "y": "city"}, [("x", "y", "lives_in")])
+        plan = get_plan(pattern, g)
+        layout_before = plan.layout(())
+        g.add_node("village")  # label the plan does not watch
+        assert get_plan(pattern, g) is plan
+        assert plan.layout(()) is layout_before  # layouts kept
+
+    def test_plan_recompiles_when_watched_label_appears(self):
+        g = small_graph()
+        pattern = make_pattern({"x": "person", "y": "pub"}, [("x", "y", "visits")])
+        plan = get_plan(pattern, g)
+        assert find_homomorphisms(pattern, g) == []
+        pub = g.add_node("pub")  # 'pub' was compiled as NO_LABEL
+        g.add_edge(0, pub, "visits")
+        matches = find_homomorphisms(pattern, g)
+        assert [(m["x"], m["y"]) for m in matches] == [(0, pub)]
+        assert get_plan(pattern, g) is plan  # same surviving plan object
+
+    def test_new_watched_edge_label_triggers_recompile(self):
+        g = small_graph()
+        pattern = make_pattern({"x": "person", "y": "person"}, [("x", "y", "mentors")])
+        get_plan(pattern, g)
+        assert find_homomorphisms(pattern, g) == []
+        g.add_edge(1, 0, "mentors")
+        matches = find_homomorphisms(pattern, g)
+        assert [(m["x"], m["y"]) for m in matches] == [(1, 0)]
+
+    def test_matcher_with_lagging_plan_sees_delta(self):
+        g = small_graph()
+        pattern = make_pattern({"x": "person", "y": "city"}, [("x", "y", "lives_in")])
+        plan = get_plan(pattern, g)
+        n = g.add_node("person")
+        g.add_edge(n, 2, "lives_in")
+        run = MatcherRun(pattern, g, plan=plan)
+        assert any(m["x"] == n for m in run.matches())
+
+
+class TestIncrementalLayers:
+    def test_incsat_steps_report_delta_ops_and_keep_index(self, example8_sigma):
+        state = IncrementalSat()
+        state.add(example8_sigma[0])
+        index_after_first = state.graph.index()
+        step = state.add(example8_sigma[1])
+        # The second component flowed through the journal, in place.
+        assert step.index_delta_ops > 0
+        assert state.graph.index() is index_after_first
+        assert state.satisfiable == seq_sat(example8_sigma[:2]).satisfiable
+
+    def test_incsat_verdicts_unchanged(self, example2_conflicting, example4_sigma):
+        assert not IncrementalSat(example2_conflicting).satisfiable
+        assert not IncrementalSat(example4_sigma).satisfiable
+
+    def test_incremental_chase_agrees_with_batch(self, example4_sigma, example8_sigma):
+        chase = IncrementalChase()
+        for gfd in example8_sigma:
+            assert chase.add(gfd).verdict
+        assert chase.satisfiable == chase_satisfiability(example8_sigma).verdict is True
+        assert chase.stats.index_delta_ops > 0
+
+        conflicting = IncrementalChase()
+        verdicts = [conflicting.add(gfd).verdict for gfd in example4_sigma]
+        assert verdicts[-1] is False
+        assert not conflicting.satisfiable
+        assert conflicting.satisfiable == chase_satisfiability(example4_sigma).verdict
+
+    def test_incremental_chase_conflict_is_permanent(self, example2_conflicting):
+        chase = IncrementalChase(example2_conflicting)
+        assert not chase.satisfiable
+        extra = parse_gfds("gfd extra { q: z; then q.Q = 1; }")[0]
+        assert not chase.add(extra).verdict
+
+    def test_incremental_chase_duplicate_name_rejected(self, example8_sigma):
+        from repro.errors import GFDError
+
+        chase = IncrementalChase([example8_sigma[0]])
+        with pytest.raises(GFDError):
+            chase.add(example8_sigma[0])
+
+    def test_incremental_chase_maintains_one_index(self, example8_sigma):
+        chase = IncrementalChase([example8_sigma[0]])
+        index = chase.graph.index()
+        for gfd in example8_sigma[1:]:
+            chase.add(gfd)
+        assert chase.graph.index() is index
+        assert_equivalent_to_rebuild(chase.graph)

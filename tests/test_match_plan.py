@@ -33,13 +33,18 @@ class TestPlanReuse:
         pattern = make_pattern({"x": "person", "y": "city"}, [("x", "y", "lives_in")])
         assert get_plan(pattern, social_graph) is get_plan(pattern, social_graph)
 
-    def test_mutation_produces_fresh_plan(self, social_graph):
+    def test_plan_survives_mutation_via_delta_epoch(self, social_graph):
+        """Since the delta path (PR 3), a mutation no longer discards the
+        compiled plan: the index absorbs the journal in place and the
+        cached plan revalidates against the new epoch."""
         pattern = make_pattern({"x": "person"})
         before = get_plan(pattern, social_graph)
+        epoch_before = before.epoch
         social_graph.add_node("person")
         after = get_plan(pattern, social_graph)
-        assert after is not before
+        assert after is before
         assert after.index is social_graph.index()
+        assert after.epoch == social_graph.index().epoch > epoch_before
 
     def test_pivoted_runs_share_one_layout(self, social_graph):
         pattern = make_pattern(
@@ -67,16 +72,19 @@ class TestPlanReuse:
         explicit = find_homomorphisms(pattern, social_graph, plan=plan)
         assert match_keys(implicit) == match_keys(explicit)
 
-    def test_stale_explicit_plan_is_replaced(self, social_graph):
+    def test_lagging_explicit_plan_is_refreshed(self, social_graph):
         """A plan passed explicitly after a mutation must not poison the
-        run — the constructor swaps in the fresh shared plan."""
+        run — the constructor routes through get_plan, which absorbs the
+        pending journal and revalidates the (same, surviving) plan."""
         pattern = make_pattern({"x": "person", "y": "city"}, [("x", "y", "lives_in")])
-        stale_plan = get_plan(pattern, social_graph)
+        lagging_plan = get_plan(pattern, social_graph)
         extra = social_graph.add_node("person")
         city = next(iter(social_graph.nodes_with_label("city")))
         social_graph.add_edge(extra, city, "lives_in")
-        run = MatcherRun(pattern, social_graph, plan=stale_plan)
-        assert run.plan is not stale_plan and not run.plan.index.stale
+        assert lagging_plan.index.stale  # journal pending at this point
+        run = MatcherRun(pattern, social_graph, plan=lagging_plan)
+        assert not run.plan.index.stale
+        assert run.plan.epoch == run.plan.index.epoch
         assert any(m["x"] == extra for m in run.matches())
 
     def test_mismatched_explicit_plan_is_replaced(self, social_graph):

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Docs link checker: every relative markdown link must resolve.
+
+Scans the repo's markdown files (README.md, docs/, ROADMAP.md, ...) for
+``[text](target)`` links, resolves relative targets against the containing
+file, and fails with a listing of broken ones. External links
+(http/https/mailto) are not fetched — this is an offline integrity check,
+run by CI after every push.
+
+Usage::
+
+    python tools/check_docs_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links; images share the syntax (leading ``!`` ignored).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Markdown files considered documentation (repo-root globs).
+DOC_GLOBS = ("*.md", "docs/**/*.md")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_links(path: Path):
+    text = path.read_text(encoding="utf-8")
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield match.group(1)
+
+
+def check(root: Path) -> int:
+    broken = []
+    checked = 0
+    for pattern in DOC_GLOBS:
+        for doc in sorted(root.glob(pattern)):
+            for target in iter_links(doc):
+                if target.startswith(SKIP_PREFIXES):
+                    continue
+                relative = target.split("#", 1)[0]
+                if not relative:
+                    continue
+                checked += 1
+                resolved = (doc.parent / relative).resolve()
+                if not resolved.exists():
+                    broken.append(f"{doc.relative_to(root)}: {target}")
+    if broken:
+        print("Broken documentation links:")
+        for entry in broken:
+            print(f"  {entry}")
+        return 1
+    print(f"docs link-check OK ({checked} relative links resolved)")
+    return 0
+
+
+if __name__ == "__main__":
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent
+    sys.exit(check(root))
