@@ -27,6 +27,8 @@ from typing import Dict, List
 from repro.gfd.pattern import Pattern, make_pattern
 from repro.graph.graph import PropertyGraph
 from repro.matching.homomorphism import MatcherRun
+from repro.matching.plan import get_plan
+from repro.matching.simulation import dual_simulation
 
 
 def label_diverse_graph(
@@ -120,6 +122,113 @@ CONFIGS = [
 ]
 
 
+# ----------------------------------------------------------------------
+# Dense-id bitset workload (candidate-pipeline representation ablation)
+# ----------------------------------------------------------------------
+def hub_graph(
+    num_hubs: int,
+    num_leaves: int,
+    hub_degree: int,
+    seed: int,
+    rare_fraction: float = 0.15,
+) -> PropertyGraph:
+    """A hub-heavy graph with dense integer node ids and a rare label.
+
+    Scale-free-ish shape (the DBpedia/YAGO regime the paper evaluates on):
+    a few ``hub`` nodes with thousands of out-edges, mostly-``item``
+    leaves, and a sparse ``rare`` sublabel chained by ``rel`` edges. The
+    interesting candidate pools are *large* (hub adjacency groups, the
+    item bucket) while the filters (rare bucket, ``dQ``-ball, simulation
+    sets) prune hard — exactly where packed candidate vectors replace
+    per-element membership scans with word-level ANDs.
+    """
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    hubs = [graph.add_node("hub") for _ in range(num_hubs)]
+    leaves = [
+        graph.add_node("rare" if rng.random() < rare_fraction else "item")
+        for _ in range(num_leaves)
+    ]
+    for hub in hubs:
+        for leaf in rng.sample(leaves, k=hub_degree):
+            graph.add_edge(hub, leaf, "links")
+    rares = [leaf for leaf in leaves if graph.label(leaf) == "rare"]
+    for rare in rares:
+        for _ in range(3):
+            graph.add_edge(rare, rng.choice(rares), "rel")
+    return graph
+
+
+def bench_bitset_candidates(smoke: bool = False) -> Dict[str, object]:
+    """The ``use_bitsets`` ablation on the dense-id hub workload.
+
+    Runs the same pivot fan-out — per-hub runs restricted to a tight
+    allowed ball with dual-simulation candidate sets, the shape of a
+    work-unit batch under heavy pruning — once per candidate-set
+    representation, verifies the match streams are byte-identical, and
+    reports per-path wall time plus the bitset speedup.
+    """
+    if smoke:
+        num_hubs, num_leaves, hub_degree, ball = 12, 1200, 300, 150
+    else:
+        num_hubs, num_leaves, hub_degree, ball = 60, 6000, 1500, 300
+    graph = hub_graph(num_hubs, num_leaves, hub_degree, seed=23)
+    pattern = make_pattern(
+        {"x": "hub", "y": "rare", "z": "rare"},
+        [("x", "y", "links"), ("y", "z", "rel")],
+    )
+    index = graph.index()
+    plan = get_plan(pattern, graph)
+    rng = random.Random(29)
+    hubs = list(index.nodes_with_label("hub"))
+    # A tight dQ-ball: a small sample of all leaves (so the rare bucket is
+    # pruned hard too) plus the pivot hubs — the heavy-pruning regime the
+    # simulation pre-filter targets.
+    leaves = list(index.nodes_with_label("item")) + list(index.nodes_with_label("rare"))
+    ball_members = set(rng.sample(leaves, k=ball))
+    ball_members.update(hubs)
+
+    reps = 2 if smoke else 5
+    results: Dict[str, object] = {}
+    streams = {}
+    for name, use_bitsets in (("set", False), ("bitset", True)):
+        sim_started = time.perf_counter()
+        candidates = dual_simulation(pattern, graph, use_bitsets=use_bitsets)
+        sim_seconds = time.perf_counter() - sim_started
+        allowed = index.bitset(ball_members) if use_bitsets else ball_members
+        started = time.perf_counter()
+        stream = []
+        ticks = 0
+        for rep in range(reps):
+            for hub in hubs:
+                run = MatcherRun(
+                    pattern,
+                    graph,
+                    preassigned={"x": hub},
+                    allowed_nodes=allowed,
+                    candidate_sets=candidates,
+                    plan=plan,
+                )
+                for match in run.matches():
+                    if rep == 0:
+                        stream.append(tuple(sorted(match.items())))
+                ticks += run.ticks
+        seconds = (time.perf_counter() - started) / reps
+        streams[name] = stream
+        results[name] = {
+            "matches": len(stream),
+            "ticks": ticks // reps,
+            "seconds": round(seconds, 4),
+            "simulation_seconds": round(sim_seconds, 4),
+        }
+    mismatches = 0 if streams["set"] == streams["bitset"] else 1
+    set_s = results["set"]["seconds"] or 1e-9
+    bit_s = results["bitset"]["seconds"] or 1e-9
+    results["speedup"] = round(set_s / bit_s, 2)
+    results["ablation_mismatches"] = mismatches
+    return results
+
+
 def run_suite(smoke: bool = False) -> Dict[str, Dict[str, Dict[str, float]]]:
     configs = CONFIGS[:1] if smoke else CONFIGS
     results: Dict[str, Dict[str, Dict[str, float]]] = {}
@@ -138,6 +247,7 @@ def run_suite(smoke: bool = False) -> Dict[str, Dict[str, Dict[str, float]]]:
             "full": bench_full_enumeration(graph, pattern),
             "fanout": bench_pivot_fanout(graph, pattern),
         }
+    results["bitset-dense"] = bench_bitset_candidates(smoke=smoke)
     return results
 
 
@@ -147,13 +257,26 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "--smoke", action="store_true", help="run only the smallest config (CI smoke)"
     )
+    parser.add_argument(
+        "--check-ablation",
+        action="store_true",
+        help="run only the bitset workload and fail on any use_bitsets "
+        "on/off match-stream mismatch",
+    )
     args = parser.parse_args(argv)
-    results = run_suite(smoke=args.smoke)
+    if args.check_ablation:
+        results = {"bitset-dense": bench_bitset_candidates(smoke=args.smoke)}
+    else:
+        results = run_suite(smoke=args.smoke)
     payload = json.dumps(results, indent=2, sort_keys=True)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(payload + "\n")
     print(payload)
+    if results["bitset-dense"]["ablation_mismatches"]:
+        print("ABLATION MISMATCH: bitset and set candidate paths diverged",
+              file=sys.stderr)
+        return 1
     return 0
 
 

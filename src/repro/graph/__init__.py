@@ -1,5 +1,6 @@
 """Property-graph substrate: graphs, neighborhoods, and IO."""
 
+from .bitset import NodeBitset
 from .delta import AddEdge, AddNode, SetLabel, replay
 from .elements import WILDCARD, AttrValue, Edge, Node, NodeId, is_wildcard
 from .graph import PropertyGraph
@@ -30,6 +31,7 @@ __all__ = [
     "is_wildcard",
     "PropertyGraph",
     "GraphIndex",
+    "NodeBitset",
     "bfs_hops",
     "component_of",
     "connected_components",

@@ -1,0 +1,244 @@
+"""Dense node bitsets over a :class:`~repro.graph.index.GraphIndex`.
+
+The candidate-set plumbing of the matcher — ``allowed_nodes``
+neighborhoods, dual-simulation candidate sets, label buckets — spends most
+of its time on per-node membership tests and set intersections. For any
+compiled index, :attr:`GraphIndex.position` already maps every node id to a
+dense integer (its graph-insertion rank), so a candidate set can be packed
+into a single Python ``int`` used as a bit vector: bit ``i`` set means
+``index.nodes[i]`` is a member. Intersection and union collapse to one
+arbitrary-precision ``&``/``|`` over O(|G|/64) machine words, and iterating
+set bits in ascending order *is* graph insertion order — the canonical scan
+order every candidate pool already uses — so swapping sets for bitsets
+cannot perturb match streams.
+
+:class:`NodeBitset` wraps such an ``int`` together with its *universe* (the
+index whose ``position`` defined the packing). It is immutable and duck-
+types the read side of a ``set`` (``in``, ``iter``, ``len``, ``bool``), so
+every consumer that only membership-tests a candidate set — the matcher's
+pool filters, ``sorted(sim[pivot])`` in work-unit generation — accepts
+either representation unchanged. Word-level fast paths additionally check
+``isinstance(..., NodeBitset)`` *and* universe identity before touching
+``.bits`` directly; a bitset built over a different index (say a
+per-component subgraph) degrades gracefully to membership filtering.
+
+Positions are append-only — nodes are never removed and
+:meth:`GraphIndex.apply_delta` only appends to ``nodes`` — so a bitset
+built at one delta epoch remains a valid (possibly non-maximal) set at any
+later epoch of the same index lineage.
+"""
+
+from __future__ import annotations
+
+import struct as _struct
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .index import GraphIndex
+
+from .elements import NodeId
+
+def bit_count(bits: int) -> int:
+    """Number of set bits (members) in *bits*."""
+    return bits.bit_count()
+
+
+def bit_positions(bits: int) -> List[int]:
+    """The set-bit positions of *bits*, ascending.
+
+    Ascending bit position is ascending :attr:`GraphIndex.position`, i.e.
+    graph insertion order — the determinism contract of every candidate
+    pool. Decoding goes through one explicit little-endian ``to_bytes``
+    conversion and a 64-bit word scan: isolating the lowest set bit of the
+    *bigint* directly would cost O(|G|/64) words per member, while a
+    word-local low-bit loop is O(1) per member on top of an O(|G|/64)
+    Python-level scan.
+    """
+    positions: List[int] = []
+    if not bits:
+        return positions
+    nbytes = (bits.bit_length() + 7) >> 3
+    padded = (nbytes + 7) & ~7
+    data = bits.to_bytes(padded, "little")
+    append = positions.append
+    base = 0
+    for word in _struct.unpack(f"<{padded >> 3}Q", data):
+        while word:
+            low = word & -word
+            append(base + low.bit_length() - 1)
+            word ^= low
+        base += 64
+    return positions
+
+
+def pack_positions(nodes: Iterable[NodeId], position: Dict[NodeId, int]) -> int:
+    """Pack *nodes* into a bit vector via the *position* map.
+
+    Nodes absent from the map (e.g. an externally supplied allowed set
+    mentioning ids the graph never had) are skipped — they could never pass
+    a membership test against the index's pools either. Bits are staged in
+    a bytearray and converted once: OR-ing ``1 << pos`` per member would
+    cost O(|G|/64) words *per member*, the staging buffer makes packing
+    O(members + |G|/8).
+    """
+    get = position.get
+    try:
+        count = len(nodes)  # type: ignore[arg-type]
+    except TypeError:
+        count = None
+    if count is not None and count << 6 < len(position):
+        # Tiny set over a big universe: per-member shift ORs beat
+        # allocating (and converting) a full-universe staging buffer.
+        bits = 0
+        for node in nodes:
+            pos = get(node)
+            if pos is not None:
+                bits |= 1 << pos
+        return bits
+    data = bytearray((len(position) >> 3) + 1)
+    hit = False
+    for node in nodes:
+        pos = get(node)
+        if pos is not None:
+            data[pos >> 3] |= 1 << (pos & 7)
+            hit = True
+    if not hit:
+        return 0
+    return int.from_bytes(data, "little")
+
+
+class NodeBitset:
+    """An immutable node set packed as one big ``int`` over an index.
+
+    Construct through :meth:`GraphIndex.bitset` (from an iterable) or
+    :meth:`GraphIndex.bitset_from_bits` (from a packed value) rather than
+    directly — the universe/packing invariant lives there.
+    """
+
+    __slots__ = ("universe", "bits", "_set")
+
+    def __init__(self, universe: "GraphIndex", bits: int) -> None:
+        #: The :class:`GraphIndex` whose ``position`` map defined the
+        #: packing. Word-level fast paths require identity with the index
+        #: they operate over.
+        self.universe = universe
+        #: The packed membership vector; bit ``i`` = ``universe.nodes[i]``.
+        self.bits = bits
+        # Lazy frozenset mirror for membership-heavy consumers (filters
+        # over non-positional pools probe once per element, and a C-level
+        # hash probe beats any bigint/byte arithmetic per call). Built at
+        # most once — the vector is immutable — and shared by every run
+        # filtering through this object.
+        self._set = None
+
+    def as_set(self) -> frozenset:
+        """The members as a cached frozenset (O(1) C-level membership)."""
+        members = self._set
+        if members is None:
+            members = frozenset(self.to_list())
+            self._set = members
+        return members
+
+    # ------------------------------------------------------------------
+    # Read-side set protocol
+    # ------------------------------------------------------------------
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self.as_set()
+
+    def __iter__(self) -> Iterator[NodeId]:
+        nodes = self.universe.nodes
+        return iter([nodes[pos] for pos in bit_positions(self.bits)])
+
+    def __len__(self) -> int:
+        return bit_count(self.bits)
+
+    def __bool__(self) -> bool:
+        return self.bits != 0
+
+    # ------------------------------------------------------------------
+    # Word-level combination (same universe only)
+    # ------------------------------------------------------------------
+    def _check_universe(self, other: "NodeBitset") -> None:
+        if self.universe is not other.universe:
+            raise ValueError(
+                "cannot combine NodeBitsets over different universes; "
+                "rebuild one via GraphIndex.bitset(...) first"
+            )
+
+    def __and__(self, other: "NodeBitset") -> "NodeBitset":
+        self._check_universe(other)
+        return NodeBitset(self.universe, self.bits & other.bits)
+
+    def __or__(self, other: "NodeBitset") -> "NodeBitset":
+        self._check_universe(other)
+        return NodeBitset(self.universe, self.bits | other.bits)
+
+    def __sub__(self, other: "NodeBitset") -> "NodeBitset":
+        self._check_universe(other)
+        return NodeBitset(self.universe, self.bits & ~other.bits)
+
+    def isdisjoint(self, other: "NodeBitset") -> bool:
+        self._check_universe(other)
+        return self.bits & other.bits == 0
+
+    # ------------------------------------------------------------------
+    # Subset / superset comparison (NodeBitset or any set-like)
+    # ------------------------------------------------------------------
+    def issubset(self, other) -> bool:
+        if isinstance(other, NodeBitset) and other.universe is self.universe:
+            return self.bits & ~other.bits == 0
+        return all(node in other for node in self)
+
+    def issuperset(self, other) -> bool:
+        if isinstance(other, NodeBitset) and other.universe is self.universe:
+            return other.bits & ~self.bits == 0
+        return all(node in self for node in other)
+
+    def __le__(self, other) -> bool:
+        return self.issubset(other)
+
+    def __lt__(self, other) -> bool:
+        return self.issubset(other) and len(self) != len(other)
+
+    def __ge__(self, other) -> bool:
+        return self.issuperset(other)
+
+    def __gt__(self, other) -> bool:
+        return self.issuperset(other) and len(self) != len(other)
+
+    # ------------------------------------------------------------------
+    # Conversions / comparison
+    # ------------------------------------------------------------------
+    def to_set(self) -> set:
+        """The members as a plain ``set`` (representation-ablation tests)."""
+        return set(self.as_set())
+
+    def to_list(self) -> List[NodeId]:
+        """The members as a list in graph insertion order."""
+        nodes = self.universe.nodes
+        return [nodes[pos] for pos in bit_positions(self.bits)]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, NodeBitset):
+            if self.universe is other.universe:
+                return self.bits == other.bits
+            return self.as_set() == other.as_set()
+        if isinstance(other, (set, frozenset)):
+            return self.as_set() == other
+        return NotImplemented
+
+    # Mirrors set semantics (sets are unhashable only when mutable; this
+    # one is immutable, so hash by membership like a frozenset would).
+    def __hash__(self) -> int:
+        return hash(self.as_set())
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"NodeBitset({len(self)} of {len(self.universe.nodes)} nodes)"
+
+
+# NodeBitset implements the read-side Set protocol (__contains__, __iter__,
+# __len__); register it so `isinstance(x, collections.abc.Set)` checks and
+# AbstractSet annotations accept either candidate-set representation.
+import collections.abc as _abc  # noqa: E402  (registration, not an import cycle)
+
+_abc.Set.register(NodeBitset)

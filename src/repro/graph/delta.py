@@ -4,8 +4,10 @@
 index has been compiled as one of the plain-data ops below (the *mutation
 journal*). When :meth:`PropertyGraph.index` is next called, the journal is
 either replayed onto the live index in place — O(|delta|), via
-:meth:`repro.graph.index.GraphIndex.apply_delta` — or, past the compaction
-threshold, discarded in favor of a full O(|G|) recompile.
+:meth:`repro.graph.index.GraphIndex.apply_delta`, which also keeps any
+lazily packed bitset views (label buckets, adjacency groups, the all-nodes
+vector; see :mod:`repro.graph.bitset`) current bit-by-bit — or, past the
+compaction threshold, discarded in favor of a full O(|G|) recompile.
 
 The ops are :class:`typing.NamedTuple` subclasses on purpose: they unpack
 like tuples in the hot replay loops, pickle compactly (the process backend

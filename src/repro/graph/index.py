@@ -5,11 +5,15 @@ the homomorphism hot path. It interns every label into a dense integer id
 and precomputes, CSR-style,
 
 * per-``(node, edge-label)`` neighbor groups in **both** directions (the
-  label-grouped adjacency used by anchor expansion),
-* per-node any-label neighbor groups (deduplicated, edge-insertion order),
+  label-grouped adjacency used by anchor expansion), in ascending node
+  position — graph insertion order, the one canonical pool order,
+* per-node any-label neighbor groups (deduplicated, same order),
 * per-node-label node buckets in graph insertion order (deterministic
-  label-index scans), and
-* in/out degree tables for candidate-strategy cardinality estimates.
+  label-index scans),
+* in/out degree tables for candidate-strategy cardinality estimates, and
+* lazily packed **bitset views** of the label buckets and neighbor groups
+  (:mod:`repro.graph.bitset`) for word-level candidate intersection —
+  filled on first request, kept current through :meth:`apply_delta`.
 
 Indices are built lazily through :meth:`PropertyGraph.index` and cached on
 the graph. Since PR 3 the index is **maintained, not discarded**, across
@@ -46,6 +50,7 @@ import weakref
 from bisect import insort
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from .bitset import NodeBitset, pack_positions
 from .delta import AddEdge, AddNode, SetLabel
 from .elements import NodeId
 
@@ -83,6 +88,10 @@ class GraphIndex:
         "_in_any",
         "_out_fanout",
         "_in_fanout",
+        "_all_bits",
+        "_bucket_bits",
+        "_out_bits",
+        "_in_bits",
         "__weakref__",
     )
 
@@ -151,6 +160,21 @@ class GraphIndex:
                     ordered.append(edge.src)
             in_any[node_id] = ordered
             in_degree[node_id] = len(edges)
+        # Normalize every adjacency group to ascending node position —
+        # graph insertion order, the same order label buckets and the
+        # nodes table use. One canonical pool order (a) makes match
+        # streams independent of edge insertion history and (b) lets the
+        # matcher swap any group scan for a word-level bitset AND without
+        # perturbing the stream. apply_delta maintains it by insort.
+        by_position = self.position.__getitem__
+        for group in out.values():
+            group.sort(key=by_position)
+        for group in in_.values():
+            group.sort(key=by_position)
+        for group in out_any.values():
+            group.sort(key=by_position)
+        for group in in_any.values():
+            group.sort(key=by_position)
 
         self._label_ids = intern
         self._label_buckets = buckets
@@ -166,6 +190,15 @@ class GraphIndex:
         # Lazily filled average-group-size caches (cardinality estimates).
         self._out_fanout: Dict[Optional[int], float] = {}
         self._in_fanout: Dict[Optional[int], float] = {}
+        # Lazily packed bitset views of the tables above (see bitset.py):
+        # per-label node-bucket vectors, per-(node, label) neighbor-group
+        # vectors, and the all-nodes vector. Filled on first request and
+        # thereafter *maintained* by apply_delta (set the new bit) rather
+        # than invalidated; a compaction rebuild starts them empty again.
+        self._all_bits: Optional[int] = None
+        self._bucket_bits: Dict[int, int] = {}
+        self._out_bits: Dict[Tuple[NodeId, Optional[int]], int] = {}
+        self._in_bits: Dict[Tuple[NodeId, Optional[int]], int] = {}
         #: Per-pattern compiled :class:`MatchPlan`s (weakly keyed).
         self.plan_cache: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
@@ -175,12 +208,12 @@ class GraphIndex:
     def apply_delta(self, ops: Sequence[tuple]) -> None:
         """Replay journal *ops* (in order) onto the tables, in place.
 
-        Appends to label buckets, adjacency groups and the interned-label
-        table; never reshuffles existing entries, so every table stays in
-        the exact order a from-scratch rebuild would produce (relabels
-        bisect into their target bucket by node position to preserve the
-        graph-insertion-order invariant). Cost is O(|ops|) plus, per
-        relabel, the size of the touched buckets. Precondition: *ops* are
+        Appends to label buckets and the interned-label table, and bisects
+        new neighbors into their (position-sorted) adjacency groups, so
+        every table stays in the exact order a from-scratch rebuild would
+        produce (relabels likewise bisect into their target bucket by node
+        position). Cost is O(|ops|) plus, per relabel or edge insertion,
+        the size of the touched bucket/group. Precondition: *ops* are
         the journal of mutations already applied to :attr:`graph` — the
         any-group dedup reads the live ``edge_labels`` table.
 
@@ -188,6 +221,9 @@ class GraphIndex:
         graph mutation) and bumps :attr:`epoch` once per call. The lazily
         cached fan-out averages are reset — they refill on next use — while
         :attr:`plan_cache` survives: plans self-revalidate via the epoch.
+        Already-packed bitset views (label buckets, neighbor groups, the
+        all-nodes vector) are likewise maintained, not dropped: each op
+        sets/clears the affected bit in whichever vectors are cached.
         Callers normally go through :meth:`PropertyGraph.index`, which owns
         the journal hand-off and the compaction decision.
         """
@@ -200,6 +236,8 @@ class GraphIndex:
         out_any, in_any = self._out_any, self._in_any
         out_degree, in_degree = self.out_degree, self.in_degree
         edge_labels = self.edge_labels
+        bucket_bits = self._bucket_bits
+        out_bits, in_bits = self._out_bits, self._in_bits
         # Any-label groups are deduplicated per (src, dst) pair. Membership
         # is derived in O(1) instead of scanning the group: the pair was
         # already present before an op iff the graph's (live, post-batch)
@@ -211,6 +249,7 @@ class GraphIndex:
                 key = (op.src, op.dst)
                 pair_total[key] = pair_total.get(key, 0) + 1
         pair_seen: Dict[Tuple[NodeId, NodeId], int] = {}
+        by_position = position.__getitem__
         for op in ops:
             if type(op) is AddEdge:
                 src, dst, label = op
@@ -222,12 +261,12 @@ class GraphIndex:
                 if group is None:
                     out[(src, lid)] = [dst]
                 else:
-                    group.append(dst)
+                    insort(group, dst, key=by_position)
                 group = in_.get((dst, lid))
                 if group is None:
                     in_[(dst, lid)] = [src]
                 else:
-                    group.append(src)
+                    insort(group, src, key=by_position)
                 key = (src, dst)
                 seen = pair_seen.get(key, 0)
                 pair_seen[key] = seen + 1
@@ -237,14 +276,28 @@ class GraphIndex:
                     if any_group is None:
                         out_any[src] = [dst]
                     else:
-                        any_group.append(dst)
+                        insort(any_group, dst, key=by_position)
                     any_group = in_any.get(dst)
                     if any_group is None:
                         in_any[dst] = [src]
                     else:
-                        any_group.append(src)
+                        insort(any_group, src, key=by_position)
                 out_degree[src] = out_degree.get(src, 0) + 1
                 in_degree[dst] = in_degree.get(dst, 0) + 1
+                dst_bit = 1 << position[dst]
+                src_bit = 1 << position[src]
+                key = (src, lid)
+                if key in out_bits:
+                    out_bits[key] |= dst_bit
+                key = (src, None)
+                if key in out_bits:
+                    out_bits[key] |= dst_bit
+                key = (dst, lid)
+                if key in in_bits:
+                    in_bits[key] |= src_bit
+                key = (dst, None)
+                if key in in_bits:
+                    in_bits[key] |= src_bit
             elif type(op) is AddNode:
                 node_id, label = op.node_id, op.label
                 lid = intern.get(label)
@@ -259,19 +312,30 @@ class GraphIndex:
                     buckets[lid] = [node_id]
                 else:
                     bucket.append(node_id)
+                bit = 1 << position[node_id]
+                if self._all_bits is not None:
+                    self._all_bits |= bit
+                if lid in bucket_bits:
+                    bucket_bits[lid] |= bit
             elif type(op) is SetLabel:
                 node_id, old_label, new_label = op
                 new_lid = intern.get(new_label)
                 if new_lid is None:
                     new_lid = len(intern)
                     intern[new_label] = new_lid
-                buckets[intern[old_label]].remove(node_id)
+                old_lid = intern[old_label]
+                buckets[old_lid].remove(node_id)
                 insort(
                     buckets.setdefault(new_lid, []),
                     node_id,
                     key=position.__getitem__,
                 )
                 node_label_id[node_id] = new_lid
+                bit = 1 << position[node_id]
+                if old_lid in bucket_bits:
+                    bucket_bits[old_lid] &= ~bit
+                if new_lid in bucket_bits:
+                    bucket_bits[new_lid] |= bit
             else:  # pragma: no cover - defensive
                 raise TypeError(f"unknown delta op {op!r}")
         self.version += len(ops)
@@ -296,9 +360,10 @@ class GraphIndex:
     def out_neighbors(self, node: NodeId, label_id: Optional[int]) -> Sequence[NodeId]:
         """Targets of ``node``'s out-edges with *label_id* (``None`` = any).
 
-        Any-label groups are deduplicated in first-occurrence order; labeled
-        groups are duplicate-free by construction (edge triples are unique).
-        Returns the internal group — read-only for callers.
+        Groups are duplicate-free (edge triples are unique; any-label
+        groups are deduplicated) and iterate in ascending node position —
+        graph insertion order. Returns the internal group — read-only for
+        callers.
         """
         if label_id is None:
             return self._out_any.get(node, EMPTY_GROUP)
@@ -327,6 +392,74 @@ class GraphIndex:
 
     def label_count(self, label: str) -> int:
         return len(self.nodes_with_label(label))
+
+    # ------------------------------------------------------------------
+    # Bitset views (candidate-set word-level intersection, see bitset.py)
+    # ------------------------------------------------------------------
+    def all_bits(self) -> int:
+        """Packed vector with one bit set per node (the full universe)."""
+        bits = self._all_bits
+        if bits is None:
+            bits = (1 << len(self.nodes)) - 1
+            self._all_bits = bits
+        return bits
+
+    def label_bucket_bits(self, label_id: int) -> int:
+        """The label bucket of *label_id* as a packed bit vector.
+
+        Packed lazily from the bucket list on first request, then kept
+        current by :meth:`apply_delta`. :data:`NO_LABEL` (or any absent
+        id) packs to 0.
+        """
+        bits = self._bucket_bits.get(label_id)
+        if bits is None:
+            bits = pack_positions(
+                self._label_buckets.get(label_id, EMPTY_GROUP), self.position
+            )
+            self._bucket_bits[label_id] = bits
+        return bits
+
+    def out_neighbor_bits(self, node: NodeId, label_id: Optional[int]) -> int:
+        """``out_neighbors(node, label_id)`` as a packed bit vector."""
+        key = (node, label_id)
+        bits = self._out_bits.get(key)
+        if bits is None:
+            if label_id is None:
+                group = self._out_any.get(node, EMPTY_GROUP)
+            else:
+                group = self._out.get(key, EMPTY_GROUP)
+            bits = pack_positions(group, self.position)
+            self._out_bits[key] = bits
+        return bits
+
+    def in_neighbor_bits(self, node: NodeId, label_id: Optional[int]) -> int:
+        """``in_neighbors(node, label_id)`` as a packed bit vector."""
+        key = (node, label_id)
+        bits = self._in_bits.get(key)
+        if bits is None:
+            if label_id is None:
+                group = self._in_any.get(node, EMPTY_GROUP)
+            else:
+                group = self._in.get(key, EMPTY_GROUP)
+            bits = pack_positions(group, self.position)
+            self._in_bits[key] = bits
+        return bits
+
+    def bitset(self, members) -> NodeBitset:
+        """Pack an iterable of node ids into a :class:`NodeBitset` here.
+
+        Ids unknown to this index are skipped (they could never pass a
+        membership test against its pools either).
+        """
+        return NodeBitset(self, pack_positions(members, self.position))
+
+    def bitset_from_bits(self, bits: int) -> NodeBitset:
+        """Wrap an already-packed vector (from the accessors above)."""
+        return NodeBitset(self, bits)
+
+    def all_nodes_bitset(self) -> NodeBitset:
+        """Every node of the graph as a :class:`NodeBitset`."""
+        return NodeBitset(self, self.all_bits())
 
     # ------------------------------------------------------------------
     # Cardinality estimates
@@ -432,6 +565,10 @@ class GraphIndex:
         index.in_degree = data["in_degree"]
         index._out_fanout = {}
         index._in_fanout = {}
+        index._all_bits = None
+        index._bucket_bits = {}
+        index._out_bits = {}
+        index._in_bits = {}
         index.plan_cache = weakref.WeakKeyDictionary()
         return index
 

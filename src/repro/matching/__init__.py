@@ -1,5 +1,13 @@
 """Pattern matching: homomorphism search, compiled plans, and simulation
-pruning."""
+pruning.
+
+The candidate pipeline: :func:`simulation_candidates` computes the dual-
+simulation pre-filter (Section V optimization) that the reasoning layers
+hand to :class:`MatcherRun` as ``candidate_sets``; the matcher intersects
+it with label buckets, anchored adjacency groups and ``allowed_nodes``
+neighborhoods — as plain sets or word-level
+:class:`~repro.graph.bitset.NodeBitset` vectors, interchangeably.
+"""
 
 from .homomorphism import (
     Assignment,
@@ -11,13 +19,21 @@ from .homomorphism import (
     node_label_matches,
 )
 from .plan import MatchPlan, PlanLayout, VarStep, get_plan
-from .simulation import dual_simulation, may_have_homomorphism, simulation_candidates
+from .simulation import (
+    CandidateSet,
+    SimulationStats,
+    dual_simulation,
+    may_have_homomorphism,
+    simulation_candidates,
+)
 
 __all__ = [
     "Assignment",
+    "CandidateSet",
     "MatcherRun",
     "MatchPlan",
     "PlanLayout",
+    "SimulationStats",
     "VarStep",
     "default_variable_order",
     "edge_label_matches",

@@ -35,12 +35,14 @@ from typing import AbstractSet, Dict, Iterator, List, Optional, Sequence, Set
 
 from ..errors import PatternError
 from ..gfd.pattern import Pattern
+from ..graph.bitset import NodeBitset, bit_count, bit_positions, pack_positions
 from ..graph.elements import NodeId, is_wildcard
 from ..graph.graph import PropertyGraph
 
 # Re-exported from the plan module (moved there to break an import cycle);
 # part of this module's public API since the seed.
 from .plan import MatchPlan, VarStep, default_variable_order, get_plan
+from .simulation import CandidateSet
 
 __all__ = [
     "Assignment",
@@ -107,13 +109,17 @@ class MatcherRun:
     allowed_nodes:
         When given, every variable must map into this set (used for
         ``dQ``-neighborhood locality). Preassigned nodes are exempt — they
-        define the neighborhood.
+        define the neighborhood. A plain ``set`` or a
+        :class:`~repro.graph.bitset.NodeBitset`; a bitset packed over this
+        graph's index additionally unlocks word-level pool intersection.
     variable_order:
         Search order for the free variables; computed greedily when omitted.
     candidate_sets:
-        Optional per-variable candidate restrictions (e.g. from a dual
-        simulation pre-pass); a variable absent from the mapping is
-        unrestricted.
+        Optional per-variable candidate restrictions (e.g. from
+        :func:`~repro.matching.simulation.simulation_candidates`); a
+        variable absent from the mapping is unrestricted. Values may be
+        plain sets or :class:`~repro.graph.bitset.NodeBitset` views — both
+        produce byte-identical match streams.
     plan:
         A precompiled :class:`~repro.matching.plan.MatchPlan` for this
         pattern over ``graph.index()``. When omitted, the shared plan is
@@ -127,9 +133,9 @@ class MatcherRun:
         pattern: Pattern,
         graph: PropertyGraph,
         preassigned: Optional[Assignment] = None,
-        allowed_nodes: Optional[Set[NodeId]] = None,
+        allowed_nodes: Optional[AbstractSet[NodeId]] = None,
         variable_order: Optional[Sequence[str]] = None,
-        candidate_sets: Optional[Dict[str, Set[NodeId]]] = None,
+        candidate_sets: Optional[Dict[str, "CandidateSet"]] = None,
         plan: Optional[MatchPlan] = None,
     ) -> None:
         if not pattern.frozen:
@@ -180,6 +186,9 @@ class MatcherRun:
         self._edge_labels = index.edge_labels
         self._node_label_id = index.node_label_id
         self._preassigned_values = set(self.preassigned.values())
+        # Packed preassigned-value vector, built on first bitset-filtered
+        # allowed-set intersection (pivot images are exempt from allowed).
+        self._exempt_bits_cache: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Consistency
@@ -235,67 +244,213 @@ class MatcherRun:
         so ticks are only spent on structurally plausible candidates. All
         pools iterate in graph insertion order — match streams are
         deterministic regardless of set hashing.
+
+        ``allowed_nodes`` / ``candidate_sets`` entries may be plain sets or
+        :class:`~repro.graph.bitset.NodeBitset` views. When a bitset was
+        packed over *this* run's index (universe identity), every filter
+        whose base pool already iterates in graph insertion order — label
+        buckets, the all-nodes scan, the bucket-strategy anchored pool —
+        collapses into word-level ANDs producing the identical list; any
+        other combination degrades to per-node membership filtering, which
+        both representations support. The two paths therefore emit
+        byte-identical candidate pools (the ``use_bitsets`` ablation
+        contract).
         """
         index = self._index
         allowed = self.allowed_nodes
         restriction = (
             self.candidate_sets.get(step.var) if self.candidate_sets is not None else None
         )
+        # Word-level views, valid only when the filter was packed over this
+        # very index; a bitset over some other index (e.g. a component
+        # subgraph's) falls back to membership filtering below.
+        allowed_bits = (
+            allowed.bits
+            if isinstance(allowed, NodeBitset) and allowed.universe is index
+            else None
+        )
+        restriction_bits = (
+            restriction.bits
+            if isinstance(restriction, NodeBitset) and restriction.universe is index
+            else None
+        )
         # True once ``pool`` is a list built here (safe to hand out); the
         # index's internal groups are live, delta-maintained lists and must
         # be copied before frames mutate them during split striping.
         owned = False
         pool: Sequence[NodeId]
+        # Word-level intersection pays when the base pool outgrows the
+        # universe's word count (an AND chain costs O(|G|/64) regardless of
+        # pool size) *and* the chain prunes hard — per-member decode
+        # arithmetic costs several C-level membership probes, so dense
+        # survivors fall back to list filtering (``_sparse_pool``). Every
+        # base pool iterates in ascending node position, so either route
+        # emits the identical candidate list.
+        bits_cutoff = len(index.nodes) >> 6
         if step.anchor_var is not None:
             anchor = self._assignment[step.anchor_var]
             if step.anchor_out:
                 pool = index.out_neighbors(anchor, step.anchor_label_id)
             else:
                 pool = index.in_neighbors(anchor, step.anchor_label_id)
+            has_filter_bits = allowed_bits is not None or restriction_bits is not None
             if step.label_id is not None:
                 bucket = index.nodes_with_label_id(step.label_id)
-                if len(bucket) < len(pool):
+                sparse = None
+                if has_filter_bits and min(len(bucket), len(pool)) > bits_cutoff:
+                    # bucket ∩ allowed ∩ restriction ∩ group as word ANDs.
+                    # Filters first — their vectors are already packed; the
+                    # anchor group's vector is only packed (lazily, cached
+                    # per (anchor, label)) once the filters alone prove
+                    # sparse, so a dense fallback never pays packing.
+                    bits = index.label_bucket_bits(step.label_id)
+                    if allowed_bits is not None:
+                        bits &= allowed_bits | self._exempt_bits()
+                    if restriction_bits is not None:
+                        bits &= restriction_bits
+                    base_len = min(len(bucket), len(pool))
+                    if bit_count(bits) * 3 <= base_len:
+                        if step.anchor_out:
+                            bits &= index.out_neighbor_bits(
+                                anchor, step.anchor_label_id
+                            )
+                        else:
+                            bits &= index.in_neighbor_bits(
+                                anchor, step.anchor_label_id
+                            )
+                        sparse = self._bits_to_list(bits)
+                if sparse is not None:
+                    pool = sparse
+                    if allowed_bits is not None:
+                        allowed = None  # consumed by the AND chain
+                    if restriction_bits is not None:
+                        restriction = None
+                elif len(bucket) < len(pool):
                     pool = self._bucket_via_anchor(bucket, anchor, step)
                 else:
                     label_ids = self._node_label_id
                     want = step.label_id
                     pool = [n for n in pool if label_ids[n] == want]
                 owned = True
+            elif has_filter_bits and len(pool) > bits_cutoff:
+                # Wildcard-labeled step: the filters themselves are the
+                # only cut — AND them first, pack the group only if they
+                # prove sparse against it.
+                bits = None
+                if allowed_bits is not None:
+                    bits = allowed_bits | self._exempt_bits()
+                if restriction_bits is not None:
+                    bits = restriction_bits if bits is None else bits & restriction_bits
+                if bit_count(bits) * 3 <= len(pool):
+                    if step.anchor_out:
+                        bits &= index.out_neighbor_bits(anchor, step.anchor_label_id)
+                    else:
+                        bits &= index.in_neighbor_bits(anchor, step.anchor_label_id)
+                    pool = self._bits_to_list(bits)
+                    owned = True
+                    if allowed_bits is not None:
+                        allowed = None
+                    if restriction_bits is not None:
+                        restriction = None
             if allowed is not None:
+                if isinstance(allowed, NodeBitset):
+                    allowed = allowed.as_set()  # C-level probes per element
                 exempt = self._preassigned_values
                 pool = [n for n in pool if n in allowed or n in exempt]
                 owned = True
         elif step.label_id is None:  # unanchored wildcard variable
             if allowed is not None:
-                position = index.position
-                pool = sorted(
-                    (n for n in allowed if n in position), key=position.__getitem__
-                )
+                if allowed_bits is not None:
+                    bits = allowed_bits
+                    if restriction_bits is not None:
+                        bits &= restriction_bits
+                        restriction = None
+                    pool = self._bits_to_list(bits)
+                else:
+                    position = index.position
+                    pool = sorted(
+                        (n for n in allowed if n in position), key=position.__getitem__
+                    )
+                owned = True
+            elif restriction_bits is not None and (
+                sparse := self._sparse_pool(restriction_bits, len(index.nodes))
+            ) is not None:
+                pool = sparse
+                restriction = None
                 owned = True
             else:
                 pool = index.nodes
         else:  # unanchored labeled variable: label-index scan
             bucket = index.nodes_with_label_id(step.label_id)
             if allowed is not None:
+                sparse = None
+                if allowed_bits is not None and len(bucket) > bits_cutoff:
+                    bits = index.label_bucket_bits(step.label_id) & allowed_bits
+                    if restriction_bits is not None:
+                        bits &= restriction_bits
+                    sparse = self._sparse_pool(bits, len(bucket))
+                if sparse is not None:
+                    pool = sparse
+                    if restriction_bits is not None:
+                        restriction = None
                 # Iterate the smaller side of the intersection; both sides
                 # produce graph insertion order.
-                if len(allowed) * 4 < len(bucket):
+                elif len(allowed) * 4 < len(bucket):
                     members = index.label_members(step.label_str)
                     position = index.position
                     pool = sorted(
                         (n for n in allowed if n in members), key=position.__getitem__
                     )
                 else:
+                    if isinstance(allowed, NodeBitset):
+                        allowed = allowed.as_set()
                     pool = [n for n in bucket if n in allowed]
+                owned = True
+            elif restriction_bits is not None and len(bucket) > bits_cutoff and (
+                sparse := self._sparse_pool(
+                    index.label_bucket_bits(step.label_id) & restriction_bits,
+                    len(bucket),
+                )
+            ) is not None:
+                pool = sparse
+                restriction = None
                 owned = True
             else:
                 pool = bucket
         if restriction is not None:
+            if isinstance(restriction, NodeBitset):
+                restriction = restriction.as_set()
             pool = [n for n in pool if n in restriction]
             owned = True
         # Frames mutate their candidate lists (split striping), so never
         # hand out the index's shared, delta-maintained groups.
         return pool if owned else list(pool)
+
+    def _bits_to_list(self, bits: int) -> List[NodeId]:
+        """Materialize a packed candidate vector in ascending position —
+        graph insertion order, the same order every list pool produces."""
+        nodes = self._index.nodes
+        return [nodes[pos] for pos in bit_positions(bits)]
+
+    def _sparse_pool(self, bits: int, base_len: int) -> Optional[List[NodeId]]:
+        """Decode an AND-chain result when decoding is the cheaper route.
+
+        Per-member decode arithmetic costs several times a C-level
+        membership probe, so the packed result only pays off when the
+        chain pruned hard; for dense survivors the caller falls back to
+        its (already order-identical) list-filtering route and the cheap
+        AND is discarded. Returns ``None`` on fallback.
+        """
+        if bit_count(bits) * 3 > base_len:
+            return None
+        return self._bits_to_list(bits)
+
+    def _exempt_bits(self) -> int:
+        bits = self._exempt_bits_cache
+        if bits is None:
+            bits = pack_positions(self._preassigned_values, self._index.position)
+            self._exempt_bits_cache = bits
+        return bits
 
     def _bucket_via_anchor(
         self, bucket: Sequence[NodeId], anchor: NodeId, step: VarStep
@@ -410,7 +565,7 @@ def find_homomorphisms(
     pattern: Pattern,
     graph: PropertyGraph,
     preassigned: Optional[Assignment] = None,
-    allowed_nodes: Optional[Set[NodeId]] = None,
+    allowed_nodes: Optional[AbstractSet[NodeId]] = None,
     limit: Optional[int] = None,
     plan: Optional[MatchPlan] = None,
 ) -> List[Assignment]:

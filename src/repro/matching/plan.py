@@ -17,7 +17,12 @@ Each layout fixes, per free variable in search order:
   a scan over full edge lists;
 * the **candidate strategy**: anchor-expansion is compared at runtime
   against the label-index bucket by estimated cardinality, and the smaller
-  side wins (cf. the CbO-style "speed-up features" discipline);
+  side wins (cf. the CbO-style "speed-up features" discipline). When the
+  run carries packed candidate filters (``allowed_nodes`` /
+  ``candidate_sets`` as :class:`~repro.graph.bitset.NodeBitset`), the
+  matcher additionally collapses bucket ∩ anchor-group ∩ filters into
+  word-level ANDs of the index's bitset views — the compiled label ids
+  stored here key those views directly;
 * the residual **edge checks** (anchor edge excluded — pool membership
   already proves it), pre-resolved into ``(endpoint-is-self, endpoint
   variable, label)`` tuples so the inner loop does no pattern introspection.

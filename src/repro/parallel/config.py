@@ -65,6 +65,12 @@ class RuntimeConfig:
         reduce the communication cost", paper Section V-B).
     use_dependency_order / use_simulation_pruning:
         The remaining optimizations, togglable for ablations.
+    use_bitsets:
+        Candidate-set representation: packed
+        :class:`~repro.graph.bitset.NodeBitset` vectors over the graph's
+        compiled index (default) vs plain sets. Match streams are
+        byte-identical either way; the bitset path trades per-node
+        membership tests for word-level intersection.
     start_method:
         Process backend only: the ``multiprocessing`` start method
         (``'fork'``, ``'spawn'``, ``'forkserver'``). ``None`` (default)
@@ -88,6 +94,7 @@ class RuntimeConfig:
     batch_size: int = 6
     use_dependency_order: bool = True
     use_simulation_pruning: bool = True
+    use_bitsets: bool = True
     start_method: Optional[str] = None
     persistent_workers: bool = False
     costs: CostModel = field(default_factory=CostModel)

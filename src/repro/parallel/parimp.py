@@ -81,7 +81,10 @@ def par_imp(
 
     gfds_by_name = {gfd.name: gfd for gfd in sigma}
     units = generate_pruned_work_units(
-        sigma, canonical.graph, use_simulation=config.use_simulation_pruning
+        sigma,
+        canonical.graph,
+        use_simulation=config.use_simulation_pruning,
+        use_bitsets=config.use_bitsets,
     )
     if config.use_dependency_order:
         subsumed = {gfd.name for gfd in sigma if _subsumed_by_eqx(gfd, canonical)}
@@ -92,7 +95,10 @@ def par_imp(
             high_priority=lambda unit: unit.gfd_name in subsumed,
         )
     context = UnitContext(
-        canonical.graph, gfds_by_name, use_simulation_pruning=config.use_simulation_pruning
+        canonical.graph,
+        gfds_by_name,
+        use_simulation_pruning=config.use_simulation_pruning,
+        use_bitsets=config.use_bitsets,
     )
     # One compiled match plan per GFD, shared across all of its work
     # units; hop maps for hot pivots warmed coordinator-side.

@@ -80,12 +80,19 @@ def par_sat(
     # simulation-based multi-query optimization, Section V-B).
     index = ComponentIndex(canonical.graph)
     units = generate_pruned_work_units(
-        sigma, canonical.graph, index=index, use_simulation=config.use_simulation_pruning
+        sigma,
+        canonical.graph,
+        index=index,
+        use_simulation=config.use_simulation_pruning,
+        use_bitsets=config.use_bitsets,
     )
     if config.use_dependency_order:
         units = order_units(units, canonical.gfds, canonical.graph)
     context = UnitContext(
-        canonical.graph, canonical.gfds, use_simulation_pruning=config.use_simulation_pruning
+        canonical.graph,
+        canonical.gfds,
+        use_simulation_pruning=config.use_simulation_pruning,
+        use_bitsets=config.use_bitsets,
     )
     # Coordinator-side precomputation: one compiled match plan per GFD
     # (shared by every pivoted work unit the backend executes) and warm

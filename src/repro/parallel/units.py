@@ -25,7 +25,7 @@ from ..graph.graph import PropertyGraph
 from ..graph.neighborhood import bfs_hops
 from ..matching.homomorphism import MatcherRun
 from ..matching.plan import MatchPlan, get_plan
-from ..matching.simulation import dual_simulation
+from ..matching.simulation import CandidateSet, simulation_candidates
 from ..reasoning.enforce import EnforcementEngine
 from ..reasoning.workunits import WorkUnit
 
@@ -59,6 +59,7 @@ class UnitContext:
         graph: PropertyGraph,
         gfds_by_name: Mapping[str, GFD],
         use_simulation_pruning: bool = True,
+        use_bitsets: bool = True,
     ) -> None:
         self.graph = graph
         self.gfds = dict(gfds_by_name)
@@ -69,12 +70,16 @@ class UnitContext:
         self.use_simulation_pruning = (
             use_simulation_pruning and graph.num_nodes <= self.SIMULATION_NODE_LIMIT
         )
+        #: Candidate-set representation: packed NodeBitset vectors over the
+        #: graph's compiled index (default) vs plain sets (ablation). Both
+        #: produce byte-identical match streams.
+        self.use_bitsets = use_bitsets
         # pivot -> (radius the map was computed to, node -> hop distance).
         self._hop_maps: Dict[NodeId, tuple] = {}
         # (pivot, radius) -> materialized allowed-node set (shared object,
         # so repeated units of equal radius reuse one set instance).
-        self._neighborhoods: Dict[tuple, Set[NodeId]] = {}
-        self._candidates: Dict[str, Optional[Dict[str, Set[NodeId]]]] = {}
+        self._neighborhoods: Dict[tuple, object] = {}
+        self._candidates: Dict[str, Optional[Dict[str, CandidateSet]]] = {}
         self._plans: Dict[str, MatchPlan] = {}
         # Graph mutation count the topology caches are valid for; checked
         # lazily at every cache entry point so a context reused across
@@ -141,7 +146,14 @@ class UnitContext:
             self._hop_maps[pivot] = cached
         return cached[1]
 
-    def allowed_nodes(self, pivot: NodeId, radius: Optional[int]) -> Optional[Set[NodeId]]:
+    def allowed_nodes(self, pivot: NodeId, radius: Optional[int]):
+        """The materialized ``dQ``-neighborhood of *pivot* at *radius*.
+
+        A :class:`~repro.graph.bitset.NodeBitset` over the graph's compiled
+        index when :attr:`use_bitsets` (the matcher then intersects it with
+        candidate pools by word-level AND), else a plain set. ``None`` when
+        the unit has no radius (disconnected patterns search globally).
+        """
         if radius is None:
             return None
         self._ensure_current()
@@ -149,7 +161,8 @@ class UnitContext:
         allowed = self._neighborhoods.get(key)
         if allowed is None:
             hops = self._hop_map(pivot, radius)
-            allowed = {node for node, distance in hops.items() if distance <= radius}
+            members = {node for node, distance in hops.items() if distance <= radius}
+            allowed = self.graph.index().bitset(members) if self.use_bitsets else members
             self._neighborhoods[key] = allowed
         return allowed
 
@@ -182,30 +195,48 @@ class UnitContext:
     # Pickling (process-backend worker shipping)
     # ------------------------------------------------------------------
     def __getstate__(self) -> Dict[str, object]:
-        """Ship graph, GFDs, and the traversal caches — but not the plans.
+        """Ship graph, GFDs, hop maps, and candidate sets — not the plans
+        or materialized neighborhoods.
 
         Compiled plans hold the graph's :class:`GraphIndex` (weak-ref plan
         cache, unpicklable); the index travels separately as a snapshot and
-        plans recompile worker-side in O(|Q|) per pattern.
+        plans recompile worker-side in O(|Q|) per pattern. Neighborhood
+        sets are dropped — they may be :class:`NodeBitset` views bound to
+        the coordinator's index object, and workers re-derive them cheaply
+        from the shipped hop maps. Dual-simulation candidate sets are
+        *kept* (recomputing them is an O(|G|·|Q|) fixpoint per GFD, per
+        worker) by downgrading any bitset values to plain picklable sets;
+        the matcher accepts either representation with identical streams.
         """
         state = dict(self.__dict__)
         state["_plans"] = {}
+        state["_neighborhoods"] = {}
+        state["_candidates"] = {
+            name: sim
+            if sim is None
+            else {var: set(members) for var, members in sim.items()}
+            for name, sim in self._candidates.items()
+        }
         return state
 
     def __setstate__(self, state: Dict[str, object]) -> None:
         self.__dict__.update(state)
 
-    def candidate_sets(self, gfd: GFD) -> Optional[Dict[str, Set[NodeId]]]:
+    def candidate_sets(self, gfd: GFD) -> Optional[Dict[str, CandidateSet]]:
         """Dual-simulation candidates, or None when pruning is off.
 
-        A GFD whose simulation is empty can never match; that case is
-        encoded as ``{var: set()}`` so the matcher terminates immediately.
+        Computed through :func:`simulation_candidates` in the context's
+        candidate-set representation (:attr:`use_bitsets`). A GFD whose
+        simulation is empty can never match; that case is encoded as
+        ``{var: set()}`` so the matcher terminates immediately.
         """
         self._ensure_current()
         if not self.use_simulation_pruning:
             return None
         if gfd.name not in self._candidates:
-            sim = dual_simulation(gfd.pattern, self.graph)
+            sim = simulation_candidates(
+                gfd.pattern, self.graph, use_bitsets=self.use_bitsets
+            )
             if sim is None:
                 sim = {var: set() for var in gfd.pattern.variables}
             self._candidates[gfd.name] = sim

@@ -68,13 +68,17 @@ class IncrementalStep:
 class IncrementalSat:
     """SeqSat state that survives GFD additions."""
 
-    def __init__(self, sigma: Iterable[GFD] = ()) -> None:
+    def __init__(self, sigma: Iterable[GFD] = (), use_bitsets: bool = True) -> None:
         self.graph = PropertyGraph()
         self.eq = EqRelation()
         self.engine = EnforcementEngine(self.eq, {}, InvertedIndex())
         self._gfds: Dict[str, GFD] = {}
         self._components: Dict[str, Set[NodeId]] = {}  # gfd name -> its copy
         self._has_disconnected = False
+        #: Candidate-set representation for the per-component
+        #: ``allowed_nodes`` restrictions (packed bitsets over the graph's
+        #: delta-maintained index vs plain sets; identical match streams).
+        self.use_bitsets = use_bitsets
         self.steps: List[IncrementalStep] = []
         for gfd in sigma:
             self.add(gfd)
@@ -152,16 +156,28 @@ class IncrementalSat:
         self._components[gfd.name] = nodes
         return nodes
 
+    def _allowed(self, nodes: Set[NodeId]):
+        """A component restriction in the configured representation.
+
+        Bitsets are repacked per call over the *current* index — positions
+        are append-only across deltas, so this is O(|component|) against a
+        live universe rather than a cached, possibly superseded one.
+        """
+        if not self.use_bitsets:
+            return nodes
+        return self.graph.index().bitset(nodes)
+
     def _incremental_step(self, gfd: GFD, new_nodes: Set[NodeId]) -> IncrementalStep:
         matches = 0
         # (a) Existing connected patterns inside the new component.
+        allowed_new = self._allowed(new_nodes)
         for existing in self._gfds.values():
             if existing.name == gfd.name or existing.is_trivial():
                 continue
             run = MatcherRun(
                 existing.pattern,
                 self.graph,
-                allowed_nodes=new_nodes,
+                allowed_nodes=allowed_new,
                 plan=get_plan(existing.pattern, self.graph),
             )
             for assignment in run.matches():
@@ -175,7 +191,10 @@ class IncrementalSat:
             plan = get_plan(gfd.pattern, self.graph)
             for component in self._components.values():
                 run = MatcherRun(
-                    gfd.pattern, self.graph, allowed_nodes=component, plan=plan
+                    gfd.pattern,
+                    self.graph,
+                    allowed_nodes=self._allowed(component),
+                    plan=plan,
                 )
                 for assignment in run.matches():
                     matches += 1

@@ -27,7 +27,7 @@ from ..gfd.canonical import ImplicationCanonical, build_implication_canonical
 from ..gfd.gfd import GFD
 from ..matching.homomorphism import MatcherRun
 from ..matching.plan import get_plan
-from ..matching.simulation import dual_simulation
+from ..matching.simulation import simulation_candidates
 from .enforce import (
     AntecedentStatus,
     EnforcementEngine,
@@ -86,8 +86,14 @@ def seq_imp(
     phi: GFD,
     use_dependency_order: bool = True,
     use_simulation_pruning: bool = True,
+    use_bitsets: bool = True,
 ) -> ImpResult:
-    """Decide whether ``Σ |= φ`` (exact)."""
+    """Decide whether ``Σ |= φ`` (exact).
+
+    *use_bitsets* picks the candidate-set representation for the
+    simulation pre-filter (packed bitsets vs plain sets; byte-identical
+    match streams either way).
+    """
     started = time.perf_counter()
     stats = ImpStats(sigma_size=len(sigma))
     canonical = build_implication_canonical(phi)
@@ -122,7 +128,9 @@ def seq_imp(
             continue
         candidate_sets = None
         if use_simulation_pruning:
-            candidate_sets = dual_simulation(gfd.pattern, canonical.graph)
+            candidate_sets = simulation_candidates(
+                gfd.pattern, canonical.graph, use_bitsets=use_bitsets
+            )
             if candidate_sets is None:
                 stats.pruned_by_simulation += 1
                 continue

@@ -27,7 +27,7 @@ from ..gfd.gfd import GFD
 from ..matching.component_index import ComponentIndex
 from ..matching.homomorphism import MatcherRun
 from ..matching.plan import get_plan
-from ..matching.simulation import dual_simulation
+from ..matching.simulation import simulation_candidates
 from .enforce import EnforcementEngine, EnforcementStats
 from .workunits import gfd_dependency_order
 
@@ -74,12 +74,16 @@ def seq_sat(
     sigma: Sequence[GFD],
     use_dependency_order: bool = True,
     use_simulation_pruning: bool = True,
+    use_bitsets: bool = True,
 ) -> SatResult:
     """Decide whether *sigma* is satisfiable (exact).
 
     Parameters mirror the paper's optimizations so ablations can disable
     them: *use_dependency_order* applies the GFD-level topological order;
-    *use_simulation_pruning* pre-filters candidates by dual simulation.
+    *use_simulation_pruning* pre-filters candidates by dual simulation;
+    *use_bitsets* picks the candidate-set representation (packed
+    :class:`~repro.graph.bitset.NodeBitset` vectors vs plain sets — both
+    produce byte-identical match streams).
     """
     started = time.perf_counter()
     stats = SatStats(gfds=len(sigma))
@@ -90,11 +94,15 @@ def seq_sat(
 
     ordered = gfd_dependency_order(sigma) if use_dependency_order else list(sigma)
     conflict: Optional[Conflict] = None
+    # comp_id -> allowed-nodes bitset over the canonical graph's index,
+    # shared across GFDs (each component is re-matched once per GFD).
+    allowed_cache: dict = {}
     for gfd in ordered:
         if gfd.is_trivial():
             continue
         conflict = _enforce_gfd_everywhere(
-            gfd, canonical, index, engine, stats, use_simulation_pruning
+            gfd, canonical, index, engine, stats, use_simulation_pruning,
+            use_bitsets, allowed_cache,
         )
         if conflict is not None:
             break
@@ -110,6 +118,8 @@ def _enforce_gfd_everywhere(
     engine: EnforcementEngine,
     stats: SatStats,
     use_simulation_pruning: bool,
+    use_bitsets: bool = True,
+    allowed_cache: Optional[dict] = None,
 ) -> Optional[Conflict]:
     """Enforce *gfd* on all of its matches in ``GΣ``.
 
@@ -121,6 +131,7 @@ def _enforce_gfd_everywhere(
     eq = engine.eq
     # One compiled plan per GFD, shared by every per-component run below.
     plan = get_plan(gfd.pattern, canonical.graph)
+    graph_index = plan.index
     if gfd.pattern.is_connected():
         total = index.num_components()
         for comp_id in range(total):
@@ -132,14 +143,33 @@ def _enforce_gfd_everywhere(
             candidate_sets = None
             if use_simulation_pruning:
                 component = canonical.graph.subgraph(nodes)
-                candidate_sets = dual_simulation(gfd.pattern, component)
+                candidate_sets = simulation_candidates(
+                    gfd.pattern, component, use_bitsets=use_bitsets
+                )
                 if candidate_sets is None:
                     stats.pruned_by_simulation += 1
                     continue
+                if use_bitsets:
+                    # Repack the component-subgraph vectors over the
+                    # canonical graph's index so the matcher can intersect
+                    # them word-level (same node ids, different universe).
+                    candidate_sets = {
+                        var: graph_index.bitset(members)
+                        for var, members in candidate_sets.items()
+                    }
+            allowed = nodes
+            if use_bitsets:
+                if allowed_cache is None:
+                    allowed = graph_index.bitset(nodes)
+                else:
+                    allowed = allowed_cache.get(comp_id)
+                    if allowed is None:
+                        allowed = graph_index.bitset(index.nodes_of(comp_id))
+                        allowed_cache[comp_id] = allowed
             run = MatcherRun(
                 gfd.pattern,
                 canonical.graph,
-                allowed_nodes=nodes,
+                allowed_nodes=allowed,
                 candidate_sets=candidate_sets,
                 plan=plan,
             )
@@ -149,7 +179,9 @@ def _enforce_gfd_everywhere(
         return None
     candidate_sets = None
     if use_simulation_pruning:
-        candidate_sets = dual_simulation(gfd.pattern, canonical.graph)
+        candidate_sets = simulation_candidates(
+            gfd.pattern, canonical.graph, use_bitsets=use_bitsets
+        )
         if candidate_sets is None:
             stats.pruned_by_simulation += 1
             return None

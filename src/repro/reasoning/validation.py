@@ -22,7 +22,7 @@ from ..graph.elements import NodeId
 from ..graph.graph import PropertyGraph
 from ..matching.homomorphism import MatcherRun
 from ..matching.plan import get_plan
-from ..matching.simulation import dual_simulation
+from ..matching.simulation import simulation_candidates
 from .seqsat import SatResult
 
 Assignment = Mapping[str, NodeId]
@@ -70,13 +70,16 @@ def find_violations(
     gfd: GFD,
     limit: Optional[int] = None,
     use_simulation_pruning: bool = True,
+    use_bitsets: bool = True,
 ) -> List[Violation]:
     """Matches of *gfd* in *graph* that violate ``X → Y`` (up to *limit*)."""
     if gfd.is_trivial():
         return []
     candidate_sets = None
     if use_simulation_pruning:
-        candidate_sets = dual_simulation(gfd.pattern, graph)
+        candidate_sets = simulation_candidates(
+            gfd.pattern, graph, use_bitsets=use_bitsets
+        )
         if candidate_sets is None:
             return []
     run = MatcherRun(

@@ -166,6 +166,7 @@ def generate_pruned_work_units(
     graph: PropertyGraph,
     index=None,
     use_simulation: bool = True,
+    use_bitsets: bool = True,
 ) -> List[WorkUnit]:
     """Work units filtered by the paper's simulation-based optimization.
 
@@ -179,7 +180,7 @@ def generate_pruned_work_units(
     is O(k²) — coordinator-side setup cost, not charged to workers.
     """
     from ..matching.component_index import ComponentIndex
-    from ..matching.simulation import dual_simulation
+    from ..matching.simulation import simulation_candidates
 
     if index is None:
         index = ComponentIndex(graph)
@@ -197,7 +198,9 @@ def generate_pruned_work_units(
         for comp_id in range(index.num_components()):
             if not index.pattern_compatible(gfd.pattern, comp_id):
                 continue
-            simulation = dual_simulation(gfd.pattern, index.subgraph(comp_id))
+            simulation = simulation_candidates(
+                gfd.pattern, index.subgraph(comp_id), use_bitsets=use_bitsets
+            )
             if simulation is None:
                 continue
             for node in sorted(simulation[pivot], key=str):

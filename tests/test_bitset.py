@@ -1,0 +1,234 @@
+"""NodeBitset engine + GraphIndex bitset-cache maintenance tests.
+
+Covers the packed candidate-set representation itself (set protocol,
+ordering, word ops) and the index-side cache contract: lazily packed
+vectors stay equal to a from-scratch rebuild across ``apply_delta``
+batches and the compaction boundary.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.bitset import NodeBitset, bit_count, bit_positions, pack_positions
+from repro.graph.graph import PropertyGraph
+from repro.graph.index import NO_LABEL, GraphIndex
+
+
+def diamond_graph():
+    g = PropertyGraph()
+    a = g.add_node("a")
+    b = g.add_node("b")
+    c = g.add_node("a")
+    d = g.add_node("c")
+    g.add_edge(a, b, "e")
+    g.add_edge(a, c, "e")
+    g.add_edge(b, d, "f")
+    g.add_edge(c, d, "f")
+    return g, (a, b, c, d)
+
+
+class TestBitHelpers:
+    def test_bit_positions_ascending(self):
+        bits = (1 << 0) | (1 << 7) | (1 << 63) | (1 << 64) | (1 << 200)
+        assert bit_positions(bits) == [0, 7, 63, 64, 200]
+
+    def test_bit_positions_empty(self):
+        assert bit_positions(0) == []
+
+    def test_bit_count(self):
+        assert bit_count(0) == 0
+        assert bit_count((1 << 100) | 7) == 4
+
+    def test_pack_positions_skips_unknown(self):
+        position = {"a": 0, "b": 5}
+        assert pack_positions(["a", "zzz", "b"], position) == (1 << 0) | (1 << 5)
+
+    def test_pack_positions_small_and_large_paths_agree(self):
+        # The sized fast path (count << 6 < |position|) and the staging
+        # buffer must produce identical vectors.
+        position = {i: i for i in range(1000)}
+        members = [3, 64, 999]
+        small = pack_positions(members, position)  # 3 * 64 < 1000 → shifts
+        large = pack_positions(list(range(500)), position)  # buffer path
+        assert bit_positions(small) == members
+        assert bit_positions(large) == list(range(500))
+
+
+class TestNodeBitset:
+    def test_set_protocol(self):
+        g, (a, b, c, d) = diamond_graph()
+        idx = g.index()
+        bs = idx.bitset([c, a])
+        assert a in bs and c in bs
+        assert b not in bs and d not in bs
+        assert "ghost" not in bs
+        assert len(bs) == 2
+        assert bool(bs)
+        assert not bool(idx.bitset([]))
+        # Iteration is graph insertion order, not argument order.
+        assert list(bs) == [a, c]
+        assert bs.to_list() == [a, c]
+        assert bs.to_set() == {a, c}
+
+    def test_word_ops_and_comparisons(self):
+        g, (a, b, c, d) = diamond_graph()
+        idx = g.index()
+        x = idx.bitset([a, b])
+        y = idx.bitset([b, c])
+        assert (x & y).to_set() == {b}
+        assert (x | y).to_set() == {a, b, c}
+        assert (x - y).to_set() == {a}
+        assert not x.isdisjoint(y)
+        assert x.isdisjoint(idx.bitset([d]))
+        assert idx.bitset([b]) <= y
+        assert idx.bitset([b]) < y
+        assert y >= idx.bitset([c])
+        assert x <= {a, b, d}
+        assert x == {a, b}
+        assert x == idx.bitset([b, a])
+        assert hash(x) == hash(idx.bitset([a, b]))
+
+    def test_universe_mismatch_degrades_not_combines(self):
+        g1, (a, b, *_) = diamond_graph()
+        g2, _ = diamond_graph()
+        x = g1.index().bitset([a])
+        y = g2.index().bitset([a, b])
+        with pytest.raises(ValueError):
+            _ = x & y
+        # Content-wise comparison still works across universes.
+        assert x <= y
+        assert x != y
+
+    def test_registered_as_abstract_set(self):
+        from collections.abc import Set
+
+        g, (a, *_) = diamond_graph()
+        assert isinstance(g.index().bitset([a]), Set)
+
+
+class TestIndexBitsetViews:
+    def test_bucket_and_adjacency_vectors_match_lists(self):
+        g, (a, b, c, d) = diamond_graph()
+        idx = g.index()
+        for label in ("a", "b", "c"):
+            lid = idx.label_id(label)
+            assert bit_positions(idx.label_bucket_bits(lid)) == [
+                idx.position[n] for n in idx.nodes_with_label_id(lid)
+            ]
+        assert idx.label_bucket_bits(NO_LABEL) == 0
+        e = idx.label_id("e")
+        assert bit_positions(idx.out_neighbor_bits(a, e)) == [
+            idx.position[n] for n in idx.out_neighbors(a, e)
+        ]
+        assert bit_positions(idx.in_neighbor_bits(d, None)) == [
+            idx.position[n] for n in idx.in_neighbors(d, None)
+        ]
+        assert idx.out_neighbor_bits(d, e) == 0
+        assert idx.all_bits() == (1 << 4) - 1
+        assert idx.all_nodes_bitset().to_list() == list(idx.nodes)
+
+    def test_delta_maintains_warm_vectors(self):
+        g, (a, b, c, d) = diamond_graph()
+        idx = g.index()
+        e = idx.label_id("e")
+        # Warm every cache flavor, then mutate through the journal.
+        idx.all_bits()
+        idx.label_bucket_bits(idx.label_id("a"))
+        idx.out_neighbor_bits(a, e)
+        idx.in_neighbor_bits(b, None)
+        n = g.add_node("a")
+        g.add_edge(a, n, "e")
+        g.add_edge(n, b, "g")
+        g.set_node_label(c, "b")
+        assert g.index() is idx  # delta path, same object
+        fresh = GraphIndex(g)  # rebuild ground truth
+
+        def norm(index, bits):
+            return [index.nodes[p] for p in bit_positions(bits)]
+
+        assert norm(idx, idx.all_bits()) == norm(fresh, fresh.all_bits())
+        for label in ("a", "b", "c"):
+            assert norm(idx, idx.label_bucket_bits(idx.label_id(label))) == norm(
+                fresh, fresh.label_bucket_bits(fresh.label_id(label))
+            )
+        assert norm(idx, idx.out_neighbor_bits(a, idx.label_id("e"))) == norm(
+            fresh, fresh.out_neighbor_bits(a, fresh.label_id("e"))
+        )
+        assert norm(idx, idx.in_neighbor_bits(b, None)) == norm(
+            fresh, fresh.in_neighbor_bits(b, None)
+        )
+
+    def test_adjacency_groups_are_position_sorted(self):
+        g = PropertyGraph()
+        nodes = [g.add_node("n") for _ in range(6)]
+        # Insert edges in deliberately reversed target order.
+        for dst in reversed(nodes[1:]):
+            g.add_edge(nodes[0], dst, "e")
+        idx = g.index()
+        group = idx.out_neighbors(nodes[0], idx.label_id("e"))
+        assert list(group) == nodes[1:]
+        # Delta-added edges bisect into place, not append.
+        older = g.add_node("n")  # position 6
+        g.add_edge(nodes[0], older, "e")
+        g.add_edge(nodes[0], nodes[0], "e")  # self-loop at position 0
+        idx = g.index()
+        group = idx.out_neighbors(nodes[0], idx.label_id("e"))
+        assert list(group) == [nodes[0]] + nodes[1:] + [older]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000), st.booleans())
+def test_warm_bitset_caches_equal_rebuild_property(seed, tiny_compaction):
+    """Random mutation schedules keep warm vectors rebuild-equivalent.
+
+    Half the examples force a tiny compaction threshold so the journal
+    crosses the rebuild boundary mid-schedule; the vectors must come out
+    identical either way (fresh object, fresh caches, same content).
+    """
+    rng = random.Random(seed)
+    g = PropertyGraph()
+    if tiny_compaction:
+        g.INDEX_COMPACTION_MIN = 2
+    labels = ["a", "b", "c"]
+    nodes = [g.add_node(rng.choice(labels)) for _ in range(rng.randint(1, 6))]
+    idx = g.index()
+    # Warm a random subset of vectors so delta maintenance has targets.
+    for node in rng.sample(nodes, k=min(3, len(nodes))):
+        idx.out_neighbor_bits(node, None)
+        idx.in_neighbor_bits(node, idx.label_id("a"))
+    idx.all_bits()
+    idx.label_bucket_bits(idx.label_id(rng.choice(labels)))
+    for _ in range(rng.randint(1, 25)):
+        op = rng.random()
+        if op < 0.35:
+            nodes.append(g.add_node(rng.choice(labels)))
+        elif op < 0.8 and nodes:
+            g.add_edge(rng.choice(nodes), rng.choice(nodes), rng.choice(["e", "f"]))
+        elif nodes:
+            g.set_node_label(rng.choice(nodes), rng.choice(labels))
+        if rng.random() < 0.4:
+            idx = g.index()
+            if rng.random() < 0.5 and nodes:
+                idx.out_neighbor_bits(rng.choice(nodes), None)
+    idx = g.index()
+    fresh = GraphIndex(g)
+
+    def norm(index, bits):
+        return [index.nodes[p] for p in bit_positions(bits)]
+
+    assert norm(idx, idx.all_bits()) == norm(fresh, fresh.all_bits())
+    for label in labels + ["e", "f"]:
+        assert norm(idx, idx.label_bucket_bits(idx.label_id(label))) == norm(
+            fresh, fresh.label_bucket_bits(fresh.label_id(label))
+        )
+    for node in nodes:
+        for lid_of in (lambda i: None, lambda i: i.label_id("e"), lambda i: i.label_id("f")):
+            assert norm(idx, idx.out_neighbor_bits(node, lid_of(idx))) == norm(
+                fresh, fresh.out_neighbor_bits(node, lid_of(fresh))
+            ), (node,)
+            assert norm(idx, idx.in_neighbor_bits(node, lid_of(idx))) == norm(
+                fresh, fresh.in_neighbor_bits(node, lid_of(fresh))
+            ), (node,)
