@@ -70,8 +70,14 @@ class TestSimulationPruning:
 class TestBatching:
     @pytest.mark.parametrize("batch_size", [1, 6, 16])
     def test_batch_sizes(self, benchmark, pruning_sigma, batch_size):
-        config = RuntimeConfig(workers=4, batch_size=batch_size)
+        # Fixed-batch ablation: with the adaptive scheduler the requested
+        # size is only the starting point, which would blur the sweep.
+        config = RuntimeConfig(workers=4, batch_size=batch_size).without_affinity()
         result = run_once(benchmark, par_sat, pruning_sigma, config)
+        assert result.satisfiable
+
+    def test_adaptive_scheduler(self, benchmark, pruning_sigma):
+        result = run_once(benchmark, par_sat, pruning_sigma, RuntimeConfig(workers=4))
         assert result.satisfiable
 
 

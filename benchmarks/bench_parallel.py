@@ -1,16 +1,26 @@
-"""Wall-clock benchmark: threaded vs process execution backends.
+"""Wall-clock benchmark: execution backends and the scheduling layer.
 
-Runs ParSat on a straggler-heavy, enforcement-heavy workload with both
-real-concurrency backends and records wall seconds (min over repeats —
-the standard noise-robust statistic). The process backend avoids both the
-GIL and the threaded backend's global engine lock (its workers cascade
-against private replicas and exchange ``ΔEq`` deltas), so it should win
-on this workload even on one core, and scale with real cores where the
-threaded backend cannot.
+Two workloads exercise the parallel runtime from opposite ends:
+
+* ``straggler`` — dense anchors explode seeker matching (heavy per-unit
+  CPU, heavy enforcement): the backend comparison. The process backend
+  avoids both the GIL and the threaded backend's global engine lock, so
+  it should win even on one core and scale with real cores;
+* ``delta_hub`` — hub-and-spoke topology where every spoke's match
+  re-derives hub-level ``ΔEq`` facts: broadcast volume, not matching,
+  dominates. This is the scheduler comparison: pivot-affinity routing +
+  adaptive batching (the default) against the fixed-``batch_size``
+  ablation (``RuntimeConfig.without_affinity()``), measured in wall
+  seconds *and* in ``ParallelOutcome.broadcast_volume`` / ``sync_rounds``.
+
+A ``simulated`` section records the virtual-clock numbers for both
+workloads and both scheduler configs. Those are exactly reproducible
+(no wall-clock noise), which makes them the regression signal
+``tools/check_bench_regression.py`` gates CI on.
 
 The numbers feed ``BENCH_parallel.json`` so successive PRs can track the
-runtime trajectory; both backends must report the same verdict or the run
-fails.
+runtime trajectory; every run must report the same verdict across
+backends and scheduler configs or the script exits nonzero.
 
 Run standalone::
 
@@ -28,25 +38,52 @@ import sys
 import time
 from typing import Dict, List
 
-from repro.gfd.generator import straggler_workload
+from repro.gfd.generator import delta_hub_workload, straggler_workload
 from repro.parallel import RuntimeConfig, par_sat
 
 #: The multi-core workload: dense anchors explode seeker matching (heavy
 #: per-unit CPU) and every match funnels through enforcement (heavy lock
 #: pressure for the threaded backend).
-FULL_WORKLOAD = dict(
+STRAGGLER_FULL = dict(
     num_anchor=2, num_seekers=5, num_background=40,
     anchor_size=13, seeker_length=7, seed=11,
 )
-SMOKE_WORKLOAD = dict(
+STRAGGLER_SMOKE = dict(
     num_anchor=2, num_seekers=3, num_background=20,
     anchor_size=10, seeker_length=5, seed=11,
+)
+
+#: The delta-heavy, hub-skewed workload: ΔEq broadcast dominates, work
+#: units cluster in hub neighborhoods — the scheduler's home turf.
+DELTA_HUB_FULL = dict(
+    num_hubs=8, spokes_per_hub=24, num_writers=10, num_pairers=4,
+    num_background=20, seed=7,
+)
+DELTA_HUB_SMOKE = dict(
+    num_hubs=4, spokes_per_hub=10, num_writers=5, num_pairers=2,
+    num_background=8, seed=7,
 )
 
 BACKENDS = ("threaded", "process")
 
 
-def bench_backend(sigma, backend: str, config: RuntimeConfig, repeats: int) -> Dict:
+def outcome_record(outcome) -> Dict:
+    """The per-run counters worth tracking across PRs."""
+    return {
+        "units_executed": outcome.units_executed,
+        "splits": outcome.splits,
+        "match_ticks": outcome.match_ticks,
+        "enforce_ops": outcome.enforce_ops,
+        "broadcast_ops": outcome.broadcast_ops,
+        "broadcast_volume": outcome.broadcast_volume,
+        "sync_rounds": outcome.sync_rounds,
+        "affinity_hits": outcome.affinity_hits,
+        "affinity_misses": outcome.affinity_misses,
+        "batch_sizes": outcome.batch_sizes,
+    }
+
+
+def bench_config(sigma, backend: str, config: RuntimeConfig, repeats: int) -> Dict:
     walls: List[float] = []
     verdict = None
     outcome = None
@@ -56,38 +93,99 @@ def bench_backend(sigma, backend: str, config: RuntimeConfig, repeats: int) -> D
         walls.append(time.perf_counter() - started)
         verdict = result.satisfiable
         outcome = result.outcome
-    return {
+    record = {
         "verdict": verdict,
         "wall_seconds_min": round(min(walls), 4),
         "wall_seconds_all": [round(w, 4) for w in walls],
-        "units_executed": outcome.units_executed,
-        "splits": outcome.splits,
-        "match_ticks": outcome.match_ticks,
-        "enforce_ops": outcome.enforce_ops,
     }
+    record.update(outcome_record(outcome))
+    return record
+
+
+def bench_simulated(sigma, config: RuntimeConfig) -> Dict:
+    """Deterministic virtual-clock record (the CI regression signal)."""
+    result = par_sat(sigma, config, backend="simulated")
+    record = {
+        "verdict": result.satisfiable,
+        "virtual_seconds": round(result.virtual_seconds, 6),
+    }
+    record.update(outcome_record(result.outcome))
+    return record
 
 
 def run_suite(smoke: bool = False, workers: int = 4, repeats: int = 2) -> Dict:
-    params = SMOKE_WORKLOAD if smoke else FULL_WORKLOAD
-    sigma = straggler_workload(**params)
+    straggler = straggler_workload(**(STRAGGLER_SMOKE if smoke else STRAGGLER_FULL))
+    delta_hub = delta_hub_workload(**(DELTA_HUB_SMOKE if smoke else DELTA_HUB_FULL))
     config = RuntimeConfig(workers=workers, ttl_seconds=2.0)
+    ablation = config.without_affinity()
     results: Dict = {
         "mode": "smoke" if smoke else "full",
         "workers": workers,
         "repeats": repeats,
         "cpus": os.cpu_count(),
         "cpus_usable": len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else None,
-        "workload": dict(params, kind="straggler", sigma_size=len(sigma)),
-        "backends": {},
+        "workloads": {
+            "straggler": dict(
+                STRAGGLER_SMOKE if smoke else STRAGGLER_FULL,
+                kind="straggler", sigma_size=len(straggler),
+            ),
+            "delta_hub": dict(
+                DELTA_HUB_SMOKE if smoke else DELTA_HUB_FULL,
+                kind="delta_hub", sigma_size=len(delta_hub),
+            ),
+        },
     }
+    verdicts = set()
+
+    # Backend comparison on the straggler workload (scheduler at defaults).
+    backends: Dict = {}
     for backend in BACKENDS:
-        results["backends"][backend] = bench_backend(sigma, backend, config, repeats)
-    verdicts = {record["verdict"] for record in results["backends"].values()}
-    if len(verdicts) != 1:
-        raise SystemExit(f"verdict mismatch across backends: {results['backends']}")
-    threaded = results["backends"]["threaded"]["wall_seconds_min"]
-    process = results["backends"]["process"]["wall_seconds_min"]
-    results["process_speedup_vs_threaded"] = round(threaded / process, 3) if process else None
+        backends[backend] = bench_config(straggler, backend, config, repeats)
+        verdicts.add(("straggler", backends[backend]["verdict"]))
+    results["backends"] = backends
+    threaded = backends["threaded"]["wall_seconds_min"]
+    process = backends["process"]["wall_seconds_min"]
+    results["process_speedup_vs_threaded"] = (
+        round(threaded / process, 3) if process else None
+    )
+
+    # Scheduler comparison on the delta-heavy hub workload (process
+    # backend: affinity + adaptive batching vs the fixed-batch ablation).
+    scheduler: Dict = {}
+    for key, cfg in (("affinity", config), ("fixed", ablation)):
+        scheduler[key] = bench_config(delta_hub, "process", cfg, repeats)
+        verdicts.add(("delta_hub", scheduler[key]["verdict"]))
+    results["scheduler"] = scheduler
+    fixed_wall = scheduler["fixed"]["wall_seconds_min"]
+    affinity_wall = scheduler["affinity"]["wall_seconds_min"]
+    results["affinity_speedup_vs_fixed"] = (
+        round(fixed_wall / affinity_wall, 3) if affinity_wall else None
+    )
+    affinity_volume = scheduler["affinity"]["broadcast_volume"]
+    results["broadcast_volume_vs_fixed"] = (
+        round(affinity_volume / scheduler["fixed"]["broadcast_volume"], 3)
+        if scheduler["fixed"]["broadcast_volume"]
+        else None
+    )
+
+    # Deterministic virtual-clock trajectories (per workload × scheduler
+    # config) — exactly reproducible, gated by CI.
+    simulated: Dict = {}
+    for workload_name, sigma in (("straggler", straggler), ("delta_hub", delta_hub)):
+        for key, cfg in (("affinity", config), ("fixed", ablation)):
+            record = bench_simulated(sigma, cfg)
+            simulated[f"{workload_name}_{key}"] = record
+            verdicts.add((workload_name, record["verdict"]))
+    results["simulated"] = simulated
+
+    mismatches = sum(
+        1
+        for workload_name in ("straggler", "delta_hub")
+        if len({verdict for name, verdict in verdicts if name == workload_name}) != 1
+    )
+    results["equivalence_mismatches"] = mismatches
+    if mismatches:
+        raise SystemExit(f"verdict mismatch across backends/configs: {sorted(verdicts)}")
     return results
 
 

@@ -12,7 +12,10 @@ Subcommands::
 Rule files use the text DSL (``.gfd``) or JSON (``.json``); graphs are the
 JSON format of :mod:`repro.graph.io`. ``--parallel P`` switches ``sat`` and
 ``imp`` to the parallel algorithms with ``P`` workers; ``--backend``
-selects the execution runtime (``simulated``, ``threaded``, ``process``).
+selects the execution runtime (``simulated``, ``threaded``, ``process``);
+``--batch-size`` seeds the scheduler's per-worker batches and
+``--no-affinity`` turns off pivot-affinity routing + adaptive batching
+(the fixed-batch ablation).
 
 Exit codes: 0 success (satisfiable / implied / no violations), 2 usage or
 input error, 3 negative verdict (unsatisfiable / not implied / violations
@@ -62,6 +65,18 @@ def _pick_phi(sigma: List[GFD], name: Optional[str]) -> GFD:
     raise ReproError(f"no GFD named {name!r} in the rule file")
 
 
+def _runtime_config(args: argparse.Namespace) -> RuntimeConfig:
+    """Build the parallel runtime config from the shared CLI knobs."""
+    config = RuntimeConfig(
+        workers=args.parallel,
+        ttl_seconds=args.ttl,
+        batch_size=args.batch_size,
+    )
+    if args.no_affinity:
+        config = config.without_affinity()
+    return config
+
+
 def cmd_parse(args: argparse.Namespace) -> int:
     sigma = load_rules(args.rules)
     print(render_gfds(sigma))
@@ -74,7 +89,7 @@ def cmd_sat(args: argparse.Namespace) -> int:
     if args.parallel:
         result = par_sat(
             sigma,
-            RuntimeConfig(workers=args.parallel, ttl_seconds=args.ttl),
+            _runtime_config(args),
             backend=args.backend,
         )
         verdict, conflict = result.satisfiable, result.conflict
@@ -113,7 +128,7 @@ def cmd_imp(args: argparse.Namespace) -> int:
         result = par_imp(
             rest,
             phi,
-            RuntimeConfig(workers=args.parallel, ttl_seconds=args.ttl),
+            _runtime_config(args),
             backend=args.backend,
         )
     else:
@@ -164,6 +179,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_scheduler_flags(parser: argparse.ArgumentParser) -> None:
+    """Scheduler knobs shared by the ``sat`` and ``imp`` subcommands."""
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=RuntimeConfig.batch_size,
+        metavar="N",
+        help="initial units per coordinator round-trip (with --parallel)",
+    )
+    parser.add_argument(
+        "--no-affinity",
+        action="store_true",
+        help="disable pivot-affinity routing and adaptive batching "
+        "(the fixed-batch scheduler ablation)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="gfd-reason",
@@ -185,6 +217,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel execution backend (with --parallel)",
     )
     p_sat.add_argument("--ttl", type=float, default=2.0, help="straggler TTL (virtual s)")
+    _add_scheduler_flags(p_sat)
     p_sat.add_argument(
         "--explain",
         action="store_true",
@@ -203,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel execution backend (with --parallel)",
     )
     p_imp.add_argument("--ttl", type=float, default=2.0)
+    _add_scheduler_flags(p_imp)
     p_imp.set_defaults(func=cmd_imp)
 
     p_detect = sub.add_parser("detect", help="find rule violations in a graph")

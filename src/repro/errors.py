@@ -42,5 +42,10 @@ class BudgetExceeded(ReproError):
     """A reasoning task exceeded an explicit resource budget."""
 
 
-class RuntimeConfigError(ReproError):
-    """The parallel runtime was configured inconsistently."""
+class RuntimeConfigError(ReproError, ValueError):
+    """The parallel runtime was configured inconsistently.
+
+    Also a :class:`ValueError`: configuration mistakes (``workers=0``, a
+    negative tolerance) are plain bad values, and callers that never import
+    the library's hierarchy still catch them idiomatically.
+    """

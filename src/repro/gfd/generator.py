@@ -430,6 +430,88 @@ def straggler_workload(
     return sigma
 
 
+def delta_hub_workload(
+    num_hubs: int = 4,
+    spokes_per_hub: int = 16,
+    num_writers: int = 6,
+    num_pairers: int = 2,
+    num_background: int = 12,
+    seed: int = 7,
+    vocabulary: Optional[GFDVocabulary] = None,
+) -> List[GFD]:
+    """A delta-heavy, hub-skewed workload (scheduler benchmarks).
+
+    Built so that ``ΔEq`` broadcast — not matching — dominates, and so
+    that work units cluster in pivot neighborhoods:
+
+    * *hub carriers* — trivial GFDs (no literals) whose patterns are
+      stars: one ``hubc``-labeled center with ``spokes_per_hub``
+      ``spoke``-labeled in-neighbors. They cost nothing to enforce; their
+      canonical copies give ``GΣ`` its hub-and-spoke shape;
+    * *writers* — 2-node patterns ``s('spoke') -e-> c(_)``, pivoted at the
+      spoke (one work unit per spoke node, so every hub contributes a
+      group of units sharing its neighborhood). Each writer ``w`` asserts
+      a *hub-level* constant ``c.hub_a{w} = w`` — every spoke of a hub
+      rediscovers the same op, so scattered units re-derive and re-ship it
+      once per replica while co-located units absorb it locally — plus
+      ``s.hub_b = c.hub_b``, merging each spoke's class into its hub's
+      (per-spoke ops, identical across writers: more redundancy);
+    * *pairers* — 3-node patterns ``s0 -e-> c <-e- s1`` (both spokes
+      wild-labeled ``spoke``) equating ``s0.hub_c = s1.hub_c``: quadratic
+      matches per hub whose merge ops collapse into one equivalence class
+      per hub — heavy, heavily-redundant ``ΔEq`` traffic;
+    * *background* — ordinary consistent random GFDs, the cheap bulk.
+
+    Writers use disjoint fresh attribute names (``hub_a0``, ``hub_a1``,
+    ...), so the set is satisfiable by construction.
+    """
+    vocab = vocabulary or GFDVocabulary.default()
+    generator = GFDGenerator(vocab, seed=seed)
+    sigma: List[GFD] = []
+    for index in range(num_hubs):
+        pattern = Pattern()
+        pattern.add_var("x0", "hubc")
+        for j in range(1, spokes_per_hub + 1):
+            pattern.add_var(f"x{j}", "spoke")
+            pattern.add_edge(f"x{j}", "x0", "e")
+        sigma.append(make_gfd(pattern.freeze(), [], [], name=f"hub{index}"))
+    for index in range(num_writers):
+        pattern = Pattern()
+        pattern.add_var("s", "spoke")
+        pattern.add_var("c", WILDCARD)
+        pattern.add_edge("s", "c", "e")
+        sigma.append(
+            make_gfd(
+                pattern.freeze(),
+                [],
+                [
+                    ConstantLiteral("c", f"hub_a{index}", f"w{index}"),
+                    VariableLiteral("s", "hub_b", "c", "hub_b"),
+                ],
+                name=f"writer{index}",
+            )
+        )
+    for index in range(num_pairers):
+        pattern = Pattern()
+        pattern.add_var("s0", "spoke")
+        pattern.add_var("s1", "spoke")
+        pattern.add_var("c", WILDCARD)
+        pattern.add_edge("s0", "c", "e")
+        pattern.add_edge("s1", "c", "e")
+        sigma.append(
+            make_gfd(
+                pattern.freeze(),
+                [],
+                [VariableLiteral("s0", "hub_c", "s1", "hub_c")],
+                name=f"pairer{index}",
+            )
+        )
+    sigma.extend(
+        generator.generate(num_background, max_pattern_nodes=4, max_literals=3, prefix="bg")
+    )
+    return sigma
+
+
 def add_random_conflicts(
     sigma: Sequence[GFD],
     num_conflicts: int = 10,

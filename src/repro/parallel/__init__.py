@@ -20,6 +20,7 @@ from .engine import SimulatedCluster, ThreadedCluster, make_cluster
 from .goals import EntailmentGoal
 from .parimp import ParImpResult, par_imp, par_imp_nb, par_imp_np
 from .parsat import ParSatResult, par_sat, par_sat_nb, par_sat_np
+from .scheduler import Scheduler
 from .tracing import Trace, TraceEvent, render_gantt, summarize
 from .units import UnitContext, UnitResult, execute_unit
 
@@ -47,6 +48,7 @@ __all__ = [
     "par_sat",
     "par_sat_nb",
     "par_sat_np",
+    "Scheduler",
     "UnitContext",
     "UnitResult",
     "execute_unit",

@@ -13,14 +13,20 @@ broadcast between them. This backend is that architecture on one machine:
   :class:`~repro.parallel.units.UnitContext` pickle support) and the index
   is reconstructed without O(|G|) recompilation;
 * **dispatch** pickles :class:`~repro.reasoning.workunits.WorkUnit`
-  batches over per-worker pipes; split sub-units come back inside
-  :class:`~repro.parallel.units.UnitResult` and are requeued at the front
-  of the coordinator's queue (cross-process requeue tracks units by their
+  batches over per-worker pipes, routed by the
+  :class:`~repro.parallel.scheduler.Scheduler`: units sharing a pivot
+  locality key stick to one replica (warm caches, duplicate-ΔEq
+  suppression) and each worker's batch size adapts to its observed
+  round-trip cost vs ΔEq payload; split sub-units come back inside
+  :class:`~repro.parallel.units.UnitResult` and are requeued into the
+  scheduler's priority lane (cross-process requeue tracks units by their
   stable :attr:`WorkUnit.uid`);
 * **ΔEq broadcast** is explicit: each worker returns the
   :class:`~repro.eq.eqrelation.DeltaOp` ops its replica appended, the
   coordinator merges them into the master ``Eq`` (idempotent replay), and
-  every dispatch carries the master ops the receiving worker has not seen;
+  every dispatch carries the master ops the receiving worker has not seen
+  — minus the ops that worker itself produced (echo suppression: a
+  replica never pays wire volume for its own work);
 * **early termination** happens at the first conflict (the
   :class:`Conflict` object itself is shipped — conflicts are not log ops)
   or when the implication goal holds on the *master* ``Eq``, which sees
@@ -50,15 +56,15 @@ from __future__ import annotations
 import multiprocessing as mp
 import pickle
 import time
-from collections import deque
 from multiprocessing import connection as mp_connection
-from typing import Deque, Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from ...graph.delta import replay as replay_delta_ops
 from ...graph.index import GraphIndex
 from ...reasoning.enforce import EnforcementEngine
 from ...reasoning.workunits import WorkUnit
-from ..coordinator import ParallelOutcome, absorb_result, register_splits, requeue_front
+from ..coordinator import ParallelOutcome, absorb_result, register_splits
+from ..scheduler import Scheduler
 from ..units import UnitContext, execute_unit
 from .base import Backend, GoalCheck
 
@@ -446,32 +452,65 @@ class ProcessBackend(Backend):
                 }
 
         conn_worker = {conn: wid for wid, conn in enumerate(conns)}
-        pending: Deque[WorkUnit] = deque(units)
-        requeue = requeue_front(pending)
+        scheduler = Scheduler(units, config, context)
+        for worker_id in dead:
+            # A persistent pool may resume with casualties from earlier
+            # runs: never pin locality keys to a worker that cannot serve.
+            scheduler.worker_died(worker_id)
         synced = [eq.log_position()] * config.workers
-        idle: Deque[int] = deque(
-            wid for wid in range(config.workers) if wid not in dead
-        )
+        shipped_ops = [0] * config.workers
+        dispatched_at = [0.0] * config.workers
+        # Echo suppression: master-log regions a worker itself produced
+        # (recorded at merge time in receive()). Broadcasting those back to
+        # their producer is pure wasted volume — the replica already holds
+        # them — so dispatch() filters the regions out of its ΔEq slice.
+        own_regions: List[List[tuple]] = [[] for _ in range(config.workers)]
+        idle: List[int] = [wid for wid in range(config.workers) if wid not in dead]
         in_flight: Dict[int, List[WorkUnit]] = {}
         terminated = False
+
+        def bury(worker_id: int, lost: List[WorkUnit]) -> None:
+            """Mark a worker dead and requeue its units on the survivors.
+
+            The scheduler re-pins the dead worker's locality keys (and any
+            still-queued pinned units) before the lost in-flight units go
+            back to the queue front, so everything lands on live replicas;
+            stable uids make the units re-dispatchable as-is."""
+            dead.add(worker_id)
+            scheduler.worker_died(worker_id)
+            scheduler.requeue(lost)
+            if len(dead) == config.workers:
+                raise RuntimeError("all process workers died") from None
 
         def dispatch(worker_id: int, batch: List[WorkUnit], kind: str = "units") -> bool:
             """Send *batch* plus the worker's pending ΔEq; False when the
             worker turns out to be dead (its batch is requeued for the
             survivors, mirroring the receive-side EOF handling)."""
-            ops = eq.delta_since(synced[worker_id])
+            base = synced[worker_id]
+            ops = eq.delta_since(base)
+            regions = own_regions[worker_id]
+            if regions:
+                ops = [
+                    op
+                    for position, op in enumerate(ops, start=base)
+                    if not any(lo <= position < hi for lo, hi in regions)
+                ]
             try:
                 if kind == "units":
                     conns[worker_id].send((kind, batch, ops))
                 else:
                     conns[worker_id].send((kind, ops))
             except OSError:
-                pending.extendleft(reversed(batch))
-                dead.add(worker_id)
-                if len(dead) == config.workers:
-                    raise RuntimeError("all process workers died") from None
+                bury(worker_id, batch)
                 return False
+            outcome.broadcast_volume += len(ops)
+            outcome.sync_rounds += 1
+            shipped_ops[worker_id] = len(ops)
+            dispatched_at[worker_id] = time.perf_counter()
             synced[worker_id] = eq.log_position()
+            # Every recorded region ends at or before the log position the
+            # sync mark just advanced to, so this dispatch consumed them all.
+            own_regions[worker_id] = []
             in_flight[worker_id] = batch
             return True
 
@@ -483,10 +522,32 @@ class ProcessBackend(Backend):
             if reply[0] == "error":
                 raise RuntimeError(f"process worker {worker_id} failed: {reply[1]}")
             _, results, new_ops, conflict, goal_reached, busy = reply
-            dispatched = {unit.uid for unit in in_flight.pop(worker_id, [])}
+            batch = in_flight.pop(worker_id, [])
+            dispatched = {unit.uid for unit in batch}
             idle.append(worker_id)
             outcome.worker_busy[worker_id] += busy
+            outcome.broadcast_volume += len(new_ops)
+            if batch:
+                # Only unit round trips feed the adaptive batcher —
+                # settlement syncs carry no work, so their payload says
+                # nothing about what a batch of units costs. The latency
+                # axis is the full dispatch→receive interval (pickling,
+                # wire and queuing included), which is what
+                # batch_target_seconds promises to bound — the worker's
+                # own busy clock would miss exactly the communication
+                # cost batching exists to control.
+                scheduler.observe(
+                    worker_id,
+                    len(results),
+                    shipped_ops[worker_id] + len(new_ops),
+                    time.perf_counter() - dispatched_at[worker_id],
+                )
+            merge_mark = eq.log_position()
             eq.apply_delta(new_ops)
+            if eq.log_position() > merge_mark:
+                # The novel slice of this reply is the worker's own work;
+                # never echo it back to its producer.
+                own_regions[worker_id].append((merge_mark, eq.log_position()))
             if conflict is not None:
                 eq.install_conflict(conflict)
             for result in results:
@@ -497,7 +558,7 @@ class ProcessBackend(Backend):
                     continue
                 absorb_result(outcome, result)
                 if not (result.conflict or result.goal_reached) and not terminated:
-                    register_splits(outcome, result, requeue)
+                    register_splits(outcome, result, scheduler.requeue)
             if eq.has_conflict():
                 outcome.conflict = eq.conflict
                 terminated = True
@@ -508,17 +569,19 @@ class ProcessBackend(Backend):
 
         run_ok = False
         try:
-            # Main dispatch loop: dynamic assignment to free workers, split
-            # sub-units requeued at the queue front as results come back.
+            # Main dispatch loop: dynamic assignment to free workers (own
+            # pinned queue first, then global, then stealing), split
+            # sub-units requeued at their owner's queue front as results
+            # come back.
             while True:
-                while pending and idle and not terminated:
-                    worker_id = idle.popleft()
+                while len(scheduler) and idle and not terminated:
+                    worker_id = idle.pop(0)
                     if worker_id in dead:
                         continue
-                    batch = [
-                        pending.popleft()
-                        for _ in range(min(config.batch_size, len(pending)))
-                    ]
+                    batch = scheduler.next_batch(worker_id)
+                    if not batch:  # pragma: no cover - len() said otherwise
+                        idle.append(worker_id)
+                        break
                     dispatch(worker_id, batch)
                 if not in_flight:
                     break
@@ -530,14 +593,9 @@ class ProcessBackend(Backend):
                     try:
                         receive(worker_id)
                     except (EOFError, ConnectionError):
-                        # Worker died mid-batch: requeue its units (stable
-                        # uids make the units re-dispatchable as-is) on a
-                        # surviving worker and exclude the dead one.
-                        lost = in_flight.pop(worker_id, [])
-                        pending.extendleft(reversed(lost))
-                        dead.add(worker_id)
-                        if len(dead) == config.workers:
-                            raise RuntimeError("all process workers died") from None
+                        # Worker died mid-batch: re-pin its keys and put
+                        # the lost units back for the survivors.
+                        bury(worker_id, in_flight.pop(worker_id, []))
 
             # Settlement: flush remaining deltas so worker-side parked
             # matches cascade to the shared fixpoint before declaring the
@@ -563,6 +621,7 @@ class ProcessBackend(Backend):
                     except (EOFError, ConnectionError):
                         in_flight.pop(worker_id, None)
                         dead.add(worker_id)
+                        scheduler.worker_died(worker_id)
             run_ok = True
         finally:
             if pool is not None and run_ok and len(dead) < config.workers:
@@ -575,6 +634,7 @@ class ProcessBackend(Backend):
                     context.graph.retain_deltas(False)
                 self._shutdown_workers(conns, procs, dead)
 
+        scheduler.export_stats(outcome)
         outcome.wall_seconds = time.perf_counter() - started
         outcome.virtual_seconds = outcome.wall_seconds
         return outcome

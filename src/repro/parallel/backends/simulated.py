@@ -15,8 +15,7 @@ from __future__ import annotations
 
 import heapq
 import time
-from collections import deque
-from typing import Deque, Optional, Sequence
+from typing import Optional, Sequence
 
 from ...reasoning.enforce import EnforcementEngine
 from ...reasoning.workunits import WorkUnit
@@ -24,9 +23,9 @@ from ..coordinator import (
     ParallelOutcome,
     absorb_result,
     register_splits,
-    requeue_front,
     unit_duration,
 )
+from ..scheduler import Scheduler
 from ..units import UnitContext, execute_unit
 from .base import Backend, GoalCheck
 
@@ -46,10 +45,15 @@ class SimulatedBackend(Backend):
     ) -> ParallelOutcome:
         config = self.config
         started = time.perf_counter()
-        outcome = ParallelOutcome(units_total=len(units), eq=engine.eq, backend=self.name)
+        eq = engine.eq
+        outcome = ParallelOutcome(units_total=len(units), eq=eq, backend=self.name)
         outcome.worker_busy = [0.0] * config.workers
-        pending: Deque[WorkUnit] = deque(units)
-        requeue = requeue_front(pending)
+        scheduler = Scheduler(units, config, context)
+        # Broadcast accounting: although the simulated workers share one
+        # Eq (instantaneous visibility), each dispatch *models* shipping
+        # the worker the ops it has not seen, priced by the cost model —
+        # the same per-sync bookkeeping the process backend pays for real.
+        synced = [eq.log_position()] * config.workers
         # (next-free virtual time, worker id); heap gives dynamic assignment
         # to the earliest available worker.
         free = [(0.0, worker_id) for worker_id in range(config.workers)]
@@ -57,11 +61,20 @@ class SimulatedBackend(Backend):
         makespan = 0.0
         ttl_ticks = config.ttl_ticks
         terminated = False
-        while pending and not terminated:
+        while len(scheduler) and not terminated:
             now, worker_id = heapq.heappop(free)
             # One coordinator round-trip hands the worker a small batch
-            # (paper, Section V-B); the batch pays one dispatch overhead.
-            batch = [pending.popleft() for _ in range(min(config.batch_size, len(pending)))]
+            # (paper, Section V-B); the batch pays one dispatch overhead
+            # plus the broadcast of the ΔEq ops this worker has not seen.
+            batch = scheduler.next_batch(worker_id)
+            shipped = eq.log_position() - synced[worker_id]
+            outcome.broadcast_volume += shipped
+            outcome.sync_rounds += 1
+            executed = 0
+            # The clock charges the round trip itself; shipped-op volume is
+            # *recorded* (broadcast_volume) but not re-priced — each op's
+            # broadcast already costs broadcast_per_op once, inside
+            # unit_duration, exactly as before the scheduler existed.
             elapsed = config.costs.batch_overhead * config.costs.tick_seconds
             for unit in batch:
                 unit_start = now + elapsed
@@ -74,6 +87,7 @@ class SimulatedBackend(Backend):
                     goal_check=goal_check,
                 )
                 elapsed += unit_duration(result, config) * config.costs.tick_seconds
+                executed += 1
                 if trace is not None:
                     from ..tracing import TraceEvent
 
@@ -98,9 +112,14 @@ class SimulatedBackend(Backend):
                     outcome.goal_reached = True
                     terminated = True
                 else:
-                    register_splits(outcome, result, requeue)
+                    register_splits(outcome, result, scheduler.requeue)
                 if terminated:
                     break
+            # The worker's reply ships back the ops this batch appended.
+            produced = eq.log_position() - synced[worker_id] - shipped
+            outcome.broadcast_volume += produced
+            synced[worker_id] = eq.log_position()
+            scheduler.observe(worker_id, executed, shipped + produced, elapsed)
             finish = now + elapsed
             outcome.worker_busy[worker_id] += elapsed
             if terminated:
@@ -108,6 +127,7 @@ class SimulatedBackend(Backend):
                 break
             makespan = max(makespan, finish)
             heapq.heappush(free, (finish, worker_id))
+        scheduler.export_stats(outcome)
         outcome.virtual_seconds = makespan
         outcome.wall_seconds = time.perf_counter() - started
         return outcome

@@ -12,13 +12,13 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import deque
-from typing import Deque, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ...eq.eqrelation import EqRelation
 from ...reasoning.enforce import EnforcementEngine
 from ...reasoning.workunits import WorkUnit
 from ..coordinator import ParallelOutcome, absorb_result
+from ..scheduler import Scheduler
 from ..units import UnitContext, UnitResult, execute_unit
 from .base import Backend, GoalCheck
 
@@ -60,11 +60,14 @@ class ThreadedBackend(Backend):
         outcome.worker_busy = [0.0] * config.workers
         lock = threading.RLock()
         locked_engine = _LockedEngine(engine, lock)
-        pending: Deque[WorkUnit] = deque(units)
+        # The scheduler (affinity routing + adaptive batches) is shared
+        # mutable state: every interaction happens under queue_lock.
+        scheduler = Scheduler(units, config, context)
         queue_lock = threading.Lock()
         stop = threading.Event()
         results: List[UnitResult] = []
         results_lock = threading.Lock()
+        sync_rounds = [0] * config.workers
         ttl_ticks = config.ttl_ticks
 
         locked_goal = None
@@ -76,27 +79,40 @@ class ThreadedBackend(Backend):
         def worker(worker_id: int) -> None:
             while not stop.is_set():
                 with queue_lock:
-                    if not pending:
-                        return
-                    unit = pending.popleft()
-                unit_started = time.perf_counter()
-                result = execute_unit(
-                    unit,
-                    context,
-                    locked_engine,
-                    ttl_ticks=ttl_ticks,
-                    max_split_units=config.max_split_units,
-                    goal_check=locked_goal,
-                )
-                outcome.worker_busy[worker_id] += time.perf_counter() - unit_started
-                with results_lock:
-                    results.append(result)
-                if result.conflict or result.goal_reached:
-                    stop.set()
+                    batch = scheduler.next_batch(worker_id)
+                if not batch:
                     return
-                if result.splits:
-                    with queue_lock:
-                        pending.extendleft(reversed(result.splits))
+                sync_rounds[worker_id] += 1
+                batch_started = time.perf_counter()
+                executed = 0
+                for unit in batch:
+                    if stop.is_set():
+                        break
+                    result = execute_unit(
+                        unit,
+                        context,
+                        locked_engine,
+                        ttl_ticks=ttl_ticks,
+                        max_split_units=config.max_split_units,
+                        goal_check=locked_goal,
+                    )
+                    executed += 1
+                    with results_lock:
+                        results.append(result)
+                    if result.conflict or result.goal_reached:
+                        stop.set()
+                        break
+                    if result.splits:
+                        with queue_lock:
+                            scheduler.requeue(result.splits)
+                elapsed = time.perf_counter() - batch_started
+                outcome.worker_busy[worker_id] += elapsed
+                with queue_lock:
+                    # ΔEq payload is 0 on purpose: all workers share one
+                    # in-memory Eq, so there is no broadcast to economize
+                    # on — shrinking batches for it would only multiply
+                    # lock round trips. Only the latency axis adapts here.
+                    scheduler.observe(worker_id, executed, 0, elapsed)
 
         threads = [
             threading.Thread(target=worker, args=(worker_id,), daemon=True)
@@ -113,6 +129,10 @@ class ThreadedBackend(Backend):
             if result.goal_reached:
                 outcome.goal_reached = True
         outcome.units_total += outcome.splits
+        outcome.sync_rounds = sum(sync_rounds)
+        # ΔEq broadcast is free here — all workers share one Eq in memory —
+        # so the shipped volume is genuinely zero, not merely unmeasured.
+        scheduler.export_stats(outcome)
         if engine.eq.has_conflict():
             outcome.conflict = engine.eq.conflict
         outcome.wall_seconds = time.perf_counter() - started

@@ -62,7 +62,41 @@ class RuntimeConfig:
     batch_size:
         Units handed to a worker per coordinator round-trip ("work units
         can be assigned ... in a small batch rather than a single w, to
-        reduce the communication cost", paper Section V-B).
+        reduce the communication cost", paper Section V-B). With
+        ``adaptive_batch`` this is the *initial* per-worker size; batches
+        are exactly this size only in the full ablation
+        (:meth:`without_affinity`) — while either scheduler feature is
+        on, the fair-share cap may still trim a batch to the worker's
+        share of the remaining queue.
+    affinity:
+        Pivot-locality scheduling: the
+        :class:`~repro.parallel.scheduler.Scheduler` routes work units
+        whose pivots share a neighborhood (same locality key, see
+        :meth:`~repro.parallel.units.UnitContext.locality_key`) to the
+        same worker replica, so its warm BFS hop maps and already-applied
+        ``ΔEq`` ops are reused instead of re-derived — and the duplicate
+        ops that co-located units rediscover never cross the coordinator
+        boundary. ``False`` is the ablation: plain FIFO dispatch to
+        whichever worker frees up first.
+    adaptive_batch:
+        Per-worker adaptive batch sizing: the scheduler grows a worker's
+        batch (toward ``max_batch_size``) while round trips come back
+        cheap, and halves it when the observed ``ΔEq`` payload exceeds
+        ``batch_delta_budget`` ops or the round trip overshoots
+        ``batch_target_seconds`` — delta-heavy workers then sync more
+        often, keeping every replica's ``Eq`` fresh. ``False`` keeps the
+        fixed ``batch_size`` (the ablation, paired with
+        ``affinity=False`` by :meth:`without_affinity`).
+    max_batch_size:
+        Upper bound for adaptive batch growth. Values below ``batch_size``
+        are not an error: the effective cap is
+        ``max(batch_size, max_batch_size)``.
+    batch_delta_budget:
+        ΔEq ops per round trip above which an adaptive batch shrinks.
+    batch_target_seconds:
+        Round-trip duration (virtual seconds on the simulated backend,
+        wall seconds elsewhere) above which an adaptive batch shrinks;
+        batches only grow while round trips finish in half this budget.
     use_dependency_order / use_simulation_pruning:
         The remaining optimizations, togglable for ablations.
     use_bitsets:
@@ -92,6 +126,11 @@ class RuntimeConfig:
     pipelined: bool = True
     max_split_units: int = 16
     batch_size: int = 6
+    affinity: bool = True
+    adaptive_batch: bool = True
+    max_batch_size: int = 32
+    batch_delta_budget: int = 64
+    batch_target_seconds: float = 0.25
     use_dependency_order: bool = True
     use_simulation_pruning: bool = True
     use_bitsets: bool = True
@@ -108,6 +147,18 @@ class RuntimeConfig:
             raise RuntimeConfigError("max_split_units must be >= 1")
         if self.batch_size < 1:
             raise RuntimeConfigError("batch_size must be >= 1")
+        if self.max_batch_size < 1:
+            raise RuntimeConfigError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.batch_delta_budget < 1:
+            raise RuntimeConfigError(
+                f"batch_delta_budget must be >= 1, got {self.batch_delta_budget}"
+            )
+        if self.batch_target_seconds <= 0:
+            raise RuntimeConfigError(
+                f"batch_target_seconds must be positive, got {self.batch_target_seconds}"
+            )
         if self.start_method is not None and self.start_method not in (
             "fork",
             "spawn",
@@ -130,6 +181,15 @@ class RuntimeConfig:
 
     def without_splitting(self) -> "RuntimeConfig":
         return replace(self, ttl_seconds=None)
+
+    def without_affinity(self) -> "RuntimeConfig":
+        """The scheduler ablation: FIFO routing and fixed ``batch_size``."""
+        return replace(self, affinity=False, adaptive_batch=False)
+
+    @property
+    def batch_size_cap(self) -> int:
+        """The effective adaptive-batch ceiling (never below ``batch_size``)."""
+        return max(self.batch_size, self.max_batch_size)
 
     def with_workers(self, workers: int) -> "RuntimeConfig":
         return replace(self, workers=workers)

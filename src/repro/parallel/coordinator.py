@@ -10,8 +10,9 @@ clock, threads, processes). This module holds the runtime-agnostic half:
   under a :class:`~repro.parallel.config.CostModel`;
 * :func:`absorb_result` / :func:`register_splits` — the bookkeeping every
   backend performs per :class:`~repro.parallel.units.UnitResult`: tally
-  operation counts, decide early termination, and requeue split sub-units
-  at the *front* of the queue (paper, lines 9–10 of ParSat).
+  operation counts, decide early termination, and hand split sub-units to
+  the :class:`~repro.parallel.scheduler.Scheduler`'s priority lane
+  (paper, lines 9–10 of ParSat: splits jump the queue).
 
 Backends import from here; entry points import the names re-exported by
 :mod:`repro.parallel.engine` (the historical home) or the package root.
@@ -20,7 +21,7 @@ Backends import from here; entry points import the names re-exported by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Deque, List, Optional
+from typing import Callable, List, Optional
 
 from ..eq.eqrelation import Conflict, EqRelation
 from ..reasoning.workunits import WorkUnit
@@ -43,6 +44,20 @@ class ParallelOutcome:
     match_ticks: int = 0
     enforce_ops: int = 0
     broadcast_ops: int = 0
+    #: ΔEq ops that actually crossed the coordinator/worker boundary, both
+    #: directions (the process backend's wire traffic; modeled per-sync on
+    #: the simulated backend; 0 on the shared-memory threaded backend).
+    broadcast_volume: int = 0
+    #: Coordinator round trips: batch dispatches plus settlement syncs.
+    sync_rounds: int = 0
+    #: Units served from their pinned worker's own queue vs executed
+    #: elsewhere (work stealing). Both 0 when ``affinity`` is off.
+    affinity_hits: int = 0
+    affinity_misses: int = 0
+    #: Batch-size changes the adaptive scheduler made, and the final
+    #: per-worker batch sizes it converged to.
+    batch_adaptations: int = 0
+    batch_sizes: List[int] = field(default_factory=list)
     worker_busy: List[float] = field(default_factory=list)
     eq: Optional[EqRelation] = None
     #: Which backend produced this outcome (``'simulated'`` etc.).
@@ -107,10 +122,3 @@ def register_splits(
         requeue(result.splits)
 
 
-def requeue_front(pending: Deque[WorkUnit]) -> Callable[[List[WorkUnit]], None]:
-    """A requeue callback pushing splits to the front of *pending* in order."""
-
-    def push(splits: List[WorkUnit]) -> None:
-        pending.extendleft(reversed(splits))
-
-    return push

@@ -76,6 +76,9 @@ class UnitContext:
         self.use_bitsets = use_bitsets
         # pivot -> (radius the map was computed to, node -> hop distance).
         self._hop_maps: Dict[NodeId, tuple] = {}
+        # pivot -> affinity routing key (dominant neighbor); node -> degree.
+        self._locality_keys: Dict[NodeId, NodeId] = {}
+        self._degrees: Dict[NodeId, int] = {}
         # (pivot, radius) -> materialized allowed-node set (shared object,
         # so repeated units of equal radius reuse one set instance).
         self._neighborhoods: Dict[tuple, object] = {}
@@ -117,6 +120,8 @@ class UnitContext:
         self._hop_maps.clear()
         self._neighborhoods.clear()
         self._candidates.clear()
+        self._locality_keys.clear()
+        self._degrees.clear()
         self._topology_version = self.graph.mutation_count
         # Re-derive the size-gated simulation decision: deltas may have
         # grown the graph past SIMULATION_NODE_LIMIT (or a caller may
@@ -166,6 +171,44 @@ class UnitContext:
             self._neighborhoods[key] = allowed
         return allowed
 
+    def _degree(self, node: NodeId) -> int:
+        degree = self._degrees.get(node)
+        if degree is None:
+            degree = len(self.graph.neighbors(node))
+            self._degrees[node] = degree
+        return degree
+
+    def locality_key(self, unit: WorkUnit) -> Optional[NodeId]:
+        """The pivot-affinity routing key of *unit* (``None`` = unpinned).
+
+        Units whose pivots share a dense neighborhood — the spokes of one
+        hub — must map to the same key, so the
+        :class:`~repro.parallel.scheduler.Scheduler` can pin them to one
+        worker replica whose warm hop maps and already-applied ``ΔEq``
+        ops serve the whole group. The key is the *dominant node of the
+        pivot's closed neighborhood*: the pivot's highest-degree neighbor
+        when that neighbor out-ranks the pivot itself, else the pivot.
+        Ties break on the compiled index's ``position`` (graph insertion
+        order), keeping the key deterministic under hash randomization.
+        """
+        pivot = unit.pivot_node()
+        if pivot is None:
+            return None
+        self._ensure_current()
+        key = self._locality_keys.get(pivot)
+        if key is None:
+            graph = self.graph
+            key = pivot
+            if graph.has_node(pivot):
+                position = graph.index().position
+                best_rank = (-self._degree(pivot), position[pivot])
+                for neighbor in graph.neighbors(pivot):
+                    rank = (-self._degree(neighbor), position[neighbor])
+                    if rank < best_rank:
+                        key, best_rank = neighbor, rank
+            self._locality_keys[pivot] = key
+        return key
+
     def precompute_neighborhoods(
         self, units: Sequence[WorkUnit], min_units: int = 2
     ) -> int:
@@ -211,6 +254,9 @@ class UnitContext:
         state = dict(self.__dict__)
         state["_plans"] = {}
         state["_neighborhoods"] = {}
+        # Affinity routing runs coordinator-side only; workers never ask.
+        state["_locality_keys"] = {}
+        state["_degrees"] = {}
         state["_candidates"] = {
             name: sim
             if sim is None

@@ -11,7 +11,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.gfd.generator import add_random_conflicts, random_gfds, straggler_workload
+from repro.gfd.generator import (
+    add_random_conflicts,
+    delta_hub_workload,
+    random_gfds,
+    straggler_workload,
+)
 from repro.parallel import RuntimeConfig, available_backends, par_imp, par_sat
 from repro.reasoning.seqimp import seq_imp
 from repro.reasoning.seqsat import seq_sat
@@ -68,6 +73,48 @@ class TestSatEquivalence:
                 for backend in ALL_BACKENDS
             }
             assert set(verdicts.values()) == {expected}, verdicts
+
+
+class TestSchedulerEquivalence:
+    """Affinity routing + adaptive batching change only *where and when*
+    units run, never verdicts — on every backend, both scheduler configs
+    must agree with the sequential ground truth."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sat_fuzz_affinity_on_off(self, seed):
+        sigma = random_gfds(9 + seed, 4, 3, seed=300 + seed)
+        if seed % 2:
+            sigma = add_random_conflicts(sigma, num_conflicts=3, seed=seed)
+        expected = seq_sat(sigma).satisfiable
+        base = RuntimeConfig(workers=3, batch_size=2)
+        for config in (base, base.without_affinity()):
+            for backend in ALL_BACKENDS:
+                result = par_sat(sigma, config, backend=backend)
+                assert result.satisfiable == expected, (backend, config.affinity, seed)
+
+    def test_delta_hub_workload_all_backends(self):
+        sigma = delta_hub_workload(
+            num_hubs=3, spokes_per_hub=6, num_writers=4, num_pairers=2,
+            num_background=6, seed=7,
+        )
+        expected = seq_sat(sigma).satisfiable
+        base = RuntimeConfig(workers=3)
+        for config in (base, base.without_affinity()):
+            for backend in ALL_BACKENDS:
+                result = par_sat(sigma, config, backend=backend)
+                assert result.satisfiable == expected, (backend, config.affinity)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_imp_fuzz_affinity_on_off(self, seed):
+        sigma = random_gfds(8, 4, 3, seed=400 + seed)
+        phi = sigma[seed % len(sigma)]
+        rest = [gfd for gfd in sigma if gfd.name != phi.name]
+        expected = seq_imp(rest, phi).implied
+        base = RuntimeConfig(workers=3, batch_size=2)
+        for config in (base, base.without_affinity()):
+            for backend in ALL_BACKENDS:
+                result = par_imp(rest, phi, config, backend=backend)
+                assert result.implied == expected, (backend, config.affinity, seed)
 
 
 class TestImpEquivalence:

@@ -77,6 +77,16 @@ class TestSat:
         assert main(["sat", sat_file, "--parallel", "2", "--backend", "process"]) == 0
         assert "SATISFIABLE" in capsys.readouterr().out
 
+    def test_scheduler_flags(self, sat_file, capsys):
+        assert main(["sat", sat_file, "--parallel", "2", "--batch-size", "3"]) == 0
+        assert main(["sat", sat_file, "--parallel", "2", "--no-affinity"]) == 0
+        capsys.readouterr()
+
+    def test_invalid_batch_size_rejected(self, sat_file, capsys):
+        # RuntimeConfigError is a ReproError: a clean exit-2, no traceback.
+        assert main(["sat", sat_file, "--parallel", "2", "--batch-size", "0"]) == 2
+        assert "batch_size" in capsys.readouterr().err
+
     def test_unknown_backend_rejected(self, sat_file):
         with pytest.raises(SystemExit):
             main(["sat", sat_file, "--parallel", "2", "--backend", "quantum"])

@@ -72,9 +72,13 @@ class TestSimulatedCluster:
             assert busy <= result.virtual_seconds + 1e-9
 
     def test_batching_reduces_overhead(self):
+        # The fixed-batch ablation: batch size is exactly what was asked,
+        # so bigger batches pay fewer per-round-trip overheads.
         sigma = random_gfds(60, 4, 3, seed=9)
-        small_batches = par_sat(sigma, RuntimeConfig(workers=2, batch_size=1))
-        big_batches = par_sat(sigma, RuntimeConfig(workers=2, batch_size=10))
+        small = RuntimeConfig(workers=2, batch_size=1).without_affinity()
+        big = RuntimeConfig(workers=2, batch_size=10).without_affinity()
+        small_batches = par_sat(sigma, small)
+        big_batches = par_sat(sigma, big)
         assert big_batches.virtual_seconds < small_batches.virtual_seconds
 
     def test_splitting_creates_units(self):

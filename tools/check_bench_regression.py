@@ -1,0 +1,390 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate: fresh ``--smoke`` runs vs committed baselines.
+
+Each benchmark script (``benchmarks/bench_*.py``) has a seconds-scale
+``--smoke`` mode. This tool runs one (or all) of them fresh, extracts a
+curated set of metrics, and compares them against the committed baseline
+file (``BENCH_smoke.json``) — failing the build on a regression beyond
+tolerance instead of letting perf rot silently.
+
+Cross-machine wall-clock numbers are not comparable, so metrics are gated
+by *kind*:
+
+``count``
+    Deterministic work counters (matcher ticks, simulated virtual
+    seconds, broadcast volume): identical on any machine, so a tight
+    relative tolerance catches real algorithmic regressions.
+``seconds``
+    Wall-clock timings, normalized by a calibration score (a fixed pure-
+    Python workload timed adjacent to each bench) with a loose relative
+    tolerance plus an absolute slack: only catastrophic slowdowns fail,
+    and sub-100ms spawn/IPC-dominated timings cannot flake the gate.
+``ratio``
+    Same-run relative speedups (delta vs rebuild, affinity vs fixed):
+    machine-portable by construction, gated with a medium tolerance.
+``exact``
+    Invariants (match counts, equivalence mismatches, verdict
+    agreement): any deviation fails.
+
+A deterministic counter that *improves* beyond its tolerance prints a
+``WARN`` asking for a baseline refresh (``--update``) — otherwise the
+stale ceiling would let a later regression back to the old level pass
+unnoticed.
+
+Usage::
+
+    python tools/check_bench_regression.py                  # gate all benches
+    python tools/check_bench_regression.py --bench parallel # one bench
+    python tools/check_bench_regression.py --update         # refresh baseline
+
+Exit codes: 0 all gates pass, 1 regression(s), 2 usage/baseline problems.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_smoke.json"
+
+#: Default relative tolerances per metric kind (overridable on the CLI).
+DEFAULT_TOLERANCES = {"count": 0.15, "seconds": 1.0, "ratio": 0.6}
+
+#: Extra headroom for 'seconds' ceilings, in calibration units (~1 means
+#: "one calibration-loop's worth of absolute noise is free"). Keeps tiny
+#: spawn/IPC-dominated timings from flaking the gate on shared runners.
+SECONDS_ABSOLUTE_SLACK = 1.0
+
+#: bench name -> (script, extra args, gated metrics). A metric is
+#: (dotted.path.in.the.output.json, kind); ``count``/``seconds`` fail when
+#: the fresh value exceeds baseline*(1+tol), ``ratio`` when it drops below
+#: baseline*(1-tol), ``exact`` on any difference.
+BENCHES: Dict[str, Dict] = {
+    "matcher": {
+        # Plain --smoke covers the pivot-fanout configs AND the bitset
+        # workload; the script itself exits nonzero on any use_bitsets
+        # on/off match-stream mismatch, so the ablation check rides along.
+        "script": "benchmarks/bench_matcher_micro.py",
+        "args": ["--smoke"],
+        "metrics": [
+            ("uniform-2.full.ticks", "count"),
+            ("uniform-2.fanout.ticks", "count"),
+            ("bitset-dense.bitset.ticks", "count"),
+            ("uniform-2.fanout.matches", "exact"),
+            ("bitset-dense.bitset.matches", "exact"),
+            ("bitset-dense.ablation_mismatches", "exact"),
+            ("uniform-2.fanout.seconds", "seconds"),
+            ("bitset-dense.bitset.seconds", "seconds"),
+        ],
+    },
+    "parallel": {
+        "script": "benchmarks/bench_parallel.py",
+        "args": ["--smoke", "--workers", "2"],
+        "metrics": [
+            # The simulated section is exactly reproducible: virtual time,
+            # work counters, and broadcast accounting gate tightly.
+            ("simulated.straggler_affinity.virtual_seconds", "count"),
+            ("simulated.straggler_fixed.virtual_seconds", "count"),
+            ("simulated.delta_hub_affinity.virtual_seconds", "count"),
+            ("simulated.delta_hub_affinity.match_ticks", "count"),
+            ("simulated.delta_hub_affinity.broadcast_volume", "count"),
+            ("simulated.delta_hub_affinity.sync_rounds", "count"),
+            ("simulated.straggler_affinity.verdict", "exact"),
+            ("simulated.delta_hub_affinity.verdict", "exact"),
+            ("equivalence_mismatches", "exact"),
+            # Real-backend wall clocks: calibration-normalized, loose.
+            ("backends.process.wall_seconds_min", "seconds"),
+            ("scheduler.affinity.wall_seconds_min", "seconds"),
+        ],
+    },
+    "incremental": {
+        "script": "benchmarks/bench_incremental.py",
+        "args": ["--smoke"],
+        "metrics": [
+            ("index_maintenance.equivalence_mismatches", "exact"),
+            ("incremental_sat.verdicts_agree", "exact"),
+            ("index_maintenance.speedup", "ratio"),
+            ("incremental_sat.speedup", "ratio"),
+            ("index_maintenance.delta.total_seconds", "seconds"),
+        ],
+    },
+}
+
+
+def calibration_score(repeats: int = 3) -> float:
+    """Seconds this machine needs for a fixed pure-Python workload.
+
+    Used to normalize wall-clock metrics recorded on different machines:
+    ``seconds / calibration`` is roughly machine-independent for the
+    interpreter-bound code these benches run.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        value = 0
+        for index in range(1_500_000):
+            value = (value * 1103515245 + index) & 0xFFFFFFFF
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_bench(name: str, workers: Optional[int] = None) -> Dict:
+    """Run one bench's smoke mode in a subprocess; return its JSON output."""
+    spec = BENCHES[name]
+    args = list(spec["args"])
+    if workers is not None and "--workers" in args:
+        args[args.index("--workers") + 1] = str(workers)
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        output_path = handle.name
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    command = [
+        sys.executable,
+        str(REPO_ROOT / spec["script"]),
+        *args,
+        "--output",
+        output_path,
+    ]
+    try:
+        completed = subprocess.run(
+            command, env=env, capture_output=True, text=True, cwd=str(REPO_ROOT)
+        )
+        if completed.returncode != 0:
+            raise RuntimeError(
+                f"{spec['script']} failed (exit {completed.returncode}):\n"
+                f"{completed.stdout[-2000:]}\n{completed.stderr[-2000:]}"
+            )
+        with open(output_path) as result_file:
+            return json.load(result_file)
+    finally:
+        try:
+            os.unlink(output_path)
+        except OSError:
+            pass
+
+
+def extract(data: Dict, dotted: str):
+    node = data
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def collect_metrics(name: str, output: Dict) -> Dict[str, object]:
+    values: Dict[str, object] = {}
+    for path, _kind in BENCHES[name]["metrics"]:
+        values[path] = extract(output, path)
+    return values
+
+
+def compare(
+    name: str,
+    fresh: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerances: Dict[str, float],
+    fresh_calibration: float,
+    base_calibration: float,
+) -> List[Tuple[str, str, str]]:
+    """Gate one bench; returns (metric, status, detail) rows."""
+    rows: List[Tuple[str, str, str]] = []
+    for path, kind in BENCHES[name]["metrics"]:
+        fresh_value = fresh.get(path)
+        base_value = baseline.get(path)
+        metric = f"{name}:{path}"
+        if base_value is None:
+            rows.append((metric, "SKIP", "no baseline value"))
+            continue
+        if fresh_value is None:
+            rows.append((metric, "FAIL", "metric missing from fresh run"))
+            continue
+        if kind == "exact":
+            status = "PASS" if fresh_value == base_value else "FAIL"
+            rows.append((metric, status, f"{fresh_value!r} vs baseline {base_value!r}"))
+            continue
+        fresh_number = float(fresh_value)
+        base_number = float(base_value)
+        tolerance = tolerances[kind]
+        if kind == "seconds":
+            fresh_number /= fresh_calibration
+            base_number /= base_calibration
+        if kind == "ratio":
+            limit = base_number * (1.0 - tolerance)
+            ok = fresh_number >= limit or base_number == 0
+            detail = f"{fresh_number:.4g} vs baseline {base_number:.4g} (floor {limit:.4g})"
+            improved = fresh_number > base_number * (1.0 + tolerance)
+        else:
+            limit = base_number * (1.0 + tolerance)
+            if kind == "seconds":
+                # Absolute slack (in calibration units): sub-100ms bench
+                # timings are dominated by process-spawn/IPC noise a pure-
+                # CPU calibration cannot model, so a purely relative
+                # ceiling would flake on shared runners. For multi-second
+                # benches the relative term dominates and still gates.
+                limit += SECONDS_ABSOLUTE_SLACK
+            ok = fresh_number <= limit or base_number == 0
+            unit = " (calibration-normalized)" if kind == "seconds" else ""
+            detail = f"{fresh_number:.4g} vs baseline {base_number:.4g} (ceiling {limit:.4g}){unit}"
+            # Deterministic counters that improved past the tolerance mean
+            # the committed baseline is stale: a later regression back to
+            # the old level would hide under the old ceiling.
+            improved = kind == "count" and base_number > 0 and fresh_number < base_number * (
+                1.0 - tolerance
+            )
+        if ok and improved:
+            rows.append(
+                (
+                    metric,
+                    "WARN",
+                    detail + " — improved beyond tolerance; refresh the baseline "
+                    "(tools/check_bench_regression.py --update) so the gate "
+                    "tracks the new level",
+                )
+            )
+            continue
+        rows.append((metric, "PASS" if ok else "FAIL", detail))
+    return rows
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument(
+        "--bench",
+        choices=sorted(BENCHES) + ["all"],
+        default="all",
+        help="which benchmark to gate (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help="committed baseline file (default: BENCH_smoke.json)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="record fresh smoke runs as the new baseline instead of gating",
+    )
+    parser.add_argument("--workers", type=int, default=2, help="parallel bench workers")
+    parser.add_argument(
+        "--tolerance-count",
+        type=float,
+        default=DEFAULT_TOLERANCES["count"],
+        help="relative tolerance for deterministic counters",
+    )
+    parser.add_argument(
+        "--tolerance-seconds",
+        type=float,
+        default=DEFAULT_TOLERANCES["seconds"],
+        help="relative tolerance for calibration-normalized wall seconds",
+    )
+    parser.add_argument(
+        "--tolerance-ratio",
+        type=float,
+        default=DEFAULT_TOLERANCES["ratio"],
+        help="relative tolerance for same-run speedup ratios",
+    )
+    parser.add_argument("--report", help="write the comparison table as JSON")
+    args = parser.parse_args(argv)
+
+    names = sorted(BENCHES) if args.bench == "all" else [args.bench]
+    tolerances = {
+        "count": args.tolerance_count,
+        "seconds": args.tolerance_seconds,
+        "ratio": args.tolerance_ratio,
+    }
+
+    fresh: Dict[str, Dict[str, object]] = {}
+    fresh_calibrations: Dict[str, float] = {}
+    for name in names:
+        # Calibrate adjacent to each bench, not once up front: on a noisy
+        # shared runner the normalization must see the same load the
+        # timed bench sees, or transient contention fails innocent PRs.
+        fresh_calibrations[name] = calibration_score()
+        print(
+            f"running {BENCHES[name]['script']} {' '.join(BENCHES[name]['args'])} "
+            f"(calibration {fresh_calibrations[name]:.4f}s) ...",
+            flush=True,
+        )
+        fresh[name] = collect_metrics(name, run_bench(name, workers=args.workers))
+
+    baseline_path = Path(args.baseline)
+    if args.update:
+        if baseline_path.exists():
+            baseline = json.loads(baseline_path.read_text())
+        else:
+            baseline = {"benches": {}}
+        baseline["python"] = platform.python_version()
+        baseline.setdefault("benches", {})
+        for name in names:
+            # Calibration is stored per bench, so a partial --update on a
+            # differently-fast machine cannot skew the normalized-seconds
+            # gates of the benches it did not re-record.
+            entry = dict(fresh[name])
+            entry["_calibration_seconds"] = round(fresh_calibrations[name], 4)
+            baseline["benches"][name] = entry
+        baseline_path.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {baseline_path}")
+        return 0
+
+    if not baseline_path.exists():
+        print(f"error: baseline file not found: {baseline_path}", file=sys.stderr)
+        print("run with --update to record one", file=sys.stderr)
+        return 2
+    baseline = json.loads(baseline_path.read_text())
+
+    failures = 0
+    all_rows: List[Tuple[str, str, str]] = []
+    for name in names:
+        base_metrics = baseline.get("benches", {}).get(name)
+        if base_metrics is None:
+            print(f"error: baseline has no entry for bench {name!r}", file=sys.stderr)
+            return 2
+        fresh_calibration = fresh_calibrations[name]
+        base_calibration = float(
+            base_metrics.get("_calibration_seconds")
+            or baseline.get("calibration_seconds")
+            or fresh_calibration
+        )
+        rows = compare(
+            name, fresh[name], base_metrics, tolerances, fresh_calibration, base_calibration
+        )
+        all_rows.extend(rows)
+    width = max(len(metric) for metric, _, _ in all_rows)
+    for metric, status, detail in all_rows:
+        print(f"{status:4}  {metric:<{width}}  {detail}")
+        if status == "FAIL":
+            failures += 1
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(
+                {
+                    "calibration_seconds": fresh_calibrations,
+                    "results": [
+                        {"metric": metric, "status": status, "detail": detail}
+                        for metric, status, detail in all_rows
+                    ],
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+    if failures:
+        print(f"\n{failures} bench regression gate(s) FAILED", file=sys.stderr)
+        return 1
+    print(f"\nall {len(all_rows)} bench regression gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
