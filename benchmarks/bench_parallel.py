@@ -26,7 +26,13 @@ Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_parallel.py [--output FILE]
 
-``--smoke`` runs a seconds-scale configuration for CI.
+``--smoke`` runs a seconds-scale configuration for CI. ``--chaos`` runs
+the fault-tolerance suite instead: the ``delta_hub`` workload under a
+seeded :class:`~repro.parallel.faults.FaultPlan` (one worker killed
+mid-run, one hung past the batch deadline, one unit poisoned), asserting
+verdict equivalence with the clean run and reporting the recovery
+overhead (``recovery_efficiency`` = clean wall / faulted wall, higher is
+better) for the CI regression gate.
 """
 
 from __future__ import annotations
@@ -39,7 +45,7 @@ import time
 from typing import Dict, List
 
 from repro.gfd.generator import delta_hub_workload, straggler_workload
-from repro.parallel import RuntimeConfig, par_sat
+from repro.parallel import FaultEvent, FaultPlan, RuntimeConfig, par_sat
 
 #: The multi-core workload: dense anchors explode seeker matching (heavy
 #: per-unit CPU) and every match funnels through enforcement (heavy lock
@@ -80,6 +86,12 @@ def outcome_record(outcome) -> Dict:
         "affinity_hits": outcome.affinity_hits,
         "affinity_misses": outcome.affinity_misses,
         "batch_sizes": outcome.batch_sizes,
+        # Supervision counters (all 0/False on a clean run).
+        "retries": outcome.retries,
+        "respawns": outcome.respawns,
+        "worker_deaths": outcome.worker_deaths,
+        "quarantined": len(outcome.quarantined),
+        "degraded": outcome.degraded,
     }
 
 
@@ -186,6 +198,81 @@ def run_suite(smoke: bool = False, workers: int = 4, repeats: int = 2) -> Dict:
     results["equivalence_mismatches"] = mismatches
     if mismatches:
         raise SystemExit(f"verdict mismatch across backends/configs: {sorted(verdicts)}")
+    if not smoke:
+        # The full artifact (BENCH_parallel.json) carries the chaos
+        # section too; the smoke/CI path runs it as its own gate cell
+        # (--chaos) so the perf and fault gates stay independent.
+        results["chaos"] = run_chaos(smoke=False, workers=workers, repeats=repeats)
+    return results
+
+
+def chaos_plan() -> FaultPlan:
+    """The seeded chaos script: kill worker 1 mid-run, hang worker 0 on
+    its second batch, and poison the ``bg0`` unit everywhere."""
+    return FaultPlan.make(
+        [FaultEvent("crash", 1, 0), FaultEvent("hang", 0, 1)],
+        poisoned=["bg0"],
+    )
+
+
+def run_chaos(smoke: bool = False, workers: int = 4, repeats: int = 2) -> Dict:
+    """Chaos smoke: the delta_hub workload under a seeded FaultPlan.
+
+    Runs the workload clean and faulted on the process backend (plus a
+    deterministic faulted simulated run) and asserts all verdicts agree —
+    supervision must cost time, never correctness. The poisoned unit is a
+    background GFD of a satisfiable workload, so quarantining it cannot
+    flip the verdict.
+    """
+    params = DELTA_HUB_SMOKE if smoke else DELTA_HUB_FULL
+    sigma = delta_hub_workload(**params)
+    plan = chaos_plan()
+    clean_config = RuntimeConfig(workers=workers, ttl_seconds=2.0)
+    chaos_config = RuntimeConfig(
+        workers=workers,
+        ttl_seconds=2.0,
+        fault_plan=plan,
+        # A short explicit deadline keeps the injected hang's recovery in
+        # benchmark scale (the event itself sleeps for an hour).
+        batch_timeout_seconds=0.5 if smoke else 2.0,
+        respawn_backoff_seconds=0.01,
+    )
+    results: Dict = {
+        "mode": "smoke" if smoke else "full",
+        "workers": workers,
+        "repeats": repeats,
+        "workload": dict(params, kind="delta_hub", sigma_size=len(sigma)),
+        "plan": {
+            "events": [
+                {"kind": e.kind, "worker_id": e.worker_id, "batch_index": e.batch_index}
+                for e in plan.events
+            ],
+            "poisoned": sorted(plan.poisoned),
+        },
+    }
+    results["clean"] = bench_config(sigma, "process", clean_config, repeats)
+    results["process"] = bench_config(sigma, "process", chaos_config, repeats)
+    results["simulated"] = bench_simulated(sigma, chaos_config)
+    verdicts = {
+        results["clean"]["verdict"],
+        results["process"]["verdict"],
+        results["simulated"]["verdict"],
+    }
+    results["verdicts_agree"] = len(verdicts) == 1
+    clean_wall = results["clean"]["wall_seconds_min"]
+    chaos_wall = results["process"]["wall_seconds_min"]
+    results["recovery_overhead_seconds"] = round(chaos_wall - clean_wall, 4)
+    results["recovery_efficiency"] = (
+        round(clean_wall / chaos_wall, 4) if chaos_wall else None
+    )
+    if not results["verdicts_agree"]:
+        raise SystemExit(f"chaos verdict mismatch: {sorted(verdicts)}")
+    if results["process"]["quarantined"] != 1 or results["simulated"]["quarantined"] != 1:
+        raise SystemExit(
+            "chaos run did not quarantine exactly the poisoned unit: "
+            f"process={results['process']['quarantined']} "
+            f"simulated={results['simulated']['quarantined']}"
+        )
     return results
 
 
@@ -195,10 +282,18 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "--smoke", action="store_true", help="seconds-scale configuration (CI smoke)"
     )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run the fault-injection suite instead of the perf suite",
+    )
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--repeats", type=int, default=2)
     args = parser.parse_args(argv)
-    results = run_suite(smoke=args.smoke, workers=args.workers, repeats=args.repeats)
+    if args.chaos:
+        results = run_chaos(smoke=args.smoke, workers=args.workers, repeats=args.repeats)
+    else:
+        results = run_suite(smoke=args.smoke, workers=args.workers, repeats=args.repeats)
     payload = json.dumps(results, indent=2, sort_keys=True)
     if args.output:
         with open(args.output, "w") as handle:

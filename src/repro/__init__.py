@@ -37,6 +37,8 @@ from .errors import (
     PatternError,
     ReproError,
     RuntimeConfigError,
+    WorkerFault,
+    WorkerPoolError,
 )
 from .graph import PropertyGraph, WILDCARD
 from .gfd import (
@@ -81,6 +83,8 @@ __all__ = [
     "PatternError",
     "ReproError",
     "RuntimeConfigError",
+    "WorkerFault",
+    "WorkerPoolError",
     "PropertyGraph",
     "WILDCARD",
     "FALSE",

@@ -15,7 +15,11 @@ JSON format of :mod:`repro.graph.io`. ``--parallel P`` switches ``sat`` and
 selects the execution runtime (``simulated``, ``threaded``, ``process``);
 ``--batch-size`` seeds the scheduler's per-worker batches and
 ``--no-affinity`` turns off pivot-affinity routing + adaptive batching
-(the fixed-batch ablation).
+(the fixed-batch ablation). ``--max-unit-retries`` bounds how often the
+supervision layer retries a unit that fails worker-side before
+quarantining it, and ``--strict-faults`` turns supervision off entirely:
+the first worker fault aborts the run with a typed error instead of being
+retried, respawned, or degraded around.
 
 Exit codes: 0 success (satisfiable / implied / no violations), 2 usage or
 input error, 3 negative verdict (unsatisfiable / not implied / violations
@@ -71,6 +75,8 @@ def _runtime_config(args: argparse.Namespace) -> RuntimeConfig:
         workers=args.parallel,
         ttl_seconds=args.ttl,
         batch_size=args.batch_size,
+        max_unit_retries=args.max_unit_retries,
+        strict_faults=args.strict_faults,
     )
     if args.no_affinity:
         config = config.without_affinity()
@@ -193,6 +199,20 @@ def _add_scheduler_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable pivot-affinity routing and adaptive batching "
         "(the fixed-batch scheduler ablation)",
+    )
+    parser.add_argument(
+        "--max-unit-retries",
+        type=int,
+        default=RuntimeConfig.max_unit_retries,
+        metavar="N",
+        help="retries before a unit that fails worker-side is quarantined "
+        "(with --parallel)",
+    )
+    parser.add_argument(
+        "--strict-faults",
+        action="store_true",
+        help="fail fast on the first worker fault instead of retrying, "
+        "respawning, or degrading (with --parallel)",
     )
 
 

@@ -42,6 +42,45 @@ class BudgetExceeded(ReproError):
     """A reasoning task exceeded an explicit resource budget."""
 
 
+class WorkerFault(ReproError):
+    """One parallel worker failed while executing a work unit.
+
+    Raised coordinator-side under ``RuntimeConfig.strict_faults`` when a
+    worker reports an exception, crashes, or blows its batch deadline —
+    the fail-fast ablation of the supervision layer. Carries enough to
+    debug the replica: the worker id and (when the failure is
+    attributable) the offending unit's ``uid`` plus the worker-side
+    traceback text.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        worker_id: int | None = None,
+        unit_uid: str | None = None,
+        worker_traceback: str | None = None,
+    ):
+        super().__init__(message)
+        self.worker_id = worker_id
+        self.unit_uid = unit_uid
+        self.worker_traceback = worker_traceback
+
+
+class WorkerPoolError(ReproError):
+    """The parallel worker pool as a whole failed.
+
+    Raised under ``RuntimeConfig.strict_faults`` when the pool collapses
+    below ``min_live_workers`` (including the all-workers-dead case);
+    with supervision on (the default) the coordinator degrades to
+    in-process execution instead of raising.
+    """
+
+    def __init__(self, message: str, live_workers: int = 0, dead_workers: int = 0):
+        super().__init__(message)
+        self.live_workers = live_workers
+        self.dead_workers = dead_workers
+
+
 class RuntimeConfigError(ReproError, ValueError):
     """The parallel runtime was configured inconsistently.
 

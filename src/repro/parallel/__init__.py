@@ -15,8 +15,9 @@ from .backends import (
     get_backend,
 )
 from .config import DEFAULT_TTL_SECONDS, CostModel, RuntimeConfig
-from .coordinator import ParallelOutcome
+from .coordinator import ParallelOutcome, QuarantinedUnit, drain_in_process
 from .engine import SimulatedCluster, ThreadedCluster, make_cluster
+from .faults import FaultEvent, FaultPlan, InjectedFault, RetryTracker
 from .goals import EntailmentGoal
 from .parimp import ParImpResult, par_imp, par_imp_nb, par_imp_np
 from .parsat import ParSatResult, par_sat, par_sat_nb, par_sat_np
@@ -30,8 +31,14 @@ __all__ = [
     "DEFAULT_TTL_SECONDS",
     "CostModel",
     "EntailmentGoal",
+    "FaultEvent",
+    "FaultPlan",
+    "InjectedFault",
+    "QuarantinedUnit",
+    "RetryTracker",
     "RuntimeConfig",
     "ParallelOutcome",
+    "drain_in_process",
     "ProcessBackend",
     "SimulatedBackend",
     "SimulatedCluster",

@@ -18,6 +18,23 @@ Workload construction (unit generation, ordering, pruning) and unit
 execution (:func:`~repro.parallel.units.execute_unit`) live outside the
 backend; all backends therefore produce *identical verdicts* — they differ
 only in where the workers live and what the timing numbers mean.
+
+Backends additionally share the *supervision* contract (PR 6): a
+worker-side unit failure is retried up to ``config.max_unit_retries``
+times and then quarantined into ``ParallelOutcome.quarantined`` instead
+of aborting the run; a dead worker's queued units re-pin to the
+survivors (``Scheduler.worker_died``); and when the pool collapses below
+``config.min_live_workers`` the backend finishes the queue in-process
+via :func:`~repro.parallel.coordinator.drain_in_process` and marks the
+outcome ``degraded``. ``config.strict_faults`` flips all of that back to
+fail-fast with typed :class:`~repro.errors.WorkerFault` /
+:class:`~repro.errors.WorkerPoolError` exceptions. Every failure path is
+reachable deterministically through ``config.fault_plan``
+(:mod:`repro.parallel.faults`): each backend keys its per-worker
+dispatch counter against the plan via :meth:`Backend.fault_event` and
+interprets the four event kinds in its own idiom (an OS process can
+really crash and hang; a thread "crashes" by burying its batch and
+leaving the pool; a virtual worker leaves the ready heap).
 """
 
 from __future__ import annotations
@@ -30,6 +47,7 @@ from ...reasoning.enforce import EnforcementEngine
 from ...reasoning.workunits import WorkUnit
 from ..config import RuntimeConfig
 from ..coordinator import ParallelOutcome
+from ..faults import FaultEvent
 from ..units import UnitContext
 
 #: The uniform goal-check signature (``None`` = satisfiability, no goal).
@@ -63,6 +81,20 @@ class Backend(ABC):
         by the simulated backend (virtual timeline) and ignored by the
         wall-clock backends.
         """
+
+    def fault_event(self, worker_id: int, batch_index: int) -> Optional[FaultEvent]:
+        """The scripted fault for this dispatch slot, or ``None``.
+
+        Thin lookup into ``config.fault_plan`` so backends share one
+        injection keying convention: *batch_index* is the worker's own
+        dispatch counter, starting at 0 and never resetting (a respawned
+        process continues its predecessor's count), so a scripted event
+        fires at most once per ``(worker, batch)`` slot.
+        """
+        plan = self.config.fault_plan
+        if plan is None:
+            return None
+        return plan.event_at(worker_id, batch_index)
 
     def close(self) -> None:
         """Release resources held *across* runs.

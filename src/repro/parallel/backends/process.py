@@ -37,6 +37,44 @@ until no worker's parked-match cascade produces new ops — the distributed
 equivalent of the shared-engine fixpoint, so all backends return identical
 verdicts (the algorithms are Church-Rosser over a monotone ``Eq``).
 
+**Supervision.** The paper assumes all ``p`` workers survive to the
+fixpoint; this backend does not. The coordinator supervises its replicas
+through four mechanisms, each driven by the same state machine
+(live → suspected → dead → respawning, see ``docs/architecture.md``):
+
+* *hang detection* — every wait on worker replies carries a deadline
+  derived from the pool's observed round-trip history
+  (:meth:`RuntimeConfig.batch_deadline`); a worker past it is killed and
+  treated as dead. No wait is ever infinite;
+* *retry + quarantine* — a worker-side exception no longer aborts the
+  run: the worker reports the failing unit (with its traceback) and
+  carries on, and the coordinator retries the unit up to
+  ``config.max_unit_retries`` times before quarantining it into
+  :attr:`ParallelOutcome.quarantined`. A worker *crash* mid-batch is
+  bisected instead: the lost batch re-dispatches as singleton batches, so
+  the unit that kills replicas is isolated, charged its retries, and
+  quarantined — innocents are simply re-run. Because a dead replica takes
+  its parked (UNDECIDED) matches with it, the units it had completed are
+  also re-executed on the survivors — re-deriving ``ΔEq`` ops is
+  idempotent over the monotone master ``Eq``;
+* *respawn with backoff* — a dead slot is restarted (up to
+  ``config.max_worker_respawns`` times, exponential backoff) from the
+  coordinator's *current* state: fork inheritance or a fresh snapshot of
+  the master engine, so the replica arrives fully caught up and the
+  scheduler re-opens it for locality pinning (``worker_revived``);
+* *graceful degradation* — when the pool still collapses below
+  ``config.min_live_workers`` (including the all-dead case), the
+  coordinator finishes the remaining queue in-process through the
+  simulated path (:func:`~repro.parallel.coordinator.drain_in_process`)
+  instead of failing, marking the outcome ``degraded``.
+
+``config.strict_faults`` restores fail-fast: the first fault raises a
+typed :class:`~repro.errors.WorkerFault` (or
+:class:`~repro.errors.WorkerPoolError` on pool collapse) and the pool is
+torn down whole — survivors are never left half-buried. All failure paths
+are exercised deterministically via ``config.fault_plan``
+(:mod:`repro.parallel.faults`).
+
 With ``RuntimeConfig.persistent_workers`` the pool additionally survives
 between ``run()`` calls on the same :class:`UnitContext` — the mutation-
 heavy serving shape. The coordinator's graph retains a version-stamped
@@ -54,16 +92,27 @@ history gap falls back to a cold start transparently.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import pickle
 import time
+import traceback
+from collections import deque
 from multiprocessing import connection as mp_connection
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Deque, Dict, List, Optional, Sequence, Set
 
+from ...errors import WorkerFault, WorkerPoolError
 from ...graph.delta import replay as replay_delta_ops
 from ...graph.index import GraphIndex
 from ...reasoning.enforce import EnforcementEngine
 from ...reasoning.workunits import WorkUnit
-from ..coordinator import ParallelOutcome, absorb_result, register_splits
+from ..coordinator import (
+    ParallelOutcome,
+    QuarantinedUnit,
+    absorb_result,
+    drain_in_process,
+    register_splits,
+)
+from ..faults import FaultPlan, InjectedFault, RetryTracker
 from ..scheduler import Scheduler
 from ..units import UnitContext, execute_unit
 from .base import Backend, GoalCheck
@@ -76,7 +125,7 @@ _JOIN_TIMEOUT = 5.0
 class _WorkerState:
     """Everything one worker process needs: its replica of the run."""
 
-    __slots__ = ("context", "engine", "goal", "ttl_ticks", "max_split_units")
+    __slots__ = ("context", "engine", "goal", "ttl_ticks", "max_split_units", "fault_plan")
 
     def __init__(
         self,
@@ -85,12 +134,14 @@ class _WorkerState:
         goal: Optional[GoalCheck],
         ttl_ticks: Optional[float],
         max_split_units: int,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.context = context
         self.engine = engine
         self.goal = goal
         self.ttl_ticks = ttl_ticks
         self.max_split_units = max_split_units
+        self.fault_plan = fault_plan
 
 
 #: Pre-fork state handed to children by inheritance (fork start method).
@@ -103,6 +154,7 @@ def make_worker_snapshot(
     goal: Optional[GoalCheck],
     ttl_ticks: Optional[float],
     max_split_units: int,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> bytes:
     """Serialize one worker's replica for spawn-style process creation.
 
@@ -117,6 +169,7 @@ def make_worker_snapshot(
         "goal": goal,
         "ttl_ticks": ttl_ticks,
         "max_split_units": max_split_units,
+        "fault_plan": fault_plan,
     }
     return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
 
@@ -139,44 +192,80 @@ def load_worker_snapshot(blob: bytes) -> _WorkerState:
         payload["goal"],
         payload["ttl_ticks"],
         payload["max_split_units"],
+        payload.get("fault_plan"),
     )
 
 
-def _handle_batch(state: _WorkerState, batch: Sequence[WorkUnit], ops) -> tuple:
+def _handle_batch(
+    state: _WorkerState,
+    batch: Sequence[WorkUnit],
+    ops,
+    worker_id: int = 0,
+    batch_index: Optional[int] = None,
+) -> tuple:
     """Apply a ΔEq broadcast, run *batch* on the local replica, and report.
 
     The reply carries only ops appended *after* the replay mark: broadcast
     ops the coordinator already knows are never echoed back, while ops
-    produced by the replay-triggered cascade of parked matches are.
+    produced by the replay-triggered cascade of parked matches are. A unit
+    that raises — organically or via injection — is reported in the
+    ``failures`` slot with its traceback and the worker carries on with
+    the rest of the batch: unit failures are the coordinator's
+    retry/quarantine problem, not a reason to lose the replica.
     """
     engine = state.engine
     eq = engine.eq
     started = time.perf_counter()
+    event = None
+    plan = state.fault_plan
+    if plan is not None and batch_index is not None:
+        event = plan.event_at(worker_id, batch_index)
+    if event is not None:
+        if event.kind == "crash":
+            # Injected abrupt death: no reply, no cleanup — the
+            # coordinator sees EOF exactly as for a real crash.
+            os._exit(1)
+        elif event.kind in ("hang", "slow"):
+            # A hang sleeps past any reasonable deadline (the coordinator
+            # kills us mid-sleep); a slow event merely stalls the batch.
+            time.sleep(event.stall_seconds)
     eq.apply_delta(ops)
     mark = eq.log_position()
     engine.cascade()
     results = []
+    failures: List[tuple] = []
     goal_reached = False
     if not eq.has_conflict():
         if state.goal is not None and state.goal(eq):
             goal_reached = True
         else:
-            for unit in batch:
-                result = execute_unit(
-                    unit,
-                    state.context,
-                    engine,
-                    ttl_ticks=state.ttl_ticks,
-                    max_split_units=state.max_split_units,
-                    goal_check=state.goal,
-                )
+            for position, unit in enumerate(batch):
+                try:
+                    if plan is not None:
+                        plan.check_unit(unit)
+                    if event is not None and event.kind == "error" and position == 0:
+                        raise InjectedFault(
+                            f"injected worker-side error (worker {worker_id}, "
+                            f"batch {batch_index})"
+                        )
+                    result = execute_unit(
+                        unit,
+                        state.context,
+                        engine,
+                        ttl_ticks=state.ttl_ticks,
+                        max_split_units=state.max_split_units,
+                        goal_check=state.goal,
+                    )
+                except Exception:
+                    failures.append((unit.uid, traceback.format_exc()))
+                    continue
                 results.append(result)
                 if result.conflict or result.goal_reached:
                     goal_reached = goal_reached or result.goal_reached
                     break
     new_ops = eq.delta_since(mark)
     busy = time.perf_counter() - started
-    return ("done", results, new_ops, eq.conflict, goal_reached, busy)
+    return ("done", results, new_ops, eq.conflict, goal_reached, busy, failures)
 
 
 def _handle_refresh(state: _WorkerState, message: tuple) -> None:
@@ -192,7 +281,7 @@ def _handle_refresh(state: _WorkerState, message: tuple) -> None:
     append-only); the engine arrives without its gfd dict and is rebound
     to the merged local registry here.
     """
-    _, ops, new_gfds, engine, goal, ttl_ticks, max_split_units = message
+    _, ops, new_gfds, engine, goal, ttl_ticks, max_split_units, fault_plan = message
     context = state.context
     replay_delta_ops(context.graph, ops)
     context.gfds.update(new_gfds)
@@ -204,9 +293,10 @@ def _handle_refresh(state: _WorkerState, message: tuple) -> None:
     state.goal = goal
     state.ttl_ticks = ttl_ticks
     state.max_split_units = max_split_units
+    state.fault_plan = fault_plan
 
 
-def _worker_main(conn, payload: Optional[bytes]) -> None:
+def _worker_main(conn, payload: Optional[bytes], worker_id: int = 0) -> None:
     """Worker process entry: serve batch/sync/refresh requests until stopped."""
     try:
         state = _FORK_STATE if payload is None else load_worker_snapshot(payload)
@@ -224,17 +314,17 @@ def _worker_main(conn, payload: Optional[bytes]) -> None:
                 return
             try:
                 if kind == "units":
-                    conn.send(_handle_batch(state, message[1], message[2]))
+                    conn.send(
+                        _handle_batch(state, message[1], message[2], worker_id, message[3])
+                    )
                 elif kind == "sync":
-                    conn.send(_handle_batch(state, (), message[1]))
+                    conn.send(_handle_batch(state, (), message[1], worker_id, None))
                 elif kind == "refresh":
                     _handle_refresh(state, message)
                     conn.send(("refreshed",))
                 else:  # pragma: no cover - defensive
                     conn.send(("error", f"unknown message kind {kind!r}"))
             except Exception as exc:  # pragma: no cover - worker-side crash
-                import traceback
-
                 conn.send(("error", f"{exc}\n{traceback.format_exc()}"))
                 return
     finally:
@@ -244,11 +334,14 @@ def _worker_main(conn, payload: Optional[bytes]) -> None:
 class ProcessBackend(Backend):
     """Coordinator + ``p`` OS-process workers with ΔEq replica exchange.
 
-    With ``config.persistent_workers`` the pool outlives ``run()``: the
-    backend remembers the :class:`UnitContext` and graph version it last
-    shipped, and follow-up runs on the same context refresh the standing
-    replicas with topology delta ops instead of restarting them. Call
-    :meth:`close` when done with the pool.
+    Workers are supervised: hung replicas are killed after a deadline,
+    failing units are retried then quarantined, dead slots respawn with
+    backoff, and a collapsed pool degrades to in-process execution (see
+    the module docstring). With ``config.persistent_workers`` the pool
+    outlives ``run()``: the backend remembers the :class:`UnitContext`
+    and graph version it last shipped, and follow-up runs on the same
+    context refresh the standing replicas with topology delta ops instead
+    of restarting them. Call :meth:`close` when done with the pool.
     """
 
     name = "process"
@@ -256,7 +349,7 @@ class ProcessBackend(Backend):
     def __init__(self, config) -> None:
         super().__init__(config)
         # Persistent-pool state: None, or a dict with conns/procs/dead/
-        # context/graph_version (see run()).
+        # method/context/graph_version (see run()).
         self._pool: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
@@ -298,6 +391,7 @@ class ProcessBackend(Backend):
                 goal_check,
                 config.ttl_ticks,
                 config.max_split_units,
+                config.fault_plan,
             )
             # Serialize once for all workers; a pickling failure (e.g. an
             # unpicklable goal_check closure under a fork-started pool)
@@ -354,7 +448,31 @@ class ProcessBackend(Backend):
                 proc.terminate()
                 proc.join(timeout=1.0)
         for conn in conns:
-            conn.close()
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    @staticmethod
+    def _kill_worker(proc, conn) -> None:
+        """Force-terminate one worker (hang detection / crash cleanup)."""
+        if proc is not None:
+            try:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+                    if proc.is_alive():  # pragma: no cover - SIGTERM ignored
+                        proc.kill()
+                        proc.join(timeout=1.0)
+                else:
+                    proc.join(timeout=0.1)
+            except Exception:  # pragma: no cover - already reaped
+                pass
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
 
     def close(self) -> None:
         """Tear down the persistent worker pool, if one is standing."""
@@ -394,6 +512,7 @@ class ProcessBackend(Backend):
         conns: Optional[List] = None
         procs: List = []
         dead: Set[int] = set()
+        method: Optional[str] = None
         if pool is not None:
             # Standing pool: ship deltas + the fresh engine instead of
             # restarting; fall back to a cold start when that is impossible.
@@ -401,6 +520,7 @@ class ProcessBackend(Backend):
                 conns = pool["conns"]
                 procs = pool["procs"]
                 dead = pool["dead"]
+                method = pool["method"]
             else:
                 self.close()
                 pool = None
@@ -418,22 +538,34 @@ class ProcessBackend(Backend):
                 # next run can ship deltas instead of snapshots.
                 context.graph.retain_deltas(True)
             state = _WorkerState(
-                context, engine, goal_check, config.ttl_ticks, config.max_split_units
+                context,
+                engine,
+                goal_check,
+                config.ttl_ticks,
+                config.max_split_units,
+                config.fault_plan,
             )
             if method == "fork":
                 payload: Optional[bytes] = None
                 _FORK_STATE = state
             else:
                 payload = make_worker_snapshot(
-                    context, engine, goal_check, config.ttl_ticks, config.max_split_units
+                    context,
+                    engine,
+                    goal_check,
+                    config.ttl_ticks,
+                    config.max_split_units,
+                    config.fault_plan,
                 )
 
             conns = []
             try:
-                for _ in range(config.workers):
+                for worker_id in range(config.workers):
                     parent_conn, child_conn = ctx.Pipe()
                     proc = ctx.Process(
-                        target=_worker_main, args=(child_conn, payload), daemon=True
+                        target=_worker_main,
+                        args=(child_conn, payload, worker_id),
+                        daemon=True,
                     )
                     proc.start()
                     child_conn.close()
@@ -446,6 +578,7 @@ class ProcessBackend(Backend):
                     "conns": conns,
                     "procs": procs,
                     "dead": dead,
+                    "method": method,
                     "context": context,
                     "graph_version": context.graph.mutation_count,
                     "shipped_gfds": set(context.gfds),
@@ -468,19 +601,139 @@ class ProcessBackend(Backend):
         idle: List[int] = [wid for wid in range(config.workers) if wid not in dead]
         in_flight: Dict[int, List[WorkUnit]] = {}
         terminated = False
+        # --- supervision state ---
+        tracker = RetryTracker(config.max_unit_retries)
+        #: Units from a crashed worker's batch, re-dispatched as singleton
+        #: batches so a replica-killing unit can be isolated (bisection).
+        suspects: Deque[WorkUnit] = deque()
+        #: Per-worker units absorbed so far this run: a dead replica's
+        #: parked matches die with it, so its completed units re-execute
+        #: on the survivors (idempotent over the monotone master Eq).
+        completed: List[Dict[str, WorkUnit]] = [{} for _ in range(config.workers)]
+        #: Dispatch counters per slot — drive FaultPlan (worker, batch)
+        #: event keys and keep counting across respawns, so an injected
+        #: event fires at most once per slot.
+        batch_counters = [0] * config.workers
+        respawn_counts = [0] * config.workers
+        #: Slowest completed round trip (seconds) — the adaptive hang
+        #: deadline's history input.
+        slowest_trip = 0.0
 
-        def bury(worker_id: int, lost: List[WorkUnit]) -> None:
-            """Mark a worker dead and requeue its units on the survivors.
+        def live_count() -> int:
+            return config.workers - len(dead)
+
+        def collapsed() -> bool:
+            return live_count() < max(1, config.min_live_workers)
+
+        def pending_work() -> bool:
+            return bool(len(scheduler) or suspects)
+
+        def respawn(worker_id: int) -> bool:
+            """Restart a dead slot from the coordinator's current state."""
+            global _FORK_STATE
+            if respawn_counts[worker_id] >= config.max_worker_respawns:
+                return False
+            respawn_counts[worker_id] += 1
+            backoff = config.respawn_backoff_seconds * (
+                2 ** (respawn_counts[worker_id] - 1)
+            )
+            if backoff > 0:
+                time.sleep(backoff)
+            ctx = mp.get_context(method)
+            fresh = _WorkerState(
+                context,
+                engine,
+                goal_check,
+                config.ttl_ticks,
+                config.max_split_units,
+                config.fault_plan,
+            )
+            # The replica is rebuilt from *current* master state (master
+            # Eq included), so it needs no catch-up broadcast: fork
+            # inherits it copy-on-write, spawn ships a fresh snapshot.
+            try:
+                if method == "fork":
+                    blob: Optional[bytes] = None
+                    _FORK_STATE = fresh
+                else:
+                    blob = make_worker_snapshot(
+                        context,
+                        engine,
+                        goal_check,
+                        config.ttl_ticks,
+                        config.max_split_units,
+                        config.fault_plan,
+                    )
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main, args=(child_conn, blob, worker_id), daemon=True
+                )
+                proc.start()
+                child_conn.close()
+            except Exception:  # pragma: no cover - out of pids/memory
+                return False
+            finally:
+                _FORK_STATE = None
+            conns[worker_id] = parent_conn
+            procs[worker_id] = proc
+            conn_worker[parent_conn] = worker_id
+            dead.discard(worker_id)
+            scheduler.worker_revived(worker_id)
+            synced[worker_id] = eq.log_position()
+            own_regions[worker_id] = []
+            shipped_ops[worker_id] = 0
+            if worker_id not in idle:
+                idle.append(worker_id)
+            outcome.respawns += 1
+            return True
+
+        def bury(worker_id: int, lost: List[WorkUnit], cause: str, crashed: bool = True) -> None:
+            """Declare a worker dead, recover its work, and maybe respawn.
 
             The scheduler re-pins the dead worker's locality keys (and any
-            still-queued pinned units) before the lost in-flight units go
-            back to the queue front, so everything lands on live replicas;
-            stable uids make the units re-dispatchable as-is."""
+            still-queued pinned units) onto the survivors. In-flight units
+            of a *crashed* worker go to the suspect lane (singleton
+            re-dispatch — bisection — with a singleton's death charged to
+            its unit); units a dispatch failure never delivered are simply
+            requeued. The worker's completed units re-run elsewhere (its
+            parked matches died with it). Idempotent per worker.
+            """
+            if worker_id in dead:
+                return
             dead.add(worker_id)
+            outcome.worker_deaths += 1
             scheduler.worker_died(worker_id)
-            scheduler.requeue(lost)
-            if len(dead) == config.workers:
-                raise RuntimeError("all process workers died") from None
+            if worker_id in idle:
+                idle.remove(worker_id)
+            self._kill_worker(procs[worker_id], conns[worker_id])
+            if config.strict_faults:
+                raise WorkerFault(
+                    f"process worker {worker_id} failed: {cause}",
+                    worker_id=worker_id,
+                    worker_traceback=cause,
+                )
+            if lost:
+                if crashed:
+                    if len(lost) == 1:
+                        unit = lost[0]
+                        if tracker.record_failure(unit):
+                            outcome.retries += 1
+                            suspects.append(unit)
+                        else:
+                            outcome.quarantined.append(
+                                QuarantinedUnit(
+                                    unit, cause, tracker.attempts(unit), worker_id
+                                )
+                            )
+                    else:
+                        suspects.extend(lost)
+                else:
+                    scheduler.requeue(lost)
+            orphans = list(completed[worker_id].values())
+            completed[worker_id].clear()
+            if orphans:
+                scheduler.requeue(orphans)
+            respawn(worker_id)
 
         def dispatch(worker_id: int, batch: List[WorkUnit], kind: str = "units") -> bool:
             """Send *batch* plus the worker's pending ΔEq; False when the
@@ -497,11 +750,12 @@ class ProcessBackend(Backend):
                 ]
             try:
                 if kind == "units":
-                    conns[worker_id].send((kind, batch, ops))
+                    conns[worker_id].send((kind, batch, ops, batch_counters[worker_id]))
+                    batch_counters[worker_id] += 1
                 else:
                     conns[worker_id].send((kind, ops))
             except OSError:
-                bury(worker_id, batch)
+                bury(worker_id, batch, "dispatch pipe closed", crashed=False)
                 return False
             outcome.broadcast_volume += len(ops)
             outcome.sync_rounds += 1
@@ -517,14 +771,24 @@ class ProcessBackend(Backend):
         def receive(worker_id: int) -> bool:
             """Merge one worker reply into the master state; True if the
             run should terminate (conflict or goal)."""
-            nonlocal terminated
+            nonlocal terminated, slowest_trip
             reply = conns[worker_id].recv()
             if reply[0] == "error":
-                raise RuntimeError(f"process worker {worker_id} failed: {reply[1]}")
-            _, results, new_ops, conflict, goal_reached, busy = reply
+                # The worker exits after reporting: an infrastructure-level
+                # failure (not a unit exception — those come back in the
+                # failures slot of a normal reply). Treated as a crash.
+                bury(
+                    worker_id,
+                    in_flight.pop(worker_id, []),
+                    f"process worker {worker_id} failed: {reply[1]}",
+                )
+                return terminated
+            _, results, new_ops, conflict, goal_reached, busy, failures = reply
             batch = in_flight.pop(worker_id, [])
-            dispatched = {unit.uid for unit in batch}
+            dispatched = {unit.uid: unit for unit in batch}
             idle.append(worker_id)
+            trip = time.perf_counter() - dispatched_at[worker_id]
+            slowest_trip = max(slowest_trip, trip)
             outcome.worker_busy[worker_id] += busy
             outcome.broadcast_volume += len(new_ops)
             if batch:
@@ -540,7 +804,7 @@ class ProcessBackend(Backend):
                     worker_id,
                     len(results),
                     shipped_ops[worker_id] + len(new_ops),
-                    time.perf_counter() - dispatched_at[worker_id],
+                    trip,
                 )
             merge_mark = eq.log_position()
             eq.apply_delta(new_ops)
@@ -550,12 +814,31 @@ class ProcessBackend(Backend):
                 own_regions[worker_id].append((merge_mark, eq.log_position()))
             if conflict is not None:
                 eq.install_conflict(conflict)
+            for unit_uid, detail in failures:
+                unit = dispatched.get(unit_uid)
+                if unit is None:  # pragma: no cover - protocol hygiene
+                    continue
+                if config.strict_faults:
+                    raise WorkerFault(
+                        f"process worker {worker_id} failed on unit {unit_uid}",
+                        worker_id=worker_id,
+                        unit_uid=unit_uid,
+                        worker_traceback=detail,
+                    )
+                if tracker.record_failure(unit):
+                    outcome.retries += 1
+                    scheduler.requeue([unit])
+                else:
+                    outcome.quarantined.append(
+                        QuarantinedUnit(unit, detail, tracker.attempts(unit), worker_id)
+                    )
             for result in results:
                 # Reconcile by stable uid: a result must answer a unit of
                 # the batch this worker was handed (pickling round-trips
                 # preserve uids, so this is pure protocol hygiene).
                 if result.unit_uid not in dispatched:  # pragma: no cover
                     continue
+                completed[worker_id][result.unit_uid] = dispatched[result.unit_uid]
                 absorb_result(outcome, result)
                 if not (result.conflict or result.goal_reached) and not terminated:
                     register_splits(outcome, result, scheduler.requeue)
@@ -567,61 +850,151 @@ class ProcessBackend(Backend):
                 terminated = True
             return terminated
 
-        run_ok = False
-        try:
-            # Main dispatch loop: dynamic assignment to free workers (own
-            # pinned queue first, then global, then stealing), split
-            # sub-units requeued at their owner's queue front as results
-            # come back.
-            while True:
-                while len(scheduler) and idle and not terminated:
-                    worker_id = idle.pop(0)
-                    if worker_id in dead:
-                        continue
-                    batch = scheduler.next_batch(worker_id)
-                    if not batch:  # pragma: no cover - len() said otherwise
-                        idle.append(worker_id)
-                        break
-                    dispatch(worker_id, batch)
-                if not in_flight:
-                    break
-                ready = mp_connection.wait(
-                    [conns[wid] for wid in in_flight], timeout=None
+        def reap_hung_workers() -> None:
+            """Kill and bury every in-flight worker past the deadline."""
+            limit = config.batch_deadline(slowest_trip)
+            now = time.perf_counter()
+            for worker_id in [
+                wid for wid in in_flight if now - dispatched_at[wid] >= limit
+            ]:
+                bury(
+                    worker_id,
+                    in_flight.pop(worker_id),
+                    f"process worker {worker_id} exceeded the "
+                    f"{limit:.2f}s batch deadline (hang detection)",
                 )
+
+        def main_loop() -> None:
+            """Dispatch until the queue drains, the run terminates, or the
+            pool collapses — whichever comes first. Every wait carries the
+            hang-detection deadline; worker death recovers through
+            ``bury`` (suspects, completed-unit re-runs, respawn)."""
+            while True:
+                if not terminated and not collapsed():
+                    # Dynamic assignment to free workers: the suspect lane
+                    # first (singleton batches — bisection), then the
+                    # scheduler (own pinned queue, global, stealing).
+                    while pending_work() and idle and not terminated:
+                        worker_id = idle.pop(0)
+                        if worker_id in dead:
+                            continue
+                        if suspects:
+                            batch = [suspects.popleft()]
+                        else:
+                            batch = scheduler.next_batch(worker_id)
+                        if not batch:  # pragma: no cover - len() said otherwise
+                            idle.append(worker_id)
+                            break
+                        dispatch(worker_id, batch)
+                if not in_flight:
+                    return
+                limit = config.batch_deadline(slowest_trip)
+                now = time.perf_counter()
+                expiry = min(dispatched_at[wid] + limit for wid in in_flight)
+                ready = mp_connection.wait(
+                    [conns[wid] for wid in in_flight],
+                    timeout=max(0.0, expiry - now),
+                )
+                if not ready:
+                    reap_hung_workers()
+                    continue
                 for conn in ready:
                     worker_id = conn_worker[conn]
+                    if worker_id not in in_flight:  # pragma: no cover
+                        continue  # buried by an earlier conn of this round
                     try:
                         receive(worker_id)
-                    except (EOFError, ConnectionError):
+                    except (EOFError, ConnectionError, OSError):
                         # Worker died mid-batch: re-pin its keys and put
-                        # the lost units back for the survivors.
-                        bury(worker_id, in_flight.pop(worker_id, []))
+                        # the lost units into the suspect lane.
+                        bury(
+                            worker_id,
+                            in_flight.pop(worker_id, []),
+                            f"process worker {worker_id} died mid-batch",
+                        )
 
-            # Settlement: flush remaining deltas so worker-side parked
-            # matches cascade to the shared fixpoint before declaring the
-            # verdict. Quiescence = a full round with no new ops anywhere.
+        def settle() -> bool:
+            """One settlement pass: flush remaining deltas so worker-side
+            parked matches cascade to the shared fixpoint. Returns True at
+            quiescence; False when a death re-opened the work queue (the
+            dead worker's completed units must re-run through the main
+            loop first)."""
             while not terminated:
+                if pending_work():
+                    return False
                 recipients = [
                     wid
                     for wid in range(config.workers)
                     if wid not in dead and synced[wid] < eq.log_position()
                 ]
                 if not recipients:
-                    break
+                    return True
                 for worker_id in recipients:
                     dispatch(worker_id, [], kind="sync")
                 # Drain every successfully dispatched sync — also when a
                 # reply terminates the run mid-round, so shutdown stays
-                # orderly.
+                # orderly. A worker that dies or hangs during settlement
+                # goes through bury() exactly like the main loop, so its
+                # locality keys re-pin exactly once.
+                limit = config.batch_deadline(slowest_trip)
                 for worker_id in recipients:
                     if worker_id not in in_flight:
                         continue  # dispatch failed; worker already dead
+                    remaining = dispatched_at[worker_id] + limit - time.perf_counter()
                     try:
+                        if not conns[worker_id].poll(max(0.0, remaining)):
+                            in_flight.pop(worker_id, None)
+                            bury(
+                                worker_id,
+                                [],
+                                f"process worker {worker_id} exceeded the "
+                                f"{limit:.2f}s settlement deadline (hang detection)",
+                            )
+                            continue
                         receive(worker_id)
-                    except (EOFError, ConnectionError):
+                    except (EOFError, ConnectionError, OSError):
                         in_flight.pop(worker_id, None)
-                        dead.add(worker_id)
-                        scheduler.worker_died(worker_id)
+                        bury(worker_id, [], f"process worker {worker_id} died during settlement")
+            return True
+
+        run_ok = False
+        degrade = False
+        try:
+            while True:
+                main_loop()
+                if not terminated and collapsed() and pending_work():
+                    # Not enough replicas left to finish remotely: the
+                    # coordinator takes over in-process below.
+                    if config.strict_faults:  # pragma: no cover - defensive
+                        raise WorkerPoolError(
+                            f"worker pool collapsed to {live_count()} live "
+                            f"worker(s) (min_live_workers={config.min_live_workers})",
+                            live_workers=live_count(),
+                            dead_workers=len(dead),
+                        )
+                    degrade = True
+                    break
+                if settle():
+                    break
+            if degrade:
+                # Survivors' parked matches are unreachable without
+                # settlement; every completed unit re-runs in-process so
+                # the master engine reaches the same fixpoint on its own.
+                extra = list(suspects)
+                suspects.clear()
+                for units_by_uid in completed:
+                    extra.extend(units_by_uid.values())
+                    units_by_uid.clear()
+                drain_in_process(
+                    outcome,
+                    scheduler,
+                    context,
+                    engine,
+                    config,
+                    goal_check=goal_check,
+                    tracker=tracker,
+                    extra_units=extra,
+                )
             run_ok = True
         finally:
             if pool is not None and run_ok and len(dead) < config.workers:

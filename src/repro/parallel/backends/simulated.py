@@ -9,22 +9,39 @@ because ``Eq`` grows monotonically and the algorithms are Church-Rosser,
 the *verdict* is identical to any real interleaving — only second-order
 timing effects are approximated. This is the documented substitution for
 the paper's 20-machine Java cluster in the scalability figures.
+
+Supervision (see :mod:`.base`): fault events resolve deterministically
+against the virtual dispatch order, which makes this backend the place to
+*unit-test* supervision logic without wall-clock machinery. ``crash`` and
+``hang`` remove the virtual worker from the ready heap before it touches
+its batch (its units rebury and its locality keys re-pin); ``slow``
+charges the stall to the virtual clock; ``error`` events and poisoned
+units flow through the shared retry/quarantine tracker. When every
+virtual worker has died with work remaining, the coordinator drains the
+queue in-process (``degraded``) — the degraded units run outside the
+clock, mirroring the process backend whose degraded execution is not a
+parallel computation either.
 """
 
 from __future__ import annotations
 
 import heapq
 import time
+import traceback
 from typing import Optional, Sequence
 
+from ...errors import WorkerFault
 from ...reasoning.enforce import EnforcementEngine
 from ...reasoning.workunits import WorkUnit
 from ..coordinator import (
     ParallelOutcome,
+    QuarantinedUnit,
     absorb_result,
+    drain_in_process,
     register_splits,
     unit_duration,
 )
+from ..faults import InjectedFault, RetryTracker
 from ..scheduler import Scheduler
 from ..units import UnitContext, execute_unit
 from .base import Backend, GoalCheck
@@ -61,12 +78,33 @@ class SimulatedBackend(Backend):
         makespan = 0.0
         ttl_ticks = config.ttl_ticks
         terminated = False
+        tracker = RetryTracker(config.max_unit_retries)
+        batch_counters = [0] * config.workers
         while len(scheduler) and not terminated:
+            if not free:
+                break  # every virtual worker died; degrade below
             now, worker_id = heapq.heappop(free)
             # One coordinator round-trip hands the worker a small batch
             # (paper, Section V-B); the batch pays one dispatch overhead
             # plus the broadcast of the ΔEq ops this worker has not seen.
             batch = scheduler.next_batch(worker_id)
+            event = self.fault_event(worker_id, batch_counters[worker_id])
+            batch_counters[worker_id] += 1
+            if event is not None and event.kind in ("crash", "hang"):
+                # The virtual replica dies before touching its batch: the
+                # units rebury, the worker's keys re-pin, and the worker
+                # never returns to the ready heap. (A hung virtual worker
+                # is indistinguishable from a crashed one — the simulated
+                # coordinator's deadline is "immediately".)
+                scheduler.requeue(batch)
+                scheduler.worker_died(worker_id)
+                outcome.worker_deaths += 1
+                if config.strict_faults:
+                    raise WorkerFault(
+                        f"simulated worker {worker_id} died (injected {event.kind})",
+                        worker_id=worker_id,
+                    )
+                continue
             shipped = eq.log_position() - synced[worker_id]
             outcome.broadcast_volume += shipped
             outcome.sync_rounds += 1
@@ -76,16 +114,47 @@ class SimulatedBackend(Backend):
             # broadcast already costs broadcast_per_op once, inside
             # unit_duration, exactly as before the scheduler existed.
             elapsed = config.costs.batch_overhead * config.costs.tick_seconds
-            for unit in batch:
+            if event is not None and event.kind == "slow":
+                # A slow replica stalls on the virtual clock, not the wall.
+                elapsed += event.stall_seconds
+            for position, unit in enumerate(batch):
                 unit_start = now + elapsed
-                result = execute_unit(
-                    unit,
-                    context,
-                    engine,
-                    ttl_ticks=ttl_ticks,
-                    max_split_units=config.max_split_units,
-                    goal_check=goal_check,
-                )
+                try:
+                    if config.fault_plan is not None:
+                        config.fault_plan.check_unit(unit)
+                    if event is not None and event.kind == "error" and position == 0:
+                        raise InjectedFault(
+                            f"injected worker-side error (worker {worker_id}, "
+                            f"batch {batch_counters[worker_id] - 1})"
+                        )
+                    result = execute_unit(
+                        unit,
+                        context,
+                        engine,
+                        ttl_ticks=ttl_ticks,
+                        max_split_units=config.max_split_units,
+                        goal_check=goal_check,
+                    )
+                except Exception as exc:
+                    detail = traceback.format_exc()
+                    if config.strict_faults:
+                        raise WorkerFault(
+                            f"simulated worker {worker_id} failed on "
+                            f"unit {unit.uid}: {exc}",
+                            worker_id=worker_id,
+                            unit_uid=unit.uid,
+                            worker_traceback=detail,
+                        ) from exc
+                    if tracker.record_failure(unit):
+                        outcome.retries += 1
+                        scheduler.requeue([unit])
+                    else:
+                        outcome.quarantined.append(
+                            QuarantinedUnit(
+                                unit, detail, tracker.attempts(unit), worker_id
+                            )
+                        )
+                    continue
                 elapsed += unit_duration(result, config) * config.costs.tick_seconds
                 executed += 1
                 if trace is not None:
@@ -127,6 +196,20 @@ class SimulatedBackend(Backend):
                 break
             makespan = max(makespan, finish)
             heapq.heappush(free, (finish, worker_id))
+        if not terminated and len(scheduler):
+            # Pool collapse (all virtual workers crashed): finish the
+            # queue in-process. The shared Eq kept every parked match, so
+            # only the queued units need to run; the degraded work is
+            # unpriced on the virtual clock by design.
+            drain_in_process(
+                outcome,
+                scheduler,
+                context,
+                engine,
+                config,
+                goal_check=goal_check,
+                tracker=tracker,
+            )
         scheduler.export_stats(outcome)
         outcome.virtual_seconds = makespan
         outcome.wall_seconds = time.perf_counter() - started

@@ -6,18 +6,36 @@ one lock-protected :class:`~repro.reasoning.enforce.EnforcementEngine`
 only ``Eq``/index mutations take the lock). Python's GIL limits its
 speedups on CPU-bound matching, hence the simulated backend for the
 scalability figures and the process backend for real-core scaling.
+
+Supervision (see :mod:`.base`): a thread cannot be killed from outside,
+so both ``crash`` and ``hang`` fault events make the worker *leave the
+pool* — it reburies its unstarted batch (the scheduler re-pins its
+locality keys onto the survivors) and returns. Because all threads share
+the coordinator's engine, a dead thread loses no parked matches — only
+its queued units, which the survivors pick up. Unit-level failures
+(``error`` events, poisoned units, organic exceptions) go through the
+shared retry/quarantine tracker; if every thread dies with work left, the
+coordinator finishes the queue in-process (``degraded``).
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import traceback
 from typing import List, Optional, Sequence
 
+from ...errors import WorkerFault
 from ...eq.eqrelation import EqRelation
 from ...reasoning.enforce import EnforcementEngine
 from ...reasoning.workunits import WorkUnit
-from ..coordinator import ParallelOutcome, absorb_result
+from ..coordinator import (
+    ParallelOutcome,
+    QuarantinedUnit,
+    absorb_result,
+    drain_in_process,
+)
+from ..faults import InjectedFault, RetryTracker
 from ..scheduler import Scheduler
 from ..units import UnitContext, UnitResult, execute_unit
 from .base import Backend, GoalCheck
@@ -69,6 +87,12 @@ class ThreadedBackend(Backend):
         results_lock = threading.Lock()
         sync_rounds = [0] * config.workers
         ttl_ticks = config.ttl_ticks
+        # Supervision state shared by the workers, all under fault_lock:
+        # the retry tracker, the outcome's fault counters, and (strict
+        # mode) the first fault to re-raise coordinator-side.
+        tracker = RetryTracker(config.max_unit_retries)
+        fault_lock = threading.Lock()
+        strict_faults: List[WorkerFault] = []
 
         locked_goal = None
         if goal_check is not None:
@@ -77,25 +101,86 @@ class ThreadedBackend(Backend):
                     return goal_check(eq)
 
         def worker(worker_id: int) -> None:
+            batch_index = 0
             while not stop.is_set():
                 with queue_lock:
                     batch = scheduler.next_batch(worker_id)
                 if not batch:
                     return
+                event = self.fault_event(worker_id, batch_index)
+                batch_index += 1
+                if event is not None and event.kind in ("crash", "hang"):
+                    # A thread cannot be terminated from outside, so a
+                    # hang is handled like a crash: the worker reburies
+                    # its unstarted batch and leaves the pool for good.
+                    with queue_lock:
+                        scheduler.requeue(batch)
+                        scheduler.worker_died(worker_id)
+                    with fault_lock:
+                        outcome.worker_deaths += 1
+                        if config.strict_faults:
+                            strict_faults.append(
+                                WorkerFault(
+                                    f"threaded worker {worker_id} died "
+                                    f"(injected {event.kind})",
+                                    worker_id=worker_id,
+                                )
+                            )
+                            stop.set()
+                    return
+                if event is not None and event.kind == "slow":
+                    time.sleep(event.stall_seconds)
                 sync_rounds[worker_id] += 1
                 batch_started = time.perf_counter()
                 executed = 0
-                for unit in batch:
+                for position, unit in enumerate(batch):
                     if stop.is_set():
                         break
-                    result = execute_unit(
-                        unit,
-                        context,
-                        locked_engine,
-                        ttl_ticks=ttl_ticks,
-                        max_split_units=config.max_split_units,
-                        goal_check=locked_goal,
-                    )
+                    try:
+                        if config.fault_plan is not None:
+                            config.fault_plan.check_unit(unit)
+                        if event is not None and event.kind == "error" and position == 0:
+                            raise InjectedFault(
+                                f"injected worker-side error (worker {worker_id}, "
+                                f"batch {batch_index - 1})"
+                            )
+                        result = execute_unit(
+                            unit,
+                            context,
+                            locked_engine,
+                            ttl_ticks=ttl_ticks,
+                            max_split_units=config.max_split_units,
+                            goal_check=locked_goal,
+                        )
+                    except Exception as exc:
+                        detail = traceback.format_exc()
+                        with fault_lock:
+                            if config.strict_faults:
+                                strict_faults.append(
+                                    WorkerFault(
+                                        f"threaded worker {worker_id} failed on "
+                                        f"unit {unit.uid}: {exc}",
+                                        worker_id=worker_id,
+                                        unit_uid=unit.uid,
+                                        worker_traceback=detail,
+                                    )
+                                )
+                                stop.set()
+                                return
+                            if tracker.record_failure(unit):
+                                outcome.retries += 1
+                                retry = True
+                            else:
+                                outcome.quarantined.append(
+                                    QuarantinedUnit(
+                                        unit, detail, tracker.attempts(unit), worker_id
+                                    )
+                                )
+                                retry = False
+                        if retry:
+                            with queue_lock:
+                                scheduler.requeue([unit])
+                        continue
                     executed += 1
                     with results_lock:
                         results.append(result)
@@ -123,12 +208,32 @@ class ThreadedBackend(Backend):
         for thread in threads:
             thread.join()
 
+        if strict_faults:
+            raise strict_faults[0]
+
+        thread_splits = 0
         for result in results:
             absorb_result(outcome, result)
-            outcome.splits += len(result.splits)
+            thread_splits += len(result.splits)
             if result.goal_reached:
                 outcome.goal_reached = True
-        outcome.units_total += outcome.splits
+        outcome.splits += thread_splits
+        outcome.units_total += thread_splits
+        if engine.eq.has_conflict():
+            outcome.conflict = engine.eq.conflict
+        if not outcome.terminated_early and len(scheduler):
+            # Every thread left the pool with work remaining (crash/hang
+            # injection): finish the queue coordinator-side. The shared
+            # engine kept all parked matches, so only the queued units run.
+            drain_in_process(
+                outcome,
+                scheduler,
+                context,
+                engine,
+                config,
+                goal_check=goal_check,
+                tracker=tracker,
+            )
         outcome.sync_rounds = sum(sync_rounds)
         # ΔEq broadcast is free here — all workers share one Eq in memory —
         # so the shipped volume is genuinely zero, not merely unmeasured.

@@ -15,9 +15,14 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..errors import RuntimeConfigError
+from .faults import FaultPlan
 
 #: Paper default for the straggler threshold (virtual seconds), Exp-4.
 DEFAULT_TTL_SECONDS = 2.0
+
+#: Hang detection: a worker with no latency history yet is allowed this
+#: many wall seconds per batch before being declared dead.
+DEFAULT_BATCH_TIMEOUT_FLOOR = 30.0
 
 
 @dataclass(frozen=True)
@@ -119,6 +124,51 @@ class RuntimeConfig:
         re-pickling full snapshots — the mutation-heavy serving shape.
         The caller owns the pool's lifetime: call ``Backend.close()``
         when done. Off by default (one-shot runs tear down as before).
+    max_unit_retries:
+        Supervision: how many times a work unit that failed worker-side
+        (an exception, or a crash attributed to it) is retried before it
+        is quarantined into ``ParallelOutcome.quarantined`` with its
+        worker traceback. ``0`` quarantines on the first failure.
+    strict_faults:
+        The fail-fast ablation: any worker fault aborts the run with a
+        typed :class:`~repro.errors.WorkerFault` /
+        :class:`~repro.errors.WorkerPoolError` instead of entering the
+        retry/quarantine/respawn/degradation machinery. Off by default.
+    batch_timeout_seconds:
+        Hang detection (process backend): a worker whose batch round trip
+        exceeds this many wall seconds is declared dead, killed, and its
+        in-flight units are recovered. ``None`` (default) derives the
+        deadline adaptively from the worker pool's observed latency
+        history: ``max(batch_timeout_floor, batch_timeout_factor × the
+        slowest round trip seen so far)`` — generous enough that a slow
+        batch never trips it, bounded enough that a hung worker cannot
+        block the run forever.
+    batch_timeout_floor / batch_timeout_factor:
+        The adaptive deadline's parameters (see above). The floor also
+        covers the first round trip, before any history exists.
+    max_worker_respawns:
+        How many times one worker slot may be respawned after its process
+        dies (crash or hang). Respawned replicas are rebuilt from the
+        coordinator's current state — fork inheritance or a fresh
+        snapshot — so they arrive fully caught up, and the
+        :class:`~repro.parallel.scheduler.Scheduler` re-pins locality
+        keys to them (``worker_revived``). ``0`` disables respawn.
+    respawn_backoff_seconds:
+        Base delay before a respawn; doubles with each respawn of the
+        same slot (exponential backoff).
+    min_live_workers:
+        Graceful degradation threshold: when fewer than this many workers
+        survive (and the respawn budget is spent), the coordinator stops
+        dispatching and finishes the remaining queue in-process through
+        the simulated path instead of failing. The default ``1`` degrades
+        only when *every* worker is gone — the case that used to raise a
+        bare ``RuntimeError``.
+    fault_plan:
+        Deterministic fault injection
+        (:class:`~repro.parallel.faults.FaultPlan`): scripted
+        crash/hang/error/slow events keyed by ``(worker_id,
+        batch_index)`` plus poisoned units, honored by all three
+        backends. ``None`` (default) injects nothing.
     """
 
     workers: int = 4
@@ -136,6 +186,15 @@ class RuntimeConfig:
     use_bitsets: bool = True
     start_method: Optional[str] = None
     persistent_workers: bool = False
+    max_unit_retries: int = 2
+    strict_faults: bool = False
+    batch_timeout_seconds: Optional[float] = None
+    batch_timeout_floor: float = DEFAULT_BATCH_TIMEOUT_FLOOR
+    batch_timeout_factor: float = 8.0
+    max_worker_respawns: int = 1
+    respawn_backoff_seconds: float = 0.05
+    min_live_workers: int = 1
+    fault_plan: Optional[FaultPlan] = None
     costs: CostModel = field(default_factory=CostModel)
 
     def __post_init__(self) -> None:
@@ -168,6 +227,30 @@ class RuntimeConfig:
                 f"start_method must be 'fork', 'spawn', or 'forkserver', "
                 f"got {self.start_method!r}"
             )
+        if self.max_unit_retries < 0:
+            raise RuntimeConfigError(
+                f"max_unit_retries must be >= 0, got {self.max_unit_retries}"
+            )
+        if self.batch_timeout_seconds is not None and self.batch_timeout_seconds <= 0:
+            raise RuntimeConfigError(
+                "batch_timeout_seconds must be positive (or None for adaptive)"
+            )
+        if self.batch_timeout_floor <= 0 or self.batch_timeout_factor <= 0:
+            raise RuntimeConfigError(
+                "batch_timeout_floor and batch_timeout_factor must be positive"
+            )
+        if self.max_worker_respawns < 0:
+            raise RuntimeConfigError(
+                f"max_worker_respawns must be >= 0, got {self.max_worker_respawns}"
+            )
+        if self.respawn_backoff_seconds < 0:
+            raise RuntimeConfigError(
+                f"respawn_backoff_seconds must be >= 0, got {self.respawn_backoff_seconds}"
+            )
+        if self.min_live_workers < 0:
+            raise RuntimeConfigError(
+                f"min_live_workers must be >= 0, got {self.min_live_workers}"
+            )
 
     @property
     def ttl_ticks(self) -> Optional[float]:
@@ -190,6 +273,16 @@ class RuntimeConfig:
     def batch_size_cap(self) -> int:
         """The effective adaptive-batch ceiling (never below ``batch_size``)."""
         return max(self.batch_size, self.max_batch_size)
+
+    def batch_deadline(self, slowest_round_trip: float = 0.0) -> float:
+        """Wall seconds one batch round trip may take before the worker is
+        declared hung: the explicit ``batch_timeout_seconds`` when set,
+        else adaptive from the pool's slowest observed round trip."""
+        if self.batch_timeout_seconds is not None:
+            return self.batch_timeout_seconds
+        return max(
+            self.batch_timeout_floor, self.batch_timeout_factor * slowest_round_trip
+        )
 
     def with_workers(self, workers: int) -> "RuntimeConfig":
         return replace(self, workers=workers)

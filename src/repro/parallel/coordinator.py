@@ -20,13 +20,39 @@ Backends import from here; entry points import the names re-exported by
 
 from __future__ import annotations
 
+import traceback
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from ..errors import WorkerFault
 from ..eq.eqrelation import Conflict, EqRelation
 from ..reasoning.workunits import WorkUnit
 from .config import RuntimeConfig
 from .units import UnitResult
+
+
+@dataclass
+class QuarantinedUnit:
+    """A work unit that failed everywhere and was dropped from the run.
+
+    The supervision layer retries a failing unit up to
+    ``RuntimeConfig.max_unit_retries`` times; a unit that keeps failing is
+    quarantined — recorded here with the last worker-side traceback — and
+    the run completes on the rest. Callers inspect
+    ``ParallelOutcome.quarantined`` to decide whether the verdict stands
+    for their purposes (a quarantined unit's matches were never enforced,
+    so conflicts it alone would have found may be missed).
+    """
+
+    unit: WorkUnit
+    error: str
+    attempts: int
+    worker_id: Optional[int] = None
+
+    @property
+    def unit_uid(self) -> str:
+        return self.unit.uid
 
 
 @dataclass
@@ -59,6 +85,18 @@ class ParallelOutcome:
     batch_adaptations: int = 0
     batch_sizes: List[int] = field(default_factory=list)
     worker_busy: List[float] = field(default_factory=list)
+    #: Supervision: unit executions retried after a worker-side failure.
+    retries: int = 0
+    #: Worker replicas restarted after a crash or hang (process backend).
+    respawns: int = 0
+    #: Workers declared dead during the run (crash, hang, or error-exit).
+    worker_deaths: int = 0
+    #: Units that failed everywhere and were dropped from the run, with
+    #: their worker tracebacks. Empty on a clean run.
+    quarantined: List[QuarantinedUnit] = field(default_factory=list)
+    #: True when the pool collapsed below ``min_live_workers`` and the
+    #: coordinator finished the remaining queue in-process.
+    degraded: bool = False
     eq: Optional[EqRelation] = None
     #: Which backend produced this outcome (``'simulated'`` etc.).
     backend: str = ""
@@ -120,5 +158,87 @@ def register_splits(
     outcome.units_total += len(result.splits)
     if requeue is not None:
         requeue(result.splits)
+
+
+def drain_in_process(
+    outcome: ParallelOutcome,
+    scheduler,
+    context,
+    engine,
+    config: RuntimeConfig,
+    goal_check=None,
+    tracker=None,
+    extra_units: Optional[List[WorkUnit]] = None,
+) -> None:
+    """Graceful degradation: finish the remaining queue coordinator-side.
+
+    When a backend's worker pool collapses below
+    ``config.min_live_workers``, the remaining units (plus any
+    *extra_units* recovered from dead workers) are executed in-process
+    through the same :func:`~repro.parallel.units.execute_unit` path the
+    simulated backend uses — directly against the master engine, so no
+    broadcast or settlement is needed. Poisoned-unit injection and the
+    retry/quarantine machinery (*tracker*, a
+    :class:`~repro.parallel.faults.RetryTracker`) still apply; worker
+    events do not (there are no workers left to fail).
+    """
+    from .faults import RetryTracker
+    from .units import execute_unit
+
+    outcome.degraded = True
+    if tracker is None:
+        tracker = RetryTracker(config.max_unit_retries)
+    plan = config.fault_plan
+    eq = engine.eq
+    pending = deque(extra_units or ())
+    requeue = pending.extendleft  # splits jump this local queue's front
+
+    def next_unit() -> Optional[WorkUnit]:
+        if pending:
+            return pending.popleft()
+        batch = scheduler.next_batch(0) if len(scheduler) else []
+        if not batch:
+            return None
+        pending.extend(batch[1:])
+        return batch[0]
+
+    while not outcome.terminated_early:
+        unit = next_unit()
+        if unit is None:
+            break
+        try:
+            if plan is not None:
+                plan.check_unit(unit)
+            result = execute_unit(
+                unit,
+                context,
+                engine,
+                ttl_ticks=config.ttl_ticks,
+                max_split_units=config.max_split_units,
+                goal_check=goal_check,
+            )
+        except Exception as exc:
+            detail = traceback.format_exc()
+            if config.strict_faults:
+                raise WorkerFault(
+                    f"unit {unit.uid} failed during degraded execution: {exc}",
+                    unit_uid=unit.uid,
+                    worker_traceback=detail,
+                ) from exc
+            if tracker.record_failure(unit):
+                outcome.retries += 1
+                pending.append(unit)
+            else:
+                outcome.quarantined.append(
+                    QuarantinedUnit(unit, detail, tracker.attempts(unit))
+                )
+            continue
+        absorb_result(outcome, result)
+        if result.conflict or eq.has_conflict():
+            outcome.conflict = eq.conflict
+        elif result.goal_reached or (goal_check is not None and goal_check(eq)):
+            outcome.goal_reached = True
+        else:
+            register_splits(outcome, result, lambda splits: requeue(reversed(splits)))
 
 

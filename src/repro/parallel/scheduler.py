@@ -48,11 +48,12 @@ from .config import RuntimeConfig
 class Scheduler:
     """Owns the pending work-unit queue for one parallel run.
 
-    Backends interact through five calls: :meth:`next_batch` (dispatch),
+    Backends interact through six calls: :meth:`next_batch` (dispatch),
     :meth:`requeue` (split sub-units to the front), :meth:`observe`
     (adaptive-batch feedback after a round trip), :meth:`worker_died`
-    (re-pin a dead worker's queue onto the survivors) and ``len()``
-    (remaining units). All bookkeeping is deterministic: dictionaries are
+    (re-pin a dead worker's queue onto the survivors), its inverse
+    :meth:`worker_revived` (a respawned replica rejoins the routing
+    pool) and ``len()`` (remaining units). All bookkeeping is deterministic: dictionaries are
     keyed by insertion order and ties break on worker id, so the simulated
     backend's virtual timings stay reproducible.
     """
@@ -258,6 +259,18 @@ class Scheduler:
         for unit in reversed(orphans):
             self._enqueue(unit, front=True)
         self.reassigned_units += len(orphans)
+
+    def worker_revived(self, worker_id: int) -> None:
+        """Bring a respawned worker back into the routing pool.
+
+        The inverse of :meth:`worker_died`: the slot rejoins ``_alive`` so
+        future locality keys can pin to it again (first-touch goes to the
+        least-loaded survivor, and a freshly revived replica has load 0 —
+        it naturally absorbs new keys). Keys re-pinned to survivors while
+        the slot was dead stay where they are: their new owners hold the
+        warm caches now. Safe to call for a worker that never died.
+        """
+        self._alive.add(worker_id)
 
     # ------------------------------------------------------------------
     # Reporting

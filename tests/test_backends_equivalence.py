@@ -17,7 +17,7 @@ from repro.gfd.generator import (
     random_gfds,
     straggler_workload,
 )
-from repro.parallel import RuntimeConfig, available_backends, par_imp, par_sat
+from repro.parallel import FaultPlan, RuntimeConfig, available_backends, par_imp, par_sat
 from repro.reasoning.seqimp import seq_imp
 from repro.reasoning.seqsat import seq_sat
 
@@ -115,6 +115,32 @@ class TestSchedulerEquivalence:
             for backend in ALL_BACKENDS:
                 result = par_imp(rest, phi, config, backend=backend)
                 assert result.implied == expected, (backend, config.affinity, seed)
+
+
+class TestFaultedEquivalence:
+    """A random (but recoverable) FaultPlan changes only *how* the run
+    gets to the fixpoint — crashed replicas rebury their work, erroring
+    units retry — never the verdict. ``FaultPlan.random`` draws from the
+    recoverable kinds only (no hangs, no poison), so every backend must
+    still agree with the clean sequential ground truth."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sat_fuzz_with_random_fault_plan(self, seed):
+        sigma = random_gfds(10 + seed, 4, 3, seed=500 + seed)
+        if seed % 2:
+            sigma = add_random_conflicts(sigma, num_conflicts=3, seed=seed)
+        expected = seq_sat(sigma).satisfiable
+        plan = FaultPlan.random(seed=600 + seed, workers=3, events=2)
+        config = RuntimeConfig(
+            workers=3,
+            fault_plan=plan,
+            batch_timeout_seconds=5.0,
+            respawn_backoff_seconds=0.01,
+        )
+        for backend in ALL_BACKENDS:
+            result = par_sat(sigma, config, backend=backend)
+            assert result.satisfiable == expected, (backend, seed, plan)
+            assert not result.outcome.quarantined, (backend, seed)
 
 
 class TestImpEquivalence:

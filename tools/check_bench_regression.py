@@ -106,6 +106,29 @@ BENCHES: Dict[str, Dict] = {
             ("scheduler.affinity.wall_seconds_min", "seconds"),
         ],
     },
+    "chaos": {
+        # Fault-injection smoke: delta_hub under a seeded FaultPlan (one
+        # worker killed, one hung past the batch deadline, one unit
+        # poisoned). The script itself exits nonzero unless all verdicts
+        # match the clean run and exactly the poisoned unit is
+        # quarantined; the gate additionally pins the supervision
+        # counters and tracks the recovery overhead.
+        "script": "benchmarks/bench_parallel.py",
+        "args": ["--smoke", "--chaos", "--workers", "2"],
+        "metrics": [
+            ("verdicts_agree", "exact"),
+            ("process.verdict", "exact"),
+            ("process.worker_deaths", "exact"),
+            ("process.quarantined", "exact"),
+            ("simulated.quarantined", "exact"),
+            ("simulated.degraded", "exact"),
+            ("simulated.worker_deaths", "exact"),
+            # Recovery overhead: clean wall / faulted wall (same run, so
+            # machine-portable); falling means fault recovery got dearer.
+            ("recovery_efficiency", "ratio"),
+            ("process.wall_seconds_min", "seconds"),
+        ],
+    },
     "incremental": {
         "script": "benchmarks/bench_incremental.py",
         "args": ["--smoke"],
