@@ -411,12 +411,25 @@ class ProcessBackend(Backend):
                 conns[worker_id].send_bytes(blob)
             except (OSError, ValueError):
                 dead.add(worker_id)
+        # The acks share one deadline (replicas process the refresh
+        # concurrently): a standing worker that is alive but unresponsive
+        # must not wedge run() at the door — no wait is ever infinite.
+        procs: List = pool["procs"]
+        ack_deadline = time.monotonic() + config.batch_deadline(0.0)
         for worker_id in recipients:
             if worker_id in dead:
                 continue
             try:
+                if not conns[worker_id].poll(
+                    max(0.0, ack_deadline - time.monotonic())
+                ):
+                    # Hung mid-refresh: kill the replica and degrade like a
+                    # death (to the cold-start fallback if nobody survives).
+                    self._kill_worker(procs[worker_id], conns[worker_id])
+                    dead.add(worker_id)
+                    continue
                 reply = conns[worker_id].recv()
-            except (EOFError, ConnectionError):
+            except (EOFError, ConnectionError, OSError):
                 dead.add(worker_id)
                 continue
             if reply[0] == "error":
@@ -615,6 +628,11 @@ class ProcessBackend(Backend):
         #: event fires at most once per slot.
         batch_counters = [0] * config.workers
         respawn_counts = [0] * config.workers
+        #: Dead slots awaiting restart: worker_id → not-before timestamp.
+        #: The exponential backoff elapses inside the main loop's wait
+        #: cycle — never as a coordinator-blocking sleep, which would stall
+        #: hang detection for the surviving in-flight workers.
+        pending_respawns: Dict[int, float] = {}
         #: Slowest completed round trip (seconds) — the adaptive hang
         #: deadline's history input.
         slowest_trip = 0.0
@@ -628,17 +646,30 @@ class ProcessBackend(Backend):
         def pending_work() -> bool:
             return bool(len(scheduler) or suspects)
 
+        def schedule_respawn(worker_id: int) -> None:
+            """Queue a dead slot for restart once its backoff elapses."""
+            if respawn_counts[worker_id] >= config.max_worker_respawns:
+                return
+            backoff = config.respawn_backoff_seconds * (
+                2 ** respawn_counts[worker_id]
+            )
+            pending_respawns[worker_id] = time.perf_counter() + backoff
+
+        def perform_due_respawns() -> None:
+            """Restart every pending slot whose backoff has elapsed."""
+            now = time.perf_counter()
+            for worker_id in [
+                wid for wid, due in pending_respawns.items() if due <= now
+            ]:
+                del pending_respawns[worker_id]
+                respawn(worker_id)
+
         def respawn(worker_id: int) -> bool:
             """Restart a dead slot from the coordinator's current state."""
             global _FORK_STATE
             if respawn_counts[worker_id] >= config.max_worker_respawns:
                 return False
             respawn_counts[worker_id] += 1
-            backoff = config.respawn_backoff_seconds * (
-                2 ** (respawn_counts[worker_id] - 1)
-            )
-            if backoff > 0:
-                time.sleep(backoff)
             ctx = mp.get_context(method)
             fresh = _WorkerState(
                 context,
@@ -688,7 +719,7 @@ class ProcessBackend(Backend):
             return True
 
         def bury(worker_id: int, lost: List[WorkUnit], cause: str, crashed: bool = True) -> None:
-            """Declare a worker dead, recover its work, and maybe respawn.
+            """Declare a worker dead, recover its work, schedule a respawn.
 
             The scheduler re-pins the dead worker's locality keys (and any
             still-queued pinned units) onto the survivors. In-flight units
@@ -733,7 +764,7 @@ class ProcessBackend(Backend):
             completed[worker_id].clear()
             if orphans:
                 scheduler.requeue(orphans)
-            respawn(worker_id)
+            schedule_respawn(worker_id)
 
         def dispatch(worker_id: int, batch: List[WorkUnit], kind: str = "units") -> bool:
             """Send *batch* plus the worker's pending ΔEq; False when the
@@ -786,7 +817,13 @@ class ProcessBackend(Backend):
             _, results, new_ops, conflict, goal_reached, busy, failures = reply
             batch = in_flight.pop(worker_id, [])
             dispatched = {unit.uid: unit for unit in batch}
-            idle.append(worker_id)
+            if worker_id not in idle:
+                # Settlement syncs dispatch to workers still on the idle
+                # list; an unconditional append would duplicate the entry,
+                # and a duplicated worker could be popped twice by the main
+                # loop — its second batch overwriting in_flight and losing
+                # the first one's results.
+                idle.append(worker_id)
             trip = time.perf_counter() - dispatched_at[worker_id]
             slowest_trip = max(slowest_trip, trip)
             outcome.worker_busy[worker_id] += busy
@@ -870,6 +907,7 @@ class ProcessBackend(Backend):
             hang-detection deadline; worker death recovers through
             ``bury`` (suspects, completed-unit re-runs, respawn)."""
             while True:
+                perform_due_respawns()
                 if not terminated and not collapsed():
                     # Dynamic assignment to free workers: the suspect lane
                     # first (singleton batches — bisection), then the
@@ -887,10 +925,21 @@ class ProcessBackend(Backend):
                             break
                         dispatch(worker_id, batch)
                 if not in_flight:
+                    if pending_respawns and not terminated and pending_work():
+                        # Nothing in flight, but a backoff is still ticking:
+                        # wait it out here rather than declaring the pool
+                        # collapsed while a replacement is on its way.
+                        due = min(pending_respawns.values())
+                        time.sleep(max(0.0, due - time.perf_counter()))
+                        continue
                     return
                 limit = config.batch_deadline(slowest_trip)
                 now = time.perf_counter()
                 expiry = min(dispatched_at[wid] + limit for wid in in_flight)
+                if pending_respawns:
+                    # Wake for the nearest due respawn too, so a restart is
+                    # never delayed by a full batch deadline.
+                    expiry = min(expiry, min(pending_respawns.values()))
                 ready = mp_connection.wait(
                     [conns[wid] for wid in in_flight],
                     timeout=max(0.0, expiry - now),
@@ -920,6 +969,7 @@ class ProcessBackend(Backend):
             dead worker's completed units must re-run through the main
             loop first)."""
             while not terminated:
+                perform_due_respawns()
                 if pending_work():
                     return False
                 recipients = [

@@ -160,9 +160,9 @@ class RuntimeConfig:
         Graceful degradation threshold: when fewer than this many workers
         survive (and the respawn budget is spent), the coordinator stops
         dispatching and finishes the remaining queue in-process through
-        the simulated path instead of failing. The default ``1`` degrades
-        only when *every* worker is gone — the case that used to raise a
-        bare ``RuntimeError``.
+        the simulated path instead of failing. Must not exceed
+        ``workers``. The default ``1`` degrades only when *every* worker
+        is gone — the case that used to raise a bare ``RuntimeError``.
     fault_plan:
         Deterministic fault injection
         (:class:`~repro.parallel.faults.FaultPlan`): scripted
@@ -250,6 +250,14 @@ class RuntimeConfig:
         if self.min_live_workers < 0:
             raise RuntimeConfigError(
                 f"min_live_workers must be >= 0, got {self.min_live_workers}"
+            )
+        if self.min_live_workers > self.workers:
+            # A threshold above the pool size would make every run degrade
+            # to in-process execution before dispatching anything (or fail
+            # under strict_faults with zero actual faults).
+            raise RuntimeConfigError(
+                f"min_live_workers ({self.min_live_workers}) must not "
+                f"exceed workers ({self.workers})"
             )
 
     @property

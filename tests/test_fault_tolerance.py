@@ -115,6 +115,7 @@ class TestConfigValidation:
             dict(max_worker_respawns=-1),
             dict(respawn_backoff_seconds=-0.1),
             dict(min_live_workers=-1),
+            dict(min_live_workers=3),  # exceeds workers=2
         ],
     )
     def test_bad_supervision_knobs_rejected(self, kwargs):
@@ -184,6 +185,24 @@ class TestProcessSupervision:
         assert result.satisfiable == expected
         assert result.outcome.respawns >= 1
         assert result.outcome.worker_deaths >= 1
+
+    def test_sole_worker_respawns_instead_of_degrading(self):
+        """With workers=1 a crash empties the pool; the pending respawn's
+        backoff must be waited out (not slept inline in bury) and the
+        revived replica — not the degradation path — finishes the run."""
+        sigma = _delta_hub()
+        expected = seq_sat(sigma).satisfiable
+        config = RuntimeConfig(
+            workers=1,
+            max_worker_respawns=1,
+            fault_plan=FaultPlan.single("crash", worker_id=0, batch_index=0),
+            **FAST_TIMEOUT,
+        )
+        result = par_sat(sigma, config, backend="process")
+        assert result.satisfiable == expected
+        assert result.outcome.respawns == 1
+        assert result.outcome.worker_deaths == 1
+        assert not result.outcome.degraded
 
     def test_worker_error_event_retries_not_aborts(self):
         sigma = _delta_hub()

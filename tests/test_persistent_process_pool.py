@@ -135,6 +135,36 @@ class TestPersistentPool:
         finally:
             backend.close()
 
+    def test_hung_replica_does_not_wedge_refresh(self, example8_sigma):
+        """A standing worker that is alive but unresponsive (SIGSTOP) must
+        not block the refresh forever: past the deadline it is killed,
+        marked dead, and the run proceeds on the survivor."""
+        import os
+        import signal
+        import time
+
+        if not hasattr(signal, "SIGSTOP"):
+            pytest.skip("SIGSTOP unavailable on this platform")
+        config = RuntimeConfig(
+            workers=2, persistent_workers=True, batch_timeout_seconds=1.0
+        )
+        backend = ProcessBackend(config)
+        canonical = build_canonical_graph(example8_sigma)
+        context = UnitContext(canonical.graph, dict(canonical.gfds))
+        try:
+            engine = EnforcementEngine(EqRelation(), dict(context.gfds))
+            units = generate_work_units(example8_sigma, context.graph)
+            backend.run(units, context, engine)
+            os.kill(backend._pool["procs"][0].pid, signal.SIGSTOP)
+            engine = EnforcementEngine(EqRelation(), dict(context.gfds))
+            started = time.monotonic()
+            outcome = backend.run(units, context, engine)
+            assert outcome.conflict is None
+            assert time.monotonic() - started < 30.0
+            assert 0 in backend._pool["dead"]
+        finally:
+            backend.close()
+
     def test_simulation_gate_rederived_on_topology_change(self):
         from repro.graph.graph import PropertyGraph
 
