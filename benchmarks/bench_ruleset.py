@@ -1,0 +1,180 @@
+"""Benchmark: rule-set compilation (shared-prefix plan trie) vs per-rule.
+
+Measures the PR 7 tentpole on the Fig. 6(e)/(f) sigma sweeps: `seq_sat`
+and `seq_imp` with ``use_ruleset_plan=True`` (one trie walk matches all of
+Σ) against the per-rule ablation (the pre-PR loop, kept as the correctness
+oracle). Sweep points are *prefixes* of one rule set (see
+``synthetic_sat_sweep``), so the growth-in-|Σ| comparison is honest.
+
+Reported per sweep point:
+
+* wall seconds for both modes (best of ``REPEATS`` runs) and their ratio;
+* deterministic matcher tick counts for both modes and their ratio — the
+  machine-independent version of the same signal;
+* verdict and match-count mismatches (must be 0 — the differential check
+  rides along with the timing).
+
+Plus trie sharing stats at the largest point: compiled plan steps summed
+over rules vs trie nodes actually allocated (the prefix-sharing factor).
+
+Numbers land in ``BENCH_ruleset.json``; ``--smoke`` runs |Σ| ∈ {8, 64}
+for the CI regression gate (``tools/check_bench_regression.py``).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_ruleset.py [--smoke] [--output FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+from repro.bench.harness import synthetic_imp_sweep, synthetic_sat_sweep
+from repro.matching.plan import get_plan
+from repro.matching.ruleset import RuleSetPlan
+from repro.gfd.canonical import build_canonical_graph
+from repro.reasoning.seqimp import seq_imp
+from repro.reasoning.seqsat import seq_sat
+
+FULL_SIZES = (50, 100, 200)
+SMOKE_SIZES = (8, 64)
+
+#: Wall timings take the best of this many runs — same-run ratios are
+#: machine-portable, but a single sample can still catch a GC pause.
+REPEATS = 2
+
+
+def best_wall(fn, *args, **kwargs):
+    """(result, best wall seconds) over ``REPEATS`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - started)
+    return result, best
+
+
+def run_sat_sweep(sizes) -> Dict[str, object]:
+    sweep = synthetic_sat_sweep(tuple(sizes), k=6, l=5)
+    out: Dict[str, object] = {"sizes": {}}
+    verdict_mismatches = match_mismatches = 0
+    largest = max(sizes)
+    for size in sizes:
+        sigma = sweep[size].sigma
+        base, per_rule_s = best_wall(seq_sat, sigma, use_ruleset_plan=False)
+        trie, ruleset_s = best_wall(seq_sat, sigma, use_ruleset_plan=True)
+        if base.satisfiable != trie.satisfiable:
+            verdict_mismatches += 1
+        if base.stats.matches != trie.stats.matches:
+            match_mismatches += 1
+        point = {
+            "per_rule_seconds": round(per_rule_s, 4),
+            "ruleset_seconds": round(ruleset_s, 4),
+            "speedup": round(per_rule_s / ruleset_s, 2),
+            "per_rule_ticks": base.stats.match_ticks,
+            "ruleset_ticks": trie.stats.match_ticks,
+            "matches": base.stats.matches,
+        }
+        out["sizes"][str(size)] = point
+        if size == largest:
+            out["speedup_at_max"] = point["speedup"]
+            out["per_rule_seconds_at_max"] = point["per_rule_seconds"]
+            out["ruleset_seconds_at_max"] = point["ruleset_seconds"]
+    out["verdict_mismatches"] = verdict_mismatches
+    out["match_mismatches"] = match_mismatches
+    return out
+
+
+def run_imp_sweep(sizes) -> Dict[str, object]:
+    sweep = synthetic_imp_sweep(tuple(sizes), k=6, l=5)
+    out: Dict[str, object] = {"sizes": {}}
+    verdict_mismatches = 0
+    largest = max(sizes)
+    for size in sizes:
+        workload = sweep[size]
+        base, per_rule_s = best_wall(
+            seq_imp, workload.sigma, workload.phi, use_ruleset_plan=False
+        )
+        trie, ruleset_s = best_wall(
+            seq_imp, workload.sigma, workload.phi, use_ruleset_plan=True
+        )
+        if base.implied != trie.implied:
+            verdict_mismatches += 1
+        point = {
+            "per_rule_seconds": round(per_rule_s, 4),
+            "ruleset_seconds": round(ruleset_s, 4),
+            "speedup": round(per_rule_s / ruleset_s, 2),
+            "per_rule_ticks": base.stats.match_ticks,
+            "ruleset_ticks": trie.stats.match_ticks,
+        }
+        out["sizes"][str(size)] = point
+        if size == largest:
+            out["speedup_at_max"] = point["speedup"]
+            out["per_rule_seconds_at_max"] = point["per_rule_seconds"]
+            out["ruleset_seconds_at_max"] = point["ruleset_seconds"]
+    out["verdict_mismatches"] = verdict_mismatches
+    return out
+
+
+def trie_sharing_stats(size: int) -> Dict[str, object]:
+    """How much of Σ's compiled step mass the trie deduplicates."""
+    sigma = [
+        gfd
+        for gfd in synthetic_sat_sweep((size,), k=6, l=5)[size].sigma
+        if not gfd.is_trivial()
+    ]
+    graph = build_canonical_graph(sigma).graph
+    plan = RuleSetPlan(graph, sigma)
+    plan_steps = sum(
+        len(get_plan(gfd.pattern, graph).layout(()).steps) for gfd in sigma
+    )
+    trie_nodes = sum(1 for _ in plan.nodes())
+    return {
+        "rules": len(sigma),
+        "plan_steps": plan_steps,
+        "trie_nodes": trie_nodes,
+        "sharing_factor": round(plan_steps / max(1, trie_nodes), 2),
+    }
+
+
+def run_suite(smoke: bool = False) -> Dict[str, object]:
+    sizes = SMOKE_SIZES if smoke else FULL_SIZES
+    return {
+        "sizes": list(sizes),
+        "sat": run_sat_sweep(sizes),
+        "imp": run_imp_sweep(sizes),
+        "trie": trie_sharing_stats(max(sizes)),
+    }
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", help="write results JSON to this file")
+    parser.add_argument(
+        "--smoke", action="store_true", help="run the reduced |Σ| sweep (CI smoke)"
+    )
+    args = parser.parse_args(argv)
+    results = run_suite(smoke=args.smoke)
+    payload = json.dumps(results, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(payload + "\n")
+    print(payload)
+    mismatches = (
+        results["sat"]["verdict_mismatches"]
+        + results["sat"]["match_mismatches"]
+        + results["imp"]["verdict_mismatches"]
+    )
+    if mismatches:
+        print(f"EQUIVALENCE FAILURE: {mismatches} mismatches", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,9 @@ from repro.bench.harness import (
     implication_workload,
     mined_implication_workload,
     mined_workload,
+    synthetic_imp_sweep,
     synthetic_imp_workload,
+    synthetic_sat_sweep,
     synthetic_sat_workload,
 )
 from repro.gfd.generator import straggler_workload
@@ -78,14 +80,23 @@ def ttl_sigma():
 
 @pytest.fixture(scope="session")
 def synthetic_sat_by_size():
-    """Fig. 6(e) |Σ| sweep inputs."""
-    return {size: synthetic_sat_workload(size, k=6, l=5) for size in (50, 100, 200)}
+    """Fig. 6(e) |Σ| sweep inputs (prefix-extending: each point is a
+    prefix of the largest, so the growth measurement is honest)."""
+    return synthetic_sat_sweep((50, 100, 200), k=6, l=5)
 
 
 @pytest.fixture(scope="session")
 def synthetic_imp_by_size():
-    """Fig. 6(f) |Σ| sweep inputs."""
-    return {size: synthetic_imp_workload(size, k=6, l=5) for size in (50, 100, 200)}
+    """Fig. 6(f) |Σ| sweep inputs (prefix-extending)."""
+    return synthetic_imp_sweep((50, 100, 200), k=6, l=5)
+
+
+@pytest.fixture(scope="session")
+def synthetic_imp_rdf_by_size():
+    """Fig. 6(f) sweep for the ParImpRDF baseline: chordless seekers —
+    the reified chase doubles walk depth, so chord seekers are
+    intractable for it (see ``synthetic_imp_workload``)."""
+    return synthetic_imp_sweep((50, 100, 200), k=6, l=5, seeker_chords=0)
 
 
 @pytest.fixture(scope="session")

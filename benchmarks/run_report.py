@@ -3,16 +3,52 @@
 
 Runs the full harness (Fig. 5 and Fig. 6(a)–(l)) at the default scaled
 sizes and prints one table per experiment — the data behind EXPERIMENTS.md.
+Recorded bench artifacts (``BENCH_ruleset.json``, written by
+``benchmarks/bench_ruleset.py``) are aggregated at the end of the report.
 
 Usage:
     python benchmarks/run_report.py            # all experiments
     python benchmarks/run_report.py fig5 fig6e # a subset
 """
 
+import json
 import sys
 import time
+from pathlib import Path
 
 from repro.bench.experiments import ALL_EXPERIMENTS
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def render_ruleset_artifact() -> str:
+    """Summarize the recorded rule-set compilation sweep, if present."""
+    path = REPO_ROOT / "BENCH_ruleset.json"
+    if not path.exists():
+        return ""
+    data = json.loads(path.read_text())
+    lines = ["== BENCH_ruleset.json: shared-prefix trie vs per-rule (recorded) =="]
+    for section in ("sat", "imp"):
+        entry = data.get(section, {})
+        sizes = entry.get("sizes", {})
+        for size in sorted(sizes, key=int):
+            point = sizes[size]
+            lines.append(
+                f"  {section} |Σ|={size:>4}: per-rule {point['per_rule_seconds']:.3f}s"
+                f"  trie {point['ruleset_seconds']:.3f}s"
+                f"  speedup {point['speedup']:.2f}x"
+            )
+        if "speedup_at_max" in entry:
+            lines.append(
+                f"  {section} speedup at largest |Σ|: {entry['speedup_at_max']:.2f}x"
+            )
+    trie = data.get("trie")
+    if trie:
+        lines.append(
+            f"  trie sharing: {trie['rules']} rules, {trie['plan_steps']} plan steps"
+            f" -> {trie['trie_nodes']} trie nodes ({trie['sharing_factor']:.2f}x)"
+        )
+    return "\n".join(lines)
 
 
 def main() -> None:
@@ -26,6 +62,9 @@ def main() -> None:
         experiment = ALL_EXPERIMENTS[experiment_id]()
         print(experiment.render())
         print(f"[generated in {time.perf_counter() - started:.1f}s wall]\n")
+    artifact = render_ruleset_artifact()
+    if artifact:
+        print(artifact + "\n")
     print(f"total: {time.perf_counter() - total_started:.1f}s wall")
 
 

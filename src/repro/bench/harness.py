@@ -43,6 +43,14 @@ DEFAULT_K_SWEEP = (4, 6, 8, 10)  # the paper varies k from 4 to 10 (Exp-3)
 DEFAULT_L_SWEEP = (1, 2, 3, 4, 5)
 DEFAULT_TTL_SWEEP = (0.1, 0.5, 1.0, 2.0, 4.0, 8.0)
 
+#: Synthetic implication sweeps place one path "seeker" every this many
+#: rules, so prefix slices of Σ keep the seeker fraction constant.
+SEEKER_SPACING = 25
+#: Cycle-closing chord edges per seeker: the walk's last node must reach
+#: back to this many of the first nodes. Late-failing chords keep the
+#: search tree large and the match count small — matching-dominated cost.
+SEEKER_CHORDS = 4
+
 
 # ----------------------------------------------------------------------
 # Virtual cost accounting for sequential algorithms
@@ -231,6 +239,74 @@ def synthetic_sat_workload(
     return SatWorkload(f"synthetic(|Σ|={sigma_size},k={k},l={l})", sigma, True)
 
 
+def synthetic_sat_sweep(
+    sizes: Sequence[int],
+    k: int = 6,
+    l: int = 5,
+    seed: int = 42,
+    num_labels: int = 20,
+    near_k: bool = False,
+) -> dict:
+    """Prefix-extending ``|Σ|`` sweep (Fig. 6(e) x-axis).
+
+    The paper grows one rule set, so each sweep point must be a superset of
+    the previous one — otherwise the "runtime vs |Σ|" curve confounds set
+    size with set content. Builds the largest Σ once and slices prefixes:
+    point ``s`` is literally ``sigma[:s]`` of point ``max(sizes)``.
+    """
+    largest = max(sizes)
+    full = synthetic_sat_workload(
+        largest, k=k, l=l, seed=seed, num_labels=num_labels, near_k=near_k
+    )
+    return {
+        size: SatWorkload(
+            f"synthetic(|Σ|={size},k={k},l={l})", full.sigma[:size], True
+        )
+        for size in sizes
+    }
+
+
+def synthetic_imp_sweep(
+    sizes: Sequence[int],
+    k: int = 6,
+    l: int = 5,
+    seed: int = 42,
+    target_size: int = 12,
+    target_density: float = 0.5,
+    seeker_chords: int = SEEKER_CHORDS,
+) -> dict:
+    """Prefix-extending implication sweep (Fig. 6(f) x-axis).
+
+    Like :func:`synthetic_sat_sweep` but for ``(Σ, φ)`` inputs: one build
+    at ``max(sizes)`` (fixed φ, seekers first, then background), sliced so
+    every point extends the previous. The seeker *count* is therefore the
+    largest point's — constant across the sweep rather than proportional —
+    which is what makes the points comparable at all. ``seeker_chords=0``
+    builds the chordless (pure-walk) seeker variant — the only shape the
+    reified ``ParImpRDF`` chase baseline can digest (see
+    :func:`synthetic_imp_workload`).
+    """
+    largest = max(sizes)
+    full = synthetic_imp_workload(
+        largest,
+        k=k,
+        l=l,
+        seed=seed,
+        target_size=target_size,
+        target_density=target_density,
+        seeker_chords=seeker_chords,
+    )
+    return {
+        size: ImpWorkload(
+            f"synthetic-imp(|Σ|={size},k={k},l={l})",
+            full.sigma[:size],
+            full.phi,
+            expected_implied=False,
+        )
+        for size in sizes
+    }
+
+
 def synthetic_imp_workload(
     sigma_size: int,
     k: int = 6,
@@ -238,15 +314,30 @@ def synthetic_imp_workload(
     seed: int = 42,
     target_size: int = 12,
     target_density: float = 0.5,
+    seeker_chords: int = SEEKER_CHORDS,
 ) -> ImpWorkload:
     """Synthetic implication instance with |Σ|-proportional real work.
 
-    ``φ``'s canonical graph ``G^X_Q`` is a fixed dense pattern; a constant
-    *fraction* of Σ are path "seekers" of length ``min(k, 7)`` whose
-    matching inside ``G^X_Q`` is the expensive part (so runtime grows with
-    both |Σ| and k, as in the paper's Fig. 6(f)/(i)); the rest are cheap
-    random GFDs with the ``(k, l)`` controls. ``φ``'s consequent is
-    underivable, so checkers run to completion (worst case).
+    ``φ``'s canonical graph ``G^X_Q`` is a fixed dense pattern; every
+    ``SEEKER_SPACING``-th rule of Σ is a path "seeker" — a wildcard walk of
+    length ``min(k+1, 8)`` from the hub whose last node must close back
+    onto the walk's first few nodes (``SEEKER_CHORDS`` chord edges). The
+    chords fail late, so the walk's search tree inside ``G^X_Q`` is large
+    while its match count stays small: the figure measures *matching* (the
+    NP-hard part the paper's sweeps are about), not per-match ``Eq``
+    bookkeeping. The remaining rules are cheap random GFDs with the
+    ``(k, l)`` controls, so runtime grows with |Σ| and k as in Fig.
+    6(f)/(i). Seekers are interleaved (positions 0, 25, 50, ...) rather
+    than front-loaded so that every *prefix* of Σ keeps the seeker
+    fraction — :func:`synthetic_imp_sweep` slices prefixes. ``φ``'s
+    consequent is underivable, so checkers run to completion (worst case).
+
+    ``seeker_chords=0`` drops the chord edges and shortens the walk to
+    ``min(k, 7)`` (the pure-walk seeker): reifying a walk doubles its hop
+    count, so the naive ``ParImpRDF`` chase — no ordering, no plan — goes
+    exponential on chorded seekers but handles the chordless variant. RDF
+    baseline runs must use it (conservatively narrowing the measured
+    ParImp-over-RDF gap, since the baseline gets the easier instance).
     """
     import random as _random
 
@@ -265,9 +356,9 @@ def synthetic_imp_workload(
                 pattern.add_edge(f"x{a}", f"x{b}", "e")
     phi = make_gfd(pattern.freeze(), [], [ConstantLiteral("x0", "ZZ", 99)], name="phi_target")
 
-    num_seekers = max(2, sigma_size // 25)
-    seeker_length = max(2, min(k, 7))
-    sigma: List[GFD] = []
+    num_seekers = max(1, (sigma_size + SEEKER_SPACING - 1) // SEEKER_SPACING)
+    seeker_length = max(2, min(k + 1, 8) if seeker_chords else min(k, 7))
+    seekers: List[GFD] = []
     for index in range(num_seekers):
         seeker = Pattern()
         seeker.add_var("y0", "hub0")
@@ -275,21 +366,30 @@ def synthetic_imp_workload(
             seeker.add_var(f"y{j}", WILDCARD)
         for j in range(seeker_length):
             seeker.add_edge(f"y{j}", f"y{j + 1}", "e")
+        for c in range(min(seeker_chords, seeker_length - 1)):
+            seeker.add_edge(f"y{seeker_length}", f"y{c}", "e")
         consequent = [
             VariableLiteral("y0", attr, f"y{1 + (i % seeker_length)}", attr)
             for i in range(max(1, l - 1))
         ]
-        sigma.append(
+        seekers.append(
             make_gfd(seeker.freeze(), [], consequent, name=f"sseeker{index}")
         )
-    sigma.extend(
-        generator.generate(
-            max(0, sigma_size - num_seekers),
-            max_pattern_nodes=k,
-            max_literals=l,
-            prefix="sbg",
-        )
+    background = generator.generate(
+        max(0, sigma_size - num_seekers),
+        max_pattern_nodes=k,
+        max_literals=l,
+        prefix="sbg",
     )
+    sigma: List[GFD] = []
+    seekers_placed = backgrounds_placed = 0
+    for position in range(sigma_size):
+        if position % SEEKER_SPACING == 0 and seekers_placed < len(seekers):
+            sigma.append(seekers[seekers_placed])
+            seekers_placed += 1
+        else:
+            sigma.append(background[backgrounds_placed])
+            backgrounds_placed += 1
     return ImpWorkload(
         f"synthetic-imp(|Σ|={sigma_size},k={k},l={l})", sigma, phi, expected_implied=False
     )

@@ -19,7 +19,10 @@ selects the execution runtime (``simulated``, ``threaded``, ``process``);
 supervision layer retries a unit that fails worker-side before
 quarantining it, and ``--strict-faults`` turns supervision off entirely:
 the first worker fault aborts the run with a typed error instead of being
-retried, respawned, or degraded around.
+retried, respawned, or degraded around. ``--ruleset-plan`` (``sat``,
+``imp``, ``detect``) compiles Σ into one shared-prefix plan trie matched
+in a single pass instead of looping over the rules — parallel runs group
+work units per pivot accordingly.
 
 Exit codes: 0 success (satisfiable / implied / no violations), 2 usage or
 input error, 3 negative verdict (unsatisfiable / not implied / violations
@@ -80,6 +83,8 @@ def _runtime_config(args: argparse.Namespace) -> RuntimeConfig:
     )
     if args.no_affinity:
         config = config.without_affinity()
+    if args.ruleset_plan:
+        config = config.with_ruleset_plan()
     return config
 
 
@@ -107,7 +112,7 @@ def cmd_sat(args: argparse.Namespace) -> int:
             clock = f"wall_seconds={result.wall_seconds:.3f}"
         print(f"units={result.outcome.units_executed} {clock}")
     else:
-        result = seq_sat(sigma)
+        result = seq_sat(sigma, use_ruleset_plan=args.ruleset_plan)
         verdict, conflict = result.satisfiable, result.conflict
         print(f"matches={result.stats.matches} wall_seconds={result.stats.wall_seconds:.3f}")
     if verdict:
@@ -138,7 +143,7 @@ def cmd_imp(args: argparse.Namespace) -> int:
             backend=args.backend,
         )
     else:
-        result = seq_imp(rest, phi)
+        result = seq_imp(rest, phi, use_ruleset_plan=args.ruleset_plan)
     if result.implied:
         print(f"IMPLIED ({result.reason}): Σ \\ {{{phi.name}}} |= {phi.name}")
         return 0
@@ -149,7 +154,9 @@ def cmd_imp(args: argparse.Namespace) -> int:
 def cmd_detect(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph)
     sigma = load_rules(args.rules)
-    violations = detect_errors(graph, sigma, limit_per_gfd=args.limit)
+    violations = detect_errors(
+        graph, sigma, limit_per_gfd=args.limit, use_ruleset_plan=args.ruleset_plan
+    )
     for violation in violations:
         print(violation)
     print(f"# {len(violations)} violation(s) in {graph.num_nodes}-node graph", file=sys.stderr)
@@ -214,6 +221,16 @@ def _add_scheduler_flags(parser: argparse.ArgumentParser) -> None:
         help="fail fast on the first worker fault instead of retrying, "
         "respawning, or degrading (with --parallel)",
     )
+    _add_ruleset_flag(parser)
+
+
+def _add_ruleset_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ruleset-plan",
+        action="store_true",
+        help="compile Σ into one shared-prefix plan trie matched in a "
+        "single pass instead of looping over the rules",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -263,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_detect.add_argument("graph", help="graph JSON file")
     p_detect.add_argument("rules")
     p_detect.add_argument("--limit", type=int, default=None, help="max violations per rule")
+    _add_ruleset_flag(p_detect)
     p_detect.set_defaults(func=cmd_detect)
 
     p_cover = sub.add_parser("cover", help="remove rules implied by the rest")

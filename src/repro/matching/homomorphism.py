@@ -47,6 +47,7 @@ from .simulation import CandidateSet
 __all__ = [
     "Assignment",
     "MatcherRun",
+    "PoolEngine",
     "default_variable_order",
     "edge_label_matches",
     "find_homomorphisms",
@@ -93,102 +94,30 @@ class _Frame:
         return pending
 
 
-class MatcherRun:
-    """A resumable homomorphism search for one pattern/target pair.
+class PoolEngine:
+    """The candidate-pool and consistency core shared by every walker.
 
-    Parameters
-    ----------
-    pattern:
-        The frozen pattern to match.
-    graph:
-        The target property graph.
-    preassigned:
-        Variable -> node bindings fixed before the search (pivots, or the
-        prefix of a split work unit). Inconsistent preassignments simply
-        yield no matches.
-    allowed_nodes:
-        When given, every variable must map into this set (used for
-        ``dQ``-neighborhood locality). Preassigned nodes are exempt — they
-        define the neighborhood. A plain ``set`` or a
-        :class:`~repro.graph.bitset.NodeBitset`; a bitset packed over this
-        graph's index additionally unlocks word-level pool intersection.
-    variable_order:
-        Search order for the free variables; computed greedily when omitted.
-    candidate_sets:
-        Optional per-variable candidate restrictions (e.g. from
-        :func:`~repro.matching.simulation.simulation_candidates`); a
-        variable absent from the mapping is unrestricted. Values may be
-        plain sets or :class:`~repro.graph.bitset.NodeBitset` views — both
-        produce byte-identical match streams.
-    plan:
-        A precompiled :class:`~repro.matching.plan.MatchPlan` for this
-        pattern over ``graph.index()``. When omitted, the shared plan is
-        fetched from (and cached on) the graph's compiled index — callers
-        spawning many runs from one pattern should fetch it once via
-        :func:`~repro.matching.plan.get_plan` and pass it through.
+    Everything here is expressed against *compiled steps* and an
+    *assignment dict* — it does not care whether the keys are pattern
+    variables (:class:`MatcherRun`) or shared trie slots
+    (:class:`repro.matching.ruleset.RuleSetRun`). Subclasses provide:
+
+    ``_index`` / ``_edge_labels`` / ``_node_label_id``
+        hot shortcuts into the compiled :class:`~repro.graph.index.
+        GraphIndex`;
+    ``_assignment``
+        the current (partial) assignment the checks read;
+    ``allowed_nodes`` / ``candidate_sets``
+        the optional pool filters (sets or bitset views);
+    ``_preassigned_values`` / ``_exempt_bits_cache``
+        the pivot images exempt from ``allowed_nodes``;
+    ``ticks``
+        the virtual-cost counter (one per :meth:`_node_ok` call).
+
+    Keeping a single implementation is what makes the per-rule and
+    rule-set paths byte-identical per rule: both pull candidates from the
+    same pools in the same (graph insertion) order.
     """
-
-    def __init__(
-        self,
-        pattern: Pattern,
-        graph: PropertyGraph,
-        preassigned: Optional[Assignment] = None,
-        allowed_nodes: Optional[AbstractSet[NodeId]] = None,
-        variable_order: Optional[Sequence[str]] = None,
-        candidate_sets: Optional[Dict[str, "CandidateSet"]] = None,
-        plan: Optional[MatchPlan] = None,
-    ) -> None:
-        if not pattern.frozen:
-            pattern.freeze()
-        if (
-            plan is None
-            or plan.index.graph is not graph
-            or plan.index.stale
-            or plan.pattern != pattern
-        ):
-            # Missing, mismatched, or lagging plans (the graph has journaled
-            # mutations the plan's index has not absorbed) are silently
-            # replaced by the shared one — get_plan applies the pending
-            # delta and usually hands the *same* plan object back,
-            # revalidated. A wrong explicit plan must never produce wrong
-            # matches.
-            plan = get_plan(pattern, graph)
-        else:
-            # Same graph, index current: an O(1) epoch check covers the
-            # case where another pattern's lookup already absorbed a delta.
-            plan.revalidate()
-        self.plan = plan
-        self.pattern = pattern
-        self.graph = graph
-        self.preassigned: Assignment = dict(preassigned or {})
-        self.allowed_nodes = allowed_nodes
-        self.candidate_sets = candidate_sets
-        for var in self.preassigned:
-            if not pattern.has_var(var):
-                raise PatternError(f"preassigned variable {var!r} not in pattern")
-        if variable_order is None:
-            layout = plan.layout(self.preassigned)
-        else:
-            order = [var for var in variable_order if var not in self.preassigned]
-            layout = plan.compile_layout(order, frozenset(self.preassigned))
-        self.order: List[str] = list(layout.order)
-        self._steps: List[VarStep] = layout.steps
-        #: Number of consistency checks performed so far (virtual cost).
-        self.ticks = 0
-        #: Number of matches yielded so far.
-        self.match_count = 0
-        self._assignment: Assignment = dict(self.preassigned)
-        self._stack: List[_Frame] = []
-        self._exhausted = False
-        # Hot-loop shortcuts into the compiled index.
-        index = plan.index
-        self._index = index
-        self._edge_labels = index.edge_labels
-        self._node_label_id = index.node_label_id
-        self._preassigned_values = set(self.preassigned.values())
-        # Packed preassigned-value vector, built on first bitset-filtered
-        # allowed-set intersection (pivot images are exempt from allowed).
-        self._exempt_bits_cache: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Consistency
@@ -210,24 +139,6 @@ class MatcherRun:
             labels = edge_labels.get((src, dst))
             if not labels or (label is not None and label not in labels):
                 return False
-        return True
-
-    def _preassignment_consistent(self) -> bool:
-        """Validate labels and edges among the preassigned variables."""
-        for var, node in self.preassigned.items():
-            self.ticks += 1
-            if not self.graph.has_node(node):
-                return False
-            if not node_label_matches(self.pattern.label_of(var), self.graph.label(node)):
-                return False
-        for edge in self.pattern.edges:
-            if edge.src in self.preassigned and edge.dst in self.preassigned:
-                self.ticks += 1
-                labels = self.graph.edge_labels_between(
-                    self.preassigned[edge.src], self.preassigned[edge.dst]
-                )
-                if not edge_label_matches(edge.label, labels):
-                    return False
         return True
 
     # ------------------------------------------------------------------
@@ -469,6 +380,125 @@ class MatcherRun:
         if label is None:  # candidate -> anchor
             return [n for n in bucket if edge_labels.get((n, anchor))]
         return [n for n in bucket if label in edge_labels.get((n, anchor), _NO_LABELS)]
+
+
+class MatcherRun(PoolEngine):
+    """A resumable homomorphism search for one pattern/target pair.
+
+    Parameters
+    ----------
+    pattern:
+        The frozen pattern to match.
+    graph:
+        The target property graph.
+    preassigned:
+        Variable -> node bindings fixed before the search (pivots, or the
+        prefix of a split work unit). Inconsistent preassignments simply
+        yield no matches.
+    allowed_nodes:
+        When given, every variable must map into this set (used for
+        ``dQ``-neighborhood locality). Preassigned nodes are exempt — they
+        define the neighborhood. A plain ``set`` or a
+        :class:`~repro.graph.bitset.NodeBitset`; a bitset packed over this
+        graph's index additionally unlocks word-level pool intersection.
+    variable_order:
+        Search order for the free variables; computed greedily when omitted.
+    candidate_sets:
+        Optional per-variable candidate restrictions (e.g. from
+        :func:`~repro.matching.simulation.simulation_candidates`); a
+        variable absent from the mapping is unrestricted. Values may be
+        plain sets or :class:`~repro.graph.bitset.NodeBitset` views — both
+        produce byte-identical match streams.
+    plan:
+        A precompiled :class:`~repro.matching.plan.MatchPlan` for this
+        pattern over ``graph.index()``. When omitted, the shared plan is
+        fetched from (and cached on) the graph's compiled index — callers
+        spawning many runs from one pattern should fetch it once via
+        :func:`~repro.matching.plan.get_plan` and pass it through.
+    """
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        graph: PropertyGraph,
+        preassigned: Optional[Assignment] = None,
+        allowed_nodes: Optional[AbstractSet[NodeId]] = None,
+        variable_order: Optional[Sequence[str]] = None,
+        candidate_sets: Optional[Dict[str, "CandidateSet"]] = None,
+        plan: Optional[MatchPlan] = None,
+    ) -> None:
+        if not pattern.frozen:
+            pattern.freeze()
+        if (
+            plan is None
+            or plan.index.graph is not graph
+            or plan.index.stale
+            or plan.pattern != pattern
+        ):
+            # Missing, mismatched, or lagging plans (the graph has journaled
+            # mutations the plan's index has not absorbed) are silently
+            # replaced by the shared one — get_plan applies the pending
+            # delta and usually hands the *same* plan object back,
+            # revalidated. A wrong explicit plan must never produce wrong
+            # matches.
+            plan = get_plan(pattern, graph)
+        else:
+            # Same graph, index current: an O(1) epoch check covers the
+            # case where another pattern's lookup already absorbed a delta.
+            plan.revalidate()
+        self.plan = plan
+        self.pattern = pattern
+        self.graph = graph
+        self.preassigned: Assignment = dict(preassigned or {})
+        self.allowed_nodes = allowed_nodes
+        self.candidate_sets = candidate_sets
+        for var in self.preassigned:
+            if not pattern.has_var(var):
+                raise PatternError(f"preassigned variable {var!r} not in pattern")
+        if variable_order is None:
+            layout = plan.layout(self.preassigned)
+        else:
+            order = [var for var in variable_order if var not in self.preassigned]
+            layout = plan.compile_layout(order, frozenset(self.preassigned))
+        self.order: List[str] = list(layout.order)
+        self._steps: List[VarStep] = layout.steps
+        #: Number of consistency checks performed so far (virtual cost).
+        self.ticks = 0
+        #: Number of matches yielded so far.
+        self.match_count = 0
+        self._assignment: Assignment = dict(self.preassigned)
+        self._stack: List[_Frame] = []
+        self._exhausted = False
+        # Hot-loop shortcuts into the compiled index.
+        index = plan.index
+        self._index = index
+        self._edge_labels = index.edge_labels
+        self._node_label_id = index.node_label_id
+        self._preassigned_values = set(self.preassigned.values())
+        # Packed preassigned-value vector, built on first bitset-filtered
+        # allowed-set intersection (pivot images are exempt from allowed).
+        self._exempt_bits_cache: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Consistency
+    # ------------------------------------------------------------------
+    def _preassignment_consistent(self) -> bool:
+        """Validate labels and edges among the preassigned variables."""
+        for var, node in self.preassigned.items():
+            self.ticks += 1
+            if not self.graph.has_node(node):
+                return False
+            if not node_label_matches(self.pattern.label_of(var), self.graph.label(node)):
+                return False
+        for edge in self.pattern.edges:
+            if edge.src in self.preassigned and edge.dst in self.preassigned:
+                self.ticks += 1
+                labels = self.graph.edge_labels_between(
+                    self.preassigned[edge.src], self.preassigned[edge.dst]
+                )
+                if not edge_label_matches(edge.label, labels):
+                    return False
+        return True
 
     # ------------------------------------------------------------------
     # The search itself

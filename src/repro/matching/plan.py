@@ -46,7 +46,7 @@ labels therefore cost it nothing.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..gfd.pattern import Pattern, PatternEdge
 from ..graph.elements import is_wildcard
@@ -57,6 +57,75 @@ from ..graph.index import NO_LABEL, GraphIndex
 #: ``(src_is_self, dst_is_self, src_var, dst_var, label_or_None)`` where a
 #: ``None`` label means wildcard (any edge label satisfies the check).
 EdgeCheck = Tuple[bool, bool, str, str, Optional[str]]
+
+#: A prefix-comparable summary of one :class:`VarStep` — see
+#: :func:`step_signature`.
+StepSignature = Tuple[
+    Optional[str],  # node label (None = wildcard)
+    Optional[str],  # anchor slot (None = component-opening step)
+    bool,  # anchor direction
+    Optional[str],  # anchor edge label (None = wildcard)
+    Tuple[Tuple[str, str, Optional[str]], ...],  # residual checks, sorted
+]
+
+
+def step_signature(
+    step: "VarStep", slot_of: Mapping[str, str], self_slot: str
+) -> StepSignature:
+    """The label/edge-constraint content of *step* in slot space.
+
+    Two steps of different patterns are interchangeable — same candidate
+    pools, same residual-check outcomes — exactly when their signatures are
+    equal under a renaming of already-placed variables to shared *slots*
+    (``slot_of``; the step's own variable maps to *self_slot*). Signatures
+    use label *strings*, not interned ids, so they are stable across index
+    epochs; residual checks are sorted canonically (``_node_ok`` evaluates a
+    conjunction, so check order cannot change its outcome). This is what
+    :class:`repro.matching.ruleset.RuleSetPlan` merges on.
+    """
+    checks = tuple(
+        sorted(
+            (
+                self_slot if src_is_self else slot_of[src_var],
+                self_slot if dst_is_self else slot_of[dst_var],
+                label,
+            )
+            for src_is_self, dst_is_self, src_var, dst_var, label in step.checks
+        )
+    )
+    anchor_slot = None if step.anchor_var is None else slot_of[step.anchor_var]
+    return (
+        step.label_str,
+        anchor_slot,
+        step.anchor_out if anchor_slot is not None else False,
+        step.anchor_label_str if anchor_slot is not None else None,
+        checks,
+    )
+
+
+def step_branch_estimate(index: GraphIndex, step: "VarStep") -> float:
+    """Expected candidates one expansion of *step* contributes.
+
+    An anchored step branches by ``min(label-bucket size, avg adjacency-
+    group size × label selectivity)`` — the same estimate the candidate
+    strategy compares at run time — and an unanchored step by its full
+    label bucket. Shared by :meth:`MatchPlan.estimated_fanout` and the
+    per-trie-node fanout of :class:`repro.matching.ruleset.RuleSetPlan`.
+    """
+    num_nodes = max(1, len(index.nodes))
+    if step.label_id is None:
+        bucket = num_nodes
+    else:
+        bucket = len(index.nodes_with_label_id(step.label_id))
+    if step.anchor_var is None:
+        return float(bucket)
+    if step.anchor_out:
+        fanout = index.avg_out_fanout(step.anchor_label_id)
+    else:
+        fanout = index.avg_in_fanout(step.anchor_label_id)
+    # Anchor candidates must also carry the step's node label; assume
+    # label independence for the selectivity factor.
+    return min(float(bucket), fanout * (bucket / num_nodes))
 
 
 def default_variable_order(
@@ -314,29 +383,11 @@ class MatchPlan:
         :func:`repro.reasoning.workunits.choose_pivot`.
         """
         index = self.index
-        num_nodes = max(1, len(index.nodes))
-
-        def bucket_size(label_id: Optional[int]) -> int:
-            if label_id is None:
-                return num_nodes
-            return len(index.nodes_with_label_id(label_id))
-
         layout = self.layout({pivot_var})
         total = 0.0
         branch = 1.0
         for step in layout.steps:
-            bucket = bucket_size(step.label_id)
-            if step.anchor_var is not None:
-                if step.anchor_out:
-                    fanout = index.avg_out_fanout(step.anchor_label_id)
-                else:
-                    fanout = index.avg_in_fanout(step.anchor_label_id)
-                # Anchor candidates must also carry the step's node label;
-                # assume label independence for the selectivity factor.
-                estimate = min(float(bucket), fanout * (bucket / num_nodes))
-            else:
-                estimate = float(bucket)
-            branch *= estimate
+            branch *= step_branch_estimate(index, step)
             total += branch
             if branch == 0.0:
                 break

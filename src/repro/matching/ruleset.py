@@ -1,0 +1,450 @@
+"""Rule-set compilation: one shared-prefix plan trie for all of Σ.
+
+``seq_sat`` / ``seq_imp`` / ``find_violations`` historically iterated rules
+one at a time, re-matching pattern prefixes that production rule sets share
+heavily — wall time grows linearly in |Σ| even when most of the per-rule
+work is identical. :class:`RuleSetPlan` merges the compiled variable orders
+of *all* patterns in Σ into a trie whose nodes are shared (label,
+edge-constraint) prefixes: each shared prefix is matched **once** per pivot
+and partial assignments fan out only where rules diverge. Leaves carry the
+per-GFD residual — the slot→variable renaming that turns a trie assignment
+back into that rule's match, on which the caller evaluates literals. (The
+same prefix-reuse trick makes CbO/LCM-style closed-set enumeration fast —
+see "LCM from FCA Point of View" in PAPERS.md.)
+
+**Why sharing is sound, per rule and byte-for-byte.** Each rule's root-to-
+leaf path in the trie is exactly its compiled :class:`~repro.matching.plan.
+PlanLayout` order: trie nodes merge on :func:`~repro.matching.plan.
+step_signature`, which equates two steps only when their candidate pools
+and residual checks are indistinguishable under the slot renaming. The walk
+draws candidates from the same :class:`~repro.matching.homomorphism.
+PoolEngine` pools as the per-rule matcher — graph insertion order
+throughout — so the per-GFD *projection* of the interleaved trie stream is
+byte-identical to that rule's own :class:`~repro.matching.homomorphism.
+MatcherRun` stream. Verdicts are then order-independent by the
+Church-Rosser property of the monotone ``Eq`` chase, which is what lets the
+reasoning layers interleave enforcement across rules mid-walk.
+
+**Epoch discipline.** Compiled slot steps intern label ids like
+:class:`~repro.matching.plan.MatchPlan` layouts do, and the same
+absent-label watch-set argument applies: the only delta that can stale the
+trie is a watched absent label appearing (or the index object itself being
+replaced by a compaction rebuild). :meth:`RuleSetPlan.revalidate` is an
+O(1) epoch check on the hot path and rebuilds the trie from the shared
+per-pattern plans otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..gfd.gfd import GFD
+from ..gfd.pattern import Pattern
+from ..graph.elements import NodeId, is_wildcard
+from ..graph.graph import PropertyGraph
+from ..graph.index import NO_LABEL
+from .homomorphism import (
+    Assignment,
+    PoolEngine,
+    edge_label_matches,
+    node_label_matches,
+)
+from .plan import StepSignature, VarStep, get_plan, step_branch_estimate, step_signature
+
+__all__ = [
+    "PIVOT_SLOT",
+    "RuleLeaf",
+    "RuleSetPlan",
+    "RuleSetRun",
+    "TrieNode",
+    "pivot_signature",
+]
+
+#: The slot name of the preassigned pivot variable in pivoted tries.
+PIVOT_SLOT = "@p"
+
+
+def pivot_signature(pattern: Pattern, pivot_var: str) -> Tuple:
+    """The shareable content of a pivot preassignment.
+
+    Two pivoted rules can share one work unit per pivot node exactly when
+    validating the pivot asks the same questions: same node label (or
+    wildcard) and the same multiset of self-loop edge labels. Everything
+    else about the pivot is per-rule residual handled along the trie path.
+    """
+    label = pattern.label_of(pivot_var)
+    self_loops = tuple(
+        sorted(
+            (
+                None if is_wildcard(edge.label) else edge.label
+                for edge in pattern.edges
+                if edge.src == pivot_var and edge.dst == pivot_var
+            ),
+            key=lambda lbl: (lbl is None, str(lbl)),
+        )
+    )
+    return (None if is_wildcard(label) else label, self_loops)
+
+
+class TrieNode:
+    """One shared (label, edge-constraint) prefix step of the trie."""
+
+    __slots__ = ("signature", "step", "children", "leaves", "rules", "depth", "estimated_fanout")
+
+    def __init__(self, signature: StepSignature, step: VarStep, depth: int) -> None:
+        self.signature = signature
+        #: The slot-space :class:`VarStep` executed once for every rule
+        #: passing through this node.
+        self.step = step
+        self.children: Dict[StepSignature, "TrieNode"] = {}
+        self.leaves: List[RuleLeaf] = []
+        #: Names of every rule whose path passes through this node — the
+        #: subtree-skip filter for walks restricted to a unit's group.
+        self.rules: Set[str] = set()
+        self.depth = depth
+        #: Estimated partial assignments alive at this node (prefix product
+        #: of per-step branch estimates) — the scheduler's cost signal.
+        self.estimated_fanout = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"TrieNode(depth={self.depth}, rules={len(self.rules)}, "
+            f"children={len(self.children)}, leaves={len(self.leaves)})"
+        )
+
+
+class RuleLeaf:
+    """Terminal marker of one rule's path: the slot→variable renaming."""
+
+    __slots__ = ("gfd_name", "slot_vars")
+
+    def __init__(self, gfd_name: str, slot_vars: Tuple[Tuple[str, str], ...]) -> None:
+        self.gfd_name = gfd_name
+        self.slot_vars = slot_vars
+
+    def assignment(self, slots: Mapping[str, NodeId]) -> Assignment:
+        return {var: slots[slot] for slot, var in self.slot_vars}
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"RuleLeaf({self.gfd_name})"
+
+
+class RuleSetPlan:
+    """The compiled shared-prefix trie for one rule set over one graph.
+
+    Unpivoted (``pivot_vars is None`` entries absent): paths follow each
+    pattern's whole-graph layout — the sequential reasoning walk. Pivoted
+    (``pivot_vars[name]`` given): paths follow the layout preassigning that
+    rule's pivot variable, mapped to the shared :data:`PIVOT_SLOT` — the
+    work-unit walk, where one (group, pivot-node) unit replaces k
+    near-identical per-rule units.
+    """
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        gfds: Iterable[GFD] = (),
+        pivot_vars: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        self.graph = graph
+        self.index = graph.index()
+        self.epoch = self.index.epoch
+        self.gfds: Dict[str, GFD] = {}
+        self.pivot_vars: Dict[str, str] = {}
+        self.roots: Dict[StepSignature, TrieNode] = {}
+        #: Leaves of rules with no free steps (pivoted single-variable
+        #: patterns): the validated pivot itself is the whole match.
+        self.root_leaves: List[RuleLeaf] = []
+        self._rule_costs: Dict[str, float] = {}
+        self._leaf_count: Dict[str, int] = {}
+        self._absent_labels: Set[str] = set()
+        pivots = pivot_vars or {}
+        for gfd in gfds:
+            self.add(gfd, pivots.get(gfd.name))
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, gfd: GFD, pivot_var: Optional[str] = None) -> None:
+        """Insert one rule's compiled path (O(|Q|); shared prefixes merge)."""
+        name = gfd.name
+        if name in self.gfds:
+            raise ValueError(f"duplicate GFD name in rule set: {name!r}")
+        self.gfds[name] = gfd
+        if pivot_var is not None:
+            self.pivot_vars[name] = pivot_var
+        self._insert(gfd, pivot_var)
+
+    def _insert(self, gfd: GFD, pivot_var: Optional[str]) -> None:
+        name = gfd.name
+        plan = get_plan(gfd.pattern, self.graph)
+        self._absent_labels.update(plan._absent_labels)
+        preassigned = (pivot_var,) if pivot_var is not None else ()
+        layout = plan.layout(preassigned)
+        slot_of: Dict[str, str] = {}
+        if pivot_var is not None:
+            slot_of[pivot_var] = PIVOT_SLOT
+        index = self.index
+        node: Optional[TrieNode] = None
+        cost = 0.0
+        for depth, step in enumerate(layout.steps):
+            self_slot = f"@{depth}"
+            signature = step_signature(step, slot_of, self_slot)
+            children = self.roots if node is None else node.children
+            child = children.get(signature)
+            if child is None:
+                child = TrieNode(signature, self._compile_slot_step(signature, depth), depth)
+                branch_estimate = step_branch_estimate(index, child.step)
+                parent_fanout = 1.0 if node is None else node.estimated_fanout
+                child.estimated_fanout = parent_fanout * branch_estimate
+                children[signature] = child
+            child.rules.add(name)
+            node = child
+            cost += node.estimated_fanout
+            slot_of[step.var] = self_slot
+        slot_vars = tuple((slot, var) for var, slot in slot_of.items())
+        leaf = RuleLeaf(name, slot_vars)
+        if node is None:
+            self.root_leaves.append(leaf)
+        else:
+            node.leaves.append(leaf)
+        self._leaf_count[name] = self._leaf_count.get(name, 0) + 1
+        self._rule_costs[name] = cost
+
+    def _compile_slot_step(self, signature: StepSignature, depth: int) -> VarStep:
+        label_str, anchor_slot, anchor_out, anchor_label_str, checks_sig = signature
+        index = self.index
+        label_id = None if label_str is None else index.label_id(label_str)
+        if anchor_slot is None:
+            anchor_label_id: Optional[int] = NO_LABEL
+        elif anchor_label_str is None:
+            anchor_label_id = None
+        else:
+            anchor_label_id = index.label_id(anchor_label_str)
+        self_slot = f"@{depth}"
+        checks = tuple(
+            (src == self_slot, dst == self_slot, src, dst, label)
+            for src, dst, label in checks_sig
+        )
+        return VarStep(
+            self_slot,
+            label_id,
+            label_str,
+            anchor_slot,
+            anchor_out,
+            anchor_label_id,
+            anchor_label_str,
+            checks,
+        )
+
+    # ------------------------------------------------------------------
+    # Epoch discipline (mirrors MatchPlan.revalidate)
+    # ------------------------------------------------------------------
+    def revalidate(self) -> "RuleSetPlan":
+        """Bring the trie up to the graph's current index state.
+
+        O(1) when nothing changed. A rebuild is needed only when the index
+        object was replaced (compaction) or a watched absent label appeared
+        — interning is append-only, so compiled label ids cannot otherwise
+        stale. Rebuilding re-pulls the shared per-pattern plans, so the
+        trie and the per-rule ablation always agree on layouts.
+        """
+        index = self.graph.index()
+        if index is self.index and index.epoch == self.epoch:
+            return self
+        needs_rebuild = index is not self.index or any(
+            index.label_id(label) != NO_LABEL for label in self._absent_labels
+        )
+        self.index = index
+        self.epoch = index.epoch
+        if needs_rebuild:
+            self._rebuild()
+        return self
+
+    def _rebuild(self) -> None:
+        self.roots = {}
+        self.root_leaves = []
+        self._rule_costs = {}
+        self._leaf_count = {}
+        self._absent_labels = set()
+        for name, gfd in self.gfds.items():
+            self._insert(gfd, self.pivot_vars.get(name))
+
+    # ------------------------------------------------------------------
+    # Cost + grouping signals
+    # ------------------------------------------------------------------
+    def rule_cost(self, name: str) -> float:
+        """Estimated search-tree size of *name*'s path (sum of the prefix
+        products along it) — the per-rule share of a unit's cost."""
+        return self._rule_costs.get(name, 1.0)
+
+    def nodes(self) -> Iterator[TrieNode]:
+        """All trie nodes, preorder (diagnostics and tests)."""
+        stack = list(self.roots.values())
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    # ------------------------------------------------------------------
+    # Walks
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        active: Optional[AbstractSet[str]] = None,
+        pivot_node: Optional[NodeId] = None,
+        allowed_nodes: Optional[AbstractSet[NodeId]] = None,
+    ) -> "RuleSetRun":
+        return RuleSetRun(self, active=active, pivot_node=pivot_node, allowed_nodes=allowed_nodes)
+
+    def matches(
+        self,
+        active: Optional[AbstractSet[str]] = None,
+        pivot_node: Optional[NodeId] = None,
+        allowed_nodes: Optional[AbstractSet[NodeId]] = None,
+    ) -> Iterator[Tuple[str, Assignment]]:
+        """Convenience: one walk's ``(gfd_name, match)`` stream."""
+        return self.run(
+            active=active, pivot_node=pivot_node, allowed_nodes=allowed_nodes
+        ).matches()
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"RuleSetPlan(rules={len(self.gfds)}, roots={len(self.roots)}, "
+            f"pivoted={bool(self.pivot_vars)})"
+        )
+
+
+class RuleSetRun(PoolEngine):
+    """One interleaved walk of the trie — all active rules in one pass.
+
+    Candidate pools and residual checks come from the shared
+    :class:`~repro.matching.homomorphism.PoolEngine`, driven over slot-space
+    steps with a slot-keyed assignment; the per-rule projection of the
+    emitted stream is therefore byte-identical to that rule's own
+    :class:`MatcherRun` (same pools, same insertion order, same checks).
+
+    Parameters mirror the pivoted :class:`MatcherRun` surface: *active*
+    restricts the walk to a subset of rules (a work unit's group; subtrees
+    owned entirely by inactive rules are skipped), *pivot_node* binds the
+    shared :data:`PIVOT_SLOT` (pivoted tries only) and is validated per
+    rule the way ``_preassignment_consistent`` validates a preassignment,
+    and *allowed_nodes* confines every free slot to the unit's dQ-ball —
+    sound for the whole group at the group's maximum radius, by
+    homomorphism data locality (a larger ball only adds nodes no smaller-
+    radius rule can reach).
+    """
+
+    def __init__(
+        self,
+        plan: RuleSetPlan,
+        active: Optional[AbstractSet[str]] = None,
+        pivot_node: Optional[NodeId] = None,
+        allowed_nodes: Optional[AbstractSet[NodeId]] = None,
+    ) -> None:
+        plan.revalidate()
+        self.plan = plan
+        index = plan.index
+        self._index = index
+        self._edge_labels = index.edge_labels
+        self._node_label_id = index.node_label_id
+        self.allowed_nodes = allowed_nodes
+        self.candidate_sets = None
+        self.ticks = 0
+        self.match_count = 0
+        self._assignment: Dict[str, NodeId] = {}
+        if pivot_node is not None:
+            self._assignment[PIVOT_SLOT] = pivot_node
+            self._preassigned_values = {pivot_node}
+        else:
+            self._preassigned_values: Set[NodeId] = set()
+        self._exempt_bits_cache: Optional[int] = None
+        names: Iterable[str] = plan.gfds if active is None else [
+            name for name in plan.gfds if name in active
+        ]
+        if pivot_node is not None:
+            names = [
+                name
+                for name in names
+                if plan.pivot_vars.get(name) is not None
+                and self._pivot_ok(plan.gfds[name], plan.pivot_vars[name], pivot_node)
+            ]
+        self._active: FrozenSet[str] = frozenset(names)
+        #: True when every rule of the plan survived activation — lets the
+        #: walk skip per-node membership filtering entirely.
+        self._all_active = len(self._active) == len(plan.gfds)
+
+    def active_names(self) -> List[str]:
+        """The rules this walk serves (activation ∩ pivot-validated), in
+        plan insertion (Σ) order."""
+        return [name for name in self.plan.gfds if name in self._active]
+
+    # ------------------------------------------------------------------
+    # Pivot validation (the slot-space _preassignment_consistent)
+    # ------------------------------------------------------------------
+    def _pivot_ok(self, gfd: GFD, pivot_var: str, node: NodeId) -> bool:
+        graph = self.plan.graph
+        self.ticks += 1
+        if not graph.has_node(node):
+            return False
+        if not node_label_matches(gfd.pattern.label_of(pivot_var), graph.label(node)):
+            return False
+        for edge in gfd.pattern.edges:
+            if edge.src == pivot_var and edge.dst == pivot_var:
+                self.ticks += 1
+                labels = graph.edge_labels_between(node, node)
+                if not edge_label_matches(edge.label, labels):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # The walk
+    # ------------------------------------------------------------------
+    def matches(self) -> Iterator[Tuple[str, Assignment]]:
+        """Yield ``(gfd_name, match)`` pairs, depth-first over the trie.
+
+        Sibling order is trie insertion order (= Σ order), so the stream is
+        deterministic; per-rule projections equal the per-rule streams.
+        """
+        active = self._active
+        if not active:
+            return
+        assignment = self._assignment
+        for leaf in self.plan.root_leaves:
+            if leaf.gfd_name in active:
+                self.match_count += 1
+                yield leaf.gfd_name, leaf.assignment(assignment)
+        all_active = self._all_active
+        for child in self.plan.roots.values():
+            if all_active or not active.isdisjoint(child.rules):
+                yield from self._walk(child)
+
+    def _walk(self, node: TrieNode) -> Iterator[Tuple[str, Assignment]]:
+        step = node.step
+        active = self._active
+        all_active = self._all_active
+        assignment = self._assignment
+        for candidate in self._candidates(step):
+            if not self._node_ok(step, candidate):
+                continue
+            assignment[step.var] = candidate
+            for leaf in node.leaves:
+                if all_active or leaf.gfd_name in active:
+                    self.match_count += 1
+                    yield leaf.gfd_name, leaf.assignment(assignment)
+            for child in node.children.values():
+                if all_active or not active.isdisjoint(child.rules):
+                    yield from self._walk(child)
+        assignment.pop(step.var, None)

@@ -83,6 +83,17 @@ class RuntimeConfig:
         ops that co-located units rediscover never cross the coordinator
         boundary. ``False`` is the ablation: plain FIFO dispatch to
         whichever worker frees up first.
+    affinity_cost_feedback:
+        Cost-aware pinning: the scheduler consults the
+        :meth:`~repro.parallel.units.UnitContext.unit_cost` estimate
+        (compiled plan/trie fan-out) and spills a locality group's units
+        to the global queue once their owner holds its fair share of the
+        initial queue's estimated cost — oversized groups split across
+        replicas at enqueue time instead of waiting for the fair-share
+        batch cap and work stealing to repair the imbalance.
+        ``ParallelOutcome.affinity_overflows`` counts the spills.
+        ``False`` restores pure first-touch pinning (the ablation).
+        Ignored when ``affinity`` is off.
     adaptive_batch:
         Per-worker adaptive batch sizing: the scheduler grows a worker's
         batch (toward ``max_batch_size``) while round trips come back
@@ -110,6 +121,14 @@ class RuntimeConfig:
         compiled index (default) vs plain sets. Match streams are
         byte-identical either way; the bitset path trades per-node
         membership tests for word-level intersection.
+    use_ruleset_plan:
+        Rule-set compilation: generate one *grouped* work unit per
+        (pivot-signature group, pivot node) and execute it as a single
+        shared-prefix :class:`~repro.matching.ruleset.RuleSetPlan` walk,
+        instead of one unit per (GFD, pivot). Verdicts are unchanged
+        (monotone ``Eq``, Church-Rosser); unit counts, split shapes and
+        virtual timings differ. ``False`` (default) keeps the classic
+        per-rule units — the ablation and the correctness oracle.
     start_method:
         Process backend only: the ``multiprocessing`` start method
         (``'fork'``, ``'spawn'``, ``'forkserver'``). ``None`` (default)
@@ -177,6 +196,7 @@ class RuntimeConfig:
     max_split_units: int = 16
     batch_size: int = 6
     affinity: bool = True
+    affinity_cost_feedback: bool = True
     adaptive_batch: bool = True
     max_batch_size: int = 32
     batch_delta_budget: int = 64
@@ -184,6 +204,7 @@ class RuntimeConfig:
     use_dependency_order: bool = True
     use_simulation_pruning: bool = True
     use_bitsets: bool = True
+    use_ruleset_plan: bool = False
     start_method: Optional[str] = None
     persistent_workers: bool = False
     max_unit_retries: int = 2
@@ -276,6 +297,10 @@ class RuntimeConfig:
     def without_affinity(self) -> "RuntimeConfig":
         """The scheduler ablation: FIFO routing and fixed ``batch_size``."""
         return replace(self, affinity=False, adaptive_batch=False)
+
+    def with_ruleset_plan(self) -> "RuntimeConfig":
+        """Grouped work units through the shared-prefix trie."""
+        return replace(self, use_ruleset_plan=True)
 
     @property
     def batch_size_cap(self) -> int:

@@ -162,10 +162,17 @@ class FaultPlan:
         return self._by_slot.get((worker_id, batch_index))
 
     def poisons(self, unit) -> bool:
-        """Whether *unit* (a :class:`WorkUnit`) is poisoned everywhere."""
+        """Whether *unit* (a :class:`WorkUnit`) is poisoned everywhere.
+
+        Grouped units are poisoned when *any* member GFD is listed — a
+        group containing a poisoned rule must fail wherever the singleton
+        unit would have.
+        """
         if not self.poisoned:
             return False
-        return unit.uid in self.poisoned or unit.gfd_name in self.poisoned
+        if unit.uid in self.poisoned:
+            return True
+        return any(name in self.poisoned for name in unit.gfd_names)
 
     def check_unit(self, unit) -> None:
         """Raise :class:`InjectedFault` if *unit* is poisoned."""

@@ -20,7 +20,11 @@ from ..gfd.canonical import build_implication_canonical
 from ..gfd.gfd import GFD
 from ..reasoning.enforce import EnforcementEngine, consequent_entailed
 from ..reasoning.seqimp import _subsumed_by_eqx
-from ..reasoning.workunits import generate_pruned_work_units, order_units
+from ..reasoning.workunits import (
+    generate_grouped_work_units,
+    generate_pruned_work_units,
+    order_units,
+)
 from .backends import get_backend, resolve_backend_name
 from .config import RuntimeConfig
 from .coordinator import ParallelOutcome
@@ -80,19 +84,29 @@ def par_imp(
         return ParImpResult(True, "derived", None, empty_outcome, eq)
 
     gfds_by_name = {gfd.name: gfd for gfd in sigma}
-    units = generate_pruned_work_units(
-        sigma,
-        canonical.graph,
-        use_simulation=config.use_simulation_pruning,
-        use_bitsets=config.use_bitsets,
-    )
+    if config.use_ruleset_plan:
+        units = generate_grouped_work_units(
+            sigma,
+            canonical.graph,
+            use_simulation=config.use_simulation_pruning,
+            use_bitsets=config.use_bitsets,
+        )
+    else:
+        units = generate_pruned_work_units(
+            sigma,
+            canonical.graph,
+            use_simulation=config.use_simulation_pruning,
+            use_bitsets=config.use_bitsets,
+        )
     if config.use_dependency_order:
         subsumed = {gfd.name for gfd in sigma if _subsumed_by_eqx(gfd, canonical)}
         units = order_units(
             units,
             gfds_by_name,
             canonical.graph,
-            high_priority=lambda unit: unit.gfd_name in subsumed,
+            high_priority=lambda unit: any(
+                name in subsumed for name in unit.gfd_names
+            ),
         )
     context = UnitContext(
         canonical.graph,
@@ -103,6 +117,8 @@ def par_imp(
     # One compiled match plan per GFD, shared across all of its work
     # units; hop maps for hot pivots warmed coordinator-side.
     context.precompile_plans(sigma)
+    if config.use_ruleset_plan:
+        context.ruleset_plan()
     context.precompute_neighborhoods(units)
     engine = EnforcementEngine(eq, gfds_by_name)
 

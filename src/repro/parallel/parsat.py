@@ -26,6 +26,7 @@ from ..matching.component_index import ComponentIndex
 from ..reasoning.enforce import EnforcementEngine
 from ..reasoning.workunits import (
     WorkUnit,
+    generate_grouped_work_units,
     generate_pruned_work_units,
     generate_work_units,
     order_units,
@@ -78,14 +79,24 @@ def par_sat(
     # Coordinator-side pruning: per-component dual simulation discards
     # zero-match pivot candidates before queueing (the paper's
     # simulation-based multi-query optimization, Section V-B).
-    index = ComponentIndex(canonical.graph)
-    units = generate_pruned_work_units(
-        sigma,
-        canonical.graph,
-        index=index,
-        use_simulation=config.use_simulation_pruning,
-        use_bitsets=config.use_bitsets,
-    )
+    if config.use_ruleset_plan:
+        # Rule-set compilation: one grouped unit per (pivot-signature
+        # group, pivot), executed as a single shared-prefix trie walk.
+        units = generate_grouped_work_units(
+            sigma,
+            canonical.graph,
+            use_simulation=config.use_simulation_pruning,
+            use_bitsets=config.use_bitsets,
+        )
+    else:
+        index = ComponentIndex(canonical.graph)
+        units = generate_pruned_work_units(
+            sigma,
+            canonical.graph,
+            index=index,
+            use_simulation=config.use_simulation_pruning,
+            use_bitsets=config.use_bitsets,
+        )
     if config.use_dependency_order:
         units = order_units(units, canonical.gfds, canonical.graph)
     context = UnitContext(
@@ -99,6 +110,8 @@ def par_sat(
     # dQ-neighborhood hop maps for hot pivots — process workers inherit
     # both instead of recomputing them per replica.
     context.precompile_plans(sigma)
+    if config.use_ruleset_plan:
+        context.ruleset_plan()
     context.precompute_neighborhoods(units)
     engine = EnforcementEngine(EqRelation(), canonical.gfds)
     outcome = get_backend(backend_name, config).run(units, context, engine)

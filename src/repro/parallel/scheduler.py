@@ -70,6 +70,16 @@ class Scheduler:
         #: backends always pass one, but a bare Scheduler degrades to FIFO.
         self.affinity = bool(config.affinity and context is not None)
         self._context = context
+        #: Cost feedback: pinning consults the context's per-unit search
+        #: cost estimate (plan/trie ``estimated_fanout``), so an oversized
+        #: locality group spills to the global queue *at enqueue time*
+        #: instead of waiting for the fair-share cap to repair the
+        #: imbalance batch by batch.
+        self.cost_feedback = (
+            self.affinity
+            and config.affinity_cost_feedback
+            and hasattr(context, "unit_cost")
+        )
         self._alive: Set[int] = set(range(workers))
         #: Split sub-units: highest priority, unpinned (any worker).
         self._priority: Deque[WorkUnit] = deque()
@@ -81,6 +91,9 @@ class Scheduler:
         self._owner: Dict[object, int] = {}
         #: Queued pinned units per worker (routing load balance).
         self._pinned_load: List[int] = [0] * workers
+        #: Estimated cost ever pinned to each worker (monotone within a
+        #: worker's lifetime; reset when the worker dies).
+        self._pinned_cost: List[float] = [0.0] * workers
         self._batch: List[int] = [config.batch_size] * workers
         self._size = 0
         # --- stats (exported into ParallelOutcome by the backends) ---
@@ -88,10 +101,20 @@ class Scheduler:
         self.affinity_hits = 0
         #: Pinned units executed away from their owner (work stealing).
         self.affinity_misses = 0
+        #: Units whose locality key's owner was already cost-saturated,
+        #: rerouted to the global queue at enqueue time (cost feedback).
+        self.affinity_overflows = 0
         #: Batch-size changes made by :meth:`observe`.
         self.batch_adaptations = 0
         #: Units re-pinned by :meth:`worker_died`.
         self.reassigned_units = 0
+        #: Total estimated cost of the initial queue — each worker's fair
+        #: cost share is this divided by the number of live workers.
+        self._total_cost = (
+            sum(context.unit_cost(unit) for unit in units)
+            if self.cost_feedback
+            else 0.0
+        )
         for unit in units:
             self._enqueue(unit)
 
@@ -114,14 +137,31 @@ class Scheduler:
             self._owner[key] = owner
         return owner
 
+    def _cost_share(self) -> float:
+        """One worker's fair share of the initial queue's estimated cost."""
+        return self._total_cost / max(1, len(self._alive))
+
     def _enqueue(self, unit: WorkUnit, front: bool = False) -> None:
         key = self._key(unit)
         if key is None:
             queue = self._global
         else:
             owner = self._owner_for(key)
-            queue = self._local[owner]
-            self._pinned_load[owner] += 1
+            cost = self._context.unit_cost(unit) if self.cost_feedback else 0.0
+            if (
+                self.cost_feedback
+                and self._pinned_cost[owner] > 0.0
+                and self._pinned_cost[owner] + cost > self._cost_share()
+            ):
+                # The owner already holds its fair cost share: spill the
+                # rest of this (oversized) locality group to the global
+                # queue so free replicas absorb it immediately.
+                self.affinity_overflows += 1
+                queue = self._global
+            else:
+                queue = self._local[owner]
+                self._pinned_load[owner] += 1
+                self._pinned_cost[owner] += cost
         if front:
             queue.appendleft(unit)
         else:
@@ -249,6 +289,7 @@ class Scheduler:
         orphans = self._local[worker_id]
         self._local[worker_id] = deque()
         self._pinned_load[worker_id] = 0
+        self._pinned_cost[worker_id] = 0.0
         self._size -= len(orphans)
         for key in [key for key, owner in self._owner.items() if owner == worker_id]:
             del self._owner[key]
@@ -279,6 +320,7 @@ class Scheduler:
         """Copy scheduling counters into a :class:`ParallelOutcome`."""
         outcome.affinity_hits = self.affinity_hits
         outcome.affinity_misses = self.affinity_misses
+        outcome.affinity_overflows = self.affinity_overflows
         outcome.batch_adaptations = self.batch_adaptations
         outcome.batch_sizes = self.batch_sizes
 

@@ -84,6 +84,14 @@ class UnitContext:
         self._neighborhoods: Dict[tuple, object] = {}
         self._candidates: Dict[str, Optional[Dict[str, CandidateSet]]] = {}
         self._plans: Dict[str, MatchPlan] = {}
+        #: Lazily-built shared-prefix trie over all pivotable rules, for
+        #: grouped work units (one plan per context; epoch revalidation is
+        #: the walk's responsibility). Excluded from worker pickles — it
+        #: holds compiled, index-bound steps — and rebuilt worker-side on
+        #: first grouped unit.
+        self._ruleset_plan = None
+        #: unit-cost memo: gfd name -> estimated per-pivot search cost.
+        self._unit_costs: Dict[str, float] = {}
         # Graph mutation count the topology caches are valid for; checked
         # lazily at every cache entry point so a context reused across
         # mutations (any backend, or direct execute_unit) never serves
@@ -122,6 +130,9 @@ class UnitContext:
         self._candidates.clear()
         self._locality_keys.clear()
         self._degrees.clear()
+        # Cost estimates are topology-derived too; the trie itself is kept
+        # (its walks revalidate against the index epoch on entry).
+        self._unit_costs.clear()
         self._topology_version = self.graph.mutation_count
         # Re-derive the size-gated simulation decision: deltas may have
         # grown the graph past SIMULATION_NODE_LIMIT (or a caller may
@@ -137,6 +148,64 @@ class UnitContext:
         worker-side unit execution never pays compilation latency."""
         for gfd in self.gfds.values() if gfds is None else gfds:
             self.plan_for(gfd)
+
+    def ruleset_plan(self):
+        """The shared-prefix trie over all pivotable registered rules.
+
+        Built once per context (O(Σ|Q|), pulling the same cached per-rule
+        plans as :meth:`plan_for`, so trie paths and per-rule layouts
+        always agree) and revalidated against the index epoch by every
+        walk. Pivot variables come from the same deterministic
+        :func:`~repro.reasoning.workunits.choose_pivot` the grouped unit
+        generator uses, so a unit's ``group`` and the trie's pivoted paths
+        line up on any replica holding an identical graph. Trivial and
+        disconnected rules are excluded — the former execute as no-ops,
+        the latter keep classic ungrouped units.
+        """
+        if self._ruleset_plan is None:
+            from ..matching.ruleset import RuleSetPlan
+            from ..reasoning.workunits import choose_pivot
+
+            plan = RuleSetPlan(self.graph)
+            for gfd in self.gfds.values():
+                if gfd.is_trivial() or not gfd.pattern.is_connected():
+                    continue
+                plan.add(gfd, choose_pivot(gfd, self.graph))
+            self._ruleset_plan = plan
+        return self._ruleset_plan
+
+    def unit_cost(self, unit: WorkUnit) -> float:
+        """Estimated per-pivot search cost of *unit* — the scheduler's
+        cost-feedback signal for fair pinned-load balancing.
+
+        Grouped units sum their members' trie-path costs (prefix products
+        of per-node branch estimates, shared prefixes counted per rule);
+        classic units use the compiled per-rule plan's pivoted fan-out
+        estimate. Memoized per rule name — every unit of one rule shares
+        the pivot variable, hence the estimate.
+        """
+        cost = 0.0
+        grouped = bool(unit.group)
+        for name in unit.gfd_names:
+            cached = self._unit_costs.get(name)
+            if cached is None:
+                gfd = self.gfds.get(name)
+                if gfd is None or gfd.is_trivial():
+                    # Unregistered rules (bare contexts in tests, foreign
+                    # units) cost one flat unit — routing still balances.
+                    cached = 1.0
+                elif grouped:
+                    cached = 1.0 + self.ruleset_plan().rule_cost(name)
+                else:
+                    bound = [var for var, _ in unit.assignment
+                             if var in gfd.pattern.variables]
+                    if bound:
+                        cached = 1.0 + self.plan_for(gfd).estimated_fanout(bound[0])
+                    else:
+                        cached = 1.0
+                self._unit_costs[name] = cached
+            cost += cached
+        return cost
 
     def _ensure_current(self) -> None:
         """Drop topology caches if the graph has mutated since last use."""
@@ -254,9 +323,13 @@ class UnitContext:
         state = dict(self.__dict__)
         state["_plans"] = {}
         state["_neighborhoods"] = {}
+        # The compiled trie binds the coordinator's index object; workers
+        # rebuild it lazily (O(Σ|Q|)) from the shipped graph snapshot.
+        state["_ruleset_plan"] = None
         # Affinity routing runs coordinator-side only; workers never ask.
         state["_locality_keys"] = {}
         state["_degrees"] = {}
+        state["_unit_costs"] = {}
         state["_candidates"] = {
             name: sim
             if sim is None
@@ -326,8 +399,13 @@ def execute_unit(
     *engine* wraps the (shared) ``Eq`` and inverted index; *goal_check* is
     the implication variant's ``Y ⊆ Eq_H`` test, evaluated after every
     change. The returned result carries exact operation counts for the
-    simulated cost model.
+    simulated cost model. Grouped units (``unit.group``) take the
+    shared-prefix trie path instead of the per-rule matcher.
     """
+    if unit.group:
+        return _execute_grouped_unit(
+            unit, context, engine, ttl_ticks=ttl_ticks, goal_check=goal_check
+        )
     gfd = context.gfds[unit.gfd_name]
     result = UnitResult(unit)
     if gfd.is_trivial():
@@ -374,6 +452,70 @@ def execute_unit(
                 )
             # Reset the straggler clock (paper: "resets τ = 0").
             next_split_at = run.ticks + (ttl_ticks or 0)
+    result.match_ticks = run.ticks
+    result.enforce_ops = engine.ops - ops_before
+    result.delta_ops = eq.log_position() - delta_mark
+    return result
+
+
+def _execute_grouped_unit(
+    unit: WorkUnit,
+    context: UnitContext,
+    engine: EnforcementEngine,
+    ttl_ticks: Optional[float] = None,
+    goal_check: Optional[Callable[[EqRelation], bool]] = None,
+) -> UnitResult:
+    """Run one grouped unit: all member rules in a single trie walk.
+
+    The shared ``dQ``-ball (the unit's maximum member radius) confines
+    every free slot; the walk validates the pivot per rule and enforces
+    each emitted ``(rule, match)`` pair as it appears — the pipelined
+    shape, across the whole group.
+
+    Straggler handling degroups instead of prefix-splitting: when the walk
+    exceeds the TTL budget, it stops and one *ungrouped* per-rule unit per
+    surviving member is emitted at generation+1. Those re-run their full
+    per-pivot search through the classic matcher path (with its ordinary
+    prefix splitting); re-enforcing matches the aborted walk already
+    produced is a no-op on the monotone ``Eq``.
+    """
+    result = UnitResult(unit)
+    eq = engine.eq
+    if eq.has_conflict():
+        result.conflict = True
+        result.completed = False
+        return result
+    plan = context.ruleset_plan()
+    pivot = unit.pivot_node()
+    allowed = context.allowed_nodes(pivot, unit.radius) if pivot is not None else None
+    run = plan.run(
+        active=frozenset(unit.group), pivot_node=pivot, allowed_nodes=allowed
+    )
+    ops_before = engine.ops
+    delta_mark = eq.log_position()
+    for name, match in run.matches():
+        result.matches += 1
+        engine.enforce(context.gfds[name], match)
+        if eq.has_conflict():
+            result.conflict = True
+            result.completed = False
+            break
+        if goal_check is not None and goal_check(eq):
+            result.goal_reached = True
+            result.completed = False
+            break
+        if ttl_ticks is not None and run.ticks > ttl_ticks:
+            for member in run.active_names():
+                pivot_var = plan.pivot_vars[member]
+                result.splits.append(
+                    WorkUnit.make(
+                        member,
+                        {pivot_var: pivot},
+                        radius=context.gfds[member].pattern.eccentricity(pivot_var),
+                        generation=unit.generation + 1,
+                    )
+                )
+            break
     result.match_ticks = run.ticks
     result.enforce_ops = engine.ops - ops_before
     result.delta_ops = eq.log_position() - delta_mark

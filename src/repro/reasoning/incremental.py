@@ -68,7 +68,12 @@ class IncrementalStep:
 class IncrementalSat:
     """SeqSat state that survives GFD additions."""
 
-    def __init__(self, sigma: Iterable[GFD] = (), use_bitsets: bool = True) -> None:
+    def __init__(
+        self,
+        sigma: Iterable[GFD] = (),
+        use_bitsets: bool = True,
+        use_ruleset_plan: bool = False,
+    ) -> None:
         self.graph = PropertyGraph()
         self.eq = EqRelation()
         self.engine = EnforcementEngine(self.eq, {}, InvertedIndex())
@@ -79,6 +84,11 @@ class IncrementalSat:
         #: ``allowed_nodes`` restrictions (packed bitsets over the graph's
         #: delta-maintained index vs plain sets; identical match streams).
         self.use_bitsets = use_bitsets
+        #: Match through one shared-prefix :class:`~repro.matching.ruleset.
+        #: RuleSetPlan` trie (grown rule by rule, revalidated against the
+        #: delta-maintained index each step) instead of per-rule loops.
+        self.use_ruleset_plan = use_ruleset_plan
+        self._ruleset = None
         self.steps: List[IncrementalStep] = []
         for gfd in sigma:
             self.add(gfd)
@@ -125,6 +135,14 @@ class IncrementalSat:
         # starts from a current index and surviving plans.
         delta_ops = self.graph.pending_delta_ops
         self.graph.index()
+        if self.use_ruleset_plan and not gfd.is_trivial():
+            # Grow the persistent trie by this rule's path (O(|Q|)); the
+            # walk revalidates against the delta-maintained index itself.
+            if self._ruleset is None:
+                from ..matching.ruleset import RuleSetPlan
+
+                self._ruleset = RuleSetPlan(self.graph)
+            self._ruleset.add(gfd)
         if not gfd.pattern.is_connected():
             self._has_disconnected = True
         if self._has_disconnected:
@@ -168,6 +186,8 @@ class IncrementalSat:
         return self.graph.index().bitset(nodes)
 
     def _incremental_step(self, gfd: GFD, new_nodes: Set[NodeId]) -> IncrementalStep:
+        if self._ruleset is not None:
+            return self._incremental_step_ruleset(gfd, new_nodes)
         matches = 0
         # (a) Existing connected patterns inside the new component.
         allowed_new = self._allowed(new_nodes)
@@ -203,11 +223,53 @@ class IncrementalSat:
                         return IncrementalStep(gfd.name, False, self.eq.conflict, matches)
         return IncrementalStep(gfd.name, True, None, matches)
 
+    def _incremental_step_ruleset(
+        self, gfd: GFD, new_nodes: Set[NodeId]
+    ) -> IncrementalStep:
+        """The incremental step through one shared-prefix trie.
+
+        Same two match sets as the per-rule step, each in one walk:
+        (a) every *existing* rule restricted to the new component, and
+        (b) the new rule across the whole ``GΣ`` — whole-graph instead of
+        per component, sound and stream-identical because a connected
+        pattern cannot cross components and candidate pools iterate in
+        insertion order (components are contiguous). The verdict is
+        order-independent under interleaved enforcement (monotone ``Eq``).
+        """
+        matches = 0
+        existing = frozenset(self._ruleset.gfds) - {gfd.name}
+        if existing:
+            run = self._ruleset.run(
+                active=existing, allowed_nodes=self._allowed(new_nodes)
+            )
+            for name, assignment in run.matches():
+                matches += 1
+                self.engine.enforce(self._gfds[name], assignment)
+                if self.eq.has_conflict():
+                    return IncrementalStep(gfd.name, False, self.eq.conflict, matches)
+        if not gfd.is_trivial():
+            run = self._ruleset.run(active={gfd.name})
+            for _, assignment in run.matches():
+                matches += 1
+                self.engine.enforce(gfd, assignment)
+                if self.eq.has_conflict():
+                    return IncrementalStep(gfd.name, False, self.eq.conflict, matches)
+        return IncrementalStep(gfd.name, True, None, matches)
+
     def _recompute(self, trigger_name: str) -> IncrementalStep:
         """Sound fallback: rebuild Eq from scratch over the full ``GΣ``."""
         self.eq = EqRelation()
         self.engine = EnforcementEngine(self.eq, dict(self._gfds), InvertedIndex())
         matches = 0
+        if self._ruleset is not None:
+            for name, assignment in self._ruleset.matches():
+                matches += 1
+                self.engine.enforce(self._gfds[name], assignment)
+                if self.eq.has_conflict():
+                    return IncrementalStep(
+                        trigger_name, False, self.eq.conflict, matches, recomputed=True
+                    )
+            return IncrementalStep(trigger_name, True, None, matches, recomputed=True)
         for gfd in self._gfds.values():
             if gfd.is_trivial():
                 continue

@@ -87,12 +87,17 @@ def seq_imp(
     use_dependency_order: bool = True,
     use_simulation_pruning: bool = True,
     use_bitsets: bool = True,
+    use_ruleset_plan: bool = False,
 ) -> ImpResult:
     """Decide whether ``Σ |= φ`` (exact).
 
     *use_bitsets* picks the candidate-set representation for the
     simulation pre-filter (packed bitsets vs plain sets; byte-identical
-    match streams either way).
+    match streams either way). *use_ruleset_plan* enforces all of Σ in one
+    shared-prefix trie walk over ``G^X_Q`` instead of the per-rule loop
+    (the ablation/oracle); the conflict/derivation checks fire after every
+    enforcement exactly as in the per-rule path, and the verdict is
+    order-independent (monotone ``Eq``, Church-Rosser).
     """
     started = time.perf_counter()
     stats = ImpStats(sigma_size=len(sigma))
@@ -122,6 +127,31 @@ def seq_imp(
         ordered = sorted(ordered, key=lambda gfd: gfd.name not in subsumed)
     else:
         ordered = list(sigma)
+
+    if use_ruleset_plan:
+        from ..matching.ruleset import RuleSetPlan
+
+        ruleset = RuleSetPlan(
+            canonical.graph, (gfd for gfd in ordered if not gfd.is_trivial())
+        )
+        run = ruleset.run()
+        for name, assignment in run.matches():
+            stats.matches += 1
+            changed = engine.enforce(gfds_by_name[name], assignment)
+            if eq.has_conflict():
+                stats.match_ticks += run.ticks
+                stats.enforcement = engine.stats
+                stats.wall_seconds = time.perf_counter() - started
+                return ImpResult(True, "conflict", eq.conflict, eq, stats)
+            if changed and consequent_entailed(eq, phi, identity):
+                stats.match_ticks += run.ticks
+                stats.enforcement = engine.stats
+                stats.wall_seconds = time.perf_counter() - started
+                return ImpResult(True, "derived", None, eq, stats)
+        stats.match_ticks += run.ticks
+        stats.enforcement = engine.stats
+        stats.wall_seconds = time.perf_counter() - started
+        return ImpResult(False, "not-implied", None, eq, stats)
 
     for gfd in ordered:
         if gfd.is_trivial():

@@ -75,6 +75,7 @@ def seq_sat(
     use_dependency_order: bool = True,
     use_simulation_pruning: bool = True,
     use_bitsets: bool = True,
+    use_ruleset_plan: bool = False,
 ) -> SatResult:
     """Decide whether *sigma* is satisfiable (exact).
 
@@ -83,17 +84,28 @@ def seq_sat(
     *use_simulation_pruning* pre-filters candidates by dual simulation;
     *use_bitsets* picks the candidate-set representation (packed
     :class:`~repro.graph.bitset.NodeBitset` vectors vs plain sets — both
-    produce byte-identical match streams).
+    produce byte-identical match streams). *use_ruleset_plan* compiles Σ
+    into one shared-prefix :class:`~repro.matching.ruleset.RuleSetPlan`
+    trie and enforces all rules in a single whole-graph walk — per-rule
+    match streams are byte-identical to the per-rule loop (the ablation
+    and correctness oracle), and the verdict is order-independent by the
+    Church-Rosser property of the monotone ``Eq`` chase.
     """
     started = time.perf_counter()
     stats = SatStats(gfds=len(sigma))
     canonical = build_canonical_graph(sigma)
     eq = EqRelation()
     engine = EnforcementEngine(eq, canonical.gfds, InvertedIndex())
-    index = ComponentIndex(canonical.graph)
 
     ordered = gfd_dependency_order(sigma) if use_dependency_order else list(sigma)
     conflict: Optional[Conflict] = None
+    if use_ruleset_plan:
+        conflict = _enforce_ruleset_everywhere(ordered, canonical, engine, stats)
+        stats.enforcement = engine.stats
+        stats.wall_seconds = time.perf_counter() - started
+        return SatResult(conflict is None, conflict, eq, canonical, stats, engine)
+
+    index = ComponentIndex(canonical.graph)
     # comp_id -> allowed-nodes bitset over the canonical graph's index,
     # shared across GFDs (each component is re-matched once per GFD).
     allowed_cache: dict = {}
@@ -109,6 +121,41 @@ def seq_sat(
     stats.enforcement = engine.stats
     stats.wall_seconds = time.perf_counter() - started
     return SatResult(conflict is None, conflict, eq, canonical, stats, engine)
+
+
+def _enforce_ruleset_everywhere(
+    ordered: Sequence[GFD],
+    canonical: CanonicalGraph,
+    engine: EnforcementEngine,
+    stats: SatStats,
+) -> Optional[Conflict]:
+    """Enforce every rule of Σ in one shared-prefix trie walk over ``GΣ``.
+
+    Replaces the per-(GFD, component) loop: one whole-graph walk visits
+    each shared prefix once, and per-component scoping is subsumed because
+    a connected pattern cannot match across components and candidate pools
+    iterate in insertion order (component ranges are contiguous in ``GΣ``).
+    Dual-simulation pruning and component signature filters are sound
+    restrictions — dropping them changes tick counts, never the per-rule
+    match stream. Enforcement interleaves across rules mid-walk; the
+    verdict agrees with any per-rule order (monotone ``Eq``, Church-
+    Rosser).
+    """
+    from ..matching.ruleset import RuleSetPlan
+
+    eq = engine.eq
+    ruleset = RuleSetPlan(
+        canonical.graph, (gfd for gfd in ordered if not gfd.is_trivial())
+    )
+    run = ruleset.run()
+    for name, assignment in run.matches():
+        stats.matches += 1
+        engine.enforce(canonical.gfds[name], assignment)
+        if eq.has_conflict():
+            stats.match_ticks += run.ticks
+            return eq.conflict
+    stats.match_ticks += run.ticks
+    return None
 
 
 def _enforce_gfd_everywhere(

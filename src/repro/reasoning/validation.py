@@ -111,10 +111,40 @@ def graph_satisfies_sigma(graph: PropertyGraph, sigma: Sequence[GFD]) -> bool:
 
 
 def detect_errors(
-    graph: PropertyGraph, sigma: Sequence[GFD], limit_per_gfd: Optional[int] = None
+    graph: PropertyGraph,
+    sigma: Sequence[GFD],
+    limit_per_gfd: Optional[int] = None,
+    use_ruleset_plan: bool = False,
 ) -> List[Violation]:
     """All violations of *sigma* in *graph* — the error-detection workload
-    that motivates validating rule sets before use (paper, Section I)."""
+    that motivates validating rule sets before use (paper, Section I).
+
+    With *use_ruleset_plan* the whole rule set is matched in one
+    shared-prefix trie walk; violations are collected per GFD during the
+    walk and concatenated in Σ order, so the returned list is identical to
+    the per-rule loop's (per-GFD streams are byte-identical and the
+    ``limit_per_gfd`` cap applies to the same prefix of each stream).
+    """
+    if use_ruleset_plan:
+        from ..matching.ruleset import RuleSetPlan
+
+        ruleset = RuleSetPlan(graph, (gfd for gfd in sigma if not gfd.is_trivial()))
+        per_gfd: Dict[str, List[Violation]] = {name: [] for name in ruleset.gfds}
+        for name, assignment in ruleset.matches():
+            bucket = per_gfd[name]
+            if limit_per_gfd is not None and len(bucket) >= limit_per_gfd:
+                continue
+            gfd = ruleset.gfds[name]
+            if not match_satisfies(graph, gfd.antecedent, assignment):
+                continue
+            if match_satisfies(graph, gfd.consequent, assignment):
+                continue
+            bucket.append(Violation(name, dict(assignment)))
+        return [
+            violation
+            for gfd in sigma
+            for violation in per_gfd.get(gfd.name, ())
+        ]
     errors: List[Violation] = []
     for gfd in sigma:
         errors.extend(find_violations(graph, gfd, limit=limit_per_gfd))

@@ -35,22 +35,36 @@ class WorkUnit:
     Attributes
     ----------
     gfd_name:
-        Which GFD of ``Σ`` this unit enforces.
+        Which GFD of ``Σ`` this unit enforces. For a *grouped* unit (see
+        ``group``) this is the group's first member, kept so every
+        single-rule code path (priorities, diagnostics) stays meaningful.
     assignment:
         Preassigned bindings, as a sorted tuple of (variable, node) pairs.
         A fresh unit binds just the pivot; a split unit binds a longer
-        prefix (paper, Example 6).
+        prefix (paper, Example 6). Grouped units bind the shared
+        :data:`~repro.matching.ruleset.PIVOT_SLOT` instead of a per-rule
+        variable name.
     radius:
         The ``dQ`` locality radius around the pivot node, or None when the
-        unit is unrestricted (disconnected patterns).
+        unit is unrestricted (disconnected patterns). For grouped units
+        this is the *maximum* member radius — sound for every member by
+        homomorphism data locality (a larger ball only adds nodes a
+        smaller-radius pattern cannot reach from the pivot).
     generation:
         0 for coordinator-created units, parent+1 for split sub-units.
+    group:
+        Names of *all* GFDs this unit enforces through one shared-prefix
+        :class:`~repro.matching.ruleset.RuleSetPlan` walk, in Σ order.
+        Empty for classic per-rule units — and excluded from the uid
+        payload in that case, so pre-existing uids (pinned in fault-plan
+        scripts and bench baselines) are unchanged.
     """
 
     gfd_name: str
     assignment: Tuple[Tuple[str, NodeId], ...]
     radius: Optional[int] = None
     generation: int = 0
+    group: Tuple[str, ...] = ()
 
     @staticmethod
     def make(
@@ -58,9 +72,10 @@ class WorkUnit:
         assignment: Mapping[str, NodeId],
         radius: Optional[int] = None,
         generation: int = 0,
+        group: Tuple[str, ...] = (),
     ) -> "WorkUnit":
         pairs = tuple(sorted(assignment.items(), key=lambda kv: kv[0]))
-        return WorkUnit(gfd_name, pairs, radius, generation)
+        return WorkUnit(gfd_name, pairs, radius, generation, group)
 
     def assignment_dict(self) -> Dict[str, NodeId]:
         return dict(self.assignment)
@@ -72,6 +87,11 @@ class WorkUnit:
         return self.assignment[0][1]
 
     @property
+    def gfd_names(self) -> Tuple[str, ...]:
+        """Every GFD this unit enforces (the group, or the single rule)."""
+        return self.group or (self.gfd_name,)
+
+    @property
     def uid(self) -> str:
         """A stable content-derived identifier.
 
@@ -81,12 +101,16 @@ class WorkUnit:
         Units with equal fields — which the frozen dataclass treats as the
         same unit — share a uid.
         """
-        payload = repr((self.gfd_name, self.assignment, self.radius, self.generation))
+        fields = (self.gfd_name, self.assignment, self.radius, self.generation)
+        if self.group:
+            fields = fields + (self.group,)
+        payload = repr(fields)
         return hashlib.blake2s(payload.encode("utf-8"), digest_size=10).hexdigest()
 
     def __str__(self) -> str:
         bound = ", ".join(f"{var}→{node}" for var, node in self.assignment)
-        return f"({self.gfd_name}[{bound}], r={self.radius}, g{self.generation})"
+        head = f"{len(self.group)} rules" if self.group else self.gfd_name
+        return f"({head}[{bound}], r={self.radius}, g{self.generation})"
 
 
 def choose_pivot(gfd: GFD, graph: PropertyGraph, use_plan: bool = True) -> str:
@@ -208,6 +232,77 @@ def generate_pruned_work_units(
     return units
 
 
+def generate_grouped_work_units(
+    sigma: Sequence[GFD],
+    graph: PropertyGraph,
+    use_simulation: bool = True,
+    use_bitsets: bool = True,
+) -> List[WorkUnit]:
+    """Work units grouped by shareable pivot: one unit per (group, pivot).
+
+    Connected patterns whose pivots ask the same validation questions —
+    equal :func:`~repro.matching.ruleset.pivot_signature` — share a single
+    unit per pivot node, executed as one
+    :class:`~repro.matching.ruleset.RuleSetPlan` walk instead of k
+    near-identical per-rule searches. The group's pivot candidates are the
+    union of the members' (simulation-pruned) candidates; rules the pivot
+    cannot serve are filtered per node by the walk's pivot validation.
+    Trivial rules contribute no unit (their execution is a no-op), and
+    disconnected patterns keep their classic ungrouped per-rule units.
+    """
+    from ..matching.component_index import ComponentIndex
+    from ..matching.ruleset import pivot_signature
+    from ..matching.simulation import simulation_candidates
+
+    index = ComponentIndex(graph)
+    units: List[WorkUnit] = []
+    # signature -> (member names in Σ order, max radius, candidate union).
+    groups: Dict[tuple, List[str]] = {}
+    radii: Dict[tuple, int] = {}
+    candidates: Dict[tuple, Set[NodeId]] = {}
+    for gfd in sigma:
+        if gfd.is_trivial():
+            continue
+        pivot = choose_pivot(gfd, graph)
+        if not gfd.pattern.is_connected():
+            for node in pivot_candidates(gfd, pivot, graph):
+                units.append(WorkUnit.make(gfd.name, {pivot: node}, radius=None))
+            continue
+        radius = gfd.pattern.eccentricity(pivot)
+        allowed: Set[NodeId] = set()
+        if use_simulation:
+            for comp_id in range(index.num_components()):
+                if not index.pattern_compatible(gfd.pattern, comp_id):
+                    continue
+                simulation = simulation_candidates(
+                    gfd.pattern, index.subgraph(comp_id), use_bitsets=use_bitsets
+                )
+                if simulation is not None:
+                    allowed.update(simulation[pivot])
+        else:
+            allowed.update(
+                node
+                for node in pivot_candidates(gfd, pivot, graph)
+                if index.compatible_with_pivot(gfd.pattern, node)
+            )
+        signature = pivot_signature(gfd.pattern, pivot)
+        groups.setdefault(signature, []).append(gfd.name)
+        radii[signature] = max(radii.get(signature, 0), radius)
+        candidates.setdefault(signature, set()).update(allowed)
+    from ..matching.ruleset import PIVOT_SLOT
+
+    for signature, names in groups.items():
+        group = tuple(names)
+        radius = radii[signature]
+        for node in sorted(candidates[signature], key=str):
+            units.append(
+                WorkUnit.make(
+                    group[0], {PIVOT_SLOT: node}, radius=radius, group=group
+                )
+            )
+    return units
+
+
 # ----------------------------------------------------------------------
 # Dependency graphs
 # ----------------------------------------------------------------------
@@ -257,6 +352,8 @@ def unit_dependency_edges(
     ``w1 -> w2`` when (a) attrs(Y1) ∩ attrs(X2) ≠ ∅ and (b) pivot(w2) lies
     within ``d_{Q1}`` hops of pivot(w1). Distances are computed per BFS from
     each distinct pivot — cheap because canonical-graph components are tiny.
+    Grouped units take the union over their members on both sides of the
+    attribute test (any member may produce or consume).
     """
     edges: Dict[int, Set[int]] = defaultdict(set)
     # Group unit indices by pivot node for distance reuse.
@@ -265,10 +362,22 @@ def unit_dependency_edges(
         pivot = unit.pivot_node()
         if pivot is not None:
             by_pivot[pivot].append(index)
+
+    def produced_attrs(unit: WorkUnit) -> Set[str]:
+        attrs: Set[str] = set()
+        for name in unit.gfd_names:
+            attrs |= sigma_by_name[name].consequent_attributes()
+        return attrs
+
+    def consumed_attrs(unit: WorkUnit) -> Set[str]:
+        attrs: Set[str] = set()
+        for name in unit.gfd_names:
+            attrs |= sigma_by_name[name].antecedent_attributes()
+        return attrs
+
     hop_cache: Dict[Tuple[NodeId, int], Dict[NodeId, int]] = {}
     for index, unit in enumerate(units):
-        producer = sigma_by_name[unit.gfd_name]
-        produced = producer.consequent_attributes()
+        produced = produced_attrs(unit)
         if not produced:
             continue
         pivot = unit.pivot_node()
@@ -285,8 +394,7 @@ def unit_dependency_edges(
             for other_index in other_indices:
                 if other_index == index:
                     continue
-                consumer = sigma_by_name[units[other_index].gfd_name]
-                if produced & consumer.antecedent_attributes():
+                if produced & consumed_attrs(units[other_index]):
                     edges[index].add(other_index)
     return dict(edges)
 
@@ -302,9 +410,12 @@ def order_units(
     *high_priority* marks units to put at the front regardless of
     dependencies among equals (empty-antecedent units by default; the
     implication variant passes "antecedent subsumed by Eq_X" instead).
+    Grouped units are high-priority when any member is.
     """
     if high_priority is None:
-        high_priority = lambda unit: sigma_by_name[unit.gfd_name].has_empty_antecedent()
+        high_priority = lambda unit: any(
+            sigma_by_name[name].has_empty_antecedent() for name in unit.gfd_names
+        )
     edges = unit_dependency_edges(units, sigma_by_name, graph)
     indices = list(range(len(units)))
     edge_map = {i: set(edges.get(i, ())) for i in indices}

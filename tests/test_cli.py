@@ -82,6 +82,12 @@ class TestSat:
         assert main(["sat", sat_file, "--parallel", "2", "--no-affinity"]) == 0
         capsys.readouterr()
 
+    def test_ruleset_plan_flag(self, sat_file, unsat_file, capsys):
+        assert main(["sat", sat_file, "--ruleset-plan"]) == 0
+        assert main(["sat", unsat_file, "--ruleset-plan"]) == EXIT_NEGATIVE
+        assert main(["sat", sat_file, "--parallel", "2", "--ruleset-plan"]) == 0
+        capsys.readouterr()
+
     def test_invalid_batch_size_rejected(self, sat_file, capsys):
         # RuntimeConfigError is a ReproError: a clean exit-2, no traceback.
         assert main(["sat", sat_file, "--parallel", "2", "--batch-size", "0"]) == 2
@@ -158,6 +164,14 @@ class TestDetect:
         rules.write_text("gfd g { x: a; when x.A = 1; then x.B = 2; }")
         assert main(["detect", graph_file, str(rules)]) == EXIT_NEGATIVE
         assert "violated" in capsys.readouterr().out
+
+    def test_ruleset_plan_same_violations(self, graph_file, tmp_path, capsys):
+        rules = tmp_path / "rules.gfd"
+        rules.write_text("gfd g { x: a; when x.A = 1; then x.B = 2; }")
+        assert main(["detect", graph_file, str(rules)]) == EXIT_NEGATIVE
+        per_rule = capsys.readouterr().out
+        assert main(["detect", graph_file, str(rules), "--ruleset-plan"]) == EXIT_NEGATIVE
+        assert capsys.readouterr().out == per_rule
 
     def test_clean_graph(self, graph_file, tmp_path, capsys):
         rules = tmp_path / "rules.gfd"

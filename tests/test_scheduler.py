@@ -101,14 +101,32 @@ class TestAffinityRouting:
     def test_stealing_keeps_workers_busy(self):
         context = hub_context(num_hubs=1, spokes=4)
         units = [spoke_unit(0, s) for s in range(4)]
-        scheduler = Scheduler(units, RuntimeConfig(workers=2, batch_size=2), context)
-        # All four units pin to one worker; the other must steal.
+        # Cost feedback off: all four units pin to one worker at enqueue
+        # time, so the other worker must steal to stay busy.
+        config = RuntimeConfig(workers=2, batch_size=2, affinity_cost_feedback=False)
+        scheduler = Scheduler(units, config, context)
         got = []
         for wid in (0, 1, 1, 0):
             got.extend(scheduler.next_batch(wid))
         assert len(got) == 4
         assert len(scheduler) == 0
         assert scheduler.affinity_misses > 0
+
+    def test_cost_feedback_spills_oversized_group(self):
+        context = hub_context(num_hubs=1, spokes=4)
+        units = [spoke_unit(0, s) for s in range(4)]
+        # Cost feedback on (default): once the owner holds its fair share
+        # of the estimated cost, the rest of the hub's group spills to the
+        # global queue — the second worker serves it without stealing.
+        scheduler = Scheduler(units, RuntimeConfig(workers=2, batch_size=2), context)
+        assert scheduler.affinity_overflows > 0
+        got = []
+        for wid in (0, 1, 1, 0):
+            got.extend(scheduler.next_batch(wid))
+        assert len(got) == 4
+        assert len(scheduler) == 0
+        assert scheduler.affinity_misses == 0
+        assert {u.pivot_node() for u in got} == {u.pivot_node() for u in units}
 
     def test_fair_share_caps_batches(self):
         context = hub_context(num_hubs=1, spokes=4)

@@ -140,6 +140,27 @@ BENCHES: Dict[str, Dict] = {
             ("index_maintenance.delta.total_seconds", "seconds"),
         ],
     },
+    "ruleset": {
+        # Deterministic |Σ| ∈ {8, 64} sigma-sweep smoke: shared-prefix
+        # trie vs the per-rule ablation. The script itself exits nonzero
+        # on any verdict/match-count mismatch; the gate additionally pins
+        # the differential counters and tracks the trie-vs-per-rule
+        # speedups (same-run ratios, machine-portable) plus the
+        # deterministic tick/sharing counters.
+        "script": "benchmarks/bench_ruleset.py",
+        "args": ["--smoke"],
+        "metrics": [
+            ("sat.verdict_mismatches", "exact"),
+            ("sat.match_mismatches", "exact"),
+            ("imp.verdict_mismatches", "exact"),
+            ("sat.sizes.64.matches", "exact"),
+            ("sat.sizes.64.ruleset_ticks", "count"),
+            ("trie.sharing_factor", "ratio"),
+            ("sat.speedup_at_max", "ratio"),
+            ("imp.speedup_at_max", "ratio"),
+            ("sat.ruleset_seconds_at_max", "seconds"),
+        ],
+    },
 }
 
 
