@@ -32,7 +32,11 @@ seeded :class:`~repro.parallel.faults.FaultPlan` (one worker killed
 mid-run, one hung past the batch deadline, one unit poisoned), asserting
 verdict equivalence with the clean run and reporting the recovery
 overhead (``recovery_efficiency`` = clean wall / faulted wall, higher is
-better) for the CI regression gate.
+better) for the CI regression gate. ``--fragments`` runs the fragmented-
+execution suite: per-worker snapshot bytes (cold-start kit + largest
+fragment replica) and wall clock at ``F`` edge-cut fragments against
+whole-graph pickling on ``delta_hub`` — the snapshot footprint should
+scale roughly ``1/F`` while verdicts stay byte-identical.
 """
 
 from __future__ import annotations
@@ -92,6 +96,10 @@ def outcome_record(outcome) -> Dict:
         "worker_deaths": outcome.worker_deaths,
         "quarantined": len(outcome.quarantined),
         "degraded": outcome.degraded,
+        # Fragmented-execution shipping counters (all 0 when off).
+        "fragments_shipped": outcome.fragments_shipped,
+        "balls_shipped": outcome.balls_shipped,
+        "coordinator_units": outcome.coordinator_units,
     }
 
 
@@ -199,10 +207,14 @@ def run_suite(smoke: bool = False, workers: int = 4, repeats: int = 2) -> Dict:
     if mismatches:
         raise SystemExit(f"verdict mismatch across backends/configs: {sorted(verdicts)}")
     if not smoke:
-        # The full artifact (BENCH_parallel.json) carries the chaos
-        # section too; the smoke/CI path runs it as its own gate cell
-        # (--chaos) so the perf and fault gates stay independent.
+        # The full artifact (BENCH_parallel.json) carries the chaos and
+        # fragmentation sections too; the smoke/CI path runs each as its
+        # own gate cell (--chaos / --fragments) so the gates stay
+        # independent.
         results["chaos"] = run_chaos(smoke=False, workers=workers, repeats=repeats)
+        results["fragmentation"] = run_fragments(
+            smoke=False, workers=workers, repeats=repeats
+        )
     return results
 
 
@@ -276,6 +288,95 @@ def run_chaos(smoke: bool = False, workers: int = 4, repeats: int = 2) -> Dict:
     return results
 
 
+def run_fragments(smoke: bool = False, workers: int = 4, repeats: int = 2) -> Dict:
+    """Fragmented execution vs whole-graph pickling on ``delta_hub``.
+
+    Measures the process backend's shipping footprint: the whole-graph
+    worker snapshot (every worker gets the full canonical graph + caches)
+    against the fragmented cold-start payload (a graph-free kit) plus the
+    largest single fragment replica — the *peak* bytes any one worker
+    receives under demand-driven placement. Wall clock and verdicts are
+    recorded for both modes; verdicts must agree or the script exits
+    nonzero. A deterministic simulated run at ``F = 4`` feeds the CI
+    regression gate.
+    """
+    import pickle
+
+    from repro.eq.eqrelation import EqRelation
+    from repro.gfd.canonical import build_canonical_graph
+    from repro.parallel.backends.process import (
+        make_fragment_snapshot,
+        make_worker_snapshot,
+    )
+    from repro.parallel.units import UnitContext, attach_fragmentation
+    from repro.reasoning.enforce import EnforcementEngine
+
+    params = DELTA_HUB_SMOKE if smoke else DELTA_HUB_FULL
+    sigma = delta_hub_workload(**params)
+    canonical = build_canonical_graph(sigma)
+    config = RuntimeConfig(workers=workers, ttl_seconds=2.0)
+    fragment_counts = (2, 4) if smoke else (2, 4, 8)
+
+    results: Dict = {
+        "mode": "smoke" if smoke else "full",
+        "workers": workers,
+        "repeats": repeats,
+        "workload": dict(params, kind="delta_hub", sigma_size=len(sigma)),
+        "graph_nodes": canonical.graph.num_nodes,
+    }
+
+    # Whole-graph ablation: what every worker replica costs today.
+    context = UnitContext(canonical.graph, canonical.gfds)
+    context.precompile_plans(sigma)
+    engine = EnforcementEngine(EqRelation(), canonical.gfds)
+    whole_bytes = len(
+        make_worker_snapshot(context, engine, None, None, config.max_split_units)
+    )
+    whole = {"snapshot_bytes": whole_bytes}
+    whole.update(bench_config(sigma, "process", config, repeats))
+    results["whole"] = whole
+    verdicts = {whole["verdict"]}
+
+    fragments: Dict = {}
+    for count in fragment_counts:
+        # A fresh context per F: attach_fragmentation pins pivots/orders
+        # and installs the routing table used for replica construction.
+        fctx = UnitContext(canonical.graph, canonical.gfds)
+        fctx.precompile_plans(sigma)
+        router = attach_fragmentation(fctx, sigma, count)
+        kit_bytes = len(
+            make_fragment_snapshot(fctx, engine, None, None, config.max_split_units)
+        )
+        replica_bytes = [
+            len(pickle.dumps(router.build(fid))) for fid in range(count)
+        ]
+        peak = kit_bytes + max(replica_bytes)
+        record = {
+            "kit_bytes": kit_bytes,
+            "fragment_bytes_max": max(replica_bytes),
+            "fragment_bytes_mean": round(sum(replica_bytes) / count, 1),
+            "peak_worker_bytes": peak,
+            # >1 means a fragmented worker's snapshot is smaller than the
+            # whole-graph one; should grow roughly linearly in F.
+            "snapshot_scaling": round(whole_bytes / peak, 3) if peak else None,
+        }
+        record.update(
+            bench_config(sigma, "process", config.with_fragments(count), repeats)
+        )
+        fragments[str(count)] = record
+        verdicts.add(record["verdict"])
+    results["fragments"] = fragments
+
+    # Deterministic virtual-clock cell for the CI gate.
+    results["simulated_f4"] = bench_simulated(sigma, config.with_fragments(4))
+    verdicts.add(results["simulated_f4"]["verdict"])
+
+    results["verdicts_agree"] = len(verdicts) == 1
+    if not results["verdicts_agree"]:
+        raise SystemExit(f"fragmented verdict mismatch: {sorted(verdicts)}")
+    return results
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", help="write results JSON to this file")
@@ -287,11 +388,20 @@ def main(argv: List[str] = None) -> int:
         action="store_true",
         help="run the fault-injection suite instead of the perf suite",
     )
+    parser.add_argument(
+        "--fragments",
+        action="store_true",
+        help="run the fragmented-execution suite instead of the perf suite",
+    )
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--repeats", type=int, default=2)
     args = parser.parse_args(argv)
     if args.chaos:
         results = run_chaos(smoke=args.smoke, workers=args.workers, repeats=args.repeats)
+    elif args.fragments:
+        results = run_fragments(
+            smoke=args.smoke, workers=args.workers, repeats=args.repeats
+        )
     else:
         results = run_suite(smoke=args.smoke, workers=args.workers, repeats=args.repeats)
     payload = json.dumps(results, indent=2, sort_keys=True)

@@ -19,7 +19,11 @@ selects the execution runtime (``simulated``, ``threaded``, ``process``);
 supervision layer retries a unit that fails worker-side before
 quarantining it, and ``--strict-faults`` turns supervision off entirely:
 the first worker fault aborts the run with a typed error instead of being
-retried, respawned, or degraded around. ``--ruleset-plan`` (``sat``,
+retried, respawned, or degraded around. ``--fragments N`` edge-cuts the
+canonical graph into N partitions with halo replication: fragment id
+becomes the scheduler's locality key, and process workers hold per-
+fragment replicas (cross-fragment pivots get shipped dQ-balls) instead
+of whole-graph snapshots. ``--ruleset-plan`` (``sat``,
 ``imp``, ``detect``) compiles Σ into one shared-prefix plan trie matched
 in a single pass instead of looping over the rules — parallel runs group
 work units per pivot accordingly.
@@ -80,6 +84,7 @@ def _runtime_config(args: argparse.Namespace) -> RuntimeConfig:
         batch_size=args.batch_size,
         max_unit_retries=args.max_unit_retries,
         strict_faults=args.strict_faults,
+        fragments=args.fragments,
     )
     if args.no_affinity:
         config = config.without_affinity()
@@ -220,6 +225,16 @@ def _add_scheduler_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="fail fast on the first worker fault instead of retrying, "
         "respawning, or degrading (with --parallel)",
+    )
+    parser.add_argument(
+        "--fragments",
+        type=int,
+        default=None,
+        metavar="N",
+        help="edge-cut the graph into N fragments: fragment id becomes the "
+        "scheduler locality key, and process workers receive per-fragment "
+        "replicas plus on-demand dQ-balls instead of whole-graph snapshots "
+        "(with --parallel)",
     )
     _add_ruleset_flag(parser)
 

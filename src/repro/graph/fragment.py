@@ -1,0 +1,388 @@
+"""Edge-cut graph fragmentation with boundary-node replication.
+
+The paper's parallel model (Section V) is *fragment-based*: the graph is
+partitioned across workers, each worker validates its fragment, and
+cross-fragment pivots are resolved by shipping small dQ-neighborhoods
+("dQ-balls") instead of whole-graph snapshots. This module is the
+data-partitioning half of that model:
+
+* :class:`Fragmenter` — partitions :class:`~repro.graph.index.GraphIndex`
+  position space into contiguous ranges. Fragment *f* **owns** its range
+  (the *interior*) and **replicates** every node within ``radius``
+  undirected hops of it (the *halo*). ``radius`` is the rule set's
+  maximum pivot eccentricity (see
+  :func:`repro.reasoning.workunits.fragment_radius`), so any work unit
+  whose pivot is interior to *f* can be matched entirely inside *f*'s
+  replica: a homomorphic match of a pattern with pivot eccentricity
+  ``r ≤ radius`` maps every pattern node within ``r`` hops of the pivot
+  image, and every shortest-path prefix to such a node stays within
+  ``r`` hops too — the whole match lives in ``interior ∪ halo``.
+* :class:`FragmentSpec` — the plain-data description of one fragment
+  (ownership + replica membership, both in whole-graph position order).
+* :class:`FragmentIndex` — a picklable per-fragment sub-index: the
+  induced :class:`~repro.graph.graph.PropertyGraph` on the fragment's
+  members, built in whole-graph position order so its compiled
+  ``GraphIndex`` enumerates candidates in exactly the order the
+  whole-graph index would. ``MatcherRun``/``UnitContext`` consume it
+  through the same read API they already use for the whole graph.
+
+Because :class:`~repro.graph.graph.PropertyGraph` is grow-only (the
+journal ops are ``AddNode``/``AddEdge``/``SetLabel`` — nothing is ever
+removed), fragment membership is *monotone*: edges only shrink
+distances, so a delta can only add members, never evict them. That is
+what makes :meth:`Fragmenter.split_delta` possible — a whole-graph delta
+splits into small per-fragment refresh streams, and a mutation only
+touches the fragments whose interior or halo it reaches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .delta import AddEdge, AddNode, SetLabel, replay
+from .elements import NodeId
+from .graph import PropertyGraph
+
+
+def bfs_reach(graph: PropertyGraph, sources: Iterable[NodeId], radius: int) -> Set[NodeId]:
+    """All nodes within *radius* undirected hops of any of *sources*."""
+    seen: Set[NodeId] = set(sources)
+    frontier: List[NodeId] = list(seen)
+    for _ in range(radius):
+        if not frontier:
+            break
+        next_frontier: List[NodeId] = []
+        for node in frontier:
+            for neighbor in graph.neighbors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    return seen
+
+
+def induced_subgraph(
+    graph: PropertyGraph, ordered_members: Sequence[NodeId]
+) -> PropertyGraph:
+    """The induced subgraph on *ordered_members*, preserving node ids.
+
+    Nodes are inserted in the given order. Callers pass whole-graph
+    position order, so the sub-index's ``position`` ranking — and with
+    it every candidate-pool iteration in the matcher — agrees with the
+    whole graph's. (``PropertyGraph.subgraph`` iterates a *set* and
+    cannot guarantee this, which is why fragments do not use it.)
+    """
+    sub = PropertyGraph()
+    inside = set(ordered_members)
+    for node_id in ordered_members:
+        node = graph.node(node_id)
+        sub.add_node(node.label, dict(node.attrs) or None, node_id=node_id)
+    for node_id in ordered_members:
+        for edge in graph.out_edges(node_id):
+            if edge.dst in inside:
+                sub.add_edge(edge.src, edge.dst, edge.label)
+    return sub
+
+
+@dataclass(frozen=True)
+class FragmentSpec:
+    """Plain-data description of one edge-cut fragment.
+
+    ``interior`` is the position-contiguous range this fragment *owns*;
+    ``members`` is ``interior ∪ halo`` — everything it *replicates* —
+    in whole-graph position order. A dQ-ball shipped for one unit uses
+    the sentinel ``fragment_id == -1`` with the pivot as its interior.
+    """
+
+    fragment_id: int
+    num_fragments: int
+    radius: int
+    interior: Tuple[NodeId, ...]
+    members: Tuple[NodeId, ...]
+
+    @cached_property
+    def interior_set(self) -> FrozenSet[NodeId]:
+        return frozenset(self.interior)
+
+    @cached_property
+    def member_set(self) -> FrozenSet[NodeId]:
+        return frozenset(self.members)
+
+    @property
+    def halo(self) -> Tuple[NodeId, ...]:
+        interior = self.interior_set
+        return tuple(node for node in self.members if node not in interior)
+
+    def owns(self, node: NodeId) -> bool:
+        return node in self.interior_set
+
+    def covers(self, node: NodeId) -> bool:
+        return node in self.member_set
+
+
+class FragmentIndex:
+    """A picklable per-fragment sub-index.
+
+    Wraps the fragment's induced :class:`PropertyGraph` (node ids
+    preserved, insertion in whole-graph position order) together with
+    its :class:`FragmentSpec`. The graph satisfies the same read API
+    ``MatcherRun``/``UnitContext`` consume for the whole graph;
+    :meth:`index` compiles (and incrementally maintains) the fragment's
+    own :class:`~repro.graph.index.GraphIndex`.
+    """
+
+    __slots__ = ("spec", "graph")
+
+    def __init__(self, spec: FragmentSpec, graph: PropertyGraph) -> None:
+        self.spec = spec
+        self.graph = graph
+
+    def index(self):
+        return self.graph.index()
+
+    def canonical_form(self) -> Dict[str, object]:
+        return self.graph.index().canonical_form()
+
+    def apply_ops(self, ops: Sequence[tuple]) -> int:
+        """Replay a per-fragment delta stream (see ``split_delta``).
+
+        The spec's membership is extended in step: stream-shipped nodes
+        sit at the end of position space (``split_delta`` rebuilds
+        otherwise), so they append to ``members`` — and to ``interior``
+        on the tail fragment, which owns all post-partition growth. A
+        standing worker's ``spec.owns()`` check therefore keeps agreeing
+        with the coordinator's routing after every refresh.
+        """
+        count = replay(self.graph, ops)
+        spec = self.spec
+        new_nodes = tuple(
+            op.node_id
+            for op in ops
+            if isinstance(op, AddNode) and op.node_id not in spec.member_set
+        )
+        if new_nodes:
+            interior = spec.interior
+            if 0 <= spec.fragment_id == spec.num_fragments - 1:
+                interior = interior + new_nodes
+            self.spec = FragmentSpec(
+                fragment_id=spec.fragment_id,
+                num_fragments=spec.num_fragments,
+                radius=spec.radius,
+                interior=interior,
+                members=spec.members + new_nodes,
+            )
+        return count
+
+    def replace(self, other: "FragmentIndex") -> None:
+        """Adopt a rebuilt replica (ordering-preserving full refresh)."""
+        self.spec = other.spec
+        self.graph = other.graph
+
+    def __getstate__(self):
+        return (self.spec, self.graph)
+
+    def __setstate__(self, state):
+        self.spec, self.graph = state
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"FragmentIndex(id={self.spec.fragment_id}, "
+            f"|interior|={len(self.spec.interior)}, "
+            f"|members|={len(self.spec.members)})"
+        )
+
+
+def dq_ball(
+    graph: PropertyGraph,
+    center: NodeId,
+    radius: int,
+    extras: Iterable[NodeId] = (),
+) -> FragmentIndex:
+    """The serialized dQ-neighborhood of *center*, as a one-off fragment.
+
+    *extras* carries the preassigned bindings of a split work unit: they
+    may lie outside ``ball(center, radius)`` (the whole-graph matcher
+    exempts preassigned variables from its ``allowed_nodes`` bound), so
+    the replica must include them for the residual edge checks. The
+    induced subgraph is built in whole-graph position order, hence the
+    ball-side candidate enumeration matches the whole graph's exactly.
+    """
+    position = graph.index().position
+    reach = bfs_reach(graph, (center,), radius)
+    reach.update(extras)
+    ordered = sorted(reach, key=position.__getitem__)
+    spec = FragmentSpec(
+        fragment_id=-1,
+        num_fragments=1,
+        radius=radius,
+        interior=(center,),
+        members=tuple(ordered),
+    )
+    return FragmentIndex(spec, induced_subgraph(graph, ordered))
+
+
+class Fragmenter:
+    """Edge-cut partitioner over ``GraphIndex.position`` space.
+
+    Splits the position-ordered node list into ``num_fragments``
+    contiguous ranges (the interiors) and replicates each range's
+    ≤ *radius*-hop neighborhood as its halo. The last fragment owns the
+    tail of the range — and, by convention, every node added *after*
+    partitioning (grow-only graphs append at the end of position space).
+
+    The instance is the coordinator-side routing table: it knows which
+    fragment owns each node (:meth:`fragment_of`), builds shippable
+    replicas (:meth:`build`, :meth:`ball_for_unit`) and splits
+    whole-graph deltas into per-fragment refresh payloads
+    (:meth:`split_delta`).
+    """
+
+    def __init__(self, graph: PropertyGraph, num_fragments: int, radius: int) -> None:
+        if num_fragments < 1:
+            raise ValueError(f"num_fragments must be >= 1, got {num_fragments}")
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        self.graph = graph
+        self.num_fragments = num_fragments
+        self.radius = radius
+        order = list(graph.index().nodes)
+        base, extra = divmod(len(order), num_fragments)
+        self._interiors: List[List[NodeId]] = []
+        self._owner: Dict[NodeId, int] = {}
+        start = 0
+        for fid in range(num_fragments):
+            size = base + (1 if fid < extra else 0)
+            chunk = order[start : start + size]
+            start += size
+            self._interiors.append(chunk)
+            for node in chunk:
+                self._owner[node] = fid
+        self._members: List[List[NodeId]] = []
+        self._member_sets: List[Set[NodeId]] = []
+        self._recompute_members()
+
+    # ------------------------------------------------------------------
+    # membership
+
+    def _recompute_members(self) -> None:
+        position = self.graph.index().position
+        self._members = []
+        self._member_sets = []
+        for fid in range(self.num_fragments):
+            reach = bfs_reach(self.graph, self._interiors[fid], self.radius)
+            self._members.append(sorted(reach, key=position.__getitem__))
+            self._member_sets.append(reach)
+
+    def fragment_of(self, node: NodeId) -> int:
+        """The fragment that owns *node* (unknown nodes → the tail owner)."""
+        return self._owner.get(node, self.num_fragments - 1)
+
+    def covers(self, fragment_id: int, node: NodeId) -> bool:
+        return node in self._member_sets[fragment_id]
+
+    def covers_unit(self, fragment_id: int, unit) -> bool:
+        """Whether every preassigned binding of *unit* is replicated.
+
+        A fresh unit binds only its pivot (interior by routing, so always
+        covered); a split unit inherited from a parent that ran elsewhere
+        may bind nodes outside this fragment's replica — those fall back
+        to dQ-ball shipping.
+        """
+        members = self._member_sets[fragment_id]
+        return all(value in members for _, value in unit.assignment)
+
+    def spec(self, fragment_id: int) -> FragmentSpec:
+        return FragmentSpec(
+            fragment_id=fragment_id,
+            num_fragments=self.num_fragments,
+            radius=self.radius,
+            interior=tuple(self._interiors[fragment_id]),
+            members=tuple(self._members[fragment_id]),
+        )
+
+    def specs(self) -> List[FragmentSpec]:
+        return [self.spec(fid) for fid in range(self.num_fragments)]
+
+    # ------------------------------------------------------------------
+    # replica construction
+
+    def build(self, fragment_id: int) -> FragmentIndex:
+        """A shippable replica of one fragment (interior ∪ halo)."""
+        return FragmentIndex(
+            self.spec(fragment_id),
+            induced_subgraph(self.graph, self._members[fragment_id]),
+        )
+
+    def ball_for_unit(self, unit) -> FragmentIndex:
+        """The dQ-ball a worker needs to run *unit* without the fragment."""
+        radius = unit.radius if unit.radius is not None else self.radius
+        extras = [value for _, value in unit.assignment]
+        return dq_ball(self.graph, unit.pivot_node(), radius, extras)
+
+    # ------------------------------------------------------------------
+    # per-fragment delta streams
+
+    def split_delta(self, ops: Sequence[tuple]) -> Dict[int, Optional[List[tuple]]]:
+        """Split a whole-graph delta into per-fragment refresh payloads.
+
+        Must be called *after* the coordinator graph has applied *ops*
+        (the journal hands out ops it already absorbed). Returns one
+        entry per fragment: ``[]`` — untouched, nothing to ship; a
+        non-empty op list — replay it on the fragment replica (via
+        :meth:`FragmentIndex.apply_ops`); ``None`` — the fragment needs
+        a full rebuild (:meth:`build`) because an *old* node newly
+        entered its halo and appending it would break the replica's
+        position-order insertion invariant.
+
+        New graph nodes are owned by the last fragment (they sit at the
+        end of position space). A node that newly enters a fragment's
+        reach arrives as an ``AddNode`` carrying its *current* label and
+        attributes, followed by its induced edges; journal ops between
+        two pre-existing members are forwarded verbatim. Membership is
+        monotone (grow-only graph), so nothing is ever retracted.
+        """
+        position = self.graph.index().position
+        tail = self.num_fragments - 1
+        for op in ops:
+            if isinstance(op, AddNode) and op.node_id not in self._owner:
+                self._owner[op.node_id] = tail
+                self._interiors[tail].append(op.node_id)
+        old_sets = self._member_sets
+        self._recompute_members()
+        payloads: Dict[int, Optional[List[tuple]]] = {}
+        for fid in range(self.num_fragments):
+            old = old_sets[fid]
+            members = self._member_sets[fid]
+            new_nodes = [n for n in self._members[fid] if n not in old]
+            max_old_pos = max((position[n] for n in old), default=-1)
+            if any(position[n] < max_old_pos for n in new_nodes):
+                payloads[fid] = None
+                continue
+            stream: List[tuple] = []
+            new_set = set(new_nodes)
+            for node_id in new_nodes:  # already in position order
+                node = self.graph.node(node_id)
+                stream.append(AddNode(node_id, node.label, dict(node.attrs) or None))
+            for node_id in new_nodes:
+                for edge in self.graph.out_edges(node_id):
+                    if edge.dst in members:
+                        stream.append(AddEdge(edge.src, edge.dst, edge.label))
+                for edge in self.graph.in_edges(node_id):
+                    if edge.src in members and edge.src not in new_set:
+                        stream.append(AddEdge(edge.src, edge.dst, edge.label))
+            for op in ops:
+                if isinstance(op, AddEdge):
+                    if (
+                        op.src in members
+                        and op.dst in members
+                        and op.src not in new_set
+                        and op.dst not in new_set
+                    ):
+                        stream.append(op)
+                elif isinstance(op, SetLabel):
+                    if op.node_id in members and op.node_id not in new_set:
+                        stream.append(op)
+            payloads[fid] = stream
+        return payloads

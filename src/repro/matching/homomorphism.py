@@ -455,11 +455,11 @@ class MatcherRun(PoolEngine):
         for var in self.preassigned:
             if not pattern.has_var(var):
                 raise PatternError(f"preassigned variable {var!r} not in pattern")
-        if variable_order is None:
-            layout = plan.layout(self.preassigned)
-        else:
-            order = [var for var in variable_order if var not in self.preassigned]
-            layout = plan.compile_layout(order, frozenset(self.preassigned))
+        # Both branches go through the plan's layout cache: the pivot
+        # fan-out of explicit-order runs (fragment replicas pinning the
+        # coordinator's whole-graph order) compiles once per order, not
+        # once per work unit.
+        layout = plan.layout(self.preassigned, order=variable_order)
         self.order: List[str] = list(layout.order)
         self._steps: List[VarStep] = layout.steps
         #: Number of consistency checks performed so far (virtual cost).

@@ -282,18 +282,29 @@ class MatchPlan:
             self.epoch = index.epoch
         return self
 
-    def layout(self, preassigned_vars: Iterable[str]) -> PlanLayout:
+    def layout(
+        self,
+        preassigned_vars: Iterable[str],
+        order: Optional[Sequence[str]] = None,
+    ) -> PlanLayout:
         """The (cached) layout for runs preassigning *preassigned_vars*.
 
         All pivoted runs of one GFD preassign the same variable(s), so the
-        entire fan-out hits one cache entry.
+        entire fan-out hits one cache entry. An explicit *order* (already
+        preassigned variables are ignored) caches under its own key: a
+        fragment replica pinning the coordinator's whole-graph order
+        compiles it once, not per work unit.
         """
         key = frozenset(preassigned_vars)
-        cached = self._layouts.get(key)
+        cache_key = key if order is None else (key, tuple(order))
+        cached = self._layouts.get(cache_key)
         if cached is None:
-            order = default_variable_order(self.pattern, self.index.graph, key)
-            cached = self.compile_layout(order, key)
-            self._layouts[key] = cached
+            if order is None:
+                order_seq = default_variable_order(self.pattern, self.index.graph, key)
+            else:
+                order_seq = [var for var in order if var not in key]
+            cached = self.compile_layout(order_seq, key)
+            self._layouts[cache_key] = cached
         return cached
 
     def compile_layout(

@@ -87,6 +87,27 @@ same ops through the journal/:meth:`GraphIndex.apply_delta` path — no
 re-fork, no snapshot re-pickling, no O(|G|) recompile. The caller owns the
 pool's lifetime (:meth:`ProcessBackend.close`); a context switch or a
 history gap falls back to a cold start transparently.
+
+**Fragmented execution.** With ``RuntimeConfig.fragments`` (the
+coordinator context carries a ``fragment_router``) workers no longer
+receive the whole graph. The cold-start payload is a small *kit* — the
+rules, the pinned whole-graph pivot/variable-order decisions, and the
+engine replica — and graph data arrives as per-fragment replicas: an
+edge-cut fragment with its ≤dQ-hop halo (:mod:`repro.graph.fragment`),
+shipped on demand to whichever worker the scheduler routes the
+fragment's units to, and recorded in the coordinator's *holdings* table.
+Units whose preassigned bindings escape their fragment's replica (splits
+inherited from a unit that ran elsewhere) get a one-shot serialized
+dQ-ball instead; units no fragment can serve (disconnected patterns
+search the whole graph) run coordinator-side before the pool spins up.
+When a worker holding fragments dies its holdings are forgotten, so the
+next dispatch of those fragments' units re-ships each full replica to a
+survivor — fragment loss costs a re-ship, never a quarantine.
+Persistent-pool refreshes split the delta journal *per fragment*
+(:meth:`~repro.graph.fragment.Fragmenter.split_delta`): a mutation only
+refreshes the fragments whose interior or halo it touches, and a
+fragment whose position-order insertion invariant a delta would break is
+re-shipped whole.
 """
 
 from __future__ import annotations
@@ -102,6 +123,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Set
 
 from ...errors import WorkerFault, WorkerPoolError
 from ...graph.delta import replay as replay_delta_ops
+from ...graph.fragment import FragmentIndex
 from ...graph.index import GraphIndex
 from ...reasoning.enforce import EnforcementEngine
 from ...reasoning.workunits import WorkUnit
@@ -123,18 +145,37 @@ _JOIN_TIMEOUT = 5.0
 
 
 class _WorkerState:
-    """Everything one worker process needs: its replica of the run."""
+    """Everything one worker process needs: its replica of the run.
 
-    __slots__ = ("context", "engine", "goal", "ttl_ticks", "max_split_units", "fault_plan")
+    Two shapes share the class. Classic mode carries a whole-graph
+    ``context`` (``kit``/``fragments`` are None). Fragmented mode carries
+    no whole-graph context at all: ``kit`` holds the graph-independent
+    pieces (rules, flags, the pinned whole-graph pivot/order decisions)
+    and ``fragments`` maps fragment id → the per-fragment
+    :class:`UnitContext` built from its shipped replica.
+    """
+
+    __slots__ = (
+        "context",
+        "engine",
+        "goal",
+        "ttl_ticks",
+        "max_split_units",
+        "fault_plan",
+        "kit",
+        "fragments",
+    )
 
     def __init__(
         self,
-        context: UnitContext,
+        context: Optional[UnitContext],
         engine: EnforcementEngine,
         goal: Optional[GoalCheck],
         ttl_ticks: Optional[float],
         max_split_units: int,
         fault_plan: Optional[FaultPlan] = None,
+        kit: Optional[Dict[str, object]] = None,
+        fragments: Optional[Dict[int, UnitContext]] = None,
     ) -> None:
         self.context = context
         self.engine = engine
@@ -142,6 +183,8 @@ class _WorkerState:
         self.ttl_ticks = ttl_ticks
         self.max_split_units = max_split_units
         self.fault_plan = fault_plan
+        self.kit = kit
+        self.fragments = fragments
 
 
 #: Pre-fork state handed to children by inheritance (fork start method).
@@ -174,14 +217,114 @@ def make_worker_snapshot(
     return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
 
 
-def load_worker_snapshot(blob: bytes) -> _WorkerState:
-    """Rebuild a worker replica from :func:`make_worker_snapshot` output.
+def make_fragment_snapshot(
+    context: UnitContext,
+    engine: EnforcementEngine,
+    goal: Optional[GoalCheck],
+    ttl_ticks: Optional[float],
+    max_split_units: int,
+    fault_plan: Optional[FaultPlan] = None,
+    fragments: Optional[Dict[int, FragmentIndex]] = None,
+) -> bytes:
+    """Serialize a fragmented worker's cold-start payload.
 
-    The graph index is reconstructed from its snapshot tables (no O(|G|)
-    recompilation) and installed on the unpickled graph, then match plans
-    — deliberately not shipped — recompile locally in O(|Q|) per pattern.
+    Unlike :func:`make_worker_snapshot` this ships *no* whole-graph data:
+    only the kit (rules, pruning flags, and the pivot/variable-order
+    decisions pinned against the whole graph so fragment-local matching
+    reproduces whole-graph streams) plus the engine replica. Fragment
+    replicas themselves normally arrive later, on demand, inside dispatch
+    extras; *fragments* pre-seeds them when a caller wants to.
+    """
+    payload = {
+        "fragmented": True,
+        "kit": {
+            "gfds": context.gfds,
+            "use_simulation_pruning": context._simulation_requested,
+            "use_bitsets": context.use_bitsets,
+            "plan_orders": context.plan_orders,
+            "pivot_overrides": context.pivot_overrides,
+        },
+        "fragments": dict(fragments or {}),
+        "engine": engine,
+        "goal": goal,
+        "ttl_ticks": ttl_ticks,
+        "max_split_units": max_split_units,
+        "fault_plan": fault_plan,
+    }
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _fragment_context(kit: Dict[str, object], findex: FragmentIndex) -> UnitContext:
+    """Build the per-fragment :class:`UnitContext` around a replica.
+
+    The context wraps the fragment's induced graph; the kit's pinned
+    ``plan_orders``/``pivot_overrides`` make its searches agree with the
+    whole graph's. Plans compile here, once per fragment, in O(|Q|).
+    """
+    context = UnitContext(
+        findex.graph,
+        kit["gfds"],
+        use_simulation_pruning=kit["use_simulation_pruning"],
+        use_bitsets=kit["use_bitsets"],
+        fragment=findex,
+        plan_orders=kit["plan_orders"],
+        pivot_overrides=kit["pivot_overrides"],
+    )
+    context.precompile_plans()
+    return context
+
+
+def _resolve_context(
+    state: _WorkerState, unit: WorkUnit, balls: Dict[str, FragmentIndex]
+) -> UnitContext:
+    """Pick the replica a fragmented worker runs *unit* against.
+
+    A dQ-ball shipped for this specific unit wins (one-shot context, not
+    retained); otherwise the held fragment that *owns* the unit's pivot
+    serves it. The coordinator only dispatches units it has arranged a
+    replica for, so the final raise is protocol hygiene — it surfaces in
+    the reply's failures slot and goes through retry/quarantine.
+    """
+    findex = balls.get(unit.uid)
+    if findex is not None:
+        return _fragment_context(state.kit, findex)
+    pivot = unit.pivot_node()
+    for context in state.fragments.values():
+        if context.fragment.spec.owns(pivot):
+            return context
+    raise RuntimeError(
+        f"worker holds no fragment replica owning the pivot of unit {unit.uid}"
+    )
+
+
+def load_worker_snapshot(blob: bytes) -> _WorkerState:
+    """Rebuild a worker replica from :func:`make_worker_snapshot` or
+    :func:`make_fragment_snapshot` output.
+
+    Classic payloads: the graph index is reconstructed from its snapshot
+    tables (no O(|G|) recompilation) and installed on the unpickled
+    graph, then match plans — deliberately not shipped — recompile
+    locally in O(|Q|) per pattern. Fragmented payloads build one context
+    per pre-seeded fragment replica and otherwise wait for dispatch
+    extras to deliver graph data.
     """
     payload = pickle.loads(blob)
+    if payload.get("fragmented"):
+        kit = payload["kit"]
+        fragments = {
+            fid: _fragment_context(kit, findex)
+            for fid, findex in payload["fragments"].items()
+        }
+        return _WorkerState(
+            None,
+            payload["engine"],
+            payload["goal"],
+            payload["ttl_ticks"],
+            payload["max_split_units"],
+            payload.get("fault_plan"),
+            kit=kit,
+            fragments=fragments,
+        )
     context: UnitContext = payload["context"]
     graph = context.graph
     graph.adopt_index(GraphIndex.from_snapshot(graph, payload["index"]))
@@ -202,6 +345,7 @@ def _handle_batch(
     ops,
     worker_id: int = 0,
     batch_index: Optional[int] = None,
+    extras: Optional[Dict[str, dict]] = None,
 ) -> tuple:
     """Apply a ΔEq broadcast, run *batch* on the local replica, and report.
 
@@ -212,7 +356,19 @@ def _handle_batch(
     ``failures`` slot with its traceback and the worker carries on with
     the rest of the batch: unit failures are the coordinator's
     retry/quarantine problem, not a reason to lose the replica.
+
+    *extras* (fragmented mode) carries graph data riding along with the
+    batch: ``"fragments"`` maps fragment id → replica to install and keep
+    (the worker now *holds* that fragment), ``"balls"`` maps unit uid →
+    one-shot dQ-ball replica used for that unit only. Replicas install
+    before anything else so a mid-batch conflict or goal cannot strand
+    the coordinator's holdings bookkeeping.
     """
+    balls: Dict[str, FragmentIndex] = {}
+    if extras:
+        for fid, findex in extras.get("fragments", {}).items():
+            state.fragments[fid] = _fragment_context(state.kit, findex)
+        balls = extras.get("balls", {})
     engine = state.engine
     eq = engine.eq
     started = time.perf_counter()
@@ -248,9 +404,14 @@ def _handle_batch(
                             f"injected worker-side error (worker {worker_id}, "
                             f"batch {batch_index})"
                         )
+                    context = (
+                        state.context
+                        if state.fragments is None
+                        else _resolve_context(state, unit, balls)
+                    )
                     result = execute_unit(
                         unit,
-                        state.context,
+                        context,
                         engine,
                         ttl_ticks=state.ttl_ticks,
                         max_split_units=state.max_split_units,
@@ -280,15 +441,58 @@ def _handle_refresh(state: _WorkerState, message: tuple) -> None:
     GFDs new since the last exchange are shipped (the registry is
     append-only); the engine arrives without its gfd dict and is rebound
     to the merged local registry here.
+
+    Fragmented replicas take the per-fragment path instead: the ninth
+    message slot carries ``{"updates": {fid: ops-list | FragmentIndex},
+    "plan_orders": ..., "pivot_overrides": ...}``. An ops list replays
+    onto the held fragment (its interior/halo was touched); a
+    :class:`FragmentIndex` replaces it whole (a delta broke the replica's
+    position-order invariant); a held fragment with no entry was not
+    touched by the mutation and keeps every cache warm. The re-pinned
+    whole-graph pivot/order decisions install on every held context —
+    graph growth can change them, and replicas must keep agreeing with
+    the coordinator.
     """
-    _, ops, new_gfds, engine, goal, ttl_ticks, max_split_units, fault_plan = message
-    context = state.context
-    replay_delta_ops(context.graph, ops)
-    context.gfds.update(new_gfds)
-    context.note_topology_change()
-    context.graph.index()  # absorb the replayed ops in place
-    context.precompile_plans()
-    engine.gfds = context.gfds
+    (_, ops, new_gfds, engine, goal, ttl_ticks, max_split_units, fault_plan) = message[:8]
+    if state.fragments is not None:
+        kit = state.kit
+        kit["gfds"].update(new_gfds)
+        frag_message = message[8] if len(message) > 8 else None
+        updates: Dict[int, object] = {}
+        if frag_message is not None:
+            kit["plan_orders"] = frag_message["plan_orders"]
+            kit["pivot_overrides"] = frag_message["pivot_overrides"]
+            updates = frag_message["updates"]
+        for fid, context in list(state.fragments.items()):
+            payload = updates.get(fid)
+            if isinstance(payload, FragmentIndex):
+                state.fragments[fid] = _fragment_context(kit, payload)
+                continue
+            if payload:
+                context.fragment.apply_ops(payload)
+                context.note_topology_change()
+                context.graph.index()  # absorb the replayed ops in place
+            context.gfds.update(new_gfds)
+            context.plan_orders = (
+                dict(kit["plan_orders"]) if kit["plan_orders"] is not None else None
+            )
+            context.pivot_overrides = (
+                dict(kit["pivot_overrides"])
+                if kit["pivot_overrides"] is not None
+                else None
+            )
+            # The trie binds pivot choices that may have been re-pinned.
+            context._ruleset_plan = None
+            context.precompile_plans()
+        engine.gfds = kit["gfds"]
+    else:
+        context = state.context
+        replay_delta_ops(context.graph, ops)
+        context.gfds.update(new_gfds)
+        context.note_topology_change()
+        context.graph.index()  # absorb the replayed ops in place
+        context.precompile_plans()
+        engine.gfds = context.gfds
     state.engine = engine
     state.goal = goal
     state.ttl_ticks = ttl_ticks
@@ -303,7 +507,8 @@ def _worker_main(conn, payload: Optional[bytes], worker_id: int = 0) -> None:
         assert state is not None
         # Replicas never serve delta history themselves; a fork-inherited
         # retention flag would only grow dead weight on every refresh.
-        state.context.graph.retain_deltas(False)
+        if state.context is not None:
+            state.context.graph.retain_deltas(False)
         while True:
             try:
                 message = conn.recv()
@@ -315,7 +520,14 @@ def _worker_main(conn, payload: Optional[bytes], worker_id: int = 0) -> None:
             try:
                 if kind == "units":
                     conn.send(
-                        _handle_batch(state, message[1], message[2], worker_id, message[3])
+                        _handle_batch(
+                            state,
+                            message[1],
+                            message[2],
+                            worker_id,
+                            message[3],
+                            message[4] if len(message) > 4 else None,
+                        )
                     )
                 elif kind == "sync":
                     conn.send(_handle_batch(state, (), message[1], worker_id, None))
@@ -365,6 +577,14 @@ class ProcessBackend(Backend):
         """
         if pool["context"] is not context:
             return False
+        router = getattr(context, "fragment_router", None)
+        pool_router = pool.get("router")
+        # Fragmentation toggled (or re-cut differently) between runs: the
+        # standing replicas hold the wrong kind of state — cold-start.
+        if (pool_router is None) != (router is None):
+            return False
+        if pool_router is not None and pool_router.num_fragments != router.num_fragments:
+            return False
         graph = context.graph
         ops = graph.delta_ops_since(pool["graph_version"])
         if ops is None:
@@ -380,35 +600,82 @@ class ProcessBackend(Backend):
         new_gfds = {
             name: gfd for name, gfd in context.gfds.items() if name not in shipped
         }
+        per_frag = None
+        if pool_router is not None:
+            # The standing replicas were cut by the *pool's* fragmenter;
+            # adopt it for this run's routing (the fresh router the entry
+            # point attached may partition the grown graph differently
+            # than the fragments the workers actually hold), then split
+            # the delta into per-fragment refresh streams.
+            per_frag = pool_router.split_delta(ops)
+            context.fragment_router = pool_router
         engine_gfds = engine.gfds
         engine.gfds = {}
+        recipients = [wid for wid in range(len(conns)) if wid not in dead]
+        blobs: Dict[int, bytes] = {}
         try:
-            message = (
-                "refresh",
-                ops,
-                new_gfds,
-                engine,
-                goal_check,
-                config.ttl_ticks,
-                config.max_split_units,
-                config.fault_plan,
-            )
-            # Serialize once for all workers; a pickling failure (e.g. an
-            # unpicklable goal_check closure under a fork-started pool)
-            # must degrade to the cold-start fallback, not escape run()
-            # with the pool half-refreshed.
+            # A pickling failure (e.g. an unpicklable goal_check closure
+            # under a fork-started pool) must degrade to the cold-start
+            # fallback, not escape run() with the pool half-refreshed.
             try:
-                blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+                if pool_router is None:
+                    # Serialize once for all workers.
+                    message = (
+                        "refresh",
+                        ops,
+                        new_gfds,
+                        engine,
+                        goal_check,
+                        config.ttl_ticks,
+                        config.max_split_units,
+                        config.fault_plan,
+                    )
+                    blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+                    for worker_id in recipients:
+                        blobs[worker_id] = blob
+                else:
+                    # Fragmented refreshes are per-worker: each standing
+                    # replica receives only the streams of the fragments
+                    # it holds (untouched fragments ship nothing; a
+                    # rebuild ships the fresh replica whole), plus the
+                    # whole-graph pivot/order decisions re-pinned against
+                    # the mutated graph.
+                    holdings: List[Set[int]] = pool["holdings"]
+                    for worker_id in recipients:
+                        updates: Dict[int, object] = {}
+                        for fid in holdings[worker_id]:
+                            payload = per_frag.get(fid, [])
+                            if payload is None:
+                                updates[fid] = pool_router.build(fid)
+                            elif payload:
+                                updates[fid] = payload
+                        message = (
+                            "refresh",
+                            (),
+                            new_gfds,
+                            engine,
+                            goal_check,
+                            config.ttl_ticks,
+                            config.max_split_units,
+                            config.fault_plan,
+                            {
+                                "updates": updates,
+                                "plan_orders": context.plan_orders,
+                                "pivot_overrides": context.pivot_overrides,
+                            },
+                        )
+                        blobs[worker_id] = pickle.dumps(
+                            message, protocol=pickle.HIGHEST_PROTOCOL
+                        )
             except Exception:
                 return False
         finally:
             engine.gfds = engine_gfds
-        recipients = [wid for wid in range(len(conns)) if wid not in dead]
         for worker_id in recipients:
             try:
                 # send_bytes pairs with the worker's recv(): Connection
                 # .recv() unpickles whatever bytes arrive.
-                conns[worker_id].send_bytes(blob)
+                conns[worker_id].send_bytes(blobs[worker_id])
             except (OSError, ValueError):
                 dead.add(worker_id)
         # The acks share one deadline (replicas process the refresh
@@ -495,6 +762,65 @@ class ProcessBackend(Backend):
         self._shutdown_workers(pool["conns"], pool["procs"], pool["dead"])
         pool["context"].graph.retain_deltas(False)
 
+    def _run_local_units(
+        self, units, context, engine, goal_check, outcome, tracker
+    ) -> bool:
+        """Execute units no fragment can serve, coordinator-side.
+
+        Fragmented mode only: radius-less units (disconnected patterns)
+        search the whole graph, which no fragment replica holds, so they
+        run here against the master engine before the pool spins up.
+        Splits stay local (they inherit the parent's missing radius);
+        retry/quarantine and fault injection apply exactly as they would
+        worker-side. Returns True when the run terminated early.
+        """
+        config = self.config
+        eq = engine.eq
+        plan = config.fault_plan
+        pending: Deque[WorkUnit] = deque(units)
+        while pending:
+            unit = pending.popleft()
+            try:
+                if plan is not None:
+                    plan.check_unit(unit)
+                result = execute_unit(
+                    unit,
+                    context,
+                    engine,
+                    ttl_ticks=config.ttl_ticks,
+                    max_split_units=config.max_split_units,
+                    goal_check=goal_check,
+                )
+            except Exception as exc:
+                detail = traceback.format_exc()
+                if config.strict_faults:
+                    raise WorkerFault(
+                        f"unit {unit.uid} failed during coordinator-side "
+                        f"execution: {exc}",
+                        unit_uid=unit.uid,
+                        worker_traceback=detail,
+                    ) from exc
+                if tracker.record_failure(unit):
+                    outcome.retries += 1
+                    pending.append(unit)
+                else:
+                    outcome.quarantined.append(
+                        QuarantinedUnit(unit, detail, tracker.attempts(unit))
+                    )
+                continue
+            outcome.coordinator_units += 1
+            absorb_result(outcome, result)
+            if result.conflict or eq.has_conflict():
+                outcome.conflict = eq.conflict
+                return True
+            if result.goal_reached or (goal_check is not None and goal_check(eq)):
+                outcome.goal_reached = True
+                return True
+            register_splits(
+                outcome, result, lambda splits: pending.extendleft(reversed(splits))
+            )
+        return False
+
     def run(
         self,
         units: Sequence[WorkUnit],
@@ -520,12 +846,36 @@ class ProcessBackend(Backend):
         context.graph.index()
         context.precompile_plans()
 
+        tracker = RetryTracker(config.max_unit_retries)
+        router = getattr(context, "fragment_router", None)
+        if router is not None:
+            # Units no fragment can serve (disconnected patterns search
+            # the whole graph) run coordinator-side before the pool spins
+            # up; only fragment-servable units are dispatched remotely.
+            local = [
+                unit
+                for unit in units
+                if unit.pivot_node() is None or unit.radius is None
+            ]
+            units = [
+                unit
+                for unit in units
+                if not (unit.pivot_node() is None or unit.radius is None)
+            ]
+            if local and self._run_local_units(
+                local, context, engine, goal_check, outcome, tracker
+            ):
+                outcome.wall_seconds = time.perf_counter() - started
+                outcome.virtual_seconds = outcome.wall_seconds
+                return outcome
+
         persistent = config.persistent_workers
         pool = self._pool if persistent else None
         conns: Optional[List] = None
         procs: List = []
         dead: Set[int] = set()
         method: Optional[str] = None
+        holdings: Optional[List[Set[int]]] = None
         if pool is not None:
             # Standing pool: ship deltas + the fresh engine instead of
             # restarting; fall back to a cold start when that is impossible.
@@ -534,6 +884,10 @@ class ProcessBackend(Backend):
                 procs = pool["procs"]
                 dead = pool["dead"]
                 method = pool["method"]
+                # The refresh adopted the pool's fragmenter (the holdings
+                # on the standing replicas were cut by it).
+                router = getattr(context, "fragment_router", None)
+                holdings = pool.get("holdings")
             else:
                 self.close()
                 pool = None
@@ -550,17 +904,31 @@ class ProcessBackend(Backend):
                 # Retain a replayable op history from this point on, so the
                 # next run can ship deltas instead of snapshots.
                 context.graph.retain_deltas(True)
-            state = _WorkerState(
-                context,
-                engine,
-                goal_check,
-                config.ttl_ticks,
-                config.max_split_units,
-                config.fault_plan,
-            )
-            if method == "fork":
-                payload: Optional[bytes] = None
-                _FORK_STATE = state
+            if router is not None:
+                # Fragmented cold start: every worker receives the same
+                # graph-free kit; fragment replicas ship later, on demand,
+                # inside dispatch extras (the holdings table tracks who
+                # holds what). Explicit payloads even under fork — the
+                # point is that replicas never depend on whole-graph state.
+                holdings = [set() for _ in range(config.workers)]
+                payload: Optional[bytes] = make_fragment_snapshot(
+                    context,
+                    engine,
+                    goal_check,
+                    config.ttl_ticks,
+                    config.max_split_units,
+                    config.fault_plan,
+                )
+            elif method == "fork":
+                payload = None
+                _FORK_STATE = _WorkerState(
+                    context,
+                    engine,
+                    goal_check,
+                    config.ttl_ticks,
+                    config.max_split_units,
+                    config.fault_plan,
+                )
             else:
                 payload = make_worker_snapshot(
                     context,
@@ -595,6 +963,8 @@ class ProcessBackend(Backend):
                     "context": context,
                     "graph_version": context.graph.mutation_count,
                     "shipped_gfds": set(context.gfds),
+                    "router": router,
+                    "holdings": holdings,
                 }
 
         conn_worker = {conn: wid for wid, conn in enumerate(conns)}
@@ -614,8 +984,8 @@ class ProcessBackend(Backend):
         idle: List[int] = [wid for wid in range(config.workers) if wid not in dead]
         in_flight: Dict[int, List[WorkUnit]] = {}
         terminated = False
-        # --- supervision state ---
-        tracker = RetryTracker(config.max_unit_retries)
+        # --- supervision state (tracker created before the coordinator-
+        # side local-unit pass, which shares its retry accounting) ---
         #: Units from a crashed worker's batch, re-dispatched as singleton
         #: batches so a replica-killing unit can be isolated (bisection).
         suspects: Deque[WorkUnit] = deque()
@@ -671,21 +1041,32 @@ class ProcessBackend(Backend):
                 return False
             respawn_counts[worker_id] += 1
             ctx = mp.get_context(method)
-            fresh = _WorkerState(
-                context,
-                engine,
-                goal_check,
-                config.ttl_ticks,
-                config.max_split_units,
-                config.fault_plan,
-            )
             # The replica is rebuilt from *current* master state (master
             # Eq included), so it needs no catch-up broadcast: fork
-            # inherits it copy-on-write, spawn ships a fresh snapshot.
+            # inherits it copy-on-write, spawn ships a fresh snapshot. A
+            # fragmented respawn restarts from the bare kit — its slot's
+            # holdings were cleared at burial, so fragments re-ship on
+            # demand with the units that need them.
             try:
-                if method == "fork":
-                    blob: Optional[bytes] = None
-                    _FORK_STATE = fresh
+                if router is not None:
+                    blob: Optional[bytes] = make_fragment_snapshot(
+                        context,
+                        engine,
+                        goal_check,
+                        config.ttl_ticks,
+                        config.max_split_units,
+                        config.fault_plan,
+                    )
+                elif method == "fork":
+                    blob = None
+                    _FORK_STATE = _WorkerState(
+                        context,
+                        engine,
+                        goal_check,
+                        config.ttl_ticks,
+                        config.max_split_units,
+                        config.fault_plan,
+                    )
                 else:
                     blob = make_worker_snapshot(
                         context,
@@ -734,6 +1115,12 @@ class ProcessBackend(Backend):
             dead.add(worker_id)
             outcome.worker_deaths += 1
             scheduler.worker_died(worker_id)
+            if holdings is not None:
+                # The dead replica's fragments died with it: forgetting
+                # its holdings makes the next dispatch of those fragments'
+                # units re-ship each full replica to whichever survivor
+                # receives them — fragment loss never quarantines a unit.
+                holdings[worker_id].clear()
             if worker_id in idle:
                 idle.remove(worker_id)
             self._kill_worker(procs[worker_id], conns[worker_id])
@@ -766,6 +1153,41 @@ class ProcessBackend(Backend):
                 scheduler.requeue(orphans)
             schedule_respawn(worker_id)
 
+        def fragment_extras(worker_id: int, batch: List[WorkUnit]):
+            """Graph data riding along with a fragmented dispatch.
+
+            Per unit: nothing when the receiving worker already holds the
+            pivot's owning fragment; the full fragment replica when no
+            *other* live worker holds it (initial placement, or a re-ship
+            after the previous holder died); a one-shot dQ-ball otherwise
+            — the unit was stolen from the holder's queue, or its
+            preassigned bindings (split inheritance) escape the replica.
+            """
+            frags: Dict[int, object] = {}
+            balls: Dict[str, object] = {}
+            for unit in batch:
+                pivot = unit.pivot_node()
+                if pivot is None or unit.radius is None:  # pragma: no cover
+                    continue  # local units never reach dispatch
+                fid = router.fragment_of(pivot)
+                if router.covers_unit(fid, unit):
+                    if fid in holdings[worker_id]:
+                        continue
+                    if not any(
+                        fid in holdings[wid]
+                        for wid in range(config.workers)
+                        if wid != worker_id and wid not in dead
+                    ):
+                        frags[fid] = router.build(fid)
+                        holdings[worker_id].add(fid)
+                        outcome.fragments_shipped += 1
+                        continue
+                balls[unit.uid] = router.ball_for_unit(unit)
+                outcome.balls_shipped += 1
+            if frags or balls:
+                return {"fragments": frags, "balls": balls}
+            return None
+
         def dispatch(worker_id: int, batch: List[WorkUnit], kind: str = "units") -> bool:
             """Send *batch* plus the worker's pending ΔEq; False when the
             worker turns out to be dead (its batch is requeued for the
@@ -779,9 +1201,14 @@ class ProcessBackend(Backend):
                     for position, op in enumerate(ops, start=base)
                     if not any(lo <= position < hi for lo, hi in regions)
                 ]
+            extras = None
+            if router is not None and kind == "units" and batch:
+                extras = fragment_extras(worker_id, batch)
             try:
                 if kind == "units":
-                    conns[worker_id].send((kind, batch, ops, batch_counters[worker_id]))
+                    conns[worker_id].send(
+                        (kind, batch, ops, batch_counters[worker_id], extras)
+                    )
                     batch_counters[worker_id] += 1
                 else:
                     conns[worker_id].send((kind, ops))

@@ -188,6 +188,17 @@ class RuntimeConfig:
         crash/hang/error/slow events keyed by ``(worker_id,
         batch_index)`` plus poisoned units, honored by all three
         backends. ``None`` (default) injects nothing.
+    fragments:
+        Fragmented execution (the paper's fragment-parallel model): the
+        canonical graph is edge-cut into this many
+        :class:`~repro.graph.fragment.FragmentSpec` partitions with
+        boundary-node replication, fragment id becomes the scheduler's
+        locality key, and the process backend ships each worker only its
+        fragments' replicas — cross-fragment pivots are resolved by
+        shipping per-unit dQ-balls, and persistent-pool refreshes ship
+        per-fragment delta streams. ``None`` (default) keeps whole-graph
+        snapshots. The simulated/threaded backends honor the
+        fragment-local dispatch keys against their shared whole graph.
     """
 
     workers: int = 4
@@ -216,6 +227,7 @@ class RuntimeConfig:
     respawn_backoff_seconds: float = 0.05
     min_live_workers: int = 1
     fault_plan: Optional[FaultPlan] = None
+    fragments: Optional[int] = None
     costs: CostModel = field(default_factory=CostModel)
 
     def __post_init__(self) -> None:
@@ -272,6 +284,10 @@ class RuntimeConfig:
             raise RuntimeConfigError(
                 f"min_live_workers must be >= 0, got {self.min_live_workers}"
             )
+        if self.fragments is not None and self.fragments < 1:
+            raise RuntimeConfigError(
+                f"fragments must be >= 1 (or None to disable), got {self.fragments}"
+            )
         if self.min_live_workers > self.workers:
             # A threshold above the pool size would make every run degrade
             # to in-process execution before dispatching anything (or fail
@@ -301,6 +317,10 @@ class RuntimeConfig:
     def with_ruleset_plan(self) -> "RuntimeConfig":
         """Grouped work units through the shared-prefix trie."""
         return replace(self, use_ruleset_plan=True)
+
+    def with_fragments(self, fragments: Optional[int]) -> "RuntimeConfig":
+        """Fragmented execution over *fragments* edge-cut partitions."""
+        return replace(self, fragments=fragments)
 
     @property
     def batch_size_cap(self) -> int:

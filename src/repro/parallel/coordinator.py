@@ -98,6 +98,15 @@ class ParallelOutcome:
     #: Units that failed everywhere and were dropped from the run, with
     #: their worker tracebacks. Empty on a clean run.
     quarantined: List[QuarantinedUnit] = field(default_factory=list)
+    #: Fragmented execution (process backend): full fragment replicas
+    #: shipped to workers (initial placement, re-ships after a holder
+    #: died) and per-unit dQ-balls shipped for cross-fragment pivots.
+    #: Both 0 when ``RuntimeConfig.fragments`` is off.
+    fragments_shipped: int = 0
+    balls_shipped: int = 0
+    #: Units the coordinator executed in-process because no fragment can
+    #: serve them (radius-less units search the whole graph).
+    coordinator_units: int = 0
     #: True when the pool collapsed below ``min_live_workers`` and the
     #: coordinator finished the remaining queue in-process.
     degraded: bool = False

@@ -29,7 +29,7 @@ from .backends import get_backend, resolve_backend_name
 from .config import RuntimeConfig
 from .coordinator import ParallelOutcome
 from .goals import EntailmentGoal
-from .units import UnitContext
+from .units import UnitContext, attach_fragmentation
 
 
 @dataclass
@@ -120,6 +120,8 @@ def par_imp(
     if config.use_ruleset_plan:
         context.ruleset_plan()
     context.precompute_neighborhoods(units)
+    if config.fragments is not None:
+        attach_fragmentation(context, sigma, config.fragments)
     engine = EnforcementEngine(eq, gfds_by_name)
 
     # The goal ``Y ⊆ Eq_H`` as a picklable value object, so the process

@@ -34,7 +34,7 @@ from ..reasoning.workunits import (
 from .backends import get_backend, resolve_backend_name
 from .config import RuntimeConfig
 from .coordinator import ParallelOutcome
-from .units import UnitContext
+from .units import UnitContext, attach_fragmentation
 
 
 @dataclass
@@ -113,6 +113,11 @@ def par_sat(
     if config.use_ruleset_plan:
         context.ruleset_plan()
     context.precompute_neighborhoods(units)
+    if config.fragments is not None:
+        # Fragmented execution: edge-cut the canonical graph, pin units to
+        # their pivot's owning fragment, and fix the whole-graph pivot and
+        # variable-order choices so fragment replicas match identically.
+        attach_fragmentation(context, sigma, config.fragments)
     engine = EnforcementEngine(EqRelation(), canonical.gfds)
     outcome = get_backend(backend_name, config).run(units, context, engine)
     return ParSatResult(

@@ -60,9 +60,33 @@ class UnitContext:
         gfds_by_name: Mapping[str, GFD],
         use_simulation_pruning: bool = True,
         use_bitsets: bool = True,
+        fragment=None,
+        plan_orders: Optional[Mapping[str, Sequence[str]]] = None,
+        pivot_overrides: Optional[Mapping[str, str]] = None,
     ) -> None:
         self.graph = graph
         self.gfds = dict(gfds_by_name)
+        #: The :class:`~repro.graph.fragment.FragmentIndex` this context is
+        #: bound to, when *graph* is a fragment replica rather than the
+        #: whole canonical graph. Fragment-bound contexts pickle without
+        #: their dQ-ball/candidate caches (see :meth:`__getstate__`).
+        self.fragment = fragment
+        #: gfd name -> full pivot-first variable order, computed against
+        #: the *whole* graph coordinator-side. Fragment replicas pass their
+        #: entry to :class:`MatcherRun` so the search order — and hence the
+        #: match stream — is byte-identical to whole-graph execution even
+        #: though the replica's own statistics would order differently.
+        self.plan_orders = dict(plan_orders) if plan_orders is not None else None
+        #: gfd name -> pivot variable chosen against the whole graph, so a
+        #: replica's :meth:`ruleset_plan` trie paths agree with the
+        #: coordinator's grouped units regardless of local statistics.
+        self.pivot_overrides = (
+            dict(pivot_overrides) if pivot_overrides is not None else None
+        )
+        #: Coordinator-side only: the :class:`~repro.graph.fragment.Fragmenter`
+        #: routing table. When set, :meth:`locality_key` pins every radius-
+        #: bounded unit to its pivot's owning fragment. Never pickled.
+        self.fragment_router = None
         # The caller's request, kept separately: the effective flag below
         # also depends on graph size, which deltas can change — it is
         # re-derived in :meth:`note_topology_change`.
@@ -170,7 +194,12 @@ class UnitContext:
             for gfd in self.gfds.values():
                 if gfd.is_trivial() or not gfd.pattern.is_connected():
                     continue
-                plan.add(gfd, choose_pivot(gfd, self.graph))
+                pivot = None
+                if self.pivot_overrides is not None:
+                    pivot = self.pivot_overrides.get(gfd.name)
+                if pivot is None:
+                    pivot = choose_pivot(gfd, self.graph)
+                plan.add(gfd, pivot)
             self._ruleset_plan = plan
         return self._ruleset_plan
 
@@ -263,6 +292,16 @@ class UnitContext:
         pivot = unit.pivot_node()
         if pivot is None:
             return None
+        if self.fragment_router is not None:
+            # Fragmented dispatch: the owning fragment's id is the key, so
+            # every unit pivoting inside one fragment pins to the worker
+            # holding that fragment's replica (composing with affinity
+            # routing and grouped units — the key is per unit, however the
+            # unit was generated). Radius-less units search the whole
+            # graph and stay unpinned.
+            if unit.radius is None:
+                return None
+            return ("frag", self.fragment_router.fragment_of(pivot))
         self._ensure_current()
         key = self._locality_keys.get(pivot)
         if key is None:
@@ -319,10 +358,20 @@ class UnitContext:
         *kept* (recomputing them is an O(|G|·|Q|) fixpoint per GFD, per
         worker) by downgrading any bitset values to plain picklable sets;
         the matcher accepts either representation with identical streams.
+
+        Fragment-bound contexts (:attr:`fragment` set) additionally drop
+        the hop maps and candidate sets: those caches were computed
+        against whatever graph the context wrapped *when they warmed* —
+        for a context handed a :class:`FragmentIndex` they must be
+        rebuilt against the replica, not inherited from a whole-graph
+        index whose node universe the fragment does not share.
         """
         state = dict(self.__dict__)
         state["_plans"] = {}
         state["_neighborhoods"] = {}
+        # The routing table is coordinator-side state (it wraps the whole
+        # graph); replicas never route.
+        state["fragment_router"] = None
         # The compiled trie binds the coordinator's index object; workers
         # rebuild it lazily (O(Σ|Q|)) from the shipped graph snapshot.
         state["_ruleset_plan"] = None
@@ -336,6 +385,9 @@ class UnitContext:
             else {var: set(members) for var, members in sim.items()}
             for name, sim in self._candidates.items()
         }
+        if self.fragment is not None:
+            state["_hop_maps"] = {}
+            state["_candidates"] = {}
         return state
 
     def __setstate__(self, state: Dict[str, object]) -> None:
@@ -360,6 +412,38 @@ class UnitContext:
                 sim = {var: set() for var in gfd.pattern.variables}
             self._candidates[gfd.name] = sim
         return self._candidates[gfd.name]
+
+
+def attach_fragmentation(context: UnitContext, sigma, num_fragments: int):
+    """Fragment *context*'s graph and pin whole-graph matching decisions.
+
+    Builds the :class:`~repro.graph.fragment.Fragmenter` routing table
+    (halo radius = Σ's maximum pivot eccentricity) and records, per rule,
+    the pivot variable and full variable order the *whole* graph's
+    statistics choose. Those travel to every fragment replica and dQ-ball
+    — and are installed on the coordinator context itself — so that every
+    execution site searches in the same order and the fragmented match
+    streams reproduce the unfragmented ones byte for byte. Returns the
+    fragmenter (also reachable as ``context.fragment_router``).
+    """
+    from ..graph.fragment import Fragmenter
+    from ..reasoning.workunits import choose_pivot, fragment_radius
+
+    radius = fragment_radius(sigma, context.graph)
+    router = Fragmenter(context.graph, num_fragments, radius)
+    pivots: Dict[str, str] = {}
+    orders: Dict[str, tuple] = {}
+    for gfd in sigma:
+        if gfd.is_trivial() or not gfd.pattern.is_connected():
+            continue
+        pivot = choose_pivot(gfd, context.graph)
+        pivots[gfd.name] = pivot
+        layout = context.plan_for(gfd).layout({pivot})
+        orders[gfd.name] = (pivot,) + tuple(layout.order)
+    context.fragment_router = router
+    context.pivot_overrides = pivots
+    context.plan_orders = orders
+    return router
 
 
 @dataclass
@@ -418,11 +502,18 @@ def execute_unit(
     assignment = unit.assignment_dict()
     pivot = unit.pivot_node()
     allowed = context.allowed_nodes(pivot, unit.radius) if pivot is not None else None
+    # Fragment replicas pin the whole-graph variable order (shipped via
+    # plan_orders) so their match streams reproduce the coordinator's
+    # byte for byte; whole-graph contexts leave it None (default layout).
+    order = None
+    if context.plan_orders is not None:
+        order = context.plan_orders.get(unit.gfd_name)
     run = MatcherRun(
         gfd.pattern,
         context.graph,
         preassigned=assignment,
         allowed_nodes=allowed,
+        variable_order=order,
         candidate_sets=context.candidate_sets(gfd),
         plan=context.plan_for(gfd),
     )

@@ -151,6 +151,25 @@ def choose_pivot(gfd: GFD, graph: PropertyGraph, use_plan: bool = True) -> str:
     return min(component, key=key)
 
 
+def fragment_radius(sigma: Sequence[GFD], graph: PropertyGraph) -> int:
+    """The halo radius a :class:`~repro.graph.fragment.Fragmenter` needs.
+
+    The maximum pivot eccentricity over Σ's connected non-trivial rules —
+    with the same :func:`choose_pivot` the unit generators use — so every
+    fresh unit's ``dQ``-ball around an interior pivot lies inside its
+    fragment's replica. Grouped units take the max radius over their
+    signature group, which this bound dominates; disconnected patterns
+    (radius None) are excluded — they are never fragment-routed.
+    """
+    radius = 0
+    for gfd in sigma:
+        if gfd.is_trivial() or not gfd.pattern.is_connected():
+            continue
+        pivot = choose_pivot(gfd, graph)
+        radius = max(radius, gfd.pattern.eccentricity(pivot))
+    return radius
+
+
 def pivot_candidates(gfd: GFD, pivot_var: str, graph: PropertyGraph) -> List[NodeId]:
     """Target nodes whose label is compatible with the pivot variable."""
     label = gfd.pattern.label_of(pivot_var)

@@ -1,0 +1,415 @@
+"""Fragmentation differential-test suite.
+
+The edge-cut :class:`~repro.graph.fragment.Fragmenter` must uphold three
+partition invariants for any graph and any fragment count:
+
+* every node is *interior* to exactly one fragment;
+* every fragment's replica covers the full ≤radius-hop halo of its
+  interior, so any ball of radius ≤ the fragmenter's around an interior
+  pivot is identical whether computed on the replica or the whole graph;
+* the union of the fragment replicas reconstructs the whole graph — same
+  node set, same induced edges, same canonical index form.
+
+Plus the delta half: :meth:`Fragmenter.split_delta` streams keep every
+replica equal to a from-scratch rebuild of its membership, touch only the
+fragments a mutation reaches, and fall back to a whole-replica rebuild
+exactly when appending would break the position-order insertion
+invariant. Hypothesis drives random graphs, deltas, and fragment counts
+1..8 against the unfragmented ground truth.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PropertyGraph
+from repro.gfd.canonical import build_canonical_graph
+from repro.gfd.generator import random_gfds
+from repro.graph.fragment import (
+    FragmentIndex,
+    Fragmenter,
+    bfs_reach,
+    dq_ball,
+    induced_subgraph,
+)
+from repro.parallel.units import UnitContext, attach_fragmentation
+from repro.reasoning.workunits import WorkUnit, choose_pivot, fragment_radius
+
+LABELS = ["a", "b", "c", "d"]
+EDGE_LABELS = ["e", "f"]
+
+
+def _build_graph(script) -> PropertyGraph:
+    """A small random graph from a (kind, r1, r2, r3) step script."""
+    graph = PropertyGraph()
+    for i in range(4):
+        graph.add_node(LABELS[i % len(LABELS)])
+    graph.add_edge(0, 1, "e")
+    graph.add_edge(1, 2, "f")
+    _apply_script(graph, script)
+    graph.index()
+    return graph
+
+
+def _apply_script(graph: PropertyGraph, script) -> None:
+    for kind, r1, r2, r3 in script:
+        n = graph.num_nodes
+        if kind == "node":
+            graph.add_node(LABELS[r1 % len(LABELS)])
+        elif kind == "edge" and n:
+            graph.add_edge(r1 % n, r2 % n, EDGE_LABELS[r3 % len(EDGE_LABELS)])
+        elif kind == "relabel" and n:
+            graph.set_node_label(r1 % n, LABELS[r2 % len(LABELS)])
+
+
+_step = st.tuples(
+    st.sampled_from(["node", "edge", "relabel"]),
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=0, max_value=10_000),
+)
+
+
+def _hub_graph() -> PropertyGraph:
+    """A deterministic two-hub graph with a bridge — fragments cut it."""
+    graph = PropertyGraph()
+    for i in range(12):
+        graph.add_node(LABELS[i % len(LABELS)])
+    for spoke in range(1, 6):
+        graph.add_edge(0, spoke, "e")
+    for spoke in range(7, 12):
+        graph.add_edge(6, spoke, "e")
+    graph.add_edge(5, 6, "f")  # the bridge between the hubs
+    graph.index()
+    return graph
+
+
+def _union_of_fragments(graph: PropertyGraph, fragmenter: Fragmenter) -> PropertyGraph:
+    """Reassemble the whole graph from the fragment replicas alone."""
+    replicas = {fid: fragmenter.build(fid) for fid in range(fragmenter.num_fragments)}
+    union = PropertyGraph()
+    for node_id in graph.index().nodes:
+        owner = replicas[fragmenter.fragment_of(node_id)].graph
+        node = owner.node(node_id)
+        union.add_node(node.label, dict(node.attrs) or None, node_id=node_id)
+    for node_id in graph.index().nodes:
+        owner = replicas[fragmenter.fragment_of(node_id)].graph
+        for edge in owner.out_edges(node_id):
+            union.add_edge(edge.src, edge.dst, edge.label)
+    return union
+
+
+class TestPartitionInvariants:
+    @pytest.mark.parametrize("num_fragments", [1, 2, 3, 5, 8])
+    def test_every_node_interior_to_exactly_one_fragment(self, num_fragments):
+        graph = _hub_graph()
+        fragmenter = Fragmenter(graph, num_fragments, radius=1)
+        seen = []
+        for spec in fragmenter.specs():
+            seen.extend(spec.interior)
+            for node in spec.interior:
+                assert fragmenter.fragment_of(node) == spec.fragment_id
+        assert sorted(seen) == sorted(graph.index().nodes)
+        assert len(seen) == len(set(seen))
+
+    @pytest.mark.parametrize("num_fragments", [1, 2, 3, 5, 8])
+    @pytest.mark.parametrize("radius", [0, 1, 2])
+    def test_halo_covers_radius(self, num_fragments, radius):
+        graph = _hub_graph()
+        fragmenter = Fragmenter(graph, num_fragments, radius=radius)
+        for spec in fragmenter.specs():
+            expected = bfs_reach(graph, spec.interior, radius)
+            assert spec.member_set == frozenset(expected)
+            assert spec.interior_set <= spec.member_set
+            assert set(spec.halo) == expected - set(spec.interior)
+
+    @pytest.mark.parametrize("num_fragments", [1, 2, 3, 5, 8])
+    def test_union_reconstructs_whole_graph(self, num_fragments):
+        # Radius >= 1 makes every edge land inside its source's owner.
+        graph = _hub_graph()
+        fragmenter = Fragmenter(graph, num_fragments, radius=1)
+        union = _union_of_fragments(graph, fragmenter)
+        reference = induced_subgraph(graph, graph.index().nodes)
+        assert union.index().canonical_form() == reference.index().canonical_form()
+
+    def test_members_keep_whole_graph_position_order(self):
+        graph = _hub_graph()
+        position = graph.index().position
+        fragmenter = Fragmenter(graph, 3, radius=1)
+        for spec in fragmenter.specs():
+            ranks = [position[node] for node in spec.members]
+            assert ranks == sorted(ranks)
+            # ... and the replica's own index enumerates in that order.
+            replica = fragmenter.build(spec.fragment_id)
+            assert list(replica.index().nodes) == list(spec.members)
+
+    def test_fragment_ball_equals_whole_graph_ball(self):
+        graph = _hub_graph()
+        fragmenter = Fragmenter(graph, 3, radius=2)
+        for spec in fragmenter.specs():
+            replica = fragmenter.build(spec.fragment_id)
+            for pivot in spec.interior:
+                for radius in (0, 1, 2):
+                    whole = bfs_reach(graph, (pivot,), radius)
+                    local = bfs_reach(replica.graph, (pivot,), radius)
+                    assert local == whole, (spec.fragment_id, pivot, radius)
+
+    def test_dq_ball_includes_out_of_ball_extras(self):
+        graph = _hub_graph()
+        # Node 11 is 3+ hops from node 1; a split unit may preassign it.
+        ball = dq_ball(graph, 1, radius=1, extras=(11,))
+        assert 11 in ball.spec.member_set
+        assert ball.spec.interior == (1,)
+        assert set(bfs_reach(graph, (1,), 1)) <= ball.spec.member_set
+
+    def test_fragment_radius_matches_max_pivot_eccentricity(self):
+        sigma = random_gfds(8, 4, 3, seed=11)
+        graph = build_canonical_graph(sigma).graph
+        expected = 0
+        for gfd in sigma:
+            if gfd.is_trivial() or not gfd.pattern.is_connected():
+                continue
+            pivot = choose_pivot(gfd, graph)
+            expected = max(expected, gfd.pattern.eccentricity(pivot))
+        assert fragment_radius(sigma, graph) == expected
+        assert fragment_radius([], graph) == 0
+
+
+class TestSplitDelta:
+    def _tracked(self, graph: PropertyGraph, fragmenter: Fragmenter):
+        graph.retain_deltas(True)
+        return {
+            fid: fragmenter.build(fid) for fid in range(fragmenter.num_fragments)
+        }
+
+    def _refresh(self, fragmenter, replicas, ops):
+        for fid, payload in fragmenter.split_delta(ops).items():
+            if payload is None:
+                replicas[fid].replace(fragmenter.build(fid))
+            elif payload:
+                replicas[fid].apply_ops(payload)
+
+    def _assert_replicas_fresh(self, graph, fragmenter, replicas):
+        for fid, replica in replicas.items():
+            expected = fragmenter.build(fid)
+            assert replica.canonical_form() == expected.canonical_form(), fid
+
+    def test_mutation_only_touches_reachable_fragments(self):
+        graph = _hub_graph()
+        fragmenter = Fragmenter(graph, 3, radius=1)
+        graph.retain_deltas(True)
+        version = graph.mutation_count
+        # An edge inside the first hub: far from the last fragment.
+        graph.add_edge(1, 2, "f")
+        graph.index()
+        payloads = fragmenter.split_delta(graph.delta_ops_since(version))
+        touched = [fid for fid, ops in payloads.items() if ops is None or ops]
+        assert touched  # the mutation's own fragment refreshes ...
+        untouched = [fid for fid, ops in payloads.items() if ops == []]
+        assert untouched, payloads  # ... and at least one fragment does not
+
+    def test_new_node_streams_as_addnode_to_tail_fragment(self):
+        graph = _hub_graph()
+        fragmenter = Fragmenter(graph, 2, radius=1)
+        replicas = self._tracked(graph, fragmenter)
+        version = graph.mutation_count
+        new = graph.add_node("a", {"k": 1})
+        graph.add_edge(11, new, "e")
+        graph.index()
+        self._refresh(fragmenter, replicas, graph.delta_ops_since(version))
+        tail = fragmenter.num_fragments - 1
+        assert fragmenter.fragment_of(new) == tail
+        assert replicas[tail].graph.has_node(new)
+        self._assert_replicas_fresh(graph, fragmenter, replicas)
+
+    def test_old_node_entering_halo_forces_rebuild(self):
+        graph = _hub_graph()
+        fragmenter = Fragmenter(graph, 3, radius=1)
+        graph.retain_deltas(True)
+        version = graph.mutation_count
+        # Connect the last fragment's interior to node 0 (position 0):
+        # node 0 newly enters that fragment's halo but precedes every
+        # existing member in position order — append would misorder.
+        graph.add_edge(11, 0, "f")
+        graph.index()
+        payloads = fragmenter.split_delta(graph.delta_ops_since(version))
+        tail = fragmenter.fragment_of(11)
+        assert payloads[tail] is None
+        # After the rebuild the replica matches a fresh build.
+        rebuilt = fragmenter.build(tail)
+        assert 0 in rebuilt.spec.member_set
+        assert list(rebuilt.index().nodes) == list(rebuilt.spec.members)
+
+    def test_relabel_forwarded_to_covering_fragments(self):
+        graph = _hub_graph()
+        fragmenter = Fragmenter(graph, 2, radius=1)
+        replicas = self._tracked(graph, fragmenter)
+        version = graph.mutation_count
+        graph.set_node_label(6, "d")
+        graph.index()
+        self._refresh(fragmenter, replicas, graph.delta_ops_since(version))
+        for fid, replica in replicas.items():
+            if replica.spec.covers(6):
+                assert replica.graph.node(6).label == "d", fid
+        self._assert_replicas_fresh(graph, fragmenter, replicas)
+
+
+class TestFragmentContextCaches:
+    """Satellite fix: fragment-bound contexts must not inherit or retain
+    whole-graph dQ-ball/candidate caches."""
+
+    def test_pickle_drops_caches_when_fragment_bound(self):
+        graph = _hub_graph()
+        fragmenter = Fragmenter(graph, 2, radius=1)
+        replica = fragmenter.build(0)
+        context = UnitContext(replica.graph, {}, fragment=replica)
+        context.allowed_nodes(0, 1)  # warm a hop map + neighborhood
+        assert context._hop_maps
+        state = context.__getstate__()
+        assert state["_hop_maps"] == {}
+        assert state["_candidates"] == {}
+        assert state["_neighborhoods"] == {}
+        # Whole-graph contexts keep shipping their warm hop maps.
+        whole = UnitContext(graph, {})
+        whole.allowed_nodes(0, 1)
+        assert whole.__getstate__()["_hop_maps"]
+
+    def test_stale_ball_cache_refreshes_after_halo_delta(self):
+        graph = _hub_graph()
+        fragmenter = Fragmenter(graph, 2, radius=2)
+        fid = fragmenter.fragment_of(1)
+        replica = fragmenter.build(fid)
+        context = UnitContext(replica.graph, {}, fragment=replica)
+        graph.retain_deltas(True)
+        version = graph.mutation_count
+
+        before = context.allowed_nodes(1, 1)
+        assert 2 not in set(before)  # nodes 1 and 2 start disconnected
+
+        # Mutate the whole graph on a node the replica covers, then ship
+        # the per-fragment stream: the warmed ball must pick up the edge.
+        graph.add_edge(1, 2, "f")
+        graph.index()
+        payload = fragmenter.split_delta(graph.delta_ops_since(version))[fid]
+        assert payload  # the touched fragment gets a non-empty stream
+        replica.apply_ops(payload)
+
+        after = context.allowed_nodes(1, 1)
+        assert 2 in set(after)
+
+    def test_fragment_index_pickle_round_trip(self):
+        graph = _hub_graph()
+        fragmenter = Fragmenter(graph, 3, radius=1)
+        for fid in range(3):
+            replica = fragmenter.build(fid)
+            clone = pickle.loads(pickle.dumps(replica))
+            assert clone.spec == replica.spec
+            assert clone.canonical_form() == replica.canonical_form()
+
+
+class TestRouting:
+    def test_locality_key_is_owning_fragment(self):
+        sigma = random_gfds(6, 4, 3, seed=3)
+        graph = build_canonical_graph(sigma).graph
+        context = UnitContext(graph, {gfd.name: gfd for gfd in sigma})
+        router = attach_fragmentation(context, sigma, 3)
+        assert context.fragment_router is router
+        pivot = graph.index().nodes[0]
+        unit = WorkUnit.make("r", {"x": pivot}, radius=1)
+        assert context.locality_key(unit) == ("frag", router.fragment_of(pivot))
+        # Radius-less units search the whole graph: never fragment-pinned.
+        free = WorkUnit.make("r", {"x": pivot}, radius=None)
+        assert context.locality_key(free) is None
+
+    def test_covers_unit_rejects_escaped_bindings(self):
+        graph = _hub_graph()
+        fragmenter = Fragmenter(graph, 2, radius=1)
+        fid = fragmenter.fragment_of(0)
+        inside = WorkUnit.make("r", {"x": 0}, radius=1)
+        assert fragmenter.covers_unit(fid, inside)
+        # A split unit binding a node from the other hub escapes.
+        far = next(
+            node
+            for node in graph.index().nodes
+            if not fragmenter.covers(fid, node)
+        )
+        split = WorkUnit.make("r", {"x": 0, "y": far}, radius=1, generation=1)
+        assert not fragmenter.covers_unit(fid, split)
+        ball = fragmenter.ball_for_unit(split)
+        assert far in ball.spec.member_set
+        assert 0 in ball.spec.member_set
+
+    def test_router_never_pickles_with_context(self):
+        sigma = random_gfds(6, 4, 3, seed=3)
+        graph = build_canonical_graph(sigma).graph
+        context = UnitContext(graph, {gfd.name: gfd for gfd in sigma})
+        attach_fragmentation(context, sigma, 2)
+        clone = pickle.loads(pickle.dumps(context))
+        assert clone.fragment_router is None
+        assert clone.plan_orders == context.plan_orders
+        assert clone.pivot_overrides == context.pivot_overrides
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    script=st.lists(_step, min_size=0, max_size=40),
+    num_fragments=st.integers(min_value=1, max_value=8),
+    radius=st.integers(min_value=0, max_value=2),
+)
+def test_property_partition_agrees_with_whole_graph(script, num_fragments, radius):
+    graph = _build_graph(script)
+    fragmenter = Fragmenter(graph, num_fragments, radius)
+    position = graph.index().position
+    owners = {}
+    for spec in fragmenter.specs():
+        for node in spec.interior:
+            assert node not in owners
+            owners[node] = spec.fragment_id
+        assert spec.member_set == frozenset(bfs_reach(graph, spec.interior, radius))
+        ranks = [position[node] for node in spec.members]
+        assert ranks == sorted(ranks)
+        replica = fragmenter.build(spec.fragment_id)
+        # The replica agrees with the unfragmented index: same nodes in
+        # the same position order, same interior balls.
+        assert list(replica.index().nodes) == list(spec.members)
+        if radius:
+            for pivot in spec.interior:
+                assert bfs_reach(replica.graph, (pivot,), radius) == bfs_reach(
+                    graph, (pivot,), radius
+                )
+    assert set(owners) == set(graph.index().nodes)
+    if radius:
+        union = _union_of_fragments(graph, fragmenter)
+        reference = induced_subgraph(graph, graph.index().nodes)
+        assert union.index().canonical_form() == reference.index().canonical_form()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    base=st.lists(_step, min_size=0, max_size=25),
+    delta=st.lists(_step, min_size=1, max_size=25),
+    num_fragments=st.integers(min_value=1, max_value=8),
+    radius=st.integers(min_value=0, max_value=2),
+)
+def test_property_split_delta_keeps_replicas_fresh(base, delta, num_fragments, radius):
+    graph = _build_graph(base)
+    fragmenter = Fragmenter(graph, num_fragments, radius)
+    replicas = {fid: fragmenter.build(fid) for fid in range(num_fragments)}
+    graph.retain_deltas(True)
+    version = graph.mutation_count
+    _apply_script(graph, delta)
+    graph.index()
+    ops = graph.delta_ops_since(version)
+    for fid, payload in fragmenter.split_delta(ops).items():
+        if payload is None:
+            replicas[fid].replace(fragmenter.build(fid))
+        elif payload:
+            replicas[fid].apply_ops(payload)
+    for fid, replica in replicas.items():
+        fresh = fragmenter.build(fid)
+        assert replica.canonical_form() == fresh.canonical_form(), fid
+        assert list(replica.spec.members) == list(fresh.spec.members)

@@ -129,6 +129,28 @@ BENCHES: Dict[str, Dict] = {
             ("process.wall_seconds_min", "seconds"),
         ],
     },
+    "fragmentation": {
+        # Fragmented-execution smoke: delta_hub at F ∈ {2, 4} edge-cut
+        # fragments vs whole-graph pickling. The script itself exits
+        # nonzero on any verdict mismatch; the gate pins the byte
+        # accounting (pickle sizes are deterministic for a given code
+        # state), the snapshot-scaling ratio (whole bytes / peak
+        # per-worker bytes — falling means fragmentation stopped paying),
+        # and the deterministic simulated run at F = 4.
+        "script": "benchmarks/bench_parallel.py",
+        "args": ["--smoke", "--fragments", "--workers", "2"],
+        "metrics": [
+            ("verdicts_agree", "exact"),
+            ("whole.verdict", "exact"),
+            ("simulated_f4.verdict", "exact"),
+            ("simulated_f4.virtual_seconds", "count"),
+            ("simulated_f4.quarantined", "exact"),
+            ("whole.snapshot_bytes", "count"),
+            ("fragments.4.peak_worker_bytes", "count"),
+            ("fragments.4.snapshot_scaling", "ratio"),
+            ("fragments.4.wall_seconds_min", "seconds"),
+        ],
+    },
     "incremental": {
         "script": "benchmarks/bench_incremental.py",
         "args": ["--smoke"],
