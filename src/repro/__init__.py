@@ -60,6 +60,7 @@ from .gfd import (
 )
 from .reasoning import (
     detect_errors,
+    detect_errors_store,
     extract_model,
     find_violations,
     graph_satisfies,
@@ -70,6 +71,13 @@ from .reasoning import (
     minimal_cover,
     seq_imp,
     seq_sat,
+)
+from .results import (
+    ConflictClaim,
+    EvidenceLog,
+    MatchEvidence,
+    ResultStore,
+    Violation,
 )
 
 __version__ = "1.0.0"
@@ -103,6 +111,7 @@ __all__ = [
     "render_gfds",
     "lit_vareq",
     "detect_errors",
+    "detect_errors_store",
     "extract_model",
     "find_violations",
     "graph_satisfies",
@@ -113,5 +122,10 @@ __all__ = [
     "minimal_cover",
     "seq_imp",
     "seq_sat",
+    "ConflictClaim",
+    "EvidenceLog",
+    "MatchEvidence",
+    "ResultStore",
+    "Violation",
     "__version__",
 ]

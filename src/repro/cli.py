@@ -6,8 +6,16 @@ Subcommands::
     gfd-reason sat    RULES            satisfiability (exit 0 sat / 3 unsat)
     gfd-reason imp    RULES --phi NAME implication of one rule by the rest
     gfd-reason detect GRAPH RULES      violations of the rules in a graph
+    gfd-reason explain RULES           derivation chain behind an unsat verdict
     gfd-reason cover  RULES [-o OUT]   implication-based minimal cover
     gfd-reason bench  [FIG ...]        regenerate paper tables/figures
+
+``explain`` queries the layered result store post-run — evidence (which
+match), derivation (which merge steps), claims (which rule, where) — with
+zero re-matching. Without ``--graph`` it explains the conflict of an
+unsatisfiable rule file; with ``--graph`` it explains each violation the
+rules flag in the graph. ``--json`` dumps the full three-layer store
+instead of the rendered chains.
 
 Rule files use the text DSL (``.gfd``) or JSON (``.json``); graphs are the
 JSON format of :mod:`repro.graph.io`. ``--parallel P`` switches ``sat`` and
@@ -24,8 +32,8 @@ canonical graph into N partitions with halo replication: fragment id
 becomes the scheduler's locality key, and process workers hold per-
 fragment replicas (cross-fragment pivots get shipped dQ-balls) instead
 of whole-graph snapshots. ``--ruleset-plan`` (``sat``,
-``imp``, ``detect``) compiles Σ into one shared-prefix plan trie matched
-in a single pass instead of looping over the rules — parallel runs group
+``imp``, ``detect``, ``explain``) compiles Σ into one shared-prefix plan
+trie matched in a single pass instead of looping over the rules — parallel runs group
 work units per pivot accordingly.
 
 Exit codes: 0 success (satisfiable / implied / no violations), 2 usage or
@@ -51,7 +59,7 @@ from .parallel.parsat import par_sat
 from .reasoning.cover import minimal_cover
 from .reasoning.seqimp import seq_imp
 from .reasoning.seqsat import seq_sat
-from .reasoning.validation import detect_errors
+from .reasoning.validation import detect_errors, detect_errors_store
 
 #: Exit code for negative verdicts (vs 2 for usage/input errors).
 EXIT_NEGATIVE = 3
@@ -166,6 +174,54 @@ def cmd_detect(args: argparse.Namespace) -> int:
         print(violation)
     print(f"# {len(violations)} violation(s) in {graph.num_nodes}-node graph", file=sys.stderr)
     return EXIT_NEGATIVE if violations else 0
+
+
+def _render_evidence(ev) -> str:
+    bound = ", ".join(f"{var}→{node}" for var, node in ev.assignment)
+    where = f" [{ev.origin}]" if ev.origin else ""
+    return f"evidence {ev.ref}: match of {ev.gfd} at [{bound}]{where}"
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    sigma = load_rules(args.rules)
+    if args.graph:
+        graph = load_graph(args.graph)
+        store = detect_errors_store(
+            graph, sigma, limit_per_gfd=args.limit, use_ruleset_plan=args.ruleset_plan
+        )
+        if args.json:
+            print(store.dumps())
+            return EXIT_NEGATIVE if store.violations else 0
+        if not store.violations:
+            print("no violations: nothing to explain")
+            return 0
+        for violation in store.violations:
+            explanation = store.explain_violation(violation)
+            print(violation)
+            for record in explanation.evidence:
+                print(f"  {_render_evidence(record)}")
+            for number, op in enumerate(explanation.steps, start=1):
+                print(f"  {number}. {op}")
+            print(f"  rules involved: {', '.join(explanation.gfds_involved)}")
+        return EXIT_NEGATIVE
+    result = seq_sat(sigma, use_ruleset_plan=args.ruleset_plan)
+    store = result.results
+    if args.json:
+        print(store.dumps())
+        return 0 if result.satisfiable else EXIT_NEGATIVE
+    if result.satisfiable:
+        print("SATISFIABLE: nothing to explain")
+        return 0
+    explanation = store.explain_conflict()
+    print("unsatisfiable: derivation of the conflict")
+    for record in explanation.evidence:
+        print(f"  {_render_evidence(record)}")
+    for number, op in enumerate(explanation.steps, start=1):
+        print(f"  {number}. {op}")
+    print(f"  ✗ clash: {store.conflict}")
+    if explanation.gfds_involved:
+        print(f"  rules involved: {', '.join(explanation.gfds_involved)}")
+    return EXIT_NEGATIVE
 
 
 def cmd_cover(args: argparse.Namespace) -> int:
@@ -297,6 +353,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_detect.add_argument("--limit", type=int, default=None, help="max violations per rule")
     _add_ruleset_flag(p_detect)
     p_detect.set_defaults(func=cmd_detect)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="explain an unsat verdict (or, with --graph, each violation) "
+        "from the layered result store",
+    )
+    p_explain.add_argument("rules")
+    p_explain.add_argument(
+        "--graph",
+        help="graph JSON file: explain the rules' violations in it instead "
+        "of the rule set's own (un)satisfiability",
+    )
+    p_explain.add_argument("--limit", type=int, default=None, help="max violations per rule")
+    p_explain.add_argument(
+        "--json",
+        action="store_true",
+        help="dump the full evidence/derivation/claims store as JSON",
+    )
+    _add_ruleset_flag(p_explain)
+    p_explain.set_defaults(func=cmd_explain)
 
     p_cover = sub.add_parser("cover", help="remove rules implied by the rest")
     p_cover.add_argument("rules")

@@ -1,6 +1,6 @@
 """Equivalence relation over attribute terms, deltas, and deferred matches."""
 
-from .eqrelation import Conflict, DeltaOp, EqRelation, Term
+from .eqrelation import Conflict, DeltaOp, EqRelation, Provenance, Term
 from .inverted_index import InvertedIndex, PendingMatch
 from .union_find import UnionFind
 
@@ -8,6 +8,7 @@ __all__ = [
     "Conflict",
     "DeltaOp",
     "EqRelation",
+    "Provenance",
     "Term",
     "InvertedIndex",
     "PendingMatch",

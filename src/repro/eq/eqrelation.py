@@ -20,7 +20,18 @@ log so workers can broadcast ``ΔEq`` and peers can replay it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from ..graph.elements import AttrValue, NodeId
 from .union_find import UnionFind
@@ -29,18 +40,62 @@ from .union_find import UnionFind
 Term = Tuple[NodeId, str]
 
 
+class Provenance(NamedTuple):
+    """Structured origin of an ``Eq`` mutation or conflict.
+
+    The derivation layer of the result model: *gfd* names the rule whose
+    enforcement produced the operation, *match_ref* is the stable id of the
+    :class:`~repro.results.evidence.MatchEvidence` record for the match that
+    fired it (empty when the producer captured no evidence), and
+    *premise_terms* are the antecedent terms that justified firing — the
+    control-dependence seeds for backward slicing. Replaces the old
+    engine-side ``premises``/``conflict_premises`` maps.
+
+    A ``NamedTuple``: one is built per enforced match on the hot path,
+    where tuple construction beats a frozen dataclass's ``__setattr__``.
+    """
+
+    gfd: str = ""
+    match_ref: str = ""
+    premise_terms: Tuple[Term, ...] = ()
+
+    def __str__(self) -> str:
+        return self.gfd or "<anonymous>"
+
+
+#: What mutators accept as an origin: a bare GFD/subsystem name (legacy), a
+#: full :class:`Provenance` record, or a zero-arg callable producing one.
+#: The callable form keeps provenance off the hot path: most enforcement
+#: calls are no-ops against an already-entailed ``Eq``, and a thunk is only
+#: invoked when an op actually appends (or a conflict is declared).
+SourceLike = Union[str, "Provenance", Callable[[], "Provenance"]]
+
+
+def _normalize_source(source: SourceLike) -> Tuple[str, Optional[Provenance]]:
+    """Split a ``SourceLike`` into the legacy name and the structured record."""
+    if isinstance(source, Provenance):
+        return source.gfd, source
+    if callable(source):
+        provenance = source()
+        return provenance.gfd, provenance
+    return source, None
+
+
 @dataclass(frozen=True)
 class Conflict:
     """Evidence that ``Eq`` became inconsistent.
 
     Records the term whose class received two distinct constants, plus both
     constants and the name of the GFD that triggered the clash (when known).
+    *provenance* carries the structured origin when the producer supplied
+    one; *source* remains the flat display name.
     """
 
     term: Term
     value_a: AttrValue
     value_b: AttrValue
     source: str = ""
+    provenance: Optional[Provenance] = None
 
     def __str__(self) -> str:
         node, attr = self.term
@@ -53,7 +108,10 @@ class DeltaOp:
     """One replayable ``Eq`` mutation: a constant binding or a term merge.
 
     *source* names the GFD (or subsystem) whose enforcement produced the
-    operation — provenance for conflict explanations.
+    operation; *provenance* is the structured ``(gfd, match_ref,
+    premise_terms)`` record when the producer captured one. Replays
+    (:meth:`EqRelation.apply_delta`) preserve provenance, so derivation
+    records survive worker → coordinator merges.
     """
 
     kind: str  # "const" | "merge"
@@ -61,6 +119,7 @@ class DeltaOp:
     value: AttrValue = None
     other: Optional[Term] = None
     source: str = ""
+    provenance: Optional[Provenance] = None
 
     def terms(self) -> List[Term]:
         if self.other is not None:
@@ -145,7 +204,7 @@ class EqRelation:
             self._changed_terms.add(term)
         return added
 
-    def assign_constant(self, term: Term, value: AttrValue, source: str = "") -> bool:
+    def assign_constant(self, term: Term, value: AttrValue, source: SourceLike = "") -> bool:
         """Rule 1: bind *value* to *term*'s class.
 
         Returns True when the relation changed. Sets :attr:`conflict` (and
@@ -157,14 +216,18 @@ class EqRelation:
         if existing is not None:
             if existing == value:
                 return False
-            self._conflict = self._conflict or Conflict(term, existing, value, source)
+            name, prov = _normalize_source(source)
+            self._declare_conflict(Conflict(term, existing, value, name, prov))
             return False
+        # Normalize only on the mutating path: a thunk source stays
+        # un-invoked for the (common) already-entailed no-op calls above.
+        name, prov = _normalize_source(source)
         self._const[root] = value
-        self._log.append(DeltaOp("const", term, value=value, source=source))
+        self._log.append(DeltaOp("const", term, value=value, source=name, provenance=prov))
         self._changed_terms.update(self._uf.members(root))
         return True
 
-    def merge_terms(self, a: Term, b: Term, source: str = "") -> bool:
+    def merge_terms(self, a: Term, b: Term, source: SourceLike = "") -> bool:
         """Rule 2: merge the classes of *a* and *b*.
 
         Returns True when the relation changed. A merge joining two classes
@@ -176,6 +239,7 @@ class EqRelation:
         root_a, root_b = self._uf.find(a), self._uf.find(b)
         if root_a == root_b:
             return False
+        name, prov = _normalize_source(source)
         const_a, const_b = self._const.get(root_a), self._const.get(root_b)
         root, absorbed = self._uf.union(a, b)
         # Keep the surviving root's constant slot coherent.
@@ -186,15 +250,15 @@ class EqRelation:
         if surviving_const is None and absorbed_const is not None:
             self._const[root] = absorbed_const
         if const_a is not None and const_b is not None and const_a != const_b:
-            self._conflict = self._conflict or Conflict(a, const_a, const_b, source)
-        self._log.append(DeltaOp("merge", a, other=b, source=source))
+            self._declare_conflict(Conflict(a, const_a, const_b, name, prov))
+        self._log.append(DeltaOp("merge", a, other=b, source=name, provenance=prov))
         self._changed_terms.update(self._uf.members(root))
         return True
 
-    def fail(self, term: Term, source: str = "") -> None:
+    def fail(self, term: Term, source: SourceLike = "") -> None:
         """Record an explicit conflict (enforcing a ``false`` consequent)."""
-        if self._conflict is None:
-            self._conflict = Conflict(term, False, True, source)
+        name, prov = _normalize_source(source)
+        self._declare_conflict(Conflict(term, False, True, name, prov))
 
     def install_conflict(self, conflict: Conflict) -> None:
         """Adopt a conflict discovered by another ``Eq`` replica.
@@ -203,6 +267,17 @@ class EqRelation:
         caused them is rejected), so a process worker ships the
         :class:`Conflict` object itself and the coordinator installs it here.
         The first conflict wins, matching the local-detection semantics.
+        """
+        if conflict is not None:
+            self._declare_conflict(conflict)
+
+    def _declare_conflict(self, conflict: Conflict) -> None:
+        """The single conflict-setting path: the first conflict wins.
+
+        Every route to inconsistency — Rule 1 clash, Rule 2 merge of two
+        constants, an explicit ``false`` consequent, or a conflict shipped
+        from a replica — funnels through here, so later clashes can never
+        overwrite the one that ended the run.
         """
         if self._conflict is None:
             self._conflict = conflict
@@ -219,10 +294,14 @@ class EqRelation:
         return len(self._log)
 
     def apply_delta(self, ops: Sequence[DeltaOp], source: str = "") -> bool:
-        """Replay *ops* (from another worker); returns True if changed."""
+        """Replay *ops* (from another worker); returns True if changed.
+
+        Structured provenance on an op survives the replay verbatim; the
+        *source* override only applies to ops that carry none.
+        """
         changed = False
         for op in ops:
-            origin = source or op.source
+            origin: SourceLike = op.provenance or source or op.source
             if op.kind == "const":
                 changed |= self.assign_constant(op.term, op.value, origin)
             elif op.kind == "merge":

@@ -387,6 +387,11 @@ def _handle_batch(
             time.sleep(event.stall_seconds)
     eq.apply_delta(ops)
     mark = eq.log_position()
+    # Evidence produced from here on — by the replay-triggered cascade as
+    # well as unit execution — ships back with the reply; the coordinator
+    # interns it by stable ref (idempotent with per-UnitResult evidence).
+    evidence_mark = engine.evidence.position()
+    engine.set_evidence_context(origin="cascade")
     engine.cascade()
     results = []
     failures: List[tuple] = []
@@ -425,8 +430,12 @@ def _handle_batch(
                     goal_reached = goal_reached or result.goal_reached
                     break
     new_ops = eq.delta_since(mark)
+    new_evidence = engine.evidence.delta_since(evidence_mark)
     busy = time.perf_counter() - started
-    return ("done", results, new_ops, eq.conflict, goal_reached, busy, failures)
+    return (
+        "done", results, new_ops, eq.conflict, goal_reached, busy, failures,
+        new_evidence,
+    )
 
 
 def _handle_refresh(state: _WorkerState, message: tuple) -> None:
@@ -1241,7 +1250,13 @@ class ProcessBackend(Backend):
                     f"process worker {worker_id} failed: {reply[1]}",
                 )
                 return terminated
-            _, results, new_ops, conflict, goal_reached, busy, failures = reply
+            _, results, new_ops, conflict, goal_reached, busy, failures = reply[:7]
+            # Evidence interned worker-side since the batch started (unit
+            # execution plus replay-triggered cascades). Merged by stable
+            # content-derived ref, so double delivery — here and inside a
+            # retried unit's result — is a no-op.
+            if len(reply) > 7:
+                engine.evidence.merge(reply[7])
             batch = in_flight.pop(worker_id, [])
             dispatched = {unit.uid: unit for unit in batch}
             if worker_id not in idle:

@@ -50,9 +50,22 @@ class _LockedEngine(EnforcementEngine):
     """
 
     def __init__(self, inner: EnforcementEngine, lock: threading.RLock) -> None:
-        super().__init__(inner.eq, inner.gfds, inner.index)
+        super().__init__(
+            inner.eq, inner.gfds, inner.index,
+            capture_provenance=inner.capture_provenance,
+        )
         self._lock = lock
         self.stats = inner.stats
+        # Share the master evidence log: threaded enforcements intern
+        # straight into the coordinator's layer (refs are content-derived,
+        # so interleaved workers cannot disagree on ids). Evidence-context
+        # metadata may interleave across threads — it is display-only and
+        # never part of a ref.
+        self.evidence = inner.evidence
+
+    def set_evidence_context(self, **context: object) -> None:
+        with self._lock:
+            super().set_evidence_context(**context)
 
     def enforce(self, gfd, assignment) -> bool:  # type: ignore[override]
         with self._lock:

@@ -188,6 +188,14 @@ class RuntimeConfig:
         crash/hang/error/slow events keyed by ``(worker_id,
         batch_index)`` plus poisoned units, honored by all three
         backends. ``None`` (default) injects nothing.
+    capture_provenance:
+        Layered result model: engines intern
+        :class:`~repro.results.evidence.MatchEvidence` records for every
+        enforced match and stamp structured
+        :class:`~repro.eq.eqrelation.Provenance` on ΔEq ops, shipped in
+        ``UnitResult``s and merged coordinator-side with stable
+        cross-worker refs. ``True`` (default) enables post-run
+        explanations; ``False`` is the overhead ablation.
     fragments:
         Fragmented execution (the paper's fragment-parallel model): the
         canonical graph is edge-cut into this many
@@ -228,6 +236,7 @@ class RuntimeConfig:
     min_live_workers: int = 1
     fault_plan: Optional[FaultPlan] = None
     fragments: Optional[int] = None
+    capture_provenance: bool = True
     costs: CostModel = field(default_factory=CostModel)
 
     def __post_init__(self) -> None:
@@ -321,6 +330,10 @@ class RuntimeConfig:
     def with_fragments(self, fragments: Optional[int]) -> "RuntimeConfig":
         """Fragmented execution over *fragments* edge-cut partitions."""
         return replace(self, fragments=fragments)
+
+    def without_provenance(self) -> "RuntimeConfig":
+        """The provenance-capture ablation (no evidence, bare sources)."""
+        return replace(self, capture_provenance=False)
 
     @property
     def batch_size_cap(self) -> int:

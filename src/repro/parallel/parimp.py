@@ -44,6 +44,7 @@ class ParImpResult:
     conflict: Optional[Conflict]
     outcome: ParallelOutcome
     eq: EqRelation
+    engine: Optional[EnforcementEngine] = None
 
     def __bool__(self) -> bool:
         return self.implied
@@ -55,6 +56,24 @@ class ParImpResult:
     @property
     def wall_seconds(self) -> float:
         return self.outcome.wall_seconds
+
+    @property
+    def results(self) -> "ResultStore":
+        """The layered result store merged by the coordinator.
+
+        Trivial short-circuits ran no workers; their store carries only
+        the ``Eq_X`` derivation (plus the conflict claim for trivial-X).
+        """
+        from ..results.claims import ConflictClaim
+        from ..results.store import ResultStore
+
+        if self.engine is not None:
+            return ResultStore.from_engine(self.engine)
+        return ResultStore(
+            derivation=list(self.eq.delta_since(0)),
+            conflict=ConflictClaim.from_conflict(self.conflict) if self.conflict else None,
+            eq=self.eq,
+        )
 
 
 def par_imp(
@@ -122,7 +141,9 @@ def par_imp(
     context.precompute_neighborhoods(units)
     if config.fragments is not None:
         attach_fragmentation(context, sigma, config.fragments)
-    engine = EnforcementEngine(eq, gfds_by_name)
+    engine = EnforcementEngine(
+        eq, gfds_by_name, capture_provenance=config.capture_provenance
+    )
 
     # The goal ``Y ⊆ Eq_H`` as a picklable value object, so the process
     # backend can ship it to worker replicas (plain closures cannot cross
@@ -133,10 +154,10 @@ def par_imp(
         units, context, engine, goal_check=goal_check
     )
     if outcome.conflict is not None:
-        return ParImpResult(True, "conflict", outcome.conflict, outcome, eq)
+        return ParImpResult(True, "conflict", outcome.conflict, outcome, eq, engine)
     if outcome.goal_reached:
-        return ParImpResult(True, "derived", None, outcome, eq)
-    return ParImpResult(False, "not-implied", None, outcome, eq)
+        return ParImpResult(True, "derived", None, outcome, eq, engine)
+    return ParImpResult(False, "not-implied", None, outcome, eq, engine)
 
 
 def par_imp_np(

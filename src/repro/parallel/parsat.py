@@ -46,6 +46,7 @@ class ParSatResult:
     outcome: ParallelOutcome
     canonical: CanonicalGraph
     eq: EqRelation
+    engine: Optional[EnforcementEngine] = None
 
     def __bool__(self) -> bool:
         return self.satisfiable
@@ -57,6 +58,16 @@ class ParSatResult:
     @property
     def wall_seconds(self) -> float:
         return self.outcome.wall_seconds
+
+    @property
+    def results(self) -> "ResultStore":
+        """The layered result store merged by the coordinator — same
+        evidence/derivation refs as the sequential run (stable ids)."""
+        from ..results.store import ResultStore
+
+        if self.engine is None:
+            return ResultStore(derivation=list(self.eq.delta_since(0)), eq=self.eq)
+        return ResultStore.from_engine(self.engine)
 
 
 def par_sat(
@@ -118,7 +129,9 @@ def par_sat(
         # their pivot's owning fragment, and fix the whole-graph pivot and
         # variable-order choices so fragment replicas match identically.
         attach_fragmentation(context, sigma, config.fragments)
-    engine = EnforcementEngine(EqRelation(), canonical.gfds)
+    engine = EnforcementEngine(
+        EqRelation(), canonical.gfds, capture_provenance=config.capture_provenance
+    )
     outcome = get_backend(backend_name, config).run(units, context, engine)
     return ParSatResult(
         satisfiable=outcome.conflict is None,
@@ -126,6 +139,7 @@ def par_sat(
         outcome=outcome,
         canonical=canonical,
         eq=engine.eq,
+        engine=engine,
     )
 
 

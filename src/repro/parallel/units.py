@@ -448,7 +448,13 @@ def attach_fragmentation(context: UnitContext, sigma, num_fragments: int):
 
 @dataclass
 class UnitResult:
-    """What happened while executing one work unit."""
+    """What happened while executing one work unit.
+
+    *evidence* carries the :class:`~repro.results.evidence.MatchEvidence`
+    records this unit's enforcements interned (empty when provenance
+    capture is off) — the per-unit evidence delta the coordinator merges
+    into the master engine's log, dedup'd by stable ref.
+    """
 
     unit: WorkUnit
     matches: int = 0
@@ -459,6 +465,7 @@ class UnitResult:
     goal_reached: bool = False
     splits: List[WorkUnit] = field(default_factory=list)
     completed: bool = True
+    evidence: List[object] = field(default_factory=list)
 
     @property
     def terminated_early(self) -> bool:
@@ -517,8 +524,16 @@ def execute_unit(
         candidate_sets=context.candidate_sets(gfd),
         plan=context.plan_for(gfd),
     )
+    engine.set_evidence_context(
+        origin="unit",
+        plan="per-rule",
+        pivot=pivot,
+        fragment=(context.fragment.spec.fragment_id if context.fragment else None),
+        unit_uid=unit.uid,
+    )
     ops_before = engine.ops
     delta_mark = eq.log_position()
+    evidence_mark = engine.evidence.position()
     next_split_at = ttl_ticks if ttl_ticks is not None else None
     for match in run.matches():
         result.matches += 1
@@ -546,6 +561,7 @@ def execute_unit(
     result.match_ticks = run.ticks
     result.enforce_ops = engine.ops - ops_before
     result.delta_ops = eq.log_position() - delta_mark
+    result.evidence = engine.evidence.delta_since(evidence_mark)
     return result
 
 
@@ -582,8 +598,16 @@ def _execute_grouped_unit(
     run = plan.run(
         active=frozenset(unit.group), pivot_node=pivot, allowed_nodes=allowed
     )
+    engine.set_evidence_context(
+        origin="unit",
+        plan="ruleset",
+        pivot=pivot,
+        fragment=(context.fragment.spec.fragment_id if context.fragment else None),
+        unit_uid=unit.uid,
+    )
     ops_before = engine.ops
     delta_mark = eq.log_position()
+    evidence_mark = engine.evidence.position()
     for name, match in run.matches():
         result.matches += 1
         engine.enforce(context.gfds[name], match)
@@ -610,4 +634,5 @@ def _execute_grouped_unit(
     result.match_ticks = run.ticks
     result.enforce_ops = engine.ops - ops_before
     result.delta_ops = eq.log_position() - delta_mark
+    result.evidence = engine.evidence.delta_since(evidence_mark)
     return result

@@ -24,6 +24,7 @@ from .workunits import (
 from .validation import (
     Violation,
     detect_errors,
+    detect_errors_store,
     extract_model,
     find_violations,
     graph_satisfies,
@@ -62,6 +63,7 @@ __all__ = [
     "unit_dependency_edges",
     "Violation",
     "detect_errors",
+    "detect_errors_store",
     "extract_model",
     "find_violations",
     "graph_satisfies",

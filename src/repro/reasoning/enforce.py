@@ -22,11 +22,12 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from ..eq.eqrelation import EqRelation, Term
+from ..eq.eqrelation import EqRelation, Provenance, SourceLike, Term
 from ..eq.inverted_index import InvertedIndex, PendingMatch
 from ..gfd.gfd import GFD
 from ..gfd.literals import ConstantLiteral, FalseLiteral, Literal, VariableLiteral
 from ..graph.elements import NodeId
+from ..results.evidence import EvidenceLog, ref_of_items
 
 Assignment = Mapping[str, NodeId]
 
@@ -116,14 +117,22 @@ def consequent_entailed(eq: EqRelation, gfd: GFD, assignment: Assignment) -> boo
     return True
 
 
-def enforce_consequent(eq: EqRelation, gfd: GFD, assignment: Assignment) -> bool:
+def enforce_consequent(
+    eq: EqRelation,
+    gfd: GFD,
+    assignment: Assignment,
+    provenance: Optional[SourceLike] = None,
+) -> bool:
     """Apply ``Y`` at the match (Rules 1 and 2); True if ``Eq`` changed.
 
     Conflicts are recorded inside *eq*; callers must check
-    ``eq.has_conflict()`` afterwards.
+    ``eq.has_conflict()`` afterwards. When *provenance* is given — a
+    :class:`Provenance` or a zero-arg thunk producing one — every
+    appended op carries the structured ``(gfd, match_ref, premise_terms)``
+    record instead of the bare rule name.
     """
     changed = False
-    source = gfd.name
+    source: SourceLike = provenance if provenance is not None else gfd.name
     for literal in gfd.consequent:
         if isinstance(literal, FalseLiteral):
             anchor_var = gfd.pattern.variables[0]
@@ -172,6 +181,8 @@ class EnforcementEngine:
         eq: EqRelation,
         gfds_by_name: Mapping[str, GFD],
         index: Optional[InvertedIndex] = None,
+        capture_provenance: bool = True,
+        evidence: Optional[EvidenceLog] = None,
     ) -> None:
         self.eq = eq
         self.gfds = dict(gfds_by_name)
@@ -179,12 +190,26 @@ class EnforcementEngine:
         self.stats = EnforcementStats()
         #: Number of enforcement operations (cost model input).
         self.ops = 0
-        #: Provenance: delta-log index -> the antecedent terms of the match
-        #: whose enforcement appended that operation (control dependencies
-        #: for conflict explanations).
-        self.premises: Dict[int, List[Term]] = {}
-        #: Premises of the enforcement that hit the conflict, if any.
-        self.conflict_premises: List[Term] = []
+        #: When True (default), every SATISFIED match is interned in
+        #: :attr:`evidence` and its ops carry a structured
+        #: :class:`Provenance`. False is the overhead-ablation mode:
+        #: ops fall back to bare ``source`` strings.
+        self.capture_provenance = capture_provenance
+        #: The evidence layer: interned match records with stable refs.
+        self.evidence = evidence if evidence is not None else EvidenceLog()
+        #: Producer metadata stamped on subsequent evidence records (set by
+        #: the work-unit executor; excluded from refs, so it never affects
+        #: cross-backend id stability).
+        self.evidence_context: Dict[str, object] = {}
+        #: Per-GFD antecedent ``(var, attr)`` pairs — fixed per rule, so
+        #: premise terms are instantiated from a cached template instead
+        #: of re-walking the literals on every enforcement.
+        self._premise_templates: Dict[str, tuple] = {}
+
+    def set_evidence_context(self, **context: object) -> None:
+        """Stamp producer metadata (origin/plan/fragment/unit_uid/pivot)
+        onto evidence interned from now on. Pass nothing to clear."""
+        self.evidence_context = context
 
     def enforce(self, gfd: GFD, assignment: Assignment) -> bool:
         """Process one match, then cascade re-checks to a fixpoint.
@@ -210,18 +235,44 @@ class EnforcementEngine:
             self.stats.deferred += 1
             return False
         self.stats.enforced += 1
-        premise_terms = [
-            (assignment[var], attr)
-            for literal in gfd.antecedent
-            for var, attr in literal.terms()
-        ]
-        log_start = self.eq.log_position()
-        changed = enforce_consequent(self.eq, gfd, assignment)
-        for log_index in range(log_start, self.eq.log_position()):
-            self.premises[log_index] = premise_terms
-        if self.eq.has_conflict() and not self.conflict_premises:
-            self.conflict_premises = premise_terms
-        return changed
+        provenance: Optional[SourceLike] = None
+        if self.capture_provenance:
+            self.evidence.note(gfd.name, assignment, self.evidence_context)
+            provenance = self._lazy_provenance(gfd, assignment)
+        return enforce_consequent(self.eq, gfd, assignment, provenance)
+
+    def _lazy_provenance(self, gfd: GFD, assignment: Dict[str, NodeId]):
+        """A thunk building the match's :class:`Provenance` on demand.
+
+        Most enforcements are no-ops against an already-entailed ``Eq``;
+        ``Eq`` mutators invoke the thunk only when an op actually appends
+        (or a conflict is declared), so the digest and premise-term
+        instantiation are skipped for the common case. The result is
+        cached: several ops from one match share one record.
+        """
+        cell: list = []
+
+        def thunk() -> Provenance:
+            if not cell:
+                template = self._premise_templates.get(gfd.name)
+                if template is None:
+                    template = tuple(
+                        (var, attr)
+                        for literal in gfd.antecedent
+                        for var, attr in literal.terms()
+                    )
+                    self._premise_templates[gfd.name] = template
+                items = tuple(sorted(assignment.items()))
+                cell.append(
+                    Provenance(
+                        gfd.name,
+                        ref_of_items(gfd.name, items),
+                        tuple((assignment[var], attr) for var, attr in template),
+                    )
+                )
+            return cell[0]
+
+        return thunk
 
     def cascade(self) -> bool:
         """Re-check parked matches affected by recent ``Eq`` changes."""

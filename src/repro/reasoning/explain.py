@@ -1,26 +1,30 @@
-"""Conflict explanations: *why* is a rule set unsatisfiable?
+"""Explanations over the layered result model: unsat *and* violations.
 
 When ``SeqSat`` rejects a rule set, the raw verdict ("x.A = 0 and 1") is
 rarely enough to fix the rules — the clash is usually the end of a chain
 of enforcements across several GFDs (paper Example 4: ϕ7 seeds ``y.B = 1``,
 ϕ9 turns it into ``w.C = 1``, ϕ10 closes the loop). Every ``Eq`` mutation
-carries its provenance (the enforcing GFD) in the delta log, so the chain
-can be reconstructed by **backward slicing**: starting from the conflicting
-class, repeatedly pull in the operations that touched any relevant term,
-transitively following merge endpoints.
+carries structured :class:`~repro.eq.eqrelation.Provenance` — the enforcing
+GFD, the evidence ref of the match that fired it, and the match's
+antecedent (premise) terms — so the chain is reconstructed by **backward
+slicing** over the derivation layer (see
+:func:`repro.results.store.slice_derivation`), with no engine
+side-channel and zero re-matching.
 
-The slice is sound (it contains every operation that contributed to the
-conflicting class) and usually small; :func:`render_explanation` prints it
-as a numbered derivation ending in the clash.
+The same machinery now also explains *violations* from error detection
+(:meth:`repro.results.store.ResultStore.explain_violation`), not just
+unsatisfiability; :func:`render_explanation` prints either as a numbered
+derivation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set
+from typing import List, Optional, Sequence
 
 from ..eq.eqrelation import Conflict, DeltaOp, EqRelation, Term
 from ..gfd.gfd import GFD
+from ..results.store import slice_derivation
 from .seqsat import SatResult, seq_sat
 
 
@@ -45,28 +49,24 @@ def slice_conflict(
 ) -> List[DeltaOp]:
     """Backward slice of the delta log relevant to *conflict*.
 
-    Seeds the relevant-term set with the conflicting class plus the premise
-    terms of the enforcement that hit the clash, then walks the log
-    backwards: an operation is kept iff it touches a relevant term; keeping
-    it makes its own terms *and* its control premises (the antecedent terms
-    of the match that produced it, when provided) relevant. The control
-    edges are what reconstruct multi-rule chains like paper Example 4,
-    where ϕ9's ``w.C = 1`` only *enables* ϕ10 without sharing a class with
-    the clashing attribute. Returns the kept operations in forward order.
+    Back-compat wrapper over :func:`repro.results.store.slice_derivation`:
+    premise terms now travel on each op's structured provenance, so the
+    *premises* index map is unused (accepted and ignored);
+    *conflict_premises* seeds stay supported for conflicts predating
+    structured provenance.
     """
-    relevant: Set[Term] = set(eq.members(conflict.term))
-    relevant.update(conflict_premises)
-    premises = premises or {}
-    kept: List[DeltaOp] = []
-    log = eq.delta_since(0)
-    for index in range(len(log) - 1, -1, -1):
-        op = log[index]
-        if any(term in relevant for term in op.terms()):
-            kept.append(op)
-            relevant.update(op.terms())
-            relevant.update(premises.get(index, ()))
-    kept.reverse()
-    return kept
+    seeds = set(eq.members(conflict.term))
+    seeds.update(conflict_premises)
+    if conflict.provenance is not None:
+        seeds.update(conflict.provenance.premise_terms)
+    return slice_derivation(eq.delta_since(0), seeds)
+
+
+def _op_gfd(op: DeltaOp) -> str:
+    """The rule behind an op — structured provenance, not string parsing."""
+    if op.provenance is not None:
+        return op.provenance.gfd
+    return op.source
 
 
 def explain_unsatisfiability(
@@ -82,20 +82,19 @@ def explain_unsatisfiability(
         result = seq_sat(sigma)
     if result.satisfiable:
         return None
-    premises = result.engine.premises if result.engine is not None else {}
-    conflict_premises = (
-        result.engine.conflict_premises if result.engine is not None else ()
-    )
-    steps = slice_conflict(result.eq, result.conflict, premises, conflict_premises)
+    steps = slice_conflict(result.eq, result.conflict)
     involved: List[str] = []
     for op in steps:
-        source = op.source.split(":")[0]
-        if source and source not in involved:
-            involved.append(source)
-    conflict_source = result.conflict.source.split(":")[0]
-    if conflict_source and conflict_source not in involved:
-        involved.append(conflict_source)
-    return Explanation(result.conflict, steps, involved)
+        name = _op_gfd(op)
+        if name and name not in involved:
+            involved.append(name)
+    conflict = result.conflict
+    conflict_gfd = (
+        conflict.provenance.gfd if conflict.provenance is not None else conflict.source
+    )
+    if conflict_gfd and conflict_gfd not in involved:
+        involved.append(conflict_gfd)
+    return Explanation(conflict, steps, involved)
 
 
 def render_explanation(explanation: Explanation) -> str:

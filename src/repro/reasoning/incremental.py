@@ -73,10 +73,17 @@ class IncrementalSat:
         sigma: Iterable[GFD] = (),
         use_bitsets: bool = True,
         use_ruleset_plan: bool = False,
+        capture_provenance: bool = True,
     ) -> None:
         self.graph = PropertyGraph()
         self.eq = EqRelation()
-        self.engine = EnforcementEngine(self.eq, {}, InvertedIndex())
+        #: Whether the persistent engine interns evidence and stamps
+        #: structured provenance on ΔEq ops (see the layered result model).
+        self.capture_provenance = capture_provenance
+        self.engine = EnforcementEngine(
+            self.eq, {}, InvertedIndex(), capture_provenance=capture_provenance
+        )
+        self.engine.set_evidence_context(origin="incremental")
         self._gfds: Dict[str, GFD] = {}
         self._components: Dict[str, Set[NodeId]] = {}  # gfd name -> its copy
         self._has_disconnected = False
@@ -107,6 +114,13 @@ class IncrementalSat:
     @property
     def sigma(self) -> List[GFD]:
         return list(self._gfds.values())
+
+    @property
+    def results(self) -> "ResultStore":
+        """The layered result store over the current persistent state."""
+        from ..results.store import ResultStore
+
+        return ResultStore.from_engine(self.engine)
 
     def __len__(self) -> int:
         return len(self._gfds)
@@ -259,7 +273,13 @@ class IncrementalSat:
     def _recompute(self, trigger_name: str) -> IncrementalStep:
         """Sound fallback: rebuild Eq from scratch over the full ``GΣ``."""
         self.eq = EqRelation()
-        self.engine = EnforcementEngine(self.eq, dict(self._gfds), InvertedIndex())
+        self.engine = EnforcementEngine(
+            self.eq,
+            dict(self._gfds),
+            InvertedIndex(),
+            capture_provenance=self.capture_provenance,
+        )
+        self.engine.set_evidence_context(origin="incremental")
         matches = 0
         if self._ruleset is not None:
             for name, assignment in self._ruleset.matches():

@@ -64,9 +64,29 @@ class ImpResult:
     conflict: Optional[Conflict]
     eq: EqRelation
     stats: ImpStats
+    engine: Optional[EnforcementEngine] = None
 
     def __bool__(self) -> bool:
         return self.implied
+
+    @property
+    def results(self) -> "ResultStore":
+        """The layered result store (evidence / derivation / claims).
+
+        Trivial short-circuits (``trivial-X``/``trivial-Y``/pre-enforcement
+        ``derived``) never built an engine; their store carries only the
+        ``Eq_X`` derivation and, for ``trivial-X``, the conflict claim.
+        """
+        from ..results.claims import ConflictClaim
+        from ..results.store import ResultStore
+
+        if self.engine is not None:
+            return ResultStore.from_engine(self.engine)
+        return ResultStore(
+            derivation=list(self.eq.delta_since(0)),
+            conflict=ConflictClaim.from_conflict(self.conflict) if self.conflict else None,
+            eq=self.eq,
+        )
 
 
 def _subsumed_by_eqx(gfd: GFD, canonical: ImplicationCanonical) -> bool:
@@ -88,6 +108,7 @@ def seq_imp(
     use_simulation_pruning: bool = True,
     use_bitsets: bool = True,
     use_ruleset_plan: bool = False,
+    capture_provenance: bool = True,
 ) -> ImpResult:
     """Decide whether ``Σ |= φ`` (exact).
 
@@ -116,7 +137,12 @@ def seq_imp(
         return ImpResult(True, "derived", None, eq, stats)
 
     gfds_by_name = {gfd.name: gfd for gfd in sigma}
-    engine = EnforcementEngine(eq, gfds_by_name, InvertedIndex())
+    engine = EnforcementEngine(
+        eq, gfds_by_name, InvertedIndex(), capture_provenance=capture_provenance
+    )
+    engine.set_evidence_context(
+        origin="seq", plan="ruleset" if use_ruleset_plan else "per-rule"
+    )
 
     if use_dependency_order:
         ordered = gfd_dependency_order(sigma)
@@ -142,16 +168,16 @@ def seq_imp(
                 stats.match_ticks += run.ticks
                 stats.enforcement = engine.stats
                 stats.wall_seconds = time.perf_counter() - started
-                return ImpResult(True, "conflict", eq.conflict, eq, stats)
+                return ImpResult(True, "conflict", eq.conflict, eq, stats, engine)
             if changed and consequent_entailed(eq, phi, identity):
                 stats.match_ticks += run.ticks
                 stats.enforcement = engine.stats
                 stats.wall_seconds = time.perf_counter() - started
-                return ImpResult(True, "derived", None, eq, stats)
+                return ImpResult(True, "derived", None, eq, stats, engine)
         stats.match_ticks += run.ticks
         stats.enforcement = engine.stats
         stats.wall_seconds = time.perf_counter() - started
-        return ImpResult(False, "not-implied", None, eq, stats)
+        return ImpResult(False, "not-implied", None, eq, stats, engine)
 
     for gfd in ordered:
         if gfd.is_trivial():
@@ -177,16 +203,16 @@ def seq_imp(
                 stats.match_ticks += run.ticks
                 stats.enforcement = engine.stats
                 stats.wall_seconds = time.perf_counter() - started
-                return ImpResult(True, "conflict", eq.conflict, eq, stats)
+                return ImpResult(True, "conflict", eq.conflict, eq, stats, engine)
             if changed and consequent_entailed(eq, phi, identity):
                 stats.match_ticks += run.ticks
                 stats.enforcement = engine.stats
                 stats.wall_seconds = time.perf_counter() - started
-                return ImpResult(True, "derived", None, eq, stats)
+                return ImpResult(True, "derived", None, eq, stats, engine)
         stats.match_ticks += run.ticks
     stats.enforcement = engine.stats
     stats.wall_seconds = time.perf_counter() - started
-    return ImpResult(False, "not-implied", None, eq, stats)
+    return ImpResult(False, "not-implied", None, eq, stats, engine)
 
 
 def implies(sigma: Sequence[GFD], phi: GFD) -> bool:

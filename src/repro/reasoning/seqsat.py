@@ -55,8 +55,9 @@ class SatStats:
 class SatResult:
     """Outcome of a satisfiability check.
 
-    *engine* exposes the enforcement provenance (per-operation premise
-    terms) used by :mod:`repro.reasoning.explain`.
+    *engine* holds the evidence log and the provenance-stamped ``Eq``;
+    :attr:`results` assembles them into the layered
+    :class:`~repro.results.store.ResultStore` on first access.
     """
 
     satisfiable: bool
@@ -69,6 +70,15 @@ class SatResult:
     def __bool__(self) -> bool:
         return self.satisfiable
 
+    @property
+    def results(self) -> "ResultStore":
+        """The layered result store (evidence / derivation / claims)."""
+        from ..results.store import ResultStore
+
+        if self.engine is None:
+            return ResultStore(derivation=list(self.eq.delta_since(0)), eq=self.eq)
+        return ResultStore.from_engine(self.engine)
+
 
 def seq_sat(
     sigma: Sequence[GFD],
@@ -76,6 +86,7 @@ def seq_sat(
     use_simulation_pruning: bool = True,
     use_bitsets: bool = True,
     use_ruleset_plan: bool = False,
+    capture_provenance: bool = True,
 ) -> SatResult:
     """Decide whether *sigma* is satisfiable (exact).
 
@@ -90,12 +101,20 @@ def seq_sat(
     match streams are byte-identical to the per-rule loop (the ablation
     and correctness oracle), and the verdict is order-independent by the
     Church-Rosser property of the monotone ``Eq`` chase.
+    *capture_provenance* (default on) interns evidence records and stamps
+    structured provenance on ΔEq ops; disable it for the overhead
+    ablation (explanations degrade to bare source names).
     """
     started = time.perf_counter()
     stats = SatStats(gfds=len(sigma))
     canonical = build_canonical_graph(sigma)
     eq = EqRelation()
-    engine = EnforcementEngine(eq, canonical.gfds, InvertedIndex())
+    engine = EnforcementEngine(
+        eq, canonical.gfds, InvertedIndex(), capture_provenance=capture_provenance
+    )
+    engine.set_evidence_context(
+        origin="seq", plan="ruleset" if use_ruleset_plan else "per-rule"
+    )
 
     ordered = gfd_dependency_order(sigma) if use_dependency_order else list(sigma)
     conflict: Optional[Conflict] = None

@@ -13,7 +13,6 @@ This module implements the *semantics* of GFDs (Section III) directly:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..gfd.gfd import GFD
@@ -23,6 +22,9 @@ from ..graph.graph import PropertyGraph
 from ..matching.homomorphism import MatcherRun
 from ..matching.plan import get_plan
 from ..matching.simulation import simulation_candidates
+from ..results.claims import Violation
+from ..results.evidence import MatchEvidence, evidence_ref
+from ..results.store import ResultStore
 from .seqsat import SatResult
 
 Assignment = Mapping[str, NodeId]
@@ -50,19 +52,6 @@ def match_satisfies_literal(graph: PropertyGraph, literal: Literal, assignment: 
 def match_satisfies(graph: PropertyGraph, literals: Sequence[Literal], assignment: Assignment) -> bool:
     """``h(x̄) |= X`` (conjunction over *literals*; empty set is true)."""
     return all(match_satisfies_literal(graph, lit, assignment) for lit in literals)
-
-
-@dataclass(frozen=True)
-class Violation:
-    """A witness that ``G`` violates a GFD: a match whose ``X`` holds but
-    whose ``Y`` fails."""
-
-    gfd_name: str
-    assignment: Dict[str, NodeId]
-
-    def __str__(self) -> str:
-        bound = ", ".join(f"{var}→{node}" for var, node in sorted(self.assignment.items()))
-        return f"{self.gfd_name} violated at [{bound}]"
 
 
 def find_violations(
@@ -94,7 +83,9 @@ def find_violations(
             continue
         if match_satisfies(graph, gfd.consequent, assignment):
             continue
-        violations.append(Violation(gfd.name, dict(assignment)))
+        violations.append(
+            Violation(gfd.name, dict(assignment), evidence_ref(gfd.name, assignment))
+        )
         if limit is not None and len(violations) >= limit:
             break
     return violations
@@ -139,7 +130,9 @@ def detect_errors(
                 continue
             if match_satisfies(graph, gfd.consequent, assignment):
                 continue
-            bucket.append(Violation(name, dict(assignment)))
+            bucket.append(
+                Violation(name, dict(assignment), evidence_ref(name, assignment))
+            )
         return [
             violation
             for gfd in sigma
@@ -149,6 +142,40 @@ def detect_errors(
     for gfd in sigma:
         errors.extend(find_violations(graph, gfd, limit=limit_per_gfd))
     return errors
+
+
+def detect_errors_store(
+    graph: PropertyGraph,
+    sigma: Sequence[GFD],
+    limit_per_gfd: Optional[int] = None,
+    use_ruleset_plan: bool = False,
+) -> ResultStore:
+    """:func:`detect_errors` with the layered result model attached.
+
+    Every violation claim references an interned :class:`MatchEvidence`
+    record for its witnessing match (origin ``"validate"``; plan names the
+    matching path used). Error detection runs against concrete attribute
+    values — no ``Eq`` chase — so the store's derivation layer is empty.
+    """
+    gfds = {gfd.name: gfd for gfd in sigma}
+    violations = detect_errors(graph, sigma, limit_per_gfd, use_ruleset_plan)
+    store = ResultStore(violations=violations)
+    plan = "ruleset" if use_ruleset_plan else "per-rule"
+    for violation in violations:
+        gfd = gfds.get(violation.gfd_name)
+        pivot = None
+        if gfd is not None and gfd.pattern.variables:
+            pivot = violation.assignment.get(gfd.pattern.variables[0])
+        store.evidence.intern(
+            MatchEvidence.from_match(
+                violation.gfd_name,
+                violation.assignment,
+                pivot=pivot,
+                origin="validate",
+                plan=plan,
+            )
+        )
+    return store
 
 
 def is_model_of(graph: PropertyGraph, sigma: Sequence[GFD]) -> bool:

@@ -1,0 +1,32 @@
+"""Layered result model: evidence, derivation, claims (ROADMAP rung).
+
+Three layers that reference but never flatten into each other:
+
+* **evidence** (:mod:`repro.results.evidence`) — interned match records
+  with stable content-derived refs: which rule, which pivot, which
+  assignment, which plan/fragment produced it.
+* **derivation** — the ΔEq chain: ``DeltaOp``s stamped with structured
+  :class:`~repro.eq.eqrelation.Provenance` ``(gfd, match_ref,
+  premise_terms)`` records (owned by :mod:`repro.eq.eqrelation`).
+* **claims** (:mod:`repro.results.claims`) — typed ``Violation`` /
+  ``ConflictClaim`` objects holding references into the other two.
+
+:class:`~repro.results.store.ResultStore` bundles all three for
+post-run queries (explanations, JSON export, ``affected_by``) with zero
+re-matching.
+"""
+
+from .claims import ConflictClaim, Violation
+from .evidence import EvidenceLog, MatchEvidence, evidence_ref
+from .store import DerivationExplanation, ResultStore, slice_derivation
+
+__all__ = [
+    "ConflictClaim",
+    "Violation",
+    "EvidenceLog",
+    "MatchEvidence",
+    "evidence_ref",
+    "DerivationExplanation",
+    "ResultStore",
+    "slice_derivation",
+]

@@ -1,0 +1,89 @@
+"""The claims layer: typed verdict objects referencing evidence/derivation.
+
+A *claim* is what a run asserts about the input — "this match violates
+that GFD", "this rule set is inconsistent". Claims hold *references*
+(evidence refs, log positions, premise terms) into the evidence and
+derivation layers rather than copies of them, so they stay cheap to
+serialize and the layers never flatten into each other: a claim answers
+"which rule, where" on its own, and resolves "which match, which merge
+steps" through the :class:`~repro.results.store.ResultStore` it lives in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..eq.eqrelation import Conflict, Provenance, Term
+from ..graph.elements import NodeId
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A witness that ``G`` violates a GFD: a match whose ``X`` holds but
+    whose ``Y`` fails.
+
+    *evidence_ref* points at the :class:`~repro.results.evidence.MatchEvidence`
+    record for the witnessing match (empty when the producer captured no
+    evidence — the claim still stands alone on (gfd_name, assignment)).
+    """
+
+    gfd_name: str
+    assignment: Dict[str, NodeId]
+    evidence_ref: str = ""
+
+    def __str__(self) -> str:
+        bound = ", ".join(f"{var}→{node}" for var, node in sorted(self.assignment.items()))
+        return f"{self.gfd_name} violated at [{bound}]"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "gfd": self.gfd_name,
+            "assignment": dict(self.assignment),
+            "evidence_ref": self.evidence_ref,
+        }
+
+
+@dataclass(frozen=True)
+class ConflictClaim:
+    """The claim that a rule set is inconsistent: an ``Eq`` clash plus the
+    structured origin of the operation that caused it.
+
+    Wraps the low-level :class:`~repro.eq.eqrelation.Conflict` — *gfd_name*
+    / *evidence_ref* / *premise_terms* are lifted out of its provenance so
+    the claim serializes without dragging the ``Eq`` machinery along.
+    """
+
+    term: Term
+    value_a: object
+    value_b: object
+    gfd_name: str = ""
+    evidence_ref: str = ""
+    premise_terms: Tuple[Term, ...] = ()
+
+    @classmethod
+    def from_conflict(cls, conflict: Conflict) -> "ConflictClaim":
+        prov: Optional[Provenance] = conflict.provenance
+        return cls(
+            term=conflict.term,
+            value_a=conflict.value_a,
+            value_b=conflict.value_b,
+            gfd_name=(prov.gfd if prov else conflict.source),
+            evidence_ref=(prov.match_ref if prov else ""),
+            premise_terms=(prov.premise_terms if prov else ()),
+        )
+
+    def __str__(self) -> str:
+        node, attr = self.term
+        origin = f" (while enforcing {self.gfd_name})" if self.gfd_name else ""
+        return f"{node}.{attr} = {self.value_a!r} and {self.value_b!r}{origin}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "term": list(self.term),
+            "value_a": self.value_a,
+            "value_b": self.value_b,
+            "gfd": self.gfd_name,
+            "evidence_ref": self.evidence_ref,
+            "premise_terms": [list(term) for term in self.premise_terms],
+        }

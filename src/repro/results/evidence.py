@@ -1,0 +1,243 @@
+"""The evidence layer: interned match records with stable cross-worker ids.
+
+A :class:`MatchEvidence` records *that a match of a GFD's antecedent
+pattern was found and enforced*: which rule, which pivot, the full
+variable assignment, and where it was produced (plan kind, fragment,
+worker unit). Its :attr:`~MatchEvidence.ref` is content-derived — a
+short blake2s digest over the (gfd, assignment) pair only — so the same
+logical match gets the same id no matter which backend, worker, plan, or
+fragment produced it. That stability is what lets the coordinator merge
+evidence shipped from process workers with sequential runs and have the
+backend-equivalence differential compare refs directly.
+
+Producer metadata (pivot, unit uid, fragment id, origin) is carried on
+the record but deliberately excluded from the ref: two workers finding
+the same match through different routes still intern to one record.
+
+:class:`EvidenceLog` is the interning container: append-only, dedup by
+ref (first record wins), with the same ``position()``/``delta_since()``
+mark-and-slice shape as ``EqRelation``'s delta log so the parallel tier
+can ship only the evidence produced since the last sync round.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from hashlib import blake2s
+from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+
+from ..graph.elements import NodeId
+
+#: (variable, node) pairs sorted by variable — the canonical assignment form.
+AssignmentItems = Tuple[Tuple[str, NodeId], ...]
+
+
+def ref_of_items(gfd: str, items: AssignmentItems) -> str:
+    return blake2s(repr((gfd, items)).encode(), digest_size=10).hexdigest()
+
+
+def evidence_ref(gfd: str, assignment: Dict[str, NodeId]) -> str:
+    """The stable id of a match: digest of the rule name + assignment.
+
+    Everything else about the match (pivot choice, plan, fragment,
+    worker) is reproducible metadata, not identity.
+    """
+    return ref_of_items(gfd, tuple(sorted(assignment.items())))
+
+
+class MatchEvidence(NamedTuple):
+    """One enforced match: which rule fired, on which nodes, found how.
+
+    *ref* is redundant with (gfd, assignment) — see :func:`evidence_ref` —
+    but stored so consumers never recompute digests. *origin* names the
+    producer path (``"seq"``, ``"unit"``, ``"cascade"``, ``"validate"``);
+    *plan* distinguishes per-rule plans from the ruleset trie; *fragment*
+    is the fragment id for fragmented runs (``None`` otherwise).
+
+    A ``NamedTuple`` rather than a dataclass: records are constructed on
+    the hot enforcement path (one per satisfied match), where tuple
+    construction is measurably cheaper than a frozen dataclass's
+    ``__setattr__`` dance.
+    """
+
+    ref: str
+    gfd: str
+    assignment: AssignmentItems
+    pivot: Optional[NodeId] = None
+    origin: str = ""
+    plan: str = ""
+    fragment: Optional[int] = None
+    unit_uid: str = ""
+
+    @classmethod
+    def from_match(
+        cls,
+        gfd: str,
+        assignment: Dict[str, NodeId],
+        *,
+        pivot: Optional[NodeId] = None,
+        origin: str = "",
+        plan: str = "",
+        fragment: Optional[int] = None,
+        unit_uid: str = "",
+    ) -> "MatchEvidence":
+        items = tuple(sorted(assignment.items()))
+        return cls(
+            ref=ref_of_items(gfd, items),
+            gfd=gfd,
+            assignment=items,
+            pivot=pivot,
+            origin=origin,
+            plan=plan,
+            fragment=fragment,
+            unit_uid=unit_uid,
+        )
+
+    def assignment_dict(self) -> Dict[str, NodeId]:
+        return dict(self.assignment)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "ref": self.ref,
+            "gfd": self.gfd,
+            "assignment": {var: node for var, node in self.assignment},
+            "pivot": self.pivot,
+            "origin": self.origin,
+            "plan": self.plan,
+            "fragment": self.fragment,
+            "unit_uid": self.unit_uid,
+        }
+
+
+@dataclass
+class EvidenceLog:
+    """Append-only, ref-interned store of :class:`MatchEvidence` records.
+
+    Interning is first-wins: re-recording a match already present (a
+    second worker finding it, a reply shipping it twice, a cascade
+    re-check) is a no-op, which makes merging shipped evidence
+    idempotent. The ordered list + ``position()``/``delta_since()`` give
+    the parallel tier the same mark-and-slice protocol the ΔEq log uses.
+
+    Capture is lazy: the hot path appends raw ``(gfd, assignment,
+    context)`` triples via :meth:`note`, and sorting/digesting/record
+    construction run on first read (:meth:`_flush`). A sequential run
+    therefore pays only a list append per enforced match; the
+    materialization cost lands on whoever queries the layer.
+    """
+
+    _records: List[MatchEvidence] = field(default_factory=list)
+    _by_ref: Dict[str, MatchEvidence] = field(default_factory=dict)
+    #: Raw ``(gfd, assignment, context)`` triples noted on the hot path and
+    #: not yet materialized into records.
+    _pending: List[Tuple[str, Dict[str, NodeId], Dict[str, object]]] = field(
+        default_factory=list
+    )
+    #: Guards materialization: the threaded backend shares one log across
+    #: workers, and readers (``position``/``delta_since``) flush outside
+    #: the engine lock. ``note`` stays lock-free (list.append is atomic).
+    _lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Locks cannot cross process boundaries (worker snapshots pickle
+        # the engine, evidence log included); drop and recreate.
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
+    def note(
+        self,
+        gfd: str,
+        assignment: Dict[str, NodeId],
+        context: Dict[str, object],
+    ) -> None:
+        """Hot-path capture: append the raw match, defer everything else.
+
+        The enforcement engine calls this once per satisfied match, so it
+        must cost a list append and nothing more — sorting, digesting, and
+        record construction happen lazily in :meth:`_flush` when the log
+        is first read. Takes ownership of *assignment* (callers pass a
+        fresh dict per match); *context* is snapshotted by reference
+        (``set_evidence_context`` replaces the dict, never mutates it).
+        """
+        self._pending.append((gfd, assignment, context))
+
+    def _flush(self) -> None:
+        """Materialize pending notes, first-wins, in capture order."""
+        if not self._pending:
+            return
+        with self._lock:
+            pending, self._pending = self._pending, []
+            for gfd, assignment, context in pending:
+                items = tuple(sorted(assignment.items()))
+                ref = ref_of_items(gfd, items)
+                if ref in self._by_ref:
+                    continue
+                record = MatchEvidence(ref, gfd, items, **context)
+                self._records.append(record)
+                self._by_ref[ref] = record
+
+    def intern(self, record: MatchEvidence) -> MatchEvidence:
+        """Add *record* unless its ref is known; return the canonical one."""
+        with self._lock:
+            self._flush()
+            existing = self._by_ref.get(record.ref)
+            if existing is not None:
+                return existing
+            self._records.append(record)
+            self._by_ref[record.ref] = record
+            return record
+
+    def get(self, ref: str) -> Optional[MatchEvidence]:
+        self._flush()
+        return self._by_ref.get(ref)
+
+    def __contains__(self, ref: str) -> bool:
+        self._flush()
+        return ref in self._by_ref
+
+    def __len__(self) -> int:
+        self._flush()
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[MatchEvidence]:
+        self._flush()
+        return iter(self._records)
+
+    def refs(self) -> List[str]:
+        self._flush()
+        return [record.ref for record in self._records]
+
+    def position(self) -> int:
+        """Current length (a mark for :meth:`delta_since`)."""
+        self._flush()
+        return len(self._records)
+
+    def delta_since(self, mark: int) -> List[MatchEvidence]:
+        """Records interned after *mark* — the shippable evidence delta."""
+        self._flush()
+        return self._records[mark:]
+
+    def merge(self, records: Sequence[MatchEvidence]) -> int:
+        """Intern shipped *records*; returns how many were new."""
+        self._flush()
+        before = len(self._records)
+        for record in records:
+            self.intern(record)
+        return len(self._records) - before
+
+    def copy(self) -> "EvidenceLog":
+        self._flush()
+        clone = EvidenceLog()
+        clone._records = list(self._records)
+        clone._by_ref = dict(self._by_ref)
+        return clone
+
+    def to_json(self) -> List[Dict[str, object]]:
+        self._flush()
+        return [record.to_json() for record in self._records]

@@ -349,6 +349,95 @@ class TestFragmentedEquivalence:
         assert outcome.fragments_shipped <= config.fragments + outcome.worker_deaths
 
 
+class TestLayeredResultEquivalence:
+    """The layered result model is backend-invariant. Evidence refs are
+    content-derived (rule + assignment only), so a run-to-completion on
+    any backend — any fragment count, even through a fault plan — interns
+    exactly the evidence set the sequential run does, and its store
+    explains conflicts without re-matching. (Unsatisfiable runs terminate
+    at the first conflict, so only satisfiable instances compare full ref
+    sets; unsat instances compare verdict + explainability.)"""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_satisfiable_refs_identical_across_backends(self, seed):
+        sigma = random_gfds(9 + seed, 4, 3, seed=900 + seed)
+        oracle = seq_sat(sigma)
+        assert oracle.satisfiable
+        expected = set(oracle.results.evidence.refs())
+        assert expected  # the instance actually enforced matches
+        config = RuntimeConfig(workers=3)
+        for backend in ALL_BACKENDS:
+            result = par_sat(sigma, config, backend=backend)
+            got = set(result.results.evidence.refs())
+            assert got == expected, (backend, seed)
+
+    def test_satisfiable_refs_identical_fragmented(self):
+        sigma = random_gfds(10, 4, 3, seed=910)
+        oracle = seq_sat(sigma)
+        assert oracle.satisfiable
+        expected = set(oracle.results.evidence.refs())
+        base = RuntimeConfig(workers=3)
+        for fragments in (1, 4):
+            config = base.with_fragments(fragments)
+            for backend in ALL_BACKENDS:
+                result = par_sat(sigma, config, backend=backend)
+                got = set(result.results.evidence.refs())
+                assert got == expected, (backend, fragments)
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_satisfiable_refs_survive_fault_plan(self, seed):
+        # Crashed replicas lose their parked matches; re-executed units
+        # re-derive the same matches, and first-wins interning of the
+        # same content-derived refs leaves the merged log unchanged.
+        sigma = random_gfds(10, 4, 3, seed=920 + seed)
+        oracle = seq_sat(sigma)
+        assert oracle.satisfiable
+        expected = set(oracle.results.evidence.refs())
+        plan = FaultPlan.random(seed=930 + seed, workers=3, events=2)
+        config = RuntimeConfig(
+            workers=3,
+            fault_plan=plan,
+            batch_timeout_seconds=5.0,
+            respawn_backoff_seconds=0.01,
+        ).with_fragments(2)
+        for backend in ALL_BACKENDS:
+            result = par_sat(sigma, config, backend=backend)
+            assert result.satisfiable, (backend, seed, plan)
+            got = set(result.results.evidence.refs())
+            assert got == expected, (backend, seed, plan)
+
+    def test_unsat_conflict_explainable_on_every_backend(self, example4_sigma):
+        base = RuntimeConfig(workers=2)
+        for fragments in (1, 4):
+            config = base.with_fragments(fragments)
+            for backend in ALL_BACKENDS:
+                result = par_sat(example4_sigma, config, backend=backend)
+                assert not result.satisfiable, (backend, fragments)
+                store = result.results
+                assert store.conflict is not None
+                explanation = store.explain_conflict()
+                assert explanation is not None, (backend, fragments)
+                assert explanation.gfds_involved, (backend, fragments)
+                # Whatever match the conflict cites must have made it into
+                # the coordinator's merged evidence layer.
+                if store.conflict.evidence_ref:
+                    assert store.evidence.get(store.conflict.evidence_ref) is not None
+
+    def test_derivation_provenance_survives_worker_shipping(self):
+        # Process workers ship ΔEq ops across pickling; the structured
+        # (gfd, match_ref, premise_terms) records must arrive intact and
+        # resolve against the merged evidence log.
+        sigma = random_gfds(10, 4, 3, seed=910)
+        result = par_sat(sigma, RuntimeConfig(workers=3), backend="process")
+        store = result.results
+        stamped = [op for op in store.derivation if op.provenance is not None]
+        assert stamped
+        for op in stamped:
+            assert op.provenance.gfd
+            if op.provenance.match_ref:
+                assert store.evidence.get(op.provenance.match_ref) is not None
+
+
 class TestImpEquivalence:
     def test_paper_example8(self, example8_sigma, example8_phi13):
         config = RuntimeConfig(workers=3)

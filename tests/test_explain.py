@@ -72,19 +72,27 @@ def test_explanation_slice_contains_conflict_sources(seed):
         return
     explanation = explain_unsatisfiability(sigma, result)
     assert explanation is not None
-    clash_source = result.conflict.source.split(":")[0]
-    if clash_source:
-        assert clash_source in explanation.gfds_involved
+    conflict = result.conflict
+    clash_gfd = conflict.provenance.gfd if conflict.provenance else conflict.source
+    if clash_gfd:
+        assert clash_gfd in explanation.gfds_involved
     # The slice is a subsequence of the log, and every step is connected to
-    # the conflict through data (class terms) or control (premise) edges.
+    # the conflict through data (class terms) or control (premise) edges —
+    # both read straight off each op's structured provenance.
     log = result.eq.delta_since(0)
     log_ids = [id(op) for op in log]
     positions = [log_ids.index(id(op)) for op in explanation.steps]
     assert positions == sorted(positions)
-    relevant = set(result.eq.members(result.conflict.term))
-    relevant.update(result.engine.conflict_premises)
+    relevant = set(result.eq.members(conflict.term))
+    if conflict.provenance is not None:
+        relevant.update(conflict.provenance.premise_terms)
     for op in reversed(explanation.steps):
-        index = log_ids.index(id(op))
         assert any(term in relevant for term in op.terms())
         relevant.update(op.terms())
-        relevant.update(result.engine.premises.get(index, ()))
+        if op.provenance is not None:
+            relevant.update(op.provenance.premise_terms)
+    # Every step's evidence ref resolves in the run's evidence layer.
+    store = result.results
+    for op in explanation.steps:
+        if op.provenance is not None and op.provenance.match_ref:
+            assert store.evidence.get(op.provenance.match_ref) is not None

@@ -151,6 +151,31 @@ BENCHES: Dict[str, Dict] = {
             ("fragments.4.wall_seconds_min", "seconds"),
         ],
     },
+    "results": {
+        # Layered-result-model smoke: delta_hub with evidence/derivation
+        # capture on vs the without_provenance() ablation, sequential and
+        # process-backend. The script itself exits nonzero unless all
+        # verdicts agree AND the process backend's merged evidence refs
+        # equal the sequential run's (stable cross-worker ids); the gate
+        # pins those invariants, the deterministic evidence/derivation
+        # counts, and tracks capture efficiency (off wall / on wall,
+        # higher is better — falling means provenance capture got dearer).
+        "script": "benchmarks/bench_parallel.py",
+        "args": ["--smoke", "--results", "--workers", "2"],
+        "metrics": [
+            ("verdicts_agree", "exact"),
+            ("refs_agree", "exact"),
+            ("sequential.on.evidence_records", "exact"),
+            ("sequential.on.derivation_ops", "exact"),
+            ("process.on.evidence_records", "exact"),
+            ("simulated.evidence_records", "exact"),
+            ("simulated.virtual_seconds", "count"),
+            ("capture_efficiency_seq", "ratio"),
+            ("capture_efficiency_process", "ratio"),
+            ("sequential.on.wall_seconds_min", "seconds"),
+            ("process.on.wall_seconds_min", "seconds"),
+        ],
+    },
     "incremental": {
         "script": "benchmarks/bench_incremental.py",
         "args": ["--smoke"],
