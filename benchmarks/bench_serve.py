@@ -1,0 +1,313 @@
+"""Benchmark: the validation service under concurrent writers and readers.
+
+Measures the PR 10 tentpole end to end: a :class:`ValidationServer` holds
+a hot graph while **16 open-loop client sessions** fire ``validate``
+queries at a fixed arrival rate and one writer session streams mutation
+batches the whole time. Every query pins an MVCC read view; the bench
+records latency percentiles (measured from the *scheduled* send time, so
+queueing delay is not silently omitted) and the snapshot-pin counters
+(pins, in-place advances, forks, full copies).
+
+Two invariants are **asserted**, not just reported, and the script exits
+nonzero if either fails:
+
+* ``failed_queries == 0`` — every query answers while writes stream;
+* ``mismatches == 0`` — every query's violation list is byte-identical
+  (same JSON serialization) to a sequential ``detect_errors_store`` run
+  against a reference graph rebuilt from the recorded mutation journal
+  truncated at that query's pinned version. This is the serving layer's
+  whole correctness claim: a pinned view equals "the graph as of V".
+
+Numbers land in ``BENCH_serve.json``; ``--smoke`` runs a reduced config
+for CI (same 16 clients, fewer requests each).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--output FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import statistics
+import sys
+import threading
+import time
+from typing import Dict, List
+
+from repro.graph.graph import PropertyGraph
+from repro.gfd.parser import parse_gfds
+from repro.reasoning.validation import detect_errors_store
+from repro.serve import ServeClient, ServerConfig, SessionQuota, ValidationServer
+from repro.serve.protocol import apply_wire_ops
+
+RULES = """
+gfd same_name_same_zip {
+    x: person; y: person; z: city;
+    x -[lives_in]-> z; y -[lives_in]-> z;
+    when x.name = y.name;
+    then x.zip = y.zip;
+}
+"""
+
+NAMES = ["ada", "bob", "cyn"]
+NUM_CITIES = 4
+
+
+def seed_ops() -> List[Dict[str, object]]:
+    ops: List[Dict[str, object]] = []
+    for city in range(NUM_CITIES):
+        ops.append({"kind": "add_node", "id": f"c{city}", "label": "city"})
+    for person in range(8):
+        ops.append(
+            {
+                "kind": "add_node",
+                "id": f"p{person}",
+                "label": "person",
+                "attrs": {"name": NAMES[person % len(NAMES)], "zip": person % 2},
+            }
+        )
+        ops.append(
+            {
+                "kind": "add_edge",
+                "src": f"p{person}",
+                "dst": f"c{person % NUM_CITIES}",
+                "label": "lives_in",
+            }
+        )
+    return ops
+
+
+def writer_batch(index: int) -> List[Dict[str, object]]:
+    """Batch *index* of the write stream (explicit ids: replayable)."""
+    node_id = f"w{index}"
+    return [
+        {
+            "kind": "add_node",
+            "id": node_id,
+            "label": "person",
+            "attrs": {"name": NAMES[index % len(NAMES)], "zip": index % 3},
+        },
+        {
+            "kind": "add_edge",
+            "src": node_id,
+            "dst": f"c{index % NUM_CITIES}",
+            "label": "lives_in",
+        },
+    ]
+
+
+class BenchServer:
+    """The server on a background event loop (same shape as the tests)."""
+
+    def __init__(self, config: ServerConfig):
+        self.loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=self._run, daemon=True)
+        thread.start()
+        self._thread = thread
+        self.server = ValidationServer(None, config)
+        future = asyncio.run_coroutine_threadsafe(self.server.start(), self.loop)
+        self.host, self.port = future.result(30)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_forever()
+
+    def close(self) -> None:
+        asyncio.run_coroutine_threadsafe(self.server.aclose(), self.loop).result(60)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=10)
+        self.loop.close()
+
+
+def percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def run_workload(
+    clients: int,
+    requests_per_client: int,
+    writer_batches: int,
+    arrival_interval: float,
+) -> Dict[str, object]:
+    config = ServerConfig(
+        max_inflight_queries=8,
+        query_threads=8,
+        mutation_queue_depth=32,
+        trim_interval_batches=8,
+        quota=SessionQuota(max_inflight=4),
+    )
+    bench = BenchServer(config)
+    journal: List[Dict[str, object]] = []
+    journal_lock = threading.Lock()
+    query_log: List[Dict[str, object]] = []
+    query_lock = threading.Lock()
+    failures: List[str] = []
+    writer_done = threading.Event()
+
+    def record_batch(ops: List[Dict[str, object]], ack: Dict[str, object]) -> None:
+        with journal_lock:
+            journal.extend(ops)
+            if ack["version"] != len(journal):
+                failures.append(
+                    f"journal desync: server at {ack['version']}, recorded {len(journal)}"
+                )
+
+    def writer_loop() -> None:
+        try:
+            with ServeClient(bench.host, bench.port, timeout=120) as writer:
+                record_batch(seed_ops(), writer.mutate(seed_ops()))
+                for index in range(writer_batches):
+                    batch = writer_batch(index)
+                    record_batch(batch, writer.mutate(batch))
+        except Exception as exc:  # pragma: no cover - surfaced via failures
+            failures.append(f"writer died: {type(exc).__name__}: {exc}")
+        finally:
+            writer_done.set()
+
+    writer = threading.Thread(target=writer_loop)
+    writer.start()
+    # Let the seed batch land before the query storm starts.
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        with journal_lock:
+            if journal:
+                break
+        time.sleep(0.005)
+
+    def client_loop(client_index: int) -> None:
+        try:
+            with ServeClient(bench.host, bench.port, timeout=120) as client:
+                start = time.monotonic()
+                for request_index in range(requests_per_client):
+                    # Open loop: send times are scheduled up front; falling
+                    # behind inflates the *measured* latency instead of
+                    # thinning the arrival rate (no coordinated omission).
+                    scheduled = start + request_index * arrival_interval
+                    now = time.monotonic()
+                    if scheduled > now:
+                        time.sleep(scheduled - now)
+                        scheduled = max(scheduled, time.monotonic() - 0.001)
+                    result = client.validate(RULES)
+                    finished = time.monotonic()
+                    with query_lock:
+                        query_log.append(
+                            {
+                                "latency": finished - scheduled,
+                                "pinned_version": result["pinned_version"],
+                                "violations": result["violations"],
+                            }
+                        )
+        except Exception as exc:
+            failures.append(f"client {client_index} died: {type(exc).__name__}: {exc}")
+
+    threads = [
+        threading.Thread(target=client_loop, args=(index,)) for index in range(clients)
+    ]
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    writer.join()
+    elapsed = time.monotonic() - started
+
+    with ServeClient(bench.host, bench.port, timeout=30) as probe:
+        stats = probe.stats()
+    bench.close()
+
+    # ------------------------------------------------------------------
+    # Differential check: every pinned answer vs a sequential rebuild.
+    # ------------------------------------------------------------------
+    sigma = parse_gfds(RULES)
+    expected_cache: Dict[int, str] = {}
+    mismatches = 0
+    for entry in query_log:
+        version = entry["pinned_version"]
+        expected = expected_cache.get(version)
+        if expected is None:
+            reference = PropertyGraph()
+            applied, _, error = apply_wire_ops(reference, journal[:version])
+            if error is not None or applied != version:
+                failures.append(f"reference replay to {version} failed: {error}")
+                continue
+            store = detect_errors_store(reference, sigma)
+            expected = json.dumps(
+                [v.to_json() for v in store.violations], sort_keys=True
+            )
+            expected_cache[version] = expected
+        actual = json.dumps(entry["violations"], sort_keys=True)
+        if actual != expected:
+            mismatches += 1
+
+    latencies = sorted(entry["latency"] for entry in query_log)
+    views = stats["views"]
+    return {
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "writer_batches": writer_batches,
+        "queries_total": len(query_log),
+        "failed_queries": len(failures),
+        "failures": failures[:10],
+        "mismatches": mismatches,
+        "distinct_versions_queried": len(expected_cache),
+        "wall_seconds": round(elapsed, 4),
+        "throughput_qps": round(len(query_log) / elapsed, 2) if elapsed else 0.0,
+        "latency_p50": round(percentile(latencies, 0.50), 4),
+        "latency_p95": round(percentile(latencies, 0.95), 4),
+        "latency_p99": round(percentile(latencies, 0.99), 4),
+        "latency_mean": round(statistics.fmean(latencies), 4) if latencies else 0.0,
+        "pins_total": views["pins_total"],
+        "snapshot_forks": views["forks"],
+        "snapshot_full_copies": views["full_copies"],
+        "snapshot_ops_replayed": views["ops_replayed"],
+        "mutation_batches": stats["counters"]["mutation_batches"],
+        "mutation_ops": stats["counters"]["mutation_ops"],
+        "server_queries_failed": stats["counters"]["queries_failed"],
+    }
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", help="write results JSON to this file")
+    parser.add_argument(
+        "--smoke", action="store_true", help="run a reduced config (CI smoke)"
+    )
+    parser.add_argument("--clients", type=int, default=16, help="client sessions")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        requests_per_client, writer_batches, interval = 5, 40, 0.01
+    else:
+        requests_per_client, writer_batches, interval = 25, 200, 0.02
+
+    results = run_workload(
+        clients=args.clients,
+        requests_per_client=requests_per_client,
+        writer_batches=writer_batches,
+        arrival_interval=interval,
+    )
+    payload = {"serve": results}
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+
+    ok = results["failed_queries"] == 0 and results["mismatches"] == 0
+    if not ok:
+        print(
+            f"FAIL: {results['failed_queries']} failed queries, "
+            f"{results['mismatches']} pinned-answer mismatches",
+            file=sys.stderr,
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,8 @@ Subcommands::
     gfd-reason explain RULES           derivation chain behind an unsat verdict
     gfd-reason cover  RULES [-o OUT]   implication-based minimal cover
     gfd-reason bench  [FIG ...]        regenerate paper tables/figures
+    gfd-reason serve  [GRAPH]          long-lived validation service
+                                       (concurrent sessions, ndjson/TCP)
 
 ``explain`` queries the layered result store post-run — evidence (which
 match), derivation (which merge steps), claims (which rule, where) — with
@@ -240,6 +242,46 @@ def cmd_cover(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .graph.graph import PropertyGraph
+    from .serve.server import ServerConfig, ValidationServer
+    from .serve.session import SessionQuota
+
+    graph = load_graph(args.graph) if args.graph else PropertyGraph()
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight_queries=args.max_inflight,
+        mutation_queue_depth=args.mutation_queue,
+        query_threads=args.query_threads,
+        quota=SessionQuota(
+            max_inflight=args.session_inflight,
+            max_requests=args.session_requests,
+            max_mutation_ops=args.session_mutation_ops,
+        ),
+        parallel_workers=args.parallel or 0,
+        trim_interval_batches=args.trim_interval,
+    )
+    server = ValidationServer(graph, config)
+
+    async def _serve() -> None:
+        host, port = await server.start()
+        # Parsable by wrappers/scripts: the ephemeral-port announcement.
+        print(f"serving on {host}:{port}", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.aclose()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("interrupted — server stopped", file=sys.stderr)
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from .bench.experiments import ALL_EXPERIMENTS
 
@@ -382,6 +424,76 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser("bench", help="regenerate the paper's tables/figures")
     p_bench.add_argument("figures", nargs="*", help="figure ids (default: all)")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-lived validation service (ndjson over TCP)",
+    )
+    p_serve.add_argument(
+        "graph", nargs="?", help="initial data graph (JSON; default: empty)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=0, help="bind port (0 picks an ephemeral one)"
+    )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        metavar="N",
+        help="admission control: queries in flight at once, across sessions",
+    )
+    p_serve.add_argument(
+        "--mutation-queue",
+        type=int,
+        default=64,
+        metavar="N",
+        help="queued mutation batches before writers feel backpressure",
+    )
+    p_serve.add_argument(
+        "--query-threads",
+        type=int,
+        default=8,
+        metavar="N",
+        help="threads executing pinned-snapshot queries",
+    )
+    p_serve.add_argument(
+        "--session-inflight",
+        type=int,
+        default=4,
+        metavar="N",
+        help="per-session concurrent-query quota",
+    )
+    p_serve.add_argument(
+        "--session-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-session lifetime request budget (default: unlimited)",
+    )
+    p_serve.add_argument(
+        "--session-mutation-ops",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-session lifetime mutation-op budget (default: unlimited)",
+    )
+    p_serve.add_argument(
+        "--parallel",
+        type=int,
+        metavar="P",
+        help="enable parallel sat/imp queries on a standing process pool "
+        "of P workers",
+    )
+    p_serve.add_argument(
+        "--trim-interval",
+        type=int,
+        default=32,
+        metavar="N",
+        help="applied batches between delta-history trims (clamped to "
+        "pinned read views)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     return parser
 

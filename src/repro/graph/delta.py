@@ -11,8 +11,11 @@ compaction threshold, discarded in favor of a full O(|G|) recompile.
 
 The ops are :class:`typing.NamedTuple` subclasses on purpose: they unpack
 like tuples in the hot replay loops, pickle compactly (the process backend
-ships them to standing worker replicas instead of fresh snapshots), and
-print readably in diagnostics.
+ships them to standing worker replicas instead of fresh snapshots — whole
+ops in shared mode, per-fragment streams via
+:meth:`~repro.graph.fragment.Fragmenter.split_delta` when the graph is
+fragmented, so each replica receives only the ops its interior + halo can
+see), and print readably in diagnostics.
 
 Ops carry everything a *remote replica* needs to replay the mutation on its
 own :class:`PropertyGraph` copy (see :func:`replay`), not just what the
@@ -59,10 +62,15 @@ def replay(graph, ops: Sequence[tuple]) -> int:
     """Replay journal *ops* onto another :class:`PropertyGraph` replica.
 
     Used by standing process-backend workers: the coordinator ships the ops
-    its graph accumulated since the last exchange, the worker replays them
-    here, and the worker's *index* then absorbs the same ops through its own
-    journal — one delta path end to end, no snapshot re-shipping. Returns
-    the number of ops applied. Ops must be replayed in journal order.
+    its graph accumulated since the last exchange (the whole stream in
+    shared-graph mode; the fragment-filtered stream from
+    :meth:`~repro.graph.fragment.Fragmenter.split_delta` in fragmented
+    mode), the worker replays them here, and the worker's *index* then
+    absorbs the same ops through its own journal — one delta path end to
+    end, no snapshot re-shipping. The serving layer's
+    :class:`~repro.serve.views.SnapshotManager` replays the same ops to
+    advance MVCC snapshots between pinned versions. Returns the number of
+    ops applied. Ops must be replayed in journal order.
     """
     applied = 0
     for op in ops:

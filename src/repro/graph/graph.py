@@ -94,6 +94,10 @@ class PropertyGraph:
         # (process backend): (mutation-count-after-op, op) pairs.
         self._retain_deltas = False
         self._delta_history: List[Tuple[int, tuple]] = []
+        # MVCC pins: version -> reference count. While a version is pinned,
+        # trim_delta_history will not drop the ops needed to reconstruct
+        # any state at or after it (serving-layer read views).
+        self._pinned_versions: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -267,8 +271,79 @@ class PropertyGraph:
             return None
         return ops
 
+    def delta_ops_slice(self, since: int, until: int) -> Optional[List[tuple]]:
+        """Topology ops with stamps in ``(since, until]``, in order.
+
+        The bounded companion of :meth:`delta_ops_since`: read views pinned
+        at *until* are reconstructed by replaying this slice onto a replica
+        already synchronized at *since*. Returns ``None`` when the retained
+        history does not cover the whole range (one entry per mutation in
+        it) or the bounds are out of order / in the future.
+        """
+        if since > until or until > self._mutations:
+            return None
+        if since == until:
+            return []
+        ops = [op for stamp, op in self._delta_history if since < stamp <= until]
+        if len(ops) != until - since:
+            return None
+        return ops
+
+    # ------------------------------------------------------------------
+    # MVCC version pins (serving-layer read views)
+    # ------------------------------------------------------------------
+    def pin_version(self, version: Optional[int] = None) -> int:
+        """Pin mutation-count *version* (default: the current one).
+
+        Pins are reference-counted; each successful call must be balanced
+        by one :meth:`release_version`. While any version is pinned,
+        :meth:`trim_delta_history` is clamped so it never drops ops with
+        stamps above the minimum pinned version — a reader holding a pin
+        at ``V`` can always replay history forward from ``V``, no matter
+        how aggressively writers trim. Returns the pinned version.
+        """
+        if version is None:
+            version = self._mutations
+        elif version > self._mutations:
+            raise GraphError(
+                f"cannot pin future version {version} "
+                f"(mutation count is {self._mutations})"
+            )
+        self._pinned_versions[version] = self._pinned_versions.get(version, 0) + 1
+        return version
+
+    def release_version(self, version: int) -> None:
+        """Release one pin on *version* (raises if it is not pinned)."""
+        count = self._pinned_versions.get(version)
+        if count is None:
+            raise GraphError(f"version {version} is not pinned")
+        if count == 1:
+            del self._pinned_versions[version]
+        else:
+            self._pinned_versions[version] = count - 1
+
+    @property
+    def min_pinned_version(self) -> Optional[int]:
+        """The lowest pinned version, or ``None`` when nothing is pinned."""
+        return min(self._pinned_versions) if self._pinned_versions else None
+
+    @property
+    def pinned_version_count(self) -> int:
+        """Number of outstanding pins (reference counts summed)."""
+        return sum(self._pinned_versions.values())
+
     def trim_delta_history(self, version: int) -> None:
-        """Drop retained ops at or below mutation-count *version*."""
+        """Drop retained ops at or below mutation-count *version*.
+
+        Clamped to the minimum pinned version: ops that a pinned read view
+        may still need for forward replay survive the trim, regardless of
+        the *version* requested (the process backend trims to the full
+        mutation count after every pool refresh — pins keep that safe while
+        the serving layer holds snapshots).
+        """
+        floor = self.min_pinned_version
+        if floor is not None and floor < version:
+            version = floor
         self._delta_history = [
             entry for entry in self._delta_history if entry[0] > version
         ]
@@ -285,6 +360,7 @@ class PropertyGraph:
         state["_journal"] = []
         state["_retain_deltas"] = False
         state["_delta_history"] = []
+        state["_pinned_versions"] = {}
         return state
 
     def __setstate__(self, state: Dict[str, object]) -> None:

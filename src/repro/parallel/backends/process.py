@@ -579,10 +579,19 @@ class ProcessBackend(Backend):
     def _refresh_pool(self, pool, context, engine, goal_check) -> bool:
         """Ship graph deltas + the fresh engine to every standing replica.
 
+        In shared-graph mode every replica receives the whole op stream;
+        in fragmented mode the pool's own :class:`Fragmenter` splits it
+        with ``split_delta`` into per-fragment refresh streams, and each
+        replica receives only the streams of the fragments it holds
+        (``None`` for a fragment means its halo changed — the fresh
+        sub-replica ships whole), plus the re-pinned whole-graph
+        pivot/order decisions.
+
         Returns False — caller must cold-start — when the pool was built
         for a different context, the graph cannot serve the delta history
         back to the last shipped version, or no worker survives the
-        exchange. On success the shipped history is trimmed.
+        exchange. On success the shipped history is trimmed (clamped by
+        any MVCC version pins the serving layer holds on the graph).
         """
         if pool["context"] is not context:
             return False

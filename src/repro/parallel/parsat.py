@@ -70,6 +70,100 @@ class ParSatResult:
         return ResultStore.from_engine(self.engine)
 
 
+@dataclass
+class PreparedSat:
+    """A rule set compiled for repeated parallel satisfiability runs.
+
+    Splits :func:`par_sat` into a *build* phase (canonical graph, unit
+    context, compiled match plans, warm hop maps — everything that is pure
+    in Σ and the config) and a *run* phase (fresh work units + enforcement
+    engine per call). Because :meth:`run` reuses one :class:`UnitContext`
+    across calls, a ``persistent_workers`` process backend recognizes the
+    context on the second run and refreshes its standing replicas through
+    :meth:`~repro.graph.graph.PropertyGraph.delta_ops_since` instead of
+    cold-starting — the serving layer keeps one ``PreparedSat`` per active
+    rule set for exactly this reason.
+    """
+
+    sigma: Sequence[GFD]
+    config: RuntimeConfig
+    canonical: CanonicalGraph
+    context: UnitContext
+
+    @classmethod
+    def build(cls, sigma: Sequence[GFD], config: Optional[RuntimeConfig] = None) -> "PreparedSat":
+        config = config or RuntimeConfig()
+        canonical = build_canonical_graph(sigma)
+        context = UnitContext(
+            canonical.graph,
+            canonical.gfds,
+            use_simulation_pruning=config.use_simulation_pruning,
+            use_bitsets=config.use_bitsets,
+        )
+        # Coordinator-side precomputation: one compiled match plan per GFD
+        # (shared by every pivoted work unit the backend executes) —
+        # process workers inherit these instead of recomputing per replica.
+        context.precompile_plans(sigma)
+        if config.use_ruleset_plan:
+            context.ruleset_plan()
+        return cls(sigma=list(sigma), config=config, canonical=canonical, context=context)
+
+    def make_units(self) -> "list[WorkUnit]":
+        """Generate this run's work units (consumed by the scheduler)."""
+        # Coordinator-side pruning: per-component dual simulation discards
+        # zero-match pivot candidates before queueing (the paper's
+        # simulation-based multi-query optimization, Section V-B).
+        if self.config.use_ruleset_plan:
+            # Rule-set compilation: one grouped unit per (pivot-signature
+            # group, pivot), executed as a single shared-prefix trie walk.
+            units = generate_grouped_work_units(
+                self.sigma,
+                self.canonical.graph,
+                use_simulation=self.config.use_simulation_pruning,
+                use_bitsets=self.config.use_bitsets,
+            )
+        else:
+            index = ComponentIndex(self.canonical.graph)
+            units = generate_pruned_work_units(
+                self.sigma,
+                self.canonical.graph,
+                index=index,
+                use_simulation=self.config.use_simulation_pruning,
+                use_bitsets=self.config.use_bitsets,
+            )
+        if self.config.use_dependency_order:
+            units = order_units(units, self.canonical.gfds, self.canonical.graph)
+        return units
+
+    def run(self, backend) -> ParSatResult:
+        """Execute one satisfiability check on *backend* (a Backend
+        instance, owned by the caller — not closed here)."""
+        units = self.make_units()
+        # Warm dQ-neighborhood hop maps for hot pivots (cached on the
+        # context, so repeat runs start warm).
+        self.context.precompute_neighborhoods(units)
+        if self.config.fragments is not None:
+            # Fragmented execution: edge-cut the canonical graph, pin
+            # units to their pivot's owning fragment, and fix the
+            # whole-graph pivot and variable-order choices so fragment
+            # replicas match identically.
+            attach_fragmentation(self.context, self.sigma, self.config.fragments)
+        engine = EnforcementEngine(
+            EqRelation(),
+            self.canonical.gfds,
+            capture_provenance=self.config.capture_provenance,
+        )
+        outcome = backend.run(units, self.context, engine)
+        return ParSatResult(
+            satisfiable=outcome.conflict is None,
+            conflict=outcome.conflict,
+            outcome=outcome,
+            canonical=self.canonical,
+            eq=engine.eq,
+            engine=engine,
+        )
+
+
 def par_sat(
     sigma: Sequence[GFD],
     config: Optional[RuntimeConfig] = None,
@@ -82,65 +176,14 @@ def par_sat(
     (``'simulated'``, default; deterministic, used for the scalability
     figures), real threads (``'threaded'``), or multiprocessing on real
     cores (``'process'``). *runtime* is the legacy alias for the same
-    selector.
+    selector. One-shot: builds a fresh :class:`PreparedSat` and a fresh
+    backend per call — long-lived callers that want standing pools reuse a
+    ``PreparedSat`` and their own backend instance instead.
     """
     config = config or RuntimeConfig()
     backend_name = resolve_backend_name(backend, runtime)
-    canonical = build_canonical_graph(sigma)
-    # Coordinator-side pruning: per-component dual simulation discards
-    # zero-match pivot candidates before queueing (the paper's
-    # simulation-based multi-query optimization, Section V-B).
-    if config.use_ruleset_plan:
-        # Rule-set compilation: one grouped unit per (pivot-signature
-        # group, pivot), executed as a single shared-prefix trie walk.
-        units = generate_grouped_work_units(
-            sigma,
-            canonical.graph,
-            use_simulation=config.use_simulation_pruning,
-            use_bitsets=config.use_bitsets,
-        )
-    else:
-        index = ComponentIndex(canonical.graph)
-        units = generate_pruned_work_units(
-            sigma,
-            canonical.graph,
-            index=index,
-            use_simulation=config.use_simulation_pruning,
-            use_bitsets=config.use_bitsets,
-        )
-    if config.use_dependency_order:
-        units = order_units(units, canonical.gfds, canonical.graph)
-    context = UnitContext(
-        canonical.graph,
-        canonical.gfds,
-        use_simulation_pruning=config.use_simulation_pruning,
-        use_bitsets=config.use_bitsets,
-    )
-    # Coordinator-side precomputation: one compiled match plan per GFD
-    # (shared by every pivoted work unit the backend executes) and warm
-    # dQ-neighborhood hop maps for hot pivots — process workers inherit
-    # both instead of recomputing them per replica.
-    context.precompile_plans(sigma)
-    if config.use_ruleset_plan:
-        context.ruleset_plan()
-    context.precompute_neighborhoods(units)
-    if config.fragments is not None:
-        # Fragmented execution: edge-cut the canonical graph, pin units to
-        # their pivot's owning fragment, and fix the whole-graph pivot and
-        # variable-order choices so fragment replicas match identically.
-        attach_fragmentation(context, sigma, config.fragments)
-    engine = EnforcementEngine(
-        EqRelation(), canonical.gfds, capture_provenance=config.capture_provenance
-    )
-    outcome = get_backend(backend_name, config).run(units, context, engine)
-    return ParSatResult(
-        satisfiable=outcome.conflict is None,
-        conflict=outcome.conflict,
-        outcome=outcome,
-        canonical=canonical,
-        eq=engine.eq,
-        engine=engine,
-    )
+    prepared = PreparedSat.build(sigma, config)
+    return prepared.run(get_backend(backend_name, config))
 
 
 def par_sat_np(

@@ -1,0 +1,46 @@
+"""Long-lived validation service: concurrent sessions over MVCC snapshots.
+
+The one-shot entry points (``seq_sat``, ``detect_errors``, ``par_sat``…)
+decide a question and exit; this package keeps the expensive state they
+rebuild per call — the compiled :class:`~repro.graph.index.GraphIndex`,
+standing process-backend replicas, per-rule-set unit contexts — alive
+across requests, behind an asyncio front-end speaking newline-delimited
+JSON over a socket.
+
+========== =========================================================
+module     what it holds
+========== =========================================================
+views      MVCC read views: pin-counted, epoch-stamped graph
+           snapshots reconstructed from the mutation journal
+session    per-client sessions, quotas, and admission accounting
+protocol   the ndjson wire protocol (requests, responses, mutation
+           op vocabulary)
+server     :class:`ValidationServer` — single-writer mutation queue,
+           bounded in-flight query semaphore, standing pools
+client     :class:`ServeClient` — a small blocking client for tests,
+           benchmarks, and scripts
+========== =========================================================
+
+Reads never block writes: every validate/explain query pins a snapshot at
+the graph version it arrived at (:class:`~repro.serve.views.ReadView`) and
+matches against that frozen state while the writer keeps appending to the
+live graph. See ``docs/serving.md`` for the operator's guide.
+"""
+
+from .client import ServeClient
+from .protocol import PROTOCOL_VERSION, ProtocolError
+from .server import ServerConfig, ValidationServer
+from .session import Session, SessionQuota
+from .views import ReadView, SnapshotManager
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ReadView",
+    "ServeClient",
+    "ServerConfig",
+    "Session",
+    "SessionQuota",
+    "SnapshotManager",
+    "ValidationServer",
+]

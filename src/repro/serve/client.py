@@ -1,0 +1,114 @@
+"""A small blocking client for the validation service.
+
+:class:`ServeClient` speaks the ndjson protocol over one TCP connection,
+one request in flight at a time — deliberately minimal, for tests, the
+``bench_serve`` workload, and the worked example in ``docs/serving.md``.
+Not thread-safe: give each thread its own client (each then gets its own
+server-side session, which is also how quotas are scoped).
+
+>>> client = ServeClient("127.0.0.1", port)      # doctest: +SKIP
+>>> client.mutate([{"kind": "add_node", "id": "a", "label": "person"}])
+>>> client.validate("rule r1: ...")["violations"]
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ReproError
+
+
+class ServeRequestError(ReproError):
+    """The server answered ``ok: false``; carries the wire code/message."""
+
+    def __init__(self, code: str, message: str, response: Dict[str, object]):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.response = response
+
+
+class ServeClient:
+    """One session against a :class:`~repro.serve.server.ValidationServer`."""
+
+    def __init__(self, host: str, port: int, timeout: Optional[float] = 60.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Core request/response
+    # ------------------------------------------------------------------
+    def request(self, op: str, **fields: object) -> Dict[str, object]:
+        """Send one request and return the server's response object.
+
+        Raises :class:`ServeRequestError` on ``ok: false`` responses and
+        ``ConnectionError`` when the server hangs up mid-request.
+        """
+        request_id = next(self._ids)
+        message: Dict[str, object] = {"id": request_id, "op": op}
+        message.update(fields)
+        self._file.write((json.dumps(message) + "\n").encode("utf-8"))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(line.decode("utf-8"))
+        if not response.get("ok"):
+            raise ServeRequestError(
+                str(response.get("code", "internal")),
+                str(response.get("error", "request failed")),
+                response,
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers (one per protocol op)
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, object]:
+        return self.request("ping")
+
+    def stats(self) -> Dict[str, object]:
+        return self.request("stats")
+
+    def mutate(self, ops: Sequence[Dict[str, object]]) -> Dict[str, object]:
+        return self.request("mutate", ops=list(ops))
+
+    def sat(self, rules: str, parallel: bool = False, **fields: object) -> Dict[str, object]:
+        return self.request("sat", rules=rules, parallel=parallel, **fields)
+
+    def imp(self, rules: str, candidate: str, parallel: bool = False, **fields: object) -> Dict[str, object]:
+        return self.request("imp", rules=rules, candidate=candidate, parallel=parallel, **fields)
+
+    def validate(
+        self, rules: str, limit: Optional[int] = None, **fields: object
+    ) -> Dict[str, object]:
+        if limit is not None:
+            fields["limit"] = limit
+        return self.request("validate", rules=rules, **fields)
+
+    def explain(self, rules: Optional[str] = None, **fields: object) -> Dict[str, object]:
+        if rules is not None:
+            fields["rules"] = rules
+        return self.request("explain", **fields)
+
+    def add_nodes(self, nodes: Sequence[tuple]) -> Dict[str, object]:
+        """Shorthand: ``(id, label, attrs)`` tuples to one add_node batch."""
+        ops: List[Dict[str, object]] = []
+        for node_id, label, attrs in nodes:
+            ops.append({"kind": "add_node", "id": node_id, "label": label, "attrs": attrs})
+        return self.mutate(ops)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,131 @@
+"""The serving wire protocol: newline-delimited JSON requests/responses.
+
+One request per line, one response per line, UTF-8, ``\\n``-terminated.
+Every request carries an ``op`` and an optional client-chosen ``id`` that
+the response echoes (responses to concurrent requests of one session may
+arrive out of order — correlate by ``id``). Responses always carry
+``ok``; failures add ``code`` (``bad_request`` | ``quota_exceeded`` |
+``internal``) and a human-readable ``error``.
+
+The mutation op vocabulary mirrors the graph's journal ops
+(:mod:`repro.graph.delta`) — what a batch applies to the live graph is
+exactly what read-view reconstruction and standing-replica refresh later
+replay:
+
+========= ===========================================================
+kind      fields
+========= ===========================================================
+add_node  ``id`` (optional — server-assigned when omitted), ``label``,
+          ``attrs`` (optional object)
+add_edge  ``src``, ``dst``, ``label``
+set_label ``id``, ``label``
+========= ===========================================================
+
+Attribute *updates* are deliberately not in the vocabulary: the journal
+records topology only, so a mutable attribute would be invisible to MVCC
+replay. Model attribute-bearing facts as nodes, or reload the graph.
+
+Batches are applied in order and are **not transactional**: the first
+invalid op stops the batch, and the response reports how many ops landed
+(``applied``) alongside the error. Ops that landed are durable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import GraphError, ReproError
+from ..graph.graph import PropertyGraph
+
+#: Bumped on incompatible wire changes; the ``ping`` response carries it.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one request line (defense against unbounded buffering).
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+class ProtocolError(ReproError):
+    """A request line or mutation op is malformed (code ``bad_request``)."""
+
+
+def encode(message: Dict[str, object]) -> bytes:
+    """Serialize one wire message to a single ndjson line."""
+    return (json.dumps(message, separators=(",", ":"), default=str) + "\n").encode("utf-8")
+
+
+def decode(line: bytes) -> Dict[str, object]:
+    """Parse one request line (raises :class:`ProtocolError` on junk)."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("request must be a JSON object")
+    return message
+
+
+def error_response(
+    request_id: object, code: str, message: str, **extra: object
+) -> Dict[str, object]:
+    response: Dict[str, object] = {"id": request_id, "ok": False, "code": code, "error": message}
+    response.update(extra)
+    return response
+
+
+def ok_response(request_id: object, **fields: object) -> Dict[str, object]:
+    response: Dict[str, object] = {"id": request_id, "ok": True}
+    response.update(fields)
+    return response
+
+
+# ----------------------------------------------------------------------
+# Mutation op application
+# ----------------------------------------------------------------------
+def _require(op: Dict[str, object], field: str) -> object:
+    try:
+        return op[field]
+    except KeyError:
+        raise ProtocolError(f"{op.get('kind', '?')} op is missing {field!r}") from None
+
+
+def apply_wire_ops(
+    graph: PropertyGraph, ops: Sequence[object]
+) -> Tuple[int, List[object], Optional[str]]:
+    """Apply a wire mutation batch to the live graph, in order.
+
+    Returns ``(applied, assigned_ids, error)``: the count of ops that
+    landed, the server-assigned node ids for ``add_node`` ops that omitted
+    ``id`` (in batch order), and the message of the op that stopped the
+    batch (``None`` when the whole batch applied). Only the single writer
+    task calls this — application is atomic with respect to readers
+    because reads go through pinned snapshots.
+    """
+    applied = 0
+    assigned: List[object] = []
+    for op in ops:
+        try:
+            if not isinstance(op, dict):
+                raise ProtocolError(f"mutation op must be an object, got {type(op).__name__}")
+            kind = op.get("kind")
+            if kind == "add_node":
+                attrs = op.get("attrs")
+                if attrs is not None and not isinstance(attrs, dict):
+                    raise ProtocolError("add_node attrs must be an object")
+                node_id = graph.add_node(
+                    str(_require(op, "label")), attrs, node_id=op.get("id")
+                )
+                if op.get("id") is None:
+                    assigned.append(node_id)
+            elif kind == "add_edge":
+                graph.add_edge(
+                    _require(op, "src"), _require(op, "dst"), str(_require(op, "label"))
+                )
+            elif kind == "set_label":
+                graph.set_node_label(_require(op, "id"), str(_require(op, "label")))
+            else:
+                raise ProtocolError(f"unknown mutation op kind {kind!r}")
+        except (ProtocolError, GraphError) as exc:
+            return applied, assigned, str(exc)
+        applied += 1
+    return applied, assigned, None

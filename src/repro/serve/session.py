@@ -1,0 +1,116 @@
+"""Client sessions: identity, quotas, and per-session result state.
+
+One :class:`Session` exists per accepted connection. It does three jobs:
+
+* **admission accounting** — every request passes through the session's
+  quota checks before touching the server's shared resources, so one
+  noisy client exhausts its own budget instead of the service's;
+* **result state** — the session keeps the :class:`ResultStore` of its
+  most recent validate/explain query, so a follow-up ``explain`` request
+  can resolve a violation by index without re-running detection;
+* **telemetry** — per-session counters surfaced by the ``stats`` op.
+
+Quota semantics: ``max_inflight`` bounds *concurrent* queries (exceeding
+it rejects the request immediately with ``quota_exceeded`` rather than
+queueing — the global admission semaphore is the queueing layer, quotas
+are the fairness layer); ``max_requests`` and ``max_mutation_ops`` are
+lifetime budgets for the session.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import ReproError
+
+
+class QuotaExceeded(ReproError):
+    """A session exceeded one of its quotas (request is rejected)."""
+
+
+@dataclass(frozen=True)
+class SessionQuota:
+    """Per-session admission limits (``None`` disables a limit)."""
+
+    #: Maximum concurrent queries a session may have in flight.
+    max_inflight: int = 4
+    #: Lifetime request budget (mutations + queries + control ops).
+    max_requests: Optional[int] = None
+    #: Lifetime budget of mutation *ops* (summed over batches).
+    max_mutation_ops: Optional[int] = None
+
+
+_session_ids = itertools.count(1)
+
+
+class Session:
+    """State for one client connection of the validation service."""
+
+    def __init__(self, quota: SessionQuota, peer: str = "") -> None:
+        self.id = next(_session_ids)
+        self.quota = quota
+        self.peer = peer
+        self.inflight = 0
+        self.requests = 0
+        self.queries = 0
+        self.mutation_ops = 0
+        self.rejected = 0
+        self.pins = 0
+        #: ResultStore of the session's last validate/explain query, with
+        #: the version it was computed at (for by-index explain requests).
+        self.last_store = None
+        self.last_store_version: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Quota checks
+    # ------------------------------------------------------------------
+    def admit_request(self) -> None:
+        """Count one request against the lifetime budget."""
+        if self.quota.max_requests is not None and self.requests >= self.quota.max_requests:
+            self.rejected += 1
+            raise QuotaExceeded(
+                f"session {self.id} exhausted its request budget "
+                f"({self.quota.max_requests})"
+            )
+        self.requests += 1
+
+    def admit_mutations(self, op_count: int) -> None:
+        """Count *op_count* mutation ops against the lifetime budget."""
+        limit = self.quota.max_mutation_ops
+        if limit is not None and self.mutation_ops + op_count > limit:
+            self.rejected += 1
+            raise QuotaExceeded(
+                f"session {self.id} exhausted its mutation budget "
+                f"({self.mutation_ops}/{limit} ops used, batch of {op_count} rejected)"
+            )
+        self.mutation_ops += op_count
+
+    def begin_query(self) -> None:
+        """Claim one in-flight query slot (released by :meth:`end_query`)."""
+        if self.inflight >= self.quota.max_inflight:
+            self.rejected += 1
+            raise QuotaExceeded(
+                f"session {self.id} already has {self.inflight} queries in flight "
+                f"(max_inflight={self.quota.max_inflight})"
+            )
+        self.inflight += 1
+        self.queries += 1
+
+    def end_query(self) -> None:
+        self.inflight -= 1
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "session": self.id,
+            "requests": self.requests,
+            "queries": self.queries,
+            "inflight": self.inflight,
+            "mutation_ops": self.mutation_ops,
+            "rejected": self.rejected,
+            "pins": self.pins,
+        }

@@ -1,0 +1,234 @@
+"""MVCC read views: epoch-stamped snapshots of a served property graph.
+
+The serving layer's contract is that **queries never block writers**: a
+validate/explain query matches against the graph *as of the version it was
+admitted at*, while the single writer keeps appending mutation batches to
+the live graph. :class:`SnapshotManager` provides that isolation on top of
+two existing mechanisms:
+
+* the PR 3 **delta history** (:meth:`PropertyGraph.retain_deltas` /
+  :meth:`delta_ops_slice`) gives cheap version reconstruction — a snapshot
+  at version ``V`` advances to ``V'`` by replaying the ``(V, V']`` op
+  slice, O(|delta|), never by re-copying the graph;
+* the new **version pins** (:meth:`PropertyGraph.pin_version`) make that
+  safe against trimming — ``trim_delta_history`` is clamped to the
+  minimum pinned version, so neither the process backend's post-refresh
+  trim nor the server's housekeeping can drop ops a pinned view still
+  needs.
+
+The manager keeps one *head* snapshot at the newest pinned version. A new
+pin at the live version advances the head in place when nothing holds it
+(the common case — O(|delta|), and the head's compiled index absorbs the
+same ops through its own journal, staying warm), forks a copy first when
+the head version is still pinned by active views, and falls back to one
+full O(|G|) copy only when the retained history cannot cover the gap.
+
+Thread model: :meth:`pin` and :meth:`ReadView.release` must be called from
+one thread (the server confines them to the event-loop thread, where the
+writer task also runs, so pin-at-version is atomic with respect to
+writes). The snapshot *graphs* handed out are immutable-by-convention and
+are read concurrently by executor threads; their indices are pre-built at
+materialization time so readers share a finished structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import GraphError
+from ..graph.delta import replay
+from ..graph.graph import PropertyGraph
+
+
+class ReadView:
+    """A pinned, epoch-stamped, frozen view of the served graph.
+
+    *graph* is a materialized :class:`PropertyGraph` whose content equals
+    the live graph at mutation-count *version*; *epoch* is the compiled
+    index's maintenance generation at pin time (diagnostics — the version
+    is the identity). Views are context managers: ``with manager.pin() as
+    view: ...`` releases the pin on exit. Releasing twice is a no-op.
+    """
+
+    __slots__ = ("version", "epoch", "graph", "_manager", "_released")
+
+    def __init__(self, version: int, epoch: int, graph: PropertyGraph, manager: "SnapshotManager") -> None:
+        self.version = version
+        self.epoch = epoch
+        self.graph = graph
+        self._manager = manager
+        self._released = False
+
+    def release(self) -> None:
+        """Release this view's pin (idempotent)."""
+        if not self._released:
+            self._released = True
+            self._manager._release(self)
+
+    def __enter__(self) -> "ReadView":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        state = "released" if self._released else "pinned"
+        return f"ReadView(version={self.version}, epoch={self.epoch}, {state})"
+
+
+def _replica(source: PropertyGraph) -> PropertyGraph:
+    """A standalone content-copy of *source* (deterministic insertion order)."""
+    replica = PropertyGraph()
+    for node in source.node_objects():
+        replica.add_node(node.label, node.attrs, node_id=node.id)
+    for edge in source.edges():
+        replica.add_edge(edge.src, edge.dst, edge.label)
+    return replica
+
+
+class SnapshotManager:
+    """Pin-counted MVCC snapshots over one live :class:`PropertyGraph`.
+
+    Owns the live graph's delta-history retention (enabled on
+    construction) and a standing pin on its head snapshot's version, so
+    the op range from the head forward always survives trims and every
+    advance is an O(|delta|) replay.
+    """
+
+    def __init__(self, graph: PropertyGraph) -> None:
+        self._live = graph
+        graph.retain_deltas(True)
+        self._snapshots: Dict[int, PropertyGraph] = {}
+        #: Active view pins per version (manager-side refcounts; the graph
+        #: keeps its own, shared with any other pinning party).
+        self._refcounts: Dict[int, int] = {}
+        self._head_version: Optional[int] = None
+        # Stats (exported via stats(); the bench records pin counts).
+        self.pins_total = 0
+        self.releases_total = 0
+        self.ops_replayed = 0
+        self.forks = 0
+        self.full_copies = 0
+
+    # ------------------------------------------------------------------
+    # Pinning
+    # ------------------------------------------------------------------
+    def pin(self) -> ReadView:
+        """Pin the live graph's current version and return its read view.
+
+        The snapshot is materialized *now* (advance/fork/copy as needed),
+        so the returned view is immediately safe to read from any thread
+        while the live graph keeps mutating.
+        """
+        version = self._live.mutation_count
+        epoch = self._live.index().epoch
+        snapshot = self._materialize(version)
+        self._live.pin_version(version)
+        self._refcounts[version] = self._refcounts.get(version, 0) + 1
+        self.pins_total += 1
+        return ReadView(version, epoch, snapshot, self)
+
+    def _materialize(self, version: int) -> PropertyGraph:
+        existing = self._snapshots.get(version)
+        if existing is not None:
+            return existing
+        head_version = self._head_version
+        ops = None
+        if head_version is not None:
+            ops = self._live.delta_ops_slice(head_version, version)
+        if ops is None:
+            # No head yet, or the history cannot bridge the gap: one full
+            # copy of the live graph (which *is* at `version` — pins only
+            # happen at the current mutation count).
+            snapshot = _replica(self._live)
+            self.full_copies += 1
+        elif self._refcounts.get(head_version):
+            # The head version is still held by active views: fork a copy
+            # and advance that, leaving the pinned snapshot frozen.
+            snapshot = _replica(self._snapshots[head_version])
+            replay(snapshot, ops)
+            self.ops_replayed += len(ops)
+            self.forks += 1
+        else:
+            # Common case: nothing holds the head — advance it in place.
+            snapshot = self._snapshots.pop(head_version)
+            replay(snapshot, ops)
+            self.ops_replayed += len(ops)
+        # Pre-build the snapshot's index before it is shared across reader
+        # threads (in-place advances just replay the delta onto the warm
+        # index; fresh copies compile once).
+        snapshot.index()
+        self._snapshots[version] = snapshot
+        self._set_head(version)
+        return snapshot
+
+    def _set_head(self, version: int) -> None:
+        """Move the manager's standing pin to the new head version."""
+        previous = self._head_version
+        if previous == version:
+            return
+        self._live.pin_version(version)
+        if previous is not None:
+            self._live.release_version(previous)
+            if previous not in self._refcounts and previous in self._snapshots:
+                del self._snapshots[previous]
+        self._head_version = version
+
+    def _release(self, view: ReadView) -> None:
+        count = self._refcounts.get(view.version)
+        if count is None:
+            raise GraphError(f"view at version {view.version} is not pinned")
+        if count == 1:
+            del self._refcounts[view.version]
+            # Drop the materialized snapshot unless it is the head (the
+            # head stays to seed the next advance).
+            if view.version != self._head_version:
+                del self._snapshots[view.version]
+        else:
+            self._refcounts[view.version] = count - 1
+        self._live.release_version(view.version)
+        self.releases_total += 1
+
+    def refresh_head(self) -> None:
+        """Advance the head snapshot to the live version (housekeeping).
+
+        Called by the writer between batches so the standing head pin —
+        which clamps :meth:`PropertyGraph.trim_delta_history` — keeps
+        moving even while no queries arrive, bounding the retained
+        history to roughly one trim interval of ops.
+        """
+        if self._head_version is None:
+            return
+        version = self._live.mutation_count
+        if version != self._head_version:
+            self._materialize(version)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def active_pins(self) -> int:
+        """Number of currently outstanding view pins."""
+        return sum(self._refcounts.values())
+
+    @property
+    def head_version(self) -> Optional[int]:
+        return self._head_version
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "pins_total": self.pins_total,
+            "releases_total": self.releases_total,
+            "active_pins": self.active_pins,
+            "distinct_versions": len(self._snapshots),
+            "ops_replayed": self.ops_replayed,
+            "forks": self.forks,
+            "full_copies": self.full_copies,
+        }
+
+    def close(self) -> None:
+        """Release the standing head pin (manager becomes unusable)."""
+        if self._head_version is not None:
+            self._live.release_version(self._head_version)
+            self._head_version = None
+        self._snapshots.clear()

@@ -1,0 +1,323 @@
+"""MVCC read views: version pins, clamped trims, snapshot isolation.
+
+The core property (the serving layer's correctness contract): a read view
+pinned at version E yields **byte-identical** query results no matter how
+many writes land after E — through in-place head advances, forks, journal
+compaction of the snapshot's own index, and aggressive delta-history
+trimming on the live graph. The hypothesis suite drives random mutation
+scripts against a pinned view and compares its match/violation streams
+with a reference graph built from the script prefix alone.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PropertyGraph, parse_gfds
+from repro.errors import GraphError
+from repro.reasoning.validation import detect_errors
+from repro.serve.views import SnapshotManager
+
+LABELS = ["a", "b", "c"]
+EDGE_LABELS = ["p", "q"]
+
+SIGMA = parse_gfds(
+    """
+    gfd never_ab {
+        x: a; y: b;
+        x -[p]-> y;
+        then false;
+    }
+    gfd chain {
+        x: a; y: b; z: c;
+        x -[q]-> y; y -[q]-> z;
+        when x.k = 1;
+        then z.k = 1;
+    }
+    """
+)
+
+
+# ----------------------------------------------------------------------
+# PropertyGraph pin primitives
+# ----------------------------------------------------------------------
+class TestVersionPins:
+    def test_pin_defaults_to_current_version(self):
+        graph = PropertyGraph()
+        graph.add_node("a")
+        assert graph.pin_version() == 1
+        assert graph.min_pinned_version == 1
+        assert graph.pinned_version_count == 1
+
+    def test_pins_are_refcounted(self):
+        graph = PropertyGraph()
+        graph.pin_version(0)
+        graph.pin_version(0)
+        graph.release_version(0)
+        assert graph.min_pinned_version == 0
+        graph.release_version(0)
+        assert graph.min_pinned_version is None
+
+    def test_future_version_rejected(self):
+        graph = PropertyGraph()
+        with pytest.raises(GraphError):
+            graph.pin_version(5)
+
+    def test_release_unpinned_raises(self):
+        graph = PropertyGraph()
+        with pytest.raises(GraphError):
+            graph.release_version(0)
+
+    def test_trim_clamps_to_min_pinned_version(self):
+        graph = PropertyGraph()
+        graph.retain_deltas(True)
+        graph.add_node("a", node_id=0)
+        pinned = graph.pin_version()  # version 1
+        graph.add_node("b", node_id=1)
+        graph.add_edge(0, 1, "p")
+        # The process backend's post-refresh trim requests the full
+        # mutation count; the pin must keep ops after version 1 alive.
+        graph.trim_delta_history(graph.mutation_count)
+        assert graph.delta_ops_since(pinned) is not None
+        assert len(graph.delta_ops_since(pinned)) == 2
+        graph.release_version(pinned)
+        graph.trim_delta_history(graph.mutation_count)
+        assert graph.delta_ops_since(pinned) is None
+
+    def test_delta_ops_slice_bounds(self):
+        graph = PropertyGraph()
+        graph.retain_deltas(True)
+        for i in range(4):
+            graph.add_node("a", node_id=i)
+        assert graph.delta_ops_slice(1, 3) is not None
+        assert len(graph.delta_ops_slice(1, 3)) == 2
+        assert graph.delta_ops_slice(2, 2) == []
+        assert graph.delta_ops_slice(3, 1) is None  # reversed bounds
+        assert graph.delta_ops_slice(0, 9) is None  # future bound
+        graph.trim_delta_history(2)
+        assert graph.delta_ops_slice(1, 3) is None  # trimmed past `since`
+
+    def test_pickling_drops_pins(self):
+        graph = PropertyGraph()
+        graph.add_node("a")
+        graph.pin_version()
+        clone = pickle.loads(pickle.dumps(graph))
+        assert clone.min_pinned_version is None
+
+
+# ----------------------------------------------------------------------
+# SnapshotManager mechanics
+# ----------------------------------------------------------------------
+def _seed() -> PropertyGraph:
+    graph = PropertyGraph()
+    for i in range(3):
+        graph.add_node(LABELS[i], {"k": i}, node_id=i)
+    graph.add_edge(0, 1, "q")
+    graph.add_edge(1, 2, "q")
+    return graph
+
+
+class TestSnapshotManager:
+    def test_pin_is_isolated_from_later_writes(self):
+        graph = _seed()
+        manager = SnapshotManager(graph)
+        view = manager.pin()
+        nodes_at_pin = view.graph.num_nodes
+        graph.add_node("a", node_id=99)
+        graph.add_edge(99, 1, "p")
+        assert view.graph.num_nodes == nodes_at_pin
+        assert not view.graph.has_node(99)
+        assert graph.has_node(99)
+        view.release()
+
+    def test_unpinned_head_advances_in_place(self):
+        graph = _seed()
+        manager = SnapshotManager(graph)
+        manager.pin().release()
+        graph.add_node("b", node_id=50)
+        with manager.pin() as view:
+            assert view.graph.has_node(50)
+        assert manager.forks == 0
+        assert manager.full_copies == 1
+        assert manager.ops_replayed == 1
+
+    def test_pinned_head_forces_fork(self):
+        graph = _seed()
+        manager = SnapshotManager(graph)
+        old = manager.pin()  # holds the head version
+        graph.add_node("c", node_id=51)
+        new = manager.pin()
+        assert manager.forks == 1
+        assert not old.graph.has_node(51)
+        assert new.graph.has_node(51)
+        old.release()
+        new.release()
+
+    def test_full_copy_after_history_gap(self):
+        graph = _seed()
+        manager = SnapshotManager(graph)
+        manager.pin().release()
+        # Sever the history under the manager: release its standing head
+        # pin, trim everything, then mutate.
+        manager.close()
+        graph.trim_delta_history(graph.mutation_count)
+        graph.add_node("a", node_id=60)
+        manager2 = SnapshotManager(graph)
+        with manager2.pin() as view:
+            assert view.graph.has_node(60)
+        assert manager2.full_copies == 1
+
+    def test_release_drops_non_head_snapshots(self):
+        graph = _seed()
+        manager = SnapshotManager(graph)
+        old = manager.pin()
+        graph.add_node("a", node_id=70)
+        new = manager.pin()
+        assert manager.stats()["distinct_versions"] == 2
+        old.release()
+        assert manager.stats()["distinct_versions"] == 1
+        new.release()
+        assert manager.active_pins == 0
+
+    def test_release_is_idempotent(self):
+        manager = SnapshotManager(_seed())
+        view = manager.pin()
+        view.release()
+        view.release()
+        assert manager.releases_total == 1
+
+    def test_refresh_head_bounds_history(self):
+        graph = _seed()
+        manager = SnapshotManager(graph)
+        manager.pin().release()
+        floor = manager.head_version
+        for i in range(10):
+            graph.add_node("a", node_id=100 + i)
+        manager.refresh_head()
+        assert manager.head_version == graph.mutation_count
+        graph.trim_delta_history(graph.mutation_count)
+        # Everything before the (caught-up) head is gone, head onward kept.
+        assert graph.delta_ops_since(floor) is None
+        assert graph.delta_ops_since(graph.mutation_count) == []
+
+    def test_pins_protect_history_against_backend_style_trim(self):
+        graph = _seed()
+        manager = SnapshotManager(graph)
+        view = manager.pin()
+        for i in range(5):
+            graph.add_node("b", node_id=200 + i)
+        graph.trim_delta_history(graph.mutation_count)
+        # A new pin must still advance by replay, not by full copy.
+        before = manager.full_copies
+        manager.pin().release()
+        assert manager.full_copies == before
+        view.release()
+
+
+# ----------------------------------------------------------------------
+# The byte-identical-stream property (satellite: epoch pinning coverage)
+# ----------------------------------------------------------------------
+_step = st.tuples(
+    st.sampled_from(["node", "edge", "relabel", "index", "trim"]),
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=0, max_value=10_000),
+)
+
+
+def _apply(graph: PropertyGraph, script, trims_allowed=True) -> None:
+    """Replay a step script; every op is legal by construction."""
+    for kind, r1, r2 in script:
+        n = graph.num_nodes
+        if kind == "node":
+            graph.add_node(LABELS[r1 % len(LABELS)], {"k": r2 % 3})
+        elif kind == "edge" and n:
+            nodes = list(graph.nodes())
+            graph.add_edge(
+                nodes[r1 % n], nodes[r2 % n], EDGE_LABELS[(r1 + r2) % 2]
+            )
+        elif kind == "relabel" and n:
+            nodes = list(graph.nodes())
+            graph.set_node_label(nodes[r1 % n], LABELS[r2 % len(LABELS)])
+        elif kind == "index":
+            graph.index()
+        elif kind == "trim" and trims_allowed:
+            # The backend-style aggressive trim — must be harmless to
+            # pinned views because of the pin clamp.
+            graph.trim_delta_history(graph.mutation_count)
+
+
+def _violation_bytes(graph: PropertyGraph) -> bytes:
+    return json.dumps(
+        [v.to_json() for v in detect_errors(graph, SIGMA)], sort_keys=True
+    ).encode()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    prefix=st.lists(_step, min_size=1, max_size=25),
+    suffix=st.lists(_step, min_size=1, max_size=40),
+)
+def test_pinned_view_stream_is_immune_to_later_writes(prefix, suffix):
+    live = PropertyGraph()
+    live.add_node("a", {"k": 1}, node_id="seed-a")
+    live.add_node("b", {}, node_id="seed-b")
+    live.add_edge("seed-a", "seed-b", "q")
+    # Compact eagerly so suffix writes push the snapshot's index through
+    # the journal-compaction path as well as the delta path.
+    live.INDEX_COMPACTION_MIN = 4
+    _apply(live, prefix, trims_allowed=False)
+
+    # Reference: an independent graph holding exactly the pinned state.
+    reference = PropertyGraph()
+    reference.add_node("a", {"k": 1}, node_id="seed-a")
+    reference.add_node("b", {}, node_id="seed-b")
+    reference.add_edge("seed-a", "seed-b", "q")
+    _apply(reference, prefix, trims_allowed=False)
+    expected = _violation_bytes(reference)
+
+    manager = SnapshotManager(live)
+    view = manager.pin()
+    assert _violation_bytes(view.graph) == expected
+
+    # Writes (and trims, and index compactions) land after the pin...
+    _apply(live, suffix)
+    # ...and the view's stream is byte-identical to the reference's.
+    assert _violation_bytes(view.graph) == expected
+
+    # A fresh pin sees the suffix; the old view still does not.
+    with manager.pin() as head_view:
+        assert _violation_bytes(head_view.graph) == _violation_bytes(live)
+    assert _violation_bytes(view.graph) == expected
+    view.release()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    prefix=st.lists(_step, min_size=1, max_size=20),
+    middle=st.lists(_step, min_size=1, max_size=20),
+    suffix=st.lists(_step, min_size=1, max_size=20),
+)
+def test_two_generations_of_pins_stay_consistent(prefix, middle, suffix):
+    live = PropertyGraph()
+    live.add_node("a", {"k": 1}, node_id="seed-a")
+    manager = SnapshotManager(live)
+
+    _apply(live, prefix, trims_allowed=False)
+    first = manager.pin()
+    first_expected = _violation_bytes(first.graph)
+
+    _apply(live, middle)
+    second = manager.pin()
+    second_expected = _violation_bytes(second.graph)
+
+    _apply(live, suffix)
+    assert _violation_bytes(first.graph) == first_expected
+    assert _violation_bytes(second.graph) == second_expected
+    first.release()
+    assert _violation_bytes(second.graph) == second_expected
+    second.release()

@@ -176,6 +176,27 @@ BENCHES: Dict[str, Dict] = {
             ("process.on.wall_seconds_min", "seconds"),
         ],
     },
+    "serve": {
+        # Serving-layer smoke: 16 open-loop client sessions fire validate
+        # queries while one writer streams mutation batches. The script
+        # itself exits nonzero unless zero queries fail AND every query's
+        # violation list is byte-identical to a sequential rebuild of its
+        # pinned version; the gate pins those invariants plus the
+        # deterministic workload counters (one MVCC pin per query, a fixed
+        # op budget) and tracks tail latency loosely.
+        "script": "benchmarks/bench_serve.py",
+        "args": ["--smoke"],
+        "metrics": [
+            ("serve.failed_queries", "exact"),
+            ("serve.mismatches", "exact"),
+            ("serve.server_queries_failed", "exact"),
+            ("serve.queries_total", "exact"),
+            ("serve.pins_total", "exact"),
+            ("serve.mutation_ops", "exact"),
+            ("serve.latency_p95", "seconds"),
+            ("serve.wall_seconds", "seconds"),
+        ],
+    },
     "incremental": {
         "script": "benchmarks/bench_incremental.py",
         "args": ["--smoke"],
